@@ -1,0 +1,28 @@
+"""Ablation: fast inverse square root accuracy vs Newton iteration count.
+
+Section IV-B claims "a single iteration is adequate to achieve accurate
+results"; this ablation quantifies the error at 0/1/2/3 iterations and also
+times the vectorised kernel itself (a real micro-benchmark, since the same
+code runs inside every accelerator functional simulation).
+"""
+
+import numpy as np
+
+from repro.eval.experiments import run_invsqrt_ablation
+from repro.numerics.fast_inv_sqrt import fast_inv_sqrt
+
+
+def test_invsqrt_ablation_accuracy(benchmark):
+    result = benchmark.pedantic(run_invsqrt_ablation, rounds=1, iterations=1)
+    print()
+    print(result.formatted())
+    errors = result.metadata["errors"]
+    # One Newton iteration reaches <0.2% worst-case error (paper-adequate);
+    # the seed alone does not.
+    assert errors[1][0] < 2e-3
+    assert errors[0][0] > 1e-2
+
+
+def test_invsqrt_kernel_throughput(benchmark):
+    variances = np.random.default_rng(0).uniform(1e-3, 1e3, size=65536)
+    benchmark(fast_inv_sqrt, variances, newton_iterations=1)

@@ -1,0 +1,27 @@
+"""Ablation: pipeline balance and cost across (p_d, p_n) datapath widths.
+
+Section V-B argues that choosing (p_d, p_n) so the pipeline stages are
+evenly loaded maximises utilization; this ablation sweeps width pairs and
+reports latency, power and the balance metric.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_pipeline_balance_ablation
+
+
+def test_pipeline_balance_ablation(benchmark):
+    result = run_once(
+        benchmark,
+        run_pipeline_balance_ablation,
+        widths=((128, 128), (80, 160), (64, 128), (32, 128), (256, 128)),
+    )
+    print()
+    print(result.formatted())
+    details = result.metadata["details"]
+    # A severely under-provisioned statistics calculator (32 lanes without
+    # matching subsampling) is slower than the balanced design.
+    assert details[(32, 128)]["latency_us"] > details[(128, 128)]["latency_us"]
+    # Widening the normalization unit relative to the statistics unit
+    # (HAAN-v2 style) does not increase latency.
+    assert details[(80, 160)]["latency_us"] <= details[(128, 128)]["latency_us"] * 1.05

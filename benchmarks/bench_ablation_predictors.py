@@ -1,0 +1,51 @@
+"""Ablation: ISD predictor strategies and cross-dataset generalization.
+
+Two design choices behind Algorithm 1 are ablated here:
+
+* the *prediction rule* -- the paper's anchored log-linear extrapolation
+  must beat both the static calibration-mean predictor and the slope-free
+  flat-anchor predictor on a measured ISD profile; and
+* the *calibration corpus* -- the predictor calibrated on one corpus must
+  transfer to disjoint corpora with a small penalty (Section III-B's
+  generalization claim).
+"""
+
+from conftest import run_once
+
+from repro.core import evaluate_predictors, profile_model_isd, rank_strategies
+from repro.core.skipping import find_skip_range_from_profile
+from repro.eval import generalization_study, transfer_penalty
+from repro.llm import TransformerModel
+from repro.llm.datasets import calibration_texts
+
+
+def _run_ablation():
+    model = TransformerModel.from_name("gpt2-117m")
+    profile = profile_model_isd(model, calibration_texts(10, seed=11), max_seq_len=24)
+    search = find_skip_range_from_profile(
+        profile,
+        window=max(2, profile.num_layers // 4),
+        min_start=int(profile.num_layers * 0.4),
+    )
+    evaluations = evaluate_predictors(profile, search.skip_range, decay=search.decay)
+    study = generalization_study(model, calibration_samples=8, corpus_samples=5)
+    return evaluations, study
+
+
+def test_predictor_strategy_ablation(benchmark):
+    evaluations, study = run_once(benchmark, _run_ablation)
+    print()
+    print("strategy ranking (mean |log error|):")
+    for name in rank_strategies(evaluations):
+        print(f"  {name:>24}  {evaluations[name].mean_abs_log_error:.4f}")
+    print("cross-dataset transfer (mean |log error|):")
+    for name, result in study.items():
+        print(f"  {name:>14}  {result.mean_abs_log_error:.4f}")
+
+    paper = evaluations["anchored-log-linear"]
+    assert paper.mean_abs_log_error <= evaluations["calibration-mean"].mean_abs_log_error
+    assert paper.mean_abs_log_error <= evaluations["flat-anchor"].mean_abs_log_error + 1e-9
+    # Generalization: transfer penalty stays within a small band of the
+    # in-sample error.
+    baseline = study["calibration"].mean_abs_log_error
+    assert transfer_penalty(study) <= max(3 * baseline, 0.25)

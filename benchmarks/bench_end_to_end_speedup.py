@@ -1,0 +1,14 @@
+"""Section V-B.2: end-to-end speedup of HAAN on the GPT-2 355M FPGA host accelerator."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_end_to_end
+
+
+def test_end_to_end_speedup(benchmark):
+    result = run_once(benchmark, run_end_to_end, seq_lens=(128, 256, 512))
+    print()
+    print(result.formatted())
+    print(f"average end-to-end speedup: {result.metadata['average']:.3f}x")
+    # Paper: ~1.11x average speedup across input lengths 128/256/512.
+    assert 1.05 <= result.metadata["average"] <= 1.25

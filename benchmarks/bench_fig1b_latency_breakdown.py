@@ -1,0 +1,18 @@
+"""Figure 1(b): GPU runtime breakdown of GPT-2 and OPT, before/after optimization."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_fig1b
+
+
+def test_fig1b_latency_breakdown(benchmark):
+    result = run_once(benchmark, run_fig1b, seq_len=2048)
+    print()
+    print(result.formatted())
+    # Headline claim: normalization is ~16% of runtime originally and the
+    # dominant non-matmul cost (>25-33%) after FlashAttention + FP8.
+    for model in ("gpt2-117m", "opt-2.7b"):
+        before, after = result.metadata[f"{model}_norm_share"]
+        assert 0.10 <= before <= 0.20
+        assert after > before
+        assert after > 0.25

@@ -1,0 +1,20 @@
+"""Figure 2: ISD values across the normalization layers of the LLaMA-7B analogue."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_fig2
+
+
+def test_fig2_isd_profile(benchmark):
+    result = run_once(benchmark, run_fig2, model_name="llama-7b", num_documents=12, max_seq_len=32)
+    profile = result.metadata["profile"]
+    log_isd = profile.mean_log_isd()
+    print()
+    print(f"layers={result.metadata['num_layers']}  "
+          f"log ISD first/last = {log_isd[0]:.3f} / {log_isd[-1]:.3f}  "
+          f"tail correlation = {result.metadata['tail_correlation']:.4f}")
+    # The paper's two observations: ISD decays with depth, and log(ISD) is
+    # strongly linear (Pearson close to -1) over the deeper layers.
+    assert result.metadata["num_layers"] == 64
+    assert result.metadata["overall_decay"] < -0.5
+    assert result.metadata["tail_correlation"] < -0.95

@@ -1,0 +1,17 @@
+"""Figure 8(a): normalized power of HAAN vs SOLE / DFX / MHAA on GPT-2."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_fig8a
+
+
+def test_fig8a_power(benchmark):
+    result = run_once(benchmark, run_fig8a, seq_len=128)
+    print()
+    print(result.formatted())
+    powers = result.metadata["powers"]
+    # Paper: HAAN reduces power by over 60% vs DFX and draws slightly less
+    # than SOLE and MHAA.
+    assert result.metadata["dfx_reduction"] > 0.60
+    assert powers["HAAN-v1"] < powers["SOLE"]
+    assert powers["HAAN-v1"] < powers["MHAA"]

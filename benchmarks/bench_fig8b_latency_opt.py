@@ -1,0 +1,19 @@
+"""Figure 8(b): normalized latency on OPT-2.7B (HAAN-v1/v3 vs GPU, DFX, SOLE, MHAA)."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_fig8b
+
+
+def test_fig8b_latency_opt(benchmark):
+    result = run_once(benchmark, run_fig8b, seq_lens=(128, 256, 512, 1024))
+    print()
+    print(result.formatted())
+    ratios = result.metadata["ratios"]
+    for seq in (128, 256, 512, 1024):
+        # Who-wins ordering of the paper, at every sequence length.
+        assert ratios["haan-v3"][seq] <= 1.3
+        assert 1.0 < ratios["SOLE"][seq] < 2.2
+        assert 2.0 < ratios["MHAA"][seq] < 3.5
+        assert ratios["GPU"][seq] > 8.0
+        assert ratios["DFX"][seq] > 9.0

@@ -1,0 +1,19 @@
+"""Figure 9: normalized latency on GPT2-1.5B (HAAN-v1/v2 vs GPU, DFX, SOLE, MHAA)."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_fig9
+
+
+def test_fig9_latency_gpt2(benchmark):
+    result = run_once(benchmark, run_fig9, seq_lens=(128, 256, 512, 1024))
+    print()
+    print(result.formatted())
+    ratios = result.metadata["ratios"]
+    for seq in (128, 256, 512, 1024):
+        # Paper averages: ~11.7x vs DFX, ~10.5x vs GPU, ~1.25x vs SOLE,
+        # ~2.42x vs MHAA (HAAN-v1 as the reference).
+        assert 9.0 < ratios["DFX"][seq] < 14.0
+        assert 8.0 < ratios["GPU"][seq] < 13.0
+        assert 1.1 < ratios["SOLE"][seq] < 1.8
+        assert 2.0 < ratios["MHAA"][seq] < 3.0

@@ -1,0 +1,72 @@
+"""Ablation: energy, roofline and timing behaviour of the Table III configurations.
+
+Cross-checks three hardware-level claims that back the headline numbers:
+
+* INT8 processing costs the least energy and FP32 the most (Table III's
+  power ordering, restated bottom-up from per-operation energies);
+* ISD skipping plus subsampling reduce total energy on the GPT-2 workload,
+  and the saving exceeds 20% (the mechanism behind the >60% power
+  reduction vs DFX once utilization is accounted for);
+* every Table III configuration closes timing at the paper's 100 MHz clock,
+  with INT8 configurations retaining the most frequency headroom.
+"""
+
+from conftest import run_once
+
+from repro.core import paper_config_for
+from repro.hardware import (
+    EnergyModel,
+    NormalizationWorkload,
+    TimingModel,
+    U280_HBM,
+    roofline_analysis,
+)
+from repro.hardware.configs import TABLE3_CONFIGS
+from repro.numerics.quantization import DataFormat
+
+
+def _run_analysis():
+    workload = NormalizationWorkload.from_model_name(
+        "gpt2-1.5b", seq_len=256, haan_config=paper_config_for("gpt2-1.5b")
+    )
+    energy_model = EnergyModel()
+    timing_model = TimingModel()
+    per_config = {}
+    for config in TABLE3_CONFIGS:
+        per_config[config.name] = {
+            "energy": energy_model.estimate(config, workload),
+            "timing": timing_model.estimate(config),
+            "roofline": roofline_analysis(config, workload, U280_HBM),
+            "format": config.data_format,
+        }
+    saving = energy_model.savings_from_skipping(TABLE3_CONFIGS[2], workload)
+    return per_config, saving
+
+
+def test_roofline_energy_ablation(benchmark):
+    per_config, saving = run_once(benchmark, _run_analysis)
+    print()
+    print(f"{'config':>14}  {'energy mJ':>10}  {'fmax MHz':>9}  {'intensity':>9}")
+    for name, data in per_config.items():
+        print(
+            f"{name:>14}  {data['energy'].total_nj / 1e6:10.2f}  "
+            f"{data['timing'].max_frequency_mhz:9.0f}  "
+            f"{data['roofline'].arithmetic_intensity:9.2f}"
+        )
+    print(f"energy saving from skipping + subsampling: {saving * 100:.1f}%")
+
+    by_format = {}
+    for data in per_config.values():
+        by_format.setdefault(data["format"], []).append(data["energy"].total_nj)
+    assert min(by_format[DataFormat.INT8]) < min(by_format[DataFormat.FP16])
+    assert min(by_format[DataFormat.FP16]) < min(by_format[DataFormat.FP32])
+    assert saving > 0.20
+    for name, data in per_config.items():
+        assert data["timing"].meets(100.0), name
+    int8_headroom = min(
+        d["timing"].max_frequency_mhz for d in per_config.values() if d["format"] is DataFormat.INT8
+    )
+    fp32_headroom = max(
+        d["timing"].max_frequency_mhz for d in per_config.values() if d["format"] is DataFormat.FP32
+    )
+    assert int8_headroom > fp32_headroom

@@ -1,0 +1,23 @@
+"""Table I: accuracy of HAAN vs the original models on five downstream tasks."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_table1
+
+
+def test_table1_accuracy(benchmark, table1_items, calibration_docs):
+    result = run_once(
+        benchmark,
+        run_table1,
+        models=("llama-7b", "opt-2.7b", "gpt2-1.5b"),
+        num_items=table1_items,
+        calibration_texts_count=calibration_docs,
+    )
+    print()
+    print(result.formatted())
+    print(f"max per-task degradation: {result.metadata['max_degradation']:.4f}")
+    # Paper claim: <1% degradation.  With N items per task the accuracy
+    # granularity is 1/N, so the acceptance band scales with the sample
+    # size used for the benchmark run.
+    tolerance = max(0.02, 2.0 / table1_items)
+    assert result.metadata["max_degradation"] <= tolerance

@@ -1,0 +1,32 @@
+"""Table II: LLaMA-7B accuracy across subsample lengths, data formats and skip ranges."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.eval.experiments import TASK_ORDER, run_table2
+
+
+def test_table2_ablation(benchmark, table2_items, calibration_docs):
+    result = run_once(
+        benchmark,
+        run_table2,
+        num_items=table2_items,
+        calibration_texts_count=calibration_docs,
+    )
+    print()
+    print(result.formatted())
+    reports = result.metadata["reports"]
+
+    def mean_acc(key):
+        return np.mean([reports[key].accuracies[t] for t in TASK_ORDER])
+
+    original = mean_acc("original")
+    # Data formats: INT8 / FP16 / FP32 all comparable to the original.
+    for fmt in ("int8", "fp16", "fp32"):
+        assert abs(mean_acc(f"format={fmt}") - original) <= 0.15
+    # Skip range: the paper's calibrated deep range (50, 60) must be at
+    # least as good as skipping early layers (10, 20).
+    assert mean_acc("skip=(50,60)") >= mean_acc("skip=(10,20)") - 0.02
+    # Subsampling: the largest subsample length is closest to the original.
+    gaps = {n: abs(mean_acc(f"nsub={n}") - original) for n in (128, 256, 512)}
+    assert gaps[512] <= gaps[128] + 0.02

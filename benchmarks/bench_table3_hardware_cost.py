@@ -1,0 +1,25 @@
+"""Table III: FPGA resource and power cost of the HAAN accelerator."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_table3
+
+
+def test_table3_hardware_cost(benchmark):
+    result = run_once(benchmark, run_table3)
+    print()
+    print(result.formatted())
+    estimates = result.metadata["estimates"]
+    # Shape claims of Table III / Section V-B.1:
+    # 1. FP32 consumes about 1.29x the power of FP16 at the same widths.
+    fp32 = estimates["fp32-128-128"]["power"].total_w
+    fp16 = estimates["fp16-128-128"]["power"].total_w
+    assert 1.15 <= fp32 / fp16 <= 1.45
+    # 2. INT8 achieves the lowest power at the balanced widths.
+    int8 = estimates["int8-256-256"]["power"].total_w
+    assert int8 < fp16 < fp32
+    # 3. Reducing p_d (subsampling configs) frees DSPs.
+    assert estimates["fp16-32-128"]["resources"].dsp < estimates["fp16-128-128"]["resources"].dsp
+    # 4. Every build fits comfortably in the Alveo U280.
+    for entry in estimates.values():
+        assert entry["resources"].fits_device()

@@ -1,0 +1,87 @@
+"""Compare the HAAN accelerator against DFX / SOLE / MHAA / GPU baselines.
+
+Reproduces the Figure 8/9-style comparison for any built-in model: builds
+the normalization workload (with the paper's HAAN settings where available),
+runs every accelerator model across a sweep of sequence lengths, and prints
+normalized latency, absolute latency, power and energy.
+
+Run with:  python examples/accelerator_comparison.py [model-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import HaanConfig, paper_config_for
+from repro.hardware import (
+    HAAN_V1,
+    HAAN_V2,
+    HAAN_V3,
+    HaanAccelerator,
+    NormalizationWorkload,
+    all_baselines,
+)
+from repro.llm import get_model_config
+from repro.utils.tables import format_table
+
+
+def haan_config_for(model_name: str) -> HaanConfig:
+    """The paper's HAAN setting for the model, or a generic late-layer one."""
+    try:
+        return paper_config_for(model_name)
+    except KeyError:
+        config = get_model_config(model_name)
+        num_norms = config.num_norm_layers
+        return HaanConfig(
+            skip_range=(max(0, num_norms - 11), num_norms - 1),
+            subsample_length=config.hidden_size // 2,
+        )
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "gpt2-1.5b"
+    seq_lens = (128, 256, 512, 1024)
+    model_config = get_model_config(model_name)
+    haan_config = haan_config_for(model_name)
+    print(f"Model: {model_name}  (embedding {model_config.hidden_size}, "
+          f"{model_config.num_norm_layers} normalization layers, "
+          f"{haan_config.num_skipped_layers()} skipped, N_sub={haan_config.subsample_length})")
+
+    designs = {
+        "HAAN-v1": HaanAccelerator(HAAN_V1),
+        "HAAN-v2": HaanAccelerator(HAAN_V2),
+        "HAAN-v3": HaanAccelerator(HAAN_V3),
+    }
+    baselines = all_baselines()
+
+    rows = []
+    reference = {}
+    for seq in seq_lens:
+        workload = NormalizationWorkload.from_model(model_config, seq_len=seq, haan_config=haan_config)
+        reference[seq] = designs["HAAN-v1"].workload_latency(workload).latency_seconds
+    for name, accelerator in designs.items():
+        cells = [name]
+        for seq in seq_lens:
+            workload = NormalizationWorkload.from_model(model_config, seq_len=seq, haan_config=haan_config)
+            report = accelerator.workload_latency(workload)
+            cells.append(f"{report.latency_us:.0f}us ({report.latency_seconds / reference[seq]:.2f}x)")
+        power = accelerator.power(
+            NormalizationWorkload.from_model(model_config, seq_len=seq_lens[0], haan_config=haan_config)
+        )
+        cells.append(f"{power.total_w:.2f}")
+        rows.append(cells)
+    for name, baseline in baselines.items():
+        cells = [name]
+        for seq in seq_lens:
+            workload = NormalizationWorkload.from_model(model_config, seq_len=seq, haan_config=haan_config)
+            report = baseline.workload_latency(workload)
+            cells.append(f"{report.latency_seconds * 1e6:.0f}us ({report.latency_seconds / reference[seq]:.2f}x)")
+        cells.append(f"{baseline.nominal_power_w:.2f}")
+        rows.append(cells)
+
+    headers = ["design"] + [f"seq={s}" for s in seq_lens] + ["power (W)"]
+    print(format_table(headers, rows, title="Normalization latency (normalized to HAAN-v1) and power"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Design-space exploration of the HAAN accelerator on an OPT-style workload.
+
+The paper hand-picks three configurations (HAAN-v1/v2/v3, Section V-B) and
+argues that choosing ``(p_d, p_n)`` to balance the pipeline stages maximises
+hardware utilization.  This example automates that choice:
+
+1. sweep datapath widths and number formats over the OPT-2.7B normalization
+   workload (7 skipped layers, N_sub = 1280, as in Figure 8(b)),
+2. reject configurations that do not fit the Alveo U280 or close timing at
+   100 MHz,
+3. print the latency/power Pareto frontier with pipeline balance, and
+4. show where the paper's named configurations land and check energy and
+   roofline behaviour.
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.core import paper_config_for
+from repro.hardware import (
+    HAAN_V1,
+    HAAN_V3,
+    DesignSpaceExplorer,
+    EnergyModel,
+    NormalizationWorkload,
+    TimingModel,
+    U280_HBM,
+    roofline_analysis,
+)
+from repro.hardware.workload import NormalizationWorkload as Workload
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    haan_cfg = paper_config_for("opt-2.7b")
+    workload = Workload.from_model_name("opt-2.7b", seq_len=256, haan_config=haan_cfg)
+    print(f"Workload: {workload.model_name}, embedding dim {workload.embedding_dim}, "
+          f"{workload.num_norm_layers} norm layers "
+          f"({workload.num_skipped_layers} skipped), seq len {workload.seq_len}")
+
+    print("\n== 1. Sweep (p_d, p_n) x format ==")
+    explorer = DesignSpaceExplorer()
+    result = explorer.explore(workload)
+    print(f"   evaluated {len(result.points)} configurations, "
+          f"{len(result.feasible_points)} feasible on the U280 at 100 MHz")
+
+    print("\n== 2. Latency/power Pareto frontier ==")
+    rows = []
+    for point in result.pareto_frontier():
+        rows.append([
+            point.config.name,
+            f"{point.latency_us:.1f}",
+            f"{point.power_w:.2f}",
+            f"{point.energy_nj / 1e6:.2f}",
+            f"{point.pipeline_balance:.2f}",
+            "yes" if point.memory_bound else "no",
+        ])
+    print(format_table(
+        ["config", "latency (us)", "power (W)", "energy (mJ)", "balance", "memory bound"],
+        rows,
+        title="Pareto-optimal configurations",
+    ))
+
+    print("\n== 3. Where the paper's configurations land ==")
+    rows = []
+    for config in (HAAN_V1, HAAN_V3):
+        point = explorer.evaluate(config, workload)
+        rows.append([
+            config.name,
+            f"{point.latency_us:.1f}",
+            f"{point.power_w:.2f}",
+            f"{point.pipeline_balance:.2f}",
+            "yes" if point.feasible else "no",
+        ])
+    print(format_table(
+        ["config", "latency (us)", "power (W)", "balance", "feasible"], rows,
+    ))
+
+    print("\n== 4. Timing, energy and roofline for HAAN-v1 ==")
+    timing = TimingModel().estimate(HAAN_V1)
+    print(f"   critical path {timing.critical_path_ns:.2f} ns in '{timing.critical_unit}' "
+          f"-> max clock {timing.max_frequency_mhz:.0f} MHz "
+          f"(paper clock: 100 MHz, slack {timing.slack_ns_at_100mhz:.2f} ns)")
+    energy = EnergyModel().estimate(HAAN_V1, workload)
+    shares = ", ".join(f"{unit} {energy.share(unit) * 100:.0f}%" for unit in energy.per_unit_nj)
+    print(f"   energy {energy.total_nj / 1e6:.2f} mJ per forward pass ({shares})")
+    roofline = roofline_analysis(HAAN_V1, workload, U280_HBM)
+    bound = "memory" if roofline.memory_bound else "compute"
+    print(f"   arithmetic intensity {roofline.arithmetic_intensity:.2f} ops/byte -> {bound}-bound "
+          f"on {roofline.memory_system}")
+
+    best = result.best_energy_delay()
+    print(f"\nLowest energy-delay product: {best.config.name} "
+          f"({best.latency_us:.1f} us, {best.power_w:.2f} W)")
+
+
+if __name__ == "__main__":
+    main()

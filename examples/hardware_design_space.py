@@ -1,0 +1,74 @@
+"""Design-space exploration of the HAAN accelerator configuration.
+
+Sweeps the (p_d, p_n) datapath widths and the input data format, and for
+each build reports FPGA resources, power, latency on a GPT-2 workload and
+energy per forward pass -- the Table III / Section V-B.1 analysis extended
+into a small design-space exploration, including the subsampling-aware
+balancing rule the paper describes (reduce p_d when N_sub shrinks and spend
+the saved DSPs on normalization throughput).
+
+Run with:  python examples/hardware_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.core import HaanConfig
+from repro.hardware import AcceleratorConfig, HaanAccelerator, NormalizationWorkload
+from repro.llm import get_model_config
+from repro.numerics.quantization import DataFormat
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    model_config = get_model_config("gpt2-1.5b")
+    seq_len = 256
+    subsample = model_config.hidden_size // 2
+    haan_config = HaanConfig(
+        skip_range=(model_config.num_norm_layers - 12, model_config.num_norm_layers - 2),
+        subsample_length=subsample,
+    )
+    workload = NormalizationWorkload.from_model(model_config, seq_len=seq_len, haan_config=haan_config)
+
+    widths = [(32, 128), (64, 128), (128, 128), (80, 160), (128, 256), (256, 256)]
+    formats = (DataFormat.INT8, DataFormat.FP16, DataFormat.FP32)
+
+    rows = []
+    best = None
+    for fmt in formats:
+        for stats_width, norm_width in widths:
+            config = AcceleratorConfig(
+                name=f"{fmt.value}-{stats_width}-{norm_width}",
+                stats_width=stats_width,
+                norm_width=norm_width,
+                data_format=fmt,
+            )
+            accelerator = HaanAccelerator(config)
+            resources = accelerator.resources()
+            latency = accelerator.workload_latency(workload)
+            power = accelerator.power(workload)
+            energy_mj = accelerator.energy(workload) * 1e3
+            rows.append(
+                [
+                    fmt.value.upper(),
+                    f"({stats_width}, {norm_width})",
+                    f"{resources.dsp}",
+                    f"{resources.lut // 1000}K",
+                    f"{latency.latency_us:.0f}",
+                    f"{power.total_w:.2f}",
+                    f"{energy_mj:.2f}",
+                    latency.bottleneck_stage,
+                ]
+            )
+            if best is None or energy_mj < best[1]:
+                best = (config.name, energy_mj)
+
+    print(format_table(
+        ["format", "(p_d, p_n)", "DSP", "LUT", "latency (us)", "power (W)", "energy (mJ)", "bottleneck"],
+        rows,
+        title=f"GPT2-1.5B normalization workload, seq={seq_len}, N_sub={subsample}",
+    ))
+    print(f"\nLowest-energy build: {best[0]} ({best[1]:.2f} mJ per forward pass)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Study of the ISD-skipping algorithm across models and configurations.
+
+Reproduces the Section III-A / Table II style analysis on the LLaMA-7B
+analogue (or any built-in model):
+
+* profiles the per-layer ISD and prints the log-domain curve (Figure 2),
+* runs Algorithm 1 with several window sizes and shows where the skip range
+  lands and how linear the chosen window is,
+* quantifies the log-ISD prediction error of skipping early / middle / late
+  ranges (why Table II's (10,20) and (30,40) ranges hurt), and
+* sweeps the subsample length and reports the ISD estimation error
+  (equation (4)) and the perplexity impact on the small model.
+
+Run with:  python examples/isd_skipping_study.py [model-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import (
+    SubsampleSettings,
+    estimation_error,
+    find_skip_range,
+    prediction_error,
+    profile_model_isd,
+)
+from repro.core.calibration import CalibrationSettings, build_haan_model
+from repro.eval.perplexity import evaluate_perplexity
+from repro.llm import TransformerModel
+from repro.llm.datasets import calibration_texts, perplexity_texts
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "llama-7b"
+    print(f"== ISD profile of {model_name} ==")
+    model = TransformerModel.from_name(model_name)
+    profile = profile_model_isd(model, calibration_texts(10), max_seq_len=32)
+    log_isd = profile.mean_log_isd()
+    step = max(1, profile.num_layers // 16)
+    print(format_table(
+        ["layer", "mean log ISD"],
+        [[i, f"{log_isd[i]:.3f}"] for i in range(0, profile.num_layers, step)],
+    ))
+    print(f"tail (last third) Pearson correlation with depth: {profile.tail_linearity(0.33):.4f}")
+
+    print("\n== Algorithm 1 across window sizes ==")
+    rows = []
+    for window in (4, 8, 12):
+        if window + 1 >= profile.num_layers:
+            continue
+        result = find_skip_range(log_isd, window=window, min_start=profile.num_layers // 2)
+        rows.append([window, str(result.skip_range), f"{result.correlation:.4f}", f"{result.decay:.4f}"])
+    print(format_table(["window M", "skip range", "Pearson", "decay e"], rows))
+
+    print("\n== Why early/middle skip ranges hurt (log-ISD prediction error) ==")
+    num_layers = profile.num_layers
+    candidate_ranges = [
+        (int(0.15 * num_layers), int(0.30 * num_layers)),
+        (int(0.45 * num_layers), int(0.60 * num_layers)),
+        (int(0.78 * num_layers), int(0.93 * num_layers)),
+    ]
+    rows = []
+    for start, end in candidate_ranges:
+        from repro.core.skipping import SkipSearchResult, cal_decay
+
+        decay = cal_decay(log_isd[start : end + 1])
+        result = SkipSearchResult(
+            skip_range=(start, end), correlation=0.0, decay=decay, anchor_log_isd=float(log_isd[start])
+        )
+        errors = prediction_error(log_isd, result)
+        rows.append([f"({start}, {end})", f"{np.max(errors):.4f}", f"{np.mean(errors):.4f}"])
+    print(format_table(["skip range", "max |log-ISD error|", "mean |log-ISD error|"], rows))
+
+    print("\n== Subsample length sweep (equation (4) estimation error) ==")
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(3, model.config.vocab_size, size=(4, 24))
+    hidden = model.forward_hidden(tokens).reshape(-1, model.config.sim_hidden_size)
+    rows = []
+    for length in (8, 16, 32, 64, 128, model.config.sim_hidden_size):
+        if length > model.config.sim_hidden_size:
+            continue
+        isd_err, mean_err = estimation_error(hidden, SubsampleSettings(length=length), kind=model.config.norm_kind)
+        rows.append([length, f"{isd_err * 100:.2f}%", f"{mean_err * 100:.2f}%"])
+    print(format_table(["N_sub (sim elements)", "ISD rel. RMS error", "mean rel. RMS error"], rows))
+
+    print("\n== Perplexity impact of the full HAAN pipeline (small model) ==")
+    reference = TransformerModel.from_name("tiny")
+    texts = perplexity_texts(6)
+    ref_ppl = evaluate_perplexity(reference, texts, max_seq_len=32)
+    haan_model, calibration, config = build_haan_model(
+        "tiny", settings=CalibrationSettings(window=3, max_seq_len=24, num_samples=8)
+    )
+    haan_ppl = evaluate_perplexity(haan_model, texts, max_seq_len=32)
+    print(f"skip range {config.skip_range} (decay {calibration.decay:.4f}); "
+          f"PPL original {ref_ppl.perplexity:.2f} -> HAAN {haan_ppl.perplexity:.2f}")
+
+
+if __name__ == "__main__":
+    main()

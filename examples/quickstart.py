@@ -1,0 +1,80 @@
+"""Quickstart: calibrate HAAN on a model and compare it to the reference.
+
+This example walks through the complete HAAN flow on the small built-in
+model so it runs in a few seconds:
+
+1. build a model and profile its per-layer ISD statistics (Figure 2),
+2. run Algorithm 1 to find the skip range and fit the log-linear predictor,
+3. install the HAAN normalization layers (skipping + subsampling + INT8),
+4. check that the model's outputs and perplexity barely change, and
+5. estimate the latency/power of the HAAN accelerator on this workload.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HaanConfig, apply_haan, calibrate_model, CalibrationSettings
+from repro.eval.perplexity import evaluate_perplexity
+from repro.hardware import HAAN_V1, HaanAccelerator, NormalizationWorkload
+from repro.llm import TransformerModel
+from repro.llm.datasets import calibration_texts, perplexity_texts
+from repro.numerics.quantization import DataFormat
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    model_name = "tiny"
+    print(f"== 1. Build the reference model ({model_name}) ==")
+    reference = TransformerModel.from_name(model_name)
+    print(f"   {reference.num_norm_layers} normalization layers, "
+          f"{reference.weights.num_parameters:,} simulated parameters")
+
+    print("== 2. Calibrate: profile ISDs and run Algorithm 1 ==")
+    calibration = calibrate_model(
+        reference,
+        texts=calibration_texts(16),
+        settings=CalibrationSettings(window=3, max_seq_len=32, min_start_fraction=0.4),
+    )
+    log_isd = calibration.profile.mean_log_isd()
+    print(format_table(
+        ["layer", "mean log ISD"],
+        [[i, f"{v:.3f}"] for i, v in enumerate(log_isd)],
+    ))
+    print(f"   skip range (i_f, j_f) = {calibration.skip_range}, "
+          f"decay e = {calibration.decay:.4f}, "
+          f"max log-ISD prediction error = {calibration.max_prediction_error():.4f}")
+
+    print("== 3. Install HAAN layers (skip + subsample + INT8) ==")
+    haan_model = TransformerModel.from_name(model_name)
+    config = HaanConfig(
+        skip_range=calibration.skip_range,
+        subsample_length=reference.config.hidden_size // 2,
+        data_format=DataFormat.INT8,
+    )
+    installed = apply_haan(haan_model, config, predictor=calibration.predictor)
+    skipped = sum(1 for layer in installed if layer.is_skipped)
+    print(f"   replaced {len(installed)} layers, {skipped} of them ISD-skipped")
+
+    print("== 4. Compare outputs and perplexity ==")
+    texts = perplexity_texts(6)
+    ref_ppl = evaluate_perplexity(reference, texts, max_seq_len=32, label="original")
+    haan_ppl = evaluate_perplexity(haan_model, texts, max_seq_len=32, label="haan")
+    tokens = np.arange(3, 23)[None, :]
+    drift = np.max(np.abs(haan_model.forward(tokens) - reference.forward(tokens)))
+    print(f"   perplexity: original {ref_ppl.perplexity:.2f}  vs  HAAN {haan_ppl.perplexity:.2f}")
+    print(f"   max logit drift on a probe sequence: {drift:.4f}")
+
+    print("== 5. Accelerator latency / power on this workload ==")
+    accelerator = HaanAccelerator(HAAN_V1)
+    workload = NormalizationWorkload.from_model(reference.config, seq_len=128, haan_config=config)
+    latency = accelerator.workload_latency(workload)
+    power = accelerator.power(workload)
+    print(f"   HAAN-v1: {latency.total_cycles} cycles = {latency.latency_us:.1f} us, "
+          f"{power.total_w:.2f} W, bottleneck stage: {latency.bottleneck_stage}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Cycle-accurate RTL simulation of the HAAN datapath on one token.
+
+The functional accelerator model answers "what does HAAN compute and how
+many cycles does it charge"; the RTL model in :mod:`repro.hardware.rtl`
+answers "what does the datapath do on every clock edge".  This example:
+
+1. builds the RTL row processor (statistics calculator, square root
+   inverter, normalization unit behind the controller FSM of Figure 3),
+2. processes the same embedding row four ways -- full computation,
+   subsampled statistics, predicted ISD (the skipping path), and RMSNorm --
+3. compares every output against the NumPy reference and reports the cycle
+   counts, and
+4. dumps a VCD waveform of the full-computation run for inspection in
+   GTKWave.
+
+Run with:  python examples/rtl_simulation_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.rtl import HaanRowProcessorRtl
+from repro.hdl import Simulator, VcdWriter
+from repro.utils.tables import format_table
+
+
+def reference_layernorm(row: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    mean = row.mean()
+    return (row - mean) / np.sqrt(row.var() + eps)
+
+
+def process(dut: HaanRowProcessorRtl, sim: Simulator, row, gamma, beta, **kwargs):
+    dut.load_row(row, gamma, beta, **kwargs)
+    sim.run_until(lambda s: dut.finished, max_cycles=20_000)
+    return dut.result
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    embedding_dim = 128
+    row = rng.normal(0.0, 1.3, size=embedding_dim)
+    gamma = np.ones(embedding_dim)
+    beta = np.zeros(embedding_dim)
+    reference = reference_layernorm(row)
+
+    print("== RTL row processor: (p_d, p_n) = (16, 16), LayerNorm ==")
+    dut = HaanRowProcessorRtl(stats_width=16, norm_width=16)
+    writer = VcdWriter("haan_row.vcd")
+    writer.declare_signals(dut.hierarchical_signals())
+    sim = Simulator(dut, vcd=writer)
+
+    rows = []
+    full = process(dut, sim, row, gamma, beta)
+    rows.append(["full computation", full.cycles,
+                 f"{np.max(np.abs(full.output - reference)):.2e}", f"{full.isd:.4f}"])
+
+    sub = process(dut, sim, row, gamma, beta, subsample_length=32)
+    sub_reference = (row - row[:32].mean()) / np.sqrt(row[:32].var() + 1e-5)
+    rows.append(["subsampled (N_sub=32)", sub.cycles,
+                 f"{np.max(np.abs(sub.output - sub_reference)):.2e}", f"{sub.isd:.4f}"])
+
+    predicted_isd = float(1.0 / np.sqrt(row.var() + 1e-5))
+    skip = process(dut, sim, row, gamma, beta, predicted_isd=predicted_isd)
+    rows.append(["ISD skipped (predicted)", skip.cycles,
+                 f"{np.max(np.abs(skip.output - reference)):.2e}", f"{skip.isd:.4f}"])
+
+    sim.finalize()
+    print(format_table(
+        ["mode", "cycles", "max |error| vs reference", "ISD used"], rows,
+        title="LayerNorm row, embedding dim 128",
+    ))
+    print("   waveform written to haan_row.vcd")
+
+    print("== RMSNorm row (no mean path) ==")
+    rms_dut = HaanRowProcessorRtl(stats_width=16, norm_width=16, compute_mean=False)
+    rms_sim = Simulator(rms_dut)
+    rms = process(rms_dut, rms_sim, row, gamma, beta)
+    rms_reference = row / np.sqrt(np.mean(row * row) + 1e-5)
+    rms_skip = process(rms_dut, rms_sim, row, gamma, beta,
+                       predicted_isd=float(1.0 / np.sqrt(np.mean(row * row) + 1e-5)))
+    print(format_table(
+        ["mode", "cycles", "max |error| vs reference"],
+        [
+            ["RMSNorm full", rms.cycles, f"{np.max(np.abs(rms.output - rms_reference)):.2e}"],
+            ["RMSNorm skipped", rms_skip.cycles, f"{np.max(np.abs(rms_skip.output - rms_reference)):.2e}"],
+        ],
+    ))
+    print("\nThe skipped/subsampled rows need fewer cycles than the full row,")
+    print("which is exactly where HAAN's latency advantage (Figures 8-9) comes from.")
+
+
+if __name__ == "__main__":
+    main()

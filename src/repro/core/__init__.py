@@ -1,0 +1,103 @@
+"""The HAAN algorithm: ISD skipping, subsampling and quantized normalization.
+
+This package is the paper's primary contribution (Section III): the offline
+calibration flow that finds which normalization statistics can be skipped,
+the log-linear predictor that replaces them at run time, the subsampled
+statistics estimator for the remaining layers, and the
+:class:`~repro.core.haan_norm.HaanNormalization` layer that drops into the
+LLM substrate of :mod:`repro.llm`.
+"""
+
+from repro.core.config import HaanConfig, PAPER_MODEL_SETTINGS, paper_config_for
+from repro.core.isd import (
+    IsdProfile,
+    compute_isd,
+    linear_fit,
+    pearson_correlation,
+    profile_model_isd,
+)
+from repro.core.skipping import (
+    SkipSearchResult,
+    cal_decay,
+    find_skip_range,
+    find_skip_range_from_profile,
+    prediction_error,
+    window_correlation,
+)
+from repro.core.predictor import IsdPredictor
+from repro.core.subsampling import (
+    SubsamplePolicy,
+    SubsampleSettings,
+    estimation_error,
+    select_subsample,
+    subsampled_statistics,
+)
+from repro.core.haan_norm import HaanNormalization
+from repro.core.predictors import (
+    AnchoredLogLinearPredictor,
+    CalibrationMeanPredictor,
+    FlatAnchorPredictor,
+    LeastSquaresPredictor,
+    PredictorEvaluation,
+    evaluate_predictors,
+    rank_strategies,
+)
+from repro.core.error_model import (
+    ErrorPropagationReport,
+    compare_skip_ranges,
+    flip_probability,
+    isd_relative_errors,
+    propagate,
+)
+from repro.core.calibration import (
+    CalibrationResult,
+    CalibrationSettings,
+    apply_haan,
+    build_haan_model,
+    build_predictor_for_range,
+    calibrate_model,
+    restore_reference_norms,
+)
+
+__all__ = [
+    "AnchoredLogLinearPredictor",
+    "CalibrationMeanPredictor",
+    "FlatAnchorPredictor",
+    "LeastSquaresPredictor",
+    "PredictorEvaluation",
+    "evaluate_predictors",
+    "rank_strategies",
+    "ErrorPropagationReport",
+    "compare_skip_ranges",
+    "flip_probability",
+    "isd_relative_errors",
+    "propagate",
+    "HaanConfig",
+    "PAPER_MODEL_SETTINGS",
+    "paper_config_for",
+    "IsdProfile",
+    "compute_isd",
+    "linear_fit",
+    "pearson_correlation",
+    "profile_model_isd",
+    "SkipSearchResult",
+    "cal_decay",
+    "find_skip_range",
+    "find_skip_range_from_profile",
+    "prediction_error",
+    "window_correlation",
+    "IsdPredictor",
+    "SubsamplePolicy",
+    "SubsampleSettings",
+    "estimation_error",
+    "select_subsample",
+    "subsampled_statistics",
+    "HaanNormalization",
+    "CalibrationResult",
+    "CalibrationSettings",
+    "apply_haan",
+    "build_haan_model",
+    "build_predictor_for_range",
+    "calibrate_model",
+    "restore_reference_norms",
+]

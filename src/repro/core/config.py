@@ -1,0 +1,137 @@
+"""HAAN algorithm configuration.
+
+Collects the three algorithmic knobs the paper exposes (Section III and the
+Table II ablation):
+
+* the ISD **skip range** ``(i_f, j_f)`` found by Algorithm 1,
+* the **subsample length** ``N_sub`` used for the remaining statistics, and
+* the operand **data format** (INT8 / FP16 / FP32).
+
+The per-model settings quoted in Section V-A are reproduced in
+:data:`PAPER_MODEL_SETTINGS` so benchmarks can run exactly the
+configurations of Tables I and II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.numerics.quantization import DataFormat
+
+
+@dataclass(frozen=True)
+class HaanConfig:
+    """Algorithm-level configuration of HAAN for one model.
+
+    Attributes
+    ----------
+    skip_range:
+        ``(i_f, j_f)`` layer-index pair from Algorithm 1.  Layers with index
+        ``i_f < k <= j_f`` have their ISD predicted rather than computed;
+        layer ``i_f`` itself is computed because its ISD anchors the
+        prediction (equation (3)).  ``None`` disables skipping.
+    subsample_length:
+        ``N_sub``: number of leading input elements used to estimate the
+        statistics of non-skipped layers (equation (4)).  Expressed against
+        the *real* model hidden size; ``None`` disables subsampling.
+    data_format:
+        Storage format of the normalization operands.
+    subsample_mean:
+        Whether the mean (LayerNorm only) is also estimated from the
+        subsample, as Section III-C describes.
+    use_hardware_inv_sqrt:
+        When True the ISD of computed layers goes through the accelerator's
+        fast-inverse-square-root path (bit hack + Newton) instead of an
+        exact ``1/sqrt``; used to validate that the hardware numerics do not
+        change accuracy.
+    newton_iterations:
+        Newton refinement steps of the hardware inverse square root.
+    """
+
+    skip_range: Optional[Tuple[int, int]] = None
+    subsample_length: Optional[int] = None
+    data_format: DataFormat = DataFormat.FP32
+    subsample_mean: bool = True
+    use_hardware_inv_sqrt: bool = False
+    newton_iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.skip_range is not None:
+            start, end = self.skip_range
+            if start < 0 or end < start:
+                raise ValueError(f"invalid skip range {self.skip_range}")
+        if self.subsample_length is not None and self.subsample_length <= 0:
+            raise ValueError("subsample_length must be positive")
+        if self.newton_iterations < 0:
+            raise ValueError("newton_iterations must be non-negative")
+
+    @property
+    def skipping_enabled(self) -> bool:
+        """True when an ISD skip range is configured."""
+        return self.skip_range is not None
+
+    @property
+    def subsampling_enabled(self) -> bool:
+        """True when statistics are estimated from a truncated input."""
+        return self.subsample_length is not None
+
+    def num_skipped_layers(self) -> int:
+        """Number of layers whose ISD is predicted rather than computed."""
+        if self.skip_range is None:
+            return 0
+        start, end = self.skip_range
+        return end - start
+
+    def is_skipped(self, layer_index: int) -> bool:
+        """Whether the layer at ``layer_index`` has its ISD predicted."""
+        if self.skip_range is None:
+            return False
+        start, end = self.skip_range
+        return start < layer_index <= end
+
+    def with_overrides(self, **kwargs) -> "HaanConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def disabled(cls) -> "HaanConfig":
+        """A configuration with every optimization turned off (the baseline)."""
+        return cls(skip_range=None, subsample_length=None, data_format=DataFormat.FP32)
+
+
+#: Per-model settings from Section V-A of the paper.
+PAPER_MODEL_SETTINGS: Dict[str, HaanConfig] = {
+    # "for the LLaMA-7B model, we utilize the first Nsub = 256 input sample
+    #  with a skip range of (50, 60) ... INT8 quantization over the input"
+    "llama-7b": HaanConfig(
+        skip_range=(50, 60),
+        subsample_length=256,
+        data_format=DataFormat.INT8,
+    ),
+    # "For OPT-2.7B model, we utilize the first Nsub = 1280, with the skip
+    #  range adjusted to (55, 62), and FP16 precision"
+    "opt-2.7b": HaanConfig(
+        skip_range=(55, 62),
+        subsample_length=1280,
+        data_format=DataFormat.FP16,
+    ),
+    # "The GPT2-1.5B model is configured with a Nsub = 800 and a skip range
+    #  of (85, 92), also utilizing FP16 precision."
+    "gpt2-1.5b": HaanConfig(
+        skip_range=(85, 92),
+        subsample_length=800,
+        data_format=DataFormat.FP16,
+    ),
+}
+
+
+def paper_config_for(model_name: str) -> HaanConfig:
+    """The paper's HAAN configuration for a given model name."""
+    key = model_name.strip().lower()
+    if key not in PAPER_MODEL_SETTINGS:
+        raise KeyError(
+            f"no paper configuration for {model_name!r}; "
+            f"available: {sorted(PAPER_MODEL_SETTINGS)}"
+        )
+    return PAPER_MODEL_SETTINGS[key]

@@ -1,0 +1,135 @@
+"""The HAAN normalization layer.
+
+:class:`HaanNormalization` is a drop-in replacement for the reference
+:class:`~repro.llm.normalization.LayerNorm` / ``RMSNorm`` layers that applies
+the three optimizations of Section III:
+
+1. **ISD skipping** -- if the layer lies inside the calibrated skip range,
+   the ISD is predicted from the anchor layer's ISD via the log-linear
+   predictor instead of being computed.
+2. **Subsampling** -- otherwise the statistics are estimated from the first
+   ``N_sub`` elements of the input (equation (4)).
+3. **Quantization** -- the input is first rounded through the configured
+   storage format (INT8 / FP16 / FP32), and the ISD of computed layers can
+   optionally be produced by the accelerator's fast-inverse-square-root
+   path instead of an exact ``1/sqrt``.
+
+The layer shares the affine parameters of the layer it replaces, so
+installing HAAN never changes the model's weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.predictor import IsdPredictor
+from repro.core.subsampling import SubsampleSettings, subsampled_statistics
+from repro.llm.config import NormKind
+from repro.llm.hooks import ActivationContext
+from repro.llm.normalization import BaseNorm
+from repro.numerics.fast_inv_sqrt import FastInvSqrt
+from repro.numerics.quantization import DataFormat, storage_round_trip
+
+
+class HaanNormalization(BaseNorm):
+    """Normalization layer with HAAN's skip / subsample / quantize pipeline."""
+
+    def __init__(
+        self,
+        base: BaseNorm,
+        predictor: Optional[IsdPredictor] = None,
+        subsample: Optional[SubsampleSettings] = None,
+        data_format: DataFormat = DataFormat.FP32,
+        subsample_mean: bool = True,
+        use_hardware_inv_sqrt: bool = False,
+        newton_iterations: int = 1,
+    ):
+        super().__init__(
+            hidden_size=base.hidden_size,
+            layer_index=base.layer_index,
+            name=base.name,
+            gamma=base.gamma,
+            beta=base.beta,
+            eps=base.eps,
+        )
+        self.kind = base.kind
+        self.base = base
+        self.predictor = predictor
+        self.subsample = subsample
+        self.data_format = data_format
+        self.subsample_mean = subsample_mean
+        self.use_hardware_inv_sqrt = use_hardware_inv_sqrt
+        self.inv_sqrt_unit = FastInvSqrt(newton_iterations=newton_iterations)
+        self._predicted_last = False
+        self._subsampled_last = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def is_skipped(self) -> bool:
+        """Whether this layer's ISD is predicted rather than computed."""
+        return self.predictor is not None and self.predictor.covers(self.layer_index)
+
+    def _last_was_predicted(self) -> bool:
+        return self._predicted_last
+
+    def _last_was_subsampled(self) -> bool:
+        return self._subsampled_last
+
+    # -- forward -------------------------------------------------------------
+
+    def __call__(self, x: np.ndarray, context: Optional[ActivationContext] = None) -> np.ndarray:
+        """Quantize the input through the storage format, then normalize."""
+        arr = np.asarray(x, dtype=np.float64)
+        quantized = storage_round_trip(arr, self.data_format)
+        return super().__call__(quantized.reshape(arr.shape), context)
+
+    def compute_statistics(
+        self, rows: np.ndarray, context: Optional[ActivationContext] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        self._predicted_last = False
+        self._subsampled_last = False
+        if self.is_skipped:
+            return self._predicted_statistics(rows, context)
+        return self._computed_statistics(rows)
+
+    # -- skipped layers: predict the ISD ---------------------------------
+
+    def _predicted_statistics(
+        self, rows: np.ndarray, context: Optional[ActivationContext]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        self._predicted_last = True
+        isd = self.predictor.predict_from_context(context, self.layer_index, rows.shape[0])
+        mean = self._mean_only(rows)
+        return mean, isd
+
+    def _mean_only(self, rows: np.ndarray) -> np.ndarray:
+        """Mean of a skipped layer (RMSNorm never re-centers; LayerNorm may subsample)."""
+        if self.kind is NormKind.RMSNORM:
+            return np.zeros(rows.shape[0])
+        if self.subsample is not None and self.subsample_mean:
+            self._subsampled_last = True
+            length = min(self.subsample.length, rows.shape[1])
+            return rows[:, :length].mean(axis=1)
+        return rows.mean(axis=1)
+
+    # -- computed layers: subsample and/or hardware inverse sqrt -------------
+
+    def _computed_statistics(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if self.subsample is not None:
+            self._subsampled_last = True
+            mean, isd = subsampled_statistics(
+                rows,
+                self.subsample,
+                kind=self.kind,
+                eps=self.eps,
+                subsample_mean=self.subsample_mean,
+            )
+        else:
+            mean, isd = self.base.compute_statistics(rows)
+        if self.use_hardware_inv_sqrt:
+            variance = 1.0 / np.square(isd) - self.eps
+            isd = self.inv_sqrt_unit.compute(np.maximum(variance, 0.0) + self.eps)
+        return mean, isd

@@ -1,0 +1,106 @@
+"""Log-linear ISD predictor (paper equation (3)).
+
+Once Algorithm 1 has selected the skip range ``(i_f, j_f)`` and the decay
+coefficient ``e``, the ISD of a skipped layer ``k`` is predicted from the
+ISD measured at the anchor layer ``i_f`` *for the same token*:
+
+``log(ISD_k) = log(ISD_i) + e * (k - i)``
+
+In the accelerator this prediction is performed by a small scalar unit
+(Section IV-B); here :class:`IsdPredictor` is the algorithmic model shared
+by the software evaluation and the hardware simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.skipping import SkipSearchResult
+from repro.llm.hooks import ActivationContext
+
+
+@dataclass(frozen=True)
+class IsdPredictor:
+    """Predicts the ISD of skipped layers from the anchor layer's ISD.
+
+    Attributes
+    ----------
+    anchor_layer:
+        ``i_f`` -- the last layer before the skip region whose ISD is
+        actually computed.
+    last_layer:
+        ``j_f`` -- the last layer whose ISD is predicted.
+    decay:
+        Per-layer slope ``e`` of ``log(ISD)``.
+    anchor_log_isd:
+        Calibration-set mean ``log(ISD)`` of the anchor layer, used as a
+        fallback when a caller cannot supply the runtime anchor ISD.
+    """
+
+    anchor_layer: int
+    last_layer: int
+    decay: float
+    anchor_log_isd: float
+
+    def __post_init__(self) -> None:
+        if self.last_layer < self.anchor_layer:
+            raise ValueError("last_layer must be >= anchor_layer")
+
+    @property
+    def skip_range(self) -> tuple[int, int]:
+        """The ``(i_f, j_f)`` pair this predictor serves."""
+        return (self.anchor_layer, self.last_layer)
+
+    def covers(self, layer_index: int) -> bool:
+        """Whether this predictor can produce the ISD of ``layer_index``."""
+        return self.anchor_layer < layer_index <= self.last_layer
+
+    def predict_from_anchor(self, anchor_isd: np.ndarray, layer_index: int) -> np.ndarray:
+        """Predict the per-token ISD of a layer from the anchor layer's ISD."""
+        if not self.covers(layer_index):
+            raise ValueError(
+                f"layer {layer_index} is outside the skip range {self.skip_range}"
+            )
+        anchor = np.asarray(anchor_isd, dtype=np.float64)
+        offset = layer_index - self.anchor_layer
+        return np.exp(np.log(anchor) + self.decay * offset)
+
+    def predict_scalar(self, layer_index: int) -> float:
+        """Predict a single ISD value from the calibration anchor (fallback path)."""
+        if not self.covers(layer_index):
+            raise ValueError(
+                f"layer {layer_index} is outside the skip range {self.skip_range}"
+            )
+        offset = layer_index - self.anchor_layer
+        return float(np.exp(self.anchor_log_isd + self.decay * offset))
+
+    def predict_from_context(
+        self,
+        context: Optional[ActivationContext],
+        layer_index: int,
+        num_rows: int,
+    ) -> np.ndarray:
+        """Predict per-token ISDs using the anchor ISD stored in the context.
+
+        Falls back to the calibration-set anchor when the context is absent
+        or does not hold the anchor layer (e.g. a unit test calling a single
+        normalization layer in isolation).
+        """
+        anchor_isd = context.isd_of(self.anchor_layer) if context is not None else None
+        if anchor_isd is None or anchor_isd.shape[0] != num_rows:
+            return np.full(num_rows, self.predict_scalar(layer_index))
+        return self.predict_from_anchor(anchor_isd, layer_index)
+
+    @classmethod
+    def from_search_result(cls, result: SkipSearchResult) -> "IsdPredictor":
+        """Build a predictor from an Algorithm 1 search result."""
+        start, end = result.skip_range
+        return cls(
+            anchor_layer=start,
+            last_layer=end,
+            decay=result.decay,
+            anchor_log_isd=result.anchor_log_isd,
+        )

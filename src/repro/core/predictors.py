@@ -1,0 +1,182 @@
+"""Alternative ISD prediction strategies and their comparison.
+
+The paper's predictor (equation (3)) anchors on the measured ISD of layer
+``i_f`` and extrapolates with a single calibration-time slope.  That is one
+point in a small design space; this module implements the natural
+alternatives so the choice can be ablated:
+
+* :class:`AnchoredLogLinearPredictor` -- the paper's scheme (runtime anchor
+  + calibration slope).
+* :class:`CalibrationMeanPredictor` -- fully static: every skipped layer is
+  predicted with its calibration-set mean log-ISD, ignoring the runtime
+  anchor.  Cheapest hardware (a constant per layer) but blind to per-token
+  variation.
+* :class:`LeastSquaresPredictor` -- fits a per-token least-squares line over
+  a window of layers before the skip range and extrapolates it; more
+  runtime work (the window ISDs must all be computed) for a potentially
+  better slope.
+* :class:`FlatAnchorPredictor` -- uses the runtime anchor but no slope
+  (decay = 0), isolating how much of the accuracy comes from the slope
+  versus from the anchor.
+
+:func:`evaluate_predictors` measures each strategy's log-domain prediction
+error over a measured :class:`~repro.core.isd.IsdProfile`, which is the
+quantity the skip-range ablation of Table II ultimately depends on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.isd import IsdProfile, linear_fit
+
+
+class IsdPredictionStrategy(abc.ABC):
+    """A rule that predicts log-ISD of skipped layers for each token."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def predict_log_isd(self, profile: IsdProfile, skip_range: tuple[int, int]) -> np.ndarray:
+        """Predicted ``log(ISD)`` for layers ``skip_range[0]+1 .. skip_range[1]``.
+
+        Returns an array of shape ``(num_tokens, num_skipped_layers)``.
+        """
+
+
+def _skipped_layers(skip_range: tuple[int, int]) -> np.ndarray:
+    start, end = skip_range
+    return np.arange(start + 1, end + 1)
+
+
+@dataclass
+class AnchoredLogLinearPredictor(IsdPredictionStrategy):
+    """The paper's equation (3): runtime anchor plus calibration slope."""
+
+    decay: float
+    name: str = "anchored-log-linear"
+
+    def predict_log_isd(self, profile: IsdProfile, skip_range: tuple[int, int]) -> np.ndarray:
+        start, _ = skip_range
+        layers = _skipped_layers(skip_range)
+        anchor = np.log(profile.isd_matrix[:, start])[:, None]
+        offsets = (layers - start)[None, :]
+        return anchor + self.decay * offsets
+
+
+@dataclass
+class FlatAnchorPredictor(IsdPredictionStrategy):
+    """Runtime anchor with no extrapolation slope (decay ablation)."""
+
+    name: str = "flat-anchor"
+
+    def predict_log_isd(self, profile: IsdProfile, skip_range: tuple[int, int]) -> np.ndarray:
+        start, _ = skip_range
+        layers = _skipped_layers(skip_range)
+        anchor = np.log(profile.isd_matrix[:, start])[:, None]
+        return np.repeat(anchor, layers.size, axis=1)
+
+
+@dataclass
+class CalibrationMeanPredictor(IsdPredictionStrategy):
+    """Static per-layer constants measured on a calibration profile."""
+
+    calibration_profile: IsdProfile
+    name: str = "calibration-mean"
+
+    def predict_log_isd(self, profile: IsdProfile, skip_range: tuple[int, int]) -> np.ndarray:
+        layers = _skipped_layers(skip_range)
+        means = self.calibration_profile.mean_log_isd()[layers]
+        return np.repeat(means[None, :], profile.num_tokens, axis=0)
+
+
+@dataclass
+class LeastSquaresPredictor(IsdPredictionStrategy):
+    """Per-token least-squares fit over a window of pre-skip layers."""
+
+    window: int = 8
+    name: str = "least-squares-window"
+
+    def predict_log_isd(self, profile: IsdProfile, skip_range: tuple[int, int]) -> np.ndarray:
+        start, _ = skip_range
+        layers = _skipped_layers(skip_range)
+        window_start = max(0, start - self.window + 1)
+        window_layers = np.arange(window_start, start + 1)
+        if window_layers.size < 2:
+            raise ValueError("least-squares predictor needs a window of at least two layers")
+        predictions = np.zeros((profile.num_tokens, layers.size))
+        for token in range(profile.num_tokens):
+            values = np.log(profile.isd_matrix[token, window_layers])
+            slope, intercept = linear_fit(window_layers, values)
+            predictions[token] = slope * layers + intercept
+        return predictions
+
+
+@dataclass(frozen=True)
+class PredictorEvaluation:
+    """Accuracy of one strategy over the skipped layers of a profile."""
+
+    name: str
+    mean_abs_log_error: float
+    max_abs_log_error: float
+    mean_relative_isd_error: float
+
+    def as_row(self) -> list:
+        """Row representation for the table formatter."""
+        return [
+            self.name,
+            f"{self.mean_abs_log_error:.4f}",
+            f"{self.max_abs_log_error:.4f}",
+            f"{self.mean_relative_isd_error * 100:.2f}%",
+        ]
+
+
+def evaluate_strategy(
+    strategy: IsdPredictionStrategy,
+    profile: IsdProfile,
+    skip_range: tuple[int, int],
+) -> PredictorEvaluation:
+    """Measure a strategy's prediction error against a measured profile."""
+    layers = _skipped_layers(skip_range)
+    actual = np.log(profile.isd_matrix[:, layers])
+    predicted = strategy.predict_log_isd(profile, skip_range)
+    if predicted.shape != actual.shape:
+        raise ValueError("strategy returned predictions of the wrong shape")
+    log_error = np.abs(predicted - actual)
+    relative = np.abs(np.exp(predicted) - np.exp(actual)) / np.exp(actual)
+    return PredictorEvaluation(
+        name=strategy.name,
+        mean_abs_log_error=float(np.mean(log_error)),
+        max_abs_log_error=float(np.max(log_error)),
+        mean_relative_isd_error=float(np.mean(relative)),
+    )
+
+
+def evaluate_predictors(
+    profile: IsdProfile,
+    skip_range: tuple[int, int],
+    decay: float,
+    calibration_profile: IsdProfile | None = None,
+    strategies: Sequence[IsdPredictionStrategy] | None = None,
+) -> Dict[str, PredictorEvaluation]:
+    """Compare the standard strategies (or a custom list) on one profile."""
+    if strategies is None:
+        strategies = [
+            AnchoredLogLinearPredictor(decay=decay),
+            FlatAnchorPredictor(),
+            CalibrationMeanPredictor(calibration_profile or profile),
+            LeastSquaresPredictor(),
+        ]
+    results: Dict[str, PredictorEvaluation] = {}
+    for strategy in strategies:
+        results[strategy.name] = evaluate_strategy(strategy, profile, skip_range)
+    return results
+
+
+def rank_strategies(evaluations: Dict[str, PredictorEvaluation]) -> List[str]:
+    """Strategy names ordered from most to least accurate (mean log error)."""
+    return sorted(evaluations, key=lambda name: evaluations[name].mean_abs_log_error)

@@ -1,0 +1,176 @@
+"""ISD skipping search (paper Algorithm 1).
+
+Given the per-layer ISD traces of a calibration set, Algorithm 1 scans all
+layer windows of width ``M``, computes the Pearson correlation between
+``log(ISD)`` and the layer index inside each window, and selects the window
+with the most negative correlation -- i.e. the stretch of layers whose ISD
+is most linearly predictable from depth.  The ``calDecay`` function then
+fits the decay slope ``e`` used by the predictor (equation (3)).
+
+This module implements the algorithm verbatim plus two practical
+extensions that the accelerator configuration can use:
+
+* :func:`find_skip_range` optionally grows the winning window outward while
+  the correlation stays below a threshold, yielding more skipped layers
+  when the linear region is longer than ``M``.
+* a ``min_start`` guard keeps the search away from the earliest layers,
+  which Table II shows must never be skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.isd import IsdProfile, linear_fit, pearson_correlation
+
+
+@dataclass(frozen=True)
+class SkipSearchResult:
+    """Outcome of the Algorithm 1 search.
+
+    Attributes
+    ----------
+    skip_range:
+        ``(i_f, j_f)`` -- the selected window, inclusive on both ends in
+        layer-index units.
+    correlation:
+        The Pearson correlation achieved inside the window (``minCor``).
+    decay:
+        The ``calDecay`` slope ``e`` of ``log(ISD)`` per layer step.
+    anchor_log_isd:
+        Mean ``log(ISD)`` of the anchor layer ``i_f`` over the calibration
+        set, used as a fallback when a runtime context lacks the anchor.
+    """
+
+    skip_range: tuple[int, int]
+    correlation: float
+    decay: float
+    anchor_log_isd: float
+
+    @property
+    def num_skipped(self) -> int:
+        """Number of layers whose ISD computation is skipped (``j_f - i_f``)."""
+        return self.skip_range[1] - self.skip_range[0]
+
+
+def cal_decay(log_isd_window: Sequence[float]) -> float:
+    """The paper's ``calDecay``: linear gradient of log-ISD vs layer-index gap."""
+    values = np.asarray(log_isd_window, dtype=np.float64)
+    if values.size < 2:
+        raise ValueError("calDecay needs at least two layers")
+    slope, _ = linear_fit(np.arange(values.size), values)
+    return float(slope)
+
+
+def window_correlation(log_isd: Sequence[float], start: int, end: int) -> float:
+    """Pearson correlation of ``log(ISD)`` vs layer index over [start, end]."""
+    values = np.asarray(log_isd, dtype=np.float64)[start : end + 1]
+    indices = np.arange(start, end + 1)
+    return pearson_correlation(values, indices)
+
+
+def find_skip_range(
+    log_isd: Sequence[float],
+    window: int,
+    min_start: int = 0,
+    max_end: Optional[int] = None,
+    grow_threshold: Optional[float] = None,
+) -> SkipSearchResult:
+    """Algorithm 1: locate the most negatively-correlated log-ISD window.
+
+    Parameters
+    ----------
+    log_isd:
+        Per-layer mean ``log(ISD)`` over the calibration set (``ISDLists``).
+    window:
+        The skip-range width ``M``.
+    min_start / max_end:
+        Restrict the search to ``[min_start, max_end]`` layer indices.
+    grow_threshold:
+        If given, after the best window is found it is extended one layer at
+        a time on either side while the window correlation stays below this
+        (negative) threshold.
+    """
+    values = np.asarray(log_isd, dtype=np.float64)
+    num_layers = values.size
+    if window < 2:
+        raise ValueError("window must span at least two layers")
+    if num_layers < window + 1:
+        raise ValueError(
+            f"model has {num_layers} normalization layers, fewer than window {window} + 1"
+        )
+    max_end = num_layers - 1 if max_end is None else min(max_end, num_layers - 1)
+    # Clamp the search parameters so small models (fewer layers than the
+    # requested window allows for) still yield a candidate instead of
+    # failing: first shrink the window, then relax the start bound.
+    if min_start > max_end - window:
+        window = max(2, max_end - min_start)
+    if min_start > max_end - window:
+        min_start = max(0, max_end - window)
+
+    min_cor = 1.0
+    best: Optional[tuple[int, int]] = None
+    for start in range(min_start, max_end - window + 1):
+        end = start + window
+        correlation = window_correlation(values, start, end)
+        if correlation < min_cor:
+            min_cor = correlation
+            best = (start, end)
+    if best is None:
+        raise ValueError("no candidate window found; widen the search bounds")
+
+    start, end = best
+    if grow_threshold is not None:
+        # Grow outward while the linearity holds, preferring later layers.
+        while end + 1 <= max_end and window_correlation(values, start, end + 1) <= grow_threshold:
+            end += 1
+        while start - 1 >= min_start and window_correlation(values, start - 1, end) <= grow_threshold:
+            start -= 1
+        min_cor = window_correlation(values, start, end)
+
+    decay = cal_decay(values[start : end + 1])
+    return SkipSearchResult(
+        skip_range=(start, end),
+        correlation=float(min_cor),
+        decay=decay,
+        anchor_log_isd=float(values[start]),
+    )
+
+
+def find_skip_range_from_profile(
+    profile: IsdProfile,
+    window: int,
+    min_start: int = 0,
+    max_end: Optional[int] = None,
+    grow_threshold: Optional[float] = None,
+) -> SkipSearchResult:
+    """Run Algorithm 1 on an :class:`~repro.core.isd.IsdProfile`."""
+    return find_skip_range(
+        profile.mean_log_isd(),
+        window=window,
+        min_start=min_start,
+        max_end=max_end,
+        grow_threshold=grow_threshold,
+    )
+
+
+def prediction_error(
+    log_isd: Sequence[float],
+    result: SkipSearchResult,
+) -> np.ndarray:
+    """Absolute log-domain error of the predictor inside the skip range.
+
+    For each skipped layer ``k`` the predictor produces
+    ``log(ISD_i) + e * (k - i)``; the return value is ``|prediction - truth|``
+    per skipped layer, a direct measure of how safe the skip is.
+    """
+    values = np.asarray(log_isd, dtype=np.float64)
+    start, end = result.skip_range
+    errors = []
+    for k in range(start + 1, end + 1):
+        predicted = values[start] + result.decay * (k - start)
+        errors.append(abs(predicted - values[k]))
+    return np.asarray(errors)

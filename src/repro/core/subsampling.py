@@ -1,0 +1,115 @@
+"""Subsampled statistics estimation (paper equation (4) and Section III-C).
+
+For normalization layers whose ISD cannot be skipped, HAAN estimates the
+statistics from only the first ``N_sub`` elements of each input vector
+("To implement the subsampling operation on the input, we simply truncate
+the first Nsub elements within the input").  The same truncated view also
+feeds the mean computation of LayerNorm.
+
+Besides the paper's truncation policy this module implements a strided
+policy used by the ablation benchmark, to quantify how much the choice of
+subsampling pattern matters for LLM activations (which can have
+position-dependent structure).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.llm.config import NormKind
+
+
+class SubsamplePolicy(enum.Enum):
+    """How the ``N_sub`` elements are chosen from the input vector."""
+
+    #: First ``N_sub`` elements -- the paper's policy (cheapest in hardware,
+    #: it is a simple truncation of the memory stream).
+    TRUNCATE = "truncate"
+    #: Every ``ceil(N / N_sub)``-th element -- costs strided memory access
+    #: but samples the whole vector.
+    STRIDED = "strided"
+
+
+@dataclass(frozen=True)
+class SubsampleSettings:
+    """Subsampling configuration for one normalization layer."""
+
+    length: int
+    policy: SubsamplePolicy = SubsamplePolicy.TRUNCATE
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("subsample length must be positive")
+
+
+def select_subsample(rows: np.ndarray, settings: SubsampleSettings) -> np.ndarray:
+    """Return the subsampled view of a ``(num_rows, hidden)`` array."""
+    arr = np.asarray(rows, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("select_subsample expects a 2-D (rows, hidden) array")
+    hidden = arr.shape[1]
+    length = min(settings.length, hidden)
+    if settings.policy is SubsamplePolicy.TRUNCATE:
+        return arr[:, :length]
+    stride = max(1, hidden // length)
+    picked = arr[:, ::stride]
+    return picked[:, :length]
+
+
+def subsampled_statistics(
+    rows: np.ndarray,
+    settings: SubsampleSettings,
+    kind: NormKind = NormKind.LAYERNORM,
+    eps: float = 1e-5,
+    subsample_mean: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Estimate per-row (mean, ISD) from a subsampled view of the input.
+
+    Implements equation (4): the ISD estimate uses only the ``N_sub``
+    selected elements.  For LayerNorm, when ``subsample_mean`` is False the
+    mean is still computed over the full vector (more accurate but more
+    hardware passes); when True both statistics share the truncated view.
+    """
+    arr = np.asarray(rows, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("subsampled_statistics expects a 2-D (rows, hidden) array")
+    sub = select_subsample(arr, settings)
+    if kind is NormKind.RMSNORM:
+        mean_square = np.mean(np.square(sub), axis=1)
+        isd = 1.0 / np.sqrt(mean_square + eps)
+        return np.zeros(arr.shape[0]), isd
+    mean_source = sub if subsample_mean else arr
+    mean = mean_source.mean(axis=1)
+    variance = sub.var(axis=1)
+    isd = 1.0 / np.sqrt(variance + eps)
+    return mean, isd
+
+
+def estimation_error(
+    rows: np.ndarray,
+    settings: SubsampleSettings,
+    kind: NormKind = NormKind.LAYERNORM,
+    eps: float = 1e-5,
+) -> Tuple[float, float]:
+    """Relative RMS error of the subsampled ISD and mean estimates.
+
+    Used by the ablation analysis to justify the ``N_sub`` choices: the
+    error should fall roughly as ``1/sqrt(N_sub)``.
+    """
+    arr = np.asarray(rows, dtype=np.float64)
+    sub_mean, sub_isd = subsampled_statistics(arr, settings, kind=kind, eps=eps)
+    if kind is NormKind.RMSNORM:
+        exact_spread = np.mean(np.square(arr), axis=1)
+        exact_mean = np.zeros(arr.shape[0])
+    else:
+        exact_spread = arr.var(axis=1)
+        exact_mean = arr.mean(axis=1)
+    exact_isd = 1.0 / np.sqrt(exact_spread + eps)
+    isd_err = float(np.sqrt(np.mean(((sub_isd - exact_isd) / exact_isd) ** 2)))
+    scale = np.maximum(np.abs(exact_mean), 1e-12)
+    mean_err = float(np.sqrt(np.mean(((sub_mean - exact_mean) / scale) ** 2)))
+    return isd_err, mean_err

@@ -1,0 +1,87 @@
+"""Evaluation harnesses and the experiment registry.
+
+Accuracy (Tables I-II), perplexity, the GPU latency breakdown (Figure 1(b)),
+the hardware comparisons (Table III, Figures 8-9), the end-to-end speedup
+estimate and additional ablations -- each exposed as a callable in
+:mod:`repro.eval.experiments` and through the ``haan-experiments`` CLI.
+"""
+
+from repro.eval.accuracy import (
+    AccuracyReport,
+    evaluate_configuration,
+    evaluate_model_on_suite,
+    evaluate_original,
+    prepare_model_evaluation,
+)
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+from repro.eval.perplexity import PerplexityResult, evaluate_perplexity, perplexity_delta
+from repro.eval.tasks import (
+    LabeledItem,
+    LabeledTask,
+    build_labeled_task,
+    build_task_suite,
+    evaluate_task,
+    score_choices,
+)
+from repro.eval.latency_breakdown import (
+    LatencyBreakdown,
+    normalization_share_growth,
+    optimized_breakdown,
+    original_breakdown,
+)
+from repro.eval.end_to_end import (
+    EndToEndResult,
+    amdahl_speedup,
+    average_end_to_end_speedup,
+    end_to_end_speedup,
+)
+from repro.eval.charts import ascii_bar_chart, ascii_line_chart, sparkline
+from repro.eval.generalization import (
+    TransferResult,
+    generalization_study,
+    transfer_penalty,
+)
+from repro.eval.reports import ReportSection, ReproductionReport, build_report
+
+__all__ = [
+    "ReportSection",
+    "ReproductionReport",
+    "build_report",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "sparkline",
+    "TransferResult",
+    "generalization_study",
+    "transfer_penalty",
+    "AccuracyReport",
+    "evaluate_configuration",
+    "evaluate_model_on_suite",
+    "evaluate_original",
+    "prepare_model_evaluation",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "available_experiments",
+    "run_experiment",
+    "PerplexityResult",
+    "evaluate_perplexity",
+    "perplexity_delta",
+    "LabeledItem",
+    "LabeledTask",
+    "build_labeled_task",
+    "build_task_suite",
+    "evaluate_task",
+    "score_choices",
+    "LatencyBreakdown",
+    "normalization_share_growth",
+    "optimized_breakdown",
+    "original_breakdown",
+    "EndToEndResult",
+    "amdahl_speedup",
+    "average_end_to_end_speedup",
+    "end_to_end_speedup",
+]

@@ -1,0 +1,164 @@
+"""Accuracy evaluation harness (paper Tables I and II).
+
+Runs a model (reference or HAAN-configured) over the synthetic task suite
+and reports per-task accuracy, mirroring the lm-eval-harness workflow the
+paper uses.  The heavy lifting (task construction, labelling against the
+reference model, likelihood scoring) lives in :mod:`repro.eval.tasks`; this
+module adds the orchestration used by the Table I / Table II benchmarks:
+
+* :func:`evaluate_original` -- the "Original" rows (free, reuses the
+  reference scores computed during labelling);
+* :func:`evaluate_configuration` -- calibrate, install a
+  :class:`~repro.core.config.HaanConfig` into a fresh copy of the model,
+  evaluate every task; and
+* :class:`AccuracyReport` -- the per-task accuracy table with helpers to
+  compare against the original and format paper-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.core.calibration import (
+    CalibrationResult,
+    apply_haan,
+    build_predictor_for_range,
+    calibrate_model,
+)
+from repro.core.config import HaanConfig
+from repro.eval.tasks import LabeledTask, build_task_suite, evaluate_task
+from repro.llm.datasets import TASK_SHORT_NAMES
+from repro.llm.model import TransformerModel
+
+
+@dataclass
+class AccuracyReport:
+    """Per-task accuracies of one model configuration."""
+
+    label: str
+    model_name: str
+    accuracies: Dict[str, float] = field(default_factory=dict)
+
+    def accuracy(self, task_name: str) -> float:
+        """Accuracy on one task."""
+        return self.accuracies[task_name]
+
+    def mean_accuracy(self) -> float:
+        """Mean accuracy over all evaluated tasks."""
+        if not self.accuracies:
+            return 0.0
+        return sum(self.accuracies.values()) / len(self.accuracies)
+
+    def degradation_vs(self, other: "AccuracyReport") -> Dict[str, float]:
+        """Per-task accuracy drop relative to another report (positive = worse)."""
+        return {
+            task: other.accuracies[task] - acc
+            for task, acc in self.accuracies.items()
+            if task in other.accuracies
+        }
+
+    def max_degradation_vs(self, other: "AccuracyReport") -> float:
+        """Worst per-task accuracy drop relative to another report."""
+        drops = self.degradation_vs(other)
+        return max(drops.values()) if drops else 0.0
+
+    def as_row(self, task_order: Optional[Sequence[str]] = None) -> list:
+        """Format as a paper-style table row (label followed by accuracies)."""
+        tasks = list(task_order) if task_order is not None else sorted(self.accuracies)
+        return [self.label] + [f"{self.accuracies[t]:.4f}" for t in tasks]
+
+    @staticmethod
+    def header(task_order: Sequence[str]) -> list:
+        """Header row matching :meth:`as_row`."""
+        return ["method"] + [TASK_SHORT_NAMES.get(t, t) for t in task_order]
+
+
+def evaluate_original(tasks: Dict[str, LabeledTask], model_name: str) -> AccuracyReport:
+    """Accuracy of the reference (un-approximated) model on every task.
+
+    This is free: the reference scores were already computed while the
+    tasks were labelled.
+    """
+    report = AccuracyReport(label="Original", model_name=model_name)
+    for name, task in tasks.items():
+        report.accuracies[name] = task.reference_accuracy()
+    return report
+
+
+def evaluate_model_on_suite(
+    model: TransformerModel,
+    tasks: Dict[str, LabeledTask],
+    label: str,
+    max_seq_len: int = 48,
+) -> AccuracyReport:
+    """Accuracy of an arbitrary model on an existing labeled suite."""
+    report = AccuracyReport(label=label, model_name=model.config.name)
+    for name, task in tasks.items():
+        report.accuracies[name] = evaluate_task(model, task, max_seq_len=max_seq_len)
+    return report
+
+
+def evaluate_configuration(
+    model_name: str,
+    haan_config: HaanConfig,
+    tasks: Dict[str, LabeledTask],
+    calibration: CalibrationResult,
+    label: Optional[str] = None,
+    max_seq_len: int = 48,
+    **model_overrides,
+) -> AccuracyReport:
+    """Accuracy of one HAAN configuration.
+
+    A fresh model is built (same deterministic weights), the HAAN layers are
+    installed according to ``haan_config`` using the provided calibration,
+    and the suite is evaluated.
+    """
+    model = TransformerModel.from_name(model_name, **model_overrides)
+    predictor = None
+    if haan_config.skipping_enabled:
+        if haan_config.skip_range == calibration.skip_range:
+            predictor = calibration.predictor
+        else:
+            predictor = build_predictor_for_range(calibration.profile, haan_config.skip_range)
+    apply_haan(model, haan_config, predictor=predictor)
+    return evaluate_model_on_suite(
+        model,
+        tasks,
+        label=label or f"HAAN({haan_config.data_format.value})",
+        max_seq_len=max_seq_len,
+    )
+
+
+def prepare_model_evaluation(
+    model_name: str,
+    num_items: int = 40,
+    max_seq_len: int = 48,
+    task_names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    calibration_texts_count: int = 24,
+    **model_overrides,
+):
+    """Build the reference model, labeled task suite and calibration result.
+
+    Returns ``(reference_model, tasks, calibration)`` -- the three inputs
+    every accuracy experiment needs.  The calibration uses the synthetic
+    Wikitext stand-in, mirroring the paper's 100-sample Wikitext pass (the
+    count is reduced by default to keep CPU runtimes reasonable; it is
+    configurable through ``calibration_texts_count``).
+    """
+    from repro.core.calibration import CalibrationSettings
+    from repro.llm.datasets import calibration_texts
+
+    reference = TransformerModel.from_name(model_name, **model_overrides)
+    tasks = build_task_suite(
+        reference,
+        num_items=num_items,
+        max_seq_len=max_seq_len,
+        tasks=task_names,
+        seed=seed,
+    )
+    settings = CalibrationSettings(num_samples=calibration_texts_count)
+    texts = calibration_texts(calibration_texts_count)
+    calibration = calibrate_model(reference, texts=texts, settings=settings)
+    return reference, tasks, calibration

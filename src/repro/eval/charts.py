@@ -1,0 +1,113 @@
+"""Plain-text charts for terminal-friendly experiment output.
+
+The paper presents Figures 2, 8 and 9 as plots; the benchmark harness runs
+in a terminal, so these helpers render the same series as ASCII bar and
+line charts that can be embedded in EXPERIMENTS.md or printed by the
+examples without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with one row per label.
+
+    Bars are scaled so the largest value spans ``width`` characters; values
+    are printed next to each bar.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        return title or ""
+    arr = np.asarray(values, dtype=np.float64)
+    peak = float(np.max(np.abs(arr))) if arr.size else 0.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, arr):
+        bar_len = 0 if peak == 0 else int(round(abs(value) / peak * width))
+        bar = "#" * bar_len
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: Optional[str] = None,
+    log_y: bool = False,
+) -> str:
+    """Multi-series line chart drawn on a character grid.
+
+    Each series gets its own marker character; the y-axis can be
+    logarithmic, which is how the paper plots Figure 2 (log-scale ISD) and
+    Figures 8/9 (log-scale normalized latency).
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    markers = "*o+x@%&$"
+    x_arr = np.asarray(x, dtype=np.float64)
+    all_values = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    if log_y:
+        if np.any(all_values <= 0):
+            raise ValueError("log_y requires strictly positive values")
+        all_values = np.log10(all_values)
+    y_min, y_max = float(np.min(all_values)), float(np.max(all_values))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(np.min(x_arr)), float(np.max(x_arr))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        y_arr = np.asarray(values, dtype=np.float64)
+        if y_arr.shape != x_arr.shape:
+            raise ValueError(f"series {name!r} length does not match x")
+        plot_y = np.log10(y_arr) if log_y else y_arr
+        for xi, yi in zip(x_arr, plot_y):
+            col = int(round((xi - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yi - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_label = "log10(y)" if log_y else "y"
+    lines.append(f"{axis_label} in [{y_min:.3g}, {y_max:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x in [{x_min:.3g}, {x_max:.3g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compact one-line trend indicator using block characters."""
+    blocks = "▁▂▃▄▅▆▇█"
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    low, high = float(np.min(arr)), float(np.max(arr))
+    if high == low:
+        return blocks[0] * arr.size
+    indices = np.round((arr - low) / (high - low) * (len(blocks) - 1)).astype(int)
+    return "".join(blocks[i] for i in indices)

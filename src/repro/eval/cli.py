@@ -1,0 +1,94 @@
+"""Command-line entry point: run any paper experiment from the shell.
+
+Installed as the ``haan-experiments`` console script::
+
+    haan-experiments --list
+    haan-experiments fig2
+    haan-experiments table1 --items 20
+    haan-experiments all --items 20
+
+The CLI is a thin wrapper over :mod:`repro.eval.experiments`; the benchmark
+suite under ``benchmarks/`` uses the same registry, so numbers printed here
+match the recorded EXPERIMENTS.md results (up to the size knobs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.eval.experiments import available_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``haan-experiments`` command."""
+    parser = argparse.ArgumentParser(
+        prog="haan-experiments",
+        description="Run the HAAN reproduction experiments (one per paper table/figure).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id (see --list), or 'all' to run everything",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--items",
+        type=int,
+        default=None,
+        help="number of items per task for the accuracy experiments (default 40)",
+    )
+    parser.add_argument(
+        "--seq-lens",
+        type=str,
+        default=None,
+        help="comma-separated sequence lengths for the latency sweeps (e.g. 128,256)",
+    )
+    return parser
+
+
+def _experiment_kwargs(experiment_id: str, args: argparse.Namespace) -> dict:
+    """Translate CLI flags into keyword arguments of one experiment."""
+    kwargs: dict = {}
+    if args.items is not None and experiment_id in ("table1", "table2"):
+        kwargs["num_items"] = args.items
+    if args.seq_lens is not None and experiment_id in ("fig8b", "fig9", "end_to_end"):
+        kwargs["seq_lens"] = tuple(int(s) for s in args.seq_lens.split(",") if s)
+    return kwargs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("Available experiments:")
+        for experiment_id in available_experiments():
+            print(f"  {experiment_id}")
+        return 0
+
+    if args.experiment == "all":
+        experiment_ids = available_experiments()
+    else:
+        experiment_ids = [args.experiment]
+
+    for experiment_id in experiment_ids:
+        start = time.time()
+        try:
+            result = run_experiment(experiment_id, **_experiment_kwargs(experiment_id, args))
+        except KeyError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        elapsed = time.time() - start
+        print(result.formatted())
+        print(f"(completed in {elapsed:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Perplexity evaluation.
+
+Section III-C: "Empirically, a minimal N_sub is chosen to maintain a
+negligible impact on perplexity (PPL)."  This module measures perplexity on
+the held-out synthetic corpus so the subsample-length selection experiment
+can reproduce that trade-off curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.llm.datasets import perplexity_texts
+from repro.llm.model import TransformerModel
+
+
+@dataclass
+class PerplexityResult:
+    """Perplexity of one model over one corpus."""
+
+    label: str
+    perplexity: float
+    total_tokens: int
+    mean_nll: float
+
+
+def sequence_nll(model: TransformerModel, token_ids: Sequence[int]) -> tuple[float, int]:
+    """Total negative log-likelihood and token count of one sequence."""
+    ids = np.asarray(token_ids, dtype=np.int64)
+    if ids.size < 2:
+        return 0.0, 0
+    loglik = model.sequence_log_likelihood(ids, score_from=1)
+    return -loglik, int(ids.size - 1)
+
+
+def evaluate_perplexity(
+    model: TransformerModel,
+    texts: Optional[Sequence[str]] = None,
+    max_seq_len: int = 48,
+    label: str = "model",
+) -> PerplexityResult:
+    """Perplexity of a model over a list of documents."""
+    if texts is None:
+        texts = perplexity_texts()
+    total_nll = 0.0
+    total_tokens = 0
+    for text in texts:
+        ids = model.tokenizer.encode(text, add_bos=True, max_len=max_seq_len)
+        nll, count = sequence_nll(model, ids)
+        total_nll += nll
+        total_tokens += count
+    mean_nll = total_nll / total_tokens if total_tokens else float("inf")
+    return PerplexityResult(
+        label=label,
+        perplexity=float(np.exp(mean_nll)),
+        total_tokens=total_tokens,
+        mean_nll=float(mean_nll),
+    )
+
+
+def perplexity_delta(reference: PerplexityResult, candidate: PerplexityResult) -> float:
+    """Relative perplexity increase of ``candidate`` over ``reference``."""
+    if reference.perplexity == 0:
+        return 0.0
+    return (candidate.perplexity - reference.perplexity) / reference.perplexity
+
+
+def subsample_sweep_nsubs(hidden_size: int, fractions: Sequence[float] = (0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0)) -> List[int]:
+    """Candidate ``N_sub`` values (as absolute lengths) for the PPL sweep."""
+    return sorted({max(1, int(round(hidden_size * f))) for f in fractions})

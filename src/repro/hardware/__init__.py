@@ -1,0 +1,98 @@
+"""The HAAN accelerator model and its baselines (paper Section IV / V-B).
+
+Functional + cycle models of the HAAN datapath (input statistics
+calculator, square root inverter, normalization unit, ISD predictor unit,
+memory layout, row-level pipeline), an FPGA resource/power model calibrated
+against Table III, and structural models of the DFX / SOLE / MHAA / GPU
+baselines used in Figures 8 and 9.
+"""
+
+from repro.hardware.accelerator import HaanAccelerator, LatencyReport
+from repro.hardware.configs import (
+    AcceleratorConfig,
+    HAAN_V1,
+    HAAN_V2,
+    HAAN_V3,
+    NAMED_CONFIGS,
+    TABLE3_CONFIGS,
+    get_accelerator_config,
+)
+from repro.hardware.memory import MemoryLayout, MemoryTraffic
+from repro.hardware.pipeline import PipelineModel, PipelineSchedule, PipelineStage
+from repro.hardware.power import PowerModel, PowerReport, TABLE3_POWER_SEQ_LENS
+from repro.hardware.resources import DEVICE_TOTALS, ResourceEstimate, ResourceModel
+from repro.hardware.workload import NormalizationWorkload
+from repro.hardware.baselines import (
+    BaselineAccelerator,
+    DfxBaseline,
+    GpuBaseline,
+    MhaaBaseline,
+    SoleBaseline,
+    all_baselines,
+)
+from repro.hardware.units import (
+    AdderTree,
+    InputStatisticsCalculator,
+    IsdPredictorUnit,
+    NormalizationUnit,
+    SquareRootInverter,
+    StatisticsResult,
+)
+from repro.hardware.bandwidth import (
+    BandwidthReport,
+    MemorySystem,
+    U280_DDR4,
+    U280_HBM,
+    roofline_analysis,
+)
+from repro.hardware.dse import DesignPoint, DesignSpaceExplorer, ExplorationResult
+from repro.hardware.energy import EnergyModel, EnergyReport
+from repro.hardware.timing import TimingModel, TimingReport
+
+__all__ = [
+    "BandwidthReport",
+    "MemorySystem",
+    "U280_DDR4",
+    "U280_HBM",
+    "roofline_analysis",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "EnergyModel",
+    "EnergyReport",
+    "TimingModel",
+    "TimingReport",
+    "HaanAccelerator",
+    "LatencyReport",
+    "AcceleratorConfig",
+    "HAAN_V1",
+    "HAAN_V2",
+    "HAAN_V3",
+    "NAMED_CONFIGS",
+    "TABLE3_CONFIGS",
+    "get_accelerator_config",
+    "MemoryLayout",
+    "MemoryTraffic",
+    "PipelineModel",
+    "PipelineSchedule",
+    "PipelineStage",
+    "PowerModel",
+    "PowerReport",
+    "TABLE3_POWER_SEQ_LENS",
+    "DEVICE_TOTALS",
+    "ResourceEstimate",
+    "ResourceModel",
+    "NormalizationWorkload",
+    "BaselineAccelerator",
+    "DfxBaseline",
+    "GpuBaseline",
+    "MhaaBaseline",
+    "SoleBaseline",
+    "all_baselines",
+    "AdderTree",
+    "InputStatisticsCalculator",
+    "IsdPredictorUnit",
+    "NormalizationUnit",
+    "SquareRootInverter",
+    "StatisticsResult",
+]

@@ -1,0 +1,232 @@
+"""Top-level HAAN accelerator model (paper Section IV, Figure 3).
+
+:class:`HaanAccelerator` assembles the datapath units, the memory layout,
+the row-level pipeline, the FPGA resource estimator and the power model
+into one object with two faces:
+
+* a **functional** face -- :meth:`normalize_rows` runs real data through the
+  hardware-accurate numeric path (FP2FX conversion, fixed-point statistics,
+  fast inverse square root, fixed-point normalization), so tests can check
+  the accelerator output against the reference LayerNorm/RMSNorm; and
+* an **analytical** face -- :meth:`layer_schedule`, :meth:`workload_latency`
+  and :meth:`power` turn a :class:`~repro.hardware.workload.NormalizationWorkload`
+  into cycle counts, seconds, occupancies and watts, which is what the
+  Figures 8/9 and Table III benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.predictor import IsdPredictor
+from repro.hardware.configs import AcceleratorConfig, HAAN_V1
+from repro.hardware.memory import MemoryLayout
+from repro.hardware.pipeline import PipelineModel, PipelineSchedule, PipelineStage
+from repro.hardware.power import PowerModel, PowerReport, TABLE3_POWER_SEQ_LENS
+from repro.hardware.resources import ResourceEstimate, ResourceModel
+from repro.hardware.units import (
+    InputStatisticsCalculator,
+    IsdPredictorUnit,
+    NormalizationUnit,
+    SquareRootInverter,
+)
+from repro.hardware.workload import NormalizationWorkload
+from repro.llm.config import NormKind
+
+
+@dataclass
+class LatencyReport:
+    """Latency estimate of one workload on one accelerator configuration."""
+
+    config_name: str
+    workload: NormalizationWorkload
+    total_cycles: int
+    latency_seconds: float
+    computed_layer_cycles: int
+    skipped_layer_cycles: int
+    stats_utilization: float
+    norm_utilization: float
+    bottleneck_stage: str
+    per_layer_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def latency_us(self) -> float:
+        """Latency in microseconds."""
+        return self.latency_seconds * 1e6
+
+    @property
+    def throughput_rows_per_second(self) -> float:
+        """Normalized vectors per second."""
+        if self.latency_seconds == 0:
+            return 0.0
+        return self.workload.total_rows / self.latency_seconds
+
+
+class HaanAccelerator:
+    """Functional and analytical model of one HAAN accelerator instance."""
+
+    def __init__(self, config: AcceleratorConfig = HAAN_V1):
+        self.config = config
+        self.stats_calculator = InputStatisticsCalculator(
+            width=config.stats_width, data_format=config.data_format
+        )
+        self.sqrt_inverter = SquareRootInverter(latency=config.inv_sqrt_latency)
+        self.norm_unit = NormalizationUnit(width=config.norm_width, data_format=config.data_format)
+        self.predictor_unit = IsdPredictorUnit(latency=config.predictor_latency)
+        self.memory = MemoryLayout(entry_width=config.stats_width, data_format=config.data_format)
+        self.resource_model = ResourceModel()
+        self.power_model = PowerModel()
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def load_predictor(self, predictor: IsdPredictor) -> None:
+        """Load ISD-predictor coefficients into the scalar predictor unit."""
+        self.predictor_unit.load(predictor)
+
+    def normalize_rows(
+        self,
+        rows: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        norm_kind: NormKind = NormKind.LAYERNORM,
+        subsample_length: Optional[int] = None,
+        predicted_isd: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Normalize a ``(num_rows, D)`` array through the hardware datapath.
+
+        When ``predicted_isd`` is given the square-root inverter is bypassed
+        (the ISD-skipping path); otherwise the statistics calculator and the
+        fast inverse square root produce the ISD, optionally from a
+        subsampled input.
+        """
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        self.memory.record_read(arr.size)
+        compute_mean = norm_kind is NormKind.LAYERNORM
+        self.stats_calculator.compute_mean = compute_mean
+        stats = self.stats_calculator.compute(arr, subsample_length=subsample_length)
+        mean = stats.mean if compute_mean else np.zeros(arr.shape[0])
+        if predicted_isd is not None:
+            isd = np.asarray(predicted_isd, dtype=np.float64)
+            if isd.shape[0] != arr.shape[0]:
+                raise ValueError("predicted_isd must have one value per row")
+        else:
+            isd = self.sqrt_inverter.compute(stats.variance)
+        out = self.norm_unit.normalize(arr, mean, isd, np.asarray(gamma), np.asarray(beta))
+        self.memory.record_write(out.size)
+        return out
+
+    # ------------------------------------------------------------------
+    # Cycle / latency model
+    # ------------------------------------------------------------------
+
+    def _layer_pipeline(self, workload: NormalizationWorkload, skipped: bool) -> PipelineModel:
+        """Build the three-stage pipeline of one normalization layer."""
+        full_length = workload.embedding_dim
+        needs_mean = workload.norm_kind is NormKind.LAYERNORM
+        if skipped:
+            # ISD is predicted: no variance accumulation and no square-root
+            # inversion.  LayerNorm still needs the (subsampled) mean.
+            stats_cycles = (
+                self.stats_calculator.passes_per_row(full_length, workload.subsample_length)
+                if needs_mean
+                else 0
+            )
+            isd_stage = PipelineStage(
+                name="isd-predict",
+                cycles_per_row=1,
+                fill_latency=self.config.predictor_latency,
+            )
+        else:
+            stats_cycles = self.stats_calculator.passes_per_row(
+                full_length, workload.subsample_length
+            )
+            isd_stage = PipelineStage(
+                name="inv-sqrt",
+                cycles_per_row=1,
+                fill_latency=self.config.inv_sqrt_latency,
+            )
+        stages = [
+            PipelineStage(name="stats", cycles_per_row=stats_cycles, fill_latency=2),
+            isd_stage,
+            PipelineStage(
+                name="normalize",
+                cycles_per_row=self.norm_unit.passes_per_row(full_length),
+                fill_latency=1,
+            ),
+        ]
+        return PipelineModel(stages)
+
+    def layer_schedule(self, workload: NormalizationWorkload, skipped: bool = False) -> PipelineSchedule:
+        """Pipeline schedule of one normalization layer of the workload."""
+        pipeline = self._layer_pipeline(workload, skipped)
+        rows = workload.rows_per_layer
+        # Multiple pipelines split the rows evenly.
+        rows_per_pipeline = int(np.ceil(rows / self.config.num_pipelines))
+        return pipeline.schedule(rows_per_pipeline)
+
+    def workload_latency(self, workload: NormalizationWorkload) -> LatencyReport:
+        """Total normalization latency of a forward pass."""
+        computed_schedule = self.layer_schedule(workload, skipped=False)
+        skipped_schedule = self.layer_schedule(workload, skipped=True)
+        computed_cycles = computed_schedule.total_cycles * workload.num_computed_layers
+        skipped_cycles = skipped_schedule.total_cycles * workload.num_skipped_layers
+        total_cycles = computed_cycles + skipped_cycles
+        seconds = total_cycles * self.config.cycle_time_ns * 1e-9
+        return LatencyReport(
+            config_name=self.config.name,
+            workload=workload,
+            total_cycles=int(total_cycles),
+            latency_seconds=seconds,
+            computed_layer_cycles=int(computed_cycles),
+            skipped_layer_cycles=int(skipped_cycles),
+            stats_utilization=computed_schedule.utilization.get("stats", 0.0),
+            norm_utilization=computed_schedule.utilization.get("normalize", 0.0),
+            bottleneck_stage=computed_schedule.bottleneck_stage,
+            per_layer_cycles={
+                "computed": computed_schedule.total_cycles,
+                "skipped": skipped_schedule.total_cycles,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Power and resources
+    # ------------------------------------------------------------------
+
+    def occupancy(self, workload: NormalizationWorkload) -> float:
+        """Lane-weighted pipeline occupancy of a workload (drives dynamic power)."""
+        schedule = self.layer_schedule(workload, skipped=False)
+        stats_occ = schedule.utilization.get("stats", 0.0)
+        norm_occ = schedule.utilization.get("normalize", 0.0)
+        freed = max(0, self.config.norm_width - self.config.stats_width)
+        weights = self.config.stats_width + self.config.norm_width + freed
+        weighted = (
+            self.config.stats_width * stats_occ
+            + (self.config.norm_width + freed) * norm_occ
+        )
+        return weighted / weights if weights else 0.0
+
+    def power(self, workload: NormalizationWorkload) -> PowerReport:
+        """Power estimate on one workload."""
+        return self.power_model.estimate(self.config, occupancy=self.occupancy(workload))
+
+    def table3_power(self, workload: NormalizationWorkload, seq_lens=TABLE3_POWER_SEQ_LENS) -> PowerReport:
+        """Average power over the Table III sequence lengths (16 / 128 / 256)."""
+        occupancies = [self.occupancy(workload.with_seq_len(seq)) for seq in seq_lens]
+        return self.power_model.average_over_occupancies(self.config, occupancies)
+
+    def resources(self) -> ResourceEstimate:
+        """FPGA resource estimate of this configuration."""
+        return self.resource_model.estimate(self.config)
+
+    def energy(self, workload: NormalizationWorkload) -> float:
+        """Energy (joules) to execute one workload."""
+        report = self.workload_latency(workload)
+        power = self.power(workload)
+        return self.power_model.energy_joules(power, report.latency_seconds)

@@ -1,0 +1,182 @@
+"""Memory-bandwidth and roofline analysis of the normalization workload.
+
+Normalization is a famously memory-bound operation: every element is read
+once, a handful of arithmetic operations happen, and every element is
+written back.  Whether the HAAN accelerator can actually sustain its
+datapath width therefore depends on the memory system of the Alveo U280
+(HBM2 + DDR4) feeding it.  This module provides:
+
+* :class:`MemorySystem` -- bandwidth/latency description of the U280's HBM
+  and DDR channels (and a configurable custom system);
+* :class:`BandwidthReport` -- bytes moved, arithmetic intensity, the
+  roofline-limited throughput and whether the accelerator is compute- or
+  memory-bound for a given configuration and workload;
+* :func:`roofline_analysis` -- the headline helper used by the design-space
+  exploration and the ablation benchmarks.
+
+The subsampling optimization of the paper shows up directly here: statistics
+reads shrink by the subsample factor, raising arithmetic intensity for the
+statistics pass while the normalization pass stays streaming-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.configs import AcceleratorConfig
+from repro.hardware.workload import NormalizationWorkload
+from repro.llm.config import NormKind
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Bandwidth description of the memory feeding the accelerator.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    bandwidth_gbps:
+        Sustained bandwidth in gigabytes per second.
+    access_latency_ns:
+        Latency of the first beat of a burst (pipelined afterwards).
+    """
+
+    name: str
+    bandwidth_gbps: float
+    access_latency_ns: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Bandwidth in bytes per second."""
+        return self.bandwidth_gbps * 1e9
+
+
+#: Alveo U280 HBM2 stacks (8 GB, 32 pseudo-channels): ~460 GB/s sustained.
+U280_HBM = MemorySystem(name="u280-hbm2", bandwidth_gbps=460.0, access_latency_ns=120.0)
+
+#: Alveo U280 DDR4 channels: ~38 GB/s sustained.
+U280_DDR4 = MemorySystem(name="u280-ddr4", bandwidth_gbps=38.0, access_latency_ns=90.0)
+
+
+@dataclass
+class BandwidthReport:
+    """Roofline summary of one workload on one configuration."""
+
+    config_name: str
+    memory_system: str
+    bytes_read: float
+    bytes_written: float
+    arithmetic_ops: float
+    compute_throughput_ops: float
+    memory_bound_throughput_ops: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Total data movement in bytes."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Operations per byte of traffic."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.arithmetic_ops / self.total_bytes
+
+    @property
+    def attainable_throughput_ops(self) -> float:
+        """Roofline-limited throughput (ops per second)."""
+        return min(self.compute_throughput_ops, self.memory_bound_throughput_ops)
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether memory bandwidth, not the datapath, limits throughput."""
+        return self.memory_bound_throughput_ops < self.compute_throughput_ops
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of the memory bandwidth needed to keep the datapath busy.
+
+        Greater than one means the datapath will stall on memory.
+        """
+        if self.memory_bound_throughput_ops == 0:
+            return float("inf")
+        return self.compute_throughput_ops / self.memory_bound_throughput_ops
+
+
+def element_bytes(config: AcceleratorConfig) -> int:
+    """Storage bytes per element for a configuration's data format."""
+    return config.data_format.bytes
+
+
+def workload_traffic(config: AcceleratorConfig, workload: NormalizationWorkload) -> tuple[float, float]:
+    """(bytes read, bytes written) of one forward pass of normalization.
+
+    Reads cover the statistics pass over the (subsampled) prefix of each
+    non-skipped layer plus the full row for the normalization pass of every
+    layer; writes cover every normalized output element.  Skipped RMSNorm
+    layers avoid the statistics read entirely; skipped LayerNorm layers
+    still read the prefix for the mean, as in the paper.
+    """
+    bytes_per_element = element_bytes(config)
+    rows = workload.rows_per_layer
+    full = workload.embedding_dim
+    effective = workload.effective_stats_length
+    needs_mean = workload.norm_kind is NormKind.LAYERNORM
+
+    stats_layers = workload.num_computed_layers + (
+        workload.num_skipped_layers if needs_mean else 0
+    )
+    stats_reads = rows * effective * stats_layers
+    norm_reads = rows * full * workload.num_norm_layers
+    writes = rows * full * workload.num_norm_layers
+    return (
+        float((stats_reads + norm_reads) * bytes_per_element),
+        float(writes * bytes_per_element),
+    )
+
+
+def workload_arithmetic_ops(workload: NormalizationWorkload) -> float:
+    """Arithmetic operations (mul + add) of one forward pass of normalization."""
+    rows = workload.rows_per_layer
+    full = workload.embedding_dim
+    effective = workload.effective_stats_length
+    stats_ops = rows * effective * 3 * workload.num_computed_layers
+    norm_ops = rows * full * 4 * workload.num_norm_layers
+    isd_ops = rows * 8 * workload.num_computed_layers
+    return float(stats_ops + norm_ops + isd_ops)
+
+
+def datapath_throughput_ops(config: AcceleratorConfig) -> float:
+    """Peak arithmetic throughput of a configuration (ops per second).
+
+    Each statistics lane performs ~3 ops per cycle (square, scale, add) and
+    each normalization lane ~4 (subtract, two multiplies, add); the clock is
+    the configuration's operating frequency.
+    """
+    ops_per_cycle = 3 * config.stats_width + 4 * config.norm_width
+    return ops_per_cycle * config.num_pipelines * config.clock_mhz * 1e6
+
+
+def roofline_analysis(
+    config: AcceleratorConfig,
+    workload: NormalizationWorkload,
+    memory: MemorySystem = U280_HBM,
+) -> BandwidthReport:
+    """Roofline analysis of one configuration on one workload."""
+    bytes_read, bytes_written = workload_traffic(config, workload)
+    ops = workload_arithmetic_ops(workload)
+    intensity = ops / (bytes_read + bytes_written) if (bytes_read + bytes_written) else 0.0
+    return BandwidthReport(
+        config_name=config.name,
+        memory_system=memory.name,
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        arithmetic_ops=ops,
+        compute_throughput_ops=datapath_throughput_ops(config),
+        memory_bound_throughput_ops=intensity * memory.bytes_per_second,
+    )

@@ -1,0 +1,29 @@
+"""Baseline normalization accelerators the paper compares against."""
+
+from repro.hardware.baselines.base import (
+    BaselineAccelerator,
+    BaselineLatencyReport,
+    FixedFunctionBaseline,
+)
+from repro.hardware.baselines.dfx import DfxBaseline
+from repro.hardware.baselines.gpu import GpuBaseline
+from repro.hardware.baselines.mhaa import MhaaBaseline
+from repro.hardware.baselines.sole import SoleBaseline
+
+
+def all_baselines() -> dict[str, BaselineAccelerator]:
+    """Instantiate every baseline, keyed by its display name."""
+    baselines = [DfxBaseline(), SoleBaseline(), MhaaBaseline(), GpuBaseline()]
+    return {baseline.name: baseline for baseline in baselines}
+
+
+__all__ = [
+    "BaselineAccelerator",
+    "BaselineLatencyReport",
+    "FixedFunctionBaseline",
+    "DfxBaseline",
+    "GpuBaseline",
+    "MhaaBaseline",
+    "SoleBaseline",
+    "all_baselines",
+]

@@ -1,0 +1,144 @@
+"""Common machinery of the baseline normalization accelerators.
+
+The paper compares HAAN against DFX (MICRO'22), SOLE (ICCAD'23), MHAA
+(SOCC'20) and an A100 GPU.  None of those designs is available as RTL, so
+each baseline is modelled structurally -- lanes, passes over the data,
+row-level pipelining, clock -- with one documented calibration constant
+chosen so the normalized latency at the paper's operating points matches
+the published comparison (see DESIGN.md, substitution table, and
+EXPERIMENTS.md for paper-vs-model numbers).
+
+Baselines always execute the *un-optimised* workload: no ISD skipping and
+no subsampling, because those are HAAN's contributions.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.hardware.workload import NormalizationWorkload
+from repro.llm.config import NormKind
+
+
+@dataclass(frozen=True)
+class BaselineLatencyReport:
+    """Latency estimate of one baseline on one workload."""
+
+    name: str
+    workload: NormalizationWorkload
+    cycles_per_row: float
+    per_layer_seconds: float
+    latency_seconds: float
+
+    @property
+    def latency_us(self) -> float:
+        """Latency in microseconds."""
+        return self.latency_seconds * 1e6
+
+
+class BaselineAccelerator(abc.ABC):
+    """A normalization accelerator (or GPU) used as a comparison point."""
+
+    #: Human-readable name used in figures.
+    name: str = "baseline"
+    #: Nominal power draw of the normalization engine, in watts.
+    nominal_power_w: float = 1.0
+
+    @abc.abstractmethod
+    def per_row_seconds(self, workload: NormalizationWorkload) -> float:
+        """Average time to normalize one vector of the workload, in seconds."""
+
+    def per_layer_seconds(self, workload: NormalizationWorkload) -> float:
+        """Time to normalize all rows of one layer."""
+        return self.per_row_seconds(workload) * workload.rows_per_layer
+
+    def workload_latency(self, workload: NormalizationWorkload) -> BaselineLatencyReport:
+        """Latency of the full (un-optimised) normalization workload."""
+        plain = workload.without_optimizations()
+        per_layer = self.per_layer_seconds(plain)
+        total = per_layer * plain.num_norm_layers
+        return BaselineLatencyReport(
+            name=self.name,
+            workload=plain,
+            cycles_per_row=float("nan"),
+            per_layer_seconds=per_layer,
+            latency_seconds=total,
+        )
+
+    def power_watts(self, workload: NormalizationWorkload) -> float:
+        """Power draw while executing the workload."""
+        return self.nominal_power_w
+
+
+class FixedFunctionBaseline(BaselineAccelerator):
+    """A lane-based fixed-function LayerNorm engine.
+
+    Parameters
+    ----------
+    lanes:
+        Elements processed per cycle per pass.
+    passes:
+        Passes over the vector (e.g. statistics pass + normalization pass;
+        designs without the ``E[x^2] - E[x]^2`` trick need a third pass).
+    clock_mhz:
+        Operating frequency.
+    row_pipelined:
+        Whether consecutive rows overlap in the datapath.  When False the
+        per-row passes are fully serialised (the DFX instruction-driven
+        vector unit behaves this way); when True the issue interval equals
+        the per-row pass count.
+    per_row_overhead_cycles:
+        Fixed per-row control overhead.
+    rms_pass_discount:
+        Passes saved for RMSNorm workloads (no mean pass).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lanes: int,
+        passes: int,
+        clock_mhz: float,
+        row_pipelined: bool,
+        per_row_overhead_cycles: int = 0,
+        nominal_power_w: float = 1.0,
+        rms_pass_discount: int = 0,
+    ):
+        if lanes < 1 or passes < 1 or clock_mhz <= 0:
+            raise ValueError("lanes, passes and clock_mhz must be positive")
+        self.name = name
+        self.lanes = lanes
+        self.passes = passes
+        self.clock_mhz = clock_mhz
+        self.row_pipelined = row_pipelined
+        self.per_row_overhead_cycles = per_row_overhead_cycles
+        self.nominal_power_w = nominal_power_w
+        self.rms_pass_discount = rms_pass_discount
+
+    def cycles_per_row(self, workload: NormalizationWorkload) -> int:
+        """Cycles to process one vector (issue interval if row-pipelined)."""
+        passes = self.passes
+        if workload.norm_kind is NormKind.RMSNORM:
+            passes = max(1, passes - self.rms_pass_discount)
+        beats = math.ceil(workload.embedding_dim / self.lanes)
+        cycles = passes * beats + self.per_row_overhead_cycles
+        return cycles
+
+    def per_row_seconds(self, workload: NormalizationWorkload) -> float:
+        cycles = self.cycles_per_row(workload)
+        return cycles / (self.clock_mhz * 1e6)
+
+    def workload_latency(self, workload: NormalizationWorkload) -> BaselineLatencyReport:
+        plain = workload.without_optimizations()
+        cycles_row = self.cycles_per_row(plain)
+        per_layer = cycles_row * plain.rows_per_layer / (self.clock_mhz * 1e6)
+        total = per_layer * plain.num_norm_layers
+        return BaselineLatencyReport(
+            name=self.name,
+            workload=plain,
+            cycles_per_row=float(cycles_row),
+            per_layer_seconds=per_layer,
+            latency_seconds=total,
+        )

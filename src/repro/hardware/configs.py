@@ -1,0 +1,133 @@
+"""HAAN accelerator configurations.
+
+Section IV/V-B of the paper describes a reconfigurable accelerator
+parameterised by:
+
+* ``p_d`` -- input data width (lanes) of the Input Statistics Calculator,
+* ``p_n`` -- data width (lanes) of the Normalization Unit,
+* the input data format (FP32 / FP16 / INT8),
+* the number of pipelines, and
+* the clock frequency (100 MHz on the Alveo U280).
+
+The three named configurations evaluated in Figures 8 and 9 are provided as
+:data:`HAAN_V1`, :data:`HAAN_V2` and :data:`HAAN_V3`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.numerics.quantization import DataFormat
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Static configuration of one HAAN accelerator instance.
+
+    Attributes
+    ----------
+    name:
+        Configuration label used in reports ("haan-v1", ...).
+    stats_width:
+        ``p_d``: elements consumed per cycle by the Input Statistics
+        Calculator.
+    norm_width:
+        ``p_n``: elements produced per cycle by the Normalization Unit(s).
+    data_format:
+        Input/output number format.
+    num_pipelines:
+        Independent normalization pipelines (the paper's evaluated
+        configurations all use a single pipeline).
+    clock_mhz:
+        Operating frequency in MHz.
+    inv_sqrt_latency:
+        Pipeline latency (cycles) of the Square Root Inverter: FX2FP, shift,
+        subtract, FP2FX and one Newton iteration.
+    predictor_latency:
+        Latency (cycles) of the scalar ISD predictor unit.
+    """
+
+    name: str
+    stats_width: int
+    norm_width: int
+    data_format: DataFormat = DataFormat.FP16
+    num_pipelines: int = 1
+    clock_mhz: float = 100.0
+    inv_sqrt_latency: int = 6
+    predictor_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.stats_width < 1 or self.norm_width < 1:
+            raise ValueError("datapath widths must be positive")
+        if self.num_pipelines < 1:
+            raise ValueError("num_pipelines must be >= 1")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """Duration of one clock cycle in nanoseconds."""
+        return 1e3 / self.clock_mhz
+
+    @property
+    def widths(self) -> tuple[int, int]:
+        """The ``(p_d, p_n)`` pair."""
+        return (self.stats_width, self.norm_width)
+
+    def with_overrides(self, **kwargs) -> "AcceleratorConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: HAAN-v1: single pipeline, FP16 input, (p_d, p_n) = (128, 128).
+HAAN_V1 = AcceleratorConfig(
+    name="haan-v1",
+    stats_width=128,
+    norm_width=128,
+    data_format=DataFormat.FP16,
+)
+
+#: HAAN-v2: single pipeline, FP16 input, (p_d, p_n) = (80, 160).  The
+#: narrower statistics calculator relies on input subsampling; the freed
+#: resources implement more normalization lanes.
+HAAN_V2 = AcceleratorConfig(
+    name="haan-v2",
+    stats_width=80,
+    norm_width=160,
+    data_format=DataFormat.FP16,
+)
+
+#: HAAN-v3: single pipeline, FP16 input, (p_d, p_n) = (64, 128); introduced
+#: for the OPT-2.7B comparison in Figure 8(b).
+HAAN_V3 = AcceleratorConfig(
+    name="haan-v3",
+    stats_width=64,
+    norm_width=128,
+    data_format=DataFormat.FP16,
+)
+
+#: All named configurations, keyed by name.
+NAMED_CONFIGS: Dict[str, AcceleratorConfig] = {
+    cfg.name: cfg for cfg in (HAAN_V1, HAAN_V2, HAAN_V3)
+}
+
+
+def get_accelerator_config(name: str, **overrides) -> AcceleratorConfig:
+    """Look up a named configuration, optionally overriding fields."""
+    key = name.strip().lower()
+    if key not in NAMED_CONFIGS:
+        raise KeyError(f"unknown accelerator config {name!r}; available: {sorted(NAMED_CONFIGS)}")
+    cfg = NAMED_CONFIGS[key]
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+#: Configurations of the Table III hardware-cost sweep: (format, (p_d, p_n)).
+TABLE3_CONFIGS: tuple[AcceleratorConfig, ...] = (
+    AcceleratorConfig(name="fp32-128-128", stats_width=128, norm_width=128, data_format=DataFormat.FP32),
+    AcceleratorConfig(name="fp32-32-128", stats_width=32, norm_width=128, data_format=DataFormat.FP32),
+    AcceleratorConfig(name="fp16-128-128", stats_width=128, norm_width=128, data_format=DataFormat.FP16),
+    AcceleratorConfig(name="fp16-32-128", stats_width=32, norm_width=128, data_format=DataFormat.FP16),
+    AcceleratorConfig(name="int8-256-256", stats_width=256, norm_width=256, data_format=DataFormat.INT8),
+    AcceleratorConfig(name="int8-32-512", stats_width=32, norm_width=512, data_format=DataFormat.INT8),
+)

@@ -1,0 +1,177 @@
+"""Design-space exploration over HAAN accelerator configurations.
+
+Section V-B of the paper evaluates three hand-picked configurations
+(HAAN-v1/v2/v3) and a six-point format/width sweep (Table III).  The
+explorer here automates that search: it sweeps the datapath widths
+``(p_d, p_n)``, the data format and the subsampling length, evaluates each
+point with the same latency, power, resource, energy, bandwidth and timing
+models used by the paper-reproduction benchmarks, discards points that do
+not fit the device or close timing, and extracts the latency/power Pareto
+frontier.
+
+This is the ablation DESIGN.md calls out for the claim that "by setting
+particular ``p_d, p_n`` the time of the different stages of the pipeline is
+evenly distributed": the explorer shows which width ratios actually balance
+the pipeline for a given model and subsample setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.hardware.accelerator import HaanAccelerator
+from repro.hardware.bandwidth import MemorySystem, U280_HBM, roofline_analysis
+from repro.hardware.configs import AcceleratorConfig
+from repro.hardware.energy import EnergyModel
+from repro.hardware.timing import TimingModel
+from repro.hardware.workload import NormalizationWorkload
+from repro.numerics.quantization import DataFormat
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated accelerator configuration."""
+
+    config: AcceleratorConfig
+    latency_seconds: float
+    power_w: float
+    energy_nj: float
+    lut: int
+    dsp: int
+    fits_device: bool
+    meets_timing: bool
+    memory_bound: bool
+    pipeline_balance: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the point can actually be built and clocked."""
+        return self.fits_device and self.meets_timing
+
+    @property
+    def latency_us(self) -> float:
+        """Latency in microseconds."""
+        return self.latency_seconds * 1e6
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.energy_nj * 1e-9 * self.latency_seconds
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (latency, power): no worse on both, better on one."""
+        no_worse = self.latency_seconds <= other.latency_seconds and self.power_w <= other.power_w
+        better = self.latency_seconds < other.latency_seconds or self.power_w < other.power_w
+        return no_worse and better
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one design-space sweep."""
+
+    workload: NormalizationWorkload
+    points: List[DesignPoint] = field(default_factory=list)
+
+    @property
+    def feasible_points(self) -> List[DesignPoint]:
+        """Points that fit the device and close timing."""
+        return [p for p in self.points if p.feasible]
+
+    def pareto_frontier(self) -> List[DesignPoint]:
+        """Non-dominated feasible points, sorted by latency."""
+        feasible = self.feasible_points
+        frontier = [
+            p for p in feasible if not any(other.dominates(p) for other in feasible if other is not p)
+        ]
+        return sorted(frontier, key=lambda p: p.latency_seconds)
+
+    def best_latency(self) -> DesignPoint:
+        """Fastest feasible point."""
+        return min(self.feasible_points, key=lambda p: p.latency_seconds)
+
+    def best_under_power(self, power_budget_w: float) -> Optional[DesignPoint]:
+        """Fastest feasible point within a power budget, or None."""
+        candidates = [p for p in self.feasible_points if p.power_w <= power_budget_w]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.latency_seconds)
+
+    def best_energy_delay(self) -> DesignPoint:
+        """Feasible point with the lowest energy-delay product."""
+        return min(self.feasible_points, key=lambda p: p.energy_delay_product)
+
+
+class DesignSpaceExplorer:
+    """Sweeps HAAN configurations and evaluates every point.
+
+    Parameters
+    ----------
+    memory:
+        Memory system assumed for the roofline feasibility check.
+    clock_mhz:
+        Target clock of every candidate configuration.
+    """
+
+    def __init__(self, memory: MemorySystem = U280_HBM, clock_mhz: float = 100.0):
+        self.memory = memory
+        self.clock_mhz = clock_mhz
+        self.energy_model = EnergyModel()
+        self.timing_model = TimingModel()
+
+    def candidate_configs(
+        self,
+        stats_widths: Sequence[int] = (32, 64, 128, 256),
+        norm_widths: Sequence[int] = (64, 128, 256, 512),
+        data_formats: Sequence[DataFormat] = (DataFormat.FP32, DataFormat.FP16, DataFormat.INT8),
+    ) -> List[AcceleratorConfig]:
+        """Enumerate the candidate configurations of a sweep."""
+        configs = []
+        for fmt in data_formats:
+            for p_d in stats_widths:
+                for p_n in norm_widths:
+                    configs.append(
+                        AcceleratorConfig(
+                            name=f"{fmt.value}-{p_d}-{p_n}",
+                            stats_width=p_d,
+                            norm_width=p_n,
+                            data_format=fmt,
+                            clock_mhz=self.clock_mhz,
+                        )
+                    )
+        return configs
+
+    def evaluate(self, config: AcceleratorConfig, workload: NormalizationWorkload) -> DesignPoint:
+        """Evaluate one configuration on one workload."""
+        accelerator = HaanAccelerator(config)
+        latency = accelerator.workload_latency(workload)
+        power = accelerator.power(workload)
+        resources = accelerator.resources()
+        energy = self.energy_model.estimate(config, workload, latency.latency_seconds)
+        timing = self.timing_model.estimate(config)
+        roofline = roofline_analysis(config, workload, self.memory)
+        schedule = accelerator.layer_schedule(workload)
+        return DesignPoint(
+            config=config,
+            latency_seconds=latency.latency_seconds,
+            power_w=power.total_w,
+            energy_nj=energy.total_nj,
+            lut=resources.lut,
+            dsp=resources.dsp,
+            fits_device=resources.fits_device(),
+            meets_timing=timing.meets(config.clock_mhz),
+            memory_bound=roofline.memory_bound,
+            pipeline_balance=schedule.balance(),
+        )
+
+    def explore(
+        self,
+        workload: NormalizationWorkload,
+        configs: Optional[Iterable[AcceleratorConfig]] = None,
+    ) -> ExplorationResult:
+        """Evaluate every candidate configuration on the workload."""
+        candidates = list(configs) if configs is not None else self.candidate_configs()
+        result = ExplorationResult(workload=workload)
+        for config in candidates:
+            result.points.append(self.evaluate(config, workload))
+        return result

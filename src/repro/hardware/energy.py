@@ -1,0 +1,228 @@
+"""Per-operation energy model and energy-delay product analysis.
+
+The paper reports power (Figure 8(a), Table III); energy is the quantity a
+deployment actually pays for, and it is where ISD skipping helps twice --
+fewer operations *and* less time.  This module complements the
+occupancy-based :class:`~repro.hardware.power.PowerModel` with a
+bottom-up, per-operation energy estimate so the two can be cross-checked:
+
+* every arithmetic operation (multiply, add, square-root seed, conversion,
+  memory access) is assigned an energy in picojoules scaled by operand
+  width, using the usual CMOS scaling assumptions (energy roughly
+  quadratic in multiplier width, linear in adder width);
+* a :class:`NormalizationWorkload` is decomposed into operation counts per
+  datapath unit (statistics, square-root inverter, normalization, memory)
+  taking skipping and subsampling into account; and
+* an :class:`EnergyReport` carries the per-unit breakdown, the total, and
+  the energy-delay product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware.configs import AcceleratorConfig
+from repro.hardware.workload import NormalizationWorkload
+from repro.llm.config import NormKind
+from repro.numerics.quantization import DataFormat
+
+#: Reference per-operation energies in picojoules for a 16-bit datapath on a
+#: modern FPGA process (DSP multiply, carry-chain add, BRAM access).  The
+#: absolute values matter less than their ratios; they follow the widely used
+#: Horowitz ISSCC'14 numbers adapted to FPGA fabric overheads.
+BASE_ENERGY_PJ: Dict[str, float] = {
+    "multiply": 1.1,
+    "add": 0.14,
+    "convert": 0.25,
+    "invsqrt_seed": 0.6,
+    "memory_access_per_byte": 2.5,
+    "register": 0.02,
+}
+
+#: Width scaling exponents: multiplier energy grows ~quadratically with
+#: operand width, adders and registers roughly linearly.
+_WIDTH_EXPONENT = {
+    "multiply": 2.0,
+    "add": 1.0,
+    "convert": 1.0,
+    "invsqrt_seed": 1.0,
+    "register": 1.0,
+}
+
+
+def format_bits(data_format: DataFormat) -> int:
+    """Operand width in bits of a data format."""
+    return data_format.bits
+
+
+def operation_energy_pj(operation: str, data_format: DataFormat) -> float:
+    """Energy of one operation at the width implied by ``data_format``."""
+    if operation == "memory_access_per_byte":
+        return BASE_ENERGY_PJ[operation]
+    if operation not in BASE_ENERGY_PJ:
+        raise KeyError(f"unknown operation {operation!r}")
+    exponent = _WIDTH_EXPONENT[operation]
+    scale = (format_bits(data_format) / 16.0) ** exponent
+    return BASE_ENERGY_PJ[operation] * scale
+
+
+@dataclass
+class EnergyReport:
+    """Energy estimate of one workload on one accelerator configuration."""
+
+    config_name: str
+    workload_model: str
+    per_unit_nj: Dict[str, float] = field(default_factory=dict)
+    latency_seconds: float = 0.0
+
+    @property
+    def total_nj(self) -> float:
+        """Total energy in nanojoules."""
+        return sum(self.per_unit_nj.values())
+
+    @property
+    def total_mj(self) -> float:
+        """Total energy in millijoules."""
+        return self.total_nj * 1e-6
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.total_nj * 1e-9 * self.latency_seconds
+
+    @property
+    def average_power_w(self) -> float:
+        """Average power implied by the energy and the latency."""
+        if self.latency_seconds <= 0:
+            return 0.0
+        return self.total_nj * 1e-9 / self.latency_seconds
+
+    def share(self, unit: str) -> float:
+        """Fraction of the total energy attributed to one unit."""
+        total = self.total_nj
+        return self.per_unit_nj.get(unit, 0.0) / total if total else 0.0
+
+
+class EnergyModel:
+    """Bottom-up per-operation energy estimator.
+
+    Parameters
+    ----------
+    base_energies_pj:
+        Override of the per-operation reference energies (tests use this to
+        check scaling behaviour without depending on the constants).
+    """
+
+    def __init__(self, base_energies_pj: Dict[str, float] | None = None):
+        self.base_energies_pj = dict(BASE_ENERGY_PJ)
+        if base_energies_pj:
+            self.base_energies_pj.update(base_energies_pj)
+
+    def _op_energy(self, operation: str, data_format: DataFormat) -> float:
+        if operation == "memory_access_per_byte":
+            return self.base_energies_pj[operation]
+        exponent = _WIDTH_EXPONENT[operation]
+        scale = (format_bits(data_format) / 16.0) ** exponent
+        return self.base_energies_pj[operation] * scale
+
+    # -- operation counting ------------------------------------------------------
+
+    def operation_counts(self, workload: NormalizationWorkload) -> Dict[str, float]:
+        """Decompose a workload into operation counts per category.
+
+        Statistics are only computed for non-skipped layers and over the
+        (possibly subsampled) prefix; normalization always touches every
+        element of every layer; the square-root inverter runs once per row
+        of each non-skipped layer.
+        """
+        rows = workload.rows_per_layer
+        full = workload.embedding_dim
+        effective = workload.effective_stats_length
+        computed_layers = workload.num_computed_layers
+        skipped_layers = workload.num_skipped_layers
+        needs_mean = workload.norm_kind is NormKind.LAYERNORM
+
+        stats_elements = rows * effective * computed_layers
+        if needs_mean:
+            # LayerNorm skipped layers still need the (subsampled) mean.
+            stats_elements += rows * effective * skipped_layers
+        norm_elements = rows * full * workload.num_norm_layers
+        isd_rows = rows * computed_layers
+        predicted_rows = rows * skipped_layers
+
+        counts = {
+            # square + scale per element, then one adder per element in the
+            # tree; the mean path adds one more add per element.
+            "stats_multiplies": float(stats_elements),
+            "stats_adds": float(stats_elements * (2 if needs_mean else 1)),
+            "stats_converts": float(stats_elements),
+            "invsqrt_seeds": float(isd_rows),
+            "invsqrt_multiplies": float(isd_rows * 3),  # one Newton iteration
+            "predictor_ops": float(predicted_rows * 2),
+            "norm_multiplies": float(norm_elements * 2),  # scale + alpha
+            "norm_adds": float(norm_elements * 2),  # subtract mean + beta
+            "norm_converts": float(norm_elements),
+            "memory_bytes": float(
+                (norm_elements + stats_elements) * workload_bytes_per_element(workload)
+            ),
+        }
+        return counts
+
+    # -- estimation -----------------------------------------------------------------
+
+    def estimate(
+        self,
+        config: AcceleratorConfig,
+        workload: NormalizationWorkload,
+        latency_seconds: float = 0.0,
+    ) -> EnergyReport:
+        """Energy report of one workload on one configuration."""
+        fmt = config.data_format
+        counts = self.operation_counts(workload)
+        pj = {
+            "statistics": (
+                counts["stats_multiplies"] * self._op_energy("multiply", fmt)
+                + counts["stats_adds"] * self._op_energy("add", fmt)
+                + counts["stats_converts"] * self._op_energy("convert", fmt)
+            ),
+            "invsqrt": (
+                counts["invsqrt_seeds"] * self._op_energy("invsqrt_seed", fmt)
+                + counts["invsqrt_multiplies"] * self._op_energy("multiply", fmt)
+            ),
+            "predictor": counts["predictor_ops"] * self._op_energy("add", fmt),
+            "normalization": (
+                counts["norm_multiplies"] * self._op_energy("multiply", fmt)
+                + counts["norm_adds"] * self._op_energy("add", fmt)
+                + counts["norm_converts"] * self._op_energy("convert", fmt)
+            ),
+            "memory": counts["memory_bytes"] * self.base_energies_pj["memory_access_per_byte"],
+        }
+        per_unit_nj = {unit: value * 1e-3 for unit, value in pj.items()}
+        return EnergyReport(
+            config_name=config.name,
+            workload_model=workload.model_name,
+            per_unit_nj=per_unit_nj,
+            latency_seconds=latency_seconds,
+        )
+
+    def savings_from_skipping(
+        self, config: AcceleratorConfig, workload: NormalizationWorkload
+    ) -> float:
+        """Fractional energy saved relative to the same workload without HAAN."""
+        baseline = self.estimate(config, workload.without_optimizations())
+        optimized = self.estimate(config, workload)
+        if baseline.total_nj == 0:
+            return 0.0
+        return 1.0 - optimized.total_nj / baseline.total_nj
+
+
+def workload_bytes_per_element(workload: NormalizationWorkload) -> float:
+    """Bytes moved per element, from the workload's storage format.
+
+    The workload itself does not carry a data format (that is a property of
+    the accelerator configuration), so FP16 storage is assumed -- the format
+    of all HAAN-v* configurations and of the GPU baseline profiling in the
+    paper.
+    """
+    return 2.0

@@ -1,0 +1,134 @@
+"""HAAN memory layout (paper Figure 7).
+
+The input tensor is flattened row-major into a vector and packed into
+memory entries whose width equals the accelerator's input bandwidth
+(``p_d`` elements for the statistics stream, ``p_n`` for the normalization
+stream).  The accelerator reads one entry per cycle.  In subsampling mode
+only the leading entries of each row are fetched when computing input
+statistics, which is where the latency and power savings of Section III-C
+come from.
+
+:class:`MemoryLayout` implements the packing/unpacking plus the entry-count
+accounting used by the cycle model, and :class:`MemoryTraffic` tallies the
+bytes actually moved for the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.numerics.quantization import DataFormat
+
+
+@dataclass
+class MemoryTraffic:
+    """Byte counters of accelerator <-> memory traffic."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total traffic in bytes."""
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class MemoryLayout:
+    """Chunked, flattened storage of one input tensor.
+
+    Parameters
+    ----------
+    entry_width:
+        Number of elements per memory entry (the accelerator's input
+        bandwidth; one entry is consumed per cycle).
+    data_format:
+        Element storage format, used for byte accounting.
+    """
+
+    entry_width: int
+    data_format: DataFormat = DataFormat.FP16
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+
+    def __post_init__(self) -> None:
+        if self.entry_width < 1:
+            raise ValueError("entry_width must be positive")
+
+    # -- packing ----------------------------------------------------------
+
+    def pack(self, tensor: np.ndarray) -> np.ndarray:
+        """Flatten a tensor and pack it into zero-padded memory entries.
+
+        Returns an array of shape ``(num_entries, entry_width)``; the final
+        entry is zero-padded, as a real memory row would be.
+        """
+        flat = np.asarray(tensor, dtype=np.float64).reshape(-1)
+        num_entries = self.entries_for(flat.size)
+        padded = np.zeros(num_entries * self.entry_width)
+        padded[: flat.size] = flat
+        return padded.reshape(num_entries, self.entry_width)
+
+    def unpack(self, entries: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+        """Reassemble a tensor of ``shape`` from packed memory entries."""
+        flat = np.asarray(entries, dtype=np.float64).reshape(-1)
+        size = int(np.prod(shape))
+        if flat.size < size:
+            raise ValueError("packed data smaller than the requested shape")
+        return flat[:size].reshape(shape)
+
+    # -- entry accounting --------------------------------------------------
+
+    def entries_for(self, num_elements: int) -> int:
+        """Memory entries needed to hold ``num_elements`` elements."""
+        if num_elements < 0:
+            raise ValueError("num_elements must be non-negative")
+        return int(np.ceil(num_elements / self.entry_width)) if num_elements else 0
+
+    def entries_per_row(self, row_length: int) -> int:
+        """Entries per normalization vector of ``row_length`` elements."""
+        return self.entries_for(row_length)
+
+    def subsampled_entries_per_row(self, row_length: int, subsample_length: int | None) -> int:
+        """Entries fetched per row when statistics use only the leading elements.
+
+        "In subsampling mode, only the initial portion of memory entries is
+        accessed for computing input statistics." (paper Section IV-C)
+        """
+        if subsample_length is None:
+            return self.entries_per_row(row_length)
+        effective = min(subsample_length, row_length)
+        return self.entries_for(effective)
+
+    # -- traffic accounting -------------------------------------------------
+
+    def record_read(self, num_elements: int) -> None:
+        """Charge a read of ``num_elements`` elements to the traffic counter."""
+        self.traffic.bytes_read += num_elements * self.data_format.bytes
+
+    def record_write(self, num_elements: int) -> None:
+        """Charge a write of ``num_elements`` elements to the traffic counter."""
+        self.traffic.bytes_written += num_elements * self.data_format.bytes
+
+    def row_addresses(self, num_rows: int, row_length: int) -> List[Tuple[int, int]]:
+        """(first entry, entry count) of each row in the packed layout.
+
+        Rows are stored back to back in flattened order, so a row may start
+        mid-entry; the returned ranges cover every entry touching the row,
+        which is what the DMA engine would fetch.
+        """
+        ranges = []
+        for row in range(num_rows):
+            first_element = row * row_length
+            last_element = first_element + row_length - 1
+            first_entry = first_element // self.entry_width
+            last_entry = last_element // self.entry_width
+            ranges.append((first_entry, last_entry - first_entry + 1))
+        return ranges

@@ -1,0 +1,115 @@
+"""Pipeline scheduling model of the HAAN accelerator.
+
+Section IV-C: "The input statistics calculator, square root inverter, and
+normalization unit operate in a pipelined manner across multiple input
+samples", and Section V-B: "by setting particular p_d, p_n, the time of the
+different stages of the pipeline is evenly distributed, so that we can
+maximize the utilization rate of hardware units".
+
+:class:`PipelineModel` computes the steady-state behaviour of such a
+row-pipelined datapath: total cycles for ``V`` rows equal the pipeline fill
+time plus ``V`` times the bottleneck stage's per-row cycle count.  It also
+reports per-stage utilization, which both the power model (idle stages burn
+less dynamic power) and the pipeline-balance ablation use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage of a row-pipelined datapath."""
+
+    name: str
+    cycles_per_row: int
+    fill_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_row < 0 or self.fill_latency < 0:
+            raise ValueError("stage cycle counts must be non-negative")
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """The result of scheduling ``num_rows`` rows through a pipeline."""
+
+    stages: tuple[PipelineStage, ...]
+    num_rows: int
+    total_cycles: int
+    bottleneck_stage: str
+    utilization: Dict[str, float]
+
+    @property
+    def bottleneck_cycles_per_row(self) -> int:
+        """Per-row cycles of the bottleneck stage."""
+        for stage in self.stages:
+            if stage.name == self.bottleneck_stage:
+                return stage.cycles_per_row
+        return 0
+
+    def balance(self) -> float:
+        """Ratio of the mean stage utilization to the bottleneck's (1.0 = even)."""
+        if not self.utilization:
+            return 1.0
+        values = list(self.utilization.values())
+        peak = max(values)
+        return float(sum(values) / len(values) / peak) if peak > 0 else 1.0
+
+
+class PipelineModel:
+    """Schedules rows through a sequence of stages pipelined across rows."""
+
+    def __init__(self, stages: Sequence[PipelineStage]):
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = tuple(stages)
+
+    @property
+    def fill_cycles(self) -> int:
+        """Cycles for the first row to traverse every stage."""
+        return sum(stage.cycles_per_row + stage.fill_latency for stage in self.stages)
+
+    @property
+    def bottleneck(self) -> PipelineStage:
+        """The stage with the largest per-row cycle count."""
+        return max(self.stages, key=lambda stage: stage.cycles_per_row)
+
+    def schedule(self, num_rows: int) -> PipelineSchedule:
+        """Cycle count and per-stage utilization for ``num_rows`` rows.
+
+        In steady state a new row enters every ``bottleneck.cycles_per_row``
+        cycles, so the total is the fill time of the first row plus the
+        issue interval times the remaining rows.  Stages cheaper than the
+        bottleneck sit idle part of the time; their utilization is the
+        ratio of their per-row work to the issue interval.
+        """
+        if num_rows < 0:
+            raise ValueError("num_rows must be non-negative")
+        if num_rows == 0:
+            return PipelineSchedule(
+                stages=self.stages,
+                num_rows=0,
+                total_cycles=0,
+                bottleneck_stage=self.bottleneck.name,
+                utilization={stage.name: 0.0 for stage in self.stages},
+            )
+        interval = max(1, self.bottleneck.cycles_per_row)
+        total = self.fill_cycles + interval * (num_rows - 1)
+        utilization = {}
+        for stage in self.stages:
+            busy = stage.cycles_per_row * num_rows
+            utilization[stage.name] = min(1.0, busy / total) if total else 0.0
+        return PipelineSchedule(
+            stages=self.stages,
+            num_rows=num_rows,
+            total_cycles=int(total),
+            bottleneck_stage=self.bottleneck.name,
+            utilization=utilization,
+        )
+
+    def issue_interval(self) -> int:
+        """Cycles between consecutive rows entering the pipeline."""
+        return max(1, self.bottleneck.cycles_per_row)

@@ -1,0 +1,129 @@
+"""FPGA resource model (paper Table III).
+
+Estimates LUT / FF / DSP usage of a HAAN accelerator configuration on the
+Xilinx Alveo U280.  The model is parametric in the two datapath widths and
+the input format:
+
+* every statistics lane costs a format-dependent number of DSPs (the two
+  multipliers of Figure 4 plus the adder-tree share) and LUT/FF glue,
+* every normalization lane costs the Figure 6 multiply/add datapath,
+* when the statistics width ``p_d`` is reduced below the normalization
+  width ``p_n`` (the subsampling configurations), the freed resources are
+  spent on deeper pipelining of the normalization units ("freeing up
+  hardware resources (e.g., DSP) for more normalization units with more
+  pipeline levels"), which shows up as *extra* LUT/FF, matching the trend in
+  Table III where the (32, 128) builds use more LUTs than (128, 128).
+
+Per-lane cost constants are calibrated against the six rows of Table III;
+the calibration targets and the achieved values are recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.configs import AcceleratorConfig
+from repro.numerics.quantization import DataFormat
+
+#: Device totals implied by Table III's "absolute value / percentage"
+#: columns (e.g. 1536 DSP = 12.5% -> 12288 DSP).  They differ slightly from
+#: the nominal Alveo U280 numbers because the paper counts SLR-level totals.
+DEVICE_TOTALS: Dict[str, int] = {
+    "lut": 1_714_000,
+    "ff": 3_400_000,
+    "dsp": 12_288,
+}
+
+#: Per-lane DSP cost of the Input Statistics Calculator, by format.
+_DSP_PER_STATS_LANE = {DataFormat.FP32: 5, DataFormat.FP16: 5, DataFormat.INT8: 2}
+#: Per-lane DSP cost of the Normalization Unit, by format.
+_DSP_PER_NORM_LANE = {DataFormat.FP32: 7, DataFormat.FP16: 7, DataFormat.INT8: 2}
+
+#: Per-lane LUT cost (stats / norm) and fixed control+invsqrt overhead.
+_LUT_PER_STATS_LANE = {DataFormat.FP32: 260, DataFormat.FP16: 160, DataFormat.INT8: 90}
+_LUT_PER_NORM_LANE = {DataFormat.FP32: 330, DataFormat.FP16: 220, DataFormat.INT8: 110}
+_LUT_BASE = 8_000
+
+#: Per-lane FF cost (stats / norm) and fixed overhead.
+_FF_PER_STATS_LANE = {DataFormat.FP32: 55, DataFormat.FP16: 35, DataFormat.INT8: 40}
+_FF_PER_NORM_LANE = {DataFormat.FP32: 70, DataFormat.FP16: 45, DataFormat.INT8: 40}
+_FF_BASE = 1_000
+
+#: Extra LUT/FF per unit of (p_n - p_d) spent on deeper normalization
+#: pipelines when the statistics width is reduced (subsampling configs).
+_PIPELINE_LUT_PER_FREED_LANE = {DataFormat.FP32: 420, DataFormat.FP16: 360, DataFormat.INT8: 40}
+_PIPELINE_FF_PER_FREED_LANE = {DataFormat.FP32: 95, DataFormat.FP16: 75, DataFormat.INT8: 5}
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """LUT / FF / DSP usage of one accelerator build."""
+
+    lut: int
+    ff: int
+    dsp: int
+
+    @property
+    def lut_fraction(self) -> float:
+        """LUT usage as a fraction of the device total."""
+        return self.lut / DEVICE_TOTALS["lut"]
+
+    @property
+    def ff_fraction(self) -> float:
+        """FF usage as a fraction of the device total."""
+        return self.ff / DEVICE_TOTALS["ff"]
+
+    @property
+    def dsp_fraction(self) -> float:
+        """DSP usage as a fraction of the device total."""
+        return self.dsp / DEVICE_TOTALS["dsp"]
+
+    def fits_device(self) -> bool:
+        """Whether the build fits in the device."""
+        return (
+            self.lut <= DEVICE_TOTALS["lut"]
+            and self.ff <= DEVICE_TOTALS["ff"]
+            and self.dsp <= DEVICE_TOTALS["dsp"]
+        )
+
+    def as_table_row(self) -> Dict[str, str]:
+        """Format in the "absolute / percentage" style of Table III."""
+        return {
+            "LUT": f"{self.lut / 1000:.0f}K/{self.lut_fraction * 100:.1f}%",
+            "FF": f"{self.ff / 1000:.0f}K/{self.ff_fraction * 100:.1f}%",
+            "DSP": f"{self.dsp}/{self.dsp_fraction * 100:.1f}%",
+        }
+
+
+class ResourceModel:
+    """Parametric FPGA resource estimator for HAAN configurations."""
+
+    def freed_stats_lanes(self, config: AcceleratorConfig) -> int:
+        """Stats lanes freed (and re-spent on pipelining) relative to ``p_n``."""
+        return max(0, config.norm_width - config.stats_width)
+
+    def estimate(self, config: AcceleratorConfig) -> ResourceEstimate:
+        """Estimate the resources of one accelerator configuration."""
+        fmt = config.data_format
+        pipelines = config.num_pipelines
+        freed = self.freed_stats_lanes(config)
+
+        dsp = (
+            _DSP_PER_STATS_LANE[fmt] * config.stats_width
+            + _DSP_PER_NORM_LANE[fmt] * config.norm_width
+        )
+        lut = (
+            _LUT_BASE
+            + _LUT_PER_STATS_LANE[fmt] * config.stats_width
+            + _LUT_PER_NORM_LANE[fmt] * config.norm_width
+            + _PIPELINE_LUT_PER_FREED_LANE[fmt] * freed
+        )
+        ff = (
+            _FF_BASE
+            + _FF_PER_STATS_LANE[fmt] * config.stats_width
+            + _FF_PER_NORM_LANE[fmt] * config.norm_width
+            + _PIPELINE_FF_PER_FREED_LANE[fmt] * freed
+        )
+        return ResourceEstimate(lut=lut * pipelines, ff=ff * pipelines, dsp=dsp * pipelines)

@@ -1,0 +1,48 @@
+"""Register-transfer-level models of the HAAN accelerator datapath.
+
+The functional units in :mod:`repro.hardware.units` compute whole rows at a
+time and attach analytical cycle counts.  The modules in this package model
+the same datapath (paper Figures 3-6) at the register-transfer level on top
+of the :mod:`repro.hdl` cycle-accurate simulator: data moves lane by lane
+and cycle by cycle through explicit registers, valid hand-shakes and an FSM
+controller, so pipeline depths, fill behaviour and hand-shake timing can be
+verified directly and waveforms dumped to VCD.
+
+Every RTL module is validated against its functional golden model in
+``tests/test_rtl_units.py`` / ``tests/test_rtl_top.py``.
+
+Contents
+--------
+
+* :mod:`repro.hardware.rtl.adder_tree_rtl` -- pipelined binary adder tree
+  plus a running accumulator (the two reduction paths of Figure 4).
+* :mod:`repro.hardware.rtl.converters_rtl` -- FP2FX and FX2FP register
+  stages (Figures 4 and 6).
+* :mod:`repro.hardware.rtl.invsqrt_rtl` -- the six-stage Square Root
+  Inverter pipeline of Figure 5 (FX2FP, magic-constant seed, Newton step).
+* :mod:`repro.hardware.rtl.stats_rtl` -- the streaming Input Statistics
+  Calculator of Figure 4.
+* :mod:`repro.hardware.rtl.norm_unit_rtl` -- the Normalization Unit of
+  Figure 6.
+* :mod:`repro.hardware.rtl.haan_top_rtl` -- the top-level row processor
+  wiring the units together behind a small controller FSM (Figure 3).
+"""
+
+from repro.hardware.rtl.adder_tree_rtl import AccumulatorRtl, AdderTreeRtl
+from repro.hardware.rtl.converters_rtl import Fp2FxRtl, Fx2FpRtl
+from repro.hardware.rtl.haan_top_rtl import HaanRowProcessorRtl, RowResult
+from repro.hardware.rtl.invsqrt_rtl import InvSqrtRtl
+from repro.hardware.rtl.norm_unit_rtl import NormUnitRtl
+from repro.hardware.rtl.stats_rtl import StatsCalculatorRtl
+
+__all__ = [
+    "AdderTreeRtl",
+    "AccumulatorRtl",
+    "Fp2FxRtl",
+    "Fx2FpRtl",
+    "InvSqrtRtl",
+    "StatsCalculatorRtl",
+    "NormUnitRtl",
+    "HaanRowProcessorRtl",
+    "RowResult",
+]

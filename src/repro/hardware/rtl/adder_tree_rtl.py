@@ -1,0 +1,149 @@
+"""Pipelined adder tree and accumulator at register-transfer level.
+
+The Input Statistics Calculator (paper Figure 4) reduces ``p_d`` lane
+values per cycle with a binary adder tree.  :class:`AdderTreeRtl` models the
+tree with one register stage per level, so a reduction issued in cycle
+``t`` emerges in cycle ``t + depth`` and a new reduction can be issued every
+cycle (initiation interval of one).  :class:`AccumulatorRtl` is the small
+register that collects per-beat sums into the running ``E(X)`` / ``E(X^2)``
+totals across the multiple passes needed for LLM embedding widths.
+
+Lane payloads are raw fixed-point codes (two's complement); the tree sums
+codes exactly and relies on the accumulator format being wide enough, the
+same assumption the functional :class:`~repro.hardware.units.adder_tree.AdderTree`
+makes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.hdl.module import Module
+from repro.hdl.signal import Register, Wire
+from repro.numerics.fixedpoint import FixedPointFormat
+
+
+class AdderTreeRtl(Module):
+    """Binary adder tree with one pipeline register per level.
+
+    Parameters
+    ----------
+    name:
+        Module instance name.
+    width:
+        Number of leaf inputs (lane count ``p_d``).
+    code_width:
+        Bit width of each lane's fixed-point code.
+    sum_width:
+        Bit width of the intermediate and final sums.  Defaults to a width
+        large enough that a full tree of ``code_width`` inputs cannot
+        overflow (``code_width + ceil(log2(width))``), capped at 63 bits.
+    """
+
+    def __init__(self, name: str, width: int, code_width: int = 32, sum_width: int | None = None):
+        super().__init__(name)
+        if width < 1:
+            raise ValueError("adder tree width must be positive")
+        self.width = width
+        self.depth = max(1, math.ceil(math.log2(width))) if width > 1 else 1
+        if sum_width is None:
+            sum_width = min(63, code_width + self.depth)
+        self.sum_width = sum_width
+
+        self.in_lanes = Wire("in_lanes", width=code_width, signed=True, lanes=width)
+        self.in_valid = Wire("in_valid", width=1)
+        self.out_sum = Wire("out_sum", width=sum_width, signed=True)
+        self.out_valid = Wire("out_valid", width=1)
+
+        # One register bank per tree level; level k holds ceil(width / 2^k)
+        # partial sums.  Valid bits ride along the pipeline.
+        self._levels: List[Register] = []
+        lanes = width
+        for level in range(1, self.depth + 1):
+            lanes = math.ceil(lanes / 2)
+            reg = Register(f"level{level}", width=sum_width, signed=True, lanes=lanes)
+            setattr(self, f"level{level}", reg)
+            self._levels.append(reg)
+        self.valid_pipe = Register("valid_pipe", width=max(1, self.depth), lanes=1)
+
+    # -- behaviour ---------------------------------------------------------
+
+    @staticmethod
+    def _pairwise(values: np.ndarray) -> np.ndarray:
+        """Sum adjacent pairs; an odd trailing element passes through."""
+        if values.size == 1:
+            return values.copy()
+        pairs = values.size // 2
+        summed = values[: 2 * pairs : 2] + values[1 : 2 * pairs : 2]
+        if values.size % 2:
+            summed = np.concatenate([summed, values[-1:]])
+        return summed
+
+    def propagate(self) -> None:
+        # Stage 0 -> 1: reduce the input lanes when a beat is presented.
+        stage_input = self.in_lanes.values if self.in_valid.value else np.zeros(self.width, dtype=np.int64)
+        self._levels[0].set_next(self._pairwise(stage_input))
+        # Later stages reduce the previous level's registered partial sums.
+        for level in range(1, self.depth):
+            self._levels[level].set_next(self._pairwise(self._levels[level - 1].values))
+        # Valid shift register tracks beats through the pipeline.
+        shifted = ((self.valid_pipe.value << 1) | (1 if self.in_valid.value else 0)) & (
+            (1 << self.depth) - 1
+        )
+        self.valid_pipe.set_next(shifted)
+        # Outputs reflect the last register level.
+        final = self._levels[-1].values
+        self.out_sum.drive(int(final.sum()) if final.size > 1 else int(final[0]))
+        self.out_valid.drive((self.valid_pipe.value >> (self.depth - 1)) & 0x1)
+
+    @property
+    def latency(self) -> int:
+        """Cycles from a beat on ``in_lanes`` to its sum on ``out_sum``."""
+        return self.depth
+
+
+class AccumulatorRtl(Module):
+    """Running accumulator with clear, matching the interim-result buffers.
+
+    Adds ``in_value`` to the total on every cycle ``in_valid`` is high;
+    ``clear`` empties the register (takes precedence over accumulation so a
+    new row can start immediately after the previous one finishes).  The
+    output saturates to the configured fixed-point format exactly like the
+    functional adder tree saturates its output register.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        value_width: int = 40,
+        output_format: FixedPointFormat | None = None,
+    ):
+        super().__init__(name)
+        self.output_format = output_format or FixedPointFormat.statistics()
+        self.in_value = Wire("in_value", width=value_width, signed=True)
+        self.in_valid = Wire("in_valid", width=1)
+        self.clear = Wire("clear", width=1)
+        self.total = Register("total", width=min(63, value_width + 16), signed=True)
+        self.out_code = Wire("out_code", width=self.output_format.total_bits, signed=True)
+        self.beats = Register("beats", width=24)
+
+    def propagate(self) -> None:
+        if self.clear.value:
+            self.total.set_next(0)
+            self.beats.set_next(0)
+        elif self.in_valid.value:
+            self.total.set_next(self.total.value + self.in_value.value)
+            self.beats.set_next(self.beats.value + 1)
+        else:
+            self.total.hold()
+            self.beats.hold()
+        bounded = self.output_format._bound(np.array(float(self.total.value)))
+        self.out_code.drive(int(bounded))
+
+    @property
+    def beats_accumulated(self) -> int:
+        """Number of beats added since the last clear."""
+        return self.beats.value

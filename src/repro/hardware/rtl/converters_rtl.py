@@ -1,0 +1,135 @@
+"""FP2FX and FX2FP conversion stages at register-transfer level.
+
+Figure 4 of the paper places FP2FX units in front of the Input Statistics
+Calculator (floating-point activations are converted once, then the whole
+normalization datapath works on fixed-point codes), and Figure 6 places an
+FX2FP unit at the output of the Normalization Unit (bypassed when INT8
+quantization keeps the output in fixed point).
+
+Both converters here are single-register pipeline stages: a beat presented
+with ``in_valid`` high appears converted on the outputs one cycle later
+with ``out_valid`` high.  Lane payloads are raw bit patterns -- IEEE-754
+bits on the floating-point side, two's-complement codes on the fixed-point
+side -- so the modules are faithful to what a synthesised converter sees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdl.module import Module
+from repro.hdl.signal import Register, Wire
+from repro.numerics.fixedpoint import FixedPointFormat
+from repro.numerics.floating import FP32, FloatFormat, from_bits, to_bits
+
+
+class Fp2FxRtl(Module):
+    """Floating-point to fixed-point converter bank (one lane per element).
+
+    Parameters
+    ----------
+    name:
+        Module instance name.
+    lanes:
+        Number of elements converted per cycle.
+    float_format:
+        Input IEEE-754 format (FP16 or FP32); lane payloads are its raw bits.
+    fixed_format:
+        Output fixed-point format; lane payloads are its raw codes.
+    bypass:
+        When True the input lanes are assumed to already carry fixed-point
+        codes (INT8 mode) and pass through unchanged, as the paper's FP2FX
+        units do for quantized inputs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lanes: int,
+        float_format: FloatFormat = FP32,
+        fixed_format: FixedPointFormat | None = None,
+        bypass: bool = False,
+    ):
+        super().__init__(name)
+        self.lanes = lanes
+        self.float_format = float_format
+        self.fixed_format = fixed_format or FixedPointFormat.statistics()
+        self.bypass = bypass
+
+        self.in_bits = Wire("in_bits", width=float_format.total_bits, lanes=lanes)
+        self.in_valid = Wire("in_valid", width=1)
+        self.out_codes = Register(
+            "out_codes", width=self.fixed_format.total_bits, signed=True, lanes=lanes
+        )
+        self.out_valid = Register("out_valid", width=1)
+        self.elements_converted = Register("elements_converted", width=32)
+
+    def propagate(self) -> None:
+        if self.in_valid.value:
+            if self.bypass:
+                codes = self.in_bits.values
+            else:
+                reals = from_bits(self.in_bits.values, self.float_format)
+                codes = self.fixed_format.encode(reals)
+            self.out_codes.set_next(codes)
+            self.elements_converted.set_next(self.elements_converted.value + self.lanes)
+        else:
+            self.out_codes.hold()
+            self.elements_converted.hold()
+        self.out_valid.set_next(self.in_valid.value)
+
+    @property
+    def latency(self) -> int:
+        """Pipeline latency in cycles."""
+        return 1
+
+
+class Fx2FpRtl(Module):
+    """Fixed-point to floating-point converter (scalar or multi-lane).
+
+    The Square Root Inverter uses a scalar instance to convert the variance
+    before the bit-hack seed; the Normalization Unit uses a ``p_n``-lane
+    instance on its output (bypassed for INT8).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lanes: int = 1,
+        float_format: FloatFormat = FP32,
+        fixed_format: FixedPointFormat | None = None,
+        bypass: bool = False,
+    ):
+        super().__init__(name)
+        self.lanes = lanes
+        self.float_format = float_format
+        self.fixed_format = fixed_format or FixedPointFormat.statistics()
+        self.bypass = bypass
+
+        self.in_codes = Wire("in_codes", width=self.fixed_format.total_bits, signed=True, lanes=lanes)
+        self.in_valid = Wire("in_valid", width=1)
+        self.out_bits = Register("out_bits", width=float_format.total_bits, lanes=lanes)
+        self.out_valid = Register("out_valid", width=1)
+
+    def propagate(self) -> None:
+        if self.in_valid.value:
+            if self.bypass:
+                self.out_bits.set_next(self.in_codes.values)
+            else:
+                reals = self.fixed_format.decode(self.in_codes.values)
+                bits = to_bits(reals, self.float_format)
+                self.out_bits.set_next(bits)
+        else:
+            self.out_bits.hold()
+        self.out_valid.set_next(self.in_valid.value)
+
+    def decoded_output(self) -> np.ndarray:
+        """Current output reinterpreted as real numbers (testing helper)."""
+        if self.bypass:
+            return self.fixed_format.decode(self.out_bits.values)
+        return from_bits(self.out_bits.values, self.float_format)
+
+    @property
+    def latency(self) -> int:
+        """Pipeline latency in cycles."""
+        return 1

@@ -1,0 +1,294 @@
+"""Top-level HAAN row processor at register-transfer level (Figure 3).
+
+:class:`HaanRowProcessorRtl` wires the Input Statistics Calculator, the
+Square Root Inverter and the Normalization Unit behind a small controller
+FSM and processes one normalization row (one token's embedding vector) at a
+time:
+
+``IDLE -> STATS -> WAIT_STATS -> WAIT_ISD -> NORM -> DRAIN -> DONE``
+
+The ISD-skipping path of the paper maps onto the FSM directly: when a
+predicted ISD is supplied with the row, the ``WAIT_ISD`` state (and, for
+RMSNorm, the whole statistics pass) is bypassed, which is exactly where the
+latency saving of Algorithm 1 comes from.  Subsampling shortens the
+``STATS`` phase to ``ceil(N_sub / p_d)`` beats while the ``NORM`` phase
+still streams the full row.
+
+The module keeps the row payload in plain Python buffers (standing in for
+the chunked memory of Figure 7) and moves data through the datapath
+submodules over their signal-level interfaces, so the cycle counts it
+produces can be compared against both the analytical pipeline model and the
+paper's latency claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware.rtl.invsqrt_rtl import InvSqrtRtl
+from repro.hardware.rtl.norm_unit_rtl import NormUnitRtl
+from repro.hardware.rtl.stats_rtl import StatsCalculatorRtl
+from repro.hdl.module import Module
+from repro.hdl.signal import Register, Wire
+from repro.numerics.fixedpoint import FixedPointFormat
+
+
+@dataclass
+class RowResult:
+    """Output of one processed row."""
+
+    output: np.ndarray
+    mean: float
+    isd: float
+    cycles: int
+    skipped: bool
+
+
+class HaanRowProcessorRtl(Module):
+    """Controller FSM plus datapath for one normalization row.
+
+    Parameters
+    ----------
+    name:
+        Module instance name.
+    stats_width:
+        Lane count ``p_d`` of the statistics calculator.
+    norm_width:
+        Lane count ``p_n`` of the normalization unit.
+    compute_mean:
+        True for LayerNorm, False for RMSNorm.
+    fixed_format:
+        Working fixed-point format of the datapath.
+    """
+
+    # FSM state encoding.
+    IDLE, STATS, WAIT_STATS, WAIT_ISD, NORM, DRAIN, DONE = range(7)
+
+    def __init__(
+        self,
+        name: str = "haan_row",
+        stats_width: int = 8,
+        norm_width: int = 8,
+        compute_mean: bool = True,
+        fixed_format: FixedPointFormat | None = None,
+    ):
+        super().__init__(name)
+        self.stats_width = stats_width
+        self.norm_width = norm_width
+        self.compute_mean = compute_mean
+        self.fixed_format = fixed_format or FixedPointFormat.statistics()
+
+        self.stats = StatsCalculatorRtl(
+            "stats", width=stats_width, fixed_format=self.fixed_format, compute_mean=compute_mean
+        )
+        self.invsqrt = InvSqrtRtl("invsqrt", variance_format=self.fixed_format)
+        self.norm = NormUnitRtl(
+            "norm",
+            width=norm_width,
+            fixed_format=self.fixed_format,
+            isd_format=self.invsqrt.newton_format,
+        )
+
+        self.state = Register("state", width=3)
+        self.stat_beat = Register("stat_beat", width=16)
+        self.norm_beat = Register("norm_beat", width=16)
+        self.isd_code = Register("isd_code", width=self.invsqrt.newton_format.total_bits, signed=True)
+        self.busy = Wire("busy", width=1)
+        self.done = Wire("done", width=1)
+
+        # Row payload (Python-side memory standing in for Figure 7's layout).
+        self._row_codes: Optional[np.ndarray] = None
+        self._alpha_codes: Optional[np.ndarray] = None
+        self._beta_codes: Optional[np.ndarray] = None
+        self._row_length = 0
+        self._effective_length = 0
+        self._predicted_isd_code: Optional[int] = None
+        self._pending = False
+        self._start_cycle = 0
+        self._cycles_now = 0
+        self._collected: List[np.ndarray] = []
+        self._result: Optional[RowResult] = None
+
+    # -- row loading ---------------------------------------------------------
+
+    def load_row(
+        self,
+        row: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        subsample_length: Optional[int] = None,
+        predicted_isd: Optional[float] = None,
+    ) -> None:
+        """Stage one row for processing (picked up at the next IDLE cycle)."""
+        row = np.asarray(row, dtype=np.float64).reshape(-1)
+        gamma = np.asarray(gamma, dtype=np.float64).reshape(-1)
+        beta = np.asarray(beta, dtype=np.float64).reshape(-1)
+        if gamma.shape != row.shape or beta.shape != row.shape:
+            raise ValueError("gamma and beta must match the row length")
+        self._row_codes = self.fixed_format.encode(row)
+        self._alpha_codes = self.fixed_format.encode(gamma)
+        self._beta_codes = self.fixed_format.encode(beta)
+        self._row_length = row.size
+        self._effective_length = (
+            row.size if subsample_length is None else min(subsample_length, row.size)
+        )
+        if predicted_isd is None:
+            self._predicted_isd_code = None
+        else:
+            self._predicted_isd_code = int(self.invsqrt.newton_format.encode(predicted_isd))
+        self._pending = True
+        self._collected = []
+        self._result = None
+        self._start_cycle = self._cycles_now
+
+    # -- helpers ----------------------------------------------------------------
+
+    @property
+    def skipping(self) -> bool:
+        """Whether the currently loaded row uses a predicted ISD."""
+        return self._predicted_isd_code is not None
+
+    def _lanes(self, codes: np.ndarray, beat: int, width: int, limit: int) -> np.ndarray:
+        """Extract one beat of ``width`` lanes, zero-padding past ``limit``."""
+        start = beat * width
+        stop = min(start + width, limit)
+        lanes = np.zeros(width, dtype=np.int64)
+        if start < stop:
+            lanes[: stop - start] = codes[start:stop]
+        return lanes
+
+    def _stats_beats(self) -> int:
+        return int(np.ceil(self._effective_length / self.stats_width)) if self._effective_length else 0
+
+    def _norm_beats(self) -> int:
+        return int(np.ceil(self._row_length / self.norm_width)) if self._row_length else 0
+
+    # -- behaviour ----------------------------------------------------------------
+
+    def propagate(self) -> None:
+        state = self.state.value
+
+        # Default (idle) drives for every submodule input.
+        self.stats.in_valid.drive(0)
+        self.stats.in_last.drive(0)
+        self.stats.in_codes.drive(np.zeros(self.stats_width, dtype=np.int64))
+        self.stats.count.drive(max(1, self._effective_length))
+        self.invsqrt.in_valid.drive(0)
+        self.invsqrt.in_code.drive(0)
+        self.norm.in_valid.drive(0)
+        self.norm.in_codes.drive(np.zeros(self.norm_width, dtype=np.int64))
+        self.norm.alpha_codes.drive(np.zeros(self.norm_width, dtype=np.int64))
+        self.norm.beta_codes.drive(np.zeros(self.norm_width, dtype=np.int64))
+        self.norm.mean_code.drive(self.stats.mean_hold.value if self.compute_mean else 0)
+        isd_drive = (
+            self._predicted_isd_code
+            if self._predicted_isd_code is not None
+            else self.isd_code.value
+        )
+        self.norm.isd_code.drive(isd_drive)
+
+        next_state = state
+        self.stat_beat.hold()
+        self.norm_beat.hold()
+        self.isd_code.hold()
+
+        if state == self.IDLE:
+            if self._pending:
+                if self.skipping and not self.compute_mean:
+                    # RMSNorm skip: no statistics needed at all.
+                    next_state = self.NORM
+                else:
+                    next_state = self.STATS
+                self.stat_beat.set_next(0)
+                self.norm_beat.set_next(0)
+
+        elif state == self.STATS:
+            beat = self.stat_beat.value
+            total = self._stats_beats()
+            lanes = self._lanes(self._row_codes, beat, self.stats_width, self._effective_length)
+            self.stats.in_codes.drive(lanes)
+            self.stats.in_valid.drive(1)
+            last = beat == total - 1
+            self.stats.in_last.drive(1 if last else 0)
+            self.stat_beat.set_next(beat + 1)
+            if last:
+                next_state = self.WAIT_STATS
+
+        elif state == self.WAIT_STATS:
+            if self.stats.out_valid.value:
+                if self.skipping:
+                    next_state = self.NORM
+                else:
+                    self.invsqrt.in_code.drive(self.stats.variance_code.value)
+                    self.invsqrt.in_valid.drive(1)
+                    next_state = self.WAIT_ISD
+
+        elif state == self.WAIT_ISD:
+            if self.invsqrt.out_valid.value:
+                self.isd_code.set_next(self.invsqrt.out_code.value)
+                next_state = self.NORM
+
+        elif state == self.NORM:
+            beat = self.norm_beat.value
+            total = self._norm_beats()
+            self.norm.in_codes.drive(self._lanes(self._row_codes, beat, self.norm_width, self._row_length))
+            self.norm.alpha_codes.drive(self._lanes(self._alpha_codes, beat, self.norm_width, self._row_length))
+            self.norm.beta_codes.drive(self._lanes(self._beta_codes, beat, self.norm_width, self._row_length))
+            self.norm.in_valid.drive(1)
+            self.norm_beat.set_next(beat + 1)
+            if beat == total - 1:
+                next_state = self.DRAIN
+
+        elif state == self.DRAIN:
+            if len(self._collected) >= self._norm_beats():
+                next_state = self.DONE
+
+        elif state == self.DONE:
+            next_state = self.IDLE
+
+        self.state.set_next(next_state)
+        self.busy.drive(0 if state in (self.IDLE, self.DONE) else 1)
+        self.done.drive(1 if state == self.DONE else 0)
+
+    def clock_edge(self) -> None:
+        # Collect normalized beats as they emerge.
+        if self.norm.out_valid.value and self.state.value in (self.NORM, self.DRAIN):
+            self._collected.append(self.norm.out_codes.values)
+        if self.state.value == self.DONE and self._result is None:
+            self._finalize()
+        if self.state.value == self.IDLE and self._pending:
+            self._pending = False
+        self._cycles_now += 1
+
+    def _finalize(self) -> None:
+        beats = np.concatenate(self._collected) if self._collected else np.zeros(0, dtype=np.int64)
+        output = self.fixed_format.decode(beats[: self._row_length])
+        mean = float(self.stats.decoded_mean()) if self.compute_mean else 0.0
+        if self.skipping:
+            isd = float(self.invsqrt.newton_format.decode(np.array(self._predicted_isd_code)))
+        else:
+            isd = float(self.invsqrt.newton_format.decode(np.array(self.isd_code.value)))
+        self._result = RowResult(
+            output=output,
+            mean=mean,
+            isd=isd,
+            cycles=self._cycles_now - self._start_cycle,
+            skipped=self.skipping,
+        )
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the loaded row has been fully processed."""
+        return self._result is not None
+
+    @property
+    def result(self) -> RowResult:
+        """Result of the most recently processed row."""
+        if self._result is None:
+            raise RuntimeError("row not finished; check `finished` before reading the result")
+        return self._result

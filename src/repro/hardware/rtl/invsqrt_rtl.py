@@ -1,0 +1,155 @@
+"""Square Root Inverter pipeline at register-transfer level (Figure 5).
+
+The unit turns a variance (fixed-point code) into the inverse standard
+deviation ``1/sqrt(var)``.  The six pipeline stages mirror the datapath of
+the paper's Figure 5 and the latency assumed by
+:class:`repro.hardware.configs.AcceleratorConfig.inv_sqrt_latency`:
+
+1. **FX2FP** -- decode the variance code into an FP32 bit pattern.
+2. **Seed** -- the bit hack ``0x5f3759df - (bits >> 1)`` (equation (8)).
+3. **Quantize** -- convert the seed and the variance into the Q9.23 Newton
+   fixed-point format (the constant 1.5 appears as ``0x00C00000``).
+4. **Newton A** -- compute ``t = 0.5 * x * y0^2``.
+5. **Newton B** -- compute ``y1 = y0 * (1.5 - t)`` (equation (9)).
+6. **Output register** -- present the refined ISD and its valid flag.
+
+A new variance can be accepted every cycle; results appear after
+:attr:`InvSqrtRtl.latency` cycles.  The arithmetic of each stage reproduces
+the functional :class:`~repro.numerics.fast_inv_sqrt.FastInvSqrt` model, so
+the RTL and golden outputs agree code for code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdl.module import Module
+from repro.hdl.signal import Register, Wire
+from repro.numerics.fast_inv_sqrt import NEWTON_FRACTION_BITS, NEWTON_THREE_HALVES_CODE
+from repro.numerics.fixedpoint import FixedPointFormat
+from repro.numerics.floating import FP32, FloatFormat, from_bits, to_bits
+from repro.numerics.fast_inv_sqrt import _magic_for
+
+
+class InvSqrtRtl(Module):
+    """Six-stage pipelined inverse-square-root unit.
+
+    Parameters
+    ----------
+    name:
+        Module instance name.
+    variance_format:
+        Fixed-point format of the incoming variance codes.
+    newton_format:
+        Fixed-point format of the Newton refinement (Q9.23 per Figure 5).
+    float_format:
+        Floating-point format of the seed computation (FP32).
+    """
+
+    def __init__(
+        self,
+        name: str = "invsqrt",
+        variance_format: FixedPointFormat | None = None,
+        newton_format: FixedPointFormat | None = None,
+        float_format: FloatFormat = FP32,
+    ):
+        super().__init__(name)
+        self.variance_format = variance_format or FixedPointFormat.statistics()
+        self.newton_format = newton_format or FixedPointFormat(
+            integer_bits=9, fraction_bits=NEWTON_FRACTION_BITS
+        )
+        self.float_format = float_format
+        self._magic = _magic_for(float_format)
+        self._three_halves = NEWTON_THREE_HALVES_CODE * 2.0 ** (-NEWTON_FRACTION_BITS)
+
+        var_bits = self.variance_format.total_bits
+        newton_bits = self.newton_format.total_bits
+        float_bits = float_format.total_bits
+
+        # Interface.
+        self.in_code = Wire("in_code", width=var_bits, signed=True)
+        self.in_valid = Wire("in_valid", width=1)
+        self.out_code = Wire("out_code", width=newton_bits, signed=True)
+        self.out_valid = Wire("out_valid", width=1)
+
+        # Stage 1: FX2FP.
+        self.s1_bits = Register("s1_bits", width=float_bits)
+        # Stage 2: seed bits plus the variance bits carried alongside.
+        self.s2_seed_bits = Register("s2_seed_bits", width=float_bits)
+        self.s2_x_bits = Register("s2_x_bits", width=float_bits)
+        # Stage 3: operands quantized to the Newton format.
+        self.s3_y0 = Register("s3_y0", width=newton_bits, signed=True)
+        self.s3_x = Register("s3_x", width=newton_bits, signed=True)
+        # Stage 4: t = 0.5 * x * y0^2 (plus y0 carried along).
+        self.s4_t = Register("s4_t", width=newton_bits, signed=True)
+        self.s4_y0 = Register("s4_y0", width=newton_bits, signed=True)
+        # Stage 5: refined y1.
+        self.s5_y1 = Register("s5_y1", width=newton_bits, signed=True)
+        # Stage 6: output register.
+        self.s6_out = Register("s6_out", width=newton_bits, signed=True)
+        # Valid bits travel in a shift register, one bit per stage.
+        self.valid_pipe = Register("valid_pipe", width=6)
+        # Activity counter consumed by power/energy book-keeping tests.
+        self.values_processed = Register("values_processed", width=32)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _quantize_newton(self, value: float) -> int:
+        """Encode a real value into the Newton fixed-point format."""
+        return int(self.newton_format.encode(value))
+
+    # -- behaviour --------------------------------------------------------------
+
+    def propagate(self) -> None:
+        fmt = self.float_format
+
+        # Stage 1: variance code -> FP bits.
+        variance_real = self.variance_format.decode(np.array(self.in_code.value))
+        self.s1_bits.set_next(int(to_bits(variance_real, fmt)))
+
+        # Stage 2: bit-hack seed; carry the variance bits forward.
+        seed_bits = (self._magic - (self.s1_bits.value >> 1)) & ((1 << fmt.total_bits) - 1)
+        self.s2_seed_bits.set_next(seed_bits)
+        self.s2_x_bits.set_next(self.s1_bits.value)
+
+        # Stage 3: quantize seed and variance into the Newton format.
+        seed_real = float(from_bits(np.array(self.s2_seed_bits.value), fmt))
+        x_real = float(from_bits(np.array(self.s2_x_bits.value), fmt))
+        self.s3_y0.set_next(self._quantize_newton(seed_real))
+        self.s3_x.set_next(self._quantize_newton(x_real))
+
+        # Stage 4: t = 0.5 * x * y0^2 in the Newton format.
+        y0 = float(self.newton_format.decode(np.array(self.s3_y0.value)))
+        x = float(self.newton_format.decode(np.array(self.s3_x.value)))
+        t = 0.5 * x * y0 * y0
+        self.s4_t.set_next(self._quantize_newton(t))
+        self.s4_y0.set_next(self.s3_y0.value)
+
+        # Stage 5: y1 = y0 * (1.5 - t), quantized back to the Newton format.
+        t_real = float(self.newton_format.decode(np.array(self.s4_t.value)))
+        y0_real = float(self.newton_format.decode(np.array(self.s4_y0.value)))
+        y1 = y0_real * (self._three_halves - t_real)
+        self.s5_y1.set_next(self._quantize_newton(y1))
+
+        # Stage 6: output register.
+        self.s6_out.set_next(self.s5_y1.value)
+
+        # Valid pipeline and activity counter.
+        shifted = ((self.valid_pipe.value << 1) | (1 if self.in_valid.value else 0)) & 0x3F
+        self.valid_pipe.set_next(shifted)
+        if self.in_valid.value:
+            self.values_processed.set_next(self.values_processed.value + 1)
+        else:
+            self.values_processed.hold()
+
+        self.out_code.drive(self.s6_out.value)
+        self.out_valid.drive((self.valid_pipe.value >> 5) & 0x1)
+
+    @property
+    def latency(self) -> int:
+        """Cycles from accepting a variance to presenting its ISD."""
+        return 6
+
+    def decode_output(self) -> float:
+        """Current output code as a real ISD value (testing helper)."""
+        return float(self.newton_format.decode(np.array(self.out_code.value)))

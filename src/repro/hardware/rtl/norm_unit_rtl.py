@@ -1,0 +1,125 @@
+"""Normalization Unit at register-transfer level (Figure 6).
+
+Streams ``p_n`` elements per beat and applies
+
+``out = alpha * (z - mean) * ISD + beta``
+
+in two register stages: the first subtracts the mean and multiplies by the
+ISD, the second applies the affine transform.  The mean and ISD are scalar
+side inputs held stable for the duration of a row (they come from the
+Input Statistics Calculator / Square Root Inverter, or from the ISD
+predictor for skipped layers -- the unit does not care which, exactly as in
+the paper where the predictor simply bypasses the square-root inverter).
+
+All payloads are fixed-point codes in the unit's ``fixed_format``; the
+FX2FP output conversion of Figure 6 is modelled by
+:class:`repro.hardware.rtl.converters_rtl.Fx2FpRtl` and bypassed when INT8
+quantization keeps the output in fixed point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdl.module import Module
+from repro.hdl.signal import Register, Wire
+from repro.numerics.fixedpoint import FixedPointFormat
+
+
+class NormUnitRtl(Module):
+    """Two-stage pipelined normalization unit.
+
+    Parameters
+    ----------
+    name:
+        Module instance name.
+    width:
+        Lane count ``p_n`` (elements processed per beat).
+    fixed_format:
+        Fixed-point format of element, mean, ISD, alpha and beta codes.
+    isd_format:
+        Format of the ISD side input (the square-root inverter produces
+        Q9.23 codes); defaults to the element format.
+    """
+
+    def __init__(
+        self,
+        name: str = "norm_unit",
+        width: int = 8,
+        fixed_format: FixedPointFormat | None = None,
+        isd_format: FixedPointFormat | None = None,
+    ):
+        super().__init__(name)
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.width = width
+        self.fixed_format = fixed_format or FixedPointFormat.statistics()
+        self.isd_format = isd_format or self.fixed_format
+        code_bits = self.fixed_format.total_bits
+
+        # Streaming element input.
+        self.in_codes = Wire("in_codes", width=code_bits, signed=True, lanes=width)
+        self.in_valid = Wire("in_valid", width=1)
+        # Per-row side inputs (held stable while the row streams).
+        self.mean_code = Wire("mean_code", width=code_bits, signed=True)
+        self.isd_code = Wire("isd_code", width=self.isd_format.total_bits, signed=True)
+        self.alpha_codes = Wire("alpha_codes", width=code_bits, signed=True, lanes=width)
+        self.beta_codes = Wire("beta_codes", width=code_bits, signed=True, lanes=width)
+
+        # Stage 1: centred and scaled values.
+        self.s1_scaled = Register("s1_scaled", width=code_bits, signed=True, lanes=width)
+        self.s1_alpha = Register("s1_alpha", width=code_bits, signed=True, lanes=width)
+        self.s1_beta = Register("s1_beta", width=code_bits, signed=True, lanes=width)
+        # Stage 2: affine output.
+        self.out_codes = Register("out_codes", width=code_bits, signed=True, lanes=width)
+        self.valid_pipe = Register("valid_pipe", width=2)
+        self.out_valid = Wire("out_valid", width=1)
+        self.elements_processed = Register("elements_processed", width=32)
+
+    # -- behaviour ------------------------------------------------------------
+
+    def propagate(self) -> None:
+        fmt = self.fixed_format
+
+        # Stage 1: (z - mean) * isd, quantized to the working format.
+        if self.in_valid.value:
+            z = fmt.decode(self.in_codes.values)
+            mean = float(fmt.decode(np.array(self.mean_code.value)))
+            isd = float(self.isd_format.decode(np.array(self.isd_code.value)))
+            centered = fmt.quantize(z - mean)
+            scaled = fmt.quantize(centered * isd)
+            self.s1_scaled.set_next(fmt.encode(scaled))
+            self.s1_alpha.set_next(self.alpha_codes.values)
+            self.s1_beta.set_next(self.beta_codes.values)
+            self.elements_processed.set_next(self.elements_processed.value + self.width)
+        else:
+            self.s1_scaled.hold()
+            self.s1_alpha.hold()
+            self.s1_beta.hold()
+            self.elements_processed.hold()
+
+        # Stage 2: alpha * scaled + beta.
+        scaled_real = fmt.decode(self.s1_scaled.values)
+        alpha_real = fmt.decode(self.s1_alpha.values)
+        beta_real = fmt.decode(self.s1_beta.values)
+        affine = fmt.quantize(scaled_real * alpha_real + beta_real)
+        self.out_codes.set_next(fmt.encode(affine))
+
+        shifted = ((self.valid_pipe.value << 1) | (1 if self.in_valid.value else 0)) & 0x3
+        self.valid_pipe.set_next(shifted)
+        self.out_valid.drive((self.valid_pipe.value >> 1) & 0x1)
+
+    @property
+    def latency(self) -> int:
+        """Cycles from an input beat to its normalized output beat."""
+        return 2
+
+    def decoded_output(self) -> np.ndarray:
+        """Current output beat as real values (testing helper)."""
+        return self.fixed_format.decode(self.out_codes.values)
+
+    def beats_for(self, row_length: int) -> int:
+        """Beats needed to normalize one row of ``row_length`` elements."""
+        if row_length <= 0:
+            return 0
+        return int(np.ceil(row_length / self.width))

@@ -1,0 +1,194 @@
+"""Input Statistics Calculator at register-transfer level (Figure 4).
+
+The unit streams a row of fixed-point codes, ``p_d`` lanes per beat, and
+produces the row's mean and variance using the rearranged form
+``Var(z) = E(z^2) - (E(z))^2`` (paper equation (5)).  Two parallel
+reduction paths run concurrently, exactly as drawn in Figure 4:
+
+* the *square* path multiplies each element by itself and by the
+  precomputed ``1/N`` before reduction (``E(z^2)``), and
+* the *sum* path reduces the raw elements to form the mean.
+
+Both paths share the streaming schedule: ``ceil(N_eff / p_d)`` beats per
+row, where ``N_eff`` is the subsample length when subsampling is enabled.
+After the last beat an epilogue of two cycles forms ``(E(z))^2`` and the
+subtraction, matching the ``+ 2`` epilogue the functional
+:meth:`~repro.hardware.units.stats_calculator.InputStatisticsCalculator.cycles_for`
+model charges.
+
+Interface
+---------
+
+``in_codes`` / ``in_valid`` / ``in_last``
+    Streaming input beats of fixed-point codes; ``in_last`` marks the final
+    beat of a row.  Unused lanes in the final beat must carry zeros.
+``count``
+    Number of valid elements in the row (``N_eff``), used for the ``1/N``
+    scaling; must be stable while the row streams.
+``mean_code`` / ``variance_code`` / ``out_valid``
+    Row statistics as fixed-point codes, with a one-cycle valid pulse two
+    cycles after the last beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdl.module import Module
+from repro.hdl.signal import Register, Wire
+from repro.numerics.fixedpoint import FixedPointFormat
+
+
+class StatsCalculatorRtl(Module):
+    """Streaming mean/variance calculator.
+
+    Parameters
+    ----------
+    name:
+        Module instance name.
+    width:
+        Lane count ``p_d``.
+    fixed_format:
+        Fixed-point format of input codes, internal accumulation and the
+        output statistics.
+    compute_mean:
+        When False (RMSNorm) the mean path is disabled and the output mean
+        is zero, as in the paper ("For RMSNorm, the mean is not required").
+    eps:
+        Small constant added to the variance so the downstream square-root
+        inverter never receives a non-positive value.
+    """
+
+    #: Cycles between the last input beat and the statistics valid pulse.
+    EPILOGUE_CYCLES = 2
+
+    def __init__(
+        self,
+        name: str = "stats",
+        width: int = 8,
+        fixed_format: FixedPointFormat | None = None,
+        compute_mean: bool = True,
+        eps: float = 1e-5,
+    ):
+        super().__init__(name)
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.width = width
+        self.fixed_format = fixed_format or FixedPointFormat.statistics()
+        self.compute_mean = compute_mean
+        self.eps = eps
+        code_bits = self.fixed_format.total_bits
+
+        # Streaming input.
+        self.in_codes = Wire("in_codes", width=code_bits, signed=True, lanes=width)
+        self.in_valid = Wire("in_valid", width=1)
+        self.in_last = Wire("in_last", width=1)
+        self.count = Wire("count", width=24)
+
+        # Accumulators (wide enough for thousands of Q12.20 codes).
+        self.acc_square = Register("acc_square", width=62, signed=True)
+        self.acc_sum = Register("acc_sum", width=62, signed=True)
+        # Epilogue pipeline.
+        self.ep_mean = Register("ep_mean", width=code_bits, signed=True)
+        self.ep_sumsq = Register("ep_sumsq", width=code_bits, signed=True)
+        self.ep_stage = Register("ep_stage", width=2)
+        # Outputs: combinational during the valid pulse, plus held copies for
+        # consumers that read the statistics later (the top-level FSM).
+        self.mean_code = Wire("mean_code", width=code_bits, signed=True)
+        self.variance_code = Wire("variance_code", width=code_bits, signed=True)
+        self.mean_hold = Register("mean_hold", width=code_bits, signed=True)
+        self.variance_hold = Register("variance_hold", width=code_bits, signed=True)
+        self.out_valid = Wire("out_valid", width=1)
+        self.beats_seen = Register("beats_seen", width=24)
+
+    # -- behaviour --------------------------------------------------------------
+
+    def _encode(self, value: float) -> int:
+        """Encode one real value into the statistics format."""
+        return int(self.fixed_format.encode(value))
+
+    def propagate(self) -> None:
+        fmt = self.fixed_format
+        count = max(1, self.count.value)
+        reciprocal = 1.0 / count
+
+        # -- streaming accumulation ------------------------------------------
+        if self.in_valid.value:
+            lanes_real = fmt.decode(self.in_codes.values)
+            # Square path: z_i^2 / N, quantized per element before reduction
+            # (the multiply sits before the adder tree in Figure 4).
+            squared_codes = fmt.encode(lanes_real * lanes_real * reciprocal)
+            self.acc_square.set_next(self.acc_square.value + int(squared_codes.sum()))
+            # Sum path: raw elements.
+            self.acc_sum.set_next(self.acc_sum.value + int(self.in_codes.values.sum()))
+            self.beats_seen.set_next(self.beats_seen.value + 1)
+        else:
+            self.acc_square.hold()
+            self.acc_sum.hold()
+            self.beats_seen.hold()
+
+        # -- epilogue ----------------------------------------------------------
+        # Stage 1 (the cycle after the last beat): form the mean and latch the
+        # accumulated E(z^2).
+        if self.ep_stage.value == 1:
+            sum_real = fmt.decode(np.array(self.acc_sum.value))
+            mean = fmt.quantize(float(sum_real) * reciprocal) if self.compute_mean else 0.0
+            sumsq = fmt._bound(np.array(float(self.acc_square.value)))
+            self.ep_mean.set_next(self._encode(float(mean)))
+            self.ep_sumsq.set_next(int(sumsq))
+        else:
+            self.ep_mean.hold()
+            self.ep_sumsq.hold()
+
+        # Stage 2: square the mean, subtract, add eps, publish.
+        if self.ep_stage.value == 2:
+            mean_real = float(fmt.decode(np.array(self.ep_mean.value)))
+            mean_sq = float(fmt.quantize(mean_real * mean_real)) if self.compute_mean else 0.0
+            sumsq_real = float(fmt.decode(np.array(self.ep_sumsq.value)))
+            variance = max(sumsq_real - mean_sq, 0.0) + self.eps
+            variance_code = self._encode(variance)
+            self.mean_code.drive(self.ep_mean.value)
+            self.variance_code.drive(variance_code)
+            self.mean_hold.set_next(self.ep_mean.value)
+            self.variance_hold.set_next(variance_code)
+            # Clear the accumulators so the next row can start immediately.
+            self.acc_square.set_next(0)
+            self.acc_sum.set_next(0)
+            self.beats_seen.set_next(0)
+        else:
+            self.mean_code.drive(self.mean_hold.value)
+            self.variance_code.drive(self.variance_hold.value)
+            self.mean_hold.hold()
+            self.variance_hold.hold()
+
+        # Epilogue stage advance: trigger on the last beat of a row.
+        if self.in_valid.value and self.in_last.value:
+            self.ep_stage.set_next(1)
+        elif self.ep_stage.value == 1:
+            self.ep_stage.set_next(2)
+        else:
+            self.ep_stage.set_next(0)
+
+        # The valid pulse coincides with the cycle in which the stage-2
+        # results commit, i.e. one cycle after ep_stage == 2 is observable.
+        self.out_valid.drive(1 if self.ep_stage.value == 2 else 0)
+
+    # -- conveniences --------------------------------------------------------------
+
+    def decoded_mean(self) -> float:
+        """Current mean output as a real value."""
+        return float(self.fixed_format.decode(np.array(self.mean_code.value)))
+
+    def decoded_variance(self) -> float:
+        """Current variance output as a real value."""
+        return float(self.fixed_format.decode(np.array(self.variance_code.value)))
+
+    def beats_for(self, num_elements: int) -> int:
+        """Streaming beats needed for ``num_elements`` values."""
+        if num_elements <= 0:
+            return 0
+        return int(np.ceil(num_elements / self.width))
+
+    def cycles_for_row(self, num_elements: int) -> int:
+        """Total cycles from first beat to the statistics valid pulse."""
+        return self.beats_for(num_elements) + self.EPILOGUE_CYCLES

@@ -1,0 +1,135 @@
+"""Critical-path timing model of the HAAN datapath.
+
+The paper clocks the accelerator at a conservative 100 MHz on the Alveo
+U280.  This module estimates the critical path of each datapath unit from
+its structure (adder-tree depth, multiplier width, converter logic levels)
+using per-stage logic delays typical of UltraScale+ fabric, so that:
+
+* the 100 MHz choice can be sanity-checked for every configuration in the
+  Table III sweep,
+* the design-space exploration can reject configurations whose combinational
+  paths would not close timing, and
+* the frequency headroom of narrow/INT8 configurations becomes visible.
+
+The numbers are deliberately coarse (one LUT level ~0.35 ns + routing, one
+DSP multiply ~2.5 ns at 16 bits) -- the point is relative behaviour across
+widths and formats, not sign-off accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.configs import AcceleratorConfig
+from repro.numerics.quantization import DataFormat
+
+#: Delay of one LUT logic level including local routing, nanoseconds.
+LUT_LEVEL_DELAY_NS = 0.45
+
+#: Delay of one DSP48 multiply at 16-bit operands, nanoseconds.
+DSP_MULTIPLY_DELAY_NS = 2.5
+
+#: Clock-to-out plus setup overhead charged to every register stage.
+REGISTER_OVERHEAD_NS = 0.6
+
+#: Delay of a carry-chain add per 8 bits of operand width.
+CARRY_CHAIN_NS_PER_BYTE = 0.25
+
+
+def adder_delay_ns(width_bits: int) -> float:
+    """Delay of one two-input adder of the given operand width."""
+    return CARRY_CHAIN_NS_PER_BYTE * math.ceil(width_bits / 8)
+
+
+def multiplier_delay_ns(width_bits: int) -> float:
+    """Delay of one multiplier; scales with the number of 16-bit DSP tiles."""
+    tiles = max(1, math.ceil(width_bits / 16))
+    return DSP_MULTIPLY_DELAY_NS * (1.0 + 0.35 * (tiles - 1))
+
+
+def format_operand_bits(data_format: DataFormat) -> int:
+    """Internal operand width used for a given input format."""
+    if data_format is DataFormat.INT8:
+        return 16  # products of INT8 inputs accumulate in 16+ bits
+    if data_format is DataFormat.FP16:
+        return 24
+    return 32
+
+
+@dataclass
+class TimingReport:
+    """Critical-path estimate of one accelerator configuration."""
+
+    config_name: str
+    unit_paths_ns: Dict[str, float]
+
+    @property
+    def critical_path_ns(self) -> float:
+        """Longest register-to-register path across all units."""
+        return max(self.unit_paths_ns.values())
+
+    @property
+    def critical_unit(self) -> str:
+        """Unit containing the critical path."""
+        return max(self.unit_paths_ns, key=self.unit_paths_ns.get)
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        """Highest clock frequency the critical path supports."""
+        return 1e3 / self.critical_path_ns
+
+    def meets(self, clock_mhz: float) -> bool:
+        """Whether the estimate closes timing at the given clock."""
+        return self.max_frequency_mhz >= clock_mhz
+
+    @property
+    def slack_ns_at_100mhz(self) -> float:
+        """Positive slack against the paper's 100 MHz clock."""
+        return 10.0 - self.critical_path_ns
+
+
+class TimingModel:
+    """Structural critical-path estimator for HAAN configurations."""
+
+    def estimate(self, config: AcceleratorConfig) -> TimingReport:
+        """Estimate per-unit critical paths of one configuration."""
+        bits = format_operand_bits(config.data_format)
+
+        # Statistics calculator: FP2FX (a few LUT levels), one multiplier
+        # (the square), and one level of the adder tree between registers --
+        # the tree is pipelined per level, so only one level counts.
+        fp2fx_levels = 3 if config.data_format is not DataFormat.INT8 else 1
+        stats_path = (
+            REGISTER_OVERHEAD_NS
+            + fp2fx_levels * LUT_LEVEL_DELAY_NS
+            + multiplier_delay_ns(bits)
+            + adder_delay_ns(bits)
+        )
+
+        # Square-root inverter: the Newton multiply chain dominates; the
+        # stage carries two back-to-back multiplies in the worst stage.
+        invsqrt_path = REGISTER_OVERHEAD_NS + 2 * multiplier_delay_ns(bits) + adder_delay_ns(bits)
+
+        # Normalization unit: subtract + multiply in one stage.
+        norm_path = REGISTER_OVERHEAD_NS + adder_delay_ns(bits) + multiplier_delay_ns(bits)
+
+        # Wide-fanout control/valid distribution grows slowly with lane count.
+        fanout = max(config.stats_width, config.norm_width)
+        control_path = REGISTER_OVERHEAD_NS + LUT_LEVEL_DELAY_NS * math.ceil(math.log2(max(2, fanout)))
+
+        return TimingReport(
+            config_name=config.name,
+            unit_paths_ns={
+                "statistics": stats_path,
+                "invsqrt": invsqrt_path,
+                "normalization": norm_path,
+                "control": control_path,
+            },
+        )
+
+    def frequency_headroom(self, config: AcceleratorConfig) -> float:
+        """Ratio of achievable frequency to the configured clock."""
+        report = self.estimate(config)
+        return report.max_frequency_mhz / config.clock_mhz

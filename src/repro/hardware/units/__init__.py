@@ -1,0 +1,23 @@
+"""Functional + cycle models of the HAAN datapath units (paper Figures 3-6).
+
+Each unit models both *what* the hardware computes (bit-accurate where the
+paper's design is bit-level, e.g. the fast inverse square root) and *how
+long* it takes (cycles as a function of the configured lane width), so the
+accelerator model in :mod:`repro.hardware.accelerator` can assemble an
+end-to-end functional result and latency estimate from the same objects.
+"""
+
+from repro.hardware.units.adder_tree import AdderTree
+from repro.hardware.units.stats_calculator import InputStatisticsCalculator, StatisticsResult
+from repro.hardware.units.sqrt_inverter import SquareRootInverter
+from repro.hardware.units.norm_unit import NormalizationUnit
+from repro.hardware.units.isd_predictor_unit import IsdPredictorUnit
+
+__all__ = [
+    "AdderTree",
+    "InputStatisticsCalculator",
+    "StatisticsResult",
+    "SquareRootInverter",
+    "NormalizationUnit",
+    "IsdPredictorUnit",
+]

@@ -1,0 +1,75 @@
+"""Adder tree model.
+
+The Input Statistics Calculator (paper Figure 4) uses two adder trees to
+reduce ``p_d`` products per cycle: one accumulating ``z_i^2 / N`` and one
+accumulating ``z_i``.  This model captures the reduction result in fixed
+point (exact integer accumulation followed by output saturation, like a
+width-sufficient hardware tree) and the tree's structural properties
+(depth, adder count) consumed by the resource model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
+
+
+@dataclass
+class AdderTree:
+    """A binary adder tree reducing ``width`` inputs per invocation.
+
+    Parameters
+    ----------
+    width:
+        Number of leaf inputs (the lane count ``p_d``).
+    accumulator_format:
+        Fixed-point format of the accumulation result register.
+    """
+
+    width: int
+    accumulator_format: FixedPointFormat = field(default_factory=FixedPointFormat.accumulator)
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("adder tree width must be positive")
+
+    @property
+    def depth(self) -> int:
+        """Number of adder levels (pipeline stages) in the tree."""
+        return max(1, math.ceil(math.log2(self.width))) if self.width > 1 else 1
+
+    @property
+    def num_adders(self) -> int:
+        """Total two-input adders in the tree."""
+        return self.width - 1 if self.width > 1 else 1
+
+    def reduce(self, lanes: np.ndarray) -> FixedPointValue:
+        """Reduce one cycle's worth of lane values to a single fixed-point sum.
+
+        Fewer than ``width`` values are accepted (the tail of a vector);
+        missing lanes contribute zero, exactly as gated lanes would.
+        """
+        arr = np.asarray(lanes, dtype=np.float64).reshape(-1)
+        if arr.size > self.width:
+            raise ValueError(f"got {arr.size} lane values for a width-{self.width} tree")
+        value = FixedPointValue.from_real(self.accumulator_format, arr)
+        return value.sum()
+
+    def accumulate(self, stream: np.ndarray) -> FixedPointValue:
+        """Reduce a full vector by feeding it through the tree in lane-wide beats."""
+        arr = np.asarray(stream, dtype=np.float64).reshape(-1)
+        total = FixedPointValue.zeros(self.accumulator_format, ())
+        for start in range(0, arr.size, self.width):
+            beat = self.reduce(arr[start : start + self.width])
+            total = total.add(beat)
+        return total
+
+    def cycles_for(self, num_elements: int) -> int:
+        """Beats needed to stream ``num_elements`` values through the tree."""
+        if num_elements <= 0:
+            return 0
+        return math.ceil(num_elements / self.width)

@@ -1,0 +1,65 @@
+"""Scalar ISD predictor unit (paper Section IV-B, last paragraph).
+
+"To support the layer skipping methods ... we design a custom unit to
+calculate predicted ISD using previous statistics.  It employs the
+coefficient e of the ISD predictor and ISD values from early layers,
+leveraging the Xilinx Floating-point IP Core for linear prediction in the
+logarithm domain.  The ISD predictor is a scalar processor with minimal
+hardware cost."
+
+The functional behaviour delegates to the algorithmic
+:class:`~repro.core.predictor.IsdPredictor`; this wrapper adds the
+per-prediction latency (a handful of floating-point MAC cycles) and the
+activity counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.predictor import IsdPredictor
+from repro.numerics.floating import FP32, FloatFormat
+
+
+@dataclass
+class IsdPredictorUnit:
+    """Scalar unit producing predicted ISDs for skipped layers."""
+
+    predictor: Optional[IsdPredictor] = None
+    latency: int = 2
+    float_format: FloatFormat = FP32
+    predictions_made: int = field(default=0, init=False)
+
+    def load(self, predictor: IsdPredictor) -> None:
+        """Load (or replace) the predictor coefficients."""
+        self.predictor = predictor
+
+    @property
+    def configured(self) -> bool:
+        """True when predictor coefficients have been loaded."""
+        return self.predictor is not None
+
+    def predict(self, anchor_isd: np.ndarray, layer_index: int) -> np.ndarray:
+        """Predict per-token ISDs of a skipped layer from the anchor ISD.
+
+        The result is rounded through the unit's floating-point format,
+        modelling the precision of the Xilinx floating-point IP core.
+        """
+        if self.predictor is None:
+            raise RuntimeError("predictor coefficients have not been loaded")
+        predicted = self.predictor.predict_from_anchor(np.asarray(anchor_isd, dtype=np.float64), layer_index)
+        self.predictions_made += int(predicted.size)
+        return self.float_format.round_trip(predicted)
+
+    def cycles_for(self, num_values: int) -> int:
+        """Cycles to produce ``num_values`` predictions (pipelined scalar MACs)."""
+        if num_values <= 0:
+            return 0
+        return self.latency + (num_values - 1)
+
+    def reset_activity(self) -> None:
+        """Zero the activity counter."""
+        self.predictions_made = 0

@@ -1,0 +1,90 @@
+"""Normalization Unit (paper Section IV-C, Figure 6).
+
+Receives the raw input elements, the mean from the Input Statistics
+Calculator and the ISD from the Square Root Inverter (or the ISD predictor
+for skipped layers), and produces the normalized output with the affine
+transform applied:
+
+``out = alpha * (z - mean) * ISD + beta``
+
+``p_n`` elements are produced per cycle.  When quantization is enabled the
+FX2FP output conversion is bypassed and the result stays in fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numerics.convert import FX2FPConverter
+from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
+from repro.numerics.floating import FP16, FP32, FloatFormat
+from repro.numerics.quantization import DataFormat
+
+
+@dataclass
+class NormalizationUnit:
+    """Functional + cycle model of the normalization unit.
+
+    Parameters
+    ----------
+    width:
+        Lane count ``p_n`` (elements produced per cycle).
+    data_format:
+        Output format; INT8 keeps the result in fixed point (FX2FP bypass).
+    fixed_format:
+        Internal fixed-point format of the multiply/add datapath.
+    """
+
+    width: int
+    data_format: DataFormat = DataFormat.FP16
+    fixed_format: FixedPointFormat = field(default_factory=FixedPointFormat.statistics)
+    elements_processed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be positive")
+        float_format: FloatFormat = FP32 if self.data_format is DataFormat.FP32 else FP16
+        self._fx2fp = FX2FPConverter(float_format=float_format)
+
+    def normalize(
+        self,
+        rows: np.ndarray,
+        mean: np.ndarray,
+        isd: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+    ) -> np.ndarray:
+        """Normalize a ``(num_rows, D)`` array with per-row mean and ISD.
+
+        The arithmetic is carried out in the internal fixed-point format and
+        converted (or not, for INT8) at the output, mirroring Figure 6.
+        """
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        mean_col = np.asarray(mean, dtype=np.float64)[:, None]
+        isd_col = np.asarray(isd, dtype=np.float64)[:, None]
+        centered = self.fixed_format.quantize(arr - mean_col)
+        scaled = self.fixed_format.quantize(centered * isd_col)
+        affine = self.fixed_format.quantize(scaled * gamma[None, :] + beta[None, :])
+        self.elements_processed += int(arr.size)
+        value = FixedPointValue.from_real(self.fixed_format, affine)
+        if self.data_format is DataFormat.INT8:
+            return self._fx2fp.bypass(value).reshape(arr.shape)
+        return self._fx2fp.convert(value).reshape(arr.shape)
+
+    def passes_per_row(self, row_length: int) -> int:
+        """Beats needed to emit one normalized row (``ceil(D / p_n)``)."""
+        if row_length <= 0:
+            return 0
+        return int(np.ceil(row_length / self.width))
+
+    def cycles_for(self, num_rows: int, row_length: int) -> int:
+        """Cycles to normalize ``num_rows`` rows of ``row_length`` elements."""
+        return self.passes_per_row(row_length) * num_rows
+
+    def reset_activity(self) -> None:
+        """Zero the activity counter."""
+        self.elements_processed = 0

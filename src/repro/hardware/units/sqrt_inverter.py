@@ -1,0 +1,72 @@
+"""Square Root Inverter unit (paper Section IV-B, Figure 5).
+
+Takes the variance produced by the Input Statistics Calculator and emits
+the ISD ``1/sqrt(variance)``.  The datapath is:
+
+``FX2FP -> (0x5f3759df - bits >> 1) -> FP2FX -> Newton step (x * 1.5 const)``
+
+The functional behaviour delegates to the bit-accurate
+:class:`~repro.numerics.fast_inv_sqrt.FastInvSqrt` model; this wrapper adds
+the FX2FP stage, the per-value cycle cost and the activity counters used by
+the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numerics.convert import FX2FPConverter
+from repro.numerics.fast_inv_sqrt import FastInvSqrt
+from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
+from repro.numerics.floating import FP32
+
+
+@dataclass
+class SquareRootInverter:
+    """Functional + cycle model of the square root inverter.
+
+    Parameters
+    ----------
+    newton_iterations:
+        Newton refinement steps (the paper uses one).
+    latency:
+        Pipeline latency in cycles for one variance -> ISD conversion.
+    variance_format:
+        Fixed-point format in which the incoming variance is held before the
+        FX2FP conversion.
+    """
+
+    newton_iterations: int = 1
+    latency: int = 6
+    variance_format: FixedPointFormat = field(default_factory=FixedPointFormat.statistics)
+    values_processed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError("latency must be at least one cycle")
+        self._fx2fp = FX2FPConverter(float_format=FP32)
+        self._core = FastInvSqrt(float_format=FP32, newton_iterations=self.newton_iterations)
+
+    def compute(self, variance: np.ndarray) -> np.ndarray:
+        """ISD of each variance value through the hardware approximation."""
+        arr = np.asarray(variance, dtype=np.float64)
+        fixed = FixedPointValue.from_real(self.variance_format, arr)
+        as_float = self._fx2fp.convert(fixed)
+        self.values_processed += int(np.asarray(arr).size)
+        return self._core.compute(as_float)
+
+    def compute_exact(self, variance: np.ndarray) -> np.ndarray:
+        """Reference ISD (no approximation), for error analysis."""
+        return 1.0 / np.sqrt(np.asarray(variance, dtype=np.float64))
+
+    def cycles_for(self, num_values: int) -> int:
+        """Cycles to convert ``num_values`` variances (fully pipelined)."""
+        if num_values <= 0:
+            return 0
+        return self.latency + (num_values - 1)
+
+    def reset_activity(self) -> None:
+        """Zero the activity counter."""
+        self.values_processed = 0

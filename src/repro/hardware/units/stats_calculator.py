@@ -1,0 +1,157 @@
+"""Input Statistics Calculator (paper Section IV-A, Figure 4).
+
+Computes the mean and variance of a D-dimensional vector using the
+rearranged variance ``Var(z) = E(z^2) - (E(z))^2`` (equation (5)), which
+lets the two expectations be accumulated in parallel:
+
+* FP2FX units convert each incoming element to fixed point (bypassed when
+  the input is already INT8),
+* one multiplier lane squares each element and scales by the precomputed
+  ``1/N``; a second path accumulates the raw elements,
+* two adder trees reduce both streams, and
+* a final multiply + subtract produces ``(E(z))^2`` and the variance.
+
+Because LLM embedding dimensions exceed the lane count ``p_d``, the vector
+is streamed over multiple passes with interim results held in the
+``E(X^2)`` / ``E(X)^2`` buffers shown in Figure 4.  For RMSNorm the mean
+path is skipped; when subsampling is enabled only the first ``N_sub``
+elements are streamed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.units.adder_tree import AdderTree
+from repro.numerics.convert import FP2FXConverter
+from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
+from repro.numerics.floating import FP16, FP32, FloatFormat
+from repro.numerics.quantization import DataFormat
+
+
+@dataclass
+class StatisticsResult:
+    """Output of the Input Statistics Calculator for a batch of rows."""
+
+    mean: np.ndarray
+    variance: np.ndarray
+    elements_used: int
+    passes_per_row: int
+    cycles: int
+
+
+@dataclass
+class InputStatisticsCalculator:
+    """Functional + cycle model of the statistics calculator.
+
+    Parameters
+    ----------
+    width:
+        Lane count ``p_d`` (elements consumed per cycle).
+    data_format:
+        Input storage format; INT8 inputs bypass the FP2FX conversion.
+    fixed_format:
+        Internal fixed-point format of the datapath.
+    eps:
+        Small constant added to the variance so the downstream square root
+        inverter never sees a non-positive input.
+    """
+
+    width: int
+    data_format: DataFormat = DataFormat.FP16
+    fixed_format: FixedPointFormat = field(default_factory=FixedPointFormat.statistics)
+    eps: float = 1e-5
+    compute_mean: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be positive")
+        float_format: FloatFormat = FP32 if self.data_format is DataFormat.FP32 else FP16
+        self._fp2fx = FP2FXConverter(float_format=float_format, fixed_format=self.fixed_format)
+        self._square_tree = AdderTree(self.width, accumulator_format=self.fixed_format)
+        self._sum_tree = AdderTree(self.width, accumulator_format=self.fixed_format)
+
+    # -- functional model ---------------------------------------------------
+
+    def _to_fixed(self, row: np.ndarray) -> FixedPointValue:
+        """Convert one row to the internal fixed-point format (or bypass)."""
+        if self.data_format is DataFormat.INT8:
+            return self._fp2fx.bypass(np.rint(row))
+        return self._fp2fx.convert(row)
+
+    def compute(
+        self,
+        rows: np.ndarray,
+        subsample_length: Optional[int] = None,
+    ) -> StatisticsResult:
+        """Compute per-row mean and variance of a ``(num_rows, D)`` array.
+
+        ``subsample_length`` restricts the statistics to the first ``N_sub``
+        elements of each row (paper equation (4)); the full row is still
+        normalized downstream.
+        """
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        num_rows, row_length = arr.shape
+        effective = row_length if subsample_length is None else min(subsample_length, row_length)
+        reciprocal = 1.0 / effective
+
+        means = np.zeros(num_rows)
+        variances = np.zeros(num_rows)
+        for row_index in range(num_rows):
+            window = arr[row_index, :effective]
+            fixed = self._to_fixed(window)
+            real = fixed.to_real()
+            # E(z^2): square each element, scale by the precomputed 1/N and
+            # reduce; the scaling is folded before the tree as in Figure 4.
+            squared = FixedPointValue.from_real(self.fixed_format, real * real * reciprocal)
+            sum_sq = self._square_tree.accumulate(squared.to_real()).to_real()
+            if self.compute_mean:
+                total = self._sum_tree.accumulate(real).to_real()
+                mean = self.fixed_format.quantize(total * reciprocal)
+                mean_sq = self.fixed_format.quantize(mean * mean)
+            else:
+                mean = 0.0
+                mean_sq = 0.0
+            variance = float(sum_sq - mean_sq)
+            means[row_index] = float(mean)
+            variances[row_index] = max(variance, 0.0) + self.eps
+        passes = self.passes_per_row(row_length, subsample_length)
+        cycles = self.cycles_for(num_rows, row_length, subsample_length)
+        return StatisticsResult(
+            mean=means,
+            variance=variances,
+            elements_used=effective,
+            passes_per_row=passes,
+            cycles=cycles,
+        )
+
+    # -- cycle model ----------------------------------------------------------
+
+    def passes_per_row(self, row_length: int, subsample_length: Optional[int] = None) -> int:
+        """Streaming beats needed per row (``ceil(N_eff / p_d)``)."""
+        effective = row_length if subsample_length is None else min(subsample_length, row_length)
+        return self._square_tree.cycles_for(effective)
+
+    def cycles_for(
+        self,
+        num_rows: int,
+        row_length: int,
+        subsample_length: Optional[int] = None,
+    ) -> int:
+        """Total cycles to produce statistics for ``num_rows`` rows.
+
+        Each row needs its streaming beats plus a small epilogue (mean
+        square, subtract) of two cycles; rows are processed back to back.
+        """
+        per_row = self.passes_per_row(row_length, subsample_length) + 2
+        return per_row * num_rows
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Register stages through the unit (conversion + tree + epilogue)."""
+        return 1 + self._square_tree.depth + 2

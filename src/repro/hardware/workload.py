@@ -1,0 +1,138 @@
+"""Normalization workload descriptions.
+
+A *workload* captures everything the latency/power models need to know
+about the normalization work of one LLM forward pass: the embedding
+dimension the accelerator normalizes over, how many normalization layers
+the model contains, how many of them HAAN skips, the subsample length, and
+the number of vectors (tokens) per layer.
+
+Workloads are built either directly or from a
+:class:`~repro.llm.config.ModelConfig` plus a
+:class:`~repro.core.config.HaanConfig`, so the hardware experiments use the
+same model zoo and HAAN settings as the accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.config import HaanConfig
+from repro.llm.config import ModelConfig, NormKind, get_model_config
+
+
+@dataclass(frozen=True)
+class NormalizationWorkload:
+    """The normalization work of one forward pass.
+
+    Attributes
+    ----------
+    model_name:
+        Source model label, for reporting.
+    embedding_dim:
+        Vector length each normalization operates on (the real model's
+        hidden size -- 4096 for LLaMA-7B etc.).
+    num_norm_layers:
+        Total normalization layers executed per forward pass.
+    num_skipped_layers:
+        Layers whose ISD is predicted (no statistics / square-root work).
+    seq_len / batch_size:
+        Tokens per sequence and sequences per batch; each token is one
+        vector per layer.
+    norm_kind:
+        LayerNorm or RMSNorm (RMSNorm needs no mean path).
+    subsample_length:
+        ``N_sub`` used for the statistics of non-skipped layers, or ``None``
+        when subsampling is disabled.
+    """
+
+    model_name: str
+    embedding_dim: int
+    num_norm_layers: int
+    seq_len: int
+    batch_size: int = 1
+    norm_kind: NormKind = NormKind.LAYERNORM
+    num_skipped_layers: int = 0
+    subsample_length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim < 1 or self.num_norm_layers < 1:
+            raise ValueError("embedding_dim and num_norm_layers must be positive")
+        if self.seq_len < 1 or self.batch_size < 1:
+            raise ValueError("seq_len and batch_size must be positive")
+        if not 0 <= self.num_skipped_layers <= self.num_norm_layers:
+            raise ValueError("num_skipped_layers out of range")
+        if self.subsample_length is not None and self.subsample_length < 1:
+            raise ValueError("subsample_length must be positive")
+
+    @property
+    def rows_per_layer(self) -> int:
+        """Vectors normalized per layer (one per token)."""
+        return self.seq_len * self.batch_size
+
+    @property
+    def num_computed_layers(self) -> int:
+        """Layers whose statistics are actually computed."""
+        return self.num_norm_layers - self.num_skipped_layers
+
+    @property
+    def total_rows(self) -> int:
+        """Vectors normalized per forward pass across all layers."""
+        return self.rows_per_layer * self.num_norm_layers
+
+    @property
+    def total_elements(self) -> int:
+        """Elements touched by normalization per forward pass."""
+        return self.total_rows * self.embedding_dim
+
+    @property
+    def effective_stats_length(self) -> int:
+        """Elements per row used for statistics (``N_sub`` or the full row)."""
+        if self.subsample_length is None:
+            return self.embedding_dim
+        return min(self.subsample_length, self.embedding_dim)
+
+    def with_seq_len(self, seq_len: int) -> "NormalizationWorkload":
+        """Copy with a different sequence length (used by the sweeps)."""
+        return replace(self, seq_len=seq_len)
+
+    def without_optimizations(self) -> "NormalizationWorkload":
+        """The same workload with skipping and subsampling disabled.
+
+        This is what the baseline accelerators (and the non-optimized HAAN
+        configuration) execute.
+        """
+        return replace(self, num_skipped_layers=0, subsample_length=None)
+
+    @classmethod
+    def from_model(
+        cls,
+        model_config: ModelConfig,
+        seq_len: int,
+        haan_config: Optional[HaanConfig] = None,
+        batch_size: int = 1,
+    ) -> "NormalizationWorkload":
+        """Build a workload from a model configuration and HAAN settings."""
+        haan_config = haan_config or HaanConfig.disabled()
+        num_skipped = min(haan_config.num_skipped_layers(), model_config.num_norm_layers)
+        return cls(
+            model_name=model_config.name,
+            embedding_dim=model_config.hidden_size,
+            num_norm_layers=model_config.num_norm_layers,
+            seq_len=seq_len,
+            batch_size=batch_size,
+            norm_kind=model_config.norm_kind,
+            num_skipped_layers=num_skipped,
+            subsample_length=haan_config.subsample_length,
+        )
+
+    @classmethod
+    def from_model_name(
+        cls,
+        model_name: str,
+        seq_len: int,
+        haan_config: Optional[HaanConfig] = None,
+        batch_size: int = 1,
+    ) -> "NormalizationWorkload":
+        """Build a workload looking up the model by name."""
+        return cls.from_model(get_model_config(model_name), seq_len, haan_config, batch_size)

@@ -1,0 +1,44 @@
+"""A small cycle-accurate hardware-description and simulation kernel.
+
+The HAAN paper describes an FPGA accelerator (Section IV) whose behaviour the
+rest of :mod:`repro.hardware` models *functionally* (NumPy arithmetic plus
+analytical cycle counts).  This package adds the missing register-transfer
+level: a two-phase, cycle-accurate simulator in the spirit of a tiny
+Verilog/migen, so the datapath units of Figures 3-6 can also be expressed as
+clocked modules with explicit hand-shakes, pipelined registers and waveform
+dumps, and then checked cycle by cycle against the functional golden models.
+
+Contents
+--------
+
+* :mod:`repro.hdl.signal` -- :class:`Signal`, :class:`Wire` and
+  :class:`Register`: fixed-width, optionally signed, optionally multi-lane
+  values with two's-complement wrapping.
+* :mod:`repro.hdl.module` -- :class:`Module`, the base class every RTL block
+  derives from, with port/submodule registration and hierarchy traversal.
+* :mod:`repro.hdl.simulator` -- :class:`Simulator`, the two-phase
+  (combinational settle + clock edge) cycle engine.
+* :mod:`repro.hdl.vcd` -- a minimal Value Change Dump writer for inspecting
+  waveforms in GTKWave or any VCD viewer.
+* :mod:`repro.hdl.testbench` -- stimulus drivers, monitors and scoreboards
+  used by the RTL unit tests.
+"""
+
+from repro.hdl.module import Module
+from repro.hdl.signal import Register, Signal, Wire
+from repro.hdl.simulator import SimulationError, Simulator
+from repro.hdl.testbench import Monitor, Scoreboard, StreamDriver
+from repro.hdl.vcd import VcdWriter
+
+__all__ = [
+    "Signal",
+    "Wire",
+    "Register",
+    "Module",
+    "Simulator",
+    "SimulationError",
+    "StreamDriver",
+    "Monitor",
+    "Scoreboard",
+    "VcdWriter",
+]

@@ -1,0 +1,121 @@
+"""Module base class for the cycle-accurate simulator.
+
+A :class:`Module` is the RTL building block: it owns wires and registers,
+may instantiate child modules, and describes its behaviour through two
+methods the simulator calls every cycle:
+
+* :meth:`Module.propagate` -- the combinational view.  Read input signals,
+  drive output :class:`~repro.hdl.signal.Wire` objects and stage register
+  updates with :meth:`~repro.hdl.signal.Register.set_next`.  The simulator
+  may call it several times per cycle until the wire values stop changing,
+  so the method must be free of side effects other than driving signals.
+* :meth:`Module.clock_edge` -- an optional sequential hook invoked exactly
+  once per cycle after the combinational network has settled, immediately
+  before registers commit.  Most modules stage everything in ``propagate``
+  and never override it; it exists for bookkeeping that must run once per
+  cycle (activity counters, assertions).
+
+Signals and submodules are registered automatically when assigned as
+attributes, mirroring how generator-based HDLs (migen, Amaranth) collect a
+design hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.hdl.signal import Register, Signal, Wire
+
+
+class Module:
+    """Base class for all RTL modules.
+
+    Subclasses create their signals and child modules in ``__init__`` and
+    implement :meth:`propagate`.  Attribute assignment performs the
+    registration; no explicit ``add_signal`` calls are needed.
+    """
+
+    def __init__(self, name: str) -> None:
+        # Use object.__setattr__ so the bookkeeping dicts themselves do not
+        # recurse through the registering __setattr__ below.
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_signals", {})
+        object.__setattr__(self, "_submodules", {})
+
+    # -- hierarchy bookkeeping ------------------------------------------------
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Signal):
+            self._signals[key] = value
+        elif isinstance(value, Module):
+            self._submodules[key] = value
+        object.__setattr__(self, key, value)
+
+    @property
+    def signals(self) -> Dict[str, Signal]:
+        """Signals owned directly by this module (not by children)."""
+        return dict(self._signals)
+
+    @property
+    def submodules(self) -> Dict[str, "Module"]:
+        """Direct child modules."""
+        return dict(self._submodules)
+
+    def iter_modules(self) -> Iterator["Module"]:
+        """Depth-first iteration over this module and every descendant."""
+        yield self
+        for child in self._submodules.values():
+            yield from child.iter_modules()
+
+    def iter_signals(self) -> Iterator[Signal]:
+        """All signals of this module and its descendants."""
+        for module in self.iter_modules():
+            yield from module._signals.values()
+
+    def registers(self) -> List[Register]:
+        """All registers in the hierarchy rooted at this module."""
+        return [s for s in self.iter_signals() if isinstance(s, Register)]
+
+    def wires(self) -> List[Wire]:
+        """All wires in the hierarchy rooted at this module."""
+        return [s for s in self.iter_signals() if isinstance(s, Wire)]
+
+    def hierarchical_signals(self, prefix: str = "") -> Dict[str, Signal]:
+        """Signals keyed by dotted hierarchical path (for VCD dumping)."""
+        base = f"{prefix}{self.name}"
+        named: Dict[str, Signal] = {}
+        for attr, signal in self._signals.items():
+            named[f"{base}.{attr}"] = signal
+        for child in self._submodules.values():
+            named.update(child.hierarchical_signals(prefix=f"{base}."))
+        return named
+
+    # -- behaviour hooks --------------------------------------------------------
+
+    def propagate(self) -> None:
+        """Combinational behaviour; override in subclasses."""
+
+    def clock_edge(self) -> None:
+        """Optional once-per-cycle sequential hook; default does nothing."""
+
+    def reset(self) -> None:
+        """Reset every signal in the hierarchy to its declared reset value."""
+        for signal in self.iter_signals():
+            signal.reset_value()
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def describe(self, indent: int = 0) -> str:
+        """Human-readable hierarchy listing with signal widths."""
+        pad = "  " * indent
+        lines = [f"{pad}{type(self).__name__} {self.name}"]
+        for attr, signal in self._signals.items():
+            kind = "reg" if isinstance(signal, Register) else "wire"
+            lane_txt = "" if signal.lanes == 1 else f" x{signal.lanes}"
+            lines.append(f"{pad}  {kind} {attr}[{signal.width}]{lane_txt}")
+        for child in self._submodules.values():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.name!r})"

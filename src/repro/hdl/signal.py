@@ -1,0 +1,221 @@
+"""Fixed-width signals for the cycle-accurate simulator.
+
+A :class:`Signal` models a named bundle of ``lanes`` parallel values, each
+``width`` bits wide and interpreted as either unsigned or two's-complement
+signed.  Writing a value wraps it into the representable range exactly like
+a synthesised register or wire would truncate carries.
+
+Two concrete flavours exist:
+
+* :class:`Wire` -- combinational: driven during the settle phase of a cycle
+  and read in the same cycle.  A wire that is read before it has been driven
+  in the current cycle returns its previous value, which is how the
+  simulator detects convergence of the combinational network.
+* :class:`Register` -- sequential: ``set_next`` stages a value that becomes
+  visible only after the next clock edge (the simulator calls
+  :meth:`Register.commit`).
+
+Both carry plain Python/NumPy integers; fixed-point and floating-point
+payloads are represented by their raw bit codes, mirroring how a real RTL
+description is agnostic about the numeric interpretation of a bus.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+IntLike = Union[int, np.integer, Iterable[int], np.ndarray]
+
+
+class SignalWidthError(ValueError):
+    """Raised when a signal is declared with an unusable width or lane count."""
+
+
+class Signal:
+    """A named, fixed-width, multi-lane value.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in waveforms and error messages.
+    width:
+        Bit width of each lane (1..63; lane values are stored as int64).
+    signed:
+        Interpret lanes as two's-complement when True; unsigned otherwise.
+    lanes:
+        Number of parallel lanes carried by the signal (a scalar signal has
+        one lane).
+    reset:
+        Value every lane takes at reset and at construction.
+    """
+
+    __slots__ = ("name", "width", "signed", "lanes", "reset", "_values")
+
+    def __init__(
+        self,
+        name: str,
+        width: int = 32,
+        signed: bool = False,
+        lanes: int = 1,
+        reset: int = 0,
+    ) -> None:
+        if width < 1 or width > 63:
+            raise SignalWidthError(f"signal {name!r}: width must be in [1, 63], got {width}")
+        if lanes < 1:
+            raise SignalWidthError(f"signal {name!r}: lanes must be >= 1, got {lanes}")
+        self.name = name
+        self.width = width
+        self.signed = signed
+        self.lanes = lanes
+        self.reset = self._wrap_scalar(reset, width, signed)
+        self._values = np.full(lanes, self.reset, dtype=np.int64)
+
+    # -- range helpers ------------------------------------------------------
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable lane value."""
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable lane value."""
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @staticmethod
+    def _wrap_scalar(value: int, width: int, signed: bool) -> int:
+        """Wrap one integer into the representable range (two's complement)."""
+        mask = (1 << width) - 1
+        wrapped = int(value) & mask
+        if signed and wrapped >= (1 << (width - 1)):
+            wrapped -= 1 << width
+        return wrapped
+
+    def _wrap(self, values: IntLike) -> np.ndarray:
+        """Wrap and broadcast arbitrary integers onto this signal's lanes."""
+        mask = (1 << self.width) - 1
+        if isinstance(values, np.ndarray) and values.dtype.kind in "iu":
+            arr = values.astype(np.int64)
+        else:
+            # Mask with Python integers first so arbitrarily large values
+            # (beyond int64) wrap instead of overflowing the array cast.
+            if isinstance(values, (int, np.integer)):
+                seq = [int(values) & mask]
+            else:
+                seq = [int(v) & mask for v in values]
+            arr = np.asarray(seq, dtype=np.int64)
+        arr = arr.reshape(-1)
+        if arr.size == 1 and self.lanes > 1:
+            arr = np.full(self.lanes, int(arr[0]), dtype=np.int64)
+        elif arr.shape != (self.lanes,):
+            raise ValueError(
+                f"signal {self.name!r}: expected {self.lanes} lanes, got shape {arr.shape}"
+            )
+        wrapped = arr & np.int64(mask)
+        if self.signed:
+            sign_bit = np.int64(1 << (self.width - 1))
+            # Subtract the modulus as two sign_bit steps so width-63 signals
+            # never materialise 2**63, which does not fit in int64.
+            wrapped = np.where(wrapped >= sign_bit, (wrapped - sign_bit) - sign_bit, wrapped)
+        return wrapped.astype(np.int64)
+
+    # -- value access --------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """Current value of lane 0 (convenience for scalar signals)."""
+        return int(self._values[0])
+
+    @property
+    def values(self) -> np.ndarray:
+        """Copy of all lane values."""
+        return self._values.copy()
+
+    def lane(self, index: int) -> int:
+        """Current value of one lane."""
+        return int(self._values[index])
+
+    def as_unsigned(self) -> np.ndarray:
+        """Lane values reinterpreted as unsigned bit patterns."""
+        mask = (1 << self.width) - 1
+        return (self._values.astype(np.int64) & mask).astype(np.uint64)
+
+    def reset_value(self) -> None:
+        """Force every lane back to the reset value."""
+        self._values[:] = self.reset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = type(self).__name__
+        if self.lanes == 1:
+            return f"{kind}({self.name!r}, width={self.width}, value={self.value})"
+        return f"{kind}({self.name!r}, width={self.width}, lanes={self.lanes})"
+
+
+class Wire(Signal):
+    """A combinational signal driven during the settle phase of each cycle."""
+
+    __slots__ = ("_driven",)
+
+    def __init__(self, name: str, width: int = 32, signed: bool = False, lanes: int = 1, reset: int = 0):
+        super().__init__(name, width=width, signed=signed, lanes=lanes, reset=reset)
+        self._driven = False
+
+    def drive(self, values: IntLike) -> bool:
+        """Set the wire's value for the current cycle.
+
+        Returns True when the driven value differs from the previous one,
+        which the simulator uses to decide whether the combinational network
+        has settled.
+        """
+        wrapped = self._wrap(values)
+        changed = bool(np.any(wrapped != self._values))
+        self._values = wrapped
+        self._driven = True
+        return changed
+
+    @property
+    def driven(self) -> bool:
+        """Whether the wire has been driven at least once this cycle."""
+        return self._driven
+
+    def clear_driven(self) -> None:
+        """Mark the wire undriven (called by the simulator at cycle start)."""
+        self._driven = False
+
+
+class Register(Signal):
+    """A clocked signal: ``set_next`` stages the value taken at the next edge."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self, name: str, width: int = 32, signed: bool = False, lanes: int = 1, reset: int = 0):
+        super().__init__(name, width=width, signed=signed, lanes=lanes, reset=reset)
+        self._next = self._values.copy()
+
+    def set_next(self, values: IntLike) -> None:
+        """Stage the value the register will hold after the next clock edge."""
+        self._next = self._wrap(values)
+
+    def hold(self) -> None:
+        """Stage the current value (explicit "keep" assignment)."""
+        self._next = self._values.copy()
+
+    @property
+    def next_values(self) -> np.ndarray:
+        """Copy of the staged next value (for debugging and assertions)."""
+        return self._next.copy()
+
+    def commit(self) -> bool:
+        """Apply the staged value; returns True if the register changed."""
+        changed = bool(np.any(self._next != self._values))
+        self._values = self._next.copy()
+        return changed
+
+    def reset_value(self) -> None:
+        """Reset both the current and the staged value."""
+        super().reset_value()
+        self._next = self._values.copy()

@@ -1,0 +1,142 @@
+"""Two-phase cycle-accurate simulator.
+
+Each simulated cycle proceeds in two phases, the standard evaluation model
+of synchronous RTL:
+
+1. **Settle** -- every module's :meth:`~repro.hdl.module.Module.propagate`
+   runs repeatedly until no :class:`~repro.hdl.signal.Wire` changes value.
+   This resolves combinational paths that cross module boundaries without
+   requiring an explicit topological ordering of the netlist.  A settle that
+   does not converge within ``max_settle_iterations`` indicates a
+   combinational loop and raises :class:`SimulationError`.
+2. **Clock edge** -- every module's ``clock_edge`` hook runs once, then all
+   :class:`~repro.hdl.signal.Register` objects commit their staged values
+   simultaneously, exactly like flip-flops on a shared clock.
+
+The simulator optionally records every signal to a
+:class:`~repro.hdl.vcd.VcdWriter` so unit tests (and curious users) can dump
+waveforms of the HAAN datapath.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.hdl.module import Module
+from repro.hdl.signal import Register, Wire
+from repro.hdl.vcd import VcdWriter
+
+
+class SimulationError(RuntimeError):
+    """Raised for combinational loops or runaway simulations."""
+
+
+class Simulator:
+    """Drives a module hierarchy cycle by cycle.
+
+    Parameters
+    ----------
+    top:
+        Root of the module hierarchy to simulate.
+    max_settle_iterations:
+        Upper bound on combinational settle sweeps per cycle before the
+        simulator declares a combinational loop.
+    vcd:
+        Optional waveform writer; when given, every signal in the hierarchy
+        is declared and sampled once per cycle.
+    """
+
+    def __init__(
+        self,
+        top: Module,
+        max_settle_iterations: int = 64,
+        vcd: Optional[VcdWriter] = None,
+    ) -> None:
+        if max_settle_iterations < 1:
+            raise ValueError("max_settle_iterations must be >= 1")
+        self.top = top
+        self.max_settle_iterations = max_settle_iterations
+        self.cycle = 0
+        self._modules: List[Module] = list(top.iter_modules())
+        self._registers: List[Register] = top.registers()
+        self._wires: List[Wire] = top.wires()
+        self._vcd = vcd
+        if self._vcd is not None and not self._vcd.declared:
+            self._vcd.declare_signals(top.hierarchical_signals())
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset the design and the cycle counter."""
+        self.top.reset()
+        self.cycle = 0
+
+    def _settle(self) -> int:
+        """Run combinational propagation until wires stop changing."""
+        for wire in self._wires:
+            wire.clear_driven()
+        for iteration in range(1, self.max_settle_iterations + 1):
+            snapshot = [w.values for w in self._wires]
+            for module in self._modules:
+                module.propagate()
+            changed = any(
+                bool((wire.values != old).any())
+                for wire, old in zip(self._wires, snapshot)
+            )
+            if not changed:
+                return iteration
+        raise SimulationError(
+            f"combinational network did not settle after {self.max_settle_iterations} iterations "
+            f"(cycle {self.cycle}); check for combinational loops"
+        )
+
+    def step(self) -> None:
+        """Advance the simulation by one clock cycle."""
+        self._settle()
+        for module in self._modules:
+            module.clock_edge()
+        for register in self._registers:
+            register.commit()
+        if self._vcd is not None:
+            self._vcd.sample(self.cycle)
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance the simulation by ``cycles`` clock cycles."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(
+        self,
+        condition: Callable[["Simulator"], bool],
+        max_cycles: int = 100_000,
+    ) -> int:
+        """Step until ``condition(self)`` is true; return cycles consumed.
+
+        The condition is evaluated *after* each clock edge.  Raises
+        :class:`SimulationError` when ``max_cycles`` elapse first, so a test
+        with a broken hand-shake fails loudly instead of hanging.
+        """
+        start = self.cycle
+        while self.cycle - start < max_cycles:
+            self.step()
+            if condition(self):
+                return self.cycle - start
+        raise SimulationError(
+            f"condition not met within {max_cycles} cycles (started at cycle {start})"
+        )
+
+    def finalize(self) -> None:
+        """Flush the waveform writer, if any."""
+        if self._vcd is not None:
+            self._vcd.close()
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finalize()

@@ -1,0 +1,204 @@
+"""Testbench utilities: stream drivers, monitors and scoreboards.
+
+The RTL models in :mod:`repro.hardware.rtl` all use a simple valid-based
+streaming hand-shake: a producer asserts ``valid`` and places data on a
+bus; a consumer samples the bus whenever ``valid`` is high.  The helpers in
+this module drive and observe such streams from a test without writing a
+bespoke module per test:
+
+* :class:`StreamDriver` feeds a list of beats onto a data bus, one per
+  cycle, asserting the valid wire while beats remain.
+* :class:`Monitor` records the value of a bus every cycle a qualifier
+  signal is high.
+* :class:`Scoreboard` compares an observed stream against an expected one,
+  with optional integer tolerance to absorb rounding differences between
+  the RTL and the functional golden model.
+
+Drivers and monitors are themselves :class:`~repro.hdl.module.Module`
+instances, so they participate in the normal settle/clock-edge flow of the
+simulator and do not need special casing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.hdl.module import Module
+from repro.hdl.signal import Signal, Wire
+
+Beat = Union[int, Sequence[int], np.ndarray]
+
+
+class StreamDriver(Module):
+    """Drives a data bus with one beat per cycle while data remains.
+
+    Parameters
+    ----------
+    name:
+        Module name.
+    data:
+        Wire to drive with beat payloads.
+    valid:
+        Wire asserted (1) on cycles that carry a beat and deasserted (0)
+        afterwards.
+    beats:
+        Sequence of beats; each beat must match the lane count of ``data``.
+    start_cycle:
+        Number of idle cycles before the first beat, to exercise back-to-
+        back and delayed-start behaviour of the consumer.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data: Wire,
+        valid: Wire,
+        beats: Sequence[Beat],
+        start_cycle: int = 0,
+    ) -> None:
+        super().__init__(name)
+        self._data = data
+        self._valid = valid
+        self._beats = [np.asarray(beat, dtype=np.int64).reshape(-1) for beat in beats]
+        for index, beat in enumerate(self._beats):
+            if beat.size not in (1, data.lanes):
+                raise ValueError(
+                    f"beat {index} has {beat.size} lanes, bus {data.name!r} has {data.lanes}"
+                )
+        self._start_cycle = start_cycle
+        self._cycle = 0
+
+    def propagate(self) -> None:
+        index = self._cycle - self._start_cycle
+        if 0 <= index < len(self._beats):
+            beat = self._beats[index]
+            if beat.size == 1 and self._data.lanes > 1:
+                beat = np.full(self._data.lanes, int(beat[0]), dtype=np.int64)
+            self._data.drive(beat)
+            self._valid.drive(1)
+        else:
+            self._valid.drive(0)
+
+    def clock_edge(self) -> None:
+        self._cycle += 1
+
+    @property
+    def done(self) -> bool:
+        """True once every beat has been presented."""
+        return self._cycle >= self._start_cycle + len(self._beats)
+
+    @property
+    def beats_remaining(self) -> int:
+        """Beats not yet presented on the bus."""
+        presented = max(0, self._cycle - self._start_cycle)
+        return max(0, len(self._beats) - presented)
+
+
+class Monitor(Module):
+    """Records a bus value on every cycle a qualifier signal is high."""
+
+    def __init__(self, name: str, data: Signal, qualifier: Signal) -> None:
+        super().__init__(name)
+        self._data = data
+        self._qualifier = qualifier
+        self._samples: List[np.ndarray] = []
+        self._sample_cycles: List[int] = []
+        self._cycle = 0
+
+    def clock_edge(self) -> None:
+        # Sampled at the clock edge, i.e. with the settled combinational
+        # values of the current cycle -- the same instant a downstream
+        # register would capture the bus.
+        if self._qualifier.value:
+            self._samples.append(self._data.values)
+            self._sample_cycles.append(self._cycle)
+        self._cycle += 1
+
+    @property
+    def samples(self) -> List[np.ndarray]:
+        """Captured beats in arrival order."""
+        return list(self._samples)
+
+    @property
+    def sample_cycles(self) -> List[int]:
+        """Cycle index at which each beat was captured."""
+        return list(self._sample_cycles)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of captured beats."""
+        return len(self._samples)
+
+    def scalar_samples(self) -> List[int]:
+        """Lane-0 value of every captured beat (for scalar buses)."""
+        return [int(sample[0]) for sample in self._samples]
+
+    def clear(self) -> None:
+        """Discard all captured beats (the cycle counter keeps running)."""
+        self._samples.clear()
+        self._sample_cycles.clear()
+
+
+@dataclass
+class ScoreboardMismatch:
+    """One difference found by :class:`Scoreboard.compare`."""
+
+    index: int
+    expected: np.ndarray
+    observed: np.ndarray
+
+    def __str__(self) -> str:
+        return f"beat {self.index}: expected {self.expected}, observed {self.observed}"
+
+
+@dataclass
+class Scoreboard:
+    """Compares observed beats against expected beats.
+
+    Attributes
+    ----------
+    tolerance:
+        Maximum absolute difference allowed per lane (in raw integer codes).
+        Zero demands exact equality.
+    """
+
+    tolerance: int = 0
+    mismatches: List[ScoreboardMismatch] = field(default_factory=list)
+
+    def compare(self, expected: Sequence[Beat], observed: Sequence[Beat]) -> bool:
+        """Check the two streams; record mismatches and return overall pass."""
+        self.mismatches.clear()
+        expected_arrays = [np.asarray(e, dtype=np.int64).reshape(-1) for e in expected]
+        observed_arrays = [np.asarray(o, dtype=np.int64).reshape(-1) for o in observed]
+        if len(expected_arrays) != len(observed_arrays):
+            self.mismatches.append(
+                ScoreboardMismatch(
+                    index=-1,
+                    expected=np.array([len(expected_arrays)]),
+                    observed=np.array([len(observed_arrays)]),
+                )
+            )
+            return False
+        for index, (exp, obs) in enumerate(zip(expected_arrays, observed_arrays)):
+            if exp.shape != obs.shape or np.any(np.abs(exp - obs) > self.tolerance):
+                self.mismatches.append(ScoreboardMismatch(index=index, expected=exp, observed=obs))
+        return not self.mismatches
+
+    @property
+    def passed(self) -> bool:
+        """Result of the most recent :meth:`compare` call."""
+        return not self.mismatches
+
+    def report(self, limit: Optional[int] = 10) -> str:
+        """Human-readable mismatch summary (empty string when passing)."""
+        if not self.mismatches:
+            return ""
+        shown = self.mismatches if limit is None else self.mismatches[:limit]
+        lines = [str(m) for m in shown]
+        hidden = len(self.mismatches) - len(shown)
+        if hidden > 0:
+            lines.append(f"... and {hidden} more mismatches")
+        return "\n".join(lines)

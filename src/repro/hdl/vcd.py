@@ -1,0 +1,166 @@
+"""Minimal Value Change Dump (VCD) writer.
+
+The simulator can record every signal of a design into a ``.vcd`` file so
+that waveforms of the HAAN datapath (hand-shakes, pipeline fills, FSM
+states) can be inspected in GTKWave or any other VCD viewer.  Only the
+subset of IEEE 1364 VCD needed for that purpose is implemented:
+
+* a header with timescale and a flat scope per hierarchical module path,
+* ``$var wire`` declarations using printable short identifiers,
+* binary value changes sampled once per clock cycle.
+
+Multi-lane signals are dumped as one variable per lane with a ``[i]``
+suffix, which keeps the format simple and viewer-friendly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.hdl.signal import Signal
+
+#: Characters available for VCD short identifiers (printable ASCII).
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _short_id(index: int) -> str:
+    """Translate a counter into a compact printable VCD identifier."""
+    chars: List[str] = []
+    index += 1
+    while index > 0:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(reversed(chars))
+
+
+def _to_binary(value: int, width: int) -> str:
+    """Two's-complement binary string of ``value`` at the given width."""
+    mask = (1 << width) - 1
+    return format(int(value) & mask, f"0{width}b")
+
+
+class VcdWriter:
+    """Writes signal activity to a VCD file or file-like object.
+
+    Parameters
+    ----------
+    destination:
+        Path of the ``.vcd`` file to create, or an open text stream (a
+        :class:`io.StringIO` in tests).
+    timescale:
+        VCD timescale string; one simulator cycle advances one unit.
+    """
+
+    def __init__(self, destination: Union[str, Path, TextIO], timescale: str = "1ns") -> None:
+        if isinstance(destination, (str, Path)):
+            self._stream: TextIO = open(destination, "w", encoding="ascii")
+            self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+        self.timescale = timescale
+        self._declared = False
+        self._closed = False
+        #: (signal, lane) -> (identifier, width)
+        self._ids: Dict[Tuple[int, int], Tuple[str, int]] = {}
+        self._tracked: List[Tuple[Signal, int, str]] = []
+        self._last_emitted: Dict[str, str] = {}
+
+    # -- declaration -----------------------------------------------------------
+
+    @property
+    def declared(self) -> bool:
+        """Whether the header has already been written."""
+        return self._declared
+
+    def declare_signals(self, signals: Dict[str, Signal]) -> None:
+        """Write the VCD header for a hierarchy of named signals.
+
+        ``signals`` maps dotted hierarchical paths (as produced by
+        :meth:`repro.hdl.module.Module.hierarchical_signals`) to signals.
+        """
+        if self._declared:
+            raise RuntimeError("signals already declared for this VCD writer")
+        out = self._stream
+        out.write("$date\n  repro.hdl simulation\n$end\n")
+        out.write(f"$timescale {self.timescale} $end\n")
+        counter = 0
+        current_scope: List[str] = []
+        for path in sorted(signals):
+            signal = signals[path]
+            *scope_parts, leaf = path.split(".")
+            self._switch_scope(current_scope, scope_parts)
+            current_scope = scope_parts
+            for lane in range(signal.lanes):
+                ident = _short_id(counter)
+                counter += 1
+                suffix = f"[{lane}]" if signal.lanes > 1 else ""
+                out.write(f"$var wire {signal.width} {ident} {leaf}{suffix} $end\n")
+                self._ids[(id(signal), lane)] = (ident, signal.width)
+                self._tracked.append((signal, lane, ident))
+        self._switch_scope(current_scope, [])
+        out.write("$enddefinitions $end\n")
+        self._declared = True
+
+    def _switch_scope(self, current: List[str], target: List[str]) -> None:
+        """Emit $scope/$upscope directives to move between module scopes."""
+        common = 0
+        for a, b in zip(current, target):
+            if a != b:
+                break
+            common += 1
+        for _ in range(len(current) - common):
+            self._stream.write("$upscope $end\n")
+        for name in target[common:]:
+            self._stream.write(f"$scope module {name} $end\n")
+
+    # -- sampling ---------------------------------------------------------------
+
+    def sample(self, cycle: int) -> None:
+        """Record the value of every declared signal at the given cycle."""
+        if not self._declared:
+            raise RuntimeError("declare_signals must be called before sampling")
+        if self._closed:
+            raise RuntimeError("VCD writer already closed")
+        lines: List[str] = []
+        for signal, lane, ident in self._tracked:
+            binary = _to_binary(signal.lane(lane), signal.width)
+            if self._last_emitted.get(ident) == binary:
+                continue
+            self._last_emitted[ident] = binary
+            lines.append(f"b{binary} {ident}")
+        if lines or cycle == 0:
+            self._stream.write(f"#{cycle}\n")
+            for line in lines:
+                self._stream.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying stream (if owned by the writer)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    # -- conveniences -------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        """Number of VCD variables declared (lanes count individually)."""
+        return len(self._tracked)
+
+    @staticmethod
+    def to_string(signals: Dict[str, Signal]) -> "VcdWriter":
+        """Create a writer backed by an in-memory buffer (testing helper)."""
+        writer = VcdWriter(io.StringIO())
+        writer.declare_signals(signals)
+        return writer
+
+    def buffer_contents(self) -> Optional[str]:
+        """Contents of the in-memory buffer, if the writer uses one."""
+        if isinstance(self._stream, io.StringIO):
+            return self._stream.getvalue()
+        return None

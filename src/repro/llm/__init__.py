@@ -1,0 +1,79 @@
+"""Synthetic LLM substrate: a NumPy transformer inference engine.
+
+This subpackage stands in for the HuggingFace checkpoints used in the paper
+(LLaMA-7B, OPT-2.7B, GPT-2); see DESIGN.md for the substitution rationale.
+It provides model configurations mirroring the paper's models (same number
+and type of normalization layers), deterministic synthetic weights that
+reproduce the residual-stream variance growth behind the ISD decay, and the
+forward-pass machinery HAAN hooks into.
+"""
+
+from repro.llm.config import (
+    ModelConfig,
+    NormKind,
+    available_models,
+    get_model_config,
+    register_model_config,
+)
+from repro.llm.hooks import ActivationContext, NormLayerRecord, StatisticsTrace
+from repro.llm.layers import (
+    Embedding,
+    FeedForward,
+    Linear,
+    MultiHeadAttention,
+    causal_mask,
+    gelu,
+    log_softmax,
+    softmax,
+)
+from repro.llm.model import TransformerBlock, TransformerModel
+from repro.llm.normalization import BaseNorm, LayerNorm, RMSNorm, make_norm
+from repro.llm.tokenizer import Tokenizer
+from repro.llm.datasets import (
+    MultipleChoiceItem,
+    SyntheticCorpus,
+    CorpusConfig,
+    available_tasks,
+    calibration_texts,
+    generate_choice_items,
+    perplexity_texts,
+    TASK_SHORT_NAMES,
+)
+from repro.llm.weights import ModelWeights, generate_model_weights, branch_variance_schedule
+
+__all__ = [
+    "ModelConfig",
+    "NormKind",
+    "available_models",
+    "get_model_config",
+    "register_model_config",
+    "ActivationContext",
+    "NormLayerRecord",
+    "StatisticsTrace",
+    "Embedding",
+    "FeedForward",
+    "Linear",
+    "MultiHeadAttention",
+    "causal_mask",
+    "gelu",
+    "log_softmax",
+    "softmax",
+    "TransformerBlock",
+    "TransformerModel",
+    "BaseNorm",
+    "LayerNorm",
+    "RMSNorm",
+    "make_norm",
+    "Tokenizer",
+    "MultipleChoiceItem",
+    "SyntheticCorpus",
+    "CorpusConfig",
+    "available_tasks",
+    "calibration_texts",
+    "generate_choice_items",
+    "perplexity_texts",
+    "TASK_SHORT_NAMES",
+    "ModelWeights",
+    "generate_model_weights",
+    "branch_variance_schedule",
+]

@@ -1,0 +1,178 @@
+"""Synthetic text corpora standing in for Wikitext and the evaluation tasks.
+
+The paper calibrates Algorithm 1 with 100 random samples from Wikitext and
+evaluates accuracy on PIQA / WinoGrande / HellaSwag / ARC-Easy / ARC-Challenge.
+Those datasets are not available offline, so this module generates
+deterministic synthetic substitutes:
+
+* :class:`SyntheticCorpus` -- a second-order Markov word generator over a
+  Zipf-distributed vocabulary.  It produces text whose token-id sequences
+  have realistic repetition structure, which is all the calibration pass
+  needs (Algorithm 1 consumes only per-layer ISD traces).
+* :class:`MultipleChoiceItem` / :func:`generate_choice_items` -- raw
+  multiple-choice items (context plus candidate continuations).  Labelling
+  of the "correct" option against a reference model happens in
+  :mod:`repro.eval.tasks`, because correctness is defined relative to the
+  un-approximated model (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+# A small closed vocabulary of word shapes; the tokenizer hashes them into
+# ids, and the Markov chain below strings them into sentences.
+_BASE_WORDS = [
+    "the", "a", "of", "and", "to", "in", "is", "was", "for", "on", "that",
+    "with", "as", "by", "at", "from", "it", "an", "be", "are", "this",
+    "which", "or", "had", "not", "but", "have", "one", "two", "three",
+    "system", "model", "layer", "network", "data", "value", "result",
+    "method", "design", "hardware", "power", "latency", "memory", "cache",
+    "vector", "token", "input", "output", "norm", "variance", "mean",
+    "signal", "unit", "block", "stage", "pipeline", "clock", "cycle",
+    "energy", "matrix", "attention", "language", "sequence", "length",
+    "precision", "format", "fixed", "float", "integer", "sample", "test",
+    "accuracy", "error", "range", "scale", "field", "bit", "word", "core",
+    "engine", "device", "board", "chip", "logic", "array", "tree", "node",
+    "graph", "path", "state", "step", "time", "rate", "ratio", "factor",
+    "region", "paper", "study", "work", "task", "set", "list", "index",
+]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Configuration of the synthetic corpus generator."""
+
+    vocab_words: int = 400
+    zipf_exponent: float = 1.1
+    sentence_length_mean: int = 14
+    sentence_length_std: int = 4
+    seed: int = 1234
+
+
+class SyntheticCorpus:
+    """Deterministic Markov-chain text generator.
+
+    The generator builds an expanded word list (base words plus numbered
+    variants), assigns Zipf-like unigram probabilities, and samples
+    sentences with a per-word bigram bias so that text has local structure.
+    Everything is seeded, so two processes generate identical corpora.
+    """
+
+    def __init__(self, config: CorpusConfig | None = None):
+        self.config = config or CorpusConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._words = self._build_word_list()
+        self._unigram = self._build_unigram()
+        self._transition_seeds = self._rng.integers(0, 2**31 - 1, size=len(self._words))
+
+    def _build_word_list(self) -> List[str]:
+        words = list(_BASE_WORDS)
+        index = 0
+        while len(words) < self.config.vocab_words:
+            words.append(f"{_BASE_WORDS[index % len(_BASE_WORDS)]}{index}")
+            index += 1
+        return words[: self.config.vocab_words]
+
+    def _build_unigram(self) -> np.ndarray:
+        ranks = np.arange(1, len(self._words) + 1, dtype=np.float64)
+        probs = ranks ** (-self.config.zipf_exponent)
+        return probs / probs.sum()
+
+    def _transition(self, word_index: int) -> np.ndarray:
+        """Bigram distribution conditioned on the previous word (lazy, seeded)."""
+        rng = np.random.default_rng(int(self._transition_seeds[word_index]))
+        noise = rng.gamma(shape=0.3, scale=1.0, size=len(self._words))
+        probs = self._unigram * noise
+        return probs / probs.sum()
+
+    def sentence(self, rng: np.random.Generator) -> str:
+        """Sample one sentence."""
+        length = max(3, int(rng.normal(self.config.sentence_length_mean, self.config.sentence_length_std)))
+        word_idx = int(rng.choice(len(self._words), p=self._unigram))
+        tokens = [self._words[word_idx]]
+        for _ in range(length - 1):
+            word_idx = int(rng.choice(len(self._words), p=self._transition(word_idx)))
+            tokens.append(self._words[word_idx])
+        return " ".join(tokens) + "."
+
+    def paragraph(self, rng: np.random.Generator, sentences: int = 4) -> str:
+        """Sample a paragraph of several sentences."""
+        return " ".join(self.sentence(rng) for _ in range(sentences))
+
+    def documents(self, count: int, sentences_per_doc: int = 4, seed: int | None = None) -> List[str]:
+        """Generate ``count`` documents deterministically."""
+        rng = np.random.default_rng(self.config.seed if seed is None else seed)
+        return [self.paragraph(rng, sentences=sentences_per_doc) for _ in range(count)]
+
+
+def calibration_texts(num_samples: int = 100, seed: int = 99) -> List[str]:
+    """The stand-in for "100 random samples from the Wikitext dataset"."""
+    corpus = SyntheticCorpus(CorpusConfig(seed=seed))
+    return corpus.documents(num_samples, sentences_per_doc=5, seed=seed)
+
+
+def perplexity_texts(num_samples: int = 32, seed: int = 7) -> List[str]:
+    """Held-out documents used for perplexity measurements."""
+    corpus = SyntheticCorpus(CorpusConfig(seed=seed + 1))
+    return corpus.documents(num_samples, sentences_per_doc=6, seed=seed)
+
+
+@dataclass(frozen=True)
+class MultipleChoiceItem:
+    """One multiple-choice question: a context and candidate continuations.
+
+    The index of the "gold" option is assigned later by
+    :mod:`repro.eval.tasks` relative to the reference model (see DESIGN.md).
+    """
+
+    context: str
+    choices: Sequence[str]
+    item_id: int
+
+
+# The five downstream tasks of the paper, with distinct generation seeds and
+# distractor statistics so each task has its own difficulty profile.
+TASK_PROFILES: Dict[str, Dict[str, float]] = {
+    "winogrande": {"seed": 101, "num_choices": 2, "context_sentences": 2, "choice_sentences": 1},
+    "piqa": {"seed": 202, "num_choices": 2, "context_sentences": 1, "choice_sentences": 2},
+    "hellaswag": {"seed": 303, "num_choices": 4, "context_sentences": 2, "choice_sentences": 1},
+    "arc_easy": {"seed": 404, "num_choices": 4, "context_sentences": 1, "choice_sentences": 1},
+    "arc_challenge": {"seed": 505, "num_choices": 4, "context_sentences": 3, "choice_sentences": 1},
+}
+
+#: Short task labels used in the paper's tables.
+TASK_SHORT_NAMES: Dict[str, str] = {
+    "winogrande": "WG",
+    "piqa": "PQ",
+    "hellaswag": "HS",
+    "arc_easy": "A-e",
+    "arc_challenge": "A-c",
+}
+
+
+def available_tasks() -> List[str]:
+    """Names of the five synthetic downstream tasks."""
+    return list(TASK_PROFILES)
+
+
+def generate_choice_items(task: str, num_items: int, seed_offset: int = 0) -> List[MultipleChoiceItem]:
+    """Generate the raw (unlabelled) items of one synthetic task."""
+    if task not in TASK_PROFILES:
+        raise KeyError(f"unknown task {task!r}; available: {available_tasks()}")
+    profile = TASK_PROFILES[task]
+    seed = int(profile["seed"]) + seed_offset
+    corpus = SyntheticCorpus(CorpusConfig(seed=seed))
+    rng = np.random.default_rng(seed)
+    items = []
+    for item_id in range(num_items):
+        context = corpus.paragraph(rng, sentences=int(profile["context_sentences"]))
+        choices = [
+            corpus.paragraph(rng, sentences=int(profile["choice_sentences"]))
+            for _ in range(int(profile["num_choices"]))
+        ]
+        items.append(MultipleChoiceItem(context=context, choices=tuple(choices), item_id=item_id))
+    return items

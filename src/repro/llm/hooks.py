@@ -1,0 +1,143 @@
+"""Per-forward activation context and statistics recording.
+
+HAAN's ISD skipping needs two things during a forward pass:
+
+1. later normalization layers must be able to read the ISD produced by an
+   earlier layer *for the same tokens* (equation (3) predicts
+   ``log(ISD_k)`` from ``log(ISD_i)``), and
+2. the calibration pass must record the ISD of every normalization layer
+   for every calibration token (Algorithm 1, lines 2-4).
+
+Both are served by :class:`ActivationContext`: the model creates one per
+forward call and hands it to every normalization layer; layers deposit the
+statistics they computed (or predicted), and optional recorders snapshot
+them for offline analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class NormLayerRecord:
+    """Statistics captured for one normalization layer in one forward pass.
+
+    All arrays are flattened over the batch and sequence dimensions, i.e.
+    one entry per normalized vector (token).
+    """
+
+    layer_index: int
+    layer_name: str
+    mean: np.ndarray
+    isd: np.ndarray
+    input_variance: np.ndarray
+    was_predicted: bool = False
+    was_subsampled: bool = False
+
+    @property
+    def log_isd(self) -> np.ndarray:
+        """Natural logarithm of the ISD values (the quantity Algorithm 1 fits)."""
+        return np.log(self.isd)
+
+
+class ActivationContext:
+    """Carries per-token normalization statistics through one forward pass."""
+
+    def __init__(self, record_statistics: bool = False):
+        self.record_statistics = record_statistics
+        self._isd_by_layer: Dict[int, np.ndarray] = {}
+        self._records: List[NormLayerRecord] = []
+
+    # -- ISD sharing between layers (used by the HAAN predictor) ---------
+
+    def store_isd(self, layer_index: int, isd: np.ndarray) -> None:
+        """Store the per-token ISD computed (or predicted) at a layer."""
+        self._isd_by_layer[layer_index] = np.asarray(isd, dtype=np.float64)
+
+    def isd_of(self, layer_index: int) -> Optional[np.ndarray]:
+        """Retrieve the per-token ISD of an earlier layer, if available."""
+        return self._isd_by_layer.get(layer_index)
+
+    @property
+    def known_layers(self) -> List[int]:
+        """Indices of layers whose ISD has been stored so far."""
+        return sorted(self._isd_by_layer)
+
+    # -- statistics recording (used by calibration / Figure 2) -----------
+
+    def record(self, record: NormLayerRecord) -> None:
+        """Append a statistics record when recording is enabled."""
+        if self.record_statistics:
+            self._records.append(record)
+
+    @property
+    def records(self) -> List[NormLayerRecord]:
+        """All records captured during this forward pass."""
+        return list(self._records)
+
+
+@dataclass
+class StatisticsTrace:
+    """Aggregated per-layer statistics accumulated over many forward passes.
+
+    ``isd_samples[layer_index]`` is the list of per-token ISD arrays observed
+    for that layer; :meth:`isd_matrix` stacks them into a dense
+    ``(num_tokens, num_layers)`` matrix -- the object Algorithm 1 scans.
+    """
+
+    num_layers: int
+    layer_names: List[str]
+    isd_samples: Dict[int, List[np.ndarray]] = field(default_factory=dict)
+    mean_samples: Dict[int, List[np.ndarray]] = field(default_factory=dict)
+
+    def absorb(self, context: ActivationContext) -> None:
+        """Fold the records of one forward pass into the trace."""
+        for record in context.records:
+            self.isd_samples.setdefault(record.layer_index, []).append(record.isd)
+            self.mean_samples.setdefault(record.layer_index, []).append(record.mean)
+
+    def isd_vector(self, layer_index: int) -> np.ndarray:
+        """All observed ISD values of one layer, concatenated."""
+        samples = self.isd_samples.get(layer_index, [])
+        if not samples:
+            return np.array([], dtype=np.float64)
+        return np.concatenate(samples)
+
+    def isd_matrix(self) -> np.ndarray:
+        """Dense ``(num_tokens, num_layers)`` ISD matrix.
+
+        Raises if layers saw different token counts (which would indicate a
+        model wiring bug).
+        """
+        columns = []
+        expected = None
+        for layer in range(self.num_layers):
+            vec = self.isd_vector(layer)
+            if expected is None:
+                expected = vec.size
+            if vec.size != expected:
+                raise ValueError(
+                    f"layer {layer} observed {vec.size} tokens, expected {expected}"
+                )
+            columns.append(vec)
+        if not columns:
+            return np.zeros((0, self.num_layers))
+        return np.stack(columns, axis=1)
+
+    def mean_log_isd(self) -> np.ndarray:
+        """Per-layer mean of ``log(ISD)`` -- the curve plotted in Figure 2."""
+        matrix = self.isd_matrix()
+        if matrix.size == 0:
+            return np.zeros(self.num_layers)
+        return np.mean(np.log(matrix), axis=0)
+
+    @property
+    def num_tokens(self) -> int:
+        """Number of tokens observed per layer (0 if nothing recorded)."""
+        if not self.isd_samples:
+            return 0
+        return int(self.isd_vector(min(self.isd_samples)).size)

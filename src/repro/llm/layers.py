@@ -1,0 +1,150 @@
+"""Transformer building blocks for the NumPy inference engine.
+
+These layers implement the dense compute of a decoder-only transformer --
+linear projections, GeLU, softmax, multi-head causal self-attention and the
+position-wise MLP -- using plain NumPy.  They are the substrate the HAAN
+algorithm runs on: HAAN itself only touches the normalization layers, but a
+complete forward pass is required so that (a) the normalization-layer input
+statistics are produced by genuine residual-stream dynamics and (b) accuracy
+experiments measure real logit perturbations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit (tanh approximation used by GPT-2)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * np.power(x, 3))))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive causal mask of shape (seq_len, seq_len): 0 on/below diag, -inf above."""
+    mask = np.zeros((seq_len, seq_len))
+    mask[np.triu_indices(seq_len, k=1)] = -np.inf
+    return mask
+
+
+class Linear:
+    """Dense layer ``y = x @ W + b`` with weights of shape (in, out)."""
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray] = None):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be 2-D (in_features, out_features)")
+        if bias is None:
+            bias = np.zeros(self.weight.shape[1])
+        self.bias = np.asarray(bias, dtype=np.float64)
+        if self.bias.shape != (self.weight.shape[1],):
+            raise ValueError("bias shape must match out_features")
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64) @ self.weight + self.bias
+
+
+class Embedding:
+    """Token embedding lookup table."""
+
+    def __init__(self, table: np.ndarray):
+        self.table = np.asarray(table, dtype=np.float64)
+        if self.table.ndim != 2:
+            raise ValueError("embedding table must be 2-D (vocab, hidden)")
+
+    @property
+    def vocab_size(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def hidden_size(self) -> int:
+        return self.table.shape[1]
+
+    def __call__(self, token_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(token_ids, dtype=np.int64)
+        if np.any(ids < 0) or np.any(ids >= self.vocab_size):
+            raise ValueError("token id out of range")
+        return self.table[ids]
+
+
+@dataclass
+class AttentionWeights:
+    """Projection matrices of one attention layer."""
+
+    wq: Linear
+    wk: Linear
+    wv: Linear
+    wo: Linear
+
+
+class MultiHeadAttention:
+    """Causal multi-head self-attention."""
+
+    def __init__(self, weights: AttentionWeights, num_heads: int):
+        self.weights = weights
+        self.num_heads = int(num_heads)
+        hidden = weights.wq.out_features
+        if hidden % self.num_heads != 0:
+            raise ValueError("hidden size must be divisible by num_heads")
+        self.head_dim = hidden // self.num_heads
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, hidden = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, heads, seq, dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * dim)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Run attention over a (batch, seq, hidden) tensor."""
+        q = self._split_heads(self.weights.wq(x))
+        k = self._split_heads(self.weights.wk(x))
+        v = self._split_heads(self.weights.wv(x))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.matmul(q, k.transpose(0, 1, 3, 2)) * scale
+        scores = scores + causal_mask(x.shape[1])[None, None, :, :]
+        probs = softmax(scores, axis=-1)
+        attended = np.matmul(probs, v)
+        return self.weights.wo(self._merge_heads(attended))
+
+
+@dataclass
+class MLPWeights:
+    """Projection matrices of one position-wise feed-forward layer."""
+
+    w_in: Linear
+    w_out: Linear
+
+
+class FeedForward:
+    """Position-wise MLP with GeLU activation."""
+
+    def __init__(self, weights: MLPWeights):
+        self.weights = weights
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.weights.w_out(gelu(self.weights.w_in(x)))

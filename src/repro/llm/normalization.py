@@ -1,0 +1,182 @@
+"""Reference LayerNorm and RMSNorm layers (paper equations (1) and (2)).
+
+These are the exact normalization operations the HAAN algorithm
+approximates.  Both layers share a common interface:
+
+* ``compute_statistics(x)`` returns the per-row ``(mean, isd)`` pair, where
+  ``isd = 1/sigma`` (LayerNorm) or ``1/rms`` (RMSNorm, with mean pinned to
+  zero since RMSNorm does not re-center).
+* ``apply_affine(normalized)`` multiplies by ``alpha`` and adds ``beta``.
+* ``__call__(x, context)`` runs the full operation and deposits the
+  statistics into the :class:`~repro.llm.hooks.ActivationContext` so later
+  layers (and the calibration recorder) can see them.
+
+The HAAN-accelerated layer in :mod:`repro.core.haan_norm` subclasses
+:class:`BaseNorm` and only overrides the statistics computation, so the
+affine path and the context protocol stay identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.llm.config import NormKind
+from repro.llm.hooks import ActivationContext, NormLayerRecord
+
+
+class BaseNorm:
+    """Shared machinery of LayerNorm / RMSNorm.
+
+    Parameters
+    ----------
+    hidden_size:
+        Length of the vectors being normalized (``E`` in the paper).
+    layer_index:
+        Position of this layer in the model's normalization-layer order
+        (0-based); Algorithm 1 and the ISD predictor address layers by this
+        index.
+    name:
+        Stable, human-readable layer name (e.g. ``"block3.mlp_norm"``).
+    gamma / beta:
+        The learnable affine parameters ``alpha`` and ``beta``.  They are
+        fixed during inference, exactly as in the paper.
+    eps:
+        Numerical-stability epsilon added to the variance.
+    """
+
+    kind: NormKind = NormKind.LAYERNORM
+
+    def __init__(
+        self,
+        hidden_size: int,
+        layer_index: int = 0,
+        name: str = "norm",
+        gamma: Optional[np.ndarray] = None,
+        beta: Optional[np.ndarray] = None,
+        eps: float = 1e-5,
+    ):
+        self.hidden_size = int(hidden_size)
+        self.layer_index = int(layer_index)
+        self.name = name
+        self.eps = float(eps)
+        self.gamma = np.ones(hidden_size) if gamma is None else np.asarray(gamma, dtype=np.float64)
+        self.beta = np.zeros(hidden_size) if beta is None else np.asarray(beta, dtype=np.float64)
+        if self.gamma.shape != (hidden_size,):
+            raise ValueError("gamma must have shape (hidden_size,)")
+        if self.beta.shape != (hidden_size,):
+            raise ValueError("beta must have shape (hidden_size,)")
+
+    # -- statistics -------------------------------------------------------
+
+    def compute_statistics(
+        self, rows: np.ndarray, context: Optional[ActivationContext] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row (mean, ISD) of a 2-D ``(num_rows, hidden)`` array."""
+        raise NotImplementedError
+
+    # -- forward ----------------------------------------------------------
+
+    def __call__(self, x: np.ndarray, context: Optional[ActivationContext] = None) -> np.ndarray:
+        """Normalize ``x`` along its last dimension and apply the affine transform."""
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.shape[-1] != self.hidden_size:
+            raise ValueError(
+                f"last dimension {arr.shape[-1]} does not match hidden size {self.hidden_size}"
+            )
+        original_shape = arr.shape
+        rows = arr.reshape(-1, self.hidden_size)
+        mean, isd = self.compute_statistics(rows, context)
+        normalized = (rows - mean[:, None]) * isd[:, None]
+        out = normalized * self.gamma[None, :] + self.beta[None, :]
+        if context is not None:
+            context.store_isd(self.layer_index, isd)
+            context.record(
+                NormLayerRecord(
+                    layer_index=self.layer_index,
+                    layer_name=self.name,
+                    mean=mean.copy(),
+                    isd=isd.copy(),
+                    input_variance=self._variance_from_isd(isd),
+                    was_predicted=self._last_was_predicted(),
+                    was_subsampled=self._last_was_subsampled(),
+                )
+            )
+        return out.reshape(original_shape)
+
+    # Hooks for subclasses (the HAAN layer) to report how statistics were
+    # obtained; the reference layers always compute them exactly.
+    def _last_was_predicted(self) -> bool:
+        return False
+
+    def _last_was_subsampled(self) -> bool:
+        return False
+
+    def _variance_from_isd(self, isd: np.ndarray) -> np.ndarray:
+        """Recover the (epsilon-inclusive) variance from the ISD for recording."""
+        return 1.0 / np.square(isd)
+
+    # -- parameter helpers --------------------------------------------------
+
+    def load_affine(self, gamma: np.ndarray, beta: np.ndarray) -> None:
+        """Replace the affine parameters (used when wrapping an existing layer)."""
+        gamma = np.asarray(gamma, dtype=np.float64)
+        beta = np.asarray(beta, dtype=np.float64)
+        if gamma.shape != (self.hidden_size,) or beta.shape != (self.hidden_size,):
+            raise ValueError("affine parameter shape mismatch")
+        self.gamma = gamma
+        self.beta = beta
+
+
+class LayerNorm(BaseNorm):
+    """Layer normalization (paper equation (1))."""
+
+    kind = NormKind.LAYERNORM
+
+    def compute_statistics(
+        self, rows: np.ndarray, context: Optional[ActivationContext] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        mean = rows.mean(axis=1)
+        variance = rows.var(axis=1)
+        isd = 1.0 / np.sqrt(variance + self.eps)
+        return mean, isd
+
+
+class RMSNorm(BaseNorm):
+    """Root-mean-square normalization (paper equation (2)).
+
+    RMSNorm does not re-center, so the "mean" returned by
+    :meth:`compute_statistics` is identically zero and the ISD is the
+    reciprocal of the RMS value ``r_z``.
+    """
+
+    kind = NormKind.RMSNORM
+
+    def compute_statistics(
+        self, rows: np.ndarray, context: Optional[ActivationContext] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        mean_square = np.mean(np.square(rows), axis=1)
+        isd = 1.0 / np.sqrt(mean_square + self.eps)
+        return np.zeros(rows.shape[0]), isd
+
+
+def make_norm(
+    kind: NormKind,
+    hidden_size: int,
+    layer_index: int,
+    name: str,
+    gamma: Optional[np.ndarray] = None,
+    beta: Optional[np.ndarray] = None,
+    eps: float = 1e-5,
+) -> BaseNorm:
+    """Factory constructing the right normalization class for a model family."""
+    cls = LayerNorm if kind is NormKind.LAYERNORM else RMSNorm
+    return cls(
+        hidden_size=hidden_size,
+        layer_index=layer_index,
+        name=name,
+        gamma=gamma,
+        beta=beta,
+        eps=eps,
+    )

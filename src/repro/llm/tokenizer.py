@@ -1,0 +1,98 @@
+"""Deterministic word-level tokenizer for the synthetic corpora.
+
+The reproduction has no network access, so instead of a byte-pair-encoding
+vocabulary trained on real text we use a simple, fully deterministic
+word-level tokenizer: every distinct word maps to an id via a stable hash
+into the configured vocabulary range.  The tokenizer only has to drive the
+simulated LLM through realistic token-id sequences; linguistic fidelity is
+irrelevant to the normalization statistics HAAN operates on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+_WORD_RE = re.compile(r"[a-zA-Z0-9']+|[.,;:!?]")
+
+
+def _stable_hash(word: str) -> int:
+    """A process-independent hash of a word (Python's ``hash`` is salted)."""
+    digest = hashlib.sha256(word.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class Tokenizer:
+    """Hash-based word-level tokenizer.
+
+    Reserved ids: 0 = padding, 1 = beginning-of-sequence, 2 = unknown.
+    All other words hash into ``[num_reserved, vocab_size)``.
+    """
+
+    vocab_size: int = 2048
+    num_reserved: int = 3
+    pad_id: int = 0
+    bos_id: int = 1
+    unk_id: int = 2
+    _cache: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vocab_size <= self.num_reserved:
+            raise ValueError("vocab_size must exceed the number of reserved ids")
+
+    def token_id(self, word: str) -> int:
+        """Map one word to its token id."""
+        if not word:
+            return self.unk_id
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        span = self.vocab_size - self.num_reserved
+        tid = self.num_reserved + (_stable_hash(word.lower()) % span)
+        self._cache[word] = tid
+        return tid
+
+    def tokenize_words(self, text: str) -> List[str]:
+        """Split text into the word/punctuation units the tokenizer understands."""
+        return _WORD_RE.findall(text)
+
+    def encode(self, text: str, add_bos: bool = True, max_len: int | None = None) -> List[int]:
+        """Encode a text string into token ids."""
+        ids = [self.token_id(w) for w in self.tokenize_words(text)]
+        if add_bos:
+            ids = [self.bos_id] + ids
+        if max_len is not None:
+            ids = ids[:max_len]
+        return ids
+
+    def encode_batch(
+        self,
+        texts: Sequence[str],
+        max_len: int,
+        add_bos: bool = True,
+    ) -> List[List[int]]:
+        """Encode and right-pad a batch of texts to a common length."""
+        batch = []
+        for text in texts:
+            ids = self.encode(text, add_bos=add_bos, max_len=max_len)
+            if len(ids) < max_len:
+                ids = ids + [self.pad_id] * (max_len - len(ids))
+            batch.append(ids)
+        return batch
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Best-effort decoding (ids are not invertible; used for debugging)."""
+        parts = []
+        for tid in ids:
+            if tid == self.pad_id:
+                continue
+            if tid == self.bos_id:
+                parts.append("<bos>")
+            elif tid == self.unk_id:
+                parts.append("<unk>")
+            else:
+                parts.append(f"tok{tid}")
+        return " ".join(parts)

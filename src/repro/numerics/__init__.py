@@ -1,0 +1,77 @@
+"""Bit-accurate numeric formats used by the HAAN accelerator model.
+
+The HAAN datapath (paper Section IV) mixes floating-point I/O with
+fixed-point intermediate computation.  This subpackage provides:
+
+* :mod:`repro.numerics.fixedpoint` -- signed Q-format fixed-point arithmetic
+  with saturation and configurable rounding, vectorised over NumPy arrays.
+* :mod:`repro.numerics.floating` -- IEEE-754 FP16/FP32 bit-level encoding and
+  field extraction (sign / exponent / mantissa), required by the fast inverse
+  square root derivation in Section IV-B.
+* :mod:`repro.numerics.convert` -- the FP2FX and FX2FP converter units that
+  appear in Figures 4 and 6 of the paper.
+* :mod:`repro.numerics.fast_inv_sqrt` -- the fast inverse square root
+  (constant ``0x5f3759df``) plus Newton refinement of equations (8)-(9).
+* :mod:`repro.numerics.quantization` -- per-tensor symmetric INT8 / FP16 /
+  FP32 quantization used by the HAAN algorithm (Section III-C).
+"""
+
+from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
+from repro.numerics.floating import FloatFormat, FP16, FP32, decompose, compose
+from repro.numerics.convert import FP2FXConverter, FX2FPConverter
+from repro.numerics.fast_inv_sqrt import (
+    FastInvSqrt,
+    fast_inv_sqrt,
+    newton_refine,
+)
+from repro.numerics.quantization import (
+    DataFormat,
+    QuantizationConfig,
+    Quantizer,
+    quantize_tensor,
+    dequantize_tensor,
+)
+from repro.numerics.minifloat import BFLOAT16, E4M3, E5M2, MinifloatFormat, minifloat_by_name
+from repro.numerics.rounding import RoundingMode, round_to_grid
+from repro.numerics.lut import PiecewiseLinearLUT, exp_lut, gelu_lut, inv_sqrt_lut
+from repro.numerics.error_analysis import (
+    ErrorSummary,
+    max_ulp_error,
+    signal_to_quantization_noise_db,
+    summarize_error,
+)
+
+__all__ = [
+    "MinifloatFormat",
+    "E4M3",
+    "E5M2",
+    "BFLOAT16",
+    "minifloat_by_name",
+    "RoundingMode",
+    "round_to_grid",
+    "PiecewiseLinearLUT",
+    "inv_sqrt_lut",
+    "exp_lut",
+    "gelu_lut",
+    "ErrorSummary",
+    "summarize_error",
+    "signal_to_quantization_noise_db",
+    "max_ulp_error",
+    "FixedPointFormat",
+    "FixedPointValue",
+    "FloatFormat",
+    "FP16",
+    "FP32",
+    "decompose",
+    "compose",
+    "FP2FXConverter",
+    "FX2FPConverter",
+    "FastInvSqrt",
+    "fast_inv_sqrt",
+    "newton_refine",
+    "DataFormat",
+    "QuantizationConfig",
+    "Quantizer",
+    "quantize_tensor",
+    "dequantize_tensor",
+]

@@ -1,0 +1,109 @@
+"""FP2FX and FX2FP converter units.
+
+Figures 4 and 6 of the paper show FP2FX units at the input of the Input
+Statistics Calculator and FX2FP units in front of the Square Root Inverter
+and at the output of the Normalization Unit.  These classes model those
+converters, including the bypass behaviour for inputs that are already in
+fixed-point (INT8) format and the precision loss of each direction.
+
+Each converter also tracks how many elements it has processed so the cycle
+and power models can charge conversion energy only for values that actually
+passed through the unit (bypassed values are free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
+from repro.numerics.floating import FloatFormat, FP32
+
+ArrayLike = Union[np.ndarray, float, int]
+
+
+@dataclass
+class ConverterStats:
+    """Activity counters for a converter unit (consumed by the power model)."""
+
+    converted_elements: int = 0
+    bypassed_elements: int = 0
+    invocations: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.converted_elements = 0
+        self.bypassed_elements = 0
+        self.invocations = 0
+
+    @property
+    def total_elements(self) -> int:
+        """Total elements that traversed the unit, converted or not."""
+        return self.converted_elements + self.bypassed_elements
+
+
+@dataclass
+class FP2FXConverter:
+    """Floating-point to fixed-point converter (paper Figure 4).
+
+    Parameters
+    ----------
+    float_format:
+        The incoming floating-point storage format (FP16 or FP32).  Inputs
+        are first rounded through this format, modelling the precision of
+        the accelerator's input bus.
+    fixed_format:
+        The internal fixed-point format produced by the unit.
+    """
+
+    float_format: FloatFormat = FP32
+    fixed_format: FixedPointFormat = field(default_factory=FixedPointFormat.accumulator)
+    stats: ConverterStats = field(default_factory=ConverterStats)
+
+    def convert(self, values: ArrayLike) -> FixedPointValue:
+        """Convert floating-point inputs into the internal fixed-point format."""
+        arr = self.float_format.round_trip(np.asarray(values, dtype=np.float64))
+        self.stats.invocations += 1
+        self.stats.converted_elements += int(np.asarray(arr).size)
+        return FixedPointValue.from_real(self.fixed_format, arr)
+
+    def bypass(self, codes: ArrayLike) -> FixedPointValue:
+        """Pass through inputs that are already fixed-point (e.g. INT8).
+
+        The paper: "If the inputs are already in fixed-point format (INT8),
+        the FP2FX units will bypass the conversion."  The raw codes are
+        re-interpreted in the internal format by aligning binary points.
+        """
+        int8 = FixedPointFormat.int8()
+        value = FixedPointValue(int8, np.asarray(codes, dtype=np.int64))
+        self.stats.invocations += 1
+        self.stats.bypassed_elements += int(value.codes.size)
+        return value.cast(self.fixed_format)
+
+
+@dataclass
+class FX2FPConverter:
+    """Fixed-point to floating-point converter (paper Figures 5 and 6)."""
+
+    float_format: FloatFormat = FP32
+    stats: ConverterStats = field(default_factory=ConverterStats)
+
+    def convert(self, value: FixedPointValue) -> np.ndarray:
+        """Convert a fixed-point value into the output floating-point format."""
+        real = value.to_real()
+        self.stats.invocations += 1
+        self.stats.converted_elements += int(np.asarray(real).size)
+        return self.float_format.round_trip(real)
+
+    def bypass(self, value: FixedPointValue) -> np.ndarray:
+        """Skip the conversion when quantized (fixed-point) output is requested.
+
+        The paper: "When quantization is enabled, outputs remain in
+        fixed-point format, skipping conversion in the FX2FP units."  Returns
+        the decoded real values without charging conversion activity.
+        """
+        self.stats.invocations += 1
+        self.stats.bypassed_elements += int(value.codes.size)
+        return value.to_real()

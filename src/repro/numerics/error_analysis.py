@@ -1,0 +1,114 @@
+"""Numeric error metrics shared by the ablation studies.
+
+The accuracy tables of the paper (Tables I and II) ultimately measure how
+approximation error in the normalization statistics propagates to task
+accuracy.  The helpers here quantify the intermediate numeric error in a
+uniform way so the ablation benchmarks and the analytic error model in
+:mod:`repro.core.error_model` can report comparable numbers:
+
+* signal-to-quantization-noise ratio (SQNR) in dB,
+* ULP distance between two floating-point arrays,
+* an :class:`ErrorSummary` bundling max/mean absolute and relative error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.numerics.floating import FP32, FloatFormat, to_bits
+
+ArrayLike = Union[np.ndarray, float, int]
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of the error between a reference and an approximation."""
+
+    max_absolute: float
+    mean_absolute: float
+    max_relative: float
+    mean_relative: float
+    sqnr_db: float
+
+    def within(self, max_relative: float) -> bool:
+        """Whether the worst-case relative error is within a tolerance."""
+        return self.max_relative <= max_relative
+
+    def as_row(self) -> list:
+        """Row representation for the table formatter."""
+        return [
+            f"{self.max_absolute:.3e}",
+            f"{self.mean_absolute:.3e}",
+            f"{self.max_relative:.3e}",
+            f"{self.mean_relative:.3e}",
+            f"{self.sqnr_db:.1f}",
+        ]
+
+    @staticmethod
+    def header() -> list:
+        """Column names matching :meth:`as_row`."""
+        return ["max abs", "mean abs", "max rel", "mean rel", "SQNR (dB)"]
+
+
+def signal_to_quantization_noise_db(reference: ArrayLike, approximation: ArrayLike) -> float:
+    """SQNR in decibels: ``10 log10(sum(ref^2) / sum((ref - approx)^2))``.
+
+    Returns ``inf`` for a perfect approximation and ``-inf`` when the
+    reference has no energy but the error does.
+    """
+    ref = np.asarray(reference, dtype=np.float64).reshape(-1)
+    approx = np.asarray(approximation, dtype=np.float64).reshape(-1)
+    if ref.shape != approx.shape:
+        raise ValueError("reference and approximation must have the same shape")
+    noise_energy = float(np.sum((ref - approx) ** 2))
+    signal_energy = float(np.sum(ref**2))
+    if noise_energy == 0.0:
+        return float("inf")
+    if signal_energy == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(signal_energy / noise_energy)
+
+
+def ulp_distance(reference: ArrayLike, approximation: ArrayLike, fmt: FloatFormat = FP32) -> np.ndarray:
+    """Distance in units-in-the-last-place between two arrays.
+
+    Both arrays are first rounded into ``fmt``; the distance is the absolute
+    difference of their ordered bit patterns (sign-magnitude mapped onto a
+    monotone integer scale), the standard trick for ULP comparisons.
+    """
+    ref_bits = to_bits(np.asarray(reference, dtype=np.float64), fmt)
+    approx_bits = to_bits(np.asarray(approximation, dtype=np.float64), fmt)
+    sign_mask = 1 << (fmt.total_bits - 1)
+
+    def ordered(bits: np.ndarray) -> np.ndarray:
+        negative = (bits & sign_mask) != 0
+        return np.where(negative, -(bits & (sign_mask - 1)), bits)
+
+    return np.abs(ordered(ref_bits) - ordered(approx_bits))
+
+
+def max_ulp_error(reference: ArrayLike, approximation: ArrayLike, fmt: FloatFormat = FP32) -> int:
+    """Largest ULP distance over the arrays."""
+    distances = ulp_distance(reference, approximation, fmt)
+    return int(np.max(distances)) if distances.size else 0
+
+
+def summarize_error(reference: ArrayLike, approximation: ArrayLike, eps: float = 1e-12) -> ErrorSummary:
+    """Build an :class:`ErrorSummary` comparing an approximation to a reference."""
+    ref = np.asarray(reference, dtype=np.float64).reshape(-1)
+    approx = np.asarray(approximation, dtype=np.float64).reshape(-1)
+    if ref.shape != approx.shape:
+        raise ValueError("reference and approximation must have the same shape")
+    absolute = np.abs(ref - approx)
+    denom = np.maximum(np.abs(ref), eps)
+    relative = absolute / denom
+    return ErrorSummary(
+        max_absolute=float(np.max(absolute)) if absolute.size else 0.0,
+        mean_absolute=float(np.mean(absolute)) if absolute.size else 0.0,
+        max_relative=float(np.max(relative)) if relative.size else 0.0,
+        mean_relative=float(np.mean(relative)) if relative.size else 0.0,
+        sqnr_db=signal_to_quantization_noise_db(ref, approx),
+    )

@@ -1,0 +1,172 @@
+"""Fast inverse square root with Newton refinement.
+
+The HAAN Square Root Inverter (paper Section IV-B, Figure 5) computes
+``y = 1/sqrt(x)`` from the variance using:
+
+1. the classic bit-manipulation seed
+   ``bits(y0) = 0x5f3759df - (bits(x) >> 1)`` derived from the logarithmic
+   approximation of the floating-point representation (equation (8)), and
+2. one Newton iteration ``y1 = y0 * (1.5 - 0.5 * x * y0^2)`` performed in
+   fixed point (equation (9)); the constant ``1.5`` appears in Figure 5 as
+   the fixed-point literal ``0x00C00000``.
+
+This module provides both a pure functional form (NumPy-vectorised) and a
+stateful :class:`FastInvSqrt` unit that tracks activity for the cycle and
+power models, and exposes error metrics used by the ablation benchmark
+(Section IV-B: "a single iteration is adequate").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
+from repro.numerics.floating import (
+    FAST_INV_SQRT_MAGIC_FP16,
+    FAST_INV_SQRT_MAGIC_FP32,
+    FP16,
+    FP32,
+    FloatFormat,
+    from_bits,
+    to_bits,
+)
+
+ArrayLike = Union[np.ndarray, float, int]
+
+#: Fixed-point constant 1.5 in Q8.24, i.e. ``0x00C00000 * 2^-23`` -- shown in
+#: Figure 5 of the paper as the literal 0x00C00000 with a 23-bit fraction.
+NEWTON_THREE_HALVES_CODE = 0x00C00000
+NEWTON_FRACTION_BITS = 23
+
+
+def _magic_for(fmt: FloatFormat) -> int:
+    """Return the bit-hack magic constant for the given float format."""
+    if fmt.total_bits == 32:
+        return FAST_INV_SQRT_MAGIC_FP32
+    if fmt.total_bits == 16:
+        return FAST_INV_SQRT_MAGIC_FP16
+    raise ValueError(f"unsupported float format for fast inverse sqrt: {fmt.name}")
+
+
+def initial_seed(x: ArrayLike, fmt: FloatFormat = FP32) -> np.ndarray:
+    """Bit-manipulation seed ``y0`` for ``1/sqrt(x)`` (paper equation (8)).
+
+    Non-positive inputs produce NaN, matching the undefined behaviour of the
+    hardware unit for invalid variances (the accelerator never feeds it a
+    negative variance; the epsilon added by the statistics calculator keeps
+    the input strictly positive).
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    bits = to_bits(arr, fmt)
+    seed_bits = _magic_for(fmt) - (bits >> 1)
+    seed = from_bits(seed_bits, fmt)
+    return np.where(arr > 0, seed, np.nan)
+
+
+def newton_refine(x: ArrayLike, y: ArrayLike, iterations: int = 1) -> np.ndarray:
+    """Refine an inverse-square-root estimate with Newton's method.
+
+    Implements equation (9): ``y_{n+1} = y_n * (1.5 - 0.5 * x * y_n^2)``.
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64).copy()
+    for _ in range(iterations):
+        y_arr = y_arr * (1.5 - 0.5 * x_arr * y_arr * y_arr)
+    return y_arr
+
+
+def fast_inv_sqrt(
+    x: ArrayLike,
+    fmt: FloatFormat = FP32,
+    newton_iterations: int = 1,
+) -> np.ndarray:
+    """Compute ``1/sqrt(x)`` with the bit hack plus Newton refinement."""
+    seed = initial_seed(x, fmt)
+    return newton_refine(x, seed, iterations=newton_iterations)
+
+
+def relative_error(x: ArrayLike, fmt: FloatFormat = FP32, newton_iterations: int = 1) -> np.ndarray:
+    """Relative error of the approximation vs the exact ``1/sqrt(x)``."""
+    arr = np.asarray(x, dtype=np.float64)
+    approx = fast_inv_sqrt(arr, fmt, newton_iterations)
+    exact = 1.0 / np.sqrt(arr)
+    return np.abs(approx - exact) / np.abs(exact)
+
+
+@dataclass
+class InvSqrtStats:
+    """Activity counters for the Square Root Inverter."""
+
+    invocations: int = 0
+    newton_iterations: int = 0
+    elements: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.invocations = 0
+        self.newton_iterations = 0
+        self.elements = 0
+
+
+@dataclass
+class FastInvSqrt:
+    """Stateful model of the Square Root Inverter unit (paper Figure 5).
+
+    The unit accepts a variance in fixed point, converts it to floating
+    point (FX2FP), computes the bit-hack seed, then refines in fixed point
+    with Newton's method using the 1.5 constant ``0x00C00000``.
+
+    Parameters
+    ----------
+    float_format:
+        The floating-point format of the internal seed computation.
+    newton_iterations:
+        Number of Newton iterations.  The paper uses a single iteration.
+    newton_format:
+        Fixed-point format used for the Newton refinement arithmetic.
+    """
+
+    float_format: FloatFormat = FP32
+    newton_iterations: int = 1
+    newton_format: FixedPointFormat = field(
+        default_factory=lambda: FixedPointFormat(integer_bits=9, fraction_bits=NEWTON_FRACTION_BITS)
+    )
+    stats: InvSqrtStats = field(default_factory=InvSqrtStats)
+
+    def compute(self, variance: ArrayLike) -> np.ndarray:
+        """Compute the ISD ``1/sqrt(variance)`` through the hardware path.
+
+        Models the precision of each stage: the FP seed uses the configured
+        float format; the Newton update is carried out on values quantized
+        to the fixed-point Newton format, including the 1.5 constant.
+        """
+        arr = np.asarray(variance, dtype=np.float64)
+        self.stats.invocations += 1
+        self.stats.elements += int(arr.size)
+        self.stats.newton_iterations += self.newton_iterations * int(arr.size)
+
+        seed = initial_seed(arr, self.float_format)
+        # The Newton refinement runs in fixed point: quantize the operands.
+        three_halves = NEWTON_THREE_HALVES_CODE * 2.0 ** (-NEWTON_FRACTION_BITS)
+        y = self.newton_format.quantize(seed)
+        x_fx = self.newton_format.quantize(arr)
+        for _ in range(self.newton_iterations):
+            y = self.newton_format.quantize(y * (three_halves - 0.5 * x_fx * y * y))
+        return y
+
+    def compute_exact(self, variance: ArrayLike) -> np.ndarray:
+        """Reference ISD with no approximation, for error analysis."""
+        arr = np.asarray(variance, dtype=np.float64)
+        return 1.0 / np.sqrt(arr)
+
+    def max_relative_error(self, variances: ArrayLike) -> float:
+        """Worst-case relative error over a set of variances."""
+        arr = np.asarray(variances, dtype=np.float64)
+        approx = self.compute(arr)
+        exact = self.compute_exact(arr)
+        return float(np.max(np.abs(approx - exact) / np.abs(exact)))

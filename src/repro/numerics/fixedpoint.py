@@ -1,0 +1,297 @@
+"""Signed Q-format fixed-point arithmetic.
+
+The HAAN accelerator keeps all intermediate results of the normalization
+datapath in fixed point (paper Section IV: "maintaining intermediate
+computational results in fixed-point representation").  This module provides
+a bit-accurate, vectorised model of that arithmetic:
+
+* :class:`FixedPointFormat` describes a signed two's-complement format with
+  ``integer_bits`` bits left of the binary point (including the sign bit) and
+  ``fraction_bits`` bits right of it.
+* :class:`FixedPointValue` wraps a NumPy integer array holding raw codes in a
+  given format and exposes add / subtract / multiply / shift operations with
+  saturation, matching what a synthesised datapath would produce.
+
+The model deliberately avoids floating point in the arithmetic core: raw
+codes are 64-bit integers, so products of two 32-bit-wide formats are exact
+before the final shift/saturate step, exactly as a DSP-slice multiplier
+followed by a truncation stage behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Iterable[float]]
+
+
+class FixedPointOverflowError(ArithmeticError):
+    """Raised when saturation is disabled and a value exceeds the format range."""
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement Q-format.
+
+    Parameters
+    ----------
+    integer_bits:
+        Number of bits left of the binary point, *including* the sign bit.
+        Must be at least 1.
+    fraction_bits:
+        Number of bits right of the binary point.  May be zero for pure
+        integer formats (e.g. INT8 activations).
+    saturate:
+        When True (the default, and what the HAAN RTL does) out-of-range
+        results clamp to the format's min/max code.  When False an
+        :class:`FixedPointOverflowError` is raised instead, which is useful
+        in tests that want to prove a datapath never overflows.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+    saturate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise ValueError("integer_bits must be >= 1 (sign bit included)")
+        if self.fraction_bits < 0:
+            raise ValueError("fraction_bits must be >= 0")
+        if self.total_bits > 63:
+            raise ValueError(
+                "formats wider than 63 bits are not representable with int64 raw codes"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Total width of the format in bits."""
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable raw code."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_code(self) -> int:
+        """Smallest (most negative) representable raw code."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_code * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_code * self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Alias of :attr:`scale`; the quantization step."""
+        return self.scale
+
+    def describe(self) -> str:
+        """Human-readable Q-notation, e.g. ``Q8.24`` for 8 integer / 24 fraction bits."""
+        return f"Q{self.integer_bits}.{self.fraction_bits}"
+
+    # -- encode / decode -------------------------------------------------
+
+    def encode(self, values: ArrayLike) -> np.ndarray:
+        """Convert real values to raw integer codes (round-to-nearest-even).
+
+        Out-of-range values saturate (or raise, per :attr:`saturate`).
+        NaNs are mapped to zero, matching the behaviour of the FP2FX unit in
+        the accelerator which treats non-finite inputs as zero.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        scaled = arr * (1 << self.fraction_bits)
+        scaled = np.where(np.isnan(scaled), 0.0, scaled)
+        codes = np.rint(scaled)
+        return self._bound(codes)
+
+    def decode(self, codes: ArrayLike) -> np.ndarray:
+        """Convert raw integer codes back to real values."""
+        arr = np.asarray(codes, dtype=np.int64)
+        return arr.astype(np.float64) * self.scale
+
+    def quantize(self, values: ArrayLike) -> np.ndarray:
+        """Round real values to the nearest representable value."""
+        return self.decode(self.encode(values))
+
+    def _bound(self, codes: np.ndarray) -> np.ndarray:
+        """Clamp (or validate) raw codes to the representable range."""
+        hi = float(self.max_code)
+        lo = float(self.min_code)
+        if self.saturate:
+            bounded = np.clip(codes, lo, hi)
+        else:
+            if np.any(codes > hi) or np.any(codes < lo):
+                raise FixedPointOverflowError(
+                    f"value outside range of {self.describe()}"
+                )
+            bounded = codes
+        return bounded.astype(np.int64)
+
+    # -- convenience constructors ----------------------------------------
+
+    @classmethod
+    def int8(cls) -> "FixedPointFormat":
+        """Pure INT8 format used for quantized activations."""
+        return cls(integer_bits=8, fraction_bits=0)
+
+    @classmethod
+    def accumulator(cls) -> "FixedPointFormat":
+        """Wide accumulator format used inside the adder trees (Q16.16)."""
+        return cls(integer_bits=16, fraction_bits=16)
+
+    @classmethod
+    def statistics(cls) -> "FixedPointFormat":
+        """Format used for mean/variance intermediates (Q12.20)."""
+        return cls(integer_bits=12, fraction_bits=20)
+
+
+class FixedPointValue:
+    """A NumPy array of raw codes tagged with its :class:`FixedPointFormat`.
+
+    All arithmetic is performed on raw integer codes so that the model is
+    bit-accurate: two values in the same format add exactly, multiplication
+    produces the full-precision product and then truncates back to the
+    format, and shifts mirror hardware barrel shifters.
+    """
+
+    __slots__ = ("fmt", "codes")
+
+    def __init__(self, fmt: FixedPointFormat, codes: np.ndarray):
+        self.fmt = fmt
+        self.codes = np.asarray(codes, dtype=np.int64)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_real(cls, fmt: FixedPointFormat, values: ArrayLike) -> "FixedPointValue":
+        """Encode real values into a fixed-point value."""
+        return cls(fmt, fmt.encode(values))
+
+    @classmethod
+    def zeros(cls, fmt: FixedPointFormat, shape) -> "FixedPointValue":
+        """An all-zero value of the given shape."""
+        return cls(fmt, np.zeros(shape, dtype=np.int64))
+
+    # -- views ------------------------------------------------------------
+
+    def to_real(self) -> np.ndarray:
+        """Decode to real (float64) values."""
+        return self.fmt.decode(self.codes)
+
+    @property
+    def shape(self):
+        return self.codes.shape
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FixedPointValue({self.fmt.describe()}, {self.to_real()!r})"
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _check_same_format(self, other: "FixedPointValue") -> None:
+        if self.fmt != other.fmt:
+            raise ValueError(
+                f"format mismatch: {self.fmt.describe()} vs {other.fmt.describe()}"
+            )
+
+    def add(self, other: "FixedPointValue") -> "FixedPointValue":
+        """Saturating addition of two values in the same format."""
+        self._check_same_format(other)
+        raw = self.codes + other.codes
+        return FixedPointValue(self.fmt, self.fmt._bound(raw.astype(np.float64)))
+
+    def subtract(self, other: "FixedPointValue") -> "FixedPointValue":
+        """Saturating subtraction of two values in the same format."""
+        self._check_same_format(other)
+        raw = self.codes - other.codes
+        return FixedPointValue(self.fmt, self.fmt._bound(raw.astype(np.float64)))
+
+    def multiply(self, other: "FixedPointValue", out_fmt: FixedPointFormat | None = None) -> "FixedPointValue":
+        """Multiply two fixed-point values.
+
+        The full-precision product carries ``fa + fb`` fraction bits; it is
+        then shifted right to the output format's fraction width (truncating
+        toward negative infinity, like a hardware arithmetic shift) and
+        saturated.
+        """
+        out_fmt = out_fmt or self.fmt
+        product = self.codes.astype(object) * other.codes.astype(object)
+        shift = self.fmt.fraction_bits + other.fmt.fraction_bits - out_fmt.fraction_bits
+        if shift > 0:
+            shifted = np.array([int(p) >> shift for p in np.ravel(product)], dtype=np.float64)
+        elif shift < 0:
+            shifted = np.array([int(p) << (-shift) for p in np.ravel(product)], dtype=np.float64)
+        else:
+            shifted = np.array([float(int(p)) for p in np.ravel(product)], dtype=np.float64)
+        shifted = shifted.reshape(np.shape(product))
+        return FixedPointValue(out_fmt, out_fmt._bound(shifted))
+
+    def multiply_scalar(self, scalar: float, out_fmt: FixedPointFormat | None = None) -> "FixedPointValue":
+        """Multiply by a real scalar (e.g. the precomputed ``1/N`` constant)."""
+        out_fmt = out_fmt or self.fmt
+        scalar_fx = FixedPointValue.from_real(self.fmt, scalar)
+        # Broadcast the scalar over this value's shape.
+        scalar_codes = np.broadcast_to(scalar_fx.codes, self.codes.shape)
+        return self.multiply(FixedPointValue(self.fmt, scalar_codes.copy()), out_fmt)
+
+    def shift_right(self, amount: int) -> "FixedPointValue":
+        """Arithmetic right shift of the raw codes (divide by power of two)."""
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        return FixedPointValue(self.fmt, (self.codes >> amount).astype(np.int64))
+
+    def shift_left(self, amount: int) -> "FixedPointValue":
+        """Left shift with saturation (multiply by power of two)."""
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        raw = self.codes.astype(np.float64) * float(1 << amount)
+        return FixedPointValue(self.fmt, self.fmt._bound(raw))
+
+    def negate(self) -> "FixedPointValue":
+        """Two's-complement negation with saturation."""
+        raw = -self.codes.astype(np.float64)
+        return FixedPointValue(self.fmt, self.fmt._bound(raw))
+
+    def cast(self, out_fmt: FixedPointFormat) -> "FixedPointValue":
+        """Re-encode into another format (realign binary point, saturate)."""
+        shift = out_fmt.fraction_bits - self.fmt.fraction_bits
+        raw = self.codes.astype(np.float64) * (2.0 ** shift)
+        return FixedPointValue(out_fmt, out_fmt._bound(np.rint(raw)))
+
+    def sum(self) -> "FixedPointValue":
+        """Reduce the value with an exact integer sum, then saturate.
+
+        Mirrors an adder tree whose internal width is wide enough not to
+        overflow (the paper's accelerator sizes the tree for the embedding
+        dimension), with saturation only at the output register.
+        """
+        total = float(int(np.sum(self.codes, dtype=object)))
+        return FixedPointValue(self.fmt, self.fmt._bound(np.array(total)))
+
+    def mean(self) -> "FixedPointValue":
+        """Exact sum followed by division by the element count.
+
+        The division by ``N`` is modelled as multiplication with the
+        precomputed reciprocal, as in the paper ("1/N can be precomputed and
+        stored in memory").
+        """
+        n = self.codes.size
+        total = self.sum()
+        return total.multiply_scalar(1.0 / n)

@@ -1,0 +1,181 @@
+"""IEEE-754 bit-level floating point codec (FP16 / FP32).
+
+The Square Root Inverter of the HAAN accelerator (paper Section IV-B)
+operates directly on the bit representation of a floating-point number:
+``x = 2^(Ex - Q) * (1 + Mx / 2^L)`` where ``Ex`` is the exponent field,
+``Mx`` the mantissa field, ``Q`` the exponent bias and ``L`` the mantissa
+width.  This module exposes those fields exactly, for both FP16 and FP32,
+and provides helpers to reassemble a float from fields -- which is what the
+fast inverse square root derivation of equation (8) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Parameters of an IEEE-754 binary floating-point format.
+
+    Attributes
+    ----------
+    name:
+        Human-readable format name ("fp16" or "fp32").
+    exponent_bits:
+        Width of the exponent field (``E``).
+    mantissa_bits:
+        Width of the mantissa (fraction) field (``L`` in the paper).
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width including the sign bit."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias ``Q`` (127 for FP32, 15 for FP16)."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def mantissa_mask(self) -> int:
+        """Bit mask selecting the mantissa field."""
+        return (1 << self.mantissa_bits) - 1
+
+    @property
+    def exponent_mask(self) -> int:
+        """Bit mask selecting the exponent field (before shifting)."""
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy float dtype corresponding to this format."""
+        return np.dtype(np.float16) if self.total_bits == 16 else np.dtype(np.float32)
+
+    @property
+    def numpy_int_dtype(self) -> np.dtype:
+        """The NumPy unsigned integer dtype holding the raw bits."""
+        return np.dtype(np.uint16) if self.total_bits == 16 else np.dtype(np.uint32)
+
+    @property
+    def max_finite(self) -> float:
+        """Largest finite representable magnitude."""
+        return float(np.finfo(self.numpy_dtype).max)
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal number."""
+        return float(np.finfo(self.numpy_dtype).tiny)
+
+    @property
+    def epsilon(self) -> float:
+        """Machine epsilon of the format."""
+        return float(np.finfo(self.numpy_dtype).eps)
+
+    def round_trip(self, values: ArrayLike) -> np.ndarray:
+        """Round real values through this format (models storage precision)."""
+        arr = np.asarray(values, dtype=np.float64)
+        return arr.astype(self.numpy_dtype).astype(np.float64)
+
+
+#: IEEE-754 binary16 (half precision).
+FP16 = FloatFormat(name="fp16", exponent_bits=5, mantissa_bits=10)
+
+#: IEEE-754 binary32 (single precision).
+FP32 = FloatFormat(name="fp32", exponent_bits=8, mantissa_bits=23)
+
+#: The "magic constant" of the fast inverse square root for FP32
+#: (``0x5f3759df``, paper equation (8)).
+FAST_INV_SQRT_MAGIC_FP32 = 0x5F3759DF
+
+#: Approximation constant sigma used for log2(1 + m) ~= m + sigma
+#: (paper Section IV-B, from Lomont's fast inverse square root analysis).
+#: The paper prints "0.450465"; the value consistent with the 0x5f3759df
+#: constant it derives (and with Lomont's report) is 0.0450466 -- the
+#: paper's figure drops the leading zero.
+LOG_APPROX_SIGMA = 0.0450466
+
+#: The equivalent magic constant for FP16, derived from the same
+#: ``(3/2) * 2^L * (Q - sigma)`` expression with Q=15, L=10.
+FAST_INV_SQRT_MAGIC_FP16 = int(round(1.5 * (1 << 10) * (15 - LOG_APPROX_SIGMA)))
+
+
+def to_bits(values: ArrayLike, fmt: FloatFormat = FP32) -> np.ndarray:
+    """Return the raw bit pattern of each value as unsigned integers."""
+    arr = np.asarray(values, dtype=np.float64).astype(fmt.numpy_dtype)
+    return arr.view(fmt.numpy_int_dtype).astype(np.int64)
+
+
+def from_bits(bits: ArrayLike, fmt: FloatFormat = FP32) -> np.ndarray:
+    """Reinterpret unsigned integer bit patterns as floats of the format."""
+    arr = np.asarray(bits, dtype=np.int64).astype(fmt.numpy_int_dtype)
+    return arr.view(fmt.numpy_dtype).astype(np.float64)
+
+
+def decompose(values: ArrayLike, fmt: FloatFormat = FP32) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split values into (sign, exponent field, mantissa field) integer arrays.
+
+    The exponent field is the raw biased value ``Ex`` and the mantissa field
+    the raw fraction bits ``Mx`` -- exactly the quantities manipulated by the
+    Square Root Inverter in paper equation (8).
+    """
+    bits = to_bits(values, fmt)
+    sign = (bits >> (fmt.total_bits - 1)) & 0x1
+    exponent = (bits >> fmt.mantissa_bits) & fmt.exponent_mask
+    mantissa = bits & fmt.mantissa_mask
+    return sign, exponent, mantissa
+
+
+def compose(sign: ArrayLike, exponent: ArrayLike, mantissa: ArrayLike, fmt: FloatFormat = FP32) -> np.ndarray:
+    """Reassemble floats from (sign, exponent field, mantissa field)."""
+    sign_a = np.asarray(sign, dtype=np.int64)
+    exp_a = np.asarray(exponent, dtype=np.int64) & fmt.exponent_mask
+    man_a = np.asarray(mantissa, dtype=np.int64) & fmt.mantissa_mask
+    bits = (sign_a << (fmt.total_bits - 1)) | (exp_a << fmt.mantissa_bits) | man_a
+    return from_bits(bits, fmt)
+
+
+def log2_approx(values: ArrayLike, fmt: FloatFormat = FP32, sigma: float = LOG_APPROX_SIGMA) -> np.ndarray:
+    """Approximate ``log2(x)`` from the bit fields of positive ``x``.
+
+    Implements the paper's approximation ``log2(x) ~= Ex - Q + Mx/2^L + sigma``
+    used to derive the fast inverse square root seed.  Only valid for
+    positive, finite, normal inputs; other inputs produce NaN.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    _, exponent, mantissa = decompose(arr, fmt)
+    approx = (exponent - fmt.bias) + mantissa / float(1 << fmt.mantissa_bits) + sigma
+    approx = np.where(arr > 0, approx, np.nan)
+    return approx
+
+
+def exponent_of(values: ArrayLike, fmt: FloatFormat = FP32) -> np.ndarray:
+    """Unbiased exponent of each value (floor(log2 |x|) for normals)."""
+    _, exponent, _ = decompose(values, fmt)
+    return exponent - fmt.bias
+
+
+def is_normal(values: ArrayLike, fmt: FloatFormat = FP32) -> np.ndarray:
+    """Boolean mask of values that are normal (not zero/subnormal/inf/nan)."""
+    _, exponent, _ = decompose(values, fmt)
+    return (exponent > 0) & (exponent < fmt.exponent_mask)
+
+
+def format_by_name(name: str) -> FloatFormat:
+    """Look up a :class:`FloatFormat` by its case-insensitive name."""
+    key = name.strip().lower()
+    if key in ("fp16", "half", "float16"):
+        return FP16
+    if key in ("fp32", "single", "float32"):
+        return FP32
+    raise ValueError(f"unknown floating point format: {name!r}")

@@ -1,0 +1,154 @@
+"""Piecewise-linear lookup-table approximation of non-linear functions.
+
+NN-LUT [Yu et al., DAC'22] -- cited by the paper as related work on
+accelerating transformer non-linearities -- replaces functions such as
+``1/sqrt(x)``, ``exp`` and GELU with small piecewise-linear tables.  This
+module provides that baseline so the HAAN square-root-inverter (bit hack +
+Newton) can be compared against a LUT implementation in the ablation
+benchmarks: accuracy per table size, and the resource cost implied by the
+number of segments.
+
+A :class:`PiecewiseLinearLUT` stores ``num_segments`` (slope, intercept)
+pairs over ``[x_min, x_max]``; evaluation selects the segment by a simple
+range comparison (uniform segmentation maps to a shift in hardware) and
+computes ``y = slope * x + intercept`` -- one multiplier and one adder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int]
+
+
+@dataclass
+class PiecewiseLinearLUT:
+    """Uniform-segment piecewise-linear approximation of a scalar function.
+
+    Parameters
+    ----------
+    function:
+        The function to approximate (vectorised over NumPy arrays).
+    x_min, x_max:
+        Approximation interval.  Inputs outside it clamp to the boundary
+        segment, mirroring the saturating behaviour of a hardware LUT.
+    num_segments:
+        Number of linear segments (table entries).
+    name:
+        Label used in reports.
+    """
+
+    function: Callable[[np.ndarray], np.ndarray]
+    x_min: float
+    x_max: float
+    num_segments: int
+    name: str = "lut"
+    slopes: np.ndarray = field(init=False, repr=False)
+    intercepts: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_segments < 1:
+            raise ValueError("num_segments must be positive")
+        if not self.x_max > self.x_min:
+            raise ValueError("x_max must be greater than x_min")
+        edges = np.linspace(self.x_min, self.x_max, self.num_segments + 1)
+        left = edges[:-1]
+        right = edges[1:]
+        y_left = np.asarray(self.function(left), dtype=np.float64)
+        y_right = np.asarray(self.function(right), dtype=np.float64)
+        self.slopes = (y_right - y_left) / (right - left)
+        self.intercepts = y_left - self.slopes * left
+        self._edges = edges
+
+    @property
+    def segment_width(self) -> float:
+        """Width of each (uniform) segment."""
+        return (self.x_max - self.x_min) / self.num_segments
+
+    def segment_index(self, x: ArrayLike) -> np.ndarray:
+        """Segment selected for each input (clamped to the table range)."""
+        arr = np.asarray(x, dtype=np.float64)
+        index = np.floor((arr - self.x_min) / self.segment_width).astype(np.int64)
+        return np.clip(index, 0, self.num_segments - 1)
+
+    def evaluate(self, x: ArrayLike) -> np.ndarray:
+        """Approximate the function at ``x`` (vectorised)."""
+        arr = np.asarray(x, dtype=np.float64)
+        index = self.segment_index(arr)
+        return self.slopes[index] * arr + self.intercepts[index]
+
+    __call__ = evaluate
+
+    # -- error metrics -----------------------------------------------------------
+
+    def max_absolute_error(self, samples: int = 4096) -> float:
+        """Worst absolute error over a dense sweep of the table range."""
+        xs = np.linspace(self.x_min, self.x_max, samples)
+        return float(np.max(np.abs(self.evaluate(xs) - self.function(xs))))
+
+    def max_relative_error(self, samples: int = 4096) -> float:
+        """Worst relative error over a dense sweep of the table range."""
+        xs = np.linspace(self.x_min, self.x_max, samples)
+        exact = np.asarray(self.function(xs), dtype=np.float64)
+        mask = np.abs(exact) > 1e-12
+        errors = np.abs(self.evaluate(xs)[mask] - exact[mask]) / np.abs(exact[mask])
+        return float(np.max(errors)) if errors.size else 0.0
+
+    # -- hardware cost ------------------------------------------------------------
+
+    @property
+    def table_bits(self) -> int:
+        """Storage bits assuming 16-bit slope and intercept per segment."""
+        return self.num_segments * 2 * 16
+
+
+def inv_sqrt_lut(num_segments: int = 64, x_min: float = 1e-3, x_max: float = 16.0) -> PiecewiseLinearLUT:
+    """LUT approximation of ``1/sqrt(x)`` over a variance-typical range."""
+    return PiecewiseLinearLUT(
+        function=lambda x: 1.0 / np.sqrt(x),
+        x_min=x_min,
+        x_max=x_max,
+        num_segments=num_segments,
+        name="inv-sqrt",
+    )
+
+
+def exp_lut(num_segments: int = 64, x_min: float = -10.0, x_max: float = 0.0) -> PiecewiseLinearLUT:
+    """LUT approximation of ``exp(x)`` over the softmax-stable range."""
+    return PiecewiseLinearLUT(
+        function=np.exp, x_min=x_min, x_max=x_max, num_segments=num_segments, name="exp"
+    )
+
+
+def gelu_lut(num_segments: int = 64, x_min: float = -6.0, x_max: float = 6.0) -> PiecewiseLinearLUT:
+    """LUT approximation of the GELU activation."""
+
+    def gelu(x: np.ndarray) -> np.ndarray:
+        return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+    return PiecewiseLinearLUT(
+        function=gelu, x_min=x_min, x_max=x_max, num_segments=num_segments, name="gelu"
+    )
+
+
+def segments_for_tolerance(
+    builder: Callable[[int], PiecewiseLinearLUT],
+    relative_tolerance: float,
+    max_segments: int = 4096,
+) -> int:
+    """Smallest power-of-two segment count meeting a relative error target.
+
+    Doubles the table size until the tolerance is met, which is how a
+    designer would size an NN-LUT style unit for a given accuracy budget.
+    """
+    segments = 2
+    while segments <= max_segments:
+        if builder(segments).max_relative_error() <= relative_tolerance:
+            return segments
+        segments *= 2
+    raise ValueError(
+        f"tolerance {relative_tolerance} not reachable within {max_segments} segments"
+    )

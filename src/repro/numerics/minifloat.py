@@ -1,0 +1,254 @@
+"""Generic minifloat codec: FP8 (E4M3 / E5M2) and bfloat16.
+
+The latency-breakdown motivation of the paper (Figure 1(b)) applies FP8
+quantization to the linear layers of the LLM, which is what turns the
+normalization into the dominant cost.  NumPy has no FP8 dtype, so this
+module provides a bit-accurate software codec for arbitrary small
+exponent/mantissa splits, following the OCP FP8 conventions:
+
+* **E4M3** -- 4 exponent bits, 3 mantissa bits, bias 7.  No infinities; the
+  all-ones exponent with all-ones mantissa encodes NaN, every other code is
+  a finite number (extended dynamic range, max 448).
+* **E5M2** -- 5 exponent bits, 2 mantissa bits, bias 15.  IEEE-like with
+  infinities and NaNs (max finite 57344).
+* **bfloat16** -- 8 exponent bits, 7 mantissa bits; the FP32 dynamic range
+  with reduced precision.
+
+Encoding uses round-to-nearest-even on the mantissa, handles subnormals and
+saturates overflow to the largest finite value (the usual behaviour of FP8
+hardware converters which avoid producing infinities from casts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Iterable[float]]
+
+
+@dataclass(frozen=True)
+class MinifloatFormat:
+    """Parameters of a small binary floating-point format.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name ("e4m3", "e5m2", "bfloat16").
+    exponent_bits:
+        Width of the exponent field.
+    mantissa_bits:
+        Width of the mantissa (fraction) field.
+    ieee_special_values:
+        When True the all-ones exponent encodes infinities/NaNs as in IEEE
+        754 (E5M2, bfloat16).  When False only the all-ones code is NaN and
+        the rest of the top exponent row is used for finite values (E4M3).
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+    ieee_special_values: bool = True
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2:
+            raise ValueError("minifloat formats need at least 2 exponent bits")
+        if self.mantissa_bits < 1:
+            raise ValueError("minifloat formats need at least 1 mantissa bit")
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width including the sign bit."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_exponent_field(self) -> int:
+        """Largest raw exponent field value."""
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def max_finite(self) -> float:
+        """Largest finite representable magnitude."""
+        if self.ieee_special_values:
+            exp = self.max_exponent_field - 1 - self.bias
+            mantissa = 2.0 - 2.0 ** (-self.mantissa_bits)
+        else:
+            # E4M3-style: the top exponent row is finite except the NaN code
+            # (all-ones mantissa), so the largest mantissa is one LSB short.
+            exp = self.max_exponent_field - self.bias
+            mantissa = 2.0 - 2.0 ** (-(self.mantissa_bits - 1))
+        return mantissa * 2.0**exp
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0 ** (1 - self.bias)
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude."""
+        return 2.0 ** (1 - self.bias - self.mantissa_bits)
+
+    @property
+    def epsilon(self) -> float:
+        """Spacing between 1.0 and the next larger representable value."""
+        return 2.0 ** (-self.mantissa_bits)
+
+    @property
+    def num_codes(self) -> int:
+        """Total number of bit patterns of the format."""
+        return 1 << self.total_bits
+
+    # -- encode / decode -------------------------------------------------------
+
+    def decode_code(self, code: int) -> float:
+        """Decode one raw bit pattern into a Python float."""
+        code = int(code) & (self.num_codes - 1)
+        sign = -1.0 if code >> (self.total_bits - 1) else 1.0
+        exponent = (code >> self.mantissa_bits) & self.max_exponent_field
+        mantissa = code & ((1 << self.mantissa_bits) - 1)
+        if exponent == self.max_exponent_field:
+            if self.ieee_special_values:
+                if mantissa == 0:
+                    return sign * float("inf")
+                return float("nan")
+            if mantissa == (1 << self.mantissa_bits) - 1:
+                return float("nan")
+            return sign * (1.0 + mantissa * 2.0 ** (-self.mantissa_bits)) * 2.0 ** (
+                exponent - self.bias
+            )
+        if exponent == 0:
+            return sign * mantissa * 2.0 ** (1 - self.bias - self.mantissa_bits)
+        return sign * (1.0 + mantissa * 2.0 ** (-self.mantissa_bits)) * 2.0 ** (exponent - self.bias)
+
+    def all_values(self) -> np.ndarray:
+        """Every representable value, in code order (useful for tests)."""
+        return np.array([self.decode_code(code) for code in range(self.num_codes)])
+
+    def encode(self, values: ArrayLike) -> np.ndarray:
+        """Encode real values to raw bit patterns (round-to-nearest-even).
+
+        Overflow saturates to the largest finite value; NaN encodes to the
+        format's NaN pattern.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        flat = arr.reshape(-1)
+        codes = np.zeros(flat.shape, dtype=np.int64)
+        for index, value in enumerate(flat):
+            codes[index] = self._encode_scalar(float(value))
+        return codes.reshape(arr.shape)
+
+    def _nan_code(self) -> int:
+        if self.ieee_special_values:
+            return (self.max_exponent_field << self.mantissa_bits) | 1
+        return (self.max_exponent_field << self.mantissa_bits) | ((1 << self.mantissa_bits) - 1)
+
+    def _max_finite_code(self, sign: int) -> int:
+        magnitude_code = int(self.encode_exact(self.max_finite))
+        return (sign << (self.total_bits - 1)) | magnitude_code
+
+    def encode_exact(self, value: float) -> int:
+        """Encode a value known to be exactly representable (no rounding)."""
+        return self._encode_scalar(value)
+
+    def _encode_scalar(self, value: float) -> int:
+        if np.isnan(value):
+            return self._nan_code()
+        sign = 1 if np.signbit(value) else 0
+        magnitude = abs(value)
+        if np.isinf(magnitude) or magnitude > self.max_finite:
+            if self.ieee_special_values and np.isinf(magnitude):
+                return (sign << (self.total_bits - 1)) | (
+                    self.max_exponent_field << self.mantissa_bits
+                )
+            # Saturate finite overflow (and E4M3 infinities) to max finite.
+            exponent, mantissa = self._fields_of(self.max_finite)
+            return (sign << (self.total_bits - 1)) | (exponent << self.mantissa_bits) | mantissa
+        if magnitude == 0.0:
+            return sign << (self.total_bits - 1)
+        exponent, mantissa = self._fields_of(magnitude)
+        return (sign << (self.total_bits - 1)) | (exponent << self.mantissa_bits) | mantissa
+
+    def _fields_of(self, magnitude: float) -> tuple[int, int]:
+        """Exponent/mantissa fields of a positive magnitude with RNE rounding."""
+        unbiased = int(np.floor(np.log2(magnitude)))
+        unbiased = max(unbiased, 1 - self.bias)  # clamp into the subnormal range
+        scaled = magnitude / 2.0**unbiased
+        # scaled is in [1, 2) for normals, (0, 1) for subnormals.
+        mantissa_scale = 1 << self.mantissa_bits
+        if unbiased == 1 - self.bias and scaled < 1.0:
+            # Subnormal: no implicit leading one.
+            mantissa = int(np.round(scaled * mantissa_scale))
+            # Round-half-to-even correction.
+            frac = scaled * mantissa_scale
+            if abs(frac - np.floor(frac) - 0.5) < 1e-12:
+                mantissa = int(2 * np.round(frac / 2.0))
+            if mantissa >= mantissa_scale:
+                return 1, 0  # rounded up into the smallest normal
+            return 0, mantissa
+        mantissa_exact = (scaled - 1.0) * mantissa_scale
+        mantissa = int(np.round(mantissa_exact))
+        if abs(mantissa_exact - np.floor(mantissa_exact) - 0.5) < 1e-12:
+            mantissa = int(2 * np.round(mantissa_exact / 2.0))
+        exponent = unbiased + self.bias
+        if mantissa >= mantissa_scale:
+            mantissa = 0
+            exponent += 1
+        if exponent > self.max_exponent_field or (
+            self.ieee_special_values and exponent == self.max_exponent_field
+        ):
+            # Overflowed past the largest finite value during rounding.
+            return self._fields_of(self.max_finite)
+        if not self.ieee_special_values and exponent == self.max_exponent_field:
+            if mantissa == (1 << self.mantissa_bits) - 1:
+                mantissa -= 1  # avoid the NaN code; stay at max finite
+        return exponent, mantissa
+
+    def decode(self, codes: ArrayLike) -> np.ndarray:
+        """Decode raw bit patterns back to float64 values."""
+        arr = np.asarray(codes, dtype=np.int64)
+        flat = arr.reshape(-1)
+        values = np.array([self.decode_code(int(code)) for code in flat])
+        return values.reshape(arr.shape)
+
+    def round_trip(self, values: ArrayLike) -> np.ndarray:
+        """Round real values through the format (quantize to representable)."""
+        return self.decode(self.encode(values))
+
+    def quantization_error(self, values: ArrayLike) -> np.ndarray:
+        """Absolute error introduced by storing each value in this format."""
+        arr = np.asarray(values, dtype=np.float64)
+        return np.abs(self.round_trip(arr) - arr)
+
+
+#: OCP FP8 E4M3: extended-range 8-bit float without infinities.
+E4M3 = MinifloatFormat(name="e4m3", exponent_bits=4, mantissa_bits=3, ieee_special_values=False)
+
+#: OCP FP8 E5M2: IEEE-like 8-bit float with infinities.
+E5M2 = MinifloatFormat(name="e5m2", exponent_bits=5, mantissa_bits=2, ieee_special_values=True)
+
+#: bfloat16: FP32 range, 8-bit significand precision.
+BFLOAT16 = MinifloatFormat(name="bfloat16", exponent_bits=8, mantissa_bits=7, ieee_special_values=True)
+
+
+def minifloat_by_name(name: str) -> MinifloatFormat:
+    """Look up a minifloat format by case-insensitive name."""
+    key = name.strip().lower().replace("-", "").replace("_", "")
+    table = {
+        "e4m3": E4M3,
+        "fp8e4m3": E4M3,
+        "e5m2": E5M2,
+        "fp8e5m2": E5M2,
+        "bfloat16": BFLOAT16,
+        "bf16": BFLOAT16,
+    }
+    if key not in table:
+        raise ValueError(f"unknown minifloat format: {name!r}")
+    return table[key]

@@ -1,0 +1,178 @@
+"""Operand quantization for the HAAN normalization datapath.
+
+Section III-C of the paper applies "proper quantization of operands during
+normalization" and the evaluation (Tables II and III) sweeps the input data
+format over INT8 / FP16 / FP32.  This module provides:
+
+* :class:`DataFormat` -- the three formats the accelerator accepts.
+* :class:`QuantizationConfig` / :class:`Quantizer` -- per-tensor symmetric
+  INT8 quantization (following Jacob et al. [30]) plus the FP16/FP32
+  round-trip paths.
+* :func:`quantize_tensor` / :func:`dequantize_tensor` -- functional helpers
+  used by the HAAN normalization layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.numerics.floating import FP16, FP32
+
+ArrayLike = Union[np.ndarray, float, int]
+
+
+class DataFormat(enum.Enum):
+    """Input/output data formats supported by the HAAN accelerator."""
+
+    INT8 = "int8"
+    FP16 = "fp16"
+    FP32 = "fp32"
+
+    @classmethod
+    def from_string(cls, name: str) -> "DataFormat":
+        """Parse a format name, case-insensitively."""
+        key = name.strip().lower()
+        for fmt in cls:
+            if fmt.value == key:
+                return fmt
+        aliases = {"half": cls.FP16, "single": cls.FP32, "float16": cls.FP16, "float32": cls.FP32}
+        if key in aliases:
+            return aliases[key]
+        raise ValueError(f"unknown data format: {name!r}")
+
+    @property
+    def bits(self) -> int:
+        """Storage width of one element in bits."""
+        return {DataFormat.INT8: 8, DataFormat.FP16: 16, DataFormat.FP32: 32}[self]
+
+    @property
+    def bytes(self) -> int:
+        """Storage width of one element in bytes."""
+        return self.bits // 8
+
+    @property
+    def is_fixed_point(self) -> bool:
+        """True for integer formats that bypass the FP2FX converters."""
+        return self is DataFormat.INT8
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Configuration of the per-tensor symmetric quantizer.
+
+    Attributes
+    ----------
+    data_format:
+        The target storage format.
+    percentile:
+        Calibration percentile for the INT8 clipping range.  ``100`` uses the
+        absolute maximum; smaller values clip outliers, which can improve
+        LLM activation quantization (activations have heavy tails).
+    """
+
+    data_format: DataFormat = DataFormat.INT8
+    percentile: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+
+
+@dataclass
+class QuantizedTensor:
+    """An INT8-quantized tensor together with its dequantization scale."""
+
+    codes: np.ndarray
+    scale: float
+    data_format: DataFormat = DataFormat.INT8
+
+    def dequantize(self) -> np.ndarray:
+        """Recover real values from codes."""
+        return self.codes.astype(np.float64) * self.scale
+
+    @property
+    def nbytes(self) -> int:
+        """Storage cost of the quantized representation in bytes."""
+        return int(self.codes.size) * self.data_format.bytes
+
+
+class Quantizer:
+    """Per-tensor symmetric quantizer over the three accelerator formats.
+
+    For INT8 the scale maps the calibration range symmetrically onto
+    ``[-127, 127]``; FP16/FP32 simply round through the respective IEEE
+    format.  The quantizer is stateless apart from the configuration, so one
+    instance can be shared across layers.
+    """
+
+    INT8_MAX = 127
+
+    def __init__(self, config: Optional[QuantizationConfig] = None):
+        self.config = config or QuantizationConfig()
+
+    def calibrate_scale(self, values: ArrayLike) -> float:
+        """Compute the INT8 scale from the calibration values."""
+        arr = np.abs(np.asarray(values, dtype=np.float64))
+        if arr.size == 0:
+            return 1.0
+        if self.config.percentile >= 100.0:
+            max_abs = float(np.max(arr))
+        else:
+            max_abs = float(np.percentile(arr, self.config.percentile))
+        if max_abs == 0.0:
+            return 1.0
+        return max_abs / self.INT8_MAX
+
+    def quantize(self, values: ArrayLike, scale: Optional[float] = None) -> QuantizedTensor:
+        """Quantize a tensor; returns codes plus scale (scale=1 for FP formats)."""
+        arr = np.asarray(values, dtype=np.float64)
+        fmt = self.config.data_format
+        if fmt is DataFormat.INT8:
+            scale_val = self.calibrate_scale(arr) if scale is None else float(scale)
+            codes = np.clip(np.rint(arr / scale_val), -self.INT8_MAX, self.INT8_MAX)
+            return QuantizedTensor(codes=codes.astype(np.int8), scale=scale_val, data_format=fmt)
+        if fmt is DataFormat.FP16:
+            return QuantizedTensor(codes=arr.astype(np.float16), scale=1.0, data_format=fmt)
+        return QuantizedTensor(codes=arr.astype(np.float32), scale=1.0, data_format=fmt)
+
+    def round_trip(self, values: ArrayLike, scale: Optional[float] = None) -> np.ndarray:
+        """Quantize then dequantize, modelling storage precision loss."""
+        q = self.quantize(values, scale=scale)
+        if q.data_format is DataFormat.INT8:
+            return q.dequantize()
+        return q.codes.astype(np.float64)
+
+    def quantization_error(self, values: ArrayLike) -> Tuple[float, float]:
+        """Return (max absolute error, RMS error) of the round trip."""
+        arr = np.asarray(values, dtype=np.float64)
+        approx = self.round_trip(arr)
+        err = np.abs(approx - arr)
+        rms = float(np.sqrt(np.mean(err ** 2))) if err.size else 0.0
+        max_err = float(np.max(err)) if err.size else 0.0
+        return max_err, rms
+
+
+def quantize_tensor(values: ArrayLike, data_format: DataFormat) -> QuantizedTensor:
+    """Quantize a tensor into the given format with default calibration."""
+    return Quantizer(QuantizationConfig(data_format=data_format)).quantize(values)
+
+
+def dequantize_tensor(tensor: QuantizedTensor) -> np.ndarray:
+    """Dequantize a :class:`QuantizedTensor` back to float64 values."""
+    if tensor.data_format is DataFormat.INT8:
+        return tensor.dequantize()
+    return np.asarray(tensor.codes, dtype=np.float64)
+
+
+def storage_round_trip(values: ArrayLike, data_format: DataFormat) -> np.ndarray:
+    """Round a tensor through a storage format (the HAAN input bus precision)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if data_format is DataFormat.INT8:
+        return Quantizer(QuantizationConfig(data_format=DataFormat.INT8)).round_trip(arr)
+    if data_format is DataFormat.FP16:
+        return FP16.round_trip(arr)
+    return FP32.round_trip(arr)

@@ -1,0 +1,119 @@
+"""Rounding modes for fixed-point quantization.
+
+The FP2FX converters of the HAAN datapath (Figure 4) round incoming values
+to the internal fixed-point grid.  The paper uses round-to-nearest; this
+module adds the other modes commonly offered by synthesis libraries so
+their accuracy/cost trade-off can be studied in the ablation benchmarks:
+
+* ``NEAREST_EVEN`` -- IEEE-style ties-to-even, the default everywhere else
+  in this package.
+* ``TRUNCATE`` -- drop the fraction (round toward negative infinity), the
+  cheapest hardware (no adder on the rounding path).
+* ``TOWARD_ZERO`` -- drop the fraction of the magnitude.
+* ``STOCHASTIC`` -- round up with probability equal to the dropped
+  fraction; unbiased in expectation, used in low-precision training
+  hardware and useful here to show the subsampled statistics are not
+  systematically biased by rounding.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.numerics.fixedpoint import FixedPointFormat
+
+ArrayLike = Union[np.ndarray, float, int, Iterable[float]]
+
+
+class RoundingMode(enum.Enum):
+    """Rounding rule applied when mapping reals onto a fixed-point grid."""
+
+    NEAREST_EVEN = "nearest-even"
+    TRUNCATE = "truncate"
+    TOWARD_ZERO = "toward-zero"
+    STOCHASTIC = "stochastic"
+
+    @classmethod
+    def from_string(cls, name: str) -> "RoundingMode":
+        """Look up a mode by its value or enum name (case-insensitive)."""
+        key = name.strip().lower().replace("_", "-")
+        for mode in cls:
+            if mode.value == key or mode.name.lower().replace("_", "-") == key:
+                return mode
+        raise ValueError(f"unknown rounding mode: {name!r}")
+
+
+def round_to_grid(
+    values: ArrayLike,
+    fmt: FixedPointFormat,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Quantize real values onto the grid of ``fmt`` using ``mode``.
+
+    Returns real (float64) values lying on the fixed-point grid, saturated
+    to the format's range.  ``rng`` is required for stochastic rounding so
+    results are reproducible; omitting it uses a fixed-seed generator.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    scaled = arr * (1 << fmt.fraction_bits)
+    scaled = np.where(np.isnan(scaled), 0.0, scaled)
+    if mode is RoundingMode.NEAREST_EVEN:
+        codes = np.rint(scaled)
+    elif mode is RoundingMode.TRUNCATE:
+        codes = np.floor(scaled)
+    elif mode is RoundingMode.TOWARD_ZERO:
+        codes = np.trunc(scaled)
+    elif mode is RoundingMode.STOCHASTIC:
+        generator = rng if rng is not None else np.random.default_rng(0)
+        floor = np.floor(scaled)
+        fraction = scaled - floor
+        draws = generator.random(size=arr.shape)
+        codes = floor + (draws < fraction)
+    else:  # pragma: no cover - exhaustive over the enum
+        raise ValueError(f"unhandled rounding mode: {mode}")
+    codes = np.clip(codes, fmt.min_code, fmt.max_code)
+    return codes * fmt.scale
+
+
+def rounding_bias(
+    values: ArrayLike,
+    fmt: FixedPointFormat,
+    mode: RoundingMode,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Mean signed error introduced by rounding (positive = rounded up)."""
+    arr = np.asarray(values, dtype=np.float64)
+    rounded = round_to_grid(arr, fmt, mode, rng=rng)
+    return float(np.mean(rounded - arr))
+
+
+def expected_stochastic_value(value: float, fmt: FixedPointFormat, samples: int, seed: int = 0) -> float:
+    """Monte-Carlo mean of stochastic rounding of one value.
+
+    Used by tests to check the defining property of stochastic rounding:
+    the expected rounded value equals the input (up to sampling noise), so
+    repeated accumulations are unbiased.
+    """
+    rng = np.random.default_rng(seed)
+    rounded = round_to_grid(np.full(samples, value), fmt, RoundingMode.STOCHASTIC, rng=rng)
+    return float(np.mean(rounded))
+
+
+def hardware_cost_rank(mode: RoundingMode) -> int:
+    """Relative implementation cost of each mode (0 = cheapest).
+
+    Truncation is free; toward-zero needs a sign-dependent mux; nearest-even
+    needs an increment and tie detection; stochastic needs an LFSR or other
+    random source plus the increment.
+    """
+    order = {
+        RoundingMode.TRUNCATE: 0,
+        RoundingMode.TOWARD_ZERO: 1,
+        RoundingMode.NEAREST_EVEN: 2,
+        RoundingMode.STOCHASTIC: 3,
+    }
+    return order[mode]

@@ -1,0 +1,5 @@
+"""Small shared utilities (table formatting, timing)."""
+
+from repro.utils.tables import format_table, format_markdown_table
+
+__all__ = ["format_table", "format_markdown_table"]

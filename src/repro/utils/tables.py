@@ -1,0 +1,50 @@
+"""Plain-text and markdown table formatting for the benchmark harnesses.
+
+Every benchmark prints the rows/series of the paper table or figure it
+reproduces; these helpers keep that output aligned and readable without
+pulling in a dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _stringify(row: Sequence[object]) -> List[str]:
+    return ["" if cell is None else str(cell) for cell in row]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
+    """Format rows as an aligned plain-text table."""
+    str_rows = [_stringify(row) for row in rows]
+    str_headers = _stringify(headers)
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for col, cell in enumerate(row):
+            if col >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[col] = max(widths[col], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[col]) for col, cell in enumerate(cells)]
+        return "  ".join(padded).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(str_headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format rows as a GitHub-flavoured markdown table."""
+    str_headers = _stringify(headers)
+    lines = ["| " + " | ".join(str_headers) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in str_headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row)) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Tests of the top-level HAAN accelerator model, its resources, power and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HaanConfig, paper_config_for
+from repro.core.predictor import IsdPredictor
+from repro.hardware.accelerator import HaanAccelerator
+from repro.hardware.configs import (
+    HAAN_V1,
+    HAAN_V2,
+    HAAN_V3,
+    TABLE3_CONFIGS,
+    AcceleratorConfig,
+    get_accelerator_config,
+)
+from repro.hardware.power import PowerModel
+from repro.hardware.resources import DEVICE_TOTALS, ResourceModel
+from repro.hardware.workload import NormalizationWorkload
+from repro.llm.config import NormKind, get_model_config
+from repro.llm.normalization import LayerNorm, RMSNorm
+from repro.numerics.quantization import DataFormat
+
+
+class TestConfigs:
+    def test_named_configs_match_paper(self):
+        assert HAAN_V1.widths == (128, 128)
+        assert HAAN_V2.widths == (80, 160)
+        assert HAAN_V3.widths == (64, 128)
+        assert HAAN_V1.data_format is DataFormat.FP16
+        assert HAAN_V1.clock_mhz == 100.0
+
+    def test_lookup_and_overrides(self):
+        cfg = get_accelerator_config("haan-v1", clock_mhz=200.0)
+        assert cfg.clock_mhz == 200.0
+        with pytest.raises(KeyError):
+            get_accelerator_config("haan-v9")
+
+    def test_cycle_time(self):
+        assert HAAN_V1.cycle_time_ns == pytest.approx(10.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(name="bad", stats_width=0, norm_width=8)
+
+
+class TestWorkload:
+    def test_from_paper_model(self):
+        workload = NormalizationWorkload.from_model_name(
+            "opt-2.7b", seq_len=128, haan_config=paper_config_for("opt-2.7b")
+        )
+        assert workload.num_norm_layers == 65
+        assert workload.num_skipped_layers == 7
+        assert workload.embedding_dim == 2560
+        assert workload.effective_stats_length == 1280
+        assert workload.rows_per_layer == 128
+
+    def test_without_optimizations(self):
+        workload = NormalizationWorkload.from_model_name(
+            "llama-7b", seq_len=64, haan_config=paper_config_for("llama-7b")
+        )
+        plain = workload.without_optimizations()
+        assert plain.num_skipped_layers == 0
+        assert plain.subsample_length is None
+        assert plain.effective_stats_length == plain.embedding_dim
+
+    def test_totals(self):
+        workload = NormalizationWorkload(
+            model_name="x", embedding_dim=100, num_norm_layers=10, seq_len=8, batch_size=2
+        )
+        assert workload.total_rows == 160
+        assert workload.total_elements == 16000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormalizationWorkload(model_name="x", embedding_dim=0, num_norm_layers=1, seq_len=1)
+        with pytest.raises(ValueError):
+            NormalizationWorkload(
+                model_name="x", embedding_dim=8, num_norm_layers=1, seq_len=1, num_skipped_layers=5
+            )
+
+
+class TestFunctionalAccelerator:
+    def test_layernorm_output_matches_reference(self, rng):
+        accel = HaanAccelerator(AcceleratorConfig(name="t", stats_width=32, norm_width=32, data_format=DataFormat.FP32))
+        rows = rng.normal(1.0, 2.0, size=(5, 96))
+        gamma = 1.0 + 0.1 * rng.standard_normal(96)
+        beta = 0.1 * rng.standard_normal(96)
+        reference = LayerNorm(hidden_size=96, gamma=gamma, beta=beta)
+        out = accel.normalize_rows(rows, gamma, beta, NormKind.LAYERNORM)
+        np.testing.assert_allclose(out, reference(rows), atol=2e-2)
+
+    def test_rmsnorm_output_matches_reference(self, rng):
+        accel = HaanAccelerator(AcceleratorConfig(name="t", stats_width=32, norm_width=32, data_format=DataFormat.FP32))
+        rows = rng.normal(size=(4, 64))
+        gamma = np.ones(64)
+        reference = RMSNorm(hidden_size=64, gamma=gamma)
+        out = accel.normalize_rows(rows, gamma, np.zeros(64), NormKind.RMSNORM)
+        np.testing.assert_allclose(out, reference(rows), atol=2e-2)
+
+    def test_predicted_isd_bypasses_inverter(self, rng):
+        accel = HaanAccelerator()
+        rows = rng.normal(size=(3, 64))
+        isd = np.full(3, 0.5)
+        out = accel.normalize_rows(rows, np.ones(64), np.zeros(64), NormKind.LAYERNORM, predicted_isd=isd)
+        expected = (rows - rows.mean(axis=1, keepdims=True)) * 0.5
+        np.testing.assert_allclose(out, expected, atol=2e-2)
+
+    def test_predicted_isd_shape_checked(self, rng):
+        accel = HaanAccelerator()
+        with pytest.raises(ValueError):
+            accel.normalize_rows(rng.normal(size=(3, 64)), np.ones(64), np.zeros(64), predicted_isd=np.ones(2))
+
+    def test_memory_traffic_recorded(self, rng):
+        accel = HaanAccelerator()
+        accel.normalize_rows(rng.normal(size=(2, 64)), np.ones(64), np.zeros(64))
+        assert accel.memory.traffic.total_bytes > 0
+
+    def test_load_predictor(self):
+        accel = HaanAccelerator()
+        accel.load_predictor(IsdPredictor(anchor_layer=1, last_layer=3, decay=-0.1, anchor_log_isd=0.0))
+        assert accel.predictor_unit.configured
+
+
+class TestLatencyModel:
+    @pytest.fixture(scope="class")
+    def gpt2_workload(self):
+        config = paper_config_for("gpt2-1.5b").with_overrides(
+            skip_range=(85, 95), subsample_length=800
+        )
+        return NormalizationWorkload.from_model_name("gpt2-1.5b", seq_len=128, haan_config=config)
+
+    def test_latency_report_fields(self, gpt2_workload):
+        report = HaanAccelerator(HAAN_V1).workload_latency(gpt2_workload)
+        assert report.total_cycles > 0
+        assert report.latency_seconds == pytest.approx(report.total_cycles * 1e-8)
+        assert report.throughput_rows_per_second > 0
+        assert report.bottleneck_stage in ("stats", "normalize", "inv-sqrt")
+
+    def test_subsampling_reduces_latency_when_stats_bound(self):
+        config = AcceleratorConfig(name="narrow", stats_width=32, norm_width=128)
+        plain = NormalizationWorkload.from_model_name("gpt2-1.5b", seq_len=64)
+        sub = NormalizationWorkload.from_model_name(
+            "gpt2-1.5b", seq_len=64, haan_config=HaanConfig(subsample_length=400)
+        )
+        accel = HaanAccelerator(config)
+        assert accel.workload_latency(sub).total_cycles < accel.workload_latency(plain).total_cycles
+
+    def test_skipping_reduces_latency_when_stats_bound(self):
+        config = AcceleratorConfig(name="narrow", stats_width=32, norm_width=128)
+        plain = NormalizationWorkload.from_model_name("gpt2-1.5b", seq_len=64)
+        skipped = NormalizationWorkload.from_model_name(
+            "gpt2-1.5b", seq_len=64, haan_config=HaanConfig(skip_range=(60, 90), subsample_length=None)
+        )
+        accel = HaanAccelerator(config)
+        assert accel.workload_latency(skipped).total_cycles < accel.workload_latency(plain).total_cycles
+
+    def test_latency_scales_with_sequence_length(self, gpt2_workload):
+        accel = HaanAccelerator(HAAN_V1)
+        short = accel.workload_latency(gpt2_workload.with_seq_len(128)).latency_seconds
+        long = accel.workload_latency(gpt2_workload.with_seq_len(1024)).latency_seconds
+        assert long / short == pytest.approx(8.0, rel=0.05)
+
+    def test_multiple_pipelines_reduce_latency(self, gpt2_workload):
+        single = HaanAccelerator(HAAN_V1).workload_latency(gpt2_workload).latency_seconds
+        dual = HaanAccelerator(HAAN_V1.with_overrides(num_pipelines=2)).workload_latency(gpt2_workload).latency_seconds
+        assert dual < single
+
+
+class TestResourceAndPowerModels:
+    def test_table3_dsp_counts_for_fp_configs(self):
+        model = ResourceModel()
+        fp32_full = model.estimate(TABLE3_CONFIGS[0])
+        assert fp32_full.dsp == 1536  # matches Table III exactly
+        fp32_narrow = model.estimate(TABLE3_CONFIGS[1])
+        assert 1000 <= fp32_narrow.dsp <= 1100
+
+    def test_resources_fit_device(self):
+        model = ResourceModel()
+        for config in TABLE3_CONFIGS:
+            estimate = model.estimate(config)
+            assert estimate.fits_device()
+            assert 0 < estimate.lut_fraction < 0.1
+            assert estimate.dsp_fraction < 0.15
+
+    def test_int8_uses_fewest_luts_per_lane(self):
+        model = ResourceModel()
+        fp16 = model.estimate(AcceleratorConfig(name="a", stats_width=128, norm_width=128, data_format=DataFormat.FP16))
+        int8 = model.estimate(AcceleratorConfig(name="b", stats_width=128, norm_width=128, data_format=DataFormat.INT8))
+        assert int8.lut < fp16.lut
+        assert int8.dsp < fp16.dsp
+
+    def test_table_row_formatting(self):
+        row = ResourceModel().estimate(HAAN_V1).as_table_row()
+        assert set(row) == {"LUT", "FF", "DSP"}
+        assert row["DSP"].endswith("%")
+
+    def test_power_ordering_by_format(self):
+        model = PowerModel()
+        powers = {}
+        for fmt in DataFormat:
+            config = AcceleratorConfig(name=fmt.value, stats_width=128, norm_width=128, data_format=fmt)
+            powers[fmt] = model.estimate(config, occupancy=1.0).total_w
+        assert powers[DataFormat.INT8] < powers[DataFormat.FP16] < powers[DataFormat.FP32]
+
+    def test_fp32_to_fp16_power_ratio_near_paper(self):
+        """Table III: FP32 consumes about 1.29x the power of FP16."""
+        model = PowerModel()
+        fp32 = model.estimate(AcceleratorConfig(name="a", stats_width=128, norm_width=128, data_format=DataFormat.FP32), 1.0)
+        fp16 = model.estimate(AcceleratorConfig(name="b", stats_width=128, norm_width=128, data_format=DataFormat.FP16), 1.0)
+        assert fp32.total_w / fp16.total_w == pytest.approx(1.3, abs=0.15)
+
+    def test_power_grows_with_occupancy(self):
+        model = PowerModel()
+        low = model.estimate(HAAN_V1, occupancy=0.2).total_w
+        high = model.estimate(HAAN_V1, occupancy=1.0).total_w
+        assert high > low
+
+    def test_power_grows_with_sequence_length(self):
+        accel = HaanAccelerator(HAAN_V1)
+        workload = NormalizationWorkload.from_model_name("gpt2-1.5b", seq_len=16)
+        short = accel.power(workload).total_w
+        long = accel.power(workload.with_seq_len(256)).total_w
+        assert long >= short
+
+    def test_energy_is_power_times_latency(self):
+        accel = HaanAccelerator(HAAN_V1)
+        workload = NormalizationWorkload.from_model_name("gpt2-1.5b", seq_len=32)
+        energy = accel.energy(workload)
+        report = accel.workload_latency(workload)
+        power = accel.power(workload)
+        assert energy == pytest.approx(report.latency_seconds * power.total_w)
+
+    def test_occupancy_bounded(self):
+        accel = HaanAccelerator(HAAN_V1)
+        workload = NormalizationWorkload.from_model_name("gpt2-1.5b", seq_len=128)
+        assert 0.0 < accel.occupancy(workload) <= 1.0
+
+    def test_device_totals_sane(self):
+        assert DEVICE_TOTALS["dsp"] > 9000
+        assert DEVICE_TOTALS["lut"] > 1_000_000

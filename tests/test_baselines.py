@@ -1,0 +1,114 @@
+"""Tests of the DFX / SOLE / MHAA / GPU baseline models and the paper's comparisons."""
+
+import pytest
+
+from repro.core.config import HaanConfig, paper_config_for
+from repro.hardware.accelerator import HaanAccelerator
+from repro.hardware.baselines import (
+    DfxBaseline,
+    GpuBaseline,
+    MhaaBaseline,
+    SoleBaseline,
+    all_baselines,
+)
+from repro.hardware.configs import HAAN_V1
+from repro.hardware.workload import NormalizationWorkload
+
+
+def _gpt2_workload(seq_len=128):
+    config = paper_config_for("gpt2-1.5b").with_overrides(skip_range=(85, 95), subsample_length=800)
+    return NormalizationWorkload.from_model_name("gpt2-1.5b", seq_len=seq_len, haan_config=config)
+
+
+def _opt_workload(seq_len=128):
+    return NormalizationWorkload.from_model_name(
+        "opt-2.7b", seq_len=seq_len, haan_config=paper_config_for("opt-2.7b")
+    )
+
+
+class TestBaselineMechanics:
+    def test_all_baselines_registered(self):
+        baselines = all_baselines()
+        assert set(baselines) == {"DFX", "SOLE", "MHAA", "GPU"}
+
+    def test_baselines_ignore_haan_optimizations(self):
+        dfx = DfxBaseline()
+        optimized = _gpt2_workload()
+        plain = optimized.without_optimizations()
+        assert dfx.workload_latency(optimized).latency_seconds == pytest.approx(
+            dfx.workload_latency(plain).latency_seconds
+        )
+
+    def test_latency_scales_with_sequence_length(self):
+        for baseline in all_baselines().values():
+            short = baseline.workload_latency(_gpt2_workload(128)).latency_seconds
+            long = baseline.workload_latency(_gpt2_workload(1024)).latency_seconds
+            assert long > short
+
+    def test_fixed_function_cycles_per_row(self):
+        sole = SoleBaseline()
+        workload = _gpt2_workload().without_optimizations()
+        assert sole.cycles_per_row(workload) == 2 * -(-1600 // 200) + 2
+
+    def test_gpu_overhead_amortises(self):
+        gpu = GpuBaseline()
+        per_row_short = gpu.per_row_seconds(_gpt2_workload(16).without_optimizations())
+        per_row_long = gpu.per_row_seconds(_gpt2_workload(1024).without_optimizations())
+        assert per_row_short > per_row_long
+
+    def test_invalid_gpu_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GpuBaseline(effective_rate_elems_per_s=0.0)
+
+    def test_power_attributes(self):
+        assert DfxBaseline().nominal_power_w > SoleBaseline().nominal_power_w
+        assert MhaaBaseline().power_watts(_gpt2_workload()) == pytest.approx(5.1)
+
+
+class TestPaperComparisons:
+    """The who-wins / by-what-factor shapes of Figures 8 and 9."""
+
+    def test_gpt2_latency_ordering(self):
+        haan = HaanAccelerator(HAAN_V1).workload_latency(_gpt2_workload()).latency_seconds
+        latencies = {
+            name: b.workload_latency(_gpt2_workload()).latency_seconds
+            for name, b in all_baselines().items()
+        }
+        assert haan < latencies["SOLE"] < latencies["MHAA"] < latencies["GPU"] < latencies["DFX"]
+
+    def test_gpt2_factors_match_paper_band(self):
+        """Paper: ~11.7x vs DFX, ~10.5x vs GPU, ~1.25x vs SOLE, ~2.42x vs MHAA."""
+        workload = _gpt2_workload()
+        haan = HaanAccelerator(HAAN_V1).workload_latency(workload).latency_seconds
+        ratio = {
+            name: b.workload_latency(workload).latency_seconds / haan
+            for name, b in all_baselines().items()
+        }
+        assert 9.0 <= ratio["DFX"] <= 14.0
+        assert 8.0 <= ratio["GPU"] <= 13.0
+        assert 1.1 <= ratio["SOLE"] <= 1.8
+        assert 2.0 <= ratio["MHAA"] <= 3.0
+
+    def test_opt_factors_match_paper_band(self):
+        workload = _opt_workload()
+        haan = HaanAccelerator(HAAN_V1).workload_latency(workload).latency_seconds
+        ratio = {
+            name: b.workload_latency(workload).latency_seconds / haan
+            for name, b in all_baselines().items()
+        }
+        assert ratio["DFX"] > 9.0
+        assert ratio["GPU"] > 8.0
+        assert 1.1 <= ratio["SOLE"] <= 2.0
+        assert 2.0 <= ratio["MHAA"] <= 3.2
+
+    def test_power_reduction_vs_dfx_exceeds_60_percent(self):
+        workload = _gpt2_workload()
+        haan_power = HaanAccelerator(HAAN_V1).power(workload).total_w
+        dfx_power = DfxBaseline().power_watts(workload)
+        assert 1.0 - haan_power / dfx_power > 0.60
+
+    def test_haan_power_below_sole_and_mhaa(self):
+        workload = _gpt2_workload()
+        haan_power = HaanAccelerator(HAAN_V1).power(workload).total_w
+        assert haan_power < SoleBaseline().power_watts(workload)
+        assert haan_power < MhaaBaseline().power_watts(workload)

@@ -1,0 +1,119 @@
+"""Tests of the end-to-end HAAN calibration and installation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    CalibrationSettings,
+    apply_haan,
+    build_haan_model,
+    build_predictor_for_range,
+    calibrate_model,
+    restore_reference_norms,
+)
+from repro.core.config import HaanConfig
+from repro.core.haan_norm import HaanNormalization
+from repro.llm.datasets import calibration_texts
+from repro.llm.model import TransformerModel
+from repro.numerics.quantization import DataFormat
+
+
+class TestCalibration:
+    def test_calibration_result_fields(self, tiny_calibration, tiny_model):
+        start, end = tiny_calibration.skip_range
+        assert 0 <= start < end < tiny_model.num_norm_layers
+        assert tiny_calibration.decay < 0
+        assert tiny_calibration.predictor.covers(start + 1)
+        assert tiny_calibration.max_prediction_error() >= 0
+
+    def test_calibration_is_deterministic(self):
+        model_a = TransformerModel.from_name("tiny")
+        model_b = TransformerModel.from_name("tiny")
+        texts = calibration_texts(4, seed=5)
+        settings = CalibrationSettings(window=3, max_seq_len=16, min_start_fraction=0.3)
+        a = calibrate_model(model_a, texts=texts, settings=settings)
+        b = calibrate_model(model_b, texts=texts, settings=settings)
+        assert a.skip_range == b.skip_range
+        assert a.decay == pytest.approx(b.decay)
+
+    def test_min_start_honoured(self, tiny_model):
+        texts = calibration_texts(4, seed=5)
+        settings = CalibrationSettings(window=3, max_seq_len=16, min_start_fraction=0.6)
+        result = calibrate_model(tiny_model, texts=texts, settings=settings)
+        assert result.skip_range[0] >= settings.min_start(tiny_model.num_norm_layers)
+
+    def test_build_predictor_for_custom_range(self, tiny_calibration):
+        predictor = build_predictor_for_range(tiny_calibration.profile, (2, 5))
+        assert predictor.skip_range == (2, 5)
+        with pytest.raises(ValueError):
+            build_predictor_for_range(tiny_calibration.profile, (5, 200))
+
+
+class TestApplyHaan:
+    def test_all_layers_replaced(self, tiny_calibration):
+        model = TransformerModel.from_name("tiny")
+        config = HaanConfig(
+            skip_range=tiny_calibration.skip_range,
+            subsample_length=model.config.hidden_size // 4,
+            data_format=DataFormat.FP16,
+        )
+        installed = apply_haan(model, config, predictor=tiny_calibration.predictor)
+        assert len(installed) == model.num_norm_layers
+        assert all(isinstance(layer, HaanNormalization) for layer in model.norm_layers)
+        skipped = [layer for layer in installed if layer.is_skipped]
+        assert len(skipped) == config.num_skipped_layers()
+
+    def test_skipping_requires_predictor(self):
+        model = TransformerModel.from_name("tiny")
+        with pytest.raises(ValueError):
+            apply_haan(model, HaanConfig(skip_range=(2, 4)))
+
+    def test_outputs_stay_close_to_reference(self, tiny_calibration, small_token_batch):
+        reference = TransformerModel.from_name("tiny")
+        ref_logits = reference.forward(small_token_batch)
+        model = TransformerModel.from_name("tiny")
+        config = HaanConfig(
+            skip_range=tiny_calibration.skip_range,
+            subsample_length=model.config.hidden_size // 2,
+            data_format=DataFormat.FP16,
+        )
+        apply_haan(model, config, predictor=tiny_calibration.predictor)
+        haan_logits = model.forward(small_token_batch)
+        # HAAN perturbs the logits only mildly: the top-1 prediction of the
+        # last position should rarely change on the tiny model.
+        ref_top = np.argmax(ref_logits[:, -1, :], axis=-1)
+        haan_top = np.argmax(haan_logits[:, -1, :], axis=-1)
+        assert np.mean(ref_top == haan_top) >= 0.75
+
+    def test_restore_reference_norms(self, tiny_calibration, small_token_batch):
+        model = TransformerModel.from_name("tiny")
+        originals = list(model.norm_layers)
+        before = model.forward(small_token_batch)
+        config = HaanConfig(skip_range=tiny_calibration.skip_range, subsample_length=128)
+        apply_haan(model, config, predictor=tiny_calibration.predictor)
+        restore_reference_norms(model, originals)
+        after = model.forward(small_token_batch)
+        np.testing.assert_array_equal(before, after)
+
+    def test_restore_with_wrong_count_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            restore_reference_norms(tiny_model, [])
+
+
+class TestBuildHaanModel:
+    def test_default_configuration_from_algorithm(self):
+        model, calibration, config = build_haan_model(
+            "tiny", settings=CalibrationSettings(window=3, max_seq_len=16, num_samples=4)
+        )
+        assert config.skip_range == calibration.skip_range
+        assert isinstance(model.norm_layer(0), HaanNormalization)
+
+    def test_explicit_config_with_custom_range(self):
+        config = HaanConfig(skip_range=(4, 6), subsample_length=64)
+        model, calibration, used = build_haan_model(
+            "tiny",
+            config=config,
+            settings=CalibrationSettings(window=3, max_seq_len=16, num_samples=4),
+        )
+        assert used.skip_range == (4, 6)
+        assert model.norm_layer(5).is_skipped

@@ -1,0 +1,124 @@
+"""Tests for the ASCII charts and the cross-dataset generalization study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.charts import ascii_bar_chart, ascii_line_chart, sparkline
+from repro.eval.generalization import (
+    TransferResult,
+    alternative_corpora,
+    generalization_study,
+    prediction_error_on_profile,
+    transfer_penalty,
+)
+
+
+class TestAsciiBarChart:
+    def test_contains_labels_and_values(self):
+        chart = ascii_bar_chart(["gpu", "haan-v1"], [10.0, 1.0], title="latency")
+        assert "latency" in chart
+        assert "gpu" in chart and "haan-v1" in chart
+        assert "10" in chart
+
+    def test_largest_value_has_longest_bar(self):
+        chart = ascii_bar_chart(["a", "b"], [2.0, 8.0], width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_chart(self):
+        assert ascii_bar_chart([], [], title="nothing") == "nothing"
+
+    def test_zero_values_do_not_crash(self):
+        chart = ascii_bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in chart
+
+
+class TestAsciiLineChart:
+    def test_basic_series_rendering(self):
+        x = np.arange(10)
+        chart = ascii_line_chart(x, {"haan": 1.0 / (x + 1)}, title="fig")
+        assert "fig" in chart
+        assert "legend" in chart
+        assert "*" in chart
+
+    def test_log_scale(self):
+        x = np.arange(1, 6)
+        chart = ascii_line_chart(x, {"isd": np.exp(-x)}, log_y=True)
+        assert "log10(y)" in chart
+
+    def test_log_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], {"bad": [1.0, 0.0]}, log_y=True)
+
+    def test_multiple_series_get_distinct_markers(self):
+        x = np.arange(5)
+        chart = ascii_line_chart(x, {"a": x + 1.0, "b": 2.0 * x + 1.0})
+        assert "* a" in chart and "o b" in chart
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2, 3], {"a": [1, 2]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], {})
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_ends_high(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[-1] == "█"
+        assert line[0] == "▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestGeneralization:
+    @pytest.fixture(scope="class")
+    def study(self, tiny_model):
+        return generalization_study(
+            tiny_model, calibration_samples=5, corpus_samples=4, max_seq_len=20
+        )
+
+    def test_alternative_corpora_are_disjoint(self):
+        corpora = alternative_corpora(num_samples=3)
+        assert set(corpora) == {"held-out", "task-style", "shifted-topic"}
+        texts = [tuple(v) for v in corpora.values()]
+        assert len(set(texts)) == len(texts)
+
+    def test_study_contains_calibration_and_transfers(self, study):
+        assert "calibration" in study
+        assert len(study) >= 3
+        for result in study.values():
+            assert isinstance(result, TransferResult)
+            assert result.mean_abs_log_error >= 0
+            assert result.max_abs_log_error >= result.mean_abs_log_error
+
+    def test_predictor_generalizes_across_corpora(self, study):
+        """The paper's claim: calibration transfers with a small penalty."""
+        penalty = transfer_penalty(study)
+        baseline = study["calibration"].mean_abs_log_error
+        # The transfer penalty stays within a small absolute band of the
+        # in-sample error rather than exploding.
+        assert penalty <= max(3 * baseline, 0.25)
+
+    def test_rows_match_header(self, study):
+        for result in study.values():
+            assert len(result.as_row()) == len(TransferResult.header())
+
+    def test_transfer_penalty_zero_without_other_corpora(self):
+        only = {"calibration": TransferResult("calibration", 0.1, 0.2, 0.05)}
+        assert transfer_penalty(only) == 0.0

@@ -1,0 +1,62 @@
+"""Tests of the FP2FX / FX2FP converter units."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.convert import FP2FXConverter, FX2FPConverter
+from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
+from repro.numerics.floating import FP16, FP32
+
+
+class TestFP2FX:
+    def test_convert_preserves_values(self):
+        unit = FP2FXConverter(float_format=FP32)
+        values = np.array([0.5, -1.25, 3.0])
+        out = unit.convert(values)
+        np.testing.assert_allclose(out.to_real(), values, atol=1e-4)
+
+    def test_fp16_input_rounds_first(self):
+        unit = FP2FXConverter(float_format=FP16, fixed_format=FixedPointFormat(16, 16))
+        value = 1.0 + 1e-5
+        out = unit.convert(value)
+        assert out.to_real()[()] == pytest.approx(1.0, abs=1e-3)
+
+    def test_activity_counters(self):
+        unit = FP2FXConverter()
+        unit.convert(np.zeros(10))
+        unit.convert(np.zeros(5))
+        assert unit.stats.converted_elements == 15
+        assert unit.stats.invocations == 2
+        unit.stats.reset()
+        assert unit.stats.total_elements == 0
+
+    def test_bypass_for_int8_inputs(self):
+        unit = FP2FXConverter(fixed_format=FixedPointFormat(16, 16))
+        codes = np.array([5, -3, 127])
+        out = unit.bypass(codes)
+        np.testing.assert_allclose(out.to_real(), codes)
+        assert unit.stats.bypassed_elements == 3
+        assert unit.stats.converted_elements == 0
+
+
+class TestFX2FP:
+    def test_convert_round_trips(self):
+        fmt = FixedPointFormat(16, 16)
+        unit = FX2FPConverter(float_format=FP32)
+        value = FixedPointValue.from_real(fmt, [0.75, -2.5])
+        np.testing.assert_allclose(unit.convert(value), [0.75, -2.5], atol=1e-4)
+        assert unit.stats.converted_elements == 2
+
+    def test_bypass_returns_fixed_point_values(self):
+        fmt = FixedPointFormat(16, 16)
+        unit = FX2FPConverter()
+        value = FixedPointValue.from_real(fmt, [1.5])
+        np.testing.assert_allclose(unit.bypass(value), [1.5])
+        assert unit.stats.bypassed_elements == 1
+        assert unit.stats.converted_elements == 0
+
+    def test_fp16_output_precision(self):
+        fmt = FixedPointFormat(4, 20)
+        unit = FX2FPConverter(float_format=FP16)
+        value = FixedPointValue.from_real(fmt, [1.0 + 2**-12])
+        assert unit.convert(value)[0] == pytest.approx(1.0, abs=1e-3)

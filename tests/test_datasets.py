@@ -1,0 +1,69 @@
+"""Tests of the synthetic corpora and multiple-choice item generators."""
+
+import pytest
+
+from repro.llm.datasets import (
+    CorpusConfig,
+    SyntheticCorpus,
+    TASK_SHORT_NAMES,
+    available_tasks,
+    calibration_texts,
+    generate_choice_items,
+    perplexity_texts,
+)
+
+
+class TestCorpus:
+    def test_documents_are_deterministic(self):
+        a = SyntheticCorpus(CorpusConfig(seed=5)).documents(4)
+        b = SyntheticCorpus(CorpusConfig(seed=5)).documents(4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCorpus(CorpusConfig(seed=5)).documents(2)
+        b = SyntheticCorpus(CorpusConfig(seed=6)).documents(2)
+        assert a != b
+
+    def test_document_count(self):
+        docs = SyntheticCorpus().documents(7)
+        assert len(docs) == 7
+
+    def test_documents_are_nonempty_text(self):
+        for doc in SyntheticCorpus().documents(3):
+            assert isinstance(doc, str)
+            assert len(doc.split()) > 5
+
+    def test_calibration_texts_count_matches_paper_default(self):
+        assert len(calibration_texts()) == 100
+
+    def test_perplexity_texts(self):
+        assert len(perplexity_texts(8)) == 8
+
+
+class TestTasks:
+    def test_five_tasks_available(self):
+        tasks = available_tasks()
+        assert len(tasks) == 5
+        assert set(tasks) == set(TASK_SHORT_NAMES)
+
+    def test_choice_counts_per_task(self):
+        assert len(generate_choice_items("winogrande", 3)[0].choices) == 2
+        assert len(generate_choice_items("hellaswag", 3)[0].choices) == 4
+
+    def test_items_deterministic(self):
+        a = generate_choice_items("piqa", 5)
+        b = generate_choice_items("piqa", 5)
+        assert [i.context for i in a] == [i.context for i in b]
+
+    def test_seed_offset_changes_items(self):
+        a = generate_choice_items("piqa", 5)
+        b = generate_choice_items("piqa", 5, seed_offset=1)
+        assert [i.context for i in a] != [i.context for i in b]
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            generate_choice_items("mmlu", 3)
+
+    def test_item_ids_sequential(self):
+        items = generate_choice_items("arc_easy", 4)
+        assert [i.item_id for i in items] == [0, 1, 2, 3]

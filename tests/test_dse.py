@@ -1,0 +1,134 @@
+"""Tests for the design-space exploration over accelerator configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.configs import HAAN_V1, HAAN_V2, HAAN_V3, AcceleratorConfig
+from repro.hardware.dse import DesignPoint, DesignSpaceExplorer
+from repro.hardware.workload import NormalizationWorkload
+from repro.llm.config import NormKind
+from repro.numerics.quantization import DataFormat
+
+
+@pytest.fixture(scope="module")
+def workload() -> NormalizationWorkload:
+    return NormalizationWorkload(
+        model_name="gpt2-1.5b",
+        embedding_dim=1600,
+        num_norm_layers=98,
+        seq_len=256,
+        norm_kind=NormKind.LAYERNORM,
+        num_skipped_layers=10,
+        subsample_length=800,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_sweep(workload):
+    explorer = DesignSpaceExplorer()
+    configs = explorer.candidate_configs(
+        stats_widths=(32, 128), norm_widths=(128, 256), data_formats=(DataFormat.FP16, DataFormat.INT8)
+    )
+    return explorer.explore(workload, configs)
+
+
+class TestCandidateEnumeration:
+    def test_candidate_count(self):
+        explorer = DesignSpaceExplorer()
+        configs = explorer.candidate_configs(
+            stats_widths=(32, 64), norm_widths=(128,), data_formats=(DataFormat.FP16,)
+        )
+        assert len(configs) == 2
+        assert all(isinstance(c, AcceleratorConfig) for c in configs)
+
+    def test_candidate_names_unique(self):
+        explorer = DesignSpaceExplorer()
+        configs = explorer.candidate_configs()
+        names = [c.name for c in configs]
+        assert len(names) == len(set(names))
+
+
+class TestEvaluation:
+    def test_single_point_fields(self, workload):
+        explorer = DesignSpaceExplorer()
+        point = explorer.evaluate(HAAN_V1, workload)
+        assert point.latency_seconds > 0
+        assert point.power_w > 0
+        assert point.energy_nj > 0
+        assert point.lut > 0 and point.dsp > 0
+        assert 0 <= point.pipeline_balance <= 1
+        assert point.latency_us == pytest.approx(point.latency_seconds * 1e6)
+
+    def test_paper_configs_are_feasible(self, workload):
+        explorer = DesignSpaceExplorer()
+        for config in (HAAN_V1, HAAN_V2, HAAN_V3):
+            point = explorer.evaluate(config, workload)
+            assert point.feasible, config.name
+
+    def test_dominance_relation(self, workload):
+        explorer = DesignSpaceExplorer()
+        fast = explorer.evaluate(HAAN_V1, workload)
+        slow_high_power = DesignPoint(
+            config=fast.config,
+            latency_seconds=fast.latency_seconds * 2,
+            power_w=fast.power_w * 2,
+            energy_nj=fast.energy_nj,
+            lut=fast.lut,
+            dsp=fast.dsp,
+            fits_device=True,
+            meets_timing=True,
+            memory_bound=False,
+            pipeline_balance=0.5,
+        )
+        assert fast.dominates(slow_high_power)
+        assert not slow_high_power.dominates(fast)
+        assert not fast.dominates(fast)
+
+
+class TestExploration:
+    def test_all_points_evaluated(self, small_sweep):
+        assert len(small_sweep.points) == 8
+
+    def test_feasible_subset(self, small_sweep):
+        assert 0 < len(small_sweep.feasible_points) <= len(small_sweep.points)
+
+    def test_pareto_frontier_is_non_dominated(self, small_sweep):
+        frontier = small_sweep.pareto_frontier()
+        assert frontier
+        for point in frontier:
+            assert not any(other.dominates(point) for other in small_sweep.feasible_points)
+
+    def test_pareto_frontier_sorted_by_latency(self, small_sweep):
+        frontier = small_sweep.pareto_frontier()
+        latencies = [p.latency_seconds for p in frontier]
+        assert latencies == sorted(latencies)
+
+    def test_best_latency_is_minimum(self, small_sweep):
+        best = small_sweep.best_latency()
+        assert best.latency_seconds == min(p.latency_seconds for p in small_sweep.feasible_points)
+
+    def test_best_under_power_respects_budget(self, small_sweep):
+        tight = small_sweep.best_under_power(power_budget_w=1e-3)
+        assert tight is None
+        generous = small_sweep.best_under_power(power_budget_w=1e3)
+        assert generous is not None
+        assert generous.latency_seconds == small_sweep.best_latency().latency_seconds
+
+    def test_best_energy_delay(self, small_sweep):
+        best = small_sweep.best_energy_delay()
+        assert best.energy_delay_product == min(
+            p.energy_delay_product for p in small_sweep.feasible_points
+        )
+
+    def test_wider_norm_width_does_not_hurt_latency(self, workload):
+        explorer = DesignSpaceExplorer()
+        narrow = explorer.evaluate(
+            AcceleratorConfig(name="n", stats_width=64, norm_width=64, data_format=DataFormat.FP16),
+            workload,
+        )
+        wide = explorer.evaluate(
+            AcceleratorConfig(name="w", stats_width=64, norm_width=256, data_format=DataFormat.FP16),
+            workload,
+        )
+        assert wide.latency_seconds <= narrow.latency_seconds

@@ -1,0 +1,197 @@
+"""Tests for the energy, bandwidth/roofline and timing models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.bandwidth import (
+    U280_DDR4,
+    U280_HBM,
+    MemorySystem,
+    datapath_throughput_ops,
+    roofline_analysis,
+    workload_arithmetic_ops,
+    workload_traffic,
+)
+from repro.hardware.configs import HAAN_V1, HAAN_V2, AcceleratorConfig
+from repro.hardware.energy import EnergyModel, operation_energy_pj
+from repro.hardware.timing import TimingModel, adder_delay_ns, multiplier_delay_ns
+from repro.hardware.workload import NormalizationWorkload
+from repro.llm.config import NormKind
+from repro.numerics.quantization import DataFormat
+
+
+def make_workload(**overrides) -> NormalizationWorkload:
+    defaults = dict(
+        model_name="gpt2-1.5b",
+        embedding_dim=1600,
+        num_norm_layers=98,
+        seq_len=256,
+        batch_size=1,
+        norm_kind=NormKind.LAYERNORM,
+    )
+    defaults.update(overrides)
+    return NormalizationWorkload(**defaults)
+
+
+class TestEnergyModel:
+    def test_operation_energy_scales_with_format(self):
+        assert operation_energy_pj("multiply", DataFormat.FP32) > operation_energy_pj(
+            "multiply", DataFormat.FP16
+        )
+        assert operation_energy_pj("multiply", DataFormat.FP16) > operation_energy_pj(
+            "multiply", DataFormat.INT8
+        )
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(KeyError):
+            operation_energy_pj("divide", DataFormat.FP16)
+
+    def test_estimate_breakdown_units(self):
+        model = EnergyModel()
+        report = model.estimate(HAAN_V1, make_workload(), latency_seconds=1e-3)
+        assert set(report.per_unit_nj) == {
+            "statistics",
+            "invsqrt",
+            "predictor",
+            "normalization",
+            "memory",
+        }
+        assert report.total_nj > 0
+        assert 0.99 <= sum(report.share(u) for u in report.per_unit_nj) <= 1.01
+
+    def test_skipping_reduces_energy(self):
+        model = EnergyModel()
+        base = model.estimate(HAAN_V1, make_workload())
+        skipped = model.estimate(HAAN_V1, make_workload(num_skipped_layers=10))
+        assert skipped.total_nj < base.total_nj
+
+    def test_subsampling_reduces_statistics_energy(self):
+        model = EnergyModel()
+        base = model.estimate(HAAN_V1, make_workload())
+        sub = model.estimate(HAAN_V1, make_workload(subsample_length=400))
+        assert sub.per_unit_nj["statistics"] < base.per_unit_nj["statistics"]
+        assert sub.per_unit_nj["normalization"] == pytest.approx(
+            base.per_unit_nj["normalization"]
+        )
+
+    def test_rmsnorm_cheaper_than_layernorm(self):
+        model = EnergyModel()
+        layer = model.estimate(HAAN_V1, make_workload())
+        rms = model.estimate(HAAN_V1, make_workload(norm_kind=NormKind.RMSNORM))
+        assert rms.total_nj < layer.total_nj
+
+    def test_savings_from_skipping_fraction(self):
+        model = EnergyModel()
+        saving = model.savings_from_skipping(
+            HAAN_V1, make_workload(num_skipped_layers=10, subsample_length=800)
+        )
+        assert 0.0 < saving < 1.0
+
+    def test_energy_delay_product_and_average_power(self):
+        model = EnergyModel()
+        report = model.estimate(HAAN_V1, make_workload(), latency_seconds=2e-3)
+        assert report.energy_delay_product == pytest.approx(report.total_nj * 1e-9 * 2e-3)
+        assert report.average_power_w == pytest.approx(report.total_nj * 1e-9 / 2e-3)
+
+    def test_custom_base_energy_override(self):
+        default = EnergyModel()
+        doubled = EnergyModel(base_energies_pj={"multiply": 2.2})
+        workload = make_workload()
+        assert doubled.estimate(HAAN_V1, workload).total_nj > default.estimate(
+            HAAN_V1, workload
+        ).total_nj
+
+    def test_int8_cheaper_than_fp32(self):
+        model = EnergyModel()
+        workload = make_workload()
+        fp32 = HAAN_V1.with_overrides(name="fp32", data_format=DataFormat.FP32)
+        int8 = HAAN_V1.with_overrides(name="int8", data_format=DataFormat.INT8)
+        assert model.estimate(int8, workload).total_nj < model.estimate(fp32, workload).total_nj
+
+
+class TestBandwidthModel:
+    def test_memory_system_validation(self):
+        with pytest.raises(ValueError):
+            MemorySystem(name="bad", bandwidth_gbps=0.0)
+
+    def test_traffic_scales_with_sequence_length(self):
+        short_r, short_w = workload_traffic(HAAN_V1, make_workload(seq_len=128))
+        long_r, long_w = workload_traffic(HAAN_V1, make_workload(seq_len=512))
+        assert long_r == pytest.approx(4 * short_r)
+        assert long_w == pytest.approx(4 * short_w)
+
+    def test_subsampling_reduces_reads_not_writes(self):
+        base_r, base_w = workload_traffic(HAAN_V1, make_workload())
+        sub_r, sub_w = workload_traffic(HAAN_V1, make_workload(subsample_length=400))
+        assert sub_r < base_r
+        assert sub_w == pytest.approx(base_w)
+
+    def test_int8_moves_fewer_bytes(self):
+        fp32 = HAAN_V1.with_overrides(name="fp32", data_format=DataFormat.FP32)
+        int8 = HAAN_V1.with_overrides(name="int8", data_format=DataFormat.INT8)
+        workload = make_workload()
+        assert sum(workload_traffic(int8, workload)) < sum(workload_traffic(fp32, workload))
+
+    def test_normalization_is_memory_bound_on_ddr(self):
+        report = roofline_analysis(HAAN_V1, make_workload(), memory=U280_DDR4)
+        assert report.memory_bound
+
+    def test_hbm_relieves_the_bottleneck(self):
+        ddr = roofline_analysis(HAAN_V1, make_workload(), memory=U280_DDR4)
+        hbm = roofline_analysis(HAAN_V1, make_workload(), memory=U280_HBM)
+        assert hbm.memory_bound_throughput_ops > ddr.memory_bound_throughput_ops
+        assert hbm.attainable_throughput_ops >= ddr.attainable_throughput_ops
+
+    def test_arithmetic_intensity_low(self):
+        report = roofline_analysis(HAAN_V1, make_workload())
+        # Normalization performs only a few ops per byte moved.
+        assert report.arithmetic_intensity < 10
+
+    def test_wider_datapath_raises_compute_roof(self):
+        assert datapath_throughput_ops(HAAN_V2) != datapath_throughput_ops(HAAN_V1)
+        wide = HAAN_V1.with_overrides(name="wide", norm_width=512)
+        assert datapath_throughput_ops(wide) > datapath_throughput_ops(HAAN_V1)
+
+    def test_arithmetic_ops_positive_and_scale_with_layers(self):
+        small = workload_arithmetic_ops(make_workload(num_norm_layers=49))
+        large = workload_arithmetic_ops(make_workload(num_norm_layers=98))
+        assert 0 < small < large
+
+    def test_bandwidth_utilization_definition(self):
+        report = roofline_analysis(HAAN_V1, make_workload(), memory=U280_DDR4)
+        assert report.bandwidth_utilization == pytest.approx(
+            report.compute_throughput_ops / report.memory_bound_throughput_ops
+        )
+
+
+class TestTimingModel:
+    def test_component_delays_scale_with_width(self):
+        assert adder_delay_ns(32) > adder_delay_ns(16)
+        assert multiplier_delay_ns(32) > multiplier_delay_ns(16)
+
+    def test_all_paper_configs_close_timing_at_100mhz(self):
+        model = TimingModel()
+        for config in (HAAN_V1, HAAN_V2):
+            report = model.estimate(config)
+            assert report.meets(100.0), config.name
+            assert report.slack_ns_at_100mhz > 0
+
+    def test_int8_has_more_frequency_headroom_than_fp32(self):
+        model = TimingModel()
+        fp32 = AcceleratorConfig(name="fp32", stats_width=128, norm_width=128, data_format=DataFormat.FP32)
+        int8 = AcceleratorConfig(name="int8", stats_width=128, norm_width=128, data_format=DataFormat.INT8)
+        assert model.frequency_headroom(int8) > model.frequency_headroom(fp32)
+
+    def test_critical_unit_is_reported(self):
+        report = TimingModel().estimate(HAAN_V1)
+        assert report.critical_unit in report.unit_paths_ns
+        assert report.unit_paths_ns[report.critical_unit] == report.critical_path_ns
+
+    def test_max_frequency_consistent_with_path(self):
+        report = TimingModel().estimate(HAAN_V1)
+        assert report.max_frequency_mhz == pytest.approx(1e3 / report.critical_path_ns)
+
+    def test_absurd_clock_fails_timing(self):
+        report = TimingModel().estimate(HAAN_V1)
+        assert not report.meets(2000.0)

@@ -1,0 +1,173 @@
+"""Tests of the evaluation harness: tasks, accuracy, perplexity, breakdown, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HaanConfig
+from repro.eval.accuracy import (
+    evaluate_configuration,
+    evaluate_model_on_suite,
+    evaluate_original,
+    prepare_model_evaluation,
+)
+from repro.eval.end_to_end import amdahl_speedup, average_end_to_end_speedup, end_to_end_speedup
+from repro.eval.latency_breakdown import (
+    calibrated_rates,
+    normalization_share_growth,
+    optimized_breakdown,
+    original_breakdown,
+)
+from repro.eval.perplexity import evaluate_perplexity, perplexity_delta, subsample_sweep_nsubs
+from repro.eval.tasks import (
+    build_labeled_task,
+    build_task_suite,
+    evaluate_task,
+    target_accuracy_for,
+)
+from repro.llm.datasets import perplexity_texts
+from repro.llm.model import TransformerModel
+from repro.numerics.quantization import DataFormat
+from repro.utils.tables import format_markdown_table, format_table
+
+
+class TestTasks:
+    @pytest.fixture(scope="class")
+    def labeled(self, tiny_model):
+        return build_labeled_task(tiny_model, "piqa", num_items=8, max_seq_len=32, seed=1)
+
+    def test_items_built(self, labeled):
+        assert labeled.num_items == 8
+        assert labeled.short_name == "PQ"
+        for item in labeled.items:
+            assert 0 <= item.gold_index < len(item.choice_ids)
+            assert item.reference_scores.shape == (len(item.choice_ids),)
+
+    def test_reference_accuracy_near_target(self, tiny_model):
+        task = build_labeled_task(
+            tiny_model, "hellaswag", num_items=30, max_seq_len=32, target_accuracy=0.8, seed=2
+        )
+        assert 0.6 <= task.reference_accuracy() <= 1.0
+
+    def test_reference_model_scores_itself_consistently(self, tiny_model, labeled):
+        accuracy = evaluate_task(tiny_model, labeled, max_seq_len=32)
+        assert accuracy == pytest.approx(labeled.reference_accuracy())
+
+    def test_target_accuracy_lookup(self):
+        assert target_accuracy_for("llama-7b", "piqa") == pytest.approx(0.7867)
+        assert target_accuracy_for("unknown-model", "piqa") == pytest.approx(0.65)
+
+    def test_unknown_task_rejected(self, tiny_model):
+        with pytest.raises(KeyError):
+            build_labeled_task(tiny_model, "not-a-task", num_items=2)
+
+    def test_build_suite_subset(self, tiny_model):
+        suite = build_task_suite(tiny_model, num_items=2, max_seq_len=24, tasks=["piqa", "winogrande"])
+        assert set(suite) == {"piqa", "winogrande"}
+
+
+class TestAccuracyHarness:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        return prepare_model_evaluation(
+            "tiny", num_items=6, max_seq_len=32, task_names=["piqa", "arc_easy"], calibration_texts_count=5
+        )
+
+    def test_original_report(self, prepared):
+        _, tasks, _ = prepared
+        report = evaluate_original(tasks, "tiny")
+        assert set(report.accuracies) == {"piqa", "arc_easy"}
+        assert 0.0 <= report.mean_accuracy() <= 1.0
+
+    def test_haan_configuration_close_to_original(self, prepared):
+        _, tasks, calibration = prepared
+        original = evaluate_original(tasks, "tiny")
+        config = HaanConfig(
+            skip_range=calibration.skip_range,
+            subsample_length=256,
+            data_format=DataFormat.FP16,
+        )
+        haan = evaluate_configuration("tiny", config, tasks, calibration, max_seq_len=32)
+        assert haan.max_degradation_vs(original) <= 0.35
+
+    def test_report_row_formatting(self, prepared):
+        _, tasks, _ = prepared
+        report = evaluate_original(tasks, "tiny")
+        row = report.as_row(["piqa", "arc_easy"])
+        assert row[0] == "Original"
+        assert len(row) == 3
+
+    def test_evaluate_model_on_suite(self, prepared, tiny_model):
+        _, tasks, _ = prepared
+        report = evaluate_model_on_suite(tiny_model, tasks, label="reference", max_seq_len=32)
+        original = evaluate_original(tasks, "tiny")
+        assert report.accuracies == pytest.approx(original.accuracies)
+
+
+class TestPerplexity:
+    def test_perplexity_positive_and_finite(self, tiny_model):
+        result = evaluate_perplexity(tiny_model, perplexity_texts(4), max_seq_len=24)
+        assert np.isfinite(result.perplexity)
+        assert result.perplexity > 1.0
+        assert result.total_tokens > 0
+
+    def test_perplexity_delta(self, tiny_model):
+        reference = evaluate_perplexity(tiny_model, perplexity_texts(3), max_seq_len=24)
+        assert perplexity_delta(reference, reference) == 0.0
+
+    def test_nsub_sweep_values(self):
+        values = subsample_sweep_nsubs(4096)
+        assert values == sorted(values)
+        assert 4096 in values
+
+
+class TestLatencyBreakdown:
+    def test_original_matches_calibration_targets(self):
+        breakdown = original_breakdown("gpt2-117m")
+        shares = breakdown.shares()
+        assert shares["normalization"] == pytest.approx(0.161, abs=0.01)
+        assert shares["matmul"] == pytest.approx(0.572, abs=0.01)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_optimization_raises_normalization_share(self):
+        for model in ("gpt2-117m", "opt-2.7b"):
+            before, after = normalization_share_growth(model)
+            assert after > before
+            assert after > 0.25  # the paper's ">33%" claim, with model tolerance
+
+    def test_optimized_total_is_smaller(self):
+        before = original_breakdown("gpt2-117m").total
+        after = optimized_breakdown("gpt2-117m").total
+        assert after < before
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            calibrated_rates("tiny")
+
+
+class TestEndToEnd:
+    def test_amdahl_limits(self):
+        assert amdahl_speedup(0.0, 10.0) == pytest.approx(1.0)
+        assert amdahl_speedup(1.0, 10.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 10.0)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0.0)
+
+    def test_end_to_end_speedup_near_paper(self):
+        results = end_to_end_speedup(seq_lens=(128, 256, 512))
+        average = average_end_to_end_speedup(results)
+        # Paper reports ~1.11x; the model lands in the same band.
+        assert 1.05 <= average <= 1.25
+        for result in results.values():
+            assert result.end_to_end_speedup > 1.0
+
+
+class TestTableFormatting:
+    def test_plain_table(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        assert "T" in text and "1" in text and "---" not in text.split("\n")[0]
+
+    def test_markdown_table(self):
+        text = format_markdown_table(["a", "b"], [[1, None]])
+        assert text.startswith("| a | b |")
+        assert "| 1 |  |" in text

@@ -1,0 +1,119 @@
+"""Tests of the experiment registry and the CLI (reduced-scale runs)."""
+
+import pytest
+
+from repro.eval.cli import build_parser, main
+from repro.eval.experiments import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+    run_fig1b,
+    run_fig2,
+    run_fig8a,
+    run_fig8b,
+    run_fig9,
+    run_invsqrt_ablation,
+    run_pipeline_balance_ablation,
+    run_table1,
+    run_table3,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = available_experiments()
+        for required in ("fig1b", "fig2", "table1", "table2", "table3", "fig8a", "fig8b", "fig9", "end_to_end"):
+            assert required in ids
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_result_formatting(self):
+        result = ExperimentResult(experiment_id="x", title="demo", headers=["a"], rows=[[1]])
+        assert "[x] demo" in result.formatted()
+        assert result.row_dict()[1] == [1]
+
+
+class TestAnalyticalExperiments:
+    def test_fig1b_shape(self):
+        result = run_fig1b()
+        assert len(result.rows) == 4
+        before, after = result.metadata["gpt2-117m_norm_share"]
+        assert after > before
+
+    def test_fig2_on_tiny_analogue(self):
+        result = run_fig2(model_name="tiny", num_documents=4, max_seq_len=16)
+        assert result.metadata["num_layers"] == 9
+        assert result.metadata["tail_correlation"] < 0
+        assert result.metadata["overall_decay"] < 0
+
+    def test_table3_rows(self):
+        result = run_table3()
+        assert len(result.rows) == 6
+        formats = {row[0] for row in result.rows}
+        assert formats == {"FP32", "FP16", "INT8"}
+
+    def test_fig8a_power_comparison(self):
+        result = run_fig8a()
+        powers = result.metadata["powers"]
+        assert powers["HAAN-v1"] < powers["DFX"]
+        assert result.metadata["dfx_reduction"] > 0.6
+
+    def test_fig9_ratios(self):
+        result = run_fig9(seq_lens=(128, 256))
+        ratios = result.metadata["ratios"]
+        assert ratios["DFX"][128] > 9.0
+        assert ratios["GPU"][128] > 8.0
+        assert ratios["SOLE"][128] < 2.0
+
+    def test_fig8b_ratios(self):
+        result = run_fig8b(seq_lens=(128,))
+        ratios = result.metadata["ratios"]
+        assert ratios["MHAA"][128] > 2.0
+
+    def test_end_to_end(self):
+        result = run_experiment("end_to_end", seq_lens=(128,))
+        assert result.metadata["average"] > 1.0
+
+    def test_invsqrt_ablation_monotone(self):
+        result = run_invsqrt_ablation(newton_iterations=(0, 1, 2))
+        errors = [result.metadata["errors"][n][0] for n in (0, 1, 2)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_pipeline_ablation(self):
+        result = run_pipeline_balance_ablation(widths=((128, 128), (32, 128)))
+        details = result.metadata["details"]
+        assert details[(32, 128)]["latency_us"] > details[(128, 128)]["latency_us"]
+
+
+class TestAccuracyExperimentsSmall:
+    def test_table1_reduced_scale_on_tiny(self):
+        result = run_table1(
+            models=("tiny",),
+            num_items=5,
+            max_seq_len=28,
+            task_names=("piqa",),
+            calibration_texts_count=4,
+        )
+        assert len(result.rows) == 2
+        assert result.metadata["max_degradation"] <= 0.5
+
+
+class TestCli:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["fig1b"]) == 0
+        assert "fig1b" in capsys.readouterr().out
+
+    def test_unknown_experiment_exit_code(self):
+        assert main(["not-an-experiment"]) == 2
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(["table1", "--items", "7", "--seq-lens", "128,256"])
+        assert args.items == 7
+        assert args.seq_lens == "128,256"

@@ -1,0 +1,83 @@
+"""Tests of the fast inverse square root (bit hack + Newton refinement)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.fast_inv_sqrt import (
+    FastInvSqrt,
+    fast_inv_sqrt,
+    initial_seed,
+    newton_refine,
+    relative_error,
+)
+from repro.numerics.floating import FP16
+
+
+class TestSeed:
+    def test_seed_is_rough_approximation(self):
+        x = np.array([0.25, 1.0, 4.0, 100.0])
+        seed = initial_seed(x)
+        exact = 1.0 / np.sqrt(x)
+        assert np.all(np.abs(seed - exact) / exact < 0.05)
+
+    def test_seed_rejects_non_positive(self):
+        assert np.isnan(initial_seed(np.array([0.0]))[0])
+        assert np.isnan(initial_seed(np.array([-1.0]))[0])
+
+    def test_fp16_seed_also_works(self):
+        x = np.array([0.5, 2.0, 8.0])
+        seed = initial_seed(x, FP16)
+        exact = 1.0 / np.sqrt(x)
+        assert np.all(np.abs(seed - exact) / exact < 0.08)
+
+
+class TestNewton:
+    def test_one_iteration_reaches_paper_accuracy(self):
+        # "a single iteration is adequate to achieve accurate results"
+        x = np.logspace(-4, 4, 200)
+        err = relative_error(x, newton_iterations=1)
+        assert np.max(err) < 2e-3
+
+    def test_two_iterations_much_better(self):
+        x = np.logspace(-4, 4, 200)
+        assert np.max(relative_error(x, newton_iterations=2)) < 1e-5
+
+    def test_error_decreases_with_iterations(self):
+        x = np.logspace(-3, 3, 100)
+        errors = [np.max(relative_error(x, newton_iterations=n)) for n in range(4)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_zero_iterations_returns_seed(self):
+        x = np.array([2.0, 5.0])
+        np.testing.assert_allclose(fast_inv_sqrt(x, newton_iterations=0), initial_seed(x))
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            newton_refine(np.array([1.0]), np.array([1.0]), iterations=-1)
+
+    @given(st.floats(min_value=1e-4, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_single_newton_relative_error_bound(self, x):
+        assert relative_error(np.array([x]), newton_iterations=1)[0] < 2e-3
+
+
+class TestHardwareUnit:
+    def test_compute_matches_exact(self, rng):
+        unit = FastInvSqrt(newton_iterations=1)
+        variances = rng.uniform(0.01, 50.0, size=100)
+        approx = unit.compute(variances)
+        exact = unit.compute_exact(variances)
+        assert np.max(np.abs(approx - exact) / exact) < 5e-3
+
+    def test_activity_counters(self):
+        unit = FastInvSqrt(newton_iterations=2)
+        unit.compute(np.ones(5))
+        assert unit.stats.invocations == 1
+        assert unit.stats.elements == 5
+        assert unit.stats.newton_iterations == 10
+
+    def test_max_relative_error_helper(self):
+        unit = FastInvSqrt()
+        assert unit.max_relative_error(np.array([0.5, 1.0, 2.0])) < 5e-3

@@ -1,0 +1,168 @@
+"""Unit and property tests of the fixed-point arithmetic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.fixedpoint import (
+    FixedPointFormat,
+    FixedPointOverflowError,
+    FixedPointValue,
+)
+
+
+class TestFixedPointFormat:
+    def test_basic_properties(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        assert fmt.total_bits == 16
+        assert fmt.scale == pytest.approx(1 / 256)
+        assert fmt.max_code == 2**15 - 1
+        assert fmt.min_code == -(2**15)
+        assert fmt.describe() == "Q8.8"
+
+    def test_max_and_min_value(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=4)
+        assert fmt.max_value == pytest.approx((2**7 - 1) / 16)
+        assert fmt.min_value == pytest.approx(-(2**7) / 16)
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=0, fraction_bits=4)
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=4, fraction_bits=-1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=40, fraction_bits=40)
+
+    def test_encode_decode_exact_values(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        values = np.array([0.0, 1.0, -1.0, 0.5, -0.25, 3.75])
+        np.testing.assert_allclose(fmt.decode(fmt.encode(values)), values)
+
+    def test_encode_rounds_to_nearest(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=2)
+        assert fmt.quantize(0.2) == pytest.approx(0.25)
+        assert fmt.quantize(0.1) == pytest.approx(0.0)
+
+    def test_saturation_clamps(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=4)
+        assert fmt.quantize(1000.0) == pytest.approx(fmt.max_value)
+        assert fmt.quantize(-1000.0) == pytest.approx(fmt.min_value)
+
+    def test_overflow_raises_when_saturation_disabled(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=4, saturate=False)
+        with pytest.raises(FixedPointOverflowError):
+            fmt.encode(1000.0)
+
+    def test_nan_maps_to_zero(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        assert fmt.quantize(np.nan) == 0.0
+
+    def test_int8_factory(self):
+        fmt = FixedPointFormat.int8()
+        assert fmt.total_bits == 8
+        assert fmt.fraction_bits == 0
+        assert fmt.max_code == 127
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_quantization_error_bounded_by_half_lsb(self, value):
+        fmt = FixedPointFormat(integer_bits=9, fraction_bits=16)
+        quantized = fmt.quantize(value)
+        assert abs(quantized - value) <= fmt.scale / 2 + 1e-12
+
+    @given(st.lists(st.floats(min_value=-7, max_value=7, allow_nan=False), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_roundtrip_is_idempotent(self, values):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=12)
+        once = fmt.quantize(values)
+        twice = fmt.quantize(once)
+        np.testing.assert_allclose(once, twice)
+
+
+class TestFixedPointValue:
+    def test_addition_exact(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        a = FixedPointValue.from_real(fmt, [1.5, -2.0])
+        b = FixedPointValue.from_real(fmt, [0.25, 1.0])
+        np.testing.assert_allclose(a.add(b).to_real(), [1.75, -1.0])
+
+    def test_subtraction_exact(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        a = FixedPointValue.from_real(fmt, [1.5, -2.0])
+        b = FixedPointValue.from_real(fmt, [0.25, 1.0])
+        np.testing.assert_allclose(a.subtract(b).to_real(), [1.25, -3.0])
+
+    def test_addition_saturates(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=4)
+        a = FixedPointValue.from_real(fmt, [7.9])
+        result = a.add(a)
+        assert result.to_real()[0] == pytest.approx(fmt.max_value)
+
+    def test_format_mismatch_rejected(self):
+        a = FixedPointValue.from_real(FixedPointFormat(8, 8), [1.0])
+        b = FixedPointValue.from_real(FixedPointFormat(8, 4), [1.0])
+        with pytest.raises(ValueError):
+            a.add(b)
+
+    def test_multiplication_matches_real_product(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=16)
+        a = FixedPointValue.from_real(fmt, [1.5, -2.25, 0.125])
+        b = FixedPointValue.from_real(fmt, [2.0, 3.0, -8.0])
+        np.testing.assert_allclose(a.multiply(b).to_real(), [3.0, -6.75, -1.0], atol=1e-4)
+
+    def test_multiply_scalar(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=16)
+        a = FixedPointValue.from_real(fmt, [2.0, 4.0])
+        np.testing.assert_allclose(a.multiply_scalar(0.5).to_real(), [1.0, 2.0], atol=1e-4)
+
+    def test_shift_right_halves(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        a = FixedPointValue.from_real(fmt, [4.0])
+        assert a.shift_right(1).to_real()[0] == pytest.approx(2.0)
+
+    def test_shift_left_saturates(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=4)
+        a = FixedPointValue.from_real(fmt, [6.0])
+        assert a.shift_left(4).to_real()[0] == pytest.approx(fmt.max_value)
+
+    def test_negate(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        a = FixedPointValue.from_real(fmt, [1.5, -2.0])
+        np.testing.assert_allclose(a.negate().to_real(), [-1.5, 2.0])
+
+    def test_cast_realigns_binary_point(self):
+        src = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        dst = FixedPointFormat(integer_bits=8, fraction_bits=4)
+        a = FixedPointValue.from_real(src, [1.5])
+        assert a.cast(dst).to_real()[0] == pytest.approx(1.5)
+
+    def test_sum_matches_numpy(self, rng):
+        fmt = FixedPointFormat(integer_bits=16, fraction_bits=16)
+        data = rng.normal(size=64)
+        value = FixedPointValue.from_real(fmt, data)
+        assert value.sum().to_real() == pytest.approx(np.sum(fmt.quantize(data)), abs=1e-3)
+
+    def test_mean_matches_numpy(self, rng):
+        fmt = FixedPointFormat(integer_bits=16, fraction_bits=16)
+        data = rng.normal(size=32)
+        value = FixedPointValue.from_real(fmt, data)
+        assert value.mean().to_real() == pytest.approx(np.mean(data), abs=1e-3)
+
+    def test_zeros_constructor(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        z = FixedPointValue.zeros(fmt, (3, 2))
+        assert z.shape == (3, 2)
+        assert np.all(z.to_real() == 0)
+
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1, max_size=16),
+        st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1, max_size=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_addition_commutes(self, xs, ys):
+        size = min(len(xs), len(ys))
+        fmt = FixedPointFormat(integer_bits=12, fraction_bits=12)
+        a = FixedPointValue.from_real(fmt, xs[:size])
+        b = FixedPointValue.from_real(fmt, ys[:size])
+        np.testing.assert_array_equal(a.add(b).codes, b.add(a).codes)

@@ -1,0 +1,93 @@
+"""Tests of the IEEE-754 bit-level codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.floating import (
+    FAST_INV_SQRT_MAGIC_FP32,
+    FP16,
+    FP32,
+    compose,
+    decompose,
+    exponent_of,
+    format_by_name,
+    from_bits,
+    is_normal,
+    log2_approx,
+    to_bits,
+)
+
+
+class TestFormats:
+    def test_fp32_parameters(self):
+        assert FP32.total_bits == 32
+        assert FP32.bias == 127
+        assert FP32.mantissa_bits == 23
+
+    def test_fp16_parameters(self):
+        assert FP16.total_bits == 16
+        assert FP16.bias == 15
+        assert FP16.mantissa_bits == 10
+
+    def test_format_by_name(self):
+        assert format_by_name("FP16") is FP16
+        assert format_by_name("float32") is FP32
+        with pytest.raises(ValueError):
+            format_by_name("bf16")
+
+    def test_round_trip_precision_loss(self):
+        value = 1.0 + 1e-5
+        assert FP32.round_trip(value) == pytest.approx(value, rel=1e-6)
+        assert FP16.round_trip(value) == pytest.approx(1.0, abs=1e-3)
+
+    def test_magic_constant_value(self):
+        assert FAST_INV_SQRT_MAGIC_FP32 == 0x5F3759DF
+
+
+class TestBitManipulation:
+    def test_known_bit_pattern_of_one(self):
+        assert to_bits(1.0, FP32)[()] == 0x3F800000
+        assert from_bits(0x3F800000, FP32)[()] == 1.0
+
+    def test_decompose_one(self):
+        sign, exponent, mantissa = decompose(1.0, FP32)
+        assert sign == 0 and exponent == 127 and mantissa == 0
+
+    def test_decompose_negative(self):
+        sign, _, _ = decompose(-2.5, FP32)
+        assert sign == 1
+
+    def test_compose_inverts_decompose(self):
+        values = np.array([1.0, -3.5, 0.125, 65504.0, 2.0**-10])
+        sign, exponent, mantissa = decompose(values, FP32)
+        np.testing.assert_allclose(compose(sign, exponent, mantissa, FP32), values)
+
+    def test_exponent_of_powers_of_two(self):
+        np.testing.assert_array_equal(exponent_of(np.array([1.0, 2.0, 8.0, 0.5])), [0, 1, 3, -1])
+
+    def test_is_normal(self):
+        flags = is_normal(np.array([1.0, 0.0, np.inf, 1e-40]), FP32)
+        assert flags.tolist() == [True, False, False, False]
+
+    def test_log2_approx_accuracy(self):
+        values = np.logspace(-3, 3, 50)
+        approx = log2_approx(values, FP32)
+        exact = np.log2(values)
+        assert np.max(np.abs(approx - exact)) < 0.09
+
+    def test_log2_approx_rejects_non_positive(self):
+        assert np.isnan(log2_approx(np.array([-1.0]), FP32))[0]
+
+    @given(st.floats(min_value=1e-20, max_value=1e20, allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_compose_decompose_roundtrip(self, value):
+        sign, exponent, mantissa = decompose(value, FP32)
+        recovered = compose(sign, exponent, mantissa, FP32)
+        assert recovered == np.float64(np.float32(value))
+
+    @given(st.floats(min_value=1e-3, max_value=1e4, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_fp16_roundtrip_relative_error(self, value):
+        assert FP16.round_trip(value) == pytest.approx(value, rel=2e-3)

@@ -1,0 +1,68 @@
+"""Tests of the HAAN algorithm configuration objects."""
+
+import pytest
+
+from repro.core.config import HaanConfig, PAPER_MODEL_SETTINGS, paper_config_for
+from repro.numerics.quantization import DataFormat
+
+
+class TestHaanConfig:
+    def test_disabled_config(self):
+        config = HaanConfig.disabled()
+        assert not config.skipping_enabled
+        assert not config.subsampling_enabled
+        assert config.num_skipped_layers() == 0
+
+    def test_skip_membership_is_half_open(self):
+        config = HaanConfig(skip_range=(10, 14))
+        assert not config.is_skipped(10)  # anchor layer is computed
+        assert config.is_skipped(11)
+        assert config.is_skipped(14)
+        assert not config.is_skipped(15)
+        assert config.num_skipped_layers() == 4
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            HaanConfig(skip_range=(5, 3))
+        with pytest.raises(ValueError):
+            HaanConfig(skip_range=(-1, 3))
+        with pytest.raises(ValueError):
+            HaanConfig(subsample_length=0)
+        with pytest.raises(ValueError):
+            HaanConfig(newton_iterations=-1)
+
+    def test_with_overrides(self):
+        config = HaanConfig(subsample_length=256)
+        updated = config.with_overrides(data_format=DataFormat.INT8)
+        assert updated.data_format is DataFormat.INT8
+        assert updated.subsample_length == 256
+        assert config.data_format is DataFormat.FP32
+
+
+class TestPaperSettings:
+    def test_three_models_covered(self):
+        assert set(PAPER_MODEL_SETTINGS) == {"llama-7b", "opt-2.7b", "gpt2-1.5b"}
+
+    def test_llama_setting_matches_section_va(self):
+        config = paper_config_for("llama-7b")
+        assert config.skip_range == (50, 60)
+        assert config.subsample_length == 256
+        assert config.data_format is DataFormat.INT8
+
+    def test_opt_setting_matches_section_va(self):
+        config = paper_config_for("opt-2.7b")
+        assert config.skip_range == (55, 62)
+        assert config.subsample_length == 1280
+        assert config.data_format is DataFormat.FP16
+        # "7 out of 65 ISD operations can be skipped"
+        assert config.num_skipped_layers() == 7
+
+    def test_gpt2_setting_matches_section_va(self):
+        config = paper_config_for("gpt2-1.5b")
+        assert config.skip_range == (85, 92)
+        assert config.subsample_length == 800
+        assert config.data_format is DataFormat.FP16
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            paper_config_for("mistral-7b")

@@ -1,0 +1,145 @@
+"""Tests of the HAAN normalization layer (skip / subsample / quantize)."""
+
+import numpy as np
+import pytest
+
+from repro.core.haan_norm import HaanNormalization
+from repro.core.predictor import IsdPredictor
+from repro.core.subsampling import SubsampleSettings
+from repro.llm.hooks import ActivationContext
+from repro.llm.normalization import LayerNorm, RMSNorm
+from repro.numerics.quantization import DataFormat
+
+
+def _base_layer(hidden=64, layer_index=5, rms=False, rng=None):
+    rng = rng or np.random.default_rng(0)
+    cls = RMSNorm if rms else LayerNorm
+    return cls(
+        hidden_size=hidden,
+        layer_index=layer_index,
+        name=f"block.norm{layer_index}",
+        gamma=1.0 + 0.1 * rng.standard_normal(hidden),
+        beta=0.05 * rng.standard_normal(hidden) if not rms else None,
+    )
+
+
+class TestPassThrough:
+    def test_fp32_no_options_matches_reference(self, rng):
+        base = _base_layer(rng=rng)
+        haan = HaanNormalization(base, data_format=DataFormat.FP32)
+        x = rng.normal(1.0, 2.0, size=(6, 64))
+        np.testing.assert_allclose(haan(x), base(x), rtol=1e-6, atol=1e-6)
+
+    def test_shares_affine_parameters(self, rng):
+        base = _base_layer(rng=rng)
+        haan = HaanNormalization(base)
+        assert haan.gamma is base.gamma
+        assert haan.beta is base.beta
+        assert haan.kind == base.kind
+
+    def test_metadata_copied(self, rng):
+        base = _base_layer(layer_index=7, rng=rng)
+        haan = HaanNormalization(base)
+        assert haan.layer_index == 7
+        assert haan.name == base.name
+
+
+class TestQuantization:
+    def test_fp16_output_close_to_reference(self, rng):
+        base = _base_layer(rng=rng)
+        haan = HaanNormalization(base, data_format=DataFormat.FP16)
+        x = rng.normal(size=(4, 64))
+        np.testing.assert_allclose(haan(x), base(x), atol=5e-3)
+
+    def test_int8_output_close_to_reference(self, rng):
+        base = _base_layer(rng=rng)
+        haan = HaanNormalization(base, data_format=DataFormat.INT8)
+        x = rng.normal(size=(4, 64))
+        np.testing.assert_allclose(haan(x), base(x), atol=0.15)
+
+    def test_formats_order_by_error(self, rng):
+        base = _base_layer(rng=rng)
+        x = rng.normal(size=(8, 64))
+        reference = base(x)
+        errors = []
+        for fmt in (DataFormat.FP32, DataFormat.FP16, DataFormat.INT8):
+            haan = HaanNormalization(base, data_format=fmt)
+            errors.append(float(np.max(np.abs(haan(x) - reference))))
+        assert errors[0] <= errors[1] <= errors[2]
+
+
+class TestSubsampling:
+    def test_subsampled_statistics_used(self, rng):
+        base = _base_layer(rng=rng)
+        haan = HaanNormalization(base, subsample=SubsampleSettings(length=16))
+        x = rng.normal(size=(4, 64))
+        out = haan(x)
+        assert haan._last_was_subsampled()
+        # Output differs slightly from the exact reference but stays close.
+        assert not np.allclose(out, base(x))
+        assert np.max(np.abs(out - base(x))) < 2.0
+
+    def test_larger_subsample_is_more_accurate(self, rng):
+        base = _base_layer(rng=rng)
+        x = rng.normal(size=(16, 64))
+        reference = base(x)
+        err_small = np.abs(HaanNormalization(base, subsample=SubsampleSettings(length=8))(x) - reference).max()
+        err_large = np.abs(HaanNormalization(base, subsample=SubsampleSettings(length=48))(x) - reference).max()
+        assert err_large < err_small
+
+
+class TestSkipping:
+    def _predictor(self):
+        return IsdPredictor(anchor_layer=3, last_layer=8, decay=-0.1, anchor_log_isd=0.0)
+
+    def test_skipped_layer_uses_predicted_isd(self, rng):
+        base = _base_layer(layer_index=5, rng=rng)
+        haan = HaanNormalization(base, predictor=self._predictor())
+        assert haan.is_skipped
+        context = ActivationContext()
+        anchor_isd = np.full(4, 2.0)
+        context.store_isd(3, anchor_isd)
+        x = rng.normal(size=(4, 64))
+        out = haan(x, context)
+        assert haan._last_was_predicted()
+        # Reconstruct what the output must be with the predicted ISD.
+        expected_isd = anchor_isd * np.exp(-0.1 * 2)
+        mean = x.mean(axis=1, keepdims=True)
+        expected = (x - mean) * expected_isd[:, None] * base.gamma + base.beta
+        # The layer rounds its input through the FP32 storage format first,
+        # so agreement is at single precision rather than double.
+        np.testing.assert_allclose(out, expected, atol=1e-5)
+
+    def test_non_covered_layer_not_skipped(self, rng):
+        base = _base_layer(layer_index=20, rng=rng)
+        haan = HaanNormalization(base, predictor=self._predictor())
+        assert not haan.is_skipped
+        x = rng.normal(size=(2, 64))
+        haan(x)
+        assert not haan._last_was_predicted()
+
+    def test_skipped_rmsnorm_has_zero_mean_path(self, rng):
+        base = _base_layer(layer_index=5, rms=True, rng=rng)
+        haan = HaanNormalization(base, predictor=self._predictor())
+        context = ActivationContext()
+        context.store_isd(3, np.full(3, 1.5))
+        x = rng.normal(size=(3, 64))
+        out = haan(x, context)
+        expected = x * (1.5 * np.exp(-0.2)) * base.gamma
+        np.testing.assert_allclose(out, expected, atol=1e-9)
+
+    def test_skipped_layer_records_prediction_flag(self, rng):
+        base = _base_layer(layer_index=5, rng=rng)
+        haan = HaanNormalization(base, predictor=self._predictor())
+        context = ActivationContext(record_statistics=True)
+        context.store_isd(3, np.full(2, 1.0))
+        haan(rng.normal(size=(2, 64)), context)
+        assert context.records[-1].was_predicted
+
+
+class TestHardwareInvSqrt:
+    def test_hardware_path_close_to_exact(self, rng):
+        base = _base_layer(rng=rng)
+        haan = HaanNormalization(base, use_hardware_inv_sqrt=True, newton_iterations=1)
+        x = rng.normal(size=(4, 64))
+        np.testing.assert_allclose(haan(x), base(x), rtol=2e-2, atol=2e-2)

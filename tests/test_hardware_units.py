@@ -1,0 +1,178 @@
+"""Tests of the HAAN datapath units (adder tree, stats calculator, inverter, norm unit, predictor unit)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predictor import IsdPredictor
+from repro.hardware.units import (
+    AdderTree,
+    InputStatisticsCalculator,
+    IsdPredictorUnit,
+    NormalizationUnit,
+    SquareRootInverter,
+)
+from repro.numerics.quantization import DataFormat
+
+
+class TestAdderTree:
+    def test_reduce_matches_sum(self, rng):
+        tree = AdderTree(width=16)
+        data = rng.normal(size=16)
+        assert tree.reduce(data).to_real() == pytest.approx(np.sum(data), abs=1e-3)
+
+    def test_partial_beat_accepted(self, rng):
+        tree = AdderTree(width=16)
+        data = rng.normal(size=5)
+        assert tree.reduce(data).to_real() == pytest.approx(np.sum(data), abs=1e-3)
+
+    def test_too_wide_beat_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AdderTree(width=4).reduce(rng.normal(size=5))
+
+    def test_accumulate_streams_full_vector(self, rng):
+        tree = AdderTree(width=8)
+        data = rng.normal(size=50)
+        assert tree.accumulate(data).to_real() == pytest.approx(np.sum(data), abs=1e-2)
+
+    def test_structural_properties(self):
+        tree = AdderTree(width=16)
+        assert tree.depth == 4
+        assert tree.num_adders == 15
+        assert AdderTree(width=1).depth == 1
+
+    def test_cycles_for(self):
+        tree = AdderTree(width=16)
+        assert tree.cycles_for(16) == 1
+        assert tree.cycles_for(17) == 2
+        assert tree.cycles_for(0) == 0
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_cycles_ceiling_property(self, width, elements):
+        assert AdderTree(width=width).cycles_for(elements) == -(-elements // width)
+
+
+class TestInputStatisticsCalculator:
+    def test_matches_numpy_statistics(self, rng):
+        calc = InputStatisticsCalculator(width=32, data_format=DataFormat.FP32)
+        rows = rng.normal(1.0, 2.0, size=(6, 96))
+        result = calc.compute(rows)
+        np.testing.assert_allclose(result.mean, rows.mean(axis=1), atol=5e-3)
+        np.testing.assert_allclose(result.variance, rows.var(axis=1) + calc.eps, rtol=2e-2)
+
+    def test_subsampling_reduces_passes_and_uses_prefix(self, rng):
+        calc = InputStatisticsCalculator(width=16)
+        rows = rng.normal(size=(2, 64))
+        full = calc.compute(rows)
+        sub = calc.compute(rows, subsample_length=16)
+        assert sub.passes_per_row < full.passes_per_row
+        np.testing.assert_allclose(
+            sub.variance, rows[:, :16].var(axis=1) + calc.eps, rtol=5e-2
+        )
+
+    def test_rms_mode_skips_mean(self, rng):
+        calc = InputStatisticsCalculator(width=16, compute_mean=False)
+        rows = rng.normal(2.0, 1.0, size=(2, 32))
+        result = calc.compute(rows)
+        np.testing.assert_array_equal(result.mean, 0.0)
+
+    def test_variance_never_negative(self, rng):
+        calc = InputStatisticsCalculator(width=16)
+        rows = np.full((3, 32), 5.0)
+        result = calc.compute(rows)
+        assert np.all(result.variance > 0)
+
+    def test_cycle_model(self):
+        calc = InputStatisticsCalculator(width=128)
+        assert calc.passes_per_row(1600) == 13
+        assert calc.passes_per_row(1600, subsample_length=800) == 7
+        assert calc.cycles_for(10, 1600) == (13 + 2) * 10
+
+    def test_int8_bypass_path(self, rng):
+        calc = InputStatisticsCalculator(width=16, data_format=DataFormat.INT8)
+        rows = np.rint(rng.normal(0, 20, size=(2, 32)))
+        result = calc.compute(rows)
+        np.testing.assert_allclose(result.mean, rows.mean(axis=1), atol=0.5)
+
+
+class TestSquareRootInverter:
+    def test_matches_exact_inverse_sqrt(self, rng):
+        unit = SquareRootInverter()
+        variances = rng.uniform(0.01, 100.0, size=50)
+        approx = unit.compute(variances)
+        exact = unit.compute_exact(variances)
+        assert np.max(np.abs(approx - exact) / exact) < 5e-3
+
+    def test_cycle_model_pipelined(self):
+        unit = SquareRootInverter(latency=6)
+        assert unit.cycles_for(1) == 6
+        assert unit.cycles_for(10) == 15
+        assert unit.cycles_for(0) == 0
+
+    def test_activity_counter(self):
+        unit = SquareRootInverter()
+        unit.compute(np.ones(7))
+        assert unit.values_processed == 7
+        unit.reset_activity()
+        assert unit.values_processed == 0
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SquareRootInverter(latency=0)
+
+
+class TestNormalizationUnit:
+    def test_matches_reference_normalization(self, rng):
+        unit = NormalizationUnit(width=32, data_format=DataFormat.FP32)
+        rows = rng.normal(1.0, 2.0, size=(4, 64))
+        mean = rows.mean(axis=1)
+        isd = 1.0 / rows.std(axis=1)
+        gamma = np.ones(64)
+        beta = np.zeros(64)
+        out = unit.normalize(rows, mean, isd, gamma, beta)
+        expected = (rows - mean[:, None]) * isd[:, None]
+        np.testing.assert_allclose(out, expected, atol=1e-3)
+
+    def test_affine_applied(self, rng):
+        unit = NormalizationUnit(width=16)
+        rows = rng.normal(size=(2, 32))
+        gamma = np.full(32, 2.0)
+        beta = np.full(32, -1.0)
+        out = unit.normalize(rows, np.zeros(2), np.ones(2), gamma, beta)
+        np.testing.assert_allclose(out, rows * 2.0 - 1.0, atol=5e-3)
+
+    def test_cycle_model(self):
+        unit = NormalizationUnit(width=128)
+        assert unit.passes_per_row(1600) == 13
+        assert unit.cycles_for(4, 1600) == 52
+        assert unit.passes_per_row(0) == 0
+
+    def test_activity_counter(self, rng):
+        unit = NormalizationUnit(width=8)
+        unit.normalize(rng.normal(size=(2, 16)), np.zeros(2), np.ones(2), np.ones(16), np.zeros(16))
+        assert unit.elements_processed == 32
+
+
+class TestIsdPredictorUnit:
+    def test_prediction_requires_loaded_coefficients(self):
+        unit = IsdPredictorUnit()
+        assert not unit.configured
+        with pytest.raises(RuntimeError):
+            unit.predict(np.ones(2), 5)
+
+    def test_prediction_matches_algorithmic_predictor(self):
+        predictor = IsdPredictor(anchor_layer=3, last_layer=8, decay=-0.05, anchor_log_isd=0.0)
+        unit = IsdPredictorUnit()
+        unit.load(predictor)
+        anchor = np.array([1.0, 2.0])
+        out = unit.predict(anchor, 5)
+        np.testing.assert_allclose(out, predictor.predict_from_anchor(anchor, 5), rtol=1e-6)
+        assert unit.predictions_made == 2
+
+    def test_cycles(self):
+        unit = IsdPredictorUnit(latency=2)
+        assert unit.cycles_for(1) == 2
+        assert unit.cycles_for(5) == 6
+        assert unit.cycles_for(0) == 0

@@ -1,0 +1,197 @@
+"""Unit tests for :mod:`repro.hdl.signal`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.signal import Register, Signal, SignalWidthError, Wire
+
+
+class TestSignalDeclaration:
+    def test_scalar_defaults(self):
+        sig = Signal("s", width=8)
+        assert sig.lanes == 1
+        assert sig.value == 0
+        assert sig.max_value == 255
+        assert sig.min_value == 0
+
+    def test_signed_range(self):
+        sig = Signal("s", width=8, signed=True)
+        assert sig.max_value == 127
+        assert sig.min_value == -128
+
+    def test_multi_lane_shape(self):
+        sig = Signal("bus", width=16, lanes=4)
+        assert sig.values.shape == (4,)
+
+    def test_reset_value_is_wrapped(self):
+        sig = Signal("s", width=4, reset=0x1F)
+        assert sig.value == 0xF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(SignalWidthError):
+            Signal("s", width=0)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(SignalWidthError):
+            Signal("s", width=65)
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(SignalWidthError):
+            Signal("s", width=8, lanes=0)
+
+
+class TestWire:
+    def test_drive_scalar(self):
+        wire = Wire("w", width=8)
+        changed = wire.drive(42)
+        assert changed
+        assert wire.value == 42
+
+    def test_drive_same_value_reports_unchanged(self):
+        wire = Wire("w", width=8)
+        wire.drive(7)
+        assert wire.drive(7) is False
+
+    def test_unsigned_wrapping(self):
+        wire = Wire("w", width=8)
+        wire.drive(256 + 3)
+        assert wire.value == 3
+
+    def test_signed_wrapping(self):
+        wire = Wire("w", width=8, signed=True)
+        wire.drive(130)
+        assert wire.value == 130 - 256
+
+    def test_multilane_drive(self):
+        wire = Wire("w", width=8, lanes=3)
+        wire.drive([1, 2, 3])
+        assert list(wire.values) == [1, 2, 3]
+
+    def test_scalar_broadcast_to_lanes(self):
+        wire = Wire("w", width=8, lanes=3)
+        wire.drive(9)
+        assert list(wire.values) == [9, 9, 9]
+
+    def test_wrong_lane_count_rejected(self):
+        wire = Wire("w", width=8, lanes=3)
+        with pytest.raises(ValueError):
+            wire.drive([1, 2])
+
+    def test_driven_flag(self):
+        wire = Wire("w", width=8)
+        assert not wire.driven
+        wire.drive(1)
+        assert wire.driven
+        wire.clear_driven()
+        assert not wire.driven
+
+    def test_as_unsigned_view(self):
+        wire = Wire("w", width=8, signed=True)
+        wire.drive(-1)
+        assert wire.as_unsigned()[0] == 0xFF
+
+
+class TestRegister:
+    def test_set_next_not_visible_until_commit(self):
+        reg = Register("r", width=8)
+        reg.set_next(5)
+        assert reg.value == 0
+        reg.commit()
+        assert reg.value == 5
+
+    def test_commit_reports_change(self):
+        reg = Register("r", width=8)
+        reg.set_next(1)
+        assert reg.commit() is True
+        reg.set_next(1)
+        assert reg.commit() is False
+
+    def test_hold_keeps_current_value(self):
+        reg = Register("r", width=8, reset=3)
+        reg.set_next(9)
+        reg.commit()
+        reg.hold()
+        reg.commit()
+        assert reg.value == 9
+
+    def test_commit_without_set_next_holds(self):
+        reg = Register("r", width=8, reset=4)
+        reg.commit()
+        assert reg.value == 4
+
+    def test_reset_clears_staged_value(self):
+        reg = Register("r", width=8, reset=2)
+        reg.set_next(77)
+        reg.reset_value()
+        reg.commit()
+        assert reg.value == 2
+
+    def test_next_values_copy(self):
+        reg = Register("r", width=8, lanes=2)
+        reg.set_next([1, 2])
+        staged = reg.next_values
+        staged[0] = 99
+        reg.commit()
+        assert list(reg.values) == [1, 2]
+
+
+class TestSignalProperties:
+    @given(
+        width=st.integers(min_value=1, max_value=63),
+        value=st.integers(min_value=-(2**70), max_value=2**70),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unsigned_wrap_stays_in_range(self, width, value):
+        wire = Wire("w", width=width)
+        wire.drive(value)
+        assert 0 <= wire.value <= wire.max_value
+
+    @given(
+        width=st.integers(min_value=2, max_value=63),
+        value=st.integers(min_value=-(2**70), max_value=2**70),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_signed_wrap_stays_in_range(self, width, value):
+        wire = Wire("w", width=width, signed=True)
+        wire.drive(value)
+        assert wire.min_value <= wire.value <= wire.max_value
+
+    @given(
+        width=st.integers(min_value=1, max_value=63),
+        value=st.integers(min_value=0, max_value=2**63 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_in_range_unsigned_values_survive(self, width, value):
+        wire = Wire("w", width=width)
+        in_range = value % (wire.max_value + 1)
+        wire.drive(in_range)
+        assert wire.value == in_range
+
+    @given(
+        width=st.integers(min_value=2, max_value=32),
+        value=st.integers(min_value=-(2**40), max_value=2**40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wrap_is_idempotent(self, width, value):
+        wire = Wire("w", width=width, signed=True)
+        wire.drive(value)
+        first = wire.value
+        wire.drive(first)
+        assert wire.value == first
+
+    @given(
+        width=st.integers(min_value=1, max_value=32),
+        values=st.lists(st.integers(min_value=-(2**40), max_value=2**40), min_size=1, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_register_commit_matches_staged_wrap(self, width, values):
+        reg = Register("r", width=width, signed=True, lanes=len(values))
+        wire = Wire("w", width=width, signed=True, lanes=len(values))
+        reg.set_next(values)
+        reg.commit()
+        wire.drive(values)
+        assert np.array_equal(reg.values, wire.values)

@@ -1,0 +1,333 @@
+"""Tests for the module hierarchy, simulator, VCD writer and testbench helpers."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.hdl import (
+    Module,
+    Monitor,
+    Register,
+    Scoreboard,
+    SimulationError,
+    Simulator,
+    StreamDriver,
+    VcdWriter,
+    Wire,
+)
+
+
+class Counter(Module):
+    """Free-running counter with an enable input."""
+
+    def __init__(self, name: str = "counter", width: int = 8):
+        super().__init__(name)
+        self.enable = Wire("enable", width=1)
+        self.count = Register("count", width=width)
+
+    def propagate(self) -> None:
+        if self.enable.value:
+            self.count.set_next(self.count.value + 1)
+        else:
+            self.count.hold()
+
+
+class Doubler(Module):
+    """Purely combinational: out = 2 * in."""
+
+    def __init__(self, name: str = "doubler", width: int = 16):
+        super().__init__(name)
+        self.inp = Wire("inp", width=width)
+        self.out = Wire("out", width=width)
+
+    def propagate(self) -> None:
+        self.out.drive(self.inp.value * 2)
+
+
+class Chain(Module):
+    """Counter feeding a combinational doubler across module boundaries."""
+
+    def __init__(self):
+        super().__init__("chain")
+        self.counter = Counter()
+        self.doubler = Doubler()
+
+    def propagate(self) -> None:
+        self.counter.enable.drive(1)
+        self.doubler.inp.drive(self.counter.count.value)
+
+
+class CombinationalLoop(Module):
+    """Two wires driving each other with +1: never settles."""
+
+    def __init__(self):
+        super().__init__("loop")
+        self.a = Wire("a", width=8)
+        self.b = Wire("b", width=8)
+
+    def propagate(self) -> None:
+        self.a.drive(self.b.value + 1)
+        self.b.drive(self.a.value + 1)
+
+
+class TestModuleHierarchy:
+    def test_signals_registered_on_assignment(self):
+        counter = Counter()
+        assert set(counter.signals) == {"enable", "count"}
+
+    def test_submodules_registered_on_assignment(self):
+        chain = Chain()
+        assert set(chain.submodules) == {"counter", "doubler"}
+
+    def test_iter_modules_depth_first(self):
+        chain = Chain()
+        names = [m.name for m in chain.iter_modules()]
+        assert names == ["chain", "counter", "doubler"]
+
+    def test_registers_and_wires_partition(self):
+        chain = Chain()
+        regs = {r.name for r in chain.registers()}
+        wires = {w.name for w in chain.wires()}
+        assert regs == {"count"}
+        assert {"enable", "inp", "out"} <= wires
+
+    def test_hierarchical_names(self):
+        chain = Chain()
+        names = chain.hierarchical_signals()
+        assert "chain.counter.count" in names
+        assert "chain.doubler.out" in names
+
+    def test_describe_mentions_all_signals(self):
+        text = Chain().describe()
+        for fragment in ("Counter", "Doubler", "count", "out"):
+            assert fragment in text
+
+    def test_reset_restores_reset_values(self):
+        counter = Counter()
+        sim = Simulator(counter)
+        counter.enable.drive(1)
+        sim.run(5)
+        assert counter.count.value > 0
+        sim.reset()
+        assert counter.count.value == 0
+        assert sim.cycle == 0
+
+
+class TestSimulator:
+    def test_counter_counts_when_enabled(self):
+        counter = Counter()
+        sim = Simulator(counter)
+        counter.enable.drive(1)
+        sim.run(10)
+        assert counter.count.value == 10
+
+    def test_counter_holds_when_disabled(self):
+        counter = Counter()
+        sim = Simulator(counter)
+        counter.enable.drive(0)
+        sim.run(10)
+        assert counter.count.value == 0
+
+    def test_cross_module_combinational_path(self):
+        chain = Chain()
+        sim = Simulator(chain)
+        sim.run(4)
+        # After 4 edges the register holds 4; the doubler output reflects the
+        # value *before* the most recent commit is observable next settle, so
+        # run one more cycle and check consistency.
+        sim.run(1)
+        assert chain.doubler.out.value == 2 * (chain.counter.count.value - 1) or (
+            chain.doubler.out.value == 2 * chain.counter.count.value
+        )
+
+    def test_run_until_condition(self):
+        counter = Counter()
+        sim = Simulator(counter)
+        counter.enable.drive(1)
+        cycles = sim.run_until(lambda s: counter.count.value >= 7, max_cycles=100)
+        assert cycles == 7
+
+    def test_run_until_timeout_raises(self):
+        counter = Counter()
+        sim = Simulator(counter)
+        counter.enable.drive(0)
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda s: counter.count.value >= 1, max_cycles=5)
+
+    def test_combinational_loop_detected(self):
+        sim = Simulator(CombinationalLoop(), max_settle_iterations=8)
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_negative_cycle_count_rejected(self):
+        sim = Simulator(Counter())
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+    def test_context_manager_finalizes(self):
+        buffer = io.StringIO()
+        counter = Counter()
+        writer = VcdWriter(buffer)
+        writer.declare_signals(counter.hierarchical_signals())
+        with Simulator(counter, vcd=writer) as sim:
+            counter.enable.drive(1)
+            sim.run(3)
+        assert "$enddefinitions" in buffer.getvalue()
+
+
+class TestVcdWriter:
+    def test_header_and_samples(self):
+        counter = Counter()
+        buffer = io.StringIO()
+        writer = VcdWriter(buffer)
+        writer.declare_signals(counter.hierarchical_signals())
+        sim = Simulator(counter, vcd=writer)
+        counter.enable.drive(1)
+        sim.run(3)
+        writer.close()
+        text = buffer.getvalue()
+        assert "$timescale" in text
+        assert "$var wire 8" in text
+        assert "#0" in text
+        assert "#2" in text
+
+    def test_only_changes_emitted(self):
+        counter = Counter()
+        buffer = io.StringIO()
+        writer = VcdWriter(buffer)
+        writer.declare_signals(counter.hierarchical_signals())
+        sim = Simulator(counter, vcd=writer)
+        counter.enable.drive(0)
+        sim.run(5)
+        writer.close()
+        text = buffer.getvalue()
+        # With the counter disabled nothing changes after cycle 0, so no
+        # further timestamps are emitted.
+        assert "#3" not in text
+
+    def test_multi_lane_variables(self):
+        class Bus(Module):
+            def __init__(self):
+                super().__init__("bus")
+                self.data = Wire("data", width=8, lanes=4)
+
+        bus = Bus()
+        writer = VcdWriter(io.StringIO())
+        writer.declare_signals(bus.hierarchical_signals())
+        assert writer.num_variables == 4
+
+    def test_sample_before_declare_rejected(self):
+        writer = VcdWriter(io.StringIO())
+        with pytest.raises(RuntimeError):
+            writer.sample(0)
+
+    def test_double_declare_rejected(self):
+        counter = Counter()
+        writer = VcdWriter(io.StringIO())
+        writer.declare_signals(counter.hierarchical_signals())
+        with pytest.raises(RuntimeError):
+            writer.declare_signals(counter.hierarchical_signals())
+
+
+class Accumulator(Module):
+    """Consumes a valid-qualified stream and accumulates lane sums."""
+
+    def __init__(self, lanes: int = 4):
+        super().__init__("accumulator")
+        self.data = Wire("data", width=16, signed=True, lanes=lanes)
+        self.valid = Wire("valid", width=1)
+        self.total = Register("total", width=32, signed=True)
+        self.out_valid = Wire("out_valid", width=1)
+
+    def propagate(self) -> None:
+        if self.valid.value:
+            self.total.set_next(self.total.value + int(self.data.values.sum()))
+        else:
+            self.total.hold()
+        self.out_valid.drive(self.valid.value)
+
+
+class TestTestbenchHelpers:
+    def test_stream_driver_feeds_all_beats(self):
+        acc = Accumulator(lanes=2)
+        beats = [[1, 2], [3, 4], [5, 6]]
+        driver = StreamDriver("driver", acc.data, acc.valid, beats)
+        top = Module("top")
+        top.acc = acc
+        top.driver = driver
+        sim = Simulator(top)
+        sim.run(len(beats) + 2)
+        assert driver.done
+        assert acc.total.value == 21
+
+    def test_stream_driver_start_delay(self):
+        acc = Accumulator(lanes=1)
+        driver = StreamDriver("driver", acc.data, acc.valid, [[5]], start_cycle=3)
+        top = Module("top")
+        top.acc = acc
+        top.driver = driver
+        sim = Simulator(top)
+        sim.run(3)
+        assert acc.total.value == 0
+        sim.run(2)
+        assert acc.total.value == 5
+
+    def test_stream_driver_lane_mismatch_rejected(self):
+        acc = Accumulator(lanes=4)
+        with pytest.raises(ValueError):
+            StreamDriver("driver", acc.data, acc.valid, [[1, 2]])
+
+    def test_monitor_captures_qualified_beats(self):
+        acc = Accumulator(lanes=1)
+        driver = StreamDriver("driver", acc.data, acc.valid, [[1], [2], [3]])
+        monitor = Monitor("monitor", acc.data, acc.valid)
+        top = Module("top")
+        top.acc = acc
+        top.driver = driver
+        top.monitor = monitor
+        Simulator(top).run(6)
+        assert monitor.scalar_samples() == [1, 2, 3]
+        assert monitor.num_samples == 3
+
+    def test_monitor_clear(self):
+        acc = Accumulator(lanes=1)
+        driver = StreamDriver("driver", acc.data, acc.valid, [[1]])
+        monitor = Monitor("monitor", acc.data, acc.valid)
+        top = Module("top")
+        top.acc = acc
+        top.driver = driver
+        top.monitor = monitor
+        Simulator(top).run(3)
+        monitor.clear()
+        assert monitor.num_samples == 0
+
+    def test_scoreboard_exact_match(self):
+        sb = Scoreboard()
+        assert sb.compare([[1, 2], [3, 4]], [[1, 2], [3, 4]])
+        assert sb.passed
+        assert sb.report() == ""
+
+    def test_scoreboard_detects_mismatch(self):
+        sb = Scoreboard()
+        assert not sb.compare([[1, 2]], [[1, 3]])
+        assert "beat 0" in sb.report()
+
+    def test_scoreboard_tolerance(self):
+        sb = Scoreboard(tolerance=1)
+        assert sb.compare([[10]], [[11]])
+        assert not sb.compare([[10]], [[12]])
+
+    def test_scoreboard_length_mismatch(self):
+        sb = Scoreboard()
+        assert not sb.compare([[1]], [[1], [2]])
+        assert sb.mismatches[0].index == -1
+
+    def test_scoreboard_report_limit(self):
+        sb = Scoreboard()
+        expected = [[i] for i in range(20)]
+        observed = [[i + 1] for i in range(20)]
+        sb.compare(expected, observed)
+        assert "more mismatches" in sb.report(limit=5)

@@ -1,0 +1,73 @@
+"""Tests of the activation context and statistics traces."""
+
+import numpy as np
+import pytest
+
+from repro.llm.hooks import ActivationContext, NormLayerRecord, StatisticsTrace
+
+
+def _record(layer_index, num_tokens=4, scale=1.0):
+    isd = np.full(num_tokens, scale)
+    return NormLayerRecord(
+        layer_index=layer_index,
+        layer_name=f"layer{layer_index}",
+        mean=np.zeros(num_tokens),
+        isd=isd,
+        input_variance=1.0 / isd**2,
+    )
+
+
+class TestActivationContext:
+    def test_isd_storage_and_retrieval(self):
+        context = ActivationContext()
+        context.store_isd(3, np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(context.isd_of(3), [1.0, 2.0])
+        assert context.isd_of(4) is None
+        assert context.known_layers == [3]
+
+    def test_records_only_kept_when_enabled(self):
+        silent = ActivationContext(record_statistics=False)
+        silent.record(_record(0))
+        assert silent.records == []
+        recording = ActivationContext(record_statistics=True)
+        recording.record(_record(0))
+        assert len(recording.records) == 1
+
+    def test_log_isd_property(self):
+        record = _record(0, scale=np.e)
+        np.testing.assert_allclose(record.log_isd, 1.0)
+
+
+class TestStatisticsTrace:
+    def test_absorb_and_matrix(self):
+        trace = StatisticsTrace(num_layers=2, layer_names=["a", "b"])
+        context = ActivationContext(record_statistics=True)
+        context.record(_record(0, num_tokens=3, scale=2.0))
+        context.record(_record(1, num_tokens=3, scale=1.0))
+        trace.absorb(context)
+        matrix = trace.isd_matrix()
+        assert matrix.shape == (3, 2)
+        np.testing.assert_allclose(matrix[:, 0], 2.0)
+        assert trace.num_tokens == 3
+
+    def test_mismatched_token_counts_rejected(self):
+        trace = StatisticsTrace(num_layers=2, layer_names=["a", "b"])
+        context = ActivationContext(record_statistics=True)
+        context.record(_record(0, num_tokens=3))
+        context.record(_record(1, num_tokens=4))
+        trace.absorb(context)
+        with pytest.raises(ValueError):
+            trace.isd_matrix()
+
+    def test_mean_log_isd(self):
+        trace = StatisticsTrace(num_layers=1, layer_names=["a"])
+        context = ActivationContext(record_statistics=True)
+        context.record(_record(0, num_tokens=5, scale=np.e))
+        trace.absorb(context)
+        np.testing.assert_allclose(trace.mean_log_isd(), [1.0])
+
+    def test_empty_trace(self):
+        trace = StatisticsTrace(num_layers=3, layer_names=["a", "b", "c"])
+        assert trace.num_tokens == 0
+        assert trace.isd_matrix().shape == (0, 3)
+        np.testing.assert_array_equal(trace.mean_log_isd(), np.zeros(3))

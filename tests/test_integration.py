@@ -1,0 +1,139 @@
+"""Integration and property tests across the algorithm + hardware stack.
+
+These tests exercise the full HAAN flow end to end -- calibrate a model,
+install the HAAN layers, run the accelerator model on the corresponding
+workload -- and check the cross-cutting invariants the paper relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import CalibrationSettings, build_haan_model
+from repro.core.config import HaanConfig, paper_config_for
+from repro.core.haan_norm import HaanNormalization
+from repro.eval.perplexity import evaluate_perplexity
+from repro.hardware.accelerator import HaanAccelerator
+from repro.hardware.configs import HAAN_V1, AcceleratorConfig
+from repro.hardware.workload import NormalizationWorkload
+from repro.llm.config import NormKind, get_model_config
+from repro.llm.datasets import perplexity_texts
+from repro.llm.model import TransformerModel
+from repro.llm.normalization import LayerNorm
+from repro.numerics.quantization import DataFormat
+
+
+class TestAlgorithmEndToEnd:
+    def test_haan_model_perplexity_close_to_reference(self):
+        texts = perplexity_texts(4, seed=9)
+        reference = TransformerModel.from_name("tiny")
+        ref_ppl = evaluate_perplexity(reference, texts, max_seq_len=24)
+        model, _, _ = build_haan_model(
+            "tiny",
+            settings=CalibrationSettings(window=3, max_seq_len=20, num_samples=4),
+        )
+        haan_ppl = evaluate_perplexity(model, texts, max_seq_len=24)
+        assert abs(haan_ppl.perplexity - ref_ppl.perplexity) / ref_ppl.perplexity < 0.10
+
+    def test_skipped_layers_never_include_early_network(self):
+        _, calibration, config = build_haan_model(
+            "tiny-rms",
+            settings=CalibrationSettings(window=3, max_seq_len=20, num_samples=4, min_start_fraction=0.5),
+        )
+        num_layers = get_model_config("tiny-rms").num_norm_layers
+        assert config.skip_range[0] >= num_layers // 2
+
+    def test_haan_layers_count_skipped_matches_config(self):
+        model, _, config = build_haan_model(
+            "tiny", settings=CalibrationSettings(window=3, max_seq_len=20, num_samples=4)
+        )
+        skipped = sum(1 for layer in model.norm_layers if isinstance(layer, HaanNormalization) and layer.is_skipped)
+        assert skipped == config.num_skipped_layers()
+
+
+class TestAlgorithmHardwareConsistency:
+    def test_accelerator_reproduces_haan_layer_output(self, rng):
+        """The hardware functional model and the algorithmic layer agree."""
+        hidden = 64
+        base = LayerNorm(hidden_size=hidden, gamma=np.ones(hidden), beta=np.zeros(hidden))
+        haan_layer = HaanNormalization(base, data_format=DataFormat.FP16)
+        accel = HaanAccelerator(
+            AcceleratorConfig(name="t", stats_width=32, norm_width=32, data_format=DataFormat.FP16)
+        )
+        rows = rng.normal(0.5, 1.5, size=(6, hidden))
+        layer_out = haan_layer(rows)
+        accel_out = accel.normalize_rows(rows, base.gamma, base.beta, NormKind.LAYERNORM)
+        np.testing.assert_allclose(accel_out, layer_out, atol=3e-2)
+
+    def test_workload_matches_model_structure(self):
+        for name in ("llama-7b", "opt-2.7b", "gpt2-1.5b"):
+            config = get_model_config(name)
+            workload = NormalizationWorkload.from_model(config, seq_len=64, haan_config=paper_config_for(name))
+            assert workload.num_norm_layers == config.num_norm_layers
+            assert workload.norm_kind == config.norm_kind
+
+    def test_optimizations_never_increase_latency(self):
+        accel = HaanAccelerator(HAAN_V1)
+        for name in ("llama-7b", "opt-2.7b", "gpt2-1.5b"):
+            optimized = NormalizationWorkload.from_model_name(name, seq_len=128, haan_config=paper_config_for(name))
+            plain = optimized.without_optimizations()
+            assert (
+                accel.workload_latency(optimized).total_cycles
+                <= accel.workload_latency(plain).total_cycles
+            )
+
+    @given(
+        seq_len=st.integers(min_value=1, max_value=512),
+        stats_width=st.sampled_from([32, 64, 128, 256]),
+        norm_width=st.sampled_from([64, 128, 256]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_latency_model_properties(self, seq_len, stats_width, norm_width):
+        """Latency is positive, monotone in sequence length and in lane count."""
+        config = AcceleratorConfig(name="p", stats_width=stats_width, norm_width=norm_width)
+        accel = HaanAccelerator(config)
+        workload = NormalizationWorkload.from_model_name("gpt2-1.5b", seq_len=seq_len)
+        report = accel.workload_latency(workload)
+        assert report.total_cycles > 0
+        wider = HaanAccelerator(
+            AcceleratorConfig(name="w", stats_width=stats_width, norm_width=norm_width * 2)
+        ).workload_latency(workload)
+        assert wider.total_cycles <= report.total_cycles
+        longer = accel.workload_latency(workload.with_seq_len(seq_len + 16))
+        assert longer.total_cycles > report.total_cycles
+
+    @given(n_sub=st.integers(min_value=64, max_value=4096))
+    @settings(max_examples=20, deadline=None)
+    def test_subsample_length_monotone_latency(self, n_sub):
+        """Smaller N_sub never increases the statistics-stage latency."""
+        config = AcceleratorConfig(name="narrow", stats_width=32, norm_width=256)
+        accel = HaanAccelerator(config)
+        plain = NormalizationWorkload.from_model_name("llama-7b", seq_len=64)
+        sub = NormalizationWorkload.from_model_name(
+            "llama-7b", seq_len=64, haan_config=HaanConfig(subsample_length=n_sub)
+        )
+        assert accel.workload_latency(sub).total_cycles <= accel.workload_latency(plain).total_cycles
+
+
+class TestPaperHeadlineClaims:
+    """The quantitative claims of the abstract, checked against the models."""
+
+    def test_power_reduction_over_60_percent_vs_dfx(self):
+        from repro.hardware.baselines import DfxBaseline
+
+        workload = NormalizationWorkload.from_model_name(
+            "gpt2-1.5b", seq_len=128, haan_config=paper_config_for("gpt2-1.5b")
+        )
+        haan_power = HaanAccelerator(HAAN_V1).power(workload).total_w
+        assert 1.0 - haan_power / DfxBaseline().power_watts(workload) > 0.60
+
+    def test_latency_reduction_over_20_percent_vs_baselines(self):
+        from repro.hardware.baselines import all_baselines
+
+        workload = NormalizationWorkload.from_model_name(
+            "gpt2-1.5b", seq_len=128, haan_config=paper_config_for("gpt2-1.5b")
+        )
+        haan = HaanAccelerator(HAAN_V1).workload_latency(workload).latency_seconds
+        for baseline in all_baselines().values():
+            assert haan < 0.8 * baseline.workload_latency(workload).latency_seconds

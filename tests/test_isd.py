@@ -1,0 +1,109 @@
+"""Tests of ISD computation, profiling and the Figure 2 phenomenon."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.isd import (
+    IsdProfile,
+    compute_isd,
+    linear_fit,
+    pearson_correlation,
+    profile_model_isd,
+)
+from repro.llm.config import NormKind
+from repro.llm.datasets import calibration_texts
+
+
+class TestComputeIsd:
+    def test_layernorm_isd_matches_variance(self, rng):
+        rows = rng.normal(0, 2.0, size=(5, 128))
+        isd = compute_isd(rows, NormKind.LAYERNORM)
+        expected = 1.0 / np.sqrt(rows.var(axis=1) + 1e-5)
+        np.testing.assert_allclose(isd, expected)
+
+    def test_rmsnorm_isd_uses_mean_square(self, rng):
+        rows = rng.normal(3.0, 1.0, size=(5, 128))
+        isd = compute_isd(rows, NormKind.RMSNORM)
+        expected = 1.0 / np.sqrt(np.mean(rows**2, axis=1) + 1e-5)
+        np.testing.assert_allclose(isd, expected)
+
+    def test_1d_input_accepted(self, rng):
+        assert compute_isd(rng.normal(size=64)).shape == (1,)
+
+    def test_scaling_input_scales_isd_inversely(self, rng):
+        rows = rng.normal(size=(3, 256))
+        ratio = compute_isd(rows * 2.0) / compute_isd(rows)
+        np.testing.assert_allclose(ratio, 0.5, atol=1e-3)
+
+
+class TestPearson:
+    def test_perfect_negative_correlation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_perfect_positive_correlation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_degenerate_inputs_return_zero(self):
+        assert pearson_correlation([1.0], [2.0]) == 0.0
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_correlation_bounded(self, values):
+        r = pearson_correlation(np.arange(len(values)), values)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestLinearFit:
+    def test_recovers_exact_line(self):
+        x = np.arange(20.0)
+        slope, intercept = linear_fit(x, 0.5 * x - 3.0)
+        assert slope == pytest.approx(0.5)
+        assert intercept == pytest.approx(-3.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [2.0])
+
+
+class TestIsdProfile:
+    @pytest.fixture(scope="class")
+    def profile(self, tiny_model):
+        texts = calibration_texts(6, seed=11)
+        return profile_model_isd(tiny_model, texts, max_seq_len=20, batch_size=3)
+
+    def test_shape(self, profile, tiny_model):
+        assert profile.num_layers == tiny_model.num_norm_layers
+        assert profile.num_tokens > 0
+        assert profile.isd_matrix.shape == (profile.num_tokens, profile.num_layers)
+
+    def test_isd_decays_with_depth(self, profile):
+        log_isd = profile.mean_log_isd()
+        assert log_isd[-2] < log_isd[0]
+
+    def test_tail_is_negatively_correlated_with_depth(self, profile):
+        assert profile.tail_linearity(0.5) < -0.8
+
+    def test_decay_slope_negative(self, profile):
+        assert profile.decay_slope(2, profile.num_layers - 1) < 0
+
+    def test_per_token_curve(self, profile):
+        curve = profile.log_isd_of_token(0)
+        assert curve.shape == (profile.num_layers,)
+
+    def test_invalid_tail_fraction_rejected(self, profile):
+        with pytest.raises(ValueError):
+            profile.tail_linearity(0.0)
+
+    def test_from_trace_constructor(self, tiny_model, small_token_batch):
+        trace = tiny_model.collect_statistics([small_token_batch])
+        profile = IsdProfile.from_trace(trace)
+        assert profile.num_layers == tiny_model.num_norm_layers

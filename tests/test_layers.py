@@ -1,0 +1,120 @@
+"""Tests of the transformer building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.llm.layers import (
+    AttentionWeights,
+    Embedding,
+    FeedForward,
+    Linear,
+    MLPWeights,
+    MultiHeadAttention,
+    causal_mask,
+    gelu,
+    log_softmax,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_gelu_limits(self):
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+        assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-3)
+        assert gelu(np.array([0.0]))[0] == 0.0
+
+    def test_gelu_monotone_on_positives(self):
+        x = np.linspace(0, 5, 50)
+        assert np.all(np.diff(gelu(x)) > 0)
+
+    def test_softmax_sums_to_one(self, rng):
+        probs = softmax(rng.normal(size=(4, 7)))
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_softmax_stable_for_large_inputs(self):
+        probs = softmax(np.array([1e4, 1e4 + 1.0]))
+        assert np.all(np.isfinite(probs))
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(np.exp(log_softmax(x)), softmax(x), atol=1e-9)
+
+    def test_causal_mask_shape_and_content(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert mask[0, 1] == -np.inf
+        assert mask[3, 0] == 0.0
+
+
+class TestLinearAndEmbedding:
+    def test_linear_matches_matmul(self, rng):
+        w = rng.normal(size=(8, 4))
+        b = rng.normal(size=4)
+        layer = Linear(w, b)
+        x = rng.normal(size=(3, 8))
+        np.testing.assert_allclose(layer(x), x @ w + b)
+
+    def test_linear_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            Linear(rng.normal(size=(8,)))
+        with pytest.raises(ValueError):
+            Linear(rng.normal(size=(8, 4)), bias=np.zeros(5))
+
+    def test_embedding_lookup(self, rng):
+        table = rng.normal(size=(10, 4))
+        emb = Embedding(table)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        np.testing.assert_allclose(out[0, 0], table[1])
+        assert out.shape == (2, 2, 4)
+
+    def test_embedding_out_of_range_rejected(self, rng):
+        emb = Embedding(rng.normal(size=(10, 4)))
+        with pytest.raises(ValueError):
+            emb(np.array([10]))
+
+
+def _make_attention(rng, hidden=16, heads=4):
+    def lin():
+        return Linear(rng.normal(size=(hidden, hidden)) / np.sqrt(hidden))
+
+    return MultiHeadAttention(AttentionWeights(wq=lin(), wk=lin(), wv=lin(), wo=lin()), num_heads=heads)
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attn = _make_attention(rng)
+        x = rng.normal(size=(2, 6, 16))
+        assert attn(x).shape == (2, 6, 16)
+
+    def test_causality(self, rng):
+        """Changing a later token must not affect earlier outputs."""
+        attn = _make_attention(rng)
+        x = rng.normal(size=(1, 6, 16))
+        base = attn(x)
+        modified = x.copy()
+        modified[0, 5] += 10.0
+        out = attn(modified)
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-9)
+        assert not np.allclose(out[0, 5], base[0, 5])
+
+    def test_head_dim_divisibility_enforced(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(
+                AttentionWeights(
+                    wq=Linear(rng.normal(size=(15, 15))),
+                    wk=Linear(rng.normal(size=(15, 15))),
+                    wv=Linear(rng.normal(size=(15, 15))),
+                    wo=Linear(rng.normal(size=(15, 15))),
+                ),
+                num_heads=4,
+            )
+
+
+class TestFeedForward:
+    def test_output_shape_and_formula(self, rng):
+        w_in = Linear(rng.normal(size=(8, 16)))
+        w_out = Linear(rng.normal(size=(16, 8)))
+        mlp = FeedForward(MLPWeights(w_in=w_in, w_out=w_out))
+        x = rng.normal(size=(2, 3, 8))
+        np.testing.assert_allclose(mlp(x), w_out(gelu(w_in(x))))

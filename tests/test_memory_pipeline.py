@@ -1,0 +1,137 @@
+"""Tests of the memory layout (Figure 7) and the pipeline scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.memory import MemoryLayout
+from repro.hardware.pipeline import PipelineModel, PipelineStage
+from repro.numerics.quantization import DataFormat
+
+
+class TestMemoryLayout:
+    def test_pack_unpack_roundtrip(self, rng):
+        layout = MemoryLayout(entry_width=2)
+        tensor = rng.normal(size=(2, 4))
+        entries = layout.pack(tensor)
+        assert entries.shape == (4, 2)
+        np.testing.assert_allclose(layout.unpack(entries, (2, 4)), tensor)
+
+    def test_figure7_example_layout(self):
+        """The paper's 2x4 example with bandwidth 2 occupies 4 entries."""
+        layout = MemoryLayout(entry_width=2)
+        tensor = np.array([[1.5, 2.3, 5.8, 9.3], [3.5, 5.2, 1.2, 0.0]])
+        entries = layout.pack(tensor)
+        np.testing.assert_allclose(entries[0], [1.5, 2.3])
+        np.testing.assert_allclose(entries[3], [1.2, 0.0])
+
+    def test_padding_of_last_entry(self):
+        layout = MemoryLayout(entry_width=4)
+        entries = layout.pack(np.arange(6.0))
+        assert entries.shape == (2, 4)
+        np.testing.assert_allclose(entries[1], [4.0, 5.0, 0.0, 0.0])
+
+    def test_entries_for(self):
+        layout = MemoryLayout(entry_width=128)
+        assert layout.entries_for(0) == 0
+        assert layout.entries_for(1) == 1
+        assert layout.entries_for(1600) == 13
+
+    def test_subsampled_entries(self):
+        layout = MemoryLayout(entry_width=128)
+        assert layout.subsampled_entries_per_row(1600, None) == 13
+        assert layout.subsampled_entries_per_row(1600, 800) == 7
+        assert layout.subsampled_entries_per_row(1600, 99999) == 13
+
+    def test_traffic_accounting(self):
+        layout = MemoryLayout(entry_width=8, data_format=DataFormat.FP16)
+        layout.record_read(100)
+        layout.record_write(50)
+        assert layout.traffic.bytes_read == 200
+        assert layout.traffic.bytes_written == 100
+        assert layout.traffic.total_bytes == 300
+        layout.traffic.reset()
+        assert layout.traffic.total_bytes == 0
+
+    def test_row_addresses(self):
+        layout = MemoryLayout(entry_width=4)
+        ranges = layout.row_addresses(num_rows=2, row_length=6)
+        assert ranges[0] == (0, 2)
+        assert ranges[1] == (1, 2)
+
+    def test_unpack_too_small_rejected(self):
+        layout = MemoryLayout(entry_width=4)
+        with pytest.raises(ValueError):
+            layout.unpack(np.zeros((1, 4)), (2, 4))
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(entry_width=0)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_entry_count_ceiling_property(self, width, elements):
+        layout = MemoryLayout(entry_width=width)
+        expected = 0 if elements == 0 else -(-elements // width)
+        assert layout.entries_for(elements) == expected
+
+
+class TestPipeline:
+    def _pipeline(self):
+        return PipelineModel(
+            [
+                PipelineStage("stats", cycles_per_row=7, fill_latency=2),
+                PipelineStage("inv-sqrt", cycles_per_row=1, fill_latency=6),
+                PipelineStage("normalize", cycles_per_row=13, fill_latency=1),
+            ]
+        )
+
+    def test_bottleneck_identified(self):
+        assert self._pipeline().bottleneck.name == "normalize"
+        assert self._pipeline().issue_interval() == 13
+
+    def test_fill_cycles(self):
+        assert self._pipeline().fill_cycles == (7 + 2) + (1 + 6) + (13 + 1)
+
+    def test_total_cycles_formula(self):
+        schedule = self._pipeline().schedule(100)
+        assert schedule.total_cycles == self._pipeline().fill_cycles + 13 * 99
+        assert schedule.bottleneck_stage == "normalize"
+
+    def test_utilization_ordering(self):
+        schedule = self._pipeline().schedule(200)
+        util = schedule.utilization
+        assert util["normalize"] > util["stats"] > util["inv-sqrt"]
+        assert util["normalize"] <= 1.0
+
+    def test_zero_rows(self):
+        schedule = self._pipeline().schedule(0)
+        assert schedule.total_cycles == 0
+        assert all(v == 0.0 for v in schedule.utilization.values())
+
+    def test_single_row_costs_fill_only(self):
+        assert self._pipeline().schedule(1).total_cycles == self._pipeline().fill_cycles
+
+    def test_balance_metric(self):
+        balanced = PipelineModel(
+            [PipelineStage("a", 10), PipelineStage("b", 10)]
+        ).schedule(50)
+        skewed = PipelineModel(
+            [PipelineStage("a", 1), PipelineStage("b", 10)]
+        ).schedule(50)
+        assert balanced.balance() > skewed.balance()
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            self._pipeline().schedule(-1)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel([])
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_total_cycles_monotone_in_rows(self, rows):
+        pipeline = self._pipeline()
+        assert pipeline.schedule(rows + 1).total_cycles > pipeline.schedule(rows).total_cycles

@@ -1,0 +1,143 @@
+"""Tests for the FP8 / bfloat16 minifloat codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.minifloat import BFLOAT16, E4M3, E5M2, MinifloatFormat, minifloat_by_name
+
+
+class TestFormatParameters:
+    def test_e4m3_parameters(self):
+        assert E4M3.total_bits == 8
+        assert E4M3.bias == 7
+        assert E4M3.max_finite == pytest.approx(448.0)
+        assert E4M3.min_normal == pytest.approx(2.0**-6)
+
+    def test_e5m2_parameters(self):
+        assert E5M2.total_bits == 8
+        assert E5M2.bias == 15
+        assert E5M2.max_finite == pytest.approx(57344.0)
+
+    def test_bfloat16_parameters(self):
+        assert BFLOAT16.total_bits == 16
+        assert BFLOAT16.bias == 127
+        assert BFLOAT16.epsilon == pytest.approx(2.0**-7)
+
+    def test_num_codes(self):
+        assert E4M3.num_codes == 256
+        assert BFLOAT16.num_codes == 65536
+
+    def test_lookup_by_name(self):
+        assert minifloat_by_name("E4M3") is E4M3
+        assert minifloat_by_name("fp8_e5m2") is E5M2
+        assert minifloat_by_name("bf16") is BFLOAT16
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(ValueError):
+            minifloat_by_name("fp7")
+
+    def test_invalid_format_rejected(self):
+        with pytest.raises(ValueError):
+            MinifloatFormat(name="bad", exponent_bits=1, mantissa_bits=3)
+        with pytest.raises(ValueError):
+            MinifloatFormat(name="bad", exponent_bits=4, mantissa_bits=0)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("fmt", [E4M3, E5M2, BFLOAT16], ids=lambda f: f.name)
+    def test_exact_values_round_trip(self, fmt):
+        for value in (0.0, 1.0, -1.0, 2.0, 0.5, -0.25, fmt.min_normal, fmt.max_finite):
+            assert fmt.round_trip(value) == pytest.approx(value)
+
+    @pytest.mark.parametrize("fmt", [E4M3, E5M2, BFLOAT16], ids=lambda f: f.name)
+    def test_all_codes_round_trip(self, fmt):
+        """Every finite representable value must encode back to its own code."""
+        if fmt.num_codes > 4096:
+            pytest.skip("exhaustive sweep only for 8-bit formats")
+        for code in range(fmt.num_codes):
+            value = fmt.decode_code(code)
+            if not np.isfinite(value):
+                continue
+            recoded = int(fmt.encode(value))
+            assert fmt.decode_code(recoded) == pytest.approx(value), hex(code)
+
+    def test_overflow_saturates_to_max_finite(self):
+        assert float(E4M3.decode(E4M3.encode(1e6))) == pytest.approx(E4M3.max_finite)
+        assert float(E4M3.decode(E4M3.encode(-1e6))) == pytest.approx(-E4M3.max_finite)
+
+    def test_e5m2_infinity_encodes_to_infinity(self):
+        assert np.isinf(float(E5M2.decode(E5M2.encode(np.inf))))
+
+    def test_nan_round_trips_as_nan(self):
+        for fmt in (E4M3, E5M2):
+            assert np.isnan(float(fmt.decode(fmt.encode(np.nan))))
+
+    def test_subnormals_represented(self):
+        tiny = E4M3.min_subnormal
+        assert float(E4M3.round_trip(tiny)) == pytest.approx(tiny)
+        assert float(E4M3.round_trip(tiny / 4)) in (0.0, pytest.approx(tiny))
+
+    def test_negative_zero_sign(self):
+        code = int(E5M2.encode(-0.0))
+        assert code >> 7 == 1
+        assert float(E5M2.decode(code)) == 0.0
+
+    def test_rounding_to_nearest(self):
+        # With 3 mantissa bits the spacing around 1.0 is 1/8; 1.06 rounds to
+        # 1.0 and 1.07 rounds to 1.125.
+        assert float(E4M3.round_trip(1.06)) == pytest.approx(1.0)
+        assert float(E4M3.round_trip(1.07)) == pytest.approx(1.125)
+
+    def test_array_shape_preserved(self):
+        values = np.linspace(-3, 3, 12).reshape(3, 4)
+        assert E4M3.round_trip(values).shape == (3, 4)
+
+    def test_all_values_monotone_in_positive_codes(self):
+        values = E4M3.all_values()
+        positives = [v for c, v in enumerate(values) if c < 0x7E and np.isfinite(v)]
+        assert all(a < b for a, b in zip(positives, positives[1:]))
+
+
+class TestMinifloatProperties:
+    @given(value=st.floats(min_value=-400.0, max_value=400.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_e4m3_error_bounded_by_half_spacing(self, value):
+        stored = float(E4M3.round_trip(value))
+        if value == 0.0:
+            assert stored == 0.0
+            return
+        # The representable spacing near |value| is at most eps * 2^(exp+1).
+        exponent = max(np.floor(np.log2(abs(value))), 1 - E4M3.bias)
+        spacing = E4M3.epsilon * 2.0 ** (exponent + 1)
+        assert abs(stored - value) <= spacing
+
+    @given(value=st.floats(min_value=-5e4, max_value=5e4, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_idempotent(self, value):
+        for fmt in (E4M3, E5M2, BFLOAT16):
+            once = float(fmt.round_trip(value))
+            twice = float(fmt.round_trip(once))
+            assert twice == pytest.approx(once, nan_ok=True)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), min_size=1, max_size=32
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_error_matches_round_trip(self, values):
+        arr = np.asarray(values)
+        errors = E5M2.quantization_error(arr)
+        direct = np.abs(E5M2.round_trip(arr) - arr)
+        np.testing.assert_allclose(errors, direct)
+
+    @given(value=st.floats(min_value=0.001, max_value=400.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_sign_symmetry(self, value):
+        positive = float(E4M3.round_trip(value))
+        negative = float(E4M3.round_trip(-value))
+        assert negative == pytest.approx(-positive)

@@ -1,0 +1,145 @@
+"""Tests of the transformer inference engine and its HAAN hooks."""
+
+import numpy as np
+import pytest
+
+from repro.llm.config import available_models, get_model_config
+from repro.llm.hooks import ActivationContext
+from repro.llm.model import TransformerModel
+from repro.llm.normalization import LayerNorm
+
+
+class TestConfigRegistry:
+    def test_paper_models_registered(self):
+        for name in ("llama-7b", "opt-2.7b", "gpt2-1.5b", "gpt2-355m", "gpt2-117m"):
+            assert name in available_models()
+
+    def test_norm_layer_counts_match_paper(self):
+        # Figure 2 profiles 64 normalization layers for LLaMA-7B, Section
+        # V-B quotes 65 ISD operations for OPT-2.7B.
+        assert get_model_config("llama-7b").num_norm_layers == 64
+        assert get_model_config("opt-2.7b").num_norm_layers == 65
+        assert get_model_config("gpt2-1.5b").num_norm_layers == 97
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            get_model_config("gpt5")
+
+    def test_overrides(self):
+        config = get_model_config("tiny", sim_hidden_size=32)
+        assert config.sim_hidden_size == 32
+
+    def test_subsample_mapping_caps_at_sim_width(self):
+        config = get_model_config("llama-7b")
+        assert config.scale_subsample_length(256) == min(256, config.sim_hidden_size)
+        assert config.scale_subsample_length(10_000) == config.sim_hidden_size
+        with pytest.raises(ValueError):
+            config.scale_subsample_length(0)
+
+
+class TestForward:
+    def test_logits_shape(self, tiny_model, small_token_batch):
+        logits = tiny_model.forward(small_token_batch)
+        assert logits.shape == (4, 20, tiny_model.config.vocab_size)
+
+    def test_forward_is_deterministic(self, tiny_model, small_token_batch):
+        a = tiny_model.forward(small_token_batch)
+        b = tiny_model.forward(small_token_batch)
+        np.testing.assert_array_equal(a, b)
+
+    def test_log_probs_normalized(self, tiny_model, small_token_batch):
+        logp = tiny_model.log_probs(small_token_batch[:1])
+        np.testing.assert_allclose(np.exp(logp).sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_1d_input_promoted_to_batch(self, tiny_model):
+        logits = tiny_model.forward(np.arange(3, 13))
+        assert logits.shape[0] == 1
+
+    def test_too_long_sequence_rejected(self, tiny_model):
+        too_long = np.zeros(tiny_model.config.max_seq_len + 1, dtype=int) + 3
+        with pytest.raises(ValueError):
+            tiny_model.forward(too_long)
+
+    def test_norm_layer_count_matches_config(self, tiny_model):
+        assert tiny_model.num_norm_layers == tiny_model.config.num_norm_layers
+
+    def test_residual_stream_variance_grows_with_depth(self, tiny_model, small_token_batch):
+        """The substrate must show the ISD-decay phenomenon HAAN relies on."""
+        context = ActivationContext(record_statistics=True)
+        tiny_model.forward_hidden(small_token_batch, context)
+        isd_first = np.mean(context.records[0].isd)
+        isd_last = np.mean(context.records[-2].isd)
+        assert isd_last < isd_first
+
+
+class TestScoring:
+    def test_sequence_log_likelihood_negative(self, tiny_model):
+        ids = list(range(3, 15))
+        assert tiny_model.sequence_log_likelihood(ids) < 0
+
+    def test_continuation_scoring_consistency(self, tiny_model):
+        prefix = [1, 5, 9, 13]
+        continuation = [20, 21, 22]
+        joint = tiny_model.continuation_log_likelihood(prefix, continuation)
+        per_token = tiny_model.continuation_log_likelihood(prefix, continuation, normalize_by_length=True)
+        assert joint == pytest.approx(per_token * len(continuation))
+
+    def test_batched_scoring_matches_sequential(self, tiny_model):
+        prefix = [1, 4, 7, 10, 13]
+        continuations = [[20, 25, 30], [41, 42], [55, 56, 57, 58]]
+        batched = tiny_model.score_continuations(prefix, continuations, normalize_by_length=True)
+        sequential = [
+            tiny_model.continuation_log_likelihood(prefix, c, normalize_by_length=True)
+            for c in continuations
+        ]
+        np.testing.assert_allclose(batched, sequential, atol=1e-9)
+
+    def test_empty_continuation_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.score_continuations([1, 2], [[]])
+
+    def test_short_sequence_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.sequence_log_likelihood([5])
+
+
+class TestNormLayerReplacement:
+    def test_replace_and_restore(self):
+        model = TransformerModel.from_name("tiny")
+        original = model.norm_layer(1)
+        replacement = LayerNorm(
+            hidden_size=original.hidden_size,
+            gamma=original.gamma,
+            beta=original.beta,
+        )
+        model.replace_norm_layer(1, replacement)
+        assert model.norm_layer(1) is replacement
+        assert model.blocks[0].mlp_norm is replacement
+        assert replacement.layer_index == 1
+
+    def test_final_norm_replacement(self):
+        model = TransformerModel.from_name("tiny")
+        last = model.num_norm_layers - 1
+        replacement = LayerNorm(hidden_size=model.config.sim_hidden_size)
+        model.replace_norm_layer(last, replacement)
+        assert model.final_norm is replacement
+
+    def test_out_of_range_index_rejected(self, tiny_model):
+        with pytest.raises(IndexError):
+            tiny_model.replace_norm_layer(999, LayerNorm(hidden_size=64))
+
+    def test_hidden_size_mismatch_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.replace_norm_layer(0, LayerNorm(hidden_size=8))
+
+
+class TestStatisticsCollection:
+    def test_collect_statistics_shape(self, tiny_model, small_token_batch):
+        trace = tiny_model.collect_statistics([small_token_batch])
+        matrix = trace.isd_matrix()
+        assert matrix.shape == (small_token_batch.size, tiny_model.num_norm_layers)
+        assert np.all(matrix > 0)
+
+    def test_encode_texts(self, tiny_model):
+        ids = tiny_model.encode_texts(["hello world", "another document"], max_len=8)
+        assert ids.shape == (2, 8)

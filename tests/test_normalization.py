@@ -1,0 +1,109 @@
+"""Tests of the reference LayerNorm / RMSNorm layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.config import NormKind
+from repro.llm.hooks import ActivationContext
+from repro.llm.normalization import LayerNorm, RMSNorm, make_norm
+
+
+class TestLayerNorm:
+    def test_output_has_zero_mean_unit_variance(self, rng):
+        norm = LayerNorm(hidden_size=64)
+        x = rng.normal(3.0, 5.0, size=(10, 64))
+        out = norm(x)
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+    def test_affine_transform_applied(self, rng):
+        gamma = np.full(16, 2.0)
+        beta = np.full(16, 1.0)
+        norm = LayerNorm(hidden_size=16, gamma=gamma, beta=beta)
+        x = rng.normal(size=(4, 16))
+        plain = LayerNorm(hidden_size=16)(x)
+        np.testing.assert_allclose(norm(x), plain * 2.0 + 1.0, atol=1e-9)
+
+    def test_matches_manual_formula(self, rng):
+        norm = LayerNorm(hidden_size=8)
+        x = rng.normal(size=(3, 8))
+        expected = (x - x.mean(axis=1, keepdims=True)) / np.sqrt(x.var(axis=1, keepdims=True) + norm.eps)
+        np.testing.assert_allclose(norm(x), expected, atol=1e-9)
+
+    def test_preserves_input_shape_3d(self, rng):
+        norm = LayerNorm(hidden_size=8)
+        x = rng.normal(size=(2, 5, 8))
+        assert norm(x).shape == (2, 5, 8)
+
+    def test_wrong_last_dim_rejected(self, rng):
+        norm = LayerNorm(hidden_size=8)
+        with pytest.raises(ValueError):
+            norm(rng.normal(size=(3, 9)))
+
+    def test_wrong_affine_shape_rejected(self):
+        with pytest.raises(ValueError):
+            LayerNorm(hidden_size=8, gamma=np.ones(4))
+
+    def test_records_statistics_in_context(self, rng):
+        norm = LayerNorm(hidden_size=8, layer_index=3, name="block1.mlp_norm")
+        context = ActivationContext(record_statistics=True)
+        norm(rng.normal(size=(2, 4, 8)), context)
+        assert len(context.records) == 1
+        record = context.records[0]
+        assert record.layer_index == 3
+        assert record.isd.shape == (8,)
+        assert context.isd_of(3) is not None
+
+    def test_invariant_to_input_shift(self, rng):
+        norm = LayerNorm(hidden_size=32)
+        x = rng.normal(size=(5, 32))
+        np.testing.assert_allclose(norm(x), norm(x + 100.0), atol=1e-6)
+
+    @given(st.floats(min_value=0.5, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariance_of_normalized_output(self, scale):
+        # Up to the epsilon term, LayerNorm output is invariant to scaling.
+        rng = np.random.default_rng(0)
+        norm = LayerNorm(hidden_size=32)
+        x = rng.normal(size=(3, 32))
+        np.testing.assert_allclose(norm(x), norm(x * scale), atol=5e-3)
+
+
+class TestRMSNorm:
+    def test_output_rms_is_one(self, rng):
+        norm = RMSNorm(hidden_size=64)
+        x = rng.normal(2.0, 4.0, size=(6, 64))
+        out = norm(x)
+        rms = np.sqrt(np.mean(out**2, axis=1))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-2)
+
+    def test_does_not_recenter(self, rng):
+        norm = RMSNorm(hidden_size=32)
+        x = np.abs(rng.normal(size=(4, 32))) + 1.0
+        out = norm(x)
+        assert np.all(out.mean(axis=1) > 0.5)
+
+    def test_matches_manual_formula(self, rng):
+        norm = RMSNorm(hidden_size=8)
+        x = rng.normal(size=(3, 8))
+        expected = x / np.sqrt(np.mean(x**2, axis=1, keepdims=True) + norm.eps)
+        np.testing.assert_allclose(norm(x), expected, atol=1e-9)
+
+    def test_statistics_mean_is_zero(self, rng):
+        norm = RMSNorm(hidden_size=8)
+        mean, isd = norm.compute_statistics(rng.normal(size=(5, 8)))
+        np.testing.assert_array_equal(mean, np.zeros(5))
+        assert np.all(isd > 0)
+
+
+class TestFactory:
+    def test_make_norm_dispatch(self):
+        assert isinstance(make_norm(NormKind.LAYERNORM, 8, 0, "a"), LayerNorm)
+        assert isinstance(make_norm(NormKind.RMSNORM, 8, 0, "a"), RMSNorm)
+
+    def test_factory_sets_metadata(self):
+        norm = make_norm(NormKind.LAYERNORM, 8, 5, "block2.attn_norm")
+        assert norm.layer_index == 5
+        assert norm.name == "block2.attn_norm"

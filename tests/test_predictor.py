@@ -1,0 +1,64 @@
+"""Tests of the log-linear ISD predictor (equation (3))."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import IsdPredictor
+from repro.core.skipping import SkipSearchResult
+from repro.llm.hooks import ActivationContext
+
+
+@pytest.fixture()
+def predictor():
+    return IsdPredictor(anchor_layer=10, last_layer=16, decay=-0.1, anchor_log_isd=np.log(0.5))
+
+
+class TestPredictor:
+    def test_covers_only_the_skip_interval(self, predictor):
+        assert not predictor.covers(10)  # the anchor itself is computed
+        assert predictor.covers(11)
+        assert predictor.covers(16)
+        assert not predictor.covers(17)
+
+    def test_prediction_follows_log_linear_law(self, predictor):
+        anchor = np.array([0.5, 1.0, 2.0])
+        predicted = predictor.predict_from_anchor(anchor, 12)
+        np.testing.assert_allclose(predicted, anchor * np.exp(-0.1 * 2))
+
+    def test_prediction_outside_range_rejected(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.predict_from_anchor(np.ones(2), 20)
+        with pytest.raises(ValueError):
+            predictor.predict_scalar(9)
+
+    def test_scalar_fallback_uses_calibration_anchor(self, predictor):
+        value = predictor.predict_scalar(11)
+        assert value == pytest.approx(0.5 * np.exp(-0.1))
+
+    def test_context_prediction_uses_stored_anchor(self, predictor):
+        context = ActivationContext()
+        context.store_isd(10, np.array([2.0, 4.0]))
+        predicted = predictor.predict_from_context(context, 12, num_rows=2)
+        np.testing.assert_allclose(predicted, np.array([2.0, 4.0]) * np.exp(-0.2))
+
+    def test_context_prediction_falls_back_without_anchor(self, predictor):
+        predicted = predictor.predict_from_context(None, 11, num_rows=3)
+        assert predicted.shape == (3,)
+        np.testing.assert_allclose(predicted, predictor.predict_scalar(11))
+
+    def test_context_prediction_falls_back_on_row_mismatch(self, predictor):
+        context = ActivationContext()
+        context.store_isd(10, np.array([2.0]))
+        predicted = predictor.predict_from_context(context, 11, num_rows=3)
+        assert predicted.shape == (3,)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            IsdPredictor(anchor_layer=5, last_layer=3, decay=0.0, anchor_log_isd=0.0)
+
+    def test_from_search_result(self):
+        result = SkipSearchResult(skip_range=(4, 9), correlation=-0.99, decay=-0.2, anchor_log_isd=1.0)
+        predictor = IsdPredictor.from_search_result(result)
+        assert predictor.skip_range == (4, 9)
+        assert predictor.decay == -0.2
+        assert predictor.covers(5)

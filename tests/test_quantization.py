@@ -1,0 +1,101 @@
+"""Tests of the INT8 / FP16 / FP32 quantization paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.quantization import (
+    DataFormat,
+    QuantizationConfig,
+    Quantizer,
+    dequantize_tensor,
+    quantize_tensor,
+    storage_round_trip,
+)
+
+
+class TestDataFormat:
+    def test_parse_names(self):
+        assert DataFormat.from_string("int8") is DataFormat.INT8
+        assert DataFormat.from_string("Half") is DataFormat.FP16
+        assert DataFormat.from_string("FLOAT32") is DataFormat.FP32
+        with pytest.raises(ValueError):
+            DataFormat.from_string("int4")
+
+    def test_bit_widths(self):
+        assert DataFormat.INT8.bits == 8
+        assert DataFormat.FP16.bytes == 2
+        assert DataFormat.FP32.bytes == 4
+
+    def test_only_int8_is_fixed_point(self):
+        assert DataFormat.INT8.is_fixed_point
+        assert not DataFormat.FP16.is_fixed_point
+
+
+class TestQuantizer:
+    def test_int8_roundtrip_error_bounded(self, rng):
+        values = rng.normal(0, 3, size=500)
+        quantizer = Quantizer(QuantizationConfig(DataFormat.INT8))
+        recovered = quantizer.round_trip(values)
+        max_abs = np.max(np.abs(values))
+        assert np.max(np.abs(recovered - values)) <= max_abs / 127 + 1e-12
+
+    def test_int8_codes_in_range(self, rng):
+        values = rng.normal(0, 10, size=200)
+        q = quantize_tensor(values, DataFormat.INT8)
+        assert q.codes.dtype == np.int8
+        assert np.all(np.abs(q.codes.astype(int)) <= 127)
+
+    def test_fp16_roundtrip(self):
+        values = np.array([1.0, -2.5, 1000.0])
+        quantizer = Quantizer(QuantizationConfig(DataFormat.FP16))
+        np.testing.assert_allclose(quantizer.round_trip(values), values, rtol=1e-3)
+
+    def test_fp32_roundtrip_is_nearly_exact(self, rng):
+        values = rng.normal(size=100)
+        quantizer = Quantizer(QuantizationConfig(DataFormat.FP32))
+        np.testing.assert_allclose(quantizer.round_trip(values), values, rtol=1e-6)
+
+    def test_zero_tensor_safe(self):
+        quantizer = Quantizer(QuantizationConfig(DataFormat.INT8))
+        np.testing.assert_array_equal(quantizer.round_trip(np.zeros(8)), np.zeros(8))
+
+    def test_percentile_clipping(self, rng):
+        values = np.concatenate([rng.normal(size=1000), [1000.0]])
+        clipped = Quantizer(QuantizationConfig(DataFormat.INT8, percentile=99.0))
+        unclipped = Quantizer(QuantizationConfig(DataFormat.INT8, percentile=100.0))
+        assert clipped.calibrate_scale(values) < unclipped.calibrate_scale(values)
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizationConfig(percentile=0.0)
+
+    def test_quantization_error_metrics(self, rng):
+        values = rng.normal(size=256)
+        max_err, rms = Quantizer(QuantizationConfig(DataFormat.INT8)).quantization_error(values)
+        assert 0 <= rms <= max_err
+
+    def test_dequantize_tensor_helper(self, rng):
+        values = rng.normal(size=64)
+        q = quantize_tensor(values, DataFormat.INT8)
+        np.testing.assert_allclose(dequantize_tensor(q), values, atol=q.scale)
+
+    def test_storage_roundtrip_formats(self):
+        values = np.array([0.1, -0.2, 0.3])
+        for fmt in DataFormat:
+            out = storage_round_trip(values, fmt)
+            assert out.shape == values.shape
+
+    def test_nbytes(self):
+        q = quantize_tensor(np.zeros(10), DataFormat.INT8)
+        assert q.nbytes == 10
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_int8_error_within_half_step(self, values):
+        arr = np.asarray(values)
+        quantizer = Quantizer(QuantizationConfig(DataFormat.INT8))
+        scale = quantizer.calibrate_scale(arr)
+        recovered = quantizer.round_trip(arr)
+        assert np.max(np.abs(recovered - arr)) <= scale / 2 + 1e-9

@@ -1,0 +1,103 @@
+"""Tests for the markdown reproduction-report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import ExperimentResult, available_experiments
+from repro.eval.reports import (
+    PAPER_CLAIMS,
+    ReportSection,
+    ReproductionReport,
+    build_report,
+    compare_against_claims,
+)
+
+
+def fake_result(experiment_id: str = "fig2", title: str = "ISD profile") -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["layer", "mean log ISD"],
+        rows=[[0, -0.1], [1, -0.2]],
+    )
+
+
+class TestReportSection:
+    def test_markdown_contains_title_and_table(self):
+        section = ReportSection(
+            experiment_id="fig2",
+            title="fig2 — ISD profile",
+            measured="layer 0: -0.1",
+            paper_claim="ISD decays with depth.",
+            notes="synthetic substrate",
+        )
+        text = section.to_markdown()
+        assert "## fig2 — ISD profile" in text
+        assert "**Paper:**" in text
+        assert "layer 0: -0.1" in text
+        assert "*Notes:*" in text
+
+    def test_markdown_without_claim_or_notes(self):
+        section = ReportSection(experiment_id="x", title="x", measured="data")
+        text = section.to_markdown()
+        assert "**Paper:**" not in text
+        assert "*Notes:*" not in text
+
+
+class TestReproductionReport:
+    def test_add_experiment_uses_known_claim(self):
+        report = ReproductionReport()
+        section = report.add_experiment(fake_result("fig2"))
+        assert section.paper_claim == PAPER_CLAIMS["fig2"]
+        assert report.experiment_ids == ["fig2"]
+
+    def test_add_experiment_with_custom_claim(self):
+        report = ReproductionReport()
+        section = report.add_experiment(fake_result("fig2"), paper_claim="custom")
+        assert section.paper_claim == "custom"
+
+    def test_to_markdown_structure(self):
+        report = ReproductionReport(title="My run")
+        report.add_experiment(fake_result("fig2"))
+        report.add_experiment(fake_result("table3", title="hardware cost"))
+        text = report.to_markdown()
+        assert text.startswith("# My run")
+        assert "## Contents" in text
+        assert text.index("fig2") < text.index("table3")
+
+    def test_write_creates_file(self, tmp_path):
+        report = ReproductionReport()
+        report.add_experiment(fake_result())
+        path = report.write(tmp_path / "report.md")
+        assert path.exists()
+        assert "# HAAN reproduction report" in path.read_text()
+
+    def test_compare_against_claims(self):
+        report = ReproductionReport()
+        report.add_experiment(fake_result("fig2"))
+        coverage = compare_against_claims(report)
+        assert coverage["fig2"] is True
+        assert coverage["table1"] is False
+
+    def test_paper_claims_match_registry_ids(self):
+        registered = set(available_experiments())
+        assert set(PAPER_CLAIMS) <= registered
+
+
+class TestBuildReport:
+    def test_build_report_runs_cheap_experiments(self):
+        report = build_report(["fig1b", "table3", "fig8a"])
+        assert report.experiment_ids == ["fig1b", "table3", "fig8a"]
+        text = report.to_markdown()
+        for experiment_id in ("fig1b", "table3", "fig8a"):
+            assert experiment_id in text
+
+    def test_build_report_forwards_kwargs(self):
+        report = build_report(["fig8b"], experiment_kwargs={"fig8b": {"seq_lens": (128,)}})
+        section = report.sections[0]
+        assert "128" in section.measured
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            build_report(["not-an-experiment"])

@@ -1,0 +1,229 @@
+"""Tests for rounding modes, LUT approximations and error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.error_analysis import (
+    ErrorSummary,
+    max_ulp_error,
+    signal_to_quantization_noise_db,
+    summarize_error,
+    ulp_distance,
+)
+from repro.numerics.fixedpoint import FixedPointFormat
+from repro.numerics.lut import (
+    PiecewiseLinearLUT,
+    exp_lut,
+    gelu_lut,
+    inv_sqrt_lut,
+    segments_for_tolerance,
+)
+from repro.numerics.rounding import (
+    RoundingMode,
+    expected_stochastic_value,
+    hardware_cost_rank,
+    round_to_grid,
+    rounding_bias,
+)
+
+FMT = FixedPointFormat(integer_bits=8, fraction_bits=8)
+
+
+class TestRoundingModes:
+    def test_mode_lookup(self):
+        assert RoundingMode.from_string("nearest-even") is RoundingMode.NEAREST_EVEN
+        assert RoundingMode.from_string("STOCHASTIC") is RoundingMode.STOCHASTIC
+        with pytest.raises(ValueError):
+            RoundingMode.from_string("round-up")
+
+    def test_nearest_even_matches_format_quantize(self, rng):
+        values = rng.normal(0, 10, size=100)
+        rounded = round_to_grid(values, FMT, RoundingMode.NEAREST_EVEN)
+        np.testing.assert_allclose(rounded, FMT.quantize(values))
+
+    def test_truncate_never_rounds_up(self, rng):
+        values = rng.normal(0, 10, size=200)
+        rounded = round_to_grid(values, FMT, RoundingMode.TRUNCATE)
+        assert np.all(rounded <= values + 1e-12)
+
+    def test_toward_zero_shrinks_magnitude(self, rng):
+        values = rng.normal(0, 10, size=200)
+        rounded = round_to_grid(values, FMT, RoundingMode.TOWARD_ZERO)
+        assert np.all(np.abs(rounded) <= np.abs(values) + 1e-12)
+
+    def test_saturation_applies_to_all_modes(self):
+        for mode in RoundingMode:
+            out = round_to_grid([1e6, -1e6], FMT, mode, rng=np.random.default_rng(0))
+            assert out[0] == pytest.approx(FMT.max_value)
+            assert out[1] == pytest.approx(FMT.min_value)
+
+    def test_stochastic_rounding_is_unbiased(self):
+        value = 0.3 + FMT.scale * 0.37  # deliberately off-grid
+        mean = expected_stochastic_value(value, FMT, samples=20000, seed=1)
+        assert mean == pytest.approx(value, abs=FMT.scale * 0.05)
+
+    def test_stochastic_reproducible_with_rng(self):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        values = np.linspace(-1, 1, 50) + 0.001
+        out_a = round_to_grid(values, FMT, RoundingMode.STOCHASTIC, rng=rng_a)
+        out_b = round_to_grid(values, FMT, RoundingMode.STOCHASTIC, rng=rng_b)
+        np.testing.assert_array_equal(out_a, out_b)
+
+    def test_truncation_bias_is_negative(self, rng):
+        values = rng.uniform(0, 1, size=500) + FMT.scale / 3
+        assert rounding_bias(values, FMT, RoundingMode.TRUNCATE) < 0
+
+    def test_hardware_cost_ordering(self):
+        assert hardware_cost_rank(RoundingMode.TRUNCATE) < hardware_cost_rank(
+            RoundingMode.NEAREST_EVEN
+        )
+        assert hardware_cost_rank(RoundingMode.NEAREST_EVEN) < hardware_cost_rank(
+            RoundingMode.STOCHASTIC
+        )
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), min_size=1, max_size=32
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_modes_land_on_grid(self, values):
+        for mode in RoundingMode:
+            out = round_to_grid(values, FMT, mode, rng=np.random.default_rng(0))
+            codes = out / FMT.scale
+            np.testing.assert_allclose(codes, np.rint(codes), atol=1e-9)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), min_size=1, max_size=32
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rounding_error_bounded_by_one_lsb(self, values):
+        for mode in RoundingMode:
+            out = round_to_grid(values, FMT, mode, rng=np.random.default_rng(0))
+            assert np.all(np.abs(out - np.asarray(values)) <= FMT.scale + 1e-12)
+
+
+class TestPiecewiseLinearLUT:
+    def test_exact_at_segment_edges(self):
+        lut = inv_sqrt_lut(num_segments=16, x_min=0.5, x_max=8.0)
+        edges = np.linspace(0.5, 8.0, 17)
+        np.testing.assert_allclose(lut.evaluate(edges[:-1]), 1 / np.sqrt(edges[:-1]), rtol=1e-12)
+
+    def test_error_decreases_with_more_segments(self):
+        coarse = inv_sqrt_lut(num_segments=8)
+        fine = inv_sqrt_lut(num_segments=128)
+        assert fine.max_relative_error() < coarse.max_relative_error()
+
+    def test_out_of_range_clamps_to_boundary_segment(self):
+        lut = inv_sqrt_lut(num_segments=32, x_min=1.0, x_max=4.0)
+        below = float(lut.evaluate(0.5))
+        # Evaluated with the first segment's line, not garbage.
+        expected = lut.slopes[0] * 0.5 + lut.intercepts[0]
+        assert below == pytest.approx(expected)
+
+    def test_exp_lut_accuracy(self):
+        lut = exp_lut(num_segments=256)
+        xs = np.linspace(-10, 0, 500)
+        np.testing.assert_allclose(lut.evaluate(xs), np.exp(xs), atol=2e-3)
+
+    def test_gelu_lut_matches_tanh_gelu(self):
+        lut = gelu_lut(num_segments=512)
+        assert lut.max_absolute_error() < 1e-3
+
+    def test_segments_for_tolerance_monotone(self):
+        segments = segments_for_tolerance(lambda n: inv_sqrt_lut(num_segments=n), 0.01)
+        assert inv_sqrt_lut(num_segments=segments).max_relative_error() <= 0.01
+        assert inv_sqrt_lut(num_segments=max(2, segments // 2)).max_relative_error() > 0.01
+
+    def test_unreachable_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            segments_for_tolerance(lambda n: inv_sqrt_lut(num_segments=n), 1e-12, max_segments=8)
+
+    def test_table_bits_scale_with_segments(self):
+        assert inv_sqrt_lut(num_segments=64).table_bits == 2 * inv_sqrt_lut(num_segments=32).table_bits
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearLUT(np.exp, x_min=0.0, x_max=1.0, num_segments=0)
+        with pytest.raises(ValueError):
+            PiecewiseLinearLUT(np.exp, x_min=1.0, x_max=1.0, num_segments=4)
+
+    def test_lut_vs_fast_inv_sqrt_comparison(self):
+        """The HAAN bit hack beats a small LUT; a large LUT beats the bit hack."""
+        from repro.numerics.fast_inv_sqrt import relative_error
+
+        variances = np.linspace(0.25, 16.0, 200)
+        haan_error = float(np.max(relative_error(variances, newton_iterations=1)))
+        small_lut = inv_sqrt_lut(num_segments=8, x_min=0.25, x_max=16.0)
+        large_lut = inv_sqrt_lut(num_segments=2048, x_min=0.25, x_max=16.0)
+        assert haan_error < small_lut.max_relative_error()
+        assert large_lut.max_relative_error() < haan_error
+
+
+class TestErrorAnalysis:
+    def test_identical_arrays_have_infinite_sqnr(self):
+        values = np.linspace(-1, 1, 50)
+        assert signal_to_quantization_noise_db(values, values) == np.inf
+
+    def test_sqnr_decreases_with_noise(self, rng):
+        signal = rng.normal(0, 1, size=1000)
+        small = signal + rng.normal(0, 0.001, size=1000)
+        large = signal + rng.normal(0, 0.1, size=1000)
+        assert signal_to_quantization_noise_db(signal, small) > signal_to_quantization_noise_db(
+            signal, large
+        )
+
+    def test_sqnr_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            signal_to_quantization_noise_db([1.0, 2.0], [1.0])
+
+    def test_ulp_distance_zero_for_equal(self):
+        values = np.array([1.0, -2.5, 3e8])
+        assert max_ulp_error(values, values) == 0
+
+    def test_ulp_distance_one_for_adjacent_floats(self):
+        value = np.float32(1.0)
+        neighbour = np.nextafter(value, np.float32(2.0), dtype=np.float32)
+        assert max_ulp_error([float(value)], [float(neighbour)]) == 1
+
+    def test_ulp_distance_across_zero(self):
+        distances = ulp_distance([1e-38], [-1e-38])
+        assert distances[0] > 0
+
+    def test_summary_fields(self, rng):
+        reference = rng.normal(0, 1, size=200)
+        approx = reference + rng.normal(0, 0.01, size=200)
+        summary = summarize_error(reference, approx)
+        assert summary.max_absolute >= summary.mean_absolute
+        assert summary.max_relative >= summary.mean_relative
+        assert summary.sqnr_db > 20
+        assert len(summary.as_row()) == len(ErrorSummary.header())
+
+    def test_summary_within_tolerance(self):
+        summary = summarize_error([1.0, 2.0], [1.001, 2.002])
+        assert summary.within(0.01)
+        assert not summary.within(0.0001)
+
+    def test_summary_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_error([1.0, 2.0], [1.0])
+
+    @given(
+        scale=st.floats(min_value=1e-3, max_value=1e3),
+        noise=st.floats(min_value=0.0, max_value=0.1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sqnr_is_scale_invariant(self, scale, noise):
+        base = np.linspace(1.0, 2.0, 64)
+        perturbed = base * (1.0 + noise)
+        a = signal_to_quantization_noise_db(base, perturbed)
+        b = signal_to_quantization_noise_db(base * scale, perturbed * scale)
+        if np.isfinite(a) and np.isfinite(b):
+            assert a == pytest.approx(b, abs=1e-6)

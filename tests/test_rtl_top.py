@@ -1,0 +1,186 @@
+"""Top-level RTL row processor checked against the functional accelerator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.accelerator import HaanAccelerator
+from repro.hardware.configs import AcceleratorConfig
+from repro.hardware.rtl import HaanRowProcessorRtl
+from repro.hdl import Simulator
+from repro.numerics.quantization import DataFormat
+
+
+def make_processor(stats_width=8, norm_width=8, compute_mean=True):
+    dut = HaanRowProcessorRtl(
+        stats_width=stats_width, norm_width=norm_width, compute_mean=compute_mean
+    )
+    return dut, Simulator(dut)
+
+
+def process_row(dut, sim, row, gamma, beta, **kwargs):
+    dut.load_row(row, gamma, beta, **kwargs)
+    sim.run_until(lambda s: dut.finished, max_cycles=5000)
+    return dut.result
+
+
+def reference_layernorm(row, gamma, beta, eps=1e-5):
+    mean = row.mean()
+    isd = 1.0 / np.sqrt(row.var() + eps)
+    return gamma * (row - mean) * isd + beta
+
+
+def reference_rmsnorm(row, gamma, beta, eps=1e-5):
+    rms = np.sqrt(np.mean(row * row) + eps)
+    return gamma * row / rms + beta
+
+
+class TestHaanRowProcessorLayerNorm:
+    def test_matches_reference_layernorm(self, rng):
+        row = rng.normal(0.0, 1.0, size=64)
+        gamma = rng.normal(1.0, 0.05, size=64)
+        beta = rng.normal(0.0, 0.05, size=64)
+        dut, sim = make_processor()
+        result = process_row(dut, sim, row, gamma, beta)
+        np.testing.assert_allclose(result.output, reference_layernorm(row, gamma, beta), atol=2e-2)
+
+    def test_matches_functional_accelerator(self, rng):
+        row = rng.normal(0.0, 1.5, size=48)
+        gamma = np.ones(48)
+        beta = np.zeros(48)
+        config = AcceleratorConfig(
+            name="rtl-check", stats_width=8, norm_width=8, data_format=DataFormat.FP32
+        )
+        accel = HaanAccelerator(config)
+        golden = accel.normalize_rows(row[None, :], gamma, beta)
+        dut, sim = make_processor()
+        result = process_row(dut, sim, row, gamma, beta)
+        np.testing.assert_allclose(result.output, golden[0], atol=2e-2)
+
+    def test_reports_row_statistics(self, rng):
+        row = rng.normal(2.0, 0.7, size=32)
+        dut, sim = make_processor()
+        result = process_row(dut, sim, row, np.ones(32), np.zeros(32))
+        assert result.mean == pytest.approx(float(row.mean()), abs=5e-3)
+        assert result.isd == pytest.approx(1.0 / np.sqrt(row.var() + 1e-5), rel=1e-2)
+        assert not result.skipped
+
+    def test_subsampling_uses_prefix_statistics(self, rng):
+        row = np.concatenate([rng.normal(0.0, 1.0, size=16), rng.normal(0.0, 10.0, size=48)])
+        dut, sim = make_processor()
+        result = process_row(dut, sim, row, np.ones(64), np.zeros(64), subsample_length=16)
+        prefix = row[:16]
+        assert result.mean == pytest.approx(float(prefix.mean()), abs=5e-3)
+        assert result.isd == pytest.approx(1.0 / np.sqrt(prefix.var() + 1e-5), rel=1e-2)
+
+    def test_predicted_isd_bypasses_inverter(self, rng):
+        row = rng.normal(0.0, 1.0, size=32)
+        predicted = 0.9 / np.sqrt(row.var())
+        dut, sim = make_processor()
+        result = process_row(
+            dut, sim, row, np.ones(32), np.zeros(32), predicted_isd=float(predicted)
+        )
+        assert result.skipped
+        assert result.isd == pytest.approx(predicted, rel=1e-3)
+        expected = (row - row.mean()) * predicted
+        np.testing.assert_allclose(result.output, expected, atol=2e-2)
+
+    def test_skipped_row_is_faster(self, rng):
+        row = rng.normal(0.0, 1.0, size=64)
+        dut, sim = make_processor()
+        computed = process_row(dut, sim, row, np.ones(64), np.zeros(64))
+        skipped = process_row(
+            dut, sim, row, np.ones(64), np.zeros(64), predicted_isd=1.0
+        )
+        assert skipped.cycles < computed.cycles
+
+    def test_subsampled_row_is_faster(self, rng):
+        row = rng.normal(0.0, 1.0, size=128)
+        dut, sim = make_processor()
+        full = process_row(dut, sim, row, np.ones(128), np.zeros(128))
+        sub = process_row(dut, sim, row, np.ones(128), np.zeros(128), subsample_length=32)
+        assert sub.cycles < full.cycles
+
+    def test_back_to_back_rows(self, rng):
+        dut, sim = make_processor()
+        for _ in range(3):
+            row = rng.normal(0.0, 1.0, size=32)
+            result = process_row(dut, sim, row, np.ones(32), np.zeros(32))
+            np.testing.assert_allclose(
+                result.output, reference_layernorm(row, np.ones(32), np.zeros(32)), atol=2e-2
+            )
+
+    def test_cycle_count_tracks_row_length(self, rng):
+        dut, sim = make_processor()
+        short = process_row(dut, sim, rng.normal(size=32), np.ones(32), np.zeros(32))
+        dut2, sim2 = make_processor()
+        long = process_row(dut2, sim2, rng.normal(size=128), np.ones(128), np.zeros(128))
+        assert long.cycles > short.cycles
+
+    def test_cycle_count_close_to_analytical_beats(self, rng):
+        stats_width, norm_width = 8, 8
+        length = 64
+        dut, sim = make_processor(stats_width=stats_width, norm_width=norm_width)
+        result = process_row(dut, sim, rng.normal(size=length), np.ones(length), np.zeros(length))
+        stats_beats = int(np.ceil(length / stats_width))
+        norm_beats = int(np.ceil(length / norm_width))
+        lower_bound = stats_beats + norm_beats
+        upper_bound = stats_beats + norm_beats + 25
+        assert lower_bound <= result.cycles <= upper_bound
+
+    def test_result_unavailable_before_finish(self, rng):
+        dut, _ = make_processor()
+        dut.load_row(rng.normal(size=16), np.ones(16), np.zeros(16))
+        with pytest.raises(RuntimeError):
+            _ = dut.result
+
+    def test_mismatched_affine_length_rejected(self, rng):
+        dut, _ = make_processor()
+        with pytest.raises(ValueError):
+            dut.load_row(rng.normal(size=16), np.ones(8), np.zeros(16))
+
+
+class TestHaanRowProcessorRmsNorm:
+    def test_matches_reference_rmsnorm(self, rng):
+        row = rng.normal(0.0, 1.2, size=64)
+        gamma = rng.normal(1.0, 0.05, size=64)
+        beta = np.zeros(64)
+        dut, sim = make_processor(compute_mean=False)
+        result = process_row(dut, sim, row, gamma, beta)
+        np.testing.assert_allclose(result.output, reference_rmsnorm(row, gamma, beta), atol=2e-2)
+
+    def test_rms_skip_bypasses_statistics_entirely(self, rng):
+        row = rng.normal(0.0, 1.0, size=64)
+        isd = float(1.0 / np.sqrt(np.mean(row * row)))
+        dut, sim = make_processor(compute_mean=False)
+        skipped = process_row(dut, sim, row, np.ones(64), np.zeros(64), predicted_isd=isd)
+        computed = process_row(dut, sim, row, np.ones(64), np.zeros(64))
+        # With prediction the statistics pass disappears completely, so the
+        # skipped row needs far fewer cycles than the computed one.
+        assert skipped.cycles < computed.cycles - 5
+        np.testing.assert_allclose(skipped.output, computed.output, atol=3e-2)
+
+    def test_rms_mean_is_zero(self, rng):
+        row = rng.normal(3.0, 0.5, size=32)
+        dut, sim = make_processor(compute_mean=False)
+        result = process_row(dut, sim, row, np.ones(32), np.zeros(32))
+        assert result.mean == 0.0
+
+
+class TestRowProcessorWaveform:
+    def test_vcd_dump_of_one_row(self, rng, tmp_path):
+        from repro.hdl import VcdWriter
+
+        dut = HaanRowProcessorRtl(stats_width=4, norm_width=4)
+        vcd_path = tmp_path / "haan_row.vcd"
+        writer = VcdWriter(vcd_path)
+        writer.declare_signals(dut.hierarchical_signals())
+        sim = Simulator(dut, vcd=writer)
+        dut.load_row(rng.normal(size=16), np.ones(16), np.zeros(16))
+        sim.run_until(lambda s: dut.finished, max_cycles=2000)
+        sim.finalize()
+        text = vcd_path.read_text()
+        assert "$enddefinitions" in text
+        assert "haan_row" in text
+        assert text.count("#") > 10

@@ -1,0 +1,470 @@
+"""RTL datapath units checked against their functional golden models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.rtl import (
+    AccumulatorRtl,
+    AdderTreeRtl,
+    Fp2FxRtl,
+    Fx2FpRtl,
+    InvSqrtRtl,
+    NormUnitRtl,
+    StatsCalculatorRtl,
+)
+from repro.hardware.units.adder_tree import AdderTree
+from repro.hardware.units.sqrt_inverter import SquareRootInverter
+from repro.hdl import Module, Monitor, Simulator, StreamDriver, Wire
+from repro.numerics.fixedpoint import FixedPointFormat
+from repro.numerics.floating import FP32, to_bits
+
+STATS_FMT = FixedPointFormat.statistics()
+
+
+def run_beats(dut_factory, beats, monitor_signals, cycles_extra=20):
+    """Build a tiny testbench: drive beats into the DUT, monitor outputs."""
+    top = Module("tb")
+    dut = dut_factory()
+    top.dut = dut
+    top.driver = StreamDriver("driver", dut.in_codes if hasattr(dut, "in_codes") else dut.in_lanes,
+                              dut.in_valid, beats)
+    monitors = {}
+    for name, (data, qualifier) in monitor_signals(dut).items():
+        monitor = Monitor(f"mon_{name}", data, qualifier)
+        setattr(top, f"mon_{name}", monitor)
+        monitors[name] = monitor
+    sim = Simulator(top)
+    sim.run(len(beats) + cycles_extra)
+    return dut, monitors
+
+
+class TestAdderTreeRtl:
+    def test_structure_matches_functional_tree(self):
+        for width in (1, 2, 3, 4, 7, 16, 64):
+            rtl = AdderTreeRtl("tree", width=width)
+            functional = AdderTree(width)
+            assert rtl.depth == functional.depth
+
+    def test_single_beat_sum(self):
+        beats = [list(range(1, 9))]
+        dut, monitors = run_beats(
+            lambda: AdderTreeRtl("tree", width=8),
+            beats,
+            lambda d: {"sum": (d.out_sum, d.out_valid)},
+        )
+        assert monitors["sum"].scalar_samples() == [sum(range(1, 9))]
+
+    def test_streamed_beats_emerge_in_order(self):
+        beats = [[1, 2, 3, 4], [10, 20, 30, 40], [-5, 5, -5, 5]]
+        dut, monitors = run_beats(
+            lambda: AdderTreeRtl("tree", width=4),
+            beats,
+            lambda d: {"sum": (d.out_sum, d.out_valid)},
+        )
+        assert monitors["sum"].scalar_samples() == [10, 100, 0]
+
+    def test_latency_equals_depth(self):
+        dut = AdderTreeRtl("tree", width=8)
+        top = Module("tb")
+        top.dut = dut
+        top.driver = StreamDriver("driver", dut.in_lanes, dut.in_valid, [[1] * 8])
+        top.monitor = Monitor("monitor", dut.out_sum, dut.out_valid)
+        sim = Simulator(top)
+        sim.run(dut.depth + 3)
+        assert top.monitor.sample_cycles == [dut.latency]
+
+    def test_width_one_tree(self):
+        beats = [[7], [9]]
+        dut, monitors = run_beats(
+            lambda: AdderTreeRtl("tree", width=1),
+            beats,
+            lambda d: {"sum": (d.out_sum, d.out_valid)},
+        )
+        assert monitors["sum"].scalar_samples() == [7, 9]
+
+    def test_odd_width_tree(self):
+        beats = [[1, 2, 3, 4, 5]]
+        dut, monitors = run_beats(
+            lambda: AdderTreeRtl("tree", width=5),
+            beats,
+            lambda d: {"sum": (d.out_sum, d.out_valid)},
+        )
+        assert monitors["sum"].scalar_samples() == [15]
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            AdderTreeRtl("tree", width=0)
+
+    @given(
+        lanes=st.lists(st.integers(min_value=-(2**20), max_value=2**20), min_size=2, max_size=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_integer_sum(self, lanes):
+        width = len(lanes)
+        dut, monitors = run_beats(
+            lambda: AdderTreeRtl("tree", width=width),
+            [lanes],
+            lambda d: {"sum": (d.out_sum, d.out_valid)},
+        )
+        assert monitors["sum"].scalar_samples() == [sum(lanes)]
+
+
+class TestAccumulatorRtl:
+    def _build(self):
+        top = Module("tb")
+        acc = AccumulatorRtl("acc")
+        top.acc = acc
+        return top, acc
+
+    def test_accumulates_valid_beats(self):
+        top, acc = self._build()
+        sim = Simulator(top)
+        acc.clear.drive(0)
+        for value in (100, 200, 300):
+            acc.in_value.drive(value)
+            acc.in_valid.drive(1)
+            sim.step()
+        acc.in_valid.drive(0)
+        sim.step()
+        assert acc.total.value == 600
+        assert acc.beats_accumulated == 3
+
+    def test_clear_resets_total(self):
+        top, acc = self._build()
+        sim = Simulator(top)
+        acc.in_value.drive(50)
+        acc.in_valid.drive(1)
+        acc.clear.drive(0)
+        sim.run(2)
+        acc.clear.drive(1)
+        sim.step()
+        assert acc.total.value == 0
+        assert acc.beats_accumulated == 0
+
+    def test_output_saturates_to_format(self):
+        top, acc = self._build()
+        sim = Simulator(top)
+        huge = STATS_FMT.max_code * 4
+        acc.clear.drive(0)
+        acc.in_value.drive(huge)
+        acc.in_valid.drive(1)
+        sim.step()
+        acc.in_valid.drive(0)
+        sim.step()
+        assert acc.out_code.value == STATS_FMT.max_code
+
+
+class TestConvertersRtl:
+    def test_fp2fx_round_trip(self):
+        values = np.array([0.5, -1.25, 3.75, 0.0])
+        bits = to_bits(values, FP32)
+        top = Module("tb")
+        dut = Fp2FxRtl("fp2fx", lanes=4, float_format=FP32, fixed_format=STATS_FMT)
+        top.dut = dut
+        top.driver = StreamDriver("driver", dut.in_bits, dut.in_valid, [bits])
+        top.monitor = Monitor("monitor", dut.out_codes, dut.out_valid)
+        Simulator(top).run(4)
+        assert top.monitor.num_samples == 1
+        decoded = STATS_FMT.decode(top.monitor.samples[0])
+        np.testing.assert_allclose(decoded, values, atol=STATS_FMT.scale)
+
+    def test_fp2fx_bypass_passes_codes(self):
+        codes = [1, -2, 3, -4]
+        top = Module("tb")
+        dut = Fp2FxRtl("fp2fx", lanes=4, bypass=True)
+        top.dut = dut
+        top.driver = StreamDriver("driver", dut.in_bits, dut.in_valid, [codes])
+        top.monitor = Monitor("monitor", dut.out_codes, dut.out_valid)
+        Simulator(top).run(4)
+        assert list(top.monitor.samples[0]) == [1, -2, 3, -4]
+
+    def test_fp2fx_counts_elements(self):
+        top = Module("tb")
+        dut = Fp2FxRtl("fp2fx", lanes=2)
+        top.dut = dut
+        top.driver = StreamDriver(
+            "driver", dut.in_bits, dut.in_valid, [[0, 0], [0, 0], [0, 0]]
+        )
+        Simulator(top).run(6)
+        assert dut.elements_converted.value == 6
+
+    def test_fx2fp_round_trip(self):
+        values = np.array([0.125, -2.5])
+        codes = STATS_FMT.encode(values)
+        top = Module("tb")
+        dut = Fx2FpRtl("fx2fp", lanes=2, float_format=FP32, fixed_format=STATS_FMT)
+        top.dut = dut
+        top.driver = StreamDriver("driver", dut.in_codes, dut.in_valid, [codes])
+        top.monitor = Monitor("monitor", dut.out_bits, dut.out_valid)
+        Simulator(top).run(4)
+        assert top.monitor.num_samples == 1
+        np.testing.assert_allclose(dut.decoded_output(), values, rtol=1e-6)
+
+    def test_latency_is_one_cycle(self):
+        top = Module("tb")
+        dut = Fp2FxRtl("fp2fx", lanes=1)
+        top.dut = dut
+        top.driver = StreamDriver("driver", dut.in_bits, dut.in_valid, [[0]])
+        top.monitor = Monitor("monitor", dut.out_codes, dut.out_valid)
+        Simulator(top).run(4)
+        assert top.monitor.sample_cycles == [1]
+
+
+class TestInvSqrtRtl:
+    def _run(self, variances, newton_format=None):
+        top = Module("tb")
+        dut = InvSqrtRtl("invsqrt")
+        top.dut = dut
+        codes = [[int(STATS_FMT.encode(v))] for v in variances]
+        top.driver = StreamDriver("driver", dut.in_code, dut.in_valid, codes)
+        top.monitor = Monitor("monitor", dut.out_code, dut.out_valid)
+        Simulator(top).run(len(codes) + dut.latency + 4)
+        outputs = [float(dut.newton_format.decode(np.array(s[0]))) for s in top.monitor.samples]
+        return dut, top.monitor, outputs
+
+    def test_latency_is_six_cycles(self):
+        dut, monitor, _ = self._run([1.0])
+        assert monitor.sample_cycles == [dut.latency]
+
+    def test_matches_functional_golden_model(self):
+        variances = [0.25, 1.0, 4.0, 0.01, 16.0, 2.5]
+        golden = SquareRootInverter().compute(np.array(variances))
+        _, _, outputs = self._run(variances)
+        np.testing.assert_allclose(outputs, golden, rtol=2e-3, atol=1e-4)
+
+    def test_close_to_exact_inverse_sqrt(self):
+        variances = [0.5, 2.0, 8.0]
+        _, _, outputs = self._run(variances)
+        exact = 1.0 / np.sqrt(np.array(variances))
+        np.testing.assert_allclose(outputs, exact, rtol=5e-3)
+
+    def test_pipelined_throughput_one_per_cycle(self):
+        variances = [1.0, 2.0, 3.0, 4.0]
+        dut, monitor, _ = self._run(variances)
+        cycles = monitor.sample_cycles
+        assert len(cycles) == len(variances)
+        assert all(b - a == 1 for a, b in zip(cycles, cycles[1:]))
+
+    def test_activity_counter(self):
+        dut, _, _ = self._run([1.0, 2.0, 3.0])
+        assert dut.values_processed.value == 3
+
+    @given(variance=st.floats(min_value=1e-3, max_value=200.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_relative_error_bounded(self, variance):
+        # Variances are bounded by the Q9.23 Newton format range (+/-256),
+        # the same operating envelope the functional golden model assumes.
+        _, _, outputs = self._run([variance])
+        exact = 1.0 / np.sqrt(variance)
+        assert abs(outputs[0] - exact) / exact < 0.01
+
+
+class StatsHarness(Module):
+    """Feeds a full row into the statistics calculator with last/count."""
+
+    def __init__(self, dut: StatsCalculatorRtl, row_codes: np.ndarray, effective: int):
+        super().__init__("stats_tb")
+        self.dut = dut
+        self._codes = row_codes
+        self._effective = effective
+        self._beats = int(np.ceil(effective / dut.width)) if effective else 0
+        self._beat = 0
+
+    def propagate(self) -> None:
+        width = self.dut.width
+        self.dut.count.drive(self._effective)
+        if self._beat < self._beats:
+            start = self._beat * width
+            stop = min(start + width, self._effective)
+            lanes = np.zeros(width, dtype=np.int64)
+            lanes[: stop - start] = self._codes[start:stop]
+            self.dut.in_codes.drive(lanes)
+            self.dut.in_valid.drive(1)
+            self.dut.in_last.drive(1 if self._beat == self._beats - 1 else 0)
+        else:
+            self.dut.in_valid.drive(0)
+            self.dut.in_last.drive(0)
+
+    def clock_edge(self) -> None:
+        if self._beat < self._beats:
+            self._beat += 1
+
+
+def run_stats(row, width=8, compute_mean=True, subsample=None):
+    row = np.asarray(row, dtype=np.float64)
+    effective = row.size if subsample is None else min(subsample, row.size)
+    dut = StatsCalculatorRtl("stats", width=width, compute_mean=compute_mean)
+    codes = STATS_FMT.encode(row)
+    harness = StatsHarness(dut, codes, effective)
+    top = Module("tb")
+    top.harness = harness
+    sim = Simulator(top)
+    sim.run_until(lambda s: dut.out_valid.value == 1, max_cycles=500)
+    return dut
+
+
+class TestStatsCalculatorRtl:
+    def test_mean_and_variance_match_numpy(self, rng):
+        row = rng.normal(0.0, 1.0, size=64)
+        dut = run_stats(row, width=8)
+        assert dut.decoded_mean() == pytest.approx(float(row.mean()), abs=1e-3)
+        assert dut.decoded_variance() == pytest.approx(float(row.var()) + dut.eps, abs=5e-3)
+
+    def test_rms_mode_reports_zero_mean(self, rng):
+        row = rng.normal(1.0, 0.5, size=32)
+        dut = run_stats(row, width=8, compute_mean=False)
+        assert dut.decoded_mean() == 0.0
+        expected = float(np.mean(row * row)) + dut.eps
+        assert dut.decoded_variance() == pytest.approx(expected, abs=5e-3)
+
+    def test_subsampled_statistics_use_prefix(self, rng):
+        row = rng.normal(0.0, 2.0, size=64)
+        subsample = 16
+        dut = run_stats(row, width=8, subsample=subsample)
+        prefix = row[:subsample]
+        assert dut.decoded_mean() == pytest.approx(float(prefix.mean()), abs=1e-3)
+        assert dut.decoded_variance() == pytest.approx(float(prefix.var()) + dut.eps, abs=5e-3)
+
+    def test_valid_pulse_timing_matches_cycle_model(self, rng):
+        row = rng.normal(size=24)
+        width = 8
+        dut = StatsCalculatorRtl("stats", width=width)
+        harness = StatsHarness(dut, STATS_FMT.encode(row), row.size)
+        top = Module("tb")
+        top.harness = harness
+        sim = Simulator(top)
+        cycles = sim.run_until(lambda s: dut.out_valid.value == 1, max_cycles=100)
+        assert cycles == dut.cycles_for_row(row.size)
+
+    def test_variance_never_negative(self, rng):
+        row = np.full(16, 3.0)
+        dut = run_stats(row, width=4)
+        assert dut.decoded_variance() >= dut.eps / 2
+
+    def test_matches_functional_calculator(self, rng):
+        from repro.hardware.units.stats_calculator import InputStatisticsCalculator
+        from repro.numerics.quantization import DataFormat
+
+        row = rng.normal(0.0, 1.5, size=48)
+        functional = InputStatisticsCalculator(width=8, data_format=DataFormat.FP32)
+        golden = functional.compute(row[None, :])
+        dut = run_stats(row, width=8)
+        assert dut.decoded_mean() == pytest.approx(float(golden.mean[0]), abs=2e-3)
+        assert dut.decoded_variance() == pytest.approx(float(golden.variance[0]), rel=2e-3, abs=2e-3)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            StatsCalculatorRtl("stats", width=0)
+
+
+class NormHarness(Module):
+    """Streams a row through the normalization unit with fixed mean/ISD."""
+
+    def __init__(self, dut: NormUnitRtl, row, gamma, beta, mean, isd):
+        super().__init__("norm_tb")
+        self.dut = dut
+        fmt = dut.fixed_format
+        self._row = fmt.encode(np.asarray(row, dtype=np.float64))
+        self._gamma = fmt.encode(np.asarray(gamma, dtype=np.float64))
+        self._beta = fmt.encode(np.asarray(beta, dtype=np.float64))
+        self._mean_code = int(fmt.encode(mean))
+        self._isd_code = int(dut.isd_format.encode(isd))
+        self._length = len(row)
+        self._beats = dut.beats_for(self._length)
+        self._beat = 0
+        self.collected = []
+
+    def propagate(self) -> None:
+        width = self.dut.width
+        self.dut.mean_code.drive(self._mean_code)
+        self.dut.isd_code.drive(self._isd_code)
+        if self._beat < self._beats:
+            start = self._beat * width
+            stop = min(start + width, self._length)
+            lanes = np.zeros(width, dtype=np.int64)
+            gamma = np.zeros(width, dtype=np.int64)
+            beta = np.zeros(width, dtype=np.int64)
+            lanes[: stop - start] = self._row[start:stop]
+            gamma[: stop - start] = self._gamma[start:stop]
+            beta[: stop - start] = self._beta[start:stop]
+            self.dut.in_codes.drive(lanes)
+            self.dut.alpha_codes.drive(gamma)
+            self.dut.beta_codes.drive(beta)
+            self.dut.in_valid.drive(1)
+        else:
+            self.dut.in_valid.drive(0)
+
+    def clock_edge(self) -> None:
+        if self.dut.out_valid.value:
+            self.collected.append(self.dut.out_codes.values)
+        if self._beat < self._beats:
+            self._beat += 1
+
+
+def run_norm(row, gamma, beta, mean, isd, width=8):
+    dut = NormUnitRtl("norm", width=width)
+    harness = NormHarness(dut, row, gamma, beta, mean, isd)
+    top = Module("tb")
+    top.harness = harness
+    sim = Simulator(top)
+    sim.run(harness._beats + dut.latency + 4)
+    codes = np.concatenate(harness.collected)[: len(row)]
+    return dut.fixed_format.decode(codes)
+
+
+class TestNormUnitRtl:
+    def test_matches_reference_layernorm_row(self, rng):
+        row = rng.normal(0.0, 1.0, size=32)
+        gamma = rng.normal(1.0, 0.1, size=32)
+        beta = rng.normal(0.0, 0.1, size=32)
+        mean = float(row.mean())
+        isd = float(1.0 / np.sqrt(row.var() + 1e-5))
+        out = run_norm(row, gamma, beta, mean, isd)
+        expected = gamma * (row - mean) * isd + beta
+        np.testing.assert_allclose(out, expected, atol=5e-3)
+
+    def test_identity_affine(self, rng):
+        row = rng.normal(size=16)
+        out = run_norm(row, np.ones(16), np.zeros(16), 0.0, 1.0)
+        np.testing.assert_allclose(out, row, atol=5e-3)
+
+    def test_matches_functional_norm_unit(self, rng):
+        from repro.hardware.units.norm_unit import NormalizationUnit
+        from repro.numerics.quantization import DataFormat
+
+        row = rng.normal(0.0, 2.0, size=24)
+        gamma = np.ones(24)
+        beta = np.zeros(24)
+        mean = float(row.mean())
+        isd = float(1.0 / np.sqrt(row.var() + 1e-5))
+        functional = NormalizationUnit(width=8, data_format=DataFormat.FP32)
+        golden = functional.normalize(row[None, :], np.array([mean]), np.array([isd]), gamma, beta)
+        out = run_norm(row, gamma, beta, mean, isd)
+        np.testing.assert_allclose(out, golden[0], atol=5e-3)
+
+    def test_latency_is_two_cycles(self, rng):
+        dut = NormUnitRtl("norm", width=4)
+        harness = NormHarness(dut, np.ones(4), np.ones(4), np.zeros(4), 0.0, 1.0)
+        monitor = Monitor("monitor", dut.out_codes, dut.out_valid)
+        top = Module("tb")
+        top.harness = harness
+        top.monitor = monitor
+        Simulator(top).run(6)
+        assert monitor.sample_cycles == [dut.latency]
+
+    def test_elements_processed_counter(self, rng):
+        row = rng.normal(size=32)
+        dut = NormUnitRtl("norm", width=8)
+        harness = NormHarness(dut, row, np.ones(32), np.zeros(32), 0.0, 1.0)
+        top = Module("tb")
+        top.harness = harness
+        Simulator(top).run(10)
+        assert dut.elements_processed.value == 32
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            NormUnitRtl("norm", width=0)

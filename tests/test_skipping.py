@@ -1,0 +1,96 @@
+"""Tests of Algorithm 1 (ISD skipping search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.skipping import (
+    cal_decay,
+    find_skip_range,
+    find_skip_range_from_profile,
+    prediction_error,
+    window_correlation,
+)
+
+
+def _synthetic_log_isd(num_layers=32, knee=16, slope=-0.08, noise=0.0, seed=0):
+    """A profile that is flat-ish early and linear after the knee."""
+    rng = np.random.default_rng(seed)
+    values = np.zeros(num_layers)
+    values[:knee] = -0.2 * np.sqrt(np.arange(knee))
+    values[knee:] = values[knee - 1] + slope * np.arange(1, num_layers - knee + 1)
+    return values + noise * rng.standard_normal(num_layers)
+
+
+class TestCalDecay:
+    def test_recovers_slope_of_linear_segment(self):
+        window = -0.05 * np.arange(10)
+        assert cal_decay(window) == pytest.approx(-0.05)
+
+    def test_requires_two_layers(self):
+        with pytest.raises(ValueError):
+            cal_decay([1.0])
+
+
+class TestWindowCorrelation:
+    def test_linear_window_has_correlation_minus_one(self):
+        values = _synthetic_log_isd()
+        assert window_correlation(values, 20, 30) == pytest.approx(-1.0, abs=1e-6)
+
+
+class TestFindSkipRange:
+    def test_finds_the_linear_tail(self):
+        values = _synthetic_log_isd(num_layers=40, knee=20, noise=0.002)
+        result = find_skip_range(values, window=8)
+        start, end = result.skip_range
+        assert start >= 18
+        assert end - start == 8
+        assert result.correlation < -0.99
+        assert result.decay == pytest.approx(-0.08, abs=0.01)
+
+    def test_min_start_restricts_search(self):
+        values = _synthetic_log_isd(num_layers=40, knee=20)
+        result = find_skip_range(values, window=6, min_start=30)
+        assert result.skip_range[0] >= 30
+
+    def test_grow_threshold_extends_range(self):
+        values = _synthetic_log_isd(num_layers=40, knee=10, noise=0.0)
+        small = find_skip_range(values, window=6)
+        grown = find_skip_range(values, window=6, grow_threshold=-0.999)
+        assert grown.num_skipped >= small.num_skipped
+
+    def test_window_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            find_skip_range(np.zeros(5), window=10)
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            find_skip_range(np.zeros(16), window=1)
+
+    def test_anchor_log_isd_recorded(self):
+        values = _synthetic_log_isd()
+        result = find_skip_range(values, window=8)
+        assert result.anchor_log_isd == pytest.approx(values[result.skip_range[0]])
+
+
+class TestPredictionError:
+    def test_zero_error_on_perfect_line(self):
+        values = -0.03 * np.arange(30)
+        result = find_skip_range(values, window=10)
+        errors = prediction_error(values, result)
+        assert errors.shape == (result.num_skipped,)
+        np.testing.assert_allclose(errors, 0.0, atol=1e-9)
+
+    def test_error_grows_with_curvature(self):
+        linear = -0.03 * np.arange(30)
+        curved = linear + 0.002 * (np.arange(30) - 15) ** 2
+        result_linear = find_skip_range(linear, window=10)
+        errors_curved = prediction_error(curved, result_linear)
+        assert np.max(errors_curved) > 0.01
+
+
+class TestOnRealProfile:
+    def test_search_on_tiny_model_profile(self, tiny_calibration):
+        result = find_skip_range_from_profile(tiny_calibration.profile, window=3)
+        start, end = result.skip_range
+        assert 0 <= start < end < tiny_calibration.profile.num_layers
+        assert result.correlation < 0

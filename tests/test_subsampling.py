@@ -1,0 +1,86 @@
+"""Tests of the subsampled statistics estimation (equation (4))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.subsampling import (
+    SubsamplePolicy,
+    SubsampleSettings,
+    estimation_error,
+    select_subsample,
+    subsampled_statistics,
+)
+from repro.llm.config import NormKind
+
+
+class TestSelection:
+    def test_truncation_takes_leading_elements(self):
+        rows = np.arange(20.0).reshape(2, 10)
+        sub = select_subsample(rows, SubsampleSettings(length=4))
+        np.testing.assert_array_equal(sub, [[0, 1, 2, 3], [10, 11, 12, 13]])
+
+    def test_strided_policy_spans_the_vector(self):
+        rows = np.arange(16.0).reshape(1, 16)
+        sub = select_subsample(rows, SubsampleSettings(length=4, policy=SubsamplePolicy.STRIDED))
+        assert sub.shape == (1, 4)
+        assert sub[0, -1] > 8  # reaches into the second half
+
+    def test_length_larger_than_vector_is_clamped(self):
+        rows = np.ones((2, 8))
+        sub = select_subsample(rows, SubsampleSettings(length=100))
+        assert sub.shape == (2, 8)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            SubsampleSettings(length=0)
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            select_subsample(np.ones(8), SubsampleSettings(length=2))
+
+
+class TestStatistics:
+    def test_full_length_matches_exact(self, rng):
+        rows = rng.normal(2.0, 3.0, size=(6, 64))
+        mean, isd = subsampled_statistics(rows, SubsampleSettings(length=64))
+        np.testing.assert_allclose(mean, rows.mean(axis=1))
+        np.testing.assert_allclose(isd, 1.0 / np.sqrt(rows.var(axis=1) + 1e-5))
+
+    def test_rmsnorm_mean_is_zero(self, rng):
+        rows = rng.normal(size=(4, 32))
+        mean, isd = subsampled_statistics(rows, SubsampleSettings(length=8), kind=NormKind.RMSNORM)
+        np.testing.assert_array_equal(mean, 0.0)
+        assert np.all(isd > 0)
+
+    def test_full_mean_option(self, rng):
+        rows = rng.normal(1.0, 1.0, size=(4, 64))
+        mean, _ = subsampled_statistics(
+            rows, SubsampleSettings(length=8), subsample_mean=False
+        )
+        np.testing.assert_allclose(mean, rows.mean(axis=1))
+
+    def test_estimate_approaches_truth_with_more_samples(self, rng):
+        rows = rng.normal(0, 2.0, size=(64, 512))
+        errors = []
+        for length in (8, 32, 128, 512):
+            err, _ = estimation_error(rows, SubsampleSettings(length=length))
+            errors.append(err)
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_error_scales_roughly_inverse_sqrt(self, rng):
+        rows = rng.normal(0, 1.0, size=(256, 1024))
+        err_small, _ = estimation_error(rows, SubsampleSettings(length=16))
+        err_large, _ = estimation_error(rows, SubsampleSettings(length=256))
+        # 16x more samples -> ~4x lower error (allow generous tolerance).
+        assert err_small / err_large > 2.0
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_isd_always_positive_and_finite(self, length):
+        rng = np.random.default_rng(length)
+        rows = rng.normal(size=(3, 64))
+        _, isd = subsampled_statistics(rows, SubsampleSettings(length=length))
+        assert np.all(np.isfinite(isd)) and np.all(isd > 0)

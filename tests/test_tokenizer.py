@@ -1,0 +1,62 @@
+"""Tests of the deterministic word-level tokenizer."""
+
+import pytest
+
+from repro.llm.tokenizer import Tokenizer
+
+
+class TestTokenizer:
+    def test_deterministic_across_instances(self):
+        a = Tokenizer(vocab_size=512)
+        b = Tokenizer(vocab_size=512)
+        text = "the model computes the layer norm"
+        assert a.encode(text) == b.encode(text)
+
+    def test_ids_within_vocab(self):
+        tok = Tokenizer(vocab_size=100)
+        ids = tok.encode("some words mapping into a small vocabulary range")
+        assert all(0 <= i < 100 for i in ids)
+
+    def test_bos_prepended(self):
+        tok = Tokenizer()
+        assert tok.encode("hello")[0] == tok.bos_id
+        assert tok.encode("hello", add_bos=False)[0] != tok.bos_id
+
+    def test_same_word_same_id(self):
+        tok = Tokenizer()
+        ids = tok.encode("norm norm norm", add_bos=False)
+        assert len(set(ids)) == 1
+
+    def test_case_insensitive(self):
+        tok = Tokenizer()
+        assert tok.token_id("Layer") == tok.token_id("layer")
+
+    def test_max_len_truncates(self):
+        tok = Tokenizer()
+        ids = tok.encode("one two three four five six", max_len=3)
+        assert len(ids) == 3
+
+    def test_encode_batch_pads_to_common_length(self):
+        tok = Tokenizer()
+        batch = tok.encode_batch(["a short one", "a much longer sentence with many words"], max_len=10)
+        assert all(len(row) == 10 for row in batch)
+        assert batch[0][-1] == tok.pad_id
+
+    def test_empty_word_maps_to_unk(self):
+        tok = Tokenizer()
+        assert tok.token_id("") == tok.unk_id
+
+    def test_punctuation_tokenized(self):
+        tok = Tokenizer()
+        words = tok.tokenize_words("hello, world.")
+        assert "," in words and "." in words
+
+    def test_decode_skips_padding(self):
+        tok = Tokenizer()
+        text = tok.decode([tok.pad_id, tok.bos_id, 57])
+        assert "pad" not in text
+        assert "<bos>" in text
+
+    def test_vocab_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Tokenizer(vocab_size=2)

@@ -1,0 +1,91 @@
+"""Tests of the synthetic weight generation."""
+
+import numpy as np
+import pytest
+
+from repro.llm.config import get_model_config
+from repro.llm.weights import (
+    branch_variance_schedule,
+    generate_model_weights,
+    sinusoidal_positions,
+)
+
+
+class TestSchedules:
+    def test_branch_variance_grows_geometrically(self):
+        config = get_model_config("tiny")
+        schedule = branch_variance_schedule(config)
+        assert schedule.shape == (config.num_blocks,)
+        ratios = schedule[1:] / schedule[:-1]
+        np.testing.assert_allclose(ratios, config.residual_growth)
+
+    def test_first_block_variance_matches_config(self):
+        config = get_model_config("tiny")
+        assert branch_variance_schedule(config)[0] == pytest.approx(config.initial_branch_variance)
+
+
+class TestPositionalEmbeddings:
+    def test_shape(self):
+        table = sinusoidal_positions(32, 16)
+        assert table.shape == (32, 16)
+
+    def test_bounded(self):
+        table = sinusoidal_positions(64, 24)
+        assert np.max(np.abs(table)) <= 0.1 + 1e-12
+
+    def test_positions_are_distinct(self):
+        table = sinusoidal_positions(16, 32)
+        assert not np.allclose(table[0], table[1])
+
+
+class TestModelWeights:
+    def test_deterministic_generation(self):
+        config = get_model_config("tiny")
+        a = generate_model_weights(config)
+        b = generate_model_weights(config)
+        np.testing.assert_array_equal(a.embedding, b.embedding)
+        np.testing.assert_array_equal(
+            a.blocks[0].attention.wq.weight, b.blocks[0].attention.wq.weight
+        )
+
+    def test_block_count_matches_config(self):
+        config = get_model_config("tiny")
+        weights = generate_model_weights(config)
+        assert len(weights.blocks) == config.num_blocks
+
+    def test_final_norm_presence_follows_config(self):
+        with_final = generate_model_weights(get_model_config("tiny"))
+        without_final = generate_model_weights(get_model_config("tiny-rms"))
+        assert with_final.final_norm is not None
+        assert without_final.final_norm is None
+
+    def test_rmsnorm_beta_is_zero(self):
+        weights = generate_model_weights(get_model_config("tiny-rms"))
+        np.testing.assert_array_equal(weights.blocks[0].attn_norm.beta, 0.0)
+
+    def test_layernorm_gamma_near_one(self):
+        weights = generate_model_weights(get_model_config("tiny"))
+        gamma = weights.blocks[0].attn_norm.gamma
+        assert abs(float(gamma.mean()) - 1.0) < 0.1
+
+    def test_deeper_blocks_have_larger_output_projections(self):
+        """The depth-dependent branch scaling must be visible in the weights."""
+        config = get_model_config("tiny")
+        weights = generate_model_weights(config)
+        first = np.std(weights.blocks[0].attention.wo.weight)
+        last = np.std(weights.blocks[-1].attention.wo.weight)
+        assert last > first
+
+    def test_parameter_count_positive(self):
+        weights = generate_model_weights(get_model_config("tiny"))
+        assert weights.num_parameters > 10_000
+
+    def test_weight_shapes(self):
+        config = get_model_config("tiny")
+        weights = generate_model_weights(config)
+        hidden = config.sim_hidden_size
+        block = weights.blocks[0]
+        assert block.attention.wq.weight.shape == (hidden, hidden)
+        assert block.mlp.w_in.weight.shape == (hidden, config.mlp_hidden_size)
+        assert block.mlp.w_out.weight.shape == (config.mlp_hidden_size, hidden)
+        assert weights.embedding.shape == (config.vocab_size, hidden)
