@@ -1,0 +1,35 @@
+"""Serving throughput: micro-batched requests/sec vs a per-request loop.
+
+Acceptance target of the serving subsystem: the micro-batched path must
+sustain at least 3x the requests/sec of the per-request loop at a
+micro-batch size of 32.  The batched side runs through the full inline
+:class:`~repro.serving.service.NormalizationService` (queueing, coalescing,
+response splitting, telemetry), so the speedup is end-to-end, not
+kernel-only.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_serving_throughput
+
+BATCH_SIZES = (1, 8, 32, 128)
+
+
+def test_serving_throughput(benchmark, serving_requests):
+    result = run_once(
+        benchmark,
+        run_serving_throughput,
+        model_name="tiny",
+        batch_sizes=BATCH_SIZES,
+        requests=serving_requests,
+        repeats=5,
+    )
+    print()
+    print(result.formatted())
+    speedups = result.metadata["speedup_by_batch"]
+    print(f"speedup at batch 32: {speedups[32]:.2f}x")
+    # Batching must amortize per-request overhead; at a micro-batch of 32
+    # the acceptance floor is 3x the per-request loop.
+    assert speedups[32] >= 3.0
+    # Larger batches must not regress below the 32-request point's floor.
+    assert speedups[128] >= speedups[32] * 0.8

@@ -9,6 +9,7 @@ controlled with environment variables so CI machines can dial the cost:
 * ``HAAN_BENCH_ITEMS``          -- items per task for Table I  (default 10)
 * ``HAAN_BENCH_ITEMS_ABLATION`` -- items per task for Table II (default 6)
 * ``HAAN_BENCH_CALIB_DOCS``     -- calibration documents        (default 16)
+* ``HAAN_BENCH_SERVING_REQS``   -- serving throughput requests  (default 2048)
 
 The paper-fidelity run recorded in EXPERIMENTS.md used the defaults.
 """
@@ -43,6 +44,17 @@ def table2_items() -> int:
 def calibration_docs() -> int:
     """Calibration documents for the accuracy benchmarks."""
     return _int_env("HAAN_BENCH_CALIB_DOCS", 16)
+
+
+@pytest.fixture(scope="session")
+def serving_requests() -> int:
+    """Requests per measurement for the serving throughput benchmark.
+
+    Large enough that one measurement spans tens of milliseconds -- short
+    runs are dominated by scheduler/timer jitter and make the reported
+    speedup ratio noisy.
+    """
+    return _int_env("HAAN_BENCH_SERVING_REQS", 2048)
 
 
 def run_once(benchmark, func, *args, **kwargs):

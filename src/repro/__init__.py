@@ -16,8 +16,11 @@ Package layout
 * :mod:`repro.eval` -- accuracy, perplexity, latency-breakdown and
   end-to-end harnesses plus the experiment registry mapping every table and
   figure of the paper to a callable.
+* :mod:`repro.serving` -- the online serving runtime: dynamic
+  micro-batching of normalization requests, the calibration artifact
+  registry, telemetry, and the ``haan-serve`` CLI.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["numerics", "llm", "core", "hardware", "eval", "__version__"]
+__all__ = ["numerics", "llm", "core", "hardware", "eval", "serving", "__version__"]

@@ -199,21 +199,20 @@ def restore_reference_norms(model: TransformerModel, originals: Sequence[BaseNor
         model.replace_norm_layer(layer_index, layer)
 
 
-def build_haan_model(
-    model_name: str,
+def resolve_config_and_predictor(
+    model: TransformerModel,
+    calibration: CalibrationResult,
     config: Optional[HaanConfig] = None,
-    calibration: Optional[CalibrationResult] = None,
-    settings: Optional[CalibrationSettings] = None,
-    **model_overrides,
-) -> tuple[TransformerModel, CalibrationResult, HaanConfig]:
-    """Convenience entry point: build, calibrate and HAAN-ify a model.
+) -> tuple[HaanConfig, IsdPredictor]:
+    """Default-config and predictor-refit policy shared by the offline
+    :func:`build_haan_model` flow and the serving calibration registry.
 
     When ``config`` is omitted, the skip range comes from Algorithm 1's own
     choice on the calibration profile and the subsample length defaults to
-    half the hidden size (the setting used for GPT-2 in Section V-B).
+    half the hidden size (the setting used for GPT-2 in Section V-B).  When
+    a config requests a skip range other than the calibrated one, the
+    predictor is refit over that range from the same profile.
     """
-    model = TransformerModel.from_name(model_name, **model_overrides)
-    calibration = calibration or calibrate_model(model, settings=settings)
     if config is None:
         config = HaanConfig(
             skip_range=calibration.skip_range,
@@ -223,5 +222,19 @@ def build_haan_model(
         predictor = build_predictor_for_range(calibration.profile, config.skip_range)
     else:
         predictor = calibration.predictor
+    return config, predictor
+
+
+def build_haan_model(
+    model_name: str,
+    config: Optional[HaanConfig] = None,
+    calibration: Optional[CalibrationResult] = None,
+    settings: Optional[CalibrationSettings] = None,
+    **model_overrides,
+) -> tuple[TransformerModel, CalibrationResult, HaanConfig]:
+    """Convenience entry point: build, calibrate and HAAN-ify a model."""
+    model = TransformerModel.from_name(model_name, **model_overrides)
+    calibration = calibration or calibrate_model(model, settings=settings)
+    config, predictor = resolve_config_and_predictor(model, calibration, config)
     apply_haan(model, config, predictor=predictor)
     return model, calibration, config

@@ -25,12 +25,16 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.predictor import IsdPredictor
-from repro.core.subsampling import SubsampleSettings, subsampled_statistics
+from repro.core.subsampling import (
+    SubsampleSettings,
+    batched_subsampled_statistics,
+    subsampled_statistics,
+)
 from repro.llm.config import NormKind
 from repro.llm.hooks import ActivationContext
 from repro.llm.normalization import BaseNorm
 from repro.numerics.fast_inv_sqrt import FastInvSqrt
-from repro.numerics.quantization import DataFormat, storage_round_trip
+from repro.numerics.quantization import DataFormat, segmented_round_trip, storage_round_trip
 
 
 class HaanNormalization(BaseNorm):
@@ -95,6 +99,80 @@ class HaanNormalization(BaseNorm):
             return self._predicted_statistics(rows, context)
         return self._computed_statistics(rows)
 
+    # -- batched serving fast path ----------------------------------------
+
+    def forward_batched(
+        self,
+        rows: np.ndarray,
+        segment_starts: Optional[np.ndarray] = None,
+        anchor_isd: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Normalize a stack of independent request segments in one call.
+
+        Bit-identical to running :meth:`__call__` once per segment: the INT8
+        storage round trip calibrates its scale per segment (exactly as the
+        per-request path calibrates per tensor), and all statistics --
+        subsampled or exact -- are per-row reductions.  For skipped layers
+        ``anchor_isd`` carries one anchor-layer ISD per stacked row
+        (``NaN`` where a request's context lacks the anchor), mirroring the
+        per-request :meth:`IsdPredictor.predict_from_context` semantics.
+        """
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.hidden_size:
+            raise ValueError(
+                f"forward_batched expects (rows, {self.hidden_size}); got {arr.shape}"
+            )
+        quantized = segmented_round_trip(arr, segment_starts, self.data_format)
+        self._predicted_last = False
+        self._subsampled_last = False
+        if self.is_skipped:
+            self._predicted_last = True
+            isd = self._batched_predicted_isd(anchor_isd, arr.shape[0])
+            mean = self._mean_only(quantized)
+        elif self.subsample is not None:
+            self._subsampled_last = True
+            if segment_starts is None:
+                lengths = np.array([arr.shape[0]])
+            else:
+                lengths = np.diff(np.append(segment_starts, arr.shape[0]))
+            mean, isd = batched_subsampled_statistics(
+                quantized,
+                lengths,
+                self.subsample,
+                kind=self.kind,
+                eps=self.eps,
+                subsample_mean=self.subsample_mean,
+            )
+            isd = self._refine_isd(isd)
+        else:
+            mean, isd = self._computed_statistics(quantized)
+        normalized = (quantized - mean[:, None]) * isd[:, None]
+        out = normalized * self.gamma[None, :] + self.beta[None, :]
+        return out, mean, isd
+
+    def _batched_predicted_isd(
+        self, anchor_isd: Optional[np.ndarray], num_rows: int
+    ) -> np.ndarray:
+        """Vectorized equation (3) over a stack of rows with mixed anchors.
+
+        Rows whose anchor ISD is missing (``NaN``) fall back to the
+        calibration-set scalar, matching what the per-request path does when
+        a context does not hold the anchor layer.
+        """
+        fallback = self.predictor.predict_scalar(self.layer_index)
+        if anchor_isd is None:
+            return np.full(num_rows, fallback)
+        anchor = np.asarray(anchor_isd, dtype=np.float64)
+        if anchor.shape != (num_rows,):
+            raise ValueError(f"anchor_isd must have shape ({num_rows},); got {anchor.shape}")
+        missing = ~np.isfinite(anchor)
+        if np.all(missing):
+            return np.full(num_rows, fallback)
+        safe = np.where(missing, 1.0, anchor)
+        offset = self.layer_index - self.predictor.anchor_layer
+        predicted = np.exp(np.log(safe) + self.predictor.decay * offset)
+        return np.where(missing, fallback, predicted)
+
     # -- skipped layers: predict the ISD ---------------------------------
 
     def _predicted_statistics(
@@ -129,7 +207,11 @@ class HaanNormalization(BaseNorm):
             )
         else:
             mean, isd = self.base.compute_statistics(rows)
-        if self.use_hardware_inv_sqrt:
-            variance = 1.0 / np.square(isd) - self.eps
-            isd = self.inv_sqrt_unit.compute(np.maximum(variance, 0.0) + self.eps)
-        return mean, isd
+        return mean, self._refine_isd(isd)
+
+    def _refine_isd(self, isd: np.ndarray) -> np.ndarray:
+        """Optionally route a computed ISD through the hardware inverse sqrt."""
+        if not self.use_hardware_inv_sqrt:
+            return isd
+        variance = 1.0 / np.square(isd) - self.eps
+        return self.inv_sqrt_unit.compute(np.maximum(variance, 0.0) + self.eps)

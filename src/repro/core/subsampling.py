@@ -60,6 +60,51 @@ def select_subsample(rows: np.ndarray, settings: SubsampleSettings) -> np.ndarra
     return picked[:, :length]
 
 
+def subsample_indices(hidden: int, settings: SubsampleSettings) -> np.ndarray:
+    """Column indices :func:`select_subsample` reads for a given input width.
+
+    The ``haan-serve`` CLI uses this to report how many elements of the
+    activation bus the subsampled statistics actually touch, without
+    materializing the subsampled view.  Implemented by running the column
+    positions through :func:`select_subsample` itself, so the reported
+    indices can never drift from the selection the statistics perform.
+    """
+    if hidden <= 0:
+        raise ValueError("hidden must be positive")
+    positions = np.arange(hidden, dtype=np.float64)[None, :]
+    return select_subsample(positions, settings)[0].astype(np.int64)
+
+
+def batched_subsampled_statistics(
+    stacked_rows: np.ndarray,
+    segment_lengths: np.ndarray,
+    settings: SubsampleSettings,
+    kind: NormKind = NormKind.LAYERNORM,
+    eps: float = 1e-5,
+    subsample_mean: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row statistics of stacked request segments in one vectorized call.
+
+    The micro-batching scheduler concatenates the rows of many independent
+    requests into a single ``(total_rows, hidden)`` matrix.  Because every
+    statistic of equation (4) is a per-row reduction, one vectorized
+    :func:`subsampled_statistics` call over the stack is bit-identical to
+    calling it per request and concatenating the results -- this wrapper
+    validates the segment bookkeeping and makes that contract explicit.
+    """
+    arr = np.asarray(stacked_rows, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("batched_subsampled_statistics expects a 2-D stacked array")
+    lengths = np.asarray(segment_lengths, dtype=np.int64)
+    if lengths.size and (np.any(lengths <= 0) or int(lengths.sum()) != arr.shape[0]):
+        raise ValueError(
+            f"segment lengths {lengths.tolist()} do not tile the {arr.shape[0]} stacked rows"
+        )
+    return subsampled_statistics(
+        arr, settings, kind=kind, eps=eps, subsample_mean=subsample_mean
+    )
+
+
 def subsampled_statistics(
     rows: np.ndarray,
     settings: SubsampleSettings,

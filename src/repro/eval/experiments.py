@@ -518,6 +518,56 @@ def run_pipeline_balance_ablation(
     )
 
 
+def run_serving_throughput(
+    model_name: str = "tiny",
+    batch_sizes: Sequence[int] = (1, 8, 32, 128),
+    rows_per_request: int = 1,
+    requests: int = 256,
+    repeats: int = 3,
+    seed: int = 0,
+    dataset: str = "default",
+    loader=None,
+) -> ExperimentResult:
+    """Requests/sec of the micro-batched serving path vs a per-request loop.
+
+    Backs ``benchmarks/bench_serving_throughput.py`` and the ``haan-serve``
+    CLI's ``--compare-loop`` report.  The batched side runs through the full
+    inline :class:`~repro.serving.service.NormalizationService` (queueing,
+    coalescing, response splitting), so the speedup is end-to-end.
+    """
+    from repro.serving.throughput import measure_serving_throughput
+
+    points = measure_serving_throughput(
+        model=model_name,
+        batch_sizes=batch_sizes,
+        rows_per_request=rows_per_request,
+        requests=requests,
+        repeats=repeats,
+        seed=seed,
+        dataset=dataset,
+        loader=loader,
+    )
+    rows = [
+        [
+            point.batch_size,
+            f"{point.loop_rps:.0f}",
+            f"{point.batched_rps:.0f}",
+            f"{point.speedup:.2f}x",
+        ]
+        for point in points
+    ]
+    return ExperimentResult(
+        experiment_id="serving",
+        title=f"Serving throughput, micro-batched vs per-request loop ({model_name})",
+        headers=["max batch", "loop req/s", "batched req/s", "speedup"],
+        rows=rows,
+        metadata={
+            "points": points,
+            "speedup_by_batch": {point.batch_size: point.speedup for point in points},
+        },
+    )
+
+
 #: Registry of all experiments, keyed by experiment id.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig1b": run_fig1b,
@@ -531,6 +581,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "end_to_end": run_end_to_end,
     "ablation_invsqrt": run_invsqrt_ablation,
     "ablation_pipeline": run_pipeline_balance_ablation,
+    "serving": run_serving_throughput,
 }
 
 

@@ -17,7 +17,7 @@ them for offline analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -78,6 +78,66 @@ class ActivationContext:
     def records(self) -> List[NormLayerRecord]:
         """All records captured during this forward pass."""
         return list(self._records)
+
+
+def stack_anchor_isds(
+    contexts: Sequence[Optional["ActivationContext"]],
+    anchor_layer: int,
+    row_counts: Sequence[int],
+) -> Optional[np.ndarray]:
+    """Per-row anchor ISDs for a micro-batch of stacked requests.
+
+    The serving runtime coalesces requests that each carry their own
+    :class:`ActivationContext`.  For a skipped layer, equation (3) needs the
+    anchor layer's ISD *of the same request*; this gathers them into one
+    vector aligned with the stacked rows.  A request whose context is absent,
+    lacks the anchor layer, or stored a mismatched row count contributes
+    ``NaN`` rows -- the batched predictor replaces those with the
+    calibration-set scalar, exactly like the per-request fallback.  Returns
+    ``None`` when no request has a usable anchor (the all-fallback case).
+    """
+    if len(contexts) != len(row_counts):
+        raise ValueError("contexts and row_counts must have the same length")
+    total = int(sum(row_counts))
+    stacked = np.full(total, np.nan)
+    any_anchor = False
+    offset = 0
+    for context, count in zip(contexts, row_counts):
+        isd = context.isd_of(anchor_layer) if context is not None else None
+        if isd is not None and isd.shape == (count,):
+            stacked[offset : offset + count] = isd
+            any_anchor = True
+        offset += count
+    return stacked if any_anchor else None
+
+
+def scatter_isd(
+    contexts: Sequence[Optional["ActivationContext"]],
+    layer_index: int,
+    isd: np.ndarray,
+    row_counts: Sequence[int],
+) -> None:
+    """Store per-request slices of a batched ISD back into each context.
+
+    Inverse of :func:`stack_anchor_isds`: after the batched kernel produces
+    one ISD per stacked row, each request's slice is deposited into its own
+    context so a later request reusing that context (e.g. the next
+    normalization layer of the same activation stream) sees the ISD a
+    single-request forward would have stored.  Only the ISD is deposited:
+    the batched path never appends :class:`NormLayerRecord` entries, so a
+    recording context must go through the per-request layers.
+    """
+    if len(contexts) != len(row_counts):
+        raise ValueError("contexts and row_counts must have the same length")
+    values = np.asarray(isd, dtype=np.float64)
+    if values.shape != (int(sum(row_counts)),):
+        raise ValueError("isd does not match the stacked row count")
+    offset = 0
+    for context, count in zip(contexts, row_counts):
+        if context is not None:
+            # Copy so the context never aliases the shared batch array.
+            context.store_isd(layer_index, values[offset : offset + count].copy())
+        offset += count
 
 
 @dataclass

@@ -105,6 +105,33 @@ class BaseNorm:
             )
         return out.reshape(original_shape)
 
+    def forward_batched(
+        self,
+        rows: np.ndarray,
+        segment_starts: Optional[np.ndarray] = None,
+        anchor_isd: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Serving fast path: normalize stacked request rows in one call.
+
+        ``rows`` is a ``(total_rows, hidden)`` matrix formed by concatenating
+        the rows of many independent requests; ``segment_starts`` marks the
+        first row of each request.  Every statistic of the reference layers
+        is a per-row reduction, so the batched call is bit-identical to
+        calling the layer once per segment -- the parameters only matter for
+        subclasses whose numerics couple rows (per-tensor quantization) or
+        consume cross-request state (predicted ISDs).  Returns
+        ``(output, mean, isd)`` without touching any activation context.
+        """
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.hidden_size:
+            raise ValueError(
+                f"forward_batched expects (rows, {self.hidden_size}); got {arr.shape}"
+            )
+        mean, isd = self.compute_statistics(arr, None)
+        normalized = (arr - mean[:, None]) * isd[:, None]
+        out = normalized * self.gamma[None, :] + self.beta[None, :]
+        return out, mean, isd
+
     # Hooks for subclasses (the HAAN layer) to report how statistics were
     # obtained; the reference layers always compute them exactly.
     def _last_was_predicted(self) -> bool:

@@ -176,3 +176,42 @@ def storage_round_trip(values: ArrayLike, data_format: DataFormat) -> np.ndarray
     if data_format is DataFormat.FP16:
         return FP16.round_trip(arr)
     return FP32.round_trip(arr)
+
+
+def segmented_round_trip(
+    rows: np.ndarray,
+    segment_starts: Optional[np.ndarray],
+    data_format: DataFormat,
+) -> np.ndarray:
+    """Round stacked request segments through a storage format, per segment.
+
+    The serving fast path stacks many independent request tensors into one
+    ``(total_rows, hidden)`` matrix.  INT8 quantization is per *tensor*:
+    its scale is calibrated from each request's own values, so a single
+    :func:`storage_round_trip` over the stack would couple requests through
+    a shared scale.  This helper applies the per-request scale segment by
+    segment (``segment_starts`` holds the first row index of each request)
+    in one vectorized pass, and is bit-identical to quantizing every
+    segment separately.  FP16/FP32 round trips are elementwise, so the
+    segmentation is irrelevant for them.
+    """
+    arr = np.asarray(rows, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("segmented_round_trip expects a 2-D (rows, hidden) array")
+    if data_format is not DataFormat.INT8 or arr.size == 0:
+        return storage_round_trip(arr, data_format)
+    if segment_starts is None:
+        starts = np.array([0], dtype=np.int64)
+    else:
+        starts = np.asarray(segment_starts, dtype=np.int64)
+    if starts.size == 0 or starts[0] != 0 or np.any(np.diff(starts) <= 0):
+        raise ValueError("segment_starts must begin at 0 and be strictly increasing")
+    if starts[-1] >= arr.shape[0]:
+        raise ValueError("segment_starts reaches past the stacked rows")
+    row_max = np.max(np.abs(arr), axis=1)
+    segment_max = np.maximum.reduceat(row_max, starts)
+    scales = np.where(segment_max == 0.0, 1.0, segment_max / Quantizer.INT8_MAX)
+    lengths = np.diff(np.append(starts, arr.shape[0]))
+    row_scale = np.repeat(scales, lengths)[:, None]
+    codes = np.clip(np.rint(arr / row_scale), -Quantizer.INT8_MAX, Quantizer.INT8_MAX)
+    return codes * row_scale

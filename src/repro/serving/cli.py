@@ -1,0 +1,160 @@
+"""Command-line entry point of the serving runtime.
+
+Installed as the ``haan-serve`` console script, next to
+``haan-experiments`` (:mod:`repro.eval.cli`)::
+
+    haan-serve --model tiny --requests 512
+    haan-serve --model tiny --rows 4 --max-batch-size 64 --max-wait-ms 1
+    haan-serve --model tiny --compare-loop
+
+The command calibrates the model through the
+:class:`~repro.serving.registry.CalibrationRegistry` (cache miss on first
+use, Algorithm 1 runs once), fires synthetic activation traffic through the
+threaded micro-batching service, cross-checks a sample of responses against
+the single-request golden path bit-for-bit, and prints the telemetry
+summary.  ``--compare-loop`` additionally measures requests/sec of the
+micro-batched path against the per-request loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.subsampling import subsample_indices
+from repro.serving.batcher import BatcherConfig
+from repro.serving.registry import CalibrationRegistry
+from repro.serving.service import NormalizationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``haan-serve`` command."""
+    parser = argparse.ArgumentParser(
+        prog="haan-serve",
+        description="Serve batched HAAN normalization traffic and report telemetry.",
+    )
+    parser.add_argument("--model", default="tiny", help="model name to calibrate and serve")
+    parser.add_argument("--dataset", default="default", help="calibration dataset key")
+    parser.add_argument("--requests", type=int, default=256, help="number of requests to fire")
+    parser.add_argument("--rows", type=int, default=1, help="activation rows per request")
+    parser.add_argument(
+        "--layer",
+        type=int,
+        default=None,
+        help="serve only this normalization layer (default: spread over all layers)",
+    )
+    parser.add_argument("--max-batch-size", type=int, default=32, help="micro-batch size trigger")
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="micro-batch latency trigger (ms)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="payload RNG seed")
+    parser.add_argument(
+        "--no-golden-check",
+        action="store_true",
+        help="skip the bit-identity cross-check against the per-request path",
+    )
+    parser.add_argument(
+        "--compare-loop",
+        action="store_true",
+        help="also benchmark requests/sec vs the per-request loop",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.requests < 1 or args.rows < 1:
+        parser.error("--requests and --rows must be positive")
+
+    registry = CalibrationRegistry()
+    print(f"calibrating {args.model!r} (dataset {args.dataset!r})...")
+    try:
+        artifact = registry.get(args.model, args.dataset)
+    except KeyError as error:
+        print(f"haan-serve: {error.args[0] if error.args else error}", file=sys.stderr)
+        return 2
+    print(
+        f"  {artifact.num_layers} normalization layers, hidden size "
+        f"{artifact.hidden_size}, skip range {artifact.config.skip_range}"
+    )
+    subsample = artifact.haan_layers[0].subsample if artifact.haan_layers else None
+    if subsample is not None:
+        columns = subsample_indices(artifact.hidden_size, subsample)
+        print(
+            f"  subsampled statistics read {columns.size}/{artifact.hidden_size} "
+            f"columns ({subsample.policy.value})"
+        )
+    if args.layer is not None and not 0 <= args.layer < artifact.num_layers:
+        print(
+            f"haan-serve: --layer {args.layer} out of range; {args.model} has "
+            f"{artifact.num_layers} normalization layers",
+            file=sys.stderr,
+        )
+        return 2
+
+    rng = np.random.default_rng(args.seed)
+    if args.layer is not None:
+        layer_indices = np.full(args.requests, args.layer)
+    else:
+        layer_indices = rng.integers(0, artifact.num_layers, size=args.requests)
+    payloads = [
+        rng.normal(0.0, 1.0, size=(args.rows, artifact.hidden_size))
+        for _ in range(args.requests)
+    ]
+
+    config = BatcherConfig(
+        max_batch_size=args.max_batch_size, max_wait=args.max_wait_ms / 1000.0
+    )
+    with NormalizationService(registry=registry, config=config) as service:
+        futures = [
+            service.submit(
+                payload, args.model, layer_index=int(index), dataset=args.dataset
+            )
+            for payload, index in zip(payloads, layer_indices)
+        ]
+        responses = [future.result(timeout=60.0) for future in futures]
+
+    if not args.no_golden_check:
+        sample = rng.choice(args.requests, size=min(8, args.requests), replace=False)
+        for position in sample:
+            layer = artifact.layer(int(layer_indices[position]))
+            reference = layer(payloads[position])
+            if not np.array_equal(responses[position].output, reference):
+                print("GOLDEN CHECK FAILED: batched output differs from the "
+                      "single-request path", file=sys.stderr)
+                return 1
+        print(f"golden check: {sample.size} sampled responses bit-identical "
+              "to the per-request path")
+
+    print()
+    print(service.telemetry.format_table())
+    registry_state = registry.snapshot()
+    print(
+        f"registry: {registry_state['entries']}/{registry_state['capacity']} artifacts, "
+        f"{registry_state['hits']} hits / {registry_state['misses']} misses"
+    )
+
+    if args.compare_loop:
+        from repro.eval.experiments import run_serving_throughput
+
+        print()
+        result = run_serving_throughput(
+            model_name=args.model,
+            batch_sizes=sorted({1, 8, args.max_batch_size}),
+            rows_per_request=args.rows,
+            requests=args.requests,
+            seed=args.seed,
+            dataset=args.dataset,
+            loader=lambda name, dataset: registry.get(name, dataset),
+        )
+        print(result.formatted())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

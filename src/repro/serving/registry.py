@@ -1,0 +1,236 @@
+"""Calibration registry: cached HAAN artifacts per (model, dataset) key.
+
+Algorithm 1 (skip-range search) and the predictor fit are offline costs the
+serving runtime must never pay per request.  The registry runs them once
+per ``(model, dataset)`` pair, caches the resulting artifact -- the
+calibrated model with HAAN layers installed, plus the untouched reference
+layers for golden-model comparison -- and evicts least-recently-used
+entries once ``capacity`` is exceeded (multi-tenant deployments rotate
+through more models than fit in memory).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.calibration import (
+    CalibrationResult,
+    CalibrationSettings,
+    apply_haan,
+    calibrate_model,
+    resolve_config_and_predictor,
+)
+from repro.core.config import HaanConfig, PAPER_MODEL_SETTINGS
+from repro.core.haan_norm import HaanNormalization
+from repro.llm.model import TransformerModel
+from repro.llm.normalization import BaseNorm
+
+
+@dataclass
+class CalibrationArtifact:
+    """Everything the serving runtime needs for one (model, dataset) pair."""
+
+    model_name: str
+    dataset: str
+    model: TransformerModel
+    config: HaanConfig
+    calibration: CalibrationResult
+    haan_layers: List[HaanNormalization]
+    reference_layers: List[BaseNorm]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of servable normalization layers."""
+        return len(self.haan_layers)
+
+    @property
+    def hidden_size(self) -> int:
+        """Width of the activation vectors this artifact normalizes."""
+        return self.model.config.sim_hidden_size
+
+    def layer(self, layer_index: int, reference: bool = False) -> BaseNorm:
+        """The HAAN (or exact reference) layer at an execution-order index."""
+        layers = self.reference_layers if reference else self.haan_layers
+        if not 0 <= layer_index < len(layers):
+            raise IndexError(
+                f"layer {layer_index} out of range for {self.model_name} "
+                f"({len(layers)} normalization layers)"
+            )
+        return layers[layer_index]
+
+
+def _dataset_seed(dataset: str) -> int:
+    """Deterministic calibration seed derived from the dataset name."""
+    return zlib.crc32(dataset.encode("utf-8")) % (2**31)
+
+
+def default_calibration_settings(
+    model: TransformerModel, dataset: str = "default"
+) -> CalibrationSettings:
+    """Serving-grade calibration settings scaled to the model's depth.
+
+    Smaller than the offline-experiment defaults: the registry may calibrate
+    on a cache miss in the serving path, so the pass is sized to finish in
+    seconds while still fitting the log-linear decay on a real profile.
+    """
+    num_layers = model.num_norm_layers
+    return CalibrationSettings(
+        num_samples=8,
+        max_seq_len=32,
+        batch_size=4,
+        window=max(2, min(8, num_layers // 3)),
+        min_start_fraction=0.3,
+        seed=_dataset_seed(dataset),
+    )
+
+
+def default_artifact_loader(
+    model_name: str,
+    dataset: str = "default",
+    settings: Optional[CalibrationSettings] = None,
+) -> CalibrationArtifact:
+    """Build, calibrate and HAAN-ify a model for serving.
+
+    Uses the paper's per-model configuration when one exists (clamped to
+    the simulated layer count) and otherwise the shared
+    :func:`repro.core.calibration.resolve_config_and_predictor` policy, so
+    offline experiments and the serving registry always calibrate a model
+    identically.
+    """
+    model = TransformerModel.from_name(model_name)
+    reference_layers = list(model.norm_layers)
+    settings = settings or default_calibration_settings(model, dataset)
+    calibration = calibrate_model(model, settings=settings)
+    config = PAPER_MODEL_SETTINGS.get(model_name.strip().lower())
+    if (
+        config is not None
+        and config.skipping_enabled
+        and config.skip_range[1] >= model.num_norm_layers
+    ):
+        config = config.with_overrides(skip_range=calibration.skip_range)
+    config, predictor = resolve_config_and_predictor(model, calibration, config)
+    haan_layers = apply_haan(model, config, predictor=predictor)
+    return CalibrationArtifact(
+        model_name=model_name,
+        dataset=dataset,
+        model=model,
+        config=config,
+        calibration=calibration,
+        haan_layers=haan_layers,
+        reference_layers=reference_layers,
+    )
+
+
+ArtifactLoader = Callable[[str, str], CalibrationArtifact]
+
+
+@dataclass
+class RegistryStats:
+    """Cache effectiveness counters of the registry."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CalibrationRegistry:
+    """Thread-safe LRU cache of calibration artifacts.
+
+    Parameters
+    ----------
+    loader:
+        ``(model_name, dataset) -> CalibrationArtifact`` factory invoked on a
+        miss; defaults to :func:`default_artifact_loader`.  Tests inject a
+        cheap loader.
+    capacity:
+        Maximum number of cached artifacts; the least recently *used* entry
+        is evicted when a miss would exceed it.
+    """
+
+    def __init__(self, loader: Optional[ArtifactLoader] = None, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._loader = loader or default_artifact_loader
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, str], CalibrationArtifact]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._build_done = threading.Condition(self._lock)
+        self._in_flight: set = set()
+        self.stats = RegistryStats()
+
+    def get(self, model_name: str, dataset: str = "default") -> CalibrationArtifact:
+        """Fetch (or build) the artifact for a (model, dataset) pair.
+
+        Calibration can take seconds, so it runs outside the registry lock
+        (cache hits for other models are never blocked behind a cold miss)
+        with single-flight arbitration: concurrent misses for the same key
+        run Algorithm 1 exactly once and the stragglers reuse the result.
+        A failed build wakes the waiters and the next one retries --
+        serialized, and without leaking per-key state.
+        """
+        key = (model_name, dataset)
+        with self._lock:
+            while True:
+                artifact = self._entries.get(key)
+                if artifact is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return artifact
+                if key not in self._in_flight:
+                    self._in_flight.add(key)
+                    self.stats.misses += 1
+                    break
+                self._build_done.wait()
+        try:
+            artifact = self._loader(model_name, dataset)
+        except BaseException:
+            with self._lock:
+                self._in_flight.discard(key)
+                self._build_done.notify_all()
+            raise
+        with self._lock:
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            self._in_flight.discard(key)
+            self._build_done.notify_all()
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return artifact
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def cached_keys(self) -> List[Tuple[str, str]]:
+        """Cached (model, dataset) keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Registry state for the telemetry endpoint."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "keys": [f"{m}/{d}" for m, d in self._entries],
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "hit_rate": self.stats.hit_rate,
+            }

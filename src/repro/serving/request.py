@@ -1,0 +1,104 @@
+"""Request / response envelopes of the normalization serving runtime.
+
+A request asks the service to normalize one activation tensor with one
+normalization layer of a calibrated model.  The payload may be a single
+``(hidden,)`` vector (one token) or a ``(rows, hidden)`` matrix (a chunk of
+a sequence); the response restores the payload's original shape.
+
+Requests optionally carry an :class:`~repro.llm.hooks.ActivationContext`.
+Reusing one context across the requests of a single activation stream gives
+the batched runtime the same cross-layer ISD visibility a single-request
+forward pass has: skipped layers read the anchor ISD the stream's earlier
+request deposited.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.llm.hooks import ActivationContext
+
+_request_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class RequestKey:
+    """Coalescing key: requests sharing a key may ride one micro-batch.
+
+    Two requests can only be stacked when they resolve to the *same*
+    normalization layer object -- same calibrated model artifact, same layer
+    index, same path (HAAN or the exact reference layer used as the golden
+    model).
+    """
+
+    model: str
+    layer_index: int
+    dataset: str = "default"
+    reference: bool = False
+
+
+class NormRequest:
+    """One normalization request submitted to the service.
+
+    A hand-rolled ``__slots__`` class rather than a dataclass: requests are
+    created once per served payload, so construction is a hot path and a
+    single ``__init__`` call (no ``__post_init__`` / default-factory hops)
+    measurably matters.
+    """
+
+    __slots__ = ("key", "payload", "context", "request_id", "rows", "num_rows")
+
+    def __init__(
+        self,
+        key: RequestKey,
+        payload: np.ndarray,
+        context: Optional[ActivationContext] = None,
+    ):
+        arr = np.asarray(payload, dtype=np.float64)
+        ndim = arr.ndim
+        if ndim == 2:
+            rows, num_rows = arr, arr.shape[0]
+        elif ndim == 1:
+            rows, num_rows = arr.reshape(1, -1), 1
+        else:
+            raise ValueError(
+                f"payload must be (hidden,) or (rows, hidden); got shape {arr.shape}"
+            )
+        if arr.size == 0:
+            # A zero-row (or zero-width) payload has nothing to normalize and
+            # would corrupt the micro-batch's segment bookkeeping.
+            raise ValueError(f"payload must be non-empty; got shape {arr.shape}")
+        self.key = key
+        self.payload = arr
+        self.context = context
+        self.request_id = next(_request_ids)
+        #: The payload viewed as a 2-D ``(rows, hidden)`` matrix.
+        self.rows = rows
+        #: Number of vectors this request normalizes.
+        self.num_rows = num_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"NormRequest(id={self.request_id}, key={self.key}, "
+            f"rows={self.num_rows})"
+        )
+
+
+@dataclass(slots=True)
+class NormResponse:
+    """Result of one request, shaped like its payload."""
+
+    request_id: int
+    key: RequestKey
+    output: np.ndarray
+    mean: np.ndarray
+    isd: np.ndarray
+    was_predicted: bool
+    was_subsampled: bool
+    batch_size: int
+    queue_wait: float
+    batch_latency: float

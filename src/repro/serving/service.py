@@ -1,0 +1,273 @@
+"""`NormalizationService`: the serving front door.
+
+Accepts single, bulk and streaming normalization requests, coalesces them
+through the :class:`~repro.serving.batcher.MicroBatcher`, resolves each
+micro-batch against a :class:`~repro.serving.registry.CalibrationRegistry`
+artifact, and executes the vectorized
+:meth:`~repro.core.haan_norm.HaanNormalization.forward_batched` kernel --
+one ndarray call per batch instead of one per request.  Outputs are
+bit-identical to running every request alone through the per-request layer
+(the golden-model contract ``tests/test_serving.py`` enforces).
+
+Two execution modes:
+
+* **threaded** (default): a background worker drains the queues; callers
+  block on futures and the latency/size triggers of the batcher apply.
+* **inline** (``threaded=False``): nothing runs until the caller drains;
+  deterministic, used by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.haan_norm import HaanNormalization
+from repro.llm.config import NormKind
+from repro.llm.hooks import ActivationContext, scatter_isd, stack_anchor_isds
+from repro.serving.batcher import (
+    BatcherConfig,
+    MicroBatcher,
+    PendingRequest,
+    ResponseFuture,
+)
+from repro.serving.registry import CalibrationRegistry
+from repro.serving.request import NormRequest, NormResponse, RequestKey
+from repro.serving.telemetry import ServingTelemetry
+
+
+def _path_flags(layer) -> tuple:
+    """(was_predicted, was_subsampled) of a batched call, from config alone.
+
+    Mirrors the flag logic of :class:`HaanNormalization`: skipped layers
+    predict the ISD and subsample only the LayerNorm mean (when enabled);
+    computed layers subsample whenever a subsample setting exists.
+    """
+    if not isinstance(layer, HaanNormalization):
+        return False, False
+    if layer.is_skipped:
+        subsampled = (
+            layer.subsample is not None
+            and layer.subsample_mean
+            and layer.kind is not NormKind.RMSNORM
+        )
+        return True, subsampled
+    return False, layer.subsample is not None
+
+
+class NormalizationService:
+    """Batched normalization serving runtime."""
+
+    def __init__(
+        self,
+        registry: Optional[CalibrationRegistry] = None,
+        config: Optional[BatcherConfig] = None,
+        telemetry: Optional[ServingTelemetry] = None,
+        threaded: bool = True,
+    ):
+        # `is not None`, not truthiness: an empty registry has len() == 0.
+        self.registry = registry if registry is not None else CalibrationRegistry()
+        self.telemetry = telemetry if telemetry is not None else ServingTelemetry()
+        self._queue_clock = time.monotonic
+        self.batcher = MicroBatcher(self._execute_batch, config, clock=self._queue_clock)
+        self._threaded = threaded
+        if threaded:
+            self.batcher.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the batcher (flushing every queued request) in both modes.
+
+        ``MicroBatcher.stop`` handles the never-started inline case too, so
+        a post-close submit raises instead of queueing a request nothing
+        will ever drain.
+        """
+        self.batcher.stop()
+
+    def __enter__(self) -> "NormalizationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request API -------------------------------------------------------
+
+    def submit(
+        self,
+        payload: np.ndarray,
+        model: str,
+        layer_index: int = 0,
+        dataset: str = "default",
+        reference: bool = False,
+        context: Optional[ActivationContext] = None,
+    ) -> ResponseFuture:
+        """Enqueue one request; returns a future of :class:`NormResponse`."""
+        key = RequestKey(
+            model=model, layer_index=layer_index, dataset=dataset, reference=reference
+        )
+        return self.batcher.submit(NormRequest(key=key, payload=payload, context=context))
+
+    def submit_many(
+        self,
+        payloads: Sequence[np.ndarray],
+        model: str,
+        layer_index: int = 0,
+        dataset: str = "default",
+        reference: bool = False,
+        context: Optional[ActivationContext] = None,
+    ) -> List[ResponseFuture]:
+        """Enqueue a burst of requests under one scheduler lock acquisition."""
+        key = RequestKey(
+            model=model, layer_index=layer_index, dataset=dataset, reference=reference
+        )
+        return self.batcher.submit_many(
+            [NormRequest(key=key, payload=payload, context=context) for payload in payloads]
+        )
+
+    def normalize(self, payload: np.ndarray, model: str, **kwargs) -> NormResponse:
+        """Normalize one tensor synchronously."""
+        future = self.submit(payload, model, **kwargs)
+        if not self._threaded:
+            self.batcher.drain_all()
+        return future.result()
+
+    def normalize_many(
+        self, payloads: Sequence[np.ndarray], model: str, **kwargs
+    ) -> List[NormResponse]:
+        """Normalize a bulk of independent tensors, coalesced into batches."""
+        futures = self.submit_many(payloads, model, **kwargs)
+        if not self._threaded:
+            self.batcher.drain_all()
+        return [future.result() for future in futures]
+
+    def stream(
+        self,
+        chunks: Iterable[np.ndarray],
+        model: str,
+        layer_index: int = 0,
+        dataset: str = "default",
+        reference: bool = False,
+        context: Optional[ActivationContext] = None,
+    ) -> Iterator[NormResponse]:
+        """Normalize a stream of activation chunks, yielding results in order.
+
+        By default every chunk gets its own fresh
+        :class:`ActivationContext` (chunks are independent token groups, so
+        cross-layer ISD state must stay per-chunk).  Pass ``context`` to
+        share one across all chunks -- the batched equivalent of calling the
+        layer sequentially with a shared context, which is only meaningful
+        when the stream re-sends the *same* tokens through successive
+        layers one chunk at a time: like the sequential per-request path, a
+        later chunk's stored ISD overwrites an earlier chunk's.
+        """
+        futures = [
+            self.submit(
+                chunk,
+                model,
+                layer_index=layer_index,
+                dataset=dataset,
+                reference=reference,
+                context=context if context is not None else ActivationContext(),
+            )
+            for chunk in chunks
+        ]
+        if not self._threaded:
+            self.batcher.drain_all()
+        for future in futures:
+            yield future.result()
+
+    # -- batch execution ---------------------------------------------------
+
+    def _execute_batch(self, key: RequestKey, batch: List[PendingRequest]) -> None:
+        """Resolve one micro-batch against the registry and run the kernel."""
+        try:
+            artifact = self.registry.get(key.model, key.dataset)
+            layer = artifact.layer(key.layer_index, reference=key.reference)
+        except Exception as error:  # noqa: BLE001 -- fail the whole batch
+            self.telemetry.observe_error()
+            for pending in batch:
+                pending.set_exception(error)
+            return
+
+        good: List[PendingRequest] = []
+        rows_list: List[np.ndarray] = []
+        for pending in batch:
+            rows = pending.request.rows
+            if rows.shape[1] != layer.hidden_size:
+                pending.set_exception(
+                    ValueError(
+                        f"payload width {rows.shape[1]} does not match hidden "
+                        f"size {layer.hidden_size} of {key.model}/{key.dataset} "
+                        f"layer {key.layer_index}"
+                    )
+                )
+            else:
+                good.append(pending)
+                rows_list.append(rows)
+        if not good:
+            return
+
+        counts = [rows.shape[0] for rows in rows_list]
+        contexts = [pending.request.context for pending in good]
+        starts = np.cumsum([0] + counts[:-1])
+        stacked = np.concatenate(rows_list, axis=0)
+        anchor = None
+        if isinstance(layer, HaanNormalization) and layer.is_skipped:
+            anchor = stack_anchor_isds(contexts, layer.predictor.anchor_layer, counts)
+
+        released_at = self._queue_clock()
+        start_time = time.perf_counter()
+        try:
+            output, mean, isd = layer.forward_batched(stacked, starts, anchor)
+        except Exception as error:  # noqa: BLE001
+            self.telemetry.observe_error()
+            for pending in good:
+                pending.set_exception(error)
+            return
+        batch_seconds = time.perf_counter() - start_time
+        scatter_isd(contexts, layer.layer_index, isd, counts)
+
+        # Derive the path flags from the layer's configuration, not its
+        # per-call mutable state: services sharing a registry may run the
+        # same layer object concurrently.
+        was_predicted, was_subsampled = _path_flags(layer)
+        queue_waits = [released_at - pending.enqueued_at for pending in good]
+        batch_size = len(good)
+        # Responses are disjoint row views of the batch arrays: a caller
+        # mutating its own output can never touch a sibling's rows (the
+        # cost is that a live response pins its batch's buffer).  The
+        # statistics are additionally frozen read-only, and contexts store
+        # copies (scatter_isd), so no response aliases cross-request or
+        # cross-layer state.
+        mean.flags.writeable = False
+        isd.flags.writeable = False
+        offset = 0
+        for pending, count, wait in zip(good, counts, queue_waits):
+            segment = slice(offset, offset + count)
+            offset += count
+            request = pending.request
+            pending.set_result(
+                NormResponse(  # positional: field order of NormResponse
+                    request.request_id,
+                    key,
+                    output[segment].reshape(request.payload.shape),
+                    mean[segment],
+                    isd[segment],
+                    was_predicted,
+                    was_subsampled,
+                    batch_size,
+                    wait,
+                    batch_seconds,
+                )
+            )
+        self.telemetry.observe_batch(
+            num_requests=len(good),
+            num_rows=int(stacked.shape[0]),
+            queue_waits=queue_waits,
+            batch_seconds=batch_seconds,
+            rows_predicted=int(stacked.shape[0]) if was_predicted else 0,
+            rows_subsampled=int(stacked.shape[0]) if was_subsampled else 0,
+        )

@@ -1,0 +1,245 @@
+"""Serving telemetry: latency histograms, rate counters, throughput gauges.
+
+Everything is in-process and lock-protected; the CLI renders
+:meth:`ServingTelemetry.format_table` after a run and tests assert on
+:meth:`ServingTelemetry.snapshot`.  Histograms use log-spaced buckets (the
+Prometheus idiom for latency) so tail percentiles stay resolvable across
+six decades without per-observation storage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.utils.tables import format_table
+
+
+class LatencyHistogram:
+    """Fixed log-spaced-bucket histogram of durations in seconds."""
+
+    def __init__(
+        self,
+        lower: float = 1e-6,
+        upper: float = 10.0,
+        buckets_per_decade: int = 5,
+    ):
+        if not 0 < lower < upper:
+            raise ValueError("need 0 < lower < upper")
+        decades = np.log10(upper / lower)
+        num_edges = int(np.ceil(decades * buckets_per_decade)) + 1
+        #: Upper bounds of the finite buckets; one overflow bucket follows.
+        self.edges = lower * np.power(10.0, np.arange(num_edges) / buckets_per_decade)
+        self.counts = np.zeros(num_edges + 1, dtype=np.int64)
+        self.total = 0.0
+        self.count = 0
+        self.max_value = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        value = float(seconds)
+        index = int(np.searchsorted(self.edges, value, side="left"))
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+        if value > self.max_value:
+            self.max_value = value
+
+    def observe_many(self, seconds: np.ndarray) -> None:
+        """Record a batch of durations in one vectorized pass."""
+        values = np.asarray(seconds, dtype=np.float64)
+        if values.size == 0:
+            return
+        indices = np.searchsorted(self.edges, values, side="left")
+        self.counts += np.bincount(indices, minlength=self.counts.size)
+        self.total += float(values.sum())
+        self.count += int(values.size)
+        peak = float(values.max())
+        if peak > self.max_value:
+            self.max_value = peak
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded durations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the ``p``-th percentile.
+
+        Histogram percentiles are bucket-resolution estimates: the true
+        value lies at or below the returned bound.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = np.ceil(self.count * p / 100.0)
+        cumulative = np.cumsum(self.counts)
+        index = int(np.searchsorted(cumulative, max(rank, 1)))
+        if index >= self.edges.size:
+            return self.max_value
+        return float(self.edges[index])
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary statistics for reporting."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max_value,
+        }
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class ServingTelemetry:
+    """Aggregated metrics of one :class:`NormalizationService` instance.
+
+    Tracks request/row/batch counts, the share of rows served by the
+    predicted-ISD (skip) and subsampled paths, queue-wait and kernel-latency
+    histograms, the micro-batch size distribution, and wall-clock
+    throughput over the observed window.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.requests_total = Counter()
+        self.rows_total = Counter()
+        self.batches_total = Counter()
+        self.rows_predicted = Counter()
+        self.rows_subsampled = Counter()
+        self.errors_total = Counter()
+        self.queue_wait = LatencyHistogram()
+        self.batch_latency = LatencyHistogram()
+        self.max_batch_size = 0
+        self._first_at: Optional[float] = None
+        self._last_at: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def observe_batch(
+        self,
+        num_requests: int,
+        num_rows: int,
+        queue_waits: np.ndarray,
+        batch_seconds: float,
+        rows_predicted: int,
+        rows_subsampled: int,
+    ) -> None:
+        """Fold one executed micro-batch into the aggregates."""
+        now = self._clock()
+        with self._lock:
+            if self._first_at is None:
+                self._first_at = now - batch_seconds
+            self._last_at = now
+            self.requests_total.increment(num_requests)
+            self.rows_total.increment(num_rows)
+            self.batches_total.increment()
+            self.rows_predicted.increment(rows_predicted)
+            self.rows_subsampled.increment(rows_subsampled)
+            if num_requests > self.max_batch_size:
+                self.max_batch_size = num_requests
+            self.batch_latency.observe(batch_seconds)
+            self.queue_wait.observe_many(queue_waits)
+
+    def observe_error(self) -> None:
+        """Record one failed batch."""
+        with self._lock:
+            self.errors_total.increment()
+
+    # -- derived gauges ----------------------------------------------------
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of rows whose ISD was predicted rather than computed."""
+        total = self.rows_total.value
+        return self.rows_predicted.value / total if total else 0.0
+
+    @property
+    def subsample_rate(self) -> float:
+        """Fraction of rows whose statistics used the subsampled estimator."""
+        total = self.rows_total.value
+        return self.rows_subsampled.value / total if total else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests coalesced per micro-batch."""
+        batches = self.batches_total.value
+        return self.requests_total.value / batches if batches else 0.0
+
+    def observed_window(self) -> float:
+        """Wall-clock span (seconds) between the first and last batch."""
+        if self._first_at is None or self._last_at is None:
+            return 0.0
+        return max(self._last_at - self._first_at, 0.0)
+
+    def requests_per_second(self) -> float:
+        """Request throughput over the observed window."""
+        window = self.observed_window()
+        return self.requests_total.value / window if window > 0 else 0.0
+
+    def rows_per_second(self) -> float:
+        """Row (token) throughput over the observed window."""
+        window = self.observed_window()
+        return self.rows_total.value / window if window > 0 else 0.0
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """All aggregates as one plain dictionary."""
+        with self._lock:
+            return {
+                "requests_total": self.requests_total.value,
+                "rows_total": self.rows_total.value,
+                "batches_total": self.batches_total.value,
+                "errors_total": self.errors_total.value,
+                "mean_batch_size": self.mean_batch_size,
+                "max_batch_size": self.max_batch_size,
+                "skip_rate": self.skip_rate,
+                "subsample_rate": self.subsample_rate,
+                "requests_per_second": self.requests_per_second(),
+                "rows_per_second": self.rows_per_second(),
+                "queue_wait": self.queue_wait.snapshot(),
+                "batch_latency": self.batch_latency.snapshot(),
+            }
+
+    def format_table(self) -> str:
+        """Aligned plain-text rendering (the ``haan-serve`` summary)."""
+        snap = self.snapshot()
+        rows = [
+            ["requests", f"{snap['requests_total']}"],
+            ["rows (tokens)", f"{snap['rows_total']}"],
+            ["micro-batches", f"{snap['batches_total']}"],
+            ["errors", f"{snap['errors_total']}"],
+            ["mean batch size", f"{snap['mean_batch_size']:.2f}"],
+            ["skip rate", f"{100.0 * snap['skip_rate']:.1f}%"],
+            ["subsample rate", f"{100.0 * snap['subsample_rate']:.1f}%"],
+            ["requests/sec", f"{snap['requests_per_second']:.0f}"],
+            ["rows/sec", f"{snap['rows_per_second']:.0f}"],
+            ["queue wait p50/p99", _format_pair(snap["queue_wait"])],
+            ["batch latency p50/p99", _format_pair(snap["batch_latency"])],
+        ]
+        return format_table(["metric", "value"], rows, title="haan-serve telemetry")
+
+
+def _format_pair(hist_snapshot: Dict[str, float]) -> str:
+    """Render a histogram's p50/p99 pair in microseconds."""
+    return (
+        f"{1e6 * hist_snapshot['p50']:.0f}us / {1e6 * hist_snapshot['p99']:.0f}us"
+    )

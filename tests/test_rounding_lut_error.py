@@ -217,7 +217,9 @@ class TestErrorAnalysis:
 
     @given(
         scale=st.floats(min_value=1e-3, max_value=1e3),
-        noise=st.floats(min_value=0.0, max_value=0.1),
+        # Noise below ~1e-9 is dominated by float64 rounding, where the SQNR
+        # is ill-conditioned and scale invariance genuinely breaks down.
+        noise=st.floats(min_value=1e-9, max_value=0.1),
     )
     @settings(max_examples=30, deadline=None)
     def test_sqnr_is_scale_invariant(self, scale, noise):
