@@ -29,10 +29,12 @@ from repro.core.subsampling import (
     SubsampleSettings,
     batched_subsampled_statistics,
     subsampled_statistics,
+    validate_segment_lengths,
 )
 from repro.llm.config import NormKind
 from repro.llm.hooks import ActivationContext
 from repro.llm.normalization import BaseNorm
+from repro.numerics import kernels
 from repro.numerics.fast_inv_sqrt import FastInvSqrt
 from repro.numerics.quantization import DataFormat, segmented_round_trip, storage_round_trip
 
@@ -106,6 +108,8 @@ class HaanNormalization(BaseNorm):
         rows: np.ndarray,
         segment_starts: Optional[np.ndarray] = None,
         anchor_isd: Optional[np.ndarray] = None,
+        workspace: Optional[kernels.KernelWorkspace] = None,
+        out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Normalize a stack of independent request segments in one call.
 
@@ -116,6 +120,70 @@ class HaanNormalization(BaseNorm):
         ``anchor_isd`` carries one anchor-layer ISD per stacked row
         (``NaN`` where a request's context lacks the anchor), mirroring the
         per-request :meth:`IsdPredictor.predict_from_context` semantics.
+
+        Executes the fused :func:`repro.numerics.kernels.haan_normalize_rows`
+        kernel -- storage round trip, statistics, ISD refinement and affine
+        transform in one pass over ``workspace`` scratch, writing into
+        ``out`` when given.  :meth:`forward_batched_reference` retains the
+        unfused pipeline as the golden model the kernel is tested against.
+        """
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.hidden_size:
+            raise ValueError(
+                f"forward_batched expects (rows, {self.hidden_size}); got {arr.shape}"
+            )
+        self._predicted_last = False
+        self._subsampled_last = False
+        predicted_isd = None
+        refine = None
+        if self.is_skipped:
+            self._predicted_last = True
+            predicted_isd = self._batched_predicted_isd(anchor_isd, arr.shape[0])
+            if (
+                self.kind is not NormKind.RMSNORM
+                and self.subsample is not None
+                and self.subsample_mean
+            ):
+                self._subsampled_last = True
+        else:
+            refine = self._refine_isd
+            if self.subsample is not None:
+                self._subsampled_last = True
+                if segment_starts is None:
+                    lengths = np.array([arr.shape[0]])
+                else:
+                    lengths = np.diff(np.append(segment_starts, arr.shape[0]))
+                validate_segment_lengths(lengths, arr.shape[0])
+        subsample = self.subsample
+        return kernels.haan_normalize_rows(
+            arr,
+            self.gamma,
+            self.beta,
+            storage=self.data_format.value,
+            segment_starts=segment_starts,
+            rms=self.kind is NormKind.RMSNORM,
+            eps=self.eps,
+            subsample_length=None if subsample is None else subsample.length,
+            subsample_policy="truncate" if subsample is None else subsample.policy.value,
+            subsample_mean=self.subsample_mean,
+            predicted_isd=predicted_isd,
+            refine_isd=refine,
+            workspace=workspace,
+            out=out,
+        )
+
+    def forward_batched_reference(
+        self,
+        rows: np.ndarray,
+        segment_starts: Optional[np.ndarray] = None,
+        anchor_isd: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Golden-model batched path: the unfused PR-1 pipeline.
+
+        Separate full-array passes for quantize, statistics and affine,
+        with fresh intermediate allocations.  The fused kernel behind
+        :meth:`forward_batched` must match this bit for bit; the golden
+        equivalence suite and the kernel benchmark both call it.
         """
         arr = np.asarray(rows, dtype=np.float64)
         if arr.ndim != 2 or arr.shape[1] != self.hidden_size:

@@ -21,6 +21,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.llm.config import NormKind
+from repro.numerics import kernels
 
 
 class SubsamplePolicy(enum.Enum):
@@ -95,14 +96,24 @@ def batched_subsampled_statistics(
     arr = np.asarray(stacked_rows, dtype=np.float64)
     if arr.ndim != 2:
         raise ValueError("batched_subsampled_statistics expects a 2-D stacked array")
-    lengths = np.asarray(segment_lengths, dtype=np.int64)
-    if lengths.size and (np.any(lengths <= 0) or int(lengths.sum()) != arr.shape[0]):
-        raise ValueError(
-            f"segment lengths {lengths.tolist()} do not tile the {arr.shape[0]} stacked rows"
-        )
+    validate_segment_lengths(segment_lengths, arr.shape[0])
     return subsampled_statistics(
         arr, settings, kind=kind, eps=eps, subsample_mean=subsample_mean
     )
+
+
+def validate_segment_lengths(segment_lengths: np.ndarray, total_rows: int) -> np.ndarray:
+    """Check that per-request segment lengths tile the stacked rows exactly.
+
+    Shared by the unfused batched statistics above and the fused serving
+    kernel path, so both raise identically on corrupt segment bookkeeping.
+    """
+    lengths = np.asarray(segment_lengths, dtype=np.int64)
+    if lengths.size and (np.any(lengths <= 0) or int(lengths.sum()) != total_rows):
+        raise ValueError(
+            f"segment lengths {lengths.tolist()} do not tile the {total_rows} stacked rows"
+        )
+    return lengths
 
 
 def subsampled_statistics(
@@ -111,6 +122,7 @@ def subsampled_statistics(
     kind: NormKind = NormKind.LAYERNORM,
     eps: float = 1e-5,
     subsample_mean: bool = True,
+    workspace: "kernels.KernelWorkspace | None" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Estimate per-row (mean, ISD) from a subsampled view of the input.
 
@@ -118,19 +130,22 @@ def subsampled_statistics(
     selected elements.  For LayerNorm, when ``subsample_mean`` is False the
     mean is still computed over the full vector (more accurate but more
     hardware passes); when True both statistics share the truncated view.
+
+    The reductions run through the :mod:`repro.numerics.kernels` rowwise
+    statistics (bit-identical to ``np.mean`` / ``ndarray.var``); passing a
+    ``workspace`` reuses its scratch buffers instead of allocating the
+    deviation matrix per call.
     """
     arr = np.asarray(rows, dtype=np.float64)
     if arr.ndim != 2:
         raise ValueError("subsampled_statistics expects a 2-D (rows, hidden) array")
     sub = select_subsample(arr, settings)
     if kind is NormKind.RMSNORM:
-        mean_square = np.mean(np.square(sub), axis=1)
-        isd = 1.0 / np.sqrt(mean_square + eps)
+        isd = kernels.inv_sqrt_stat(kernels.rowwise_mean_square(sub, workspace), eps)
         return np.zeros(arr.shape[0]), isd
     mean_source = sub if subsample_mean else arr
     mean = mean_source.mean(axis=1)
-    variance = sub.var(axis=1)
-    isd = 1.0 / np.sqrt(variance + eps)
+    isd = kernels.inv_sqrt_stat(kernels.rowwise_variance(sub, workspace), eps)
     return mean, isd
 
 

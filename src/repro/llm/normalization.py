@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.llm.config import NormKind
 from repro.llm.hooks import ActivationContext, NormLayerRecord
+from repro.numerics import kernels
 
 
 class BaseNorm:
@@ -88,8 +89,7 @@ class BaseNorm:
         original_shape = arr.shape
         rows = arr.reshape(-1, self.hidden_size)
         mean, isd = self.compute_statistics(rows, context)
-        normalized = (rows - mean[:, None]) * isd[:, None]
-        out = normalized * self.gamma[None, :] + self.beta[None, :]
+        out = kernels.normalize_affine(rows, mean, isd, self.gamma, self.beta)
         if context is not None:
             context.store_isd(self.layer_index, isd)
             context.record(
@@ -110,6 +110,8 @@ class BaseNorm:
         rows: np.ndarray,
         segment_starts: Optional[np.ndarray] = None,
         anchor_isd: Optional[np.ndarray] = None,
+        workspace: Optional[kernels.KernelWorkspace] = None,
+        out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Serving fast path: normalize stacked request rows in one call.
 
@@ -119,8 +121,10 @@ class BaseNorm:
         is a per-row reduction, so the batched call is bit-identical to
         calling the layer once per segment -- the parameters only matter for
         subclasses whose numerics couple rows (per-tensor quantization) or
-        consume cross-request state (predicted ISDs).  Returns
-        ``(output, mean, isd)`` without touching any activation context.
+        consume cross-request state (predicted ISDs).  ``workspace`` pools
+        kernel scratch and ``out`` receives the normalized rows (both
+        optional).  Returns ``(output, mean, isd)`` without touching any
+        activation context.
         """
         arr = np.asarray(rows, dtype=np.float64)
         if arr.ndim != 2 or arr.shape[1] != self.hidden_size:
@@ -128,8 +132,7 @@ class BaseNorm:
                 f"forward_batched expects (rows, {self.hidden_size}); got {arr.shape}"
             )
         mean, isd = self.compute_statistics(arr, None)
-        normalized = (arr - mean[:, None]) * isd[:, None]
-        out = normalized * self.gamma[None, :] + self.beta[None, :]
+        out = kernels.normalize_affine(arr, mean, isd, self.gamma, self.beta, out=out)
         return out, mean, isd
 
     # Hooks for subclasses (the HAAN layer) to report how statistics were

@@ -14,8 +14,15 @@ fixed-point intermediate computation.  This subpackage provides:
   (constant ``0x5f3759df``) plus Newton refinement of equations (8)-(9).
 * :mod:`repro.numerics.quantization` -- per-tensor symmetric INT8 / FP16 /
   FP32 quantization used by the HAAN algorithm (Section III-C).
+* :mod:`repro.numerics.kernels` -- vectorized, allocation-lean fast paths
+  (whole-array minifloat codec, ``int64`` fixed-point arithmetic, the fused
+  HAAN normalization kernel and its :class:`KernelWorkspace` buffer pool);
+  the scalar implementations above remain the golden models they are
+  tested against bit for bit.
 """
 
+from repro.numerics import kernels
+from repro.numerics.kernels import KernelWorkspace, haan_normalize_rows, normalize_affine
 from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
 from repro.numerics.floating import FloatFormat, FP16, FP32, decompose, compose
 from repro.numerics.convert import FP2FXConverter, FX2FPConverter
@@ -42,6 +49,10 @@ from repro.numerics.error_analysis import (
 )
 
 __all__ = [
+    "kernels",
+    "KernelWorkspace",
+    "haan_normalize_rows",
+    "normalize_affine",
     "MinifloatFormat",
     "E4M3",
     "E5M2",

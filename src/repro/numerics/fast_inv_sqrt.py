@@ -19,6 +19,7 @@ power models, and exposes error metrics used by the ablation benchmark
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Union
 
 import numpy as np
@@ -41,9 +42,18 @@ ArrayLike = Union[np.ndarray, float, int]
 NEWTON_THREE_HALVES_CODE = 0x00C00000
 NEWTON_FRACTION_BITS = 23
 
+#: The 1.5 constant decoded once to its real value (exactly 1.5); hoisted so
+#: the Newton refinement never re-derives it per call.
+NEWTON_THREE_HALVES = NEWTON_THREE_HALVES_CODE * 2.0 ** (-NEWTON_FRACTION_BITS)
 
+
+@lru_cache(maxsize=None)
 def _magic_for(fmt: FloatFormat) -> int:
-    """Return the bit-hack magic constant for the given float format."""
+    """Return the bit-hack magic constant for the given float format.
+
+    Cached per (frozen, hashable) format so the seed computation resolves
+    the constant once instead of re-branching on every call.
+    """
     if fmt.total_bits == 32:
         return FAST_INV_SQRT_MAGIC_FP32
     if fmt.total_bits == 16:
@@ -152,7 +162,7 @@ class FastInvSqrt:
 
         seed = initial_seed(arr, self.float_format)
         # The Newton refinement runs in fixed point: quantize the operands.
-        three_halves = NEWTON_THREE_HALVES_CODE * 2.0 ** (-NEWTON_FRACTION_BITS)
+        three_halves = NEWTON_THREE_HALVES
         y = self.newton_format.quantize(seed)
         x_fx = self.newton_format.quantize(arr)
         for _ in range(self.newton_iterations):

@@ -25,6 +25,8 @@ from typing import Iterable, Union
 
 import numpy as np
 
+from repro.numerics import kernels
+
 ArrayLike = Union[np.ndarray, float, int, Iterable[float]]
 
 
@@ -232,16 +234,38 @@ class FixedPointValue:
         saturated.
         """
         out_fmt = out_fmt or self.fmt
-        product = self.codes.astype(object) * other.codes.astype(object)
         shift = self.fmt.fraction_bits + other.fmt.fraction_bits - out_fmt.fraction_bits
+        if self.fmt.total_bits + other.fmt.total_bits <= 64:
+            # The full product provably fits int64: run the vectorized kernel.
+            shifted = kernels.fixed_point_multiply_codes(self.codes, other.codes, shift)
+        else:
+            shifted = self._multiply_shift_reference(other.codes, shift)
+        return FixedPointValue(out_fmt, out_fmt._bound(shifted))
+
+    def multiply_reference(
+        self, other: "FixedPointValue", out_fmt: FixedPointFormat | None = None
+    ) -> "FixedPointValue":
+        """Golden-model multiply: exact Python-``int`` products and shifts.
+
+        Retained as the reference the vectorized :meth:`multiply` kernel is
+        tested against bit for bit (and the fallback for operand formats
+        whose product could overflow ``int64``).
+        """
+        out_fmt = out_fmt or self.fmt
+        shift = self.fmt.fraction_bits + other.fmt.fraction_bits - out_fmt.fraction_bits
+        shifted = self._multiply_shift_reference(other.codes, shift)
+        return FixedPointValue(out_fmt, out_fmt._bound(shifted))
+
+    def _multiply_shift_reference(self, other_codes: np.ndarray, shift: int) -> np.ndarray:
+        """Scalar product/shift loop over exact Python integers."""
+        product = self.codes.astype(object) * other_codes.astype(object)
         if shift > 0:
             shifted = np.array([int(p) >> shift for p in np.ravel(product)], dtype=np.float64)
         elif shift < 0:
             shifted = np.array([int(p) << (-shift) for p in np.ravel(product)], dtype=np.float64)
         else:
             shifted = np.array([float(int(p)) for p in np.ravel(product)], dtype=np.float64)
-        shifted = shifted.reshape(np.shape(product))
-        return FixedPointValue(out_fmt, out_fmt._bound(shifted))
+        return shifted.reshape(np.shape(product))
 
     def multiply_scalar(self, scalar: float, out_fmt: FixedPointFormat | None = None) -> "FixedPointValue":
         """Multiply by a real scalar (e.g. the precomputed ``1/N`` constant)."""
@@ -280,8 +304,16 @@ class FixedPointValue:
 
         Mirrors an adder tree whose internal width is wide enough not to
         overflow (the paper's accelerator sizes the tree for the embedding
-        dimension), with saturation only at the output register.
+        dimension), with saturation only at the output register.  Uses
+        ``int64`` accumulation with an explicit overflow bound check
+        (chunked partial sums when the worst case could exceed ``int64``)
+        instead of a ``dtype=object`` reduction.
         """
+        total = float(kernels.exact_code_sum(self.codes, self.fmt.total_bits))
+        return FixedPointValue(self.fmt, self.fmt._bound(np.array(total)))
+
+    def sum_reference(self) -> "FixedPointValue":
+        """Golden-model reduction over exact Python integers (object dtype)."""
         total = float(int(np.sum(self.codes, dtype=object)))
         return FixedPointValue(self.fmt, self.fmt._bound(np.array(total)))
 

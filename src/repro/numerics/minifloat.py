@@ -22,9 +22,12 @@ hardware converters which avoid producing infinities from casts).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Union
 
 import numpy as np
+
+from repro.numerics import kernels
 
 ArrayLike = Union[np.ndarray, float, int, Iterable[float]]
 
@@ -129,15 +132,24 @@ class MinifloatFormat:
         return sign * (1.0 + mantissa * 2.0 ** (-self.mantissa_bits)) * 2.0 ** (exponent - self.bias)
 
     def all_values(self) -> np.ndarray:
-        """Every representable value, in code order (useful for tests)."""
-        return np.array([self.decode_code(code) for code in range(self.num_codes)])
+        """Every representable value, in code order (useful for tests).
+
+        The table is computed once per format and cached; the returned
+        array is read-only (copy before mutating).
+        """
+        return _all_values_cached(self)
 
     def encode(self, values: ArrayLike) -> np.ndarray:
         """Encode real values to raw bit patterns (round-to-nearest-even).
 
         Overflow saturates to the largest finite value; NaN encodes to the
-        format's NaN pattern.
+        format's NaN pattern.  Runs the vectorized bit-twiddling kernel;
+        :meth:`encode_reference` is the retained scalar golden model.
         """
+        return kernels.minifloat_encode(values, self)
+
+    def encode_reference(self, values: ArrayLike) -> np.ndarray:
+        """Scalar golden-model encoder (one `_encode_scalar` call per element)."""
         arr = np.asarray(values, dtype=np.float64)
         flat = arr.reshape(-1)
         codes = np.zeros(flat.shape, dtype=np.int64)
@@ -212,7 +224,15 @@ class MinifloatFormat:
         return exponent, mantissa
 
     def decode(self, codes: ArrayLike) -> np.ndarray:
-        """Decode raw bit patterns back to float64 values."""
+        """Decode raw bit patterns back to float64 values.
+
+        Runs the vectorized field-extraction kernel;
+        :meth:`decode_reference` is the retained scalar golden model.
+        """
+        return kernels.minifloat_decode(codes, self)
+
+    def decode_reference(self, codes: ArrayLike) -> np.ndarray:
+        """Scalar golden-model decoder (one `decode_code` call per element)."""
         arr = np.asarray(codes, dtype=np.int64)
         flat = arr.reshape(-1)
         values = np.array([self.decode_code(int(code)) for code in flat])
@@ -226,6 +246,14 @@ class MinifloatFormat:
         """Absolute error introduced by storing each value in this format."""
         arr = np.asarray(values, dtype=np.float64)
         return np.abs(self.round_trip(arr) - arr)
+
+
+@lru_cache(maxsize=None)
+def _all_values_cached(fmt: MinifloatFormat) -> np.ndarray:
+    """Cached, read-only code table of a format (frozen formats hash stably)."""
+    values = kernels.minifloat_decode(np.arange(fmt.num_codes), fmt)
+    values.flags.writeable = False
+    return values
 
 
 #: OCP FP8 E4M3: extended-range 8-bit float without infinities.

@@ -20,6 +20,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.numerics import kernels
 from repro.numerics.floating import FP16, FP32
 
 ArrayLike = Union[np.ndarray, float, int]
@@ -182,6 +183,7 @@ def segmented_round_trip(
     rows: np.ndarray,
     segment_starts: Optional[np.ndarray],
     data_format: DataFormat,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Round stacked request segments through a storage format, per segment.
 
@@ -193,25 +195,19 @@ def segmented_round_trip(
     segment (``segment_starts`` holds the first row index of each request)
     in one vectorized pass, and is bit-identical to quantizing every
     segment separately.  FP16/FP32 round trips are elementwise, so the
-    segmentation is irrelevant for them.
+    segmentation is irrelevant for them.  ``out``, when given, receives
+    the rounded rows for every format (and is the return value).
     """
     arr = np.asarray(rows, dtype=np.float64)
     if arr.ndim != 2:
         raise ValueError("segmented_round_trip expects a 2-D (rows, hidden) array")
     if data_format is not DataFormat.INT8 or arr.size == 0:
-        return storage_round_trip(arr, data_format)
-    if segment_starts is None:
-        starts = np.array([0], dtype=np.int64)
-    else:
-        starts = np.asarray(segment_starts, dtype=np.int64)
-    if starts.size == 0 or starts[0] != 0 or np.any(np.diff(starts) <= 0):
-        raise ValueError("segment_starts must begin at 0 and be strictly increasing")
-    if starts[-1] >= arr.shape[0]:
-        raise ValueError("segment_starts reaches past the stacked rows")
-    row_max = np.max(np.abs(arr), axis=1)
-    segment_max = np.maximum.reduceat(row_max, starts)
-    scales = np.where(segment_max == 0.0, 1.0, segment_max / Quantizer.INT8_MAX)
-    lengths = np.diff(np.append(starts, arr.shape[0]))
-    row_scale = np.repeat(scales, lengths)[:, None]
-    codes = np.clip(np.rint(arr / row_scale), -Quantizer.INT8_MAX, Quantizer.INT8_MAX)
-    return codes * row_scale
+        result = storage_round_trip(arr, data_format)
+        if out is not None:
+            np.copyto(out, result)
+            return out
+        return result
+    row_scale = kernels.int8_segment_scales(arr, segment_starts)
+    return kernels.int8_round_trip_rows(
+        arr, row_scale, out=out, int8_max=Quantizer.INT8_MAX
+    )

@@ -23,6 +23,7 @@ from typing import Iterable, Optional, Union
 
 import numpy as np
 
+from repro.numerics import kernels
 from repro.numerics.fixedpoint import FixedPointFormat
 
 ArrayLike = Union[np.ndarray, float, int, Iterable[float]]
@@ -51,32 +52,24 @@ def round_to_grid(
     fmt: FixedPointFormat,
     mode: RoundingMode = RoundingMode.NEAREST_EVEN,
     rng: Optional[np.random.Generator] = None,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Quantize real values onto the grid of ``fmt`` using ``mode``.
 
     Returns real (float64) values lying on the fixed-point grid, saturated
     to the format's range.  ``rng`` is required for stochastic rounding so
     results are reproducible; omitting it uses a fixed-seed generator.
+    The rounding itself runs through the vectorized
+    :func:`repro.numerics.kernels.round_codes` kernel; passing ``out``
+    (same shape as ``values``, float64) makes the whole grid mapping
+    allocation-free apart from the initial scaling.
     """
     arr = np.asarray(values, dtype=np.float64)
-    scaled = arr * (1 << fmt.fraction_bits)
-    scaled = np.where(np.isnan(scaled), 0.0, scaled)
-    if mode is RoundingMode.NEAREST_EVEN:
-        codes = np.rint(scaled)
-    elif mode is RoundingMode.TRUNCATE:
-        codes = np.floor(scaled)
-    elif mode is RoundingMode.TOWARD_ZERO:
-        codes = np.trunc(scaled)
-    elif mode is RoundingMode.STOCHASTIC:
-        generator = rng if rng is not None else np.random.default_rng(0)
-        floor = np.floor(scaled)
-        fraction = scaled - floor
-        draws = generator.random(size=arr.shape)
-        codes = floor + (draws < fraction)
-    else:  # pragma: no cover - exhaustive over the enum
-        raise ValueError(f"unhandled rounding mode: {mode}")
-    codes = np.clip(codes, fmt.min_code, fmt.max_code)
-    return codes * fmt.scale
+    scaled = np.asarray(np.multiply(arr, 1 << fmt.fraction_bits, out=out))
+    scaled[np.isnan(scaled)] = 0.0  # the FP2FX unit treats non-finite input as zero
+    codes = kernels.round_codes(scaled, mode.value, rng=rng, out=scaled)
+    codes = np.clip(codes, fmt.min_code, fmt.max_code, out=codes)
+    return np.multiply(codes, fmt.scale, out=codes)
 
 
 def rounding_bias(

@@ -149,7 +149,10 @@ class PendingRequest(ResponseFuture):
 
 
 BucketKey = Tuple[RequestKey, int]
-ExecuteFn = Callable[[RequestKey, List[PendingRequest]], None]
+#: Batch executor callback: ``(request_key, batch, total_rows)``.  The
+#: batcher already sums the stacked row count while forming the batch, so
+#: the executor can size its staging buffers without re-walking the batch.
+ExecuteFn = Callable[[RequestKey, List[PendingRequest], int], None]
 
 
 class MicroBatcher:
@@ -158,8 +161,9 @@ class MicroBatcher:
     Parameters
     ----------
     execute:
-        Callback receiving ``(request_key, batch)``; it must resolve every
-        pending future (the batcher fails them if the callback raises).
+        Callback receiving ``(request_key, batch, total_rows)``; it must
+        resolve every pending future (the batcher fails them if the
+        callback raises).
     config:
         Scheduling configuration.
     clock:
@@ -229,7 +233,7 @@ class MicroBatcher:
 
     def _pop_batch_locked(
         self, now: float, force: bool
-    ) -> Tuple[Optional[Tuple[RequestKey, List[PendingRequest]]], Optional[float]]:
+    ) -> Tuple[Optional[Tuple[RequestKey, List[PendingRequest], int]], Optional[float]]:
         """Pop a releasable batch, or report how long the head may still wait.
 
         The size trigger is checked across *every* bucket (oldest full
@@ -270,11 +274,11 @@ class MicroBatcher:
             rows += pending.request.num_rows
         if not queue:
             del self._queues[bucket]
-        return (bucket[0], batch), None
+        return (bucket[0], batch, rows), None
 
-    def _run_batch(self, key: RequestKey, batch: List[PendingRequest]) -> None:
+    def _run_batch(self, key: RequestKey, batch: List[PendingRequest], rows: int) -> None:
         try:
-            self._execute(key, batch)
+            self._execute(key, batch, rows)
         except BaseException as error:  # noqa: BLE001 -- never strand a future
             for pending in batch:
                 if not pending.done():
@@ -292,8 +296,8 @@ class MicroBatcher:
             ready, _ = self._pop_batch_locked(self._clock(), force=force)
         if ready is None:
             return 0
-        key, batch = ready
-        self._run_batch(key, batch)
+        key, batch, rows = ready
+        self._run_batch(key, batch, rows)
         return len(batch)
 
     def drain_all(self) -> int:
@@ -343,5 +347,5 @@ class MicroBatcher:
                     # until a submit arrives) and a deadline otherwise.
                     self._cond.wait(timeout=wait_hint)
                     continue
-            key, batch = ready
-            self._run_batch(key, batch)
+            key, batch, rows = ready
+            self._run_batch(key, batch, rows)

@@ -19,6 +19,7 @@ Two execution modes:
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable, Iterator, List, Optional, Sequence
 
@@ -27,6 +28,7 @@ import numpy as np
 from repro.core.haan_norm import HaanNormalization
 from repro.llm.config import NormKind
 from repro.llm.hooks import ActivationContext, scatter_isd, stack_anchor_isds
+from repro.numerics.kernels import KernelWorkspace
 from repro.serving.batcher import (
     BatcherConfig,
     MicroBatcher,
@@ -70,6 +72,16 @@ class NormalizationService:
         # `is not None`, not truthiness: an empty registry has len() == 0.
         self.registry = registry if registry is not None else CalibrationRegistry()
         self.telemetry = telemetry if telemetry is not None else ServingTelemetry()
+        # Per-service scratch pool for the fused kernel.  Everything a
+        # response keeps -- output rows, mean, isd -- lives in per-batch
+        # result arrays, so pooled scratch can never leak into a response
+        # across batches.  The execute lock serializes batch execution:
+        # normally batches already run one at a time (the worker thread, or
+        # the inline-draining caller), but a caller manually draining a
+        # *threaded* service would otherwise share the workspace with the
+        # worker mid-kernel and corrupt both batches.
+        self._workspace = KernelWorkspace()
+        self._execute_lock = threading.Lock()
         self._queue_clock = time.monotonic
         self.batcher = MicroBatcher(self._execute_batch, config, clock=self._queue_clock)
         self._threaded = threaded
@@ -181,8 +193,16 @@ class NormalizationService:
 
     # -- batch execution ---------------------------------------------------
 
-    def _execute_batch(self, key: RequestKey, batch: List[PendingRequest]) -> None:
+    def _execute_batch(
+        self, key: RequestKey, batch: List[PendingRequest], total_rows: int
+    ) -> None:
         """Resolve one micro-batch against the registry and run the kernel."""
+        with self._execute_lock:
+            self._execute_batch_locked(key, batch, total_rows)
+
+    def _execute_batch_locked(
+        self, key: RequestKey, batch: List[PendingRequest], total_rows: int
+    ) -> None:
         try:
             artifact = self.registry.get(key.model, key.dataset)
             layer = artifact.layer(key.layer_index, reference=key.reference)
@@ -197,6 +217,7 @@ class NormalizationService:
         for pending in batch:
             rows = pending.request.rows
             if rows.shape[1] != layer.hidden_size:
+                total_rows -= rows.shape[0]
                 pending.set_exception(
                     ValueError(
                         f"payload width {rows.shape[1]} does not match hidden "
@@ -213,7 +234,13 @@ class NormalizationService:
         counts = [rows.shape[0] for rows in rows_list]
         contexts = [pending.request.context for pending in good]
         starts = np.cumsum([0] + counts[:-1])
-        stacked = np.concatenate(rows_list, axis=0)
+        # Stack the request segments into pooled staging instead of
+        # `np.concatenate`: the size-bucketed queues make batch shapes
+        # recur, so steady-state serving re-fills the same buffer.  Only
+        # the output matrix (owned by the responses) is allocated per batch.
+        stacked = self._workspace.matrix("service.staging", total_rows, layer.hidden_size)
+        np.concatenate(rows_list, axis=0, out=stacked)
+        output = np.empty((total_rows, layer.hidden_size))
         anchor = None
         if isinstance(layer, HaanNormalization) and layer.is_skipped:
             anchor = stack_anchor_isds(contexts, layer.predictor.anchor_layer, counts)
@@ -221,7 +248,9 @@ class NormalizationService:
         released_at = self._queue_clock()
         start_time = time.perf_counter()
         try:
-            output, mean, isd = layer.forward_batched(stacked, starts, anchor)
+            output, mean, isd = layer.forward_batched(
+                stacked, starts, anchor, workspace=self._workspace, out=output
+            )
         except Exception as error:  # noqa: BLE001
             self.telemetry.observe_error()
             for pending in good:

@@ -95,6 +95,86 @@ class LatencyHistogram:
         }
 
 
+class LatencyReservoir:
+    """Bounded ring buffer of the most recent raw latency samples.
+
+    The histograms above are the unbounded-horizon aggregate: fixed memory,
+    but bucket-resolution percentiles.  The reservoir complements them with
+    *exact* percentiles over a recent window while staying strictly
+    bounded -- a long-running ``haan-serve`` session holds at most
+    ``capacity`` float64 samples per reservoir, never an ever-growing
+    sample list.  Older samples are overwritten ring-style.
+    """
+
+    __slots__ = ("_samples", "_next", "_filled")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be at least 1")
+        self._samples = np.zeros(capacity, dtype=np.float64)
+        self._next = 0
+        self._filled = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples (the memory bound)."""
+        return int(self._samples.size)
+
+    @property
+    def count(self) -> int:
+        """Number of samples currently in the window."""
+        return self._filled
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration, evicting the oldest once full."""
+        samples = self._samples
+        samples[self._next] = seconds
+        self._next = (self._next + 1) % samples.size
+        if self._filled < samples.size:
+            self._filled += 1
+
+    def observe_many(self, seconds: np.ndarray) -> None:
+        """Record a batch of durations in one vectorized ring write."""
+        values = np.asarray(seconds, dtype=np.float64).reshape(-1)
+        capacity = self._samples.size
+        if values.size >= capacity:
+            # Only the newest `capacity` samples survive anyway.
+            self._samples[:] = values[-capacity:]
+            self._next = 0
+            self._filled = capacity
+            return
+        first = min(values.size, capacity - self._next)
+        self._samples[self._next : self._next + first] = values[:first]
+        remainder = values.size - first
+        if remainder:
+            self._samples[:remainder] = values[first:]
+        self._next = (self._next + values.size) % capacity
+        self._filled = min(self._filled + values.size, capacity)
+
+    def values(self) -> np.ndarray:
+        """Copy of the retained window (unordered)."""
+        return self._samples[: self._filled].copy()
+
+    def percentile(self, p: float) -> float:
+        """Exact ``p``-th percentile of the retained window (0 when empty)."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self._filled == 0:
+            return 0.0
+        return float(np.percentile(self._samples[: self._filled], p))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary statistics of the recent window."""
+        window = self._samples[: self._filled]
+        return {
+            "count": self._filled,
+            "capacity": self.capacity,
+            "p50": float(np.percentile(window, 50)) if self._filled else 0.0,
+            "p99": float(np.percentile(window, 99)) if self._filled else 0.0,
+            "max": float(np.max(window)) if self._filled else 0.0,
+        }
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -116,7 +196,11 @@ class ServingTelemetry:
     throughput over the observed window.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        sample_capacity: int = 4096,
+    ):
         self._lock = threading.Lock()
         self._clock = clock
         self.requests_total = Counter()
@@ -127,6 +211,10 @@ class ServingTelemetry:
         self.errors_total = Counter()
         self.queue_wait = LatencyHistogram()
         self.batch_latency = LatencyHistogram()
+        #: Bounded raw-sample windows (exact recent percentiles at fixed
+        #: memory; `sample_capacity` caps what a long-running session holds).
+        self.recent_queue_wait = LatencyReservoir(sample_capacity)
+        self.recent_batch_latency = LatencyReservoir(sample_capacity)
         self.max_batch_size = 0
         self._first_at: Optional[float] = None
         self._last_at: Optional[float] = None
@@ -157,6 +245,8 @@ class ServingTelemetry:
                 self.max_batch_size = num_requests
             self.batch_latency.observe(batch_seconds)
             self.queue_wait.observe_many(queue_waits)
+            self.recent_batch_latency.observe(batch_seconds)
+            self.recent_queue_wait.observe_many(queue_waits)
 
     def observe_error(self) -> None:
         """Record one failed batch."""
@@ -217,6 +307,8 @@ class ServingTelemetry:
                 "rows_per_second": self.rows_per_second(),
                 "queue_wait": self.queue_wait.snapshot(),
                 "batch_latency": self.batch_latency.snapshot(),
+                "recent_queue_wait": self.recent_queue_wait.snapshot(),
+                "recent_batch_latency": self.recent_batch_latency.snapshot(),
             }
 
     def format_table(self) -> str:
@@ -234,6 +326,8 @@ class ServingTelemetry:
             ["rows/sec", f"{snap['rows_per_second']:.0f}"],
             ["queue wait p50/p99", _format_pair(snap["queue_wait"])],
             ["batch latency p50/p99", _format_pair(snap["batch_latency"])],
+            ["recent queue wait p50/p99", _format_pair(snap["recent_queue_wait"])],
+            ["recent batch latency p50/p99", _format_pair(snap["recent_batch_latency"])],
         ]
         return format_table(["metric", "value"], rows, title="haan-serve telemetry")
 
