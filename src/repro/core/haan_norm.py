@@ -16,6 +16,17 @@ the three optimizations of Section III:
 
 The layer shares the affine parameters of the layer it replaces, so
 installing HAAN never changes the model's weights.
+
+Since the :mod:`repro.engine` refactor this class carries **no execution
+machinery of its own**: its configuration compiles (once) into an
+:class:`~repro.engine.plan.ExecutionPlan`, the inherited
+:meth:`~repro.llm.normalization.BaseNorm.forward_batched` /
+``forward_batched_reference`` delegate to the registered ``vectorized`` /
+``reference`` backends, and the skip / subsample / refine math lives in the
+plan and :mod:`repro.engine.stats`.  What remains here is the per-request
+context protocol: reading the anchor ISD out of an
+:class:`~repro.llm.hooks.ActivationContext` and reporting how statistics
+were obtained.
 """
 
 from __future__ import annotations
@@ -25,18 +36,11 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.predictor import IsdPredictor
-from repro.core.subsampling import (
-    SubsampleSettings,
-    batched_subsampled_statistics,
-    subsampled_statistics,
-    validate_segment_lengths,
-)
-from repro.llm.config import NormKind
+from repro.core.subsampling import SubsampleSettings, subsampled_statistics
+from repro.engine.stats import skipped_mean
 from repro.llm.hooks import ActivationContext
 from repro.llm.normalization import BaseNorm
-from repro.numerics import kernels
-from repro.numerics.fast_inv_sqrt import FastInvSqrt
-from repro.numerics.quantization import DataFormat, segmented_round_trip, storage_round_trip
+from repro.numerics.quantization import DataFormat, storage_round_trip
 
 
 class HaanNormalization(BaseNorm):
@@ -67,7 +71,7 @@ class HaanNormalization(BaseNorm):
         self.data_format = data_format
         self.subsample_mean = subsample_mean
         self.use_hardware_inv_sqrt = use_hardware_inv_sqrt
-        self.inv_sqrt_unit = FastInvSqrt(newton_iterations=newton_iterations)
+        self.newton_iterations = newton_iterations
         self._predicted_last = False
         self._subsampled_last = False
 
@@ -84,6 +88,10 @@ class HaanNormalization(BaseNorm):
     def _last_was_subsampled(self) -> bool:
         return self._subsampled_last
 
+    def _note_batched_execution(self) -> None:
+        """Path flags come from the compiled plan: configuration, not state."""
+        self._predicted_last, self._subsampled_last = self.plan.path_flags()
+
     # -- forward -------------------------------------------------------------
 
     def __call__(self, x: np.ndarray, context: Optional[ActivationContext] = None) -> np.ndarray:
@@ -95,177 +103,25 @@ class HaanNormalization(BaseNorm):
     def compute_statistics(
         self, rows: np.ndarray, context: Optional[ActivationContext] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        self._predicted_last = False
-        self._subsampled_last = False
-        if self.is_skipped:
-            return self._predicted_statistics(rows, context)
-        return self._computed_statistics(rows)
+        """Per-request statistics: the reference path plus the context protocol.
 
-    # -- batched serving fast path ----------------------------------------
-
-    def forward_batched(
-        self,
-        rows: np.ndarray,
-        segment_starts: Optional[np.ndarray] = None,
-        anchor_isd: Optional[np.ndarray] = None,
-        workspace: Optional[kernels.KernelWorkspace] = None,
-        out: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Normalize a stack of independent request segments in one call.
-
-        Bit-identical to running :meth:`__call__` once per segment: the INT8
-        storage round trip calibrates its scale per segment (exactly as the
-        per-request path calibrates per tensor), and all statistics --
-        subsampled or exact -- are per-row reductions.  For skipped layers
-        ``anchor_isd`` carries one anchor-layer ISD per stacked row
-        (``NaN`` where a request's context lacks the anchor), mirroring the
-        per-request :meth:`IsdPredictor.predict_from_context` semantics.
-
-        Executes the fused :func:`repro.numerics.kernels.haan_normalize_rows`
-        kernel -- storage round trip, statistics, ISD refinement and affine
-        transform in one pass over ``workspace`` scratch, writing into
-        ``out`` when given.  :meth:`forward_batched_reference` retains the
-        unfused pipeline as the golden model the kernel is tested against.
+        The skipped / subsampled / exact selection is read off the compiled
+        plan's configuration; the math is the same single-source code the
+        reference backend executes.  The only per-request extra is the
+        anchor lookup: a skipped layer reads the anchor ISD deposited in
+        ``context`` by an earlier layer of the same forward pass.
         """
-        arr = np.asarray(rows, dtype=np.float64)
-        if arr.ndim != 2 or arr.shape[1] != self.hidden_size:
-            raise ValueError(
-                f"forward_batched expects (rows, {self.hidden_size}); got {arr.shape}"
-            )
-        self._predicted_last = False
-        self._subsampled_last = False
-        predicted_isd = None
-        refine = None
+        self._predicted_last, self._subsampled_last = self.plan.path_flags()
         if self.is_skipped:
-            self._predicted_last = True
-            predicted_isd = self._batched_predicted_isd(anchor_isd, arr.shape[0])
-            if (
-                self.kind is not NormKind.RMSNORM
-                and self.subsample is not None
-                and self.subsample_mean
-            ):
-                self._subsampled_last = True
-        else:
-            refine = self._refine_isd
-            if self.subsample is not None:
-                self._subsampled_last = True
-                if segment_starts is None:
-                    lengths = np.array([arr.shape[0]])
-                else:
-                    lengths = np.diff(np.append(segment_starts, arr.shape[0]))
-                validate_segment_lengths(lengths, arr.shape[0])
-        subsample = self.subsample
-        return kernels.haan_normalize_rows(
-            arr,
-            self.gamma,
-            self.beta,
-            storage=self.data_format.value,
-            segment_starts=segment_starts,
-            rms=self.kind is NormKind.RMSNORM,
-            eps=self.eps,
-            subsample_length=None if subsample is None else subsample.length,
-            subsample_policy="truncate" if subsample is None else subsample.policy.value,
-            subsample_mean=self.subsample_mean,
-            predicted_isd=predicted_isd,
-            refine_isd=refine,
-            workspace=workspace,
-            out=out,
-        )
-
-    def forward_batched_reference(
-        self,
-        rows: np.ndarray,
-        segment_starts: Optional[np.ndarray] = None,
-        anchor_isd: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Golden-model batched path: the unfused PR-1 pipeline.
-
-        Separate full-array passes for quantize, statistics and affine,
-        with fresh intermediate allocations.  The fused kernel behind
-        :meth:`forward_batched` must match this bit for bit; the golden
-        equivalence suite and the kernel benchmark both call it.
-        """
-        arr = np.asarray(rows, dtype=np.float64)
-        if arr.ndim != 2 or arr.shape[1] != self.hidden_size:
-            raise ValueError(
-                f"forward_batched expects (rows, {self.hidden_size}); got {arr.shape}"
+            isd = self.predictor.predict_from_context(context, self.layer_index, rows.shape[0])
+            mean = skipped_mean(
+                rows,
+                self.plan.spec.is_rms,
+                None if self.subsample is None else self.subsample.length,
+                self.subsample_mean,
             )
-        quantized = segmented_round_trip(arr, segment_starts, self.data_format)
-        self._predicted_last = False
-        self._subsampled_last = False
-        if self.is_skipped:
-            self._predicted_last = True
-            isd = self._batched_predicted_isd(anchor_isd, arr.shape[0])
-            mean = self._mean_only(quantized)
-        elif self.subsample is not None:
-            self._subsampled_last = True
-            if segment_starts is None:
-                lengths = np.array([arr.shape[0]])
-            else:
-                lengths = np.diff(np.append(segment_starts, arr.shape[0]))
-            mean, isd = batched_subsampled_statistics(
-                quantized,
-                lengths,
-                self.subsample,
-                kind=self.kind,
-                eps=self.eps,
-                subsample_mean=self.subsample_mean,
-            )
-            isd = self._refine_isd(isd)
-        else:
-            mean, isd = self._computed_statistics(quantized)
-        normalized = (quantized - mean[:, None]) * isd[:, None]
-        out = normalized * self.gamma[None, :] + self.beta[None, :]
-        return out, mean, isd
-
-    def _batched_predicted_isd(
-        self, anchor_isd: Optional[np.ndarray], num_rows: int
-    ) -> np.ndarray:
-        """Vectorized equation (3) over a stack of rows with mixed anchors.
-
-        Rows whose anchor ISD is missing (``NaN``) fall back to the
-        calibration-set scalar, matching what the per-request path does when
-        a context does not hold the anchor layer.
-        """
-        fallback = self.predictor.predict_scalar(self.layer_index)
-        if anchor_isd is None:
-            return np.full(num_rows, fallback)
-        anchor = np.asarray(anchor_isd, dtype=np.float64)
-        if anchor.shape != (num_rows,):
-            raise ValueError(f"anchor_isd must have shape ({num_rows},); got {anchor.shape}")
-        missing = ~np.isfinite(anchor)
-        if np.all(missing):
-            return np.full(num_rows, fallback)
-        safe = np.where(missing, 1.0, anchor)
-        offset = self.layer_index - self.predictor.anchor_layer
-        predicted = np.exp(np.log(safe) + self.predictor.decay * offset)
-        return np.where(missing, fallback, predicted)
-
-    # -- skipped layers: predict the ISD ---------------------------------
-
-    def _predicted_statistics(
-        self, rows: np.ndarray, context: Optional[ActivationContext]
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        self._predicted_last = True
-        isd = self.predictor.predict_from_context(context, self.layer_index, rows.shape[0])
-        mean = self._mean_only(rows)
-        return mean, isd
-
-    def _mean_only(self, rows: np.ndarray) -> np.ndarray:
-        """Mean of a skipped layer (RMSNorm never re-centers; LayerNorm may subsample)."""
-        if self.kind is NormKind.RMSNORM:
-            return np.zeros(rows.shape[0])
-        if self.subsample is not None and self.subsample_mean:
-            self._subsampled_last = True
-            length = min(self.subsample.length, rows.shape[1])
-            return rows[:, :length].mean(axis=1)
-        return rows.mean(axis=1)
-
-    # -- computed layers: subsample and/or hardware inverse sqrt -------------
-
-    def _computed_statistics(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            return mean, isd
         if self.subsample is not None:
-            self._subsampled_last = True
             mean, isd = subsampled_statistics(
                 rows,
                 self.subsample,
@@ -275,11 +131,4 @@ class HaanNormalization(BaseNorm):
             )
         else:
             mean, isd = self.base.compute_statistics(rows)
-        return mean, self._refine_isd(isd)
-
-    def _refine_isd(self, isd: np.ndarray) -> np.ndarray:
-        """Optionally route a computed ISD through the hardware inverse sqrt."""
-        if not self.use_hardware_inv_sqrt:
-            return isd
-        variance = 1.0 / np.square(isd) - self.eps
-        return self.inv_sqrt_unit.compute(np.maximum(variance, 0.0) + self.eps)
+        return mean, self.plan.refine_isd(isd)

@@ -1,0 +1,73 @@
+"""Pluggable normalization execution engine.
+
+One compiled plan, many machines.  The engine answers "how do we execute a
+normalization" exactly once, behind a registry of interchangeable
+backends:
+
+* :class:`~repro.engine.spec.EngineSpec` -- frozen, serializable execution
+  description compiled once from a :class:`~repro.core.config.HaanConfig`
+  plus the layer geometry (or from an installed layer).
+* :class:`~repro.engine.plan.ExecutionPlan` -- the spec bound to affine
+  parameters and the derived runtime helpers (predicted-ISD math,
+  hardware-inverse-sqrt refinement, path flags).
+* :mod:`~repro.engine.backends` -- ``reference`` (unfused golden path),
+  ``vectorized`` (fused kernel + workspace pooling) and ``simulated``
+  (reference numerics + hardware cycle/energy cost records), all behind
+  the :class:`~repro.engine.backends.NormBackend` contract.
+* :mod:`~repro.engine.registry` -- string-keyed backend registry and the
+  :func:`~repro.engine.registry.build` factory
+  (``engine.build(spec, backend="vectorized")``).
+
+Import structure
+----------------
+The public names below are resolved **lazily** (PEP 562).  This is load
+bearing, not cosmetic: :mod:`repro.llm.normalization` imports
+:mod:`repro.engine.stats` (the single source of the row-statistics
+equations) at module load, while the backends reach into
+:mod:`repro.core` / :mod:`repro.llm` -- an eager ``__init__`` would close
+that loop into a genuine import cycle.  Submodules order their imports so
+that ``stats`` / ``spec`` / ``plan`` stay leaves; ``backends`` and
+``registry`` may only be imported lazily (function level) from inside
+``repro.core`` and ``repro.llm`` modules.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "EngineSpec": "spec",
+    "compile_spec": "spec",
+    "spec_for_layer": "spec",
+    "ExecutionPlan": "plan",
+    "compile_plan": "plan",
+    "plan_for_layer": "plan",
+    "NormBackend": "backends",
+    "NormCostRecord": "backends",
+    "ReferenceBackend": "backends",
+    "SimulatedBackend": "backends",
+    "VectorizedBackend": "backends",
+    "Engine": "registry",
+    "available_backends": "registry",
+    "build": "registry",
+    "create_backend": "registry",
+    "register_backend": "registry",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    submodule = _EXPORTS.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f"{__name__}.{submodule}"), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

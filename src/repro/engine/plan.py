@@ -1,0 +1,154 @@
+"""`ExecutionPlan`: a compiled spec bound to its runtime parameters.
+
+An :class:`~repro.engine.spec.EngineSpec` is pure data; executing it also
+needs the layer's affine parameters and the small derived objects that are
+expensive or awkward to rebuild per call (the fast-inverse-square-root
+model).  :class:`ExecutionPlan` binds those together, compiled once per
+layer, and hosts the two pieces of per-row math that used to live inside
+:class:`~repro.core.haan_norm.HaanNormalization`:
+
+* :meth:`ExecutionPlan.predicted_isd` -- the vectorized equation (3) over a
+  stack of rows with mixed / missing anchors, and
+* :meth:`ExecutionPlan.refine_isd` -- the optional hardware inverse-sqrt
+  refinement of a computed ISD.
+
+Backends receive a plan plus the stacked rows and nothing else; every
+"which path does this layer take" question is answered by the plan
+(:meth:`path_flags`), so no caller carries its own dispatch.
+
+Imports only leaf modules (:mod:`numpy`, :mod:`repro.numerics`,
+:mod:`repro.engine.spec`, :mod:`repro.engine.stats`); in particular it does
+**not** import :mod:`repro.core`, so :mod:`repro.core.haan_norm` may import
+this module at load time without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.engine.spec import EngineSpec, spec_for_layer
+from repro.numerics.fast_inv_sqrt import FastInvSqrt
+
+
+class ExecutionPlan:
+    """A compiled, backend-agnostic execution plan for one normalization.
+
+    Parameters
+    ----------
+    spec:
+        The frozen execution description.
+    gamma / beta:
+        Affine parameters; default to identity (ones / zeros).  Stored by
+        reference, so a plan compiled from a layer shares the layer's
+        arrays.
+    """
+
+    __slots__ = ("spec", "gamma", "beta", "inv_sqrt")
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        gamma: Optional[np.ndarray] = None,
+        beta: Optional[np.ndarray] = None,
+    ):
+        hidden = spec.hidden_size
+        self.spec = spec
+        self.gamma = np.ones(hidden) if gamma is None else np.asarray(gamma, dtype=np.float64)
+        self.beta = np.zeros(hidden) if beta is None else np.asarray(beta, dtype=np.float64)
+        if self.gamma.shape != (hidden,) or self.beta.shape != (hidden,):
+            raise ValueError(f"affine parameters must have shape ({hidden},)")
+        self.inv_sqrt: Optional[FastInvSqrt] = (
+            FastInvSqrt(newton_iterations=spec.newton_iterations)
+            if spec.use_hardware_inv_sqrt
+            else None
+        )
+
+    # -- dispatch answers ---------------------------------------------------
+
+    def path_flags(self) -> Tuple[bool, bool]:
+        """``(was_predicted, was_subsampled)`` of any execution of this plan.
+
+        Determined by configuration alone: skipped layers predict the ISD
+        and subsample only the LayerNorm mean (when enabled); computed
+        layers subsample whenever a subsample length is configured.
+        """
+        spec = self.spec
+        if spec.skipped:
+            subsampled = (
+                spec.subsample_length is not None
+                and spec.subsample_mean
+                and not spec.is_rms
+            )
+            return True, subsampled
+        return False, spec.subsample_length is not None
+
+    # -- per-row math hoisted out of HaanNormalization ----------------------
+
+    def predicted_isd(self, anchor_isd: Optional[np.ndarray], num_rows: int) -> np.ndarray:
+        """Vectorized equation (3) over a stack of rows with mixed anchors.
+
+        Rows whose anchor ISD is missing (``NaN``) fall back to the
+        calibration-set scalar, matching what the per-request path does
+        when a context does not hold the anchor layer.
+        """
+        spec = self.spec
+        offset = spec.layer_index - spec.predictor_anchor_layer
+        fallback = float(np.exp(spec.predictor_anchor_log_isd + spec.predictor_decay * offset))
+        if anchor_isd is None:
+            return np.full(num_rows, fallback)
+        anchor = np.asarray(anchor_isd, dtype=np.float64)
+        if anchor.shape != (num_rows,):
+            raise ValueError(f"anchor_isd must have shape ({num_rows},); got {anchor.shape}")
+        missing = ~np.isfinite(anchor)
+        if np.all(missing):
+            return np.full(num_rows, fallback)
+        safe = np.where(missing, 1.0, anchor)
+        predicted = np.exp(np.log(safe) + spec.predictor_decay * offset)
+        return np.where(missing, fallback, predicted)
+
+    def refine_isd(self, isd: np.ndarray) -> np.ndarray:
+        """Optionally route a computed ISD through the hardware inverse sqrt."""
+        if self.inv_sqrt is None:
+            return isd
+        variance = 1.0 / np.square(isd) - self.spec.eps
+        return self.inv_sqrt.compute(np.maximum(variance, 0.0) + self.spec.eps)
+
+    # -- validation helpers shared by backends ------------------------------
+
+    def check_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Validate and coerce a stacked-rows operand to float64."""
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.spec.hidden_size:
+            raise ValueError(
+                f"forward_batched expects (rows, {self.spec.hidden_size}); got {arr.shape}"
+            )
+        return arr
+
+    def describe(self) -> dict:
+        """Plain-value summary (the spec dict plus plan-level facts)."""
+        payload = self.spec.to_dict()
+        payload["affine_identity"] = bool(
+            np.all(self.gamma == 1.0) and np.all(self.beta == 0.0)
+        )
+        return payload
+
+
+def compile_plan(
+    spec: EngineSpec,
+    gamma: Optional[np.ndarray] = None,
+    beta: Optional[np.ndarray] = None,
+) -> ExecutionPlan:
+    """Compile a spec (plus optional affine parameters) into a plan."""
+    return ExecutionPlan(spec, gamma=gamma, beta=beta)
+
+
+def plan_for_layer(layer) -> ExecutionPlan:
+    """Compile the plan of an installed normalization layer.
+
+    The plan shares the layer's affine arrays by reference, so
+    :meth:`~repro.llm.normalization.BaseNorm.load_affine` must invalidate
+    any cached plan (it does).
+    """
+    return ExecutionPlan(spec_for_layer(layer), gamma=layer.gamma, beta=layer.beta)

@@ -1,0 +1,144 @@
+"""String-keyed backend registry and the `engine.build` factory.
+
+The registry is the single place a "backend name" means anything: serving
+request keys, CLI ``--backend`` flags and the eval sweeps all resolve
+through :func:`create_backend`, and an unknown name always fails with the
+full list of registered backends.  Adding a new execution machine (a new
+storage format path, an accelerator baseline, a remote executor) is one
+:func:`register_backend` call -- no caller grows another branch.
+
+:class:`Engine` is the bound pair the rest of the stack holds on to: one
+compiled :class:`~repro.engine.plan.ExecutionPlan` plus one backend, with
+``run`` as the only execution entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.engine.backends import (
+    NormBackend,
+    ReferenceBackend,
+    SimulatedBackend,
+    VectorizedBackend,
+)
+from repro.engine.plan import ExecutionPlan, compile_plan
+from repro.engine.spec import EngineSpec
+
+#: Backend factories keyed by registry name.
+_FACTORIES: Dict[str, Callable[..., NormBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., NormBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _FACTORIES[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_FACTORIES)
+
+
+def create_backend(name: str, **kwargs) -> NormBackend:
+    """Instantiate a registered backend by name.
+
+    Raises ``ValueError`` listing the registry contents for unknown names,
+    so every caller (CLI flags, serving request keys) reports the same
+    actionable error.
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown normalization backend {name!r}; "
+            f"registered backends: {', '.join(available_backends())}"
+        )
+    return factory(**kwargs)
+
+
+register_backend(ReferenceBackend.name, ReferenceBackend)
+register_backend(VectorizedBackend.name, VectorizedBackend)
+register_backend(SimulatedBackend.name, SimulatedBackend)
+
+
+class Engine:
+    """One compiled plan bound to one execution backend."""
+
+    __slots__ = ("plan", "backend")
+
+    def __init__(self, plan: ExecutionPlan, backend: NormBackend):
+        self.plan = plan
+        self.backend = backend
+
+    @property
+    def name(self) -> str:
+        """Registry name of the bound backend."""
+        return self.backend.name
+
+    @property
+    def spec(self) -> EngineSpec:
+        """The frozen execution description this engine runs."""
+        return self.plan.spec
+
+    def run(
+        self,
+        rows: np.ndarray,
+        segment_starts: Optional[np.ndarray] = None,
+        anchor_isd: Optional[np.ndarray] = None,
+        workspace=None,
+        out: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Normalize stacked request rows; returns ``(output, mean, isd)``."""
+        return self.backend.run(
+            self.plan,
+            rows,
+            segment_starts=segment_starts,
+            anchor_isd=anchor_isd,
+            workspace=workspace,
+            out=out,
+        )
+
+    def path_flags(self) -> Tuple[bool, bool]:
+        """``(was_predicted, was_subsampled)`` of executions of this engine."""
+        return self.plan.path_flags()
+
+    def __repr__(self) -> str:
+        spec = self.plan.spec
+        return (
+            f"Engine(backend={self.name!r}, kind={spec.kind!r}, "
+            f"hidden={spec.hidden_size}, storage={spec.storage!r}, "
+            f"skipped={spec.skipped})"
+        )
+
+
+def build(
+    spec_or_plan: Union[EngineSpec, ExecutionPlan],
+    backend: Union[str, NormBackend] = "vectorized",
+    gamma: Optional[np.ndarray] = None,
+    beta: Optional[np.ndarray] = None,
+    **backend_kwargs,
+) -> Engine:
+    """Build an engine from a spec (or compiled plan) and a backend name.
+
+    The config-driven factory every norm-executing call site uses::
+
+        engine = build(spec, backend="vectorized")
+        output, mean, isd = engine.run(rows, segment_starts)
+
+    ``backend`` may also be an already-constructed :class:`NormBackend`
+    (shared scratch pools, a pre-configured simulated accelerator);
+    ``backend_kwargs`` are forwarded to the registry factory otherwise.
+    """
+    if isinstance(spec_or_plan, ExecutionPlan):
+        if gamma is not None or beta is not None:
+            raise ValueError("gamma/beta are compiled into the plan already")
+        plan = spec_or_plan
+    else:
+        plan = compile_plan(spec_or_plan, gamma=gamma, beta=beta)
+    resolved = backend if isinstance(backend, NormBackend) else create_backend(
+        backend, **backend_kwargs
+    )
+    return Engine(plan, resolved)

@@ -1,0 +1,250 @@
+"""`EngineSpec`: the frozen, serializable description of one normalization.
+
+Before the engine existed, "how do we execute this norm" was re-derived at
+every call site from a mix of :class:`~repro.core.config.HaanConfig`
+fields, :class:`~repro.core.haan_norm.HaanNormalization` attributes and
+per-call keyword arguments.  The spec collapses all of that into one
+immutable record compiled **once** -- from a ``HaanConfig`` plus the layer
+geometry (:func:`compile_spec`) or from an already-installed layer object
+(:func:`spec_for_layer`) -- and every backend executes from the spec alone.
+
+Every field is a plain ``str`` / ``int`` / ``float`` / ``bool`` / ``None``,
+so a spec round-trips through JSON (:meth:`EngineSpec.to_dict` /
+:meth:`EngineSpec.from_dict`) and can be shipped to a remote executor or
+stored next to a calibration artifact.
+
+This module deliberately imports only the standard library: it is the leaf
+of the engine package and may be imported from anywhere in ``repro``
+(including :mod:`repro.llm.normalization`) without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Optional
+
+#: Normalization kinds a spec can describe (``NormKind`` enum values).
+NORM_KINDS = ("layernorm", "rmsnorm")
+
+#: Storage formats of the quantize step (``DataFormat`` enum values);
+#: ``None`` means no storage round trip at all -- the exact reference
+#: layers, which never quantize their input.
+STORAGE_FORMATS = ("int8", "fp16", "fp32")
+
+#: Subsample policies (``SubsamplePolicy`` enum values).
+SUBSAMPLE_POLICIES = ("truncate", "strided")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Immutable execution description of one normalization layer.
+
+    Attributes
+    ----------
+    kind:
+        ``"layernorm"`` or ``"rmsnorm"``.
+    hidden_size:
+        Width of the vectors being normalized.
+    eps:
+        Numerical-stability epsilon added to the spread statistic.
+    storage:
+        Operand storage format (``"int8"`` / ``"fp16"`` / ``"fp32"``), or
+        ``None`` for the exact reference path that performs no round trip.
+    subsample_length / subsample_policy / subsample_mean:
+        Equation (4) settings (``subsample_length`` is expressed against
+        the *executed* hidden size, i.e. already scaled to the simulation
+        width); ``None`` length disables subsampling.
+    skipped:
+        Whether this layer's ISD is predicted (equation (3)) rather than
+        computed.  When True the four ``predictor_*`` coefficients must be
+        present.
+    use_hardware_inv_sqrt / newton_iterations:
+        Route computed ISDs through the fast-inverse-square-root model.
+    layer_index:
+        Position in the model's normalization order; the predictor offset
+        is ``layer_index - predictor_anchor_layer``.
+    predictor_*:
+        The log-linear ISD predictor coefficients of the skip range
+        (:class:`~repro.core.predictor.IsdPredictor` flattened to plain
+        numbers so the spec stays serializable).
+    """
+
+    kind: str
+    hidden_size: int
+    eps: float = 1e-5
+    storage: Optional[str] = None
+    subsample_length: Optional[int] = None
+    subsample_policy: str = "truncate"
+    subsample_mean: bool = True
+    skipped: bool = False
+    use_hardware_inv_sqrt: bool = False
+    newton_iterations: int = 1
+    layer_index: int = 0
+    predictor_anchor_layer: Optional[int] = None
+    predictor_last_layer: Optional[int] = None
+    predictor_decay: Optional[float] = None
+    predictor_anchor_log_isd: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in NORM_KINDS:
+            raise ValueError(f"unknown norm kind {self.kind!r}; expected one of {NORM_KINDS}")
+        if self.hidden_size < 1:
+            raise ValueError("hidden_size must be positive")
+        if self.storage is not None and self.storage not in STORAGE_FORMATS:
+            raise ValueError(
+                f"unknown storage format {self.storage!r}; expected one of "
+                f"{STORAGE_FORMATS} or None"
+            )
+        if self.subsample_length is not None and self.subsample_length <= 0:
+            raise ValueError("subsample_length must be positive")
+        if self.subsample_policy not in SUBSAMPLE_POLICIES:
+            raise ValueError(
+                f"unknown subsample policy {self.subsample_policy!r}; "
+                f"expected one of {SUBSAMPLE_POLICIES}"
+            )
+        if self.newton_iterations < 0:
+            raise ValueError("newton_iterations must be non-negative")
+        if self.skipped:
+            missing = [
+                name
+                for name in (
+                    "predictor_anchor_layer",
+                    "predictor_last_layer",
+                    "predictor_decay",
+                    "predictor_anchor_log_isd",
+                )
+                if getattr(self, name) is None
+            ]
+            if missing:
+                raise ValueError(
+                    f"a skipped spec needs predictor coefficients; missing {missing}"
+                )
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def is_rms(self) -> bool:
+        """True for RMSNorm semantics (no re-centering, mean pinned to 0)."""
+        return self.kind == "rmsnorm"
+
+    @property
+    def subsampling_enabled(self) -> bool:
+        """True when statistics are estimated from a truncated input."""
+        return self.subsample_length is not None
+
+    def with_overrides(self, **kwargs: Any) -> "EngineSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-value dictionary (JSON-safe) describing this spec."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EngineSpec":
+        """Rebuild a spec from :meth:`to_dict` output (extra keys rejected)."""
+        return cls(**payload)
+
+
+def compile_spec(
+    config,
+    kind,
+    hidden_size: int,
+    layer_index: int = 0,
+    eps: float = 1e-5,
+    predictor=None,
+    subsample_policy: str = "truncate",
+    subsample_length: Optional[int] = None,
+) -> EngineSpec:
+    """Compile a spec from a :class:`~repro.core.config.HaanConfig`.
+
+    ``config`` and ``predictor`` are duck-typed (only public attributes are
+    read) so this module stays import-free.  ``subsample_length`` overrides
+    the config's value -- callers that scale the paper's ``N_sub`` onto a
+    simulated hidden width (as :func:`repro.core.calibration.apply_haan`
+    does) pass the scaled length here; otherwise the config's own value is
+    used verbatim.
+    """
+    skipped = bool(config.is_skipped(layer_index))
+    if skipped and predictor is None:
+        raise ValueError("a predictor is required to compile a skipped layer's spec")
+    if subsample_length is None:
+        subsample_length = config.subsample_length
+    return EngineSpec(
+        kind=_kind_value(kind),
+        hidden_size=int(hidden_size),
+        eps=float(eps),
+        storage=_enum_value(config.data_format),
+        subsample_length=subsample_length,
+        subsample_policy=_enum_value(subsample_policy) or "truncate",
+        subsample_mean=bool(config.subsample_mean),
+        skipped=skipped,
+        use_hardware_inv_sqrt=bool(config.use_hardware_inv_sqrt),
+        newton_iterations=int(config.newton_iterations),
+        layer_index=int(layer_index),
+        **_predictor_fields(predictor if skipped else None),
+    )
+
+
+def spec_for_layer(layer) -> EngineSpec:
+    """Compile the spec of an installed normalization layer.
+
+    Works for both :class:`~repro.core.haan_norm.HaanNormalization` (reads
+    its skip / subsample / quantize configuration) and the exact reference
+    layers (which compile to a plain spec: no storage round trip, no
+    subsampling, never skipped).  Duck-typed, so importing the layer
+    classes is unnecessary.
+    """
+    predictor = getattr(layer, "predictor", None)
+    skipped = predictor is not None and predictor.covers(layer.layer_index)
+    subsample = getattr(layer, "subsample", None)
+    data_format = getattr(layer, "data_format", None)
+    return EngineSpec(
+        kind=_kind_value(layer.kind),
+        hidden_size=int(layer.hidden_size),
+        eps=float(layer.eps),
+        storage=_enum_value(data_format),
+        subsample_length=None if subsample is None else int(subsample.length),
+        subsample_policy="truncate" if subsample is None else _enum_value(subsample.policy),
+        subsample_mean=bool(getattr(layer, "subsample_mean", True)),
+        skipped=skipped,
+        use_hardware_inv_sqrt=bool(getattr(layer, "use_hardware_inv_sqrt", False)),
+        newton_iterations=int(getattr(layer, "newton_iterations", 1)),
+        layer_index=int(layer.layer_index),
+        **_predictor_fields(predictor if skipped else None),
+    )
+
+
+def _kind_value(kind) -> str:
+    """The ``NormKind`` value string of an enum member (or a plain string)."""
+    value = _enum_value(kind)
+    if value is None:
+        raise ValueError("a norm kind is required")
+    return value
+
+
+def _enum_value(obj) -> Optional[str]:
+    """``obj.value`` for enum members, the string itself otherwise."""
+    if obj is None:
+        return None
+    value = getattr(obj, "value", obj)
+    return str(value)
+
+
+def _predictor_fields(predictor) -> Dict[str, Optional[float]]:
+    """Flatten predictor coefficients into spec fields (all None when absent)."""
+    if predictor is None:
+        return {
+            "predictor_anchor_layer": None,
+            "predictor_last_layer": None,
+            "predictor_decay": None,
+            "predictor_anchor_log_isd": None,
+        }
+    return {
+        "predictor_anchor_layer": int(predictor.anchor_layer),
+        "predictor_last_layer": int(predictor.last_layer),
+        "predictor_decay": float(predictor.decay),
+        "predictor_anchor_log_isd": float(predictor.anchor_log_isd),
+    }

@@ -1,0 +1,89 @@
+"""Single source of the per-row normalization statistics equations.
+
+Before the engine existed the statistics math lived twice: once inline in
+:class:`~repro.llm.normalization.LayerNorm` / ``RMSNorm`` (``rows.mean`` /
+``rows.var`` spelled out) and once in the :mod:`repro.numerics.kernels`
+rowwise helpers that mirror those NumPy reductions bit for bit.  This
+module is now the **only** place the equations appear: the reference
+backend, the fused vectorized kernel *and* the reference layer classes all
+route through these functions, so the formulas can never drift apart.
+
+All functions are bit-identical to the historical NumPy expressions
+(``tests/test_kernels.py`` and ``tests/test_engine.py`` assert exact
+equality, never tolerances) and accept an optional
+:class:`~repro.numerics.kernels.KernelWorkspace` to pool the intermediate
+deviation / square matrices.
+
+Imports only :mod:`numpy` and :mod:`repro.numerics.kernels` -- a leaf
+module, safely importable from :mod:`repro.llm.normalization` without
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.numerics import kernels
+
+
+def layernorm_row_statistics(
+    rows: np.ndarray,
+    eps: float,
+    workspace: Optional[kernels.KernelWorkspace] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(mean, isd)`` of LayerNorm (paper equation (1)).
+
+    Bit-identical to ``rows.mean(axis=1)`` and
+    ``1 / sqrt(rows.var(axis=1) + eps)``.
+    """
+    mean = np.mean(rows, axis=1)
+    isd = kernels.inv_sqrt_stat(kernels.rowwise_variance(rows, workspace), eps)
+    return mean, isd
+
+
+def rmsnorm_row_statistics(
+    rows: np.ndarray,
+    eps: float,
+    workspace: Optional[kernels.KernelWorkspace] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(mean, isd)`` of RMSNorm (paper equation (2)).
+
+    RMSNorm never re-centers, so the mean is identically zero and the ISD
+    is ``1 / sqrt(mean(rows**2) + eps)`` -- bit-identical to the historical
+    ``np.mean(np.square(rows), axis=1)`` expression.
+    """
+    isd = kernels.inv_sqrt_stat(kernels.rowwise_mean_square(rows, workspace), eps)
+    return np.zeros(rows.shape[0]), isd
+
+
+def row_statistics(
+    rows: np.ndarray,
+    rms: bool,
+    eps: float,
+    workspace: Optional[kernels.KernelWorkspace] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact per-row statistics, dispatched on the normalization kind."""
+    if rms:
+        return rmsnorm_row_statistics(rows, eps, workspace)
+    return layernorm_row_statistics(rows, eps, workspace)
+
+
+def skipped_mean(
+    rows: np.ndarray,
+    rms: bool,
+    subsample_length: Optional[int],
+    subsample_mean: bool,
+) -> np.ndarray:
+    """Mean of a layer whose ISD is predicted rather than computed.
+
+    RMSNorm never re-centers; LayerNorm may estimate the mean from the
+    leading ``subsample_length`` elements (always a truncation, regardless
+    of the subsample policy -- the hardware mean path streams the prefix).
+    """
+    if rms:
+        return np.zeros(rows.shape[0])
+    if subsample_length is not None and subsample_mean:
+        return rows[:, : min(subsample_length, rows.shape[1])].mean(axis=1)
+    return rows.mean(axis=1)

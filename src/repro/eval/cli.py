@@ -47,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated sequence lengths for the latency sweeps (e.g. 128,256)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend for the norm-executing experiments "
+        "(serving, engine); see repro.engine.registry (default: vectorized)",
+    )
     return parser
 
 
@@ -57,6 +63,11 @@ def _experiment_kwargs(experiment_id: str, args: argparse.Namespace) -> dict:
         kwargs["num_items"] = args.items
     if args.seq_lens is not None and experiment_id in ("fig8b", "fig9", "end_to_end"):
         kwargs["seq_lens"] = tuple(int(s) for s in args.seq_lens.split(",") if s)
+    if args.backend is not None:
+        if experiment_id == "serving":
+            kwargs["backend"] = args.backend
+        elif experiment_id == "engine":
+            kwargs["backends"] = [args.backend]
     return kwargs
 
 
@@ -64,6 +75,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        from repro.engine.registry import create_backend
+
+        try:
+            # The registry owns the "unknown backend" message (it lists the
+            # registered names); validate up front for a clean exit code.
+            create_backend(args.backend)
+        except ValueError as error:
+            print(f"haan-experiments: {error}", file=sys.stderr)
+            return 2
 
     if args.list or args.experiment is None:
         print("Available experiments:")

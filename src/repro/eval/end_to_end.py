@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from repro.core.config import HaanConfig
-from repro.eval.latency_breakdown import PAPER_ORIGINAL_BREAKDOWN
 from repro.hardware.accelerator import HaanAccelerator
 from repro.hardware.baselines.dfx import DfxBaseline
 from repro.hardware.configs import HAAN_V1, AcceleratorConfig

@@ -18,7 +18,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.calibration import build_predictor_for_range
 from repro.core.config import HaanConfig, paper_config_for
 from repro.eval.accuracy import (
     AccuracyReport,
@@ -37,7 +36,7 @@ from repro.hardware.baselines import all_baselines
 from repro.hardware.configs import HAAN_V1, HAAN_V2, HAAN_V3, TABLE3_CONFIGS
 from repro.hardware.workload import NormalizationWorkload
 from repro.llm.config import get_model_config
-from repro.llm.datasets import available_tasks, calibration_texts
+from repro.llm.datasets import calibration_texts
 from repro.llm.model import TransformerModel
 from repro.numerics.quantization import DataFormat
 from repro.utils.tables import format_table
@@ -518,6 +517,95 @@ def run_pipeline_balance_ablation(
     )
 
 
+def run_engine_backends(
+    hidden: int = 96,
+    rows_per_request: int = 8,
+    requests: int = 6,
+    seed: int = 0,
+    repeats: int = 3,
+    backends: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Cross-backend sweep of the normalization execution engine.
+
+    Iterates the **registered** backends of :mod:`repro.engine.registry`
+    (never a hand-rolled if/else over known names, so a newly registered
+    backend automatically joins the sweep) over a computed and a skipped
+    HAAN configuration compiled from one :class:`~repro.engine.spec`
+    description each.  Reports per-backend wall-clock, the exact maximum
+    deviation from the ``reference`` backend (the golden contract demands
+    0), and -- for backends that emit cost records -- the modelled cycles,
+    energy and per-stage latency breakdown of the accelerator.
+    """
+    import time as _time
+
+    from repro.core.haan_norm import HaanNormalization
+    from repro.core.predictor import IsdPredictor
+    from repro.core.subsampling import SubsampleSettings
+    from repro.engine.registry import available_backends
+    from repro.llm.normalization import LayerNorm
+
+    backend_names = list(backends) if backends is not None else available_backends()
+    rng = np.random.default_rng(seed)
+    base = LayerNorm(hidden_size=hidden, layer_index=3, name="engine.bench")
+    base.load_affine(rng.normal(1.0, 0.1, hidden), rng.normal(0.0, 0.1, hidden))
+    predictor = IsdPredictor(anchor_layer=1, last_layer=5, decay=-0.05, anchor_log_isd=0.2)
+    computed = HaanNormalization(
+        base, subsample=SubsampleSettings(length=max(1, hidden // 4)), data_format=DataFormat.INT8
+    )
+    skipped = HaanNormalization(
+        computed.base, predictor=predictor, data_format=DataFormat.FP16
+    )
+    payloads = [rng.normal(size=(rows_per_request, hidden)) for _ in range(requests)]
+    stacked = np.concatenate(payloads, axis=0)
+    starts = np.cumsum([0] + [rows_per_request] * (requests - 1))
+    anchor = rng.uniform(0.5, 2.0, stacked.shape[0])
+
+    result = ExperimentResult(
+        experiment_id="engine",
+        title="Normalization engine backends: wall clock, equivalence, hardware cost",
+        headers=["backend", "config", "wall (us)", "max |d| vs reference", "cycles", "energy (nJ)"],
+    )
+    details: Dict[str, Dict[str, object]] = {}
+    golden: Dict[str, np.ndarray] = {}
+    for label, layer, anchor_isd in (("computed", computed, None), ("skipped", skipped, anchor)):
+        # engine_for compiles the layer's plan (spec + its real affine
+        # parameters), so the sweep exercises the full gamma/beta path.
+        golden[label] = layer.engine_for("reference").run(stacked, starts, anchor_isd)[0]
+    for name in backend_names:
+        for label, layer, anchor_isd in (
+            ("computed", computed, None),
+            ("skipped", skipped, anchor),
+        ):
+            engine = layer.engine_for(name)
+            times = []
+            output = None
+            for _ in range(max(1, repeats) + 1):  # first run is warmup
+                start = _time.perf_counter()
+                output, _, _ = engine.run(stacked, starts, anchor_isd)
+                times.append(_time.perf_counter() - start)
+            deviation = float(np.max(np.abs(output - golden[label]))) if output.size else 0.0
+            record = getattr(engine.backend, "last_record", None)
+            result.rows.append(
+                [
+                    name,
+                    label,
+                    f"{min(times[1:]) * 1e6:.1f}",
+                    f"{deviation:.1e}",
+                    "-" if record is None else str(record.total_cycles),
+                    "-" if record is None else f"{record.energy_nj:.1f}",
+                ]
+            )
+            details[f"{name}:{label}"] = {
+                "wall_seconds": min(times[1:]),
+                "max_abs_deviation": deviation,
+                "cost_record": record,
+                "stage_shares": None if record is None else record.stage_shares(),
+            }
+    result.metadata["details"] = details
+    result.metadata["backends"] = backend_names
+    return result
+
+
 def run_serving_throughput(
     model_name: str = "tiny",
     batch_sizes: Sequence[int] = (1, 8, 32, 128),
@@ -526,6 +614,7 @@ def run_serving_throughput(
     repeats: int = 3,
     seed: int = 0,
     dataset: str = "default",
+    backend: str = "vectorized",
     loader=None,
 ) -> ExperimentResult:
     """Requests/sec of the micro-batched serving path vs a per-request loop.
@@ -545,6 +634,7 @@ def run_serving_throughput(
         repeats=repeats,
         seed=seed,
         dataset=dataset,
+        backend=backend,
         loader=loader,
     )
     rows = [
@@ -582,6 +672,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation_invsqrt": run_invsqrt_ablation,
     "ablation_pipeline": run_pipeline_balance_ablation,
     "serving": run_serving_throughput,
+    "engine": run_engine_backends,
 }
 
 

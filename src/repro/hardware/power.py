@@ -24,7 +24,7 @@ achieved values are recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Sequence
 
 from repro.hardware.configs import AcceleratorConfig
 from repro.numerics.quantization import DataFormat

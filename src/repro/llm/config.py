@@ -21,8 +21,8 @@ Two widths are therefore tracked per model:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, List
 
 
 class NormKind(enum.Enum):

@@ -5,15 +5,21 @@ approximates.  Both layers share a common interface:
 
 * ``compute_statistics(x)`` returns the per-row ``(mean, isd)`` pair, where
   ``isd = 1/sigma`` (LayerNorm) or ``1/rms`` (RMSNorm, with mean pinned to
-  zero since RMSNorm does not re-center).
-* ``apply_affine(normalized)`` multiplies by ``alpha`` and adds ``beta``.
+  zero since RMSNorm does not re-center).  The equations themselves live in
+  :mod:`repro.engine.stats` -- the single source shared with the execution
+  backends -- and are only *invoked* here.
 * ``__call__(x, context)`` runs the full operation and deposits the
   statistics into the :class:`~repro.llm.hooks.ActivationContext` so later
   layers (and the calibration recorder) can see them.
+* ``forward_batched(...)`` / ``forward_batched_reference(...)`` normalize a
+  stack of independent request segments through the layer's compiled
+  execution engine (:mod:`repro.engine`): the layer compiles its
+  :class:`~repro.engine.plan.ExecutionPlan` once and delegates execution to
+  a registered backend, so no layer carries backend-specific branching.
 
 The HAAN-accelerated layer in :mod:`repro.core.haan_norm` subclasses
-:class:`BaseNorm` and only overrides the statistics computation, so the
-affine path and the context protocol stay identical.
+:class:`BaseNorm` and only overrides the statistics computation; the affine
+path, the context protocol and the engine delegation stay identical.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.engine.stats import layernorm_row_statistics, rmsnorm_row_statistics
 from repro.llm.config import NormKind
 from repro.llm.hooks import ActivationContext, NormLayerRecord
 from repro.numerics import kernels
@@ -68,6 +75,43 @@ class BaseNorm:
             raise ValueError("gamma must have shape (hidden_size,)")
         if self.beta.shape != (hidden_size,):
             raise ValueError("beta must have shape (hidden_size,)")
+        self._plan = None
+        self._engines = {}
+
+    # -- execution engine --------------------------------------------------
+
+    @property
+    def plan(self):
+        """This layer's compiled :class:`~repro.engine.plan.ExecutionPlan`.
+
+        Compiled lazily on first use and cached; :meth:`load_affine`
+        invalidates it.  The import is function-level on purpose: the
+        engine's backend modules import :mod:`repro.core`, so importing
+        them while this module loads would cycle.
+        """
+        if self._plan is None:
+            from repro.engine.plan import plan_for_layer
+
+            self._plan = plan_for_layer(self)
+        return self._plan
+
+    def engine_for(self, backend: str = "vectorized"):
+        """The cached :class:`~repro.engine.registry.Engine` for a backend.
+
+        Unknown backend names raise ``ValueError`` listing the registry
+        contents.  Engines share this layer's single compiled plan.
+        """
+        engine = self._engines.get(backend)
+        if engine is None:
+            from repro.engine.registry import build
+
+            engine = self._engines[backend] = build(self.plan, backend=backend)
+        return engine
+
+    def invalidate_engines(self) -> None:
+        """Drop the cached plan and engines (configuration changed)."""
+        self._plan = None
+        self._engines = {}
 
     # -- statistics -------------------------------------------------------
 
@@ -117,26 +161,44 @@ class BaseNorm:
 
         ``rows`` is a ``(total_rows, hidden)`` matrix formed by concatenating
         the rows of many independent requests; ``segment_starts`` marks the
-        first row of each request.  Every statistic of the reference layers
-        is a per-row reduction, so the batched call is bit-identical to
-        calling the layer once per segment -- the parameters only matter for
-        subclasses whose numerics couple rows (per-tensor quantization) or
-        consume cross-request state (predicted ISDs).  ``workspace`` pools
-        kernel scratch and ``out`` receives the normalized rows (both
+        first row of each request.  Delegates to this layer's compiled
+        engine on the ``vectorized`` backend (the fused single-pass kernel),
+        bit-identical to calling the layer once per segment.  ``anchor_isd``
+        carries one anchor-layer ISD per stacked row for skipped layers
+        (``NaN`` where a request's context lacks the anchor); ``workspace``
+        pools kernel scratch and ``out`` receives the normalized rows (both
         optional).  Returns ``(output, mean, isd)`` without touching any
-        activation context.
+        activation context.  Shape validation happens once, inside the
+        backend (``plan.check_rows``).
         """
-        arr = np.asarray(rows, dtype=np.float64)
-        if arr.ndim != 2 or arr.shape[1] != self.hidden_size:
-            raise ValueError(
-                f"forward_batched expects (rows, {self.hidden_size}); got {arr.shape}"
-            )
-        mean, isd = self.compute_statistics(arr, None)
-        out = kernels.normalize_affine(arr, mean, isd, self.gamma, self.beta, out=out)
-        return out, mean, isd
+        self._note_batched_execution()
+        return self.engine_for("vectorized").run(
+            rows, segment_starts, anchor_isd, workspace=workspace, out=out
+        )
+
+    def forward_batched_reference(
+        self,
+        rows: np.ndarray,
+        segment_starts: Optional[np.ndarray] = None,
+        anchor_isd: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Golden-model batched path: the unfused reference backend.
+
+        Separate full-array passes for quantize, statistics and affine with
+        fresh intermediate allocations.  The fused path behind
+        :meth:`forward_batched` must match this bit for bit; the golden
+        equivalence suites and the kernel benchmark both call it.  Kept as
+        a thin shim over ``engine_for("reference")`` for callers that
+        predate the engine.
+        """
+        self._note_batched_execution()
+        return self.engine_for("reference").run(rows, segment_starts, anchor_isd)
 
     # Hooks for subclasses (the HAAN layer) to report how statistics were
     # obtained; the reference layers always compute them exactly.
+    def _note_batched_execution(self) -> None:
+        """Record path flags of a batched call (no-op for exact layers)."""
+
     def _last_was_predicted(self) -> bool:
         return False
 
@@ -157,6 +219,8 @@ class BaseNorm:
             raise ValueError("affine parameter shape mismatch")
         self.gamma = gamma
         self.beta = beta
+        # The compiled plan holds the affine arrays by reference.
+        self.invalidate_engines()
 
 
 class LayerNorm(BaseNorm):
@@ -167,10 +231,7 @@ class LayerNorm(BaseNorm):
     def compute_statistics(
         self, rows: np.ndarray, context: Optional[ActivationContext] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        mean = rows.mean(axis=1)
-        variance = rows.var(axis=1)
-        isd = 1.0 / np.sqrt(variance + self.eps)
-        return mean, isd
+        return layernorm_row_statistics(rows, self.eps)
 
 
 class RMSNorm(BaseNorm):
@@ -186,9 +247,7 @@ class RMSNorm(BaseNorm):
     def compute_statistics(
         self, rows: np.ndarray, context: Optional[ActivationContext] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        mean_square = np.mean(np.square(rows), axis=1)
-        isd = 1.0 / np.sqrt(mean_square + self.eps)
-        return np.zeros(rows.shape[0]), isd
+        return rmsnorm_row_statistics(rows, self.eps)
 
 
 def make_norm(

@@ -24,11 +24,10 @@ from typing import Union
 
 import numpy as np
 
-from repro.numerics.fixedpoint import FixedPointFormat, FixedPointValue
+from repro.numerics.fixedpoint import FixedPointFormat
 from repro.numerics.floating import (
     FAST_INV_SQRT_MAGIC_FP16,
     FAST_INV_SQRT_MAGIC_FP32,
-    FP16,
     FP32,
     FloatFormat,
     from_bits,

@@ -512,7 +512,7 @@ def haan_normalize_rows(
     gamma: np.ndarray,
     beta: np.ndarray,
     *,
-    storage: str = "fp32",
+    storage: Optional[str] = "fp32",
     segment_starts: Optional[np.ndarray] = None,
     rms: bool = False,
     eps: float = 1e-5,
@@ -534,8 +534,9 @@ def haan_normalize_rows(
     (:meth:`HaanNormalization.forward_batched_reference`); the golden
     equivalence suite compares the two with exact equality.
 
-    Parameters mirror :class:`HaanNormalization` configuration as plain
-    values (``storage`` is a :class:`DataFormat` value string; ``rms``
+    Parameters mirror an :class:`~repro.engine.spec.EngineSpec` as plain
+    values (``storage`` is a :class:`DataFormat` value string, or ``None``
+    to bypass the round trip entirely -- the exact reference layers; ``rms``
     selects the RMSNorm statistics; ``predicted_isd`` carries the per-row
     ISD of a skipped layer).  Returns ``(out, mean, isd)``; ``mean`` and
     ``isd`` are freshly allocated (they outlive the workspace in serving
@@ -547,18 +548,23 @@ def haan_normalize_rows(
         out = np.empty((n, hidden))
 
     # 1. storage round trip into pooled scratch (never mutates the input).
-    quantized = _scratch_matrix(workspace, "kernels.quantized", n, hidden)
-    if storage == "int8" and arr.size > 0:
-        row_scale = int8_segment_scales(arr, segment_starts, workspace=workspace)
-        int8_round_trip_rows(arr, row_scale, out=quantized)
-    elif storage == "fp16":
-        float_round_trip_rows(arr, np.float16, out=quantized, workspace=workspace)
-    elif storage == "fp32":
-        float_round_trip_rows(arr, np.float32, out=quantized, workspace=workspace)
-    elif storage == "int8":  # empty stack: nothing to calibrate
-        pass
+    #    With ``storage=None`` the statistics and the affine transform read
+    #    the input directly; nothing is copied and nothing is rounded.
+    if storage is None:
+        quantized = arr
     else:
-        raise ValueError(f"unknown storage format: {storage!r}")
+        quantized = _scratch_matrix(workspace, "kernels.quantized", n, hidden)
+        if storage == "int8" and arr.size > 0:
+            row_scale = int8_segment_scales(arr, segment_starts, workspace=workspace)
+            int8_round_trip_rows(arr, row_scale, out=quantized)
+        elif storage == "fp16":
+            float_round_trip_rows(arr, np.float16, out=quantized, workspace=workspace)
+        elif storage == "fp32":
+            float_round_trip_rows(arr, np.float32, out=quantized, workspace=workspace)
+        elif storage == "int8":  # empty stack: nothing to calibrate
+            pass
+        else:
+            raise ValueError(f"unknown storage format: {storage!r}")
 
     # 2. per-row statistics.
     if predicted_isd is not None:

@@ -5,6 +5,7 @@ Installed as the ``haan-serve`` console script, next to
 
     haan-serve --model tiny --requests 512
     haan-serve --model tiny --rows 4 --max-batch-size 64 --max-wait-ms 1
+    haan-serve --model tiny --backend simulated
     haan-serve --model tiny --compare-loop
 
 The command calibrates the model through the
@@ -25,6 +26,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.subsampling import subsample_indices
+from repro.engine.registry import create_backend
 from repro.serving.batcher import BatcherConfig
 from repro.serving.registry import CalibrationRegistry
 from repro.serving.service import NormalizationService
@@ -45,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="serve only this normalization layer (default: spread over all layers)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="vectorized",
+        help="execution backend for the served requests "
+        "(see repro.engine.registry; default: vectorized)",
     )
     parser.add_argument("--max-batch-size", type=int, default=32, help="micro-batch size trigger")
     parser.add_argument(
@@ -70,6 +78,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.requests < 1 or args.rows < 1:
         parser.error("--requests and --rows must be positive")
+    try:
+        # The registry owns the "unknown backend" message (it lists the
+        # registered names); validate up front for a clean exit code.
+        create_backend(args.backend)
+    except ValueError as error:
+        print(f"haan-serve: {error}", file=sys.stderr)
+        return 2
 
     registry = CalibrationRegistry()
     print(f"calibrating {args.model!r} (dataset {args.dataset!r})...")
@@ -113,7 +128,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     with NormalizationService(registry=registry, config=config) as service:
         futures = [
             service.submit(
-                payload, args.model, layer_index=int(index), dataset=args.dataset
+                payload,
+                args.model,
+                layer_index=int(index),
+                dataset=args.dataset,
+                backend=args.backend,
             )
             for payload, index in zip(payloads, layer_indices)
         ]
@@ -150,6 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             requests=args.requests,
             seed=args.seed,
             dataset=args.dataset,
+            backend=args.backend,
             loader=lambda name, dataset: registry.get(name, dataset),
         )
         print(result.formatted())

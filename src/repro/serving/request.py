@@ -32,13 +32,16 @@ class RequestKey:
     Two requests can only be stacked when they resolve to the *same*
     normalization layer object -- same calibrated model artifact, same layer
     index, same path (HAAN or the exact reference layer used as the golden
-    model).
+    model) -- *and* the same execution backend
+    (:mod:`repro.engine.registry` name), so a micro-batch always runs on
+    one machine and telemetry can attribute it.
     """
 
     model: str
     layer_index: int
     dataset: str = "default"
     reference: bool = False
+    backend: str = "vectorized"
 
 
 class NormRequest:

@@ -3,11 +3,13 @@
 Accepts single, bulk and streaming normalization requests, coalesces them
 through the :class:`~repro.serving.batcher.MicroBatcher`, resolves each
 micro-batch against a :class:`~repro.serving.registry.CalibrationRegistry`
-artifact, and executes the vectorized
-:meth:`~repro.core.haan_norm.HaanNormalization.forward_batched` kernel --
-one ndarray call per batch instead of one per request.  Outputs are
-bit-identical to running every request alone through the per-request layer
-(the golden-model contract ``tests/test_serving.py`` enforces).
+artifact, and executes the layer's compiled
+:class:`~repro.engine.registry.Engine` on the backend the request selected
+(``vectorized`` by default) -- one ndarray call per batch instead of one
+per request.  Outputs are bit-identical to running every request alone
+through the per-request layer regardless of backend (the golden-model
+contract ``tests/test_serving.py`` / ``tests/test_engine.py`` enforce),
+and telemetry tags every batch with the backend that ran it.
 
 Two execution modes:
 
@@ -25,8 +27,6 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.haan_norm import HaanNormalization
-from repro.llm.config import NormKind
 from repro.llm.hooks import ActivationContext, scatter_isd, stack_anchor_isds
 from repro.numerics.kernels import KernelWorkspace
 from repro.serving.batcher import (
@@ -38,25 +38,6 @@ from repro.serving.batcher import (
 from repro.serving.registry import CalibrationRegistry
 from repro.serving.request import NormRequest, NormResponse, RequestKey
 from repro.serving.telemetry import ServingTelemetry
-
-
-def _path_flags(layer) -> tuple:
-    """(was_predicted, was_subsampled) of a batched call, from config alone.
-
-    Mirrors the flag logic of :class:`HaanNormalization`: skipped layers
-    predict the ISD and subsample only the LayerNorm mean (when enabled);
-    computed layers subsample whenever a subsample setting exists.
-    """
-    if not isinstance(layer, HaanNormalization):
-        return False, False
-    if layer.is_skipped:
-        subsampled = (
-            layer.subsample is not None
-            and layer.subsample_mean
-            and layer.kind is not NormKind.RMSNORM
-        )
-        return True, subsampled
-    return False, layer.subsample is not None
 
 
 class NormalizationService:
@@ -114,11 +95,21 @@ class NormalizationService:
         layer_index: int = 0,
         dataset: str = "default",
         reference: bool = False,
+        backend: str = "vectorized",
         context: Optional[ActivationContext] = None,
     ) -> ResponseFuture:
-        """Enqueue one request; returns a future of :class:`NormResponse`."""
+        """Enqueue one request; returns a future of :class:`NormResponse`.
+
+        ``backend`` selects the execution backend per request
+        (:func:`repro.engine.registry.available_backends` lists the valid
+        names); requests only coalesce with requests of the same backend.
+        """
         key = RequestKey(
-            model=model, layer_index=layer_index, dataset=dataset, reference=reference
+            model=model,
+            layer_index=layer_index,
+            dataset=dataset,
+            reference=reference,
+            backend=backend,
         )
         return self.batcher.submit(NormRequest(key=key, payload=payload, context=context))
 
@@ -129,11 +120,16 @@ class NormalizationService:
         layer_index: int = 0,
         dataset: str = "default",
         reference: bool = False,
+        backend: str = "vectorized",
         context: Optional[ActivationContext] = None,
     ) -> List[ResponseFuture]:
         """Enqueue a burst of requests under one scheduler lock acquisition."""
         key = RequestKey(
-            model=model, layer_index=layer_index, dataset=dataset, reference=reference
+            model=model,
+            layer_index=layer_index,
+            dataset=dataset,
+            reference=reference,
+            backend=backend,
         )
         return self.batcher.submit_many(
             [NormRequest(key=key, payload=payload, context=context) for payload in payloads]
@@ -162,6 +158,7 @@ class NormalizationService:
         layer_index: int = 0,
         dataset: str = "default",
         reference: bool = False,
+        backend: str = "vectorized",
         context: Optional[ActivationContext] = None,
     ) -> Iterator[NormResponse]:
         """Normalize a stream of activation chunks, yielding results in order.
@@ -182,6 +179,7 @@ class NormalizationService:
                 layer_index=layer_index,
                 dataset=dataset,
                 reference=reference,
+                backend=backend,
                 context=context if context is not None else ActivationContext(),
             )
             for chunk in chunks
@@ -206,6 +204,10 @@ class NormalizationService:
         try:
             artifact = self.registry.get(key.model, key.dataset)
             layer = artifact.layer(key.layer_index, reference=key.reference)
+            # The layer's compiled plan + the request's backend name resolve
+            # through the engine registry; an unknown backend fails the
+            # batch with the registry contents in the error message.
+            engine = layer.engine_for(key.backend)
         except Exception as error:  # noqa: BLE001 -- fail the whole batch
             self.telemetry.observe_error()
             for pending in batch:
@@ -241,14 +243,15 @@ class NormalizationService:
         stacked = self._workspace.matrix("service.staging", total_rows, layer.hidden_size)
         np.concatenate(rows_list, axis=0, out=stacked)
         output = np.empty((total_rows, layer.hidden_size))
+        spec = engine.spec
         anchor = None
-        if isinstance(layer, HaanNormalization) and layer.is_skipped:
-            anchor = stack_anchor_isds(contexts, layer.predictor.anchor_layer, counts)
+        if spec.skipped:
+            anchor = stack_anchor_isds(contexts, spec.predictor_anchor_layer, counts)
 
         released_at = self._queue_clock()
         start_time = time.perf_counter()
         try:
-            output, mean, isd = layer.forward_batched(
+            output, mean, isd = engine.run(
                 stacked, starts, anchor, workspace=self._workspace, out=output
             )
         except Exception as error:  # noqa: BLE001
@@ -259,10 +262,10 @@ class NormalizationService:
         batch_seconds = time.perf_counter() - start_time
         scatter_isd(contexts, layer.layer_index, isd, counts)
 
-        # Derive the path flags from the layer's configuration, not its
+        # Path flags come from the compiled plan -- configuration, not
         # per-call mutable state: services sharing a registry may run the
         # same layer object concurrently.
-        was_predicted, was_subsampled = _path_flags(layer)
+        was_predicted, was_subsampled = engine.path_flags()
         queue_waits = [released_at - pending.enqueued_at for pending in good]
         batch_size = len(good)
         # Responses are disjoint row views of the batch arrays: a caller
@@ -299,4 +302,5 @@ class NormalizationService:
             batch_seconds=batch_seconds,
             rows_predicted=int(stacked.shape[0]) if was_predicted else 0,
             rows_subsampled=int(stacked.shape[0]) if was_subsampled else 0,
+            backend=key.backend,
         )

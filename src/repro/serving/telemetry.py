@@ -209,6 +209,9 @@ class ServingTelemetry:
         self.rows_predicted = Counter()
         self.rows_subsampled = Counter()
         self.errors_total = Counter()
+        #: Per-backend request / row / batch counters, keyed by the engine
+        #: registry name that executed each micro-batch.
+        self.backend_counts: Dict[str, Dict[str, int]] = {}
         self.queue_wait = LatencyHistogram()
         self.batch_latency = LatencyHistogram()
         #: Bounded raw-sample windows (exact recent percentiles at fixed
@@ -229,6 +232,7 @@ class ServingTelemetry:
         batch_seconds: float,
         rows_predicted: int,
         rows_subsampled: int,
+        backend: str = "vectorized",
     ) -> None:
         """Fold one executed micro-batch into the aggregates."""
         now = self._clock()
@@ -239,6 +243,12 @@ class ServingTelemetry:
             self.requests_total.increment(num_requests)
             self.rows_total.increment(num_rows)
             self.batches_total.increment()
+            per_backend = self.backend_counts.setdefault(
+                backend, {"requests": 0, "rows": 0, "batches": 0}
+            )
+            per_backend["requests"] += num_requests
+            per_backend["rows"] += num_rows
+            per_backend["batches"] += 1
             self.rows_predicted.increment(rows_predicted)
             self.rows_subsampled.increment(rows_subsampled)
             if num_requests > self.max_batch_size:
@@ -303,6 +313,9 @@ class ServingTelemetry:
                 "max_batch_size": self.max_batch_size,
                 "skip_rate": self.skip_rate,
                 "subsample_rate": self.subsample_rate,
+                "backends": {
+                    name: dict(counts) for name, counts in self.backend_counts.items()
+                },
                 "requests_per_second": self.requests_per_second(),
                 "rows_per_second": self.rows_per_second(),
                 "queue_wait": self.queue_wait.snapshot(),
@@ -329,6 +342,15 @@ class ServingTelemetry:
             ["recent queue wait p50/p99", _format_pair(snap["recent_queue_wait"])],
             ["recent batch latency p50/p99", _format_pair(snap["recent_batch_latency"])],
         ]
+        for name in sorted(snap["backends"]):
+            counts = snap["backends"][name]
+            rows.append(
+                [
+                    f"backend[{name}]",
+                    f"{counts['requests']} req / {counts['rows']} rows / "
+                    f"{counts['batches']} batches",
+                ]
+            )
         return format_table(["metric", "value"], rows, title="haan-serve telemetry")
 
 

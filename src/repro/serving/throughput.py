@@ -55,6 +55,7 @@ def measure_serving_throughput(
     repeats: int = 3,
     seed: int = 0,
     dataset: str = "default",
+    backend: str = "vectorized",
     loader: Optional[ArtifactLoader] = None,
 ) -> List[ThroughputPoint]:
     """Measure both paths over identical request sets.
@@ -86,7 +87,7 @@ def measure_serving_throughput(
             repeats,
             lambda: _run_loop(layer, payloads),
             lambda: _run_service(
-                registry, model, dataset, layer_index, batch_size, payloads
+                registry, model, dataset, layer_index, batch_size, payloads, backend
             ),
         )
         points.append(
@@ -128,14 +129,16 @@ def _run_loop(layer, payloads) -> None:
         layer(payload)
 
 
-def _run_service(registry, model, dataset, layer_index, batch_size, payloads) -> None:
+def _run_service(
+    registry, model, dataset, layer_index, batch_size, payloads, backend="vectorized"
+) -> None:
     service = NormalizationService(
         registry=registry,
         config=BatcherConfig(max_batch_size=batch_size, max_wait=0.0),
         threaded=False,
     )
     futures = service.submit_many(
-        payloads, model, layer_index=layer_index, dataset=dataset
+        payloads, model, layer_index=layer_index, dataset=dataset, backend=backend
     )
     service.batcher.drain_all()
     for future in futures:

@@ -17,7 +17,7 @@ from repro.hardware.configs import (
 from repro.hardware.power import PowerModel
 from repro.hardware.resources import DEVICE_TOTALS, ResourceModel
 from repro.hardware.workload import NormalizationWorkload
-from repro.llm.config import NormKind, get_model_config
+from repro.llm.config import NormKind
 from repro.llm.normalization import LayerNorm, RMSNorm
 from repro.numerics.quantization import DataFormat
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import HaanConfig, paper_config_for
+from repro.core.config import paper_config_for
 from repro.hardware.accelerator import HaanAccelerator
 from repro.hardware.baselines import (
     DfxBaseline,

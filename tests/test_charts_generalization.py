@@ -10,7 +10,6 @@ from repro.eval.generalization import (
     TransferResult,
     alternative_corpora,
     generalization_study,
-    prediction_error_on_profile,
     transfer_penalty,
 )
 

@@ -25,7 +25,6 @@ from repro.eval.tasks import (
     target_accuracy_for,
 )
 from repro.llm.datasets import perplexity_texts
-from repro.llm.model import TransformerModel
 from repro.numerics.quantization import DataFormat
 from repro.utils.tables import format_markdown_table, format_table
 

@@ -1,7 +1,6 @@
 """Tests of the HAAN normalization layer (skip / subsample / quantize)."""
 
 import numpy as np
-import pytest
 
 from repro.core.haan_norm import HaanNormalization
 from repro.core.predictor import IsdPredictor

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import io
 
-import numpy as np
 import pytest
 
 from repro.hdl import (

@@ -6,7 +6,6 @@ workload -- and check the cross-cutting invariants the paper relies on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

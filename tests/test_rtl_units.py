@@ -18,7 +18,7 @@ from repro.hardware.rtl import (
 )
 from repro.hardware.units.adder_tree import AdderTree
 from repro.hardware.units.sqrt_inverter import SquareRootInverter
-from repro.hdl import Module, Monitor, Simulator, StreamDriver, Wire
+from repro.hdl import Module, Monitor, Simulator, StreamDriver
 from repro.numerics.fixedpoint import FixedPointFormat
 from repro.numerics.floating import FP32, to_bits
 

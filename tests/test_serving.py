@@ -34,7 +34,6 @@ from repro.serving import (
     BatcherConfig,
     CalibrationRegistry,
     LatencyHistogram,
-    MicroBatcher,
     NormalizationService,
     ServingTelemetry,
     default_artifact_loader,
