@@ -6,8 +6,11 @@ model so it runs in a few seconds:
 1. build a model and profile its per-layer ISD statistics (Figure 2),
 2. run Algorithm 1 to find the skip range and fit the log-linear predictor,
 3. install the HAAN normalization layers (skipping + subsampling + INT8),
-4. check that the model's outputs and perplexity barely change, and
-5. estimate the latency/power of the HAAN accelerator on this workload.
+4. check that the model's outputs and perplexity barely change,
+5. estimate the latency/power of the HAAN accelerator on this workload, and
+6. serve normalization through the public API (`repro.api.NormClient`) --
+   the same client code that talks to a remote `haan-serve --listen`
+   server over the wire protocol.
 
 Run with:  python examples/quickstart.py
 """
@@ -74,6 +77,40 @@ def main() -> None:
     power = accelerator.power(workload)
     print(f"   HAAN-v1: {latency.total_cycles} cycles = {latency.latency_us:.1f} us, "
           f"{power.total_w:.2f} W, bottleneck stage: {latency.bottleneck_stage}")
+
+    print("== 6. Serve it through the public API (repro.api.NormClient) ==")
+    # The client facade is transport-agnostic: swap `in_process()` for
+    # `NormClient.connect(host, port)` against a `haan-serve --listen`
+    # server and this code runs unchanged, bit-for-bit.
+    from repro.api import NormClient
+
+    with NormClient.in_process() as client:
+        served = client.fetch_spec(model_name, layer_index=0)
+        print(f"   served spec: kind={served.spec.kind}, "
+              f"hidden={served.hidden_size}, storage={served.spec.storage}, "
+              f"{served.num_layers} layers")
+        rng = np.random.default_rng(0)
+        activations = rng.normal(0.0, 1.0, size=(4, served.hidden_size))
+        result = client.normalize(activations, model_name, layer_index=0)
+        print(f"   normalized {result.output.shape[0]} rows via backend "
+              f"{result.backend!r} (batch size {result.batch_size}, "
+              f"subsampled={result.was_subsampled})")
+        # Golden check: rebuild the layer locally from the served spec and
+        # compare -- the wire protocol is exact for float64.
+        from repro.engine import build
+
+        local = build(served.spec, backend="reference",
+                      gamma=served.gamma, beta=served.beta)
+        assert np.array_equal(result.output, local.run(activations)[0])
+        print("   bit-identical to a local rebuild of the served spec")
+        # Per-request accelerator selection: the same request priced on the
+        # HAAN-v2 datapath via the cost-modelling backend.
+        client.normalize(activations, model_name, layer_index=0,
+                         backend="simulated", accelerator="haan-v2")
+        cost = client.telemetry()["telemetry"]["modelled_cost"]
+        print(f"   modelled cost on haan-v2: "
+              f"{cost['by_config']['haan-v2']['cycles']} cycles / "
+              f"{cost['by_config']['haan-v2']['energy_nj']:.1f} nJ")
 
 
 if __name__ == "__main__":

@@ -19,8 +19,12 @@ Package layout
 * :mod:`repro.serving` -- the online serving runtime: dynamic
   micro-batching of normalization requests, the calibration artifact
   registry, telemetry, and the ``haan-serve`` CLI.
+* :mod:`repro.api` -- the versioned public client/server API:
+  ``NormClient`` with in-process and socket transports, ``NormServer``
+  (``haan-serve --listen``), the wire envelopes, and the ``haan-client``
+  CLI; the engine's ``remote`` backend rides the same protocol.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["numerics", "llm", "core", "hardware", "eval", "serving", "__version__"]
+__all__ = ["numerics", "llm", "core", "hardware", "eval", "serving", "api", "__version__"]

@@ -1,0 +1,78 @@
+"""Versioned public client/server API of the normalization runtime.
+
+One facade, two transports, one wire protocol:
+
+* :mod:`repro.api.envelopes` -- versioned JSON envelopes
+  (``NormalizeRequest`` / ``NormalizeResponse`` / ``ErrorResponse`` and
+  friends), tensor payload encoding and the :class:`ApiError` taxonomy.
+* :mod:`repro.api.client` -- :class:`NormClient`, the typed facade every
+  consumer (CLIs, eval experiments, examples, the engine's ``remote``
+  backend) goes through.
+* :mod:`repro.api.transport` -- :class:`InProcessTransport` (wraps a
+  :class:`NormalizationService` directly) and :class:`SocketTransport`
+  (length-prefixed JSON frames over TCP, transparent reconnect).
+* :mod:`repro.api.server` -- :class:`NormServer`, the TCP front of a
+  service (``haan-serve --listen``), and the shared
+  :class:`~repro.api.handler.ApiHandler` both transports dispatch through.
+
+Exports resolve lazily (PEP 562), mirroring :mod:`repro.engine`: the
+envelope layer is a leaf, but the client/server layers reach into
+:mod:`repro.serving`, and the engine's ``remote`` backend reaches back into
+this package -- lazy resolution keeps that triangle import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "SCHEMA_VERSION": "envelopes",
+    "TensorPayload": "envelopes",
+    "NormalizeRequest": "envelopes",
+    "NormalizeResponse": "envelopes",
+    "SpecRequest": "envelopes",
+    "SpecResponse": "envelopes",
+    "ExecuteSpecRequest": "envelopes",
+    "ExecuteSpecResponse": "envelopes",
+    "PingRequest": "envelopes",
+    "PingResponse": "envelopes",
+    "TelemetryRequest": "envelopes",
+    "TelemetryResponse": "envelopes",
+    "ErrorResponse": "envelopes",
+    "ApiError": "envelopes",
+    "BadSchemaError": "envelopes",
+    "SchemaVersionError": "envelopes",
+    "UnknownBackendError": "envelopes",
+    "UnknownModelError": "envelopes",
+    "PayloadTooLargeError": "envelopes",
+    "TransportError": "envelopes",
+    "parse_request": "envelopes",
+    "parse_response": "envelopes",
+    "ApiHandler": "handler",
+    "Transport": "transport",
+    "InProcessTransport": "transport",
+    "SocketTransport": "transport",
+    "NormClient": "client",
+    "ClientNormResult": "client",
+    "ServedSpec": "client",
+    "NormServer": "server",
+    "parse_address": "server",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    submodule = _EXPORTS.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f"{__name__}.{submodule}"), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

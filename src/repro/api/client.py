@@ -1,0 +1,231 @@
+"""`NormClient`: the one public entry point for normalization calls.
+
+The client encodes ndarray payloads into versioned envelopes, sends them
+through a pluggable :class:`~repro.api.transport.Transport`, and decodes
+the responses back into arrays -- so the exact same calling code runs
+against an in-process :class:`NormalizationService` or a remote
+:class:`~repro.api.server.NormServer`::
+
+    with NormClient.in_process() as client:          # local
+        result = client.normalize(rows, "tiny")
+
+    with NormClient.connect("10.0.0.5", 8471) as client:   # remote
+        result = client.normalize(rows, "tiny")
+
+Both transports produce bit-identical outputs to calling the service
+directly (``tests/test_api.py`` enforces it), because encoding is exact for
+float64 and the handler path is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.envelopes import (
+    ExecuteSpecRequest,
+    NormalizeRequest,
+    PingRequest,
+    SpecRequest,
+    TelemetryRequest,
+    TensorPayload,
+    parse_response,
+)
+from repro.api.transport import InProcessTransport, SocketTransport, Transport
+
+
+@dataclass(frozen=True)
+class ClientNormResult:
+    """Decoded result of one normalize call."""
+
+    request_id: int
+    output: np.ndarray
+    mean: np.ndarray
+    isd: np.ndarray
+    was_predicted: bool
+    was_subsampled: bool
+    batch_size: int
+    queue_wait: float
+    batch_latency: float
+    backend: str
+    accelerator: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ServedSpec:
+    """A layer's engine spec plus affine parameters, as served."""
+
+    spec: "Any"  # repro.engine.spec.EngineSpec (annotated loosely: leaf import below)
+    gamma: np.ndarray
+    beta: np.ndarray
+    model: str
+    layer_index: int
+    num_layers: int
+
+    @property
+    def hidden_size(self) -> int:
+        """Vector width of the served layer."""
+        return self.spec.hidden_size
+
+
+class NormClient:
+    """Typed facade over the versioned client/server normalization API."""
+
+    def __init__(self, transport: Transport):
+        self.transport = transport
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def in_process(cls, service=None, registry=None, loader=None, **kwargs) -> "NormClient":
+        """Client over a service in this process (created inline if absent)."""
+        return cls(
+            InProcessTransport(service=service, registry=registry, loader=loader, **kwargs)
+        )
+
+    @classmethod
+    def connect(cls, host: str, port: int, **kwargs) -> "NormClient":
+        """Client over TCP against a running :class:`NormServer`."""
+        return cls(SocketTransport(host, port, **kwargs))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying transport."""
+        self.transport.close()
+
+    def __enter__(self) -> "NormClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- API calls ----------------------------------------------------------
+
+    def normalize(
+        self,
+        payload: np.ndarray,
+        model: str,
+        layer_index: int = 0,
+        dataset: str = "default",
+        reference: bool = False,
+        backend: str = "vectorized",
+        accelerator: Optional[str] = None,
+        encoding: str = "base64",
+    ) -> ClientNormResult:
+        """Normalize one ``(hidden,)`` or ``(rows, hidden)`` tensor."""
+        request = NormalizeRequest(
+            model=model,
+            tensor=TensorPayload.from_array(np.asarray(payload, dtype=np.float64), encoding),
+            layer_index=layer_index,
+            dataset=dataset,
+            reference=reference,
+            backend=backend,
+            accelerator=accelerator,
+        )
+        response = parse_response(self.transport.request(request.to_wire()), "normalize")
+        return ClientNormResult(
+            request_id=response.request_id,
+            output=response.tensor.to_array(),
+            mean=response.mean.to_array(),
+            isd=response.isd.to_array(),
+            was_predicted=response.was_predicted,
+            was_subsampled=response.was_subsampled,
+            batch_size=response.batch_size,
+            queue_wait=response.queue_wait,
+            batch_latency=response.batch_latency,
+            backend=response.backend,
+            accelerator=response.accelerator,
+        )
+
+    def normalize_many(
+        self, payloads: Sequence[np.ndarray], model: str, **kwargs
+    ) -> List[ClientNormResult]:
+        """Normalize a sequence of independent tensors (one request each)."""
+        return [self.normalize(payload, model, **kwargs) for payload in payloads]
+
+    def fetch_spec(
+        self,
+        model: str,
+        layer_index: int = 0,
+        dataset: str = "default",
+        reference: bool = False,
+    ) -> ServedSpec:
+        """Fetch a layer's serialized engine spec and affine parameters."""
+        from repro.engine.spec import EngineSpec
+
+        request = SpecRequest(
+            model=model, layer_index=layer_index, dataset=dataset, reference=reference
+        )
+        response = parse_response(self.transport.request(request.to_wire()), "spec")
+        return ServedSpec(
+            spec=EngineSpec.from_dict(response.spec),
+            gamma=response.gamma.to_array(),
+            beta=response.beta.to_array(),
+            model=response.model,
+            layer_index=response.layer_index,
+            num_layers=response.num_layers,
+        )
+
+    def execute_spec(
+        self,
+        spec,
+        rows: np.ndarray,
+        gamma: Optional[np.ndarray] = None,
+        beta: Optional[np.ndarray] = None,
+        segment_starts: Optional[np.ndarray] = None,
+        anchor_isd: Optional[np.ndarray] = None,
+        backend: str = "vectorized",
+        encoding: str = "base64",
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Execute a shipped :class:`EngineSpec` server-side over stacked rows.
+
+        The transport-level counterpart of ``engine.run``: returns
+        ``(output, mean, isd)``.  Used by the engine's ``remote`` backend.
+        """
+        spec_dict = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+
+        def _tensor(arr) -> Optional[TensorPayload]:
+            return None if arr is None else TensorPayload.from_array(np.asarray(arr), encoding)
+
+        request = ExecuteSpecRequest(
+            spec=spec_dict,
+            rows=TensorPayload.from_array(np.asarray(rows, dtype=np.float64), encoding),
+            gamma=_tensor(gamma),
+            beta=_tensor(beta),
+            segment_starts=(
+                None
+                if segment_starts is None
+                else TensorPayload.from_array(
+                    np.asarray(segment_starts, dtype=np.int64), encoding
+                )
+            ),
+            anchor_isd=_tensor(anchor_isd),
+            backend=backend,
+        )
+        response = parse_response(self.transport.request(request.to_wire()), "execute")
+        return (
+            response.output.to_array(),
+            response.mean.to_array(),
+            response.isd.to_array(),
+        )
+
+    def ping(self) -> Dict[str, Any]:
+        """Probe the peer; returns its registered backends (and model names)."""
+        response = parse_response(self.transport.request(PingRequest().to_wire()), "ping")
+        return {"backends": response.backends, "models": response.models}
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Fetch the peer's serving telemetry and registry snapshots."""
+        response = parse_response(
+            self.transport.request(TelemetryRequest().to_wire()), "telemetry"
+        )
+        return {"telemetry": response.telemetry, "registry": response.registry}
+
+    def wait_until_ready(self, timeout: float = 10.0) -> None:
+        """Block until the peer accepts connections (no-op for in-process)."""
+        waiter = getattr(self.transport, "wait_until_ready", None)
+        if waiter is not None:
+            waiter(timeout)

@@ -1,0 +1,717 @@
+"""Versioned wire envelopes of the public normalization API.
+
+Every message exchanged between :class:`~repro.api.client.NormClient` and a
+server (or the in-process handler) is one JSON-serializable dictionary with
+three fixed keys -- ``schema_version``, ``op`` and ``request_id`` -- plus
+the op-specific payload.  This module owns that schema:
+
+* :class:`TensorPayload` -- dtype/shape/data encoding of one ndarray
+  (``base64`` raw little-endian bytes, or ``list`` nested JSON numbers;
+  both round-trip float64 bit-exactly),
+* the request/response envelope dataclasses (``normalize``, ``spec``,
+  ``execute``, ``ping``, ``telemetry``) with strict ``to_wire`` /
+  ``from_wire`` validation,
+* :class:`ErrorResponse` plus the :class:`ApiError` taxonomy (bad schema,
+  schema-version mismatch, unknown backend, unknown model, payload too
+  large, transport failure), so client code catches one exception family
+  regardless of where a request died.
+
+The module is a leaf on purpose: it imports only the standard library and
+numpy, so the engine's ``remote`` backend and the serving runtime can both
+reach it without import cycles.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+#: Version of the wire schema.  Bump on any incompatible envelope change;
+#: both ends reject mismatched versions with :class:`SchemaVersionError`.
+SCHEMA_VERSION = 1
+
+#: Dtypes a tensor payload may carry, mapped to their little-endian codes.
+TENSOR_DTYPES: Dict[str, str] = {
+    "float64": "<f8",
+    "float32": "<f4",
+    "float16": "<f2",
+    "int64": "<i8",
+    "int32": "<i4",
+    "int8": "|i1",
+}
+
+#: Supported tensor data encodings.
+TENSOR_ENCODINGS = ("base64", "list")
+
+_client_request_ids = itertools.count(1)
+
+
+def next_request_id() -> int:
+    """Process-wide monotonically increasing client request id."""
+    return next(_client_request_ids)
+
+
+# ---------------------------------------------------------------------------
+# error taxonomy
+# ---------------------------------------------------------------------------
+
+
+class ApiError(Exception):
+    """Base of every public-API failure; ``code`` is the wire error code."""
+
+    code = "internal"
+
+
+class BadSchemaError(ApiError):
+    """The envelope was malformed or the request content was invalid."""
+
+    code = "bad_schema"
+
+
+class SchemaVersionError(BadSchemaError):
+    """The envelope's ``schema_version`` does not match this peer's."""
+
+    code = "schema_version"
+
+
+class UnknownBackendError(ApiError):
+    """The requested execution backend is not registered (or not servable)."""
+
+    code = "unknown_backend"
+
+
+class UnknownModelError(ApiError):
+    """The requested model name is not known to the server's registry."""
+
+    code = "unknown_model"
+
+
+class PayloadTooLargeError(ApiError):
+    """The tensor payload (or frame) exceeds the configured limit."""
+
+    code = "payload_too_large"
+
+
+class TransportError(ApiError):
+    """The transport failed before a response envelope arrived."""
+
+    code = "transport"
+
+
+#: Wire error code -> exception class (for decoding error responses).
+ERROR_CLASSES: Dict[str, Type[ApiError]] = {
+    cls.code: cls
+    for cls in (
+        ApiError,
+        BadSchemaError,
+        SchemaVersionError,
+        UnknownBackendError,
+        UnknownModelError,
+        PayloadTooLargeError,
+        TransportError,
+    )
+}
+
+
+def error_for_code(code: str, message: str) -> ApiError:
+    """Instantiate the taxonomy member for a wire error code."""
+    return ERROR_CLASSES.get(code, ApiError)(message)
+
+
+# ---------------------------------------------------------------------------
+# field validation helpers
+# ---------------------------------------------------------------------------
+
+
+def _require(payload: Dict[str, Any], key: str, types, where: str):
+    """Fetch a required, type-checked field or raise :class:`BadSchemaError`."""
+    if key not in payload:
+        raise BadSchemaError(f"{where} envelope is missing required field {key!r}")
+    value = payload[key]
+    if not isinstance(value, types):
+        raise BadSchemaError(
+            f"{where} field {key!r} has type {type(value).__name__}; "
+            f"expected {getattr(types, '__name__', types)}"
+        )
+    # bool is an int subclass; reject it where an int is expected.
+    if types is int and isinstance(value, bool):
+        raise BadSchemaError(f"{where} field {key!r} must be an integer, not a bool")
+    return value
+
+
+def _optional(payload: Dict[str, Any], key: str, types, where: str, default=None):
+    """Fetch an optional field, validating its type when present."""
+    value = payload.get(key, default)
+    if value is None:
+        return None if default is None else default
+    if not isinstance(value, types):
+        raise BadSchemaError(
+            f"{where} field {key!r} has type {type(value).__name__}; "
+            f"expected {getattr(types, '__name__', types)} or null"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# tensor payloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TensorPayload:
+    """One ndarray encoded for the wire.
+
+    ``base64`` carries the raw little-endian bytes (compact, exact);
+    ``list`` carries nested JSON numbers (human-readable, and still exact
+    for float64 because JSON round-trips Python floats via shortest-repr).
+    """
+
+    dtype: str
+    shape: Tuple[int, ...]
+    encoding: str
+    data: Any
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, encoding: str = "base64") -> "TensorPayload":
+        """Encode an ndarray (dtype preserved when supported, else float64)."""
+        arr = np.asarray(array)
+        name = arr.dtype.name
+        if name not in TENSOR_DTYPES:
+            arr = arr.astype(np.float64)
+            name = "float64"
+        if encoding not in TENSOR_ENCODINGS:
+            raise ValueError(
+                f"unknown tensor encoding {encoding!r}; expected one of {TENSOR_ENCODINGS}"
+            )
+        wire_dtype = np.dtype(TENSOR_DTYPES[name])
+        if encoding == "base64":
+            data: Any = base64.b64encode(
+                np.ascontiguousarray(arr, dtype=wire_dtype).tobytes()
+            ).decode("ascii")
+        else:
+            data = arr.tolist()
+        return cls(dtype=name, shape=tuple(int(s) for s in arr.shape), encoding=encoding, data=data)
+
+    def to_array(self) -> np.ndarray:
+        """Decode back into a fresh, writable ndarray."""
+        wire_dtype = np.dtype(TENSOR_DTYPES[self.dtype])
+        count = int(np.prod(self.shape)) if self.shape else 1
+        if self.encoding == "base64":
+            raw = base64.b64decode(self.data)
+            if len(raw) != count * wire_dtype.itemsize:
+                raise BadSchemaError(
+                    f"tensor payload carries {len(raw)} bytes but shape {self.shape} "
+                    f"with dtype {self.dtype} needs {count * wire_dtype.itemsize}"
+                )
+            arr = np.frombuffer(raw, dtype=wire_dtype).reshape(self.shape)
+        else:
+            arr = np.asarray(self.data, dtype=wire_dtype)
+            if arr.shape != tuple(self.shape):
+                raise BadSchemaError(
+                    f"tensor payload list has shape {arr.shape}; envelope says {self.shape}"
+                )
+        # .astype makes the result writable and native-endian.
+        return arr.astype(np.dtype(self.dtype), copy=True)
+
+    @property
+    def num_elements(self) -> int:
+        """Number of scalar elements the payload describes."""
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The JSON-safe dictionary form."""
+        return {
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "encoding": self.encoding,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Any, where: str = "tensor") -> "TensorPayload":
+        """Validate and rebuild a payload from its wire form."""
+        if not isinstance(payload, dict):
+            raise BadSchemaError(f"{where} must be an object, not {type(payload).__name__}")
+        dtype = _require(payload, "dtype", str, where)
+        if dtype not in TENSOR_DTYPES:
+            raise BadSchemaError(
+                f"{where} dtype {dtype!r} is not supported; expected one of "
+                f"{sorted(TENSOR_DTYPES)}"
+            )
+        shape = _require(payload, "shape", list, where)
+        if not all(isinstance(s, int) and not isinstance(s, bool) and s >= 0 for s in shape):
+            raise BadSchemaError(f"{where} shape must be a list of non-negative integers")
+        encoding = _require(payload, "encoding", str, where)
+        if encoding not in TENSOR_ENCODINGS:
+            raise BadSchemaError(
+                f"{where} encoding {encoding!r} is not supported; expected one of "
+                f"{TENSOR_ENCODINGS}"
+            )
+        data = _require(payload, "data", (str, list), where)
+        if encoding == "base64" and not isinstance(data, str):
+            raise BadSchemaError(f"{where} base64 data must be a string")
+        if encoding == "list" and not isinstance(data, list):
+            raise BadSchemaError(f"{where} list data must be a list")
+        return cls(dtype=dtype, shape=tuple(shape), encoding=encoding, data=data)
+
+
+def _optional_tensor(
+    payload: Dict[str, Any], key: str, where: str
+) -> Optional[TensorPayload]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    return TensorPayload.from_wire(value, where=f"{where}.{key}")
+
+
+# ---------------------------------------------------------------------------
+# request envelopes
+# ---------------------------------------------------------------------------
+
+
+def _base_wire(op: str, request_id: Optional[int], ok: Optional[bool] = None) -> Dict[str, Any]:
+    wire: Dict[str, Any] = {"schema_version": SCHEMA_VERSION, "op": op}
+    if request_id is not None:
+        wire["request_id"] = request_id
+    if ok is not None:
+        wire["ok"] = ok
+    return wire
+
+
+@dataclass(frozen=True)
+class NormalizeRequest:
+    """Normalize one tensor with one layer of a calibrated model."""
+
+    op = "normalize"
+
+    model: str
+    tensor: TensorPayload
+    layer_index: int = 0
+    dataset: str = "default"
+    reference: bool = False
+    backend: str = "vectorized"
+    accelerator: Optional[str] = None
+    request_id: int = field(default_factory=next_request_id)
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id)
+        wire.update(
+            model=self.model,
+            layer_index=self.layer_index,
+            dataset=self.dataset,
+            reference=self.reference,
+            backend=self.backend,
+            accelerator=self.accelerator,
+            tensor=self.tensor.to_wire(),
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "NormalizeRequest":
+        where = "normalize request"
+        return cls(
+            model=_require(payload, "model", str, where),
+            tensor=TensorPayload.from_wire(_require(payload, "tensor", dict, where)),
+            layer_index=_require(payload, "layer_index", int, where),
+            dataset=_optional(payload, "dataset", str, where, default="default"),
+            reference=bool(_optional(payload, "reference", bool, where, default=False)),
+            backend=_optional(payload, "backend", str, where, default="vectorized"),
+            accelerator=_optional(payload, "accelerator", str, where),
+            request_id=_require(payload, "request_id", int, where),
+        )
+
+
+@dataclass(frozen=True)
+class NormalizeResponse:
+    """Result of one :class:`NormalizeRequest`."""
+
+    op = "normalize"
+
+    request_id: int
+    tensor: TensorPayload
+    mean: TensorPayload
+    isd: TensorPayload
+    was_predicted: bool
+    was_subsampled: bool
+    batch_size: int
+    queue_wait: float
+    batch_latency: float
+    backend: str
+    accelerator: Optional[str] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=True)
+        wire.update(
+            tensor=self.tensor.to_wire(),
+            mean=self.mean.to_wire(),
+            isd=self.isd.to_wire(),
+            was_predicted=self.was_predicted,
+            was_subsampled=self.was_subsampled,
+            batch_size=self.batch_size,
+            queue_wait=self.queue_wait,
+            batch_latency=self.batch_latency,
+            backend=self.backend,
+            accelerator=self.accelerator,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "NormalizeResponse":
+        where = "normalize response"
+        return cls(
+            request_id=_require(payload, "request_id", int, where),
+            tensor=TensorPayload.from_wire(_require(payload, "tensor", dict, where)),
+            mean=TensorPayload.from_wire(_require(payload, "mean", dict, where), "mean"),
+            isd=TensorPayload.from_wire(_require(payload, "isd", dict, where), "isd"),
+            was_predicted=bool(_require(payload, "was_predicted", bool, where)),
+            was_subsampled=bool(_require(payload, "was_subsampled", bool, where)),
+            batch_size=_require(payload, "batch_size", int, where),
+            queue_wait=float(_require(payload, "queue_wait", (int, float), where)),
+            batch_latency=float(_require(payload, "batch_latency", (int, float), where)),
+            backend=_require(payload, "backend", str, where),
+            accelerator=_optional(payload, "accelerator", str, where),
+        )
+
+
+@dataclass(frozen=True)
+class SpecRequest:
+    """Fetch the serialized :class:`~repro.engine.spec.EngineSpec` of a layer."""
+
+    op = "spec"
+
+    model: str
+    layer_index: int = 0
+    dataset: str = "default"
+    reference: bool = False
+    request_id: int = field(default_factory=next_request_id)
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id)
+        wire.update(
+            model=self.model,
+            layer_index=self.layer_index,
+            dataset=self.dataset,
+            reference=self.reference,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "SpecRequest":
+        where = "spec request"
+        return cls(
+            model=_require(payload, "model", str, where),
+            layer_index=_require(payload, "layer_index", int, where),
+            dataset=_optional(payload, "dataset", str, where, default="default"),
+            reference=bool(_optional(payload, "reference", bool, where, default=False)),
+            request_id=_require(payload, "request_id", int, where),
+        )
+
+
+@dataclass(frozen=True)
+class SpecResponse:
+    """The serialized engine spec plus the layer's affine parameters."""
+
+    op = "spec"
+
+    request_id: int
+    spec: Dict[str, Any]
+    gamma: TensorPayload
+    beta: TensorPayload
+    model: str
+    layer_index: int
+    num_layers: int
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=True)
+        wire.update(
+            spec=dict(self.spec),
+            gamma=self.gamma.to_wire(),
+            beta=self.beta.to_wire(),
+            model=self.model,
+            layer_index=self.layer_index,
+            num_layers=self.num_layers,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "SpecResponse":
+        where = "spec response"
+        return cls(
+            request_id=_require(payload, "request_id", int, where),
+            spec=_require(payload, "spec", dict, where),
+            gamma=TensorPayload.from_wire(_require(payload, "gamma", dict, where), "gamma"),
+            beta=TensorPayload.from_wire(_require(payload, "beta", dict, where), "beta"),
+            model=_require(payload, "model", str, where),
+            layer_index=_require(payload, "layer_index", int, where),
+            num_layers=_require(payload, "num_layers", int, where),
+        )
+
+
+@dataclass(frozen=True)
+class ExecuteSpecRequest:
+    """Execute a shipped engine spec over stacked rows (the `remote` backend).
+
+    This is the ROADMAP's "ship the serialized ``EngineSpec`` to another
+    process over the serving protocol": the client serializes the compiled
+    plan (spec + affine parameters) and the server rebuilds and runs it,
+    with no model/calibration state required on the server for this op.
+    """
+
+    op = "execute"
+
+    spec: Dict[str, Any]
+    rows: TensorPayload
+    gamma: Optional[TensorPayload] = None
+    beta: Optional[TensorPayload] = None
+    segment_starts: Optional[TensorPayload] = None
+    anchor_isd: Optional[TensorPayload] = None
+    backend: str = "vectorized"
+    request_id: int = field(default_factory=next_request_id)
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id)
+        wire.update(
+            spec=dict(self.spec),
+            rows=self.rows.to_wire(),
+            gamma=None if self.gamma is None else self.gamma.to_wire(),
+            beta=None if self.beta is None else self.beta.to_wire(),
+            segment_starts=(
+                None if self.segment_starts is None else self.segment_starts.to_wire()
+            ),
+            anchor_isd=None if self.anchor_isd is None else self.anchor_isd.to_wire(),
+            backend=self.backend,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "ExecuteSpecRequest":
+        where = "execute request"
+        return cls(
+            spec=_require(payload, "spec", dict, where),
+            rows=TensorPayload.from_wire(_require(payload, "rows", dict, where), "rows"),
+            gamma=_optional_tensor(payload, "gamma", where),
+            beta=_optional_tensor(payload, "beta", where),
+            segment_starts=_optional_tensor(payload, "segment_starts", where),
+            anchor_isd=_optional_tensor(payload, "anchor_isd", where),
+            backend=_optional(payload, "backend", str, where, default="vectorized"),
+            request_id=_require(payload, "request_id", int, where),
+        )
+
+
+@dataclass(frozen=True)
+class ExecuteSpecResponse:
+    """``(output, mean, isd)`` of one executed spec."""
+
+    op = "execute"
+
+    request_id: int
+    output: TensorPayload
+    mean: TensorPayload
+    isd: TensorPayload
+    backend: str
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=True)
+        wire.update(
+            output=self.output.to_wire(),
+            mean=self.mean.to_wire(),
+            isd=self.isd.to_wire(),
+            backend=self.backend,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "ExecuteSpecResponse":
+        where = "execute response"
+        return cls(
+            request_id=_require(payload, "request_id", int, where),
+            output=TensorPayload.from_wire(_require(payload, "output", dict, where), "output"),
+            mean=TensorPayload.from_wire(_require(payload, "mean", dict, where), "mean"),
+            isd=TensorPayload.from_wire(_require(payload, "isd", dict, where), "isd"),
+            backend=_require(payload, "backend", str, where),
+        )
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    """Liveness / capability probe."""
+
+    op = "ping"
+
+    request_id: int = field(default_factory=next_request_id)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return _base_wire(self.op, self.request_id)
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "PingRequest":
+        return cls(request_id=_require(payload, "request_id", int, "ping request"))
+
+
+@dataclass(frozen=True)
+class PingResponse:
+    """Server capabilities: schema version, registered backends and models."""
+
+    op = "ping"
+
+    request_id: int
+    backends: List[str]
+    models: Optional[List[str]] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=True)
+        wire.update(backends=list(self.backends), models=self.models)
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "PingResponse":
+        where = "ping response"
+        return cls(
+            request_id=_require(payload, "request_id", int, where),
+            backends=list(_require(payload, "backends", list, where)),
+            models=_optional(payload, "models", list, where),
+        )
+
+
+@dataclass(frozen=True)
+class TelemetryRequest:
+    """Fetch the server's serving-telemetry snapshot."""
+
+    op = "telemetry"
+
+    request_id: int = field(default_factory=next_request_id)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return _base_wire(self.op, self.request_id)
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "TelemetryRequest":
+        return cls(request_id=_require(payload, "request_id", int, "telemetry request"))
+
+
+@dataclass(frozen=True)
+class TelemetryResponse:
+    """Serving telemetry plus registry state, as plain JSON-safe dicts."""
+
+    op = "telemetry"
+
+    request_id: int
+    telemetry: Dict[str, Any]
+    registry: Dict[str, Any]
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=True)
+        wire.update(telemetry=self.telemetry, registry=self.registry)
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "TelemetryResponse":
+        where = "telemetry response"
+        return cls(
+            request_id=_require(payload, "request_id", int, where),
+            telemetry=_require(payload, "telemetry", dict, where),
+            registry=_require(payload, "registry", dict, where),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failed request: taxonomy code plus a human-readable message."""
+
+    op = "error"
+
+    code: str
+    message: str
+    request_id: Optional[int] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=False)
+        wire["error"] = {"code": self.code, "message": self.message}
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "ErrorResponse":
+        where = "error response"
+        error = _require(payload, "error", dict, where)
+        return cls(
+            code=_require(error, "code", str, where),
+            message=_require(error, "message", str, where),
+            request_id=_optional(payload, "request_id", int, where),
+        )
+
+    @classmethod
+    def from_exception(
+        cls, error: BaseException, request_id: Optional[int] = None
+    ) -> "ErrorResponse":
+        """Wrap an exception (``ApiError`` keeps its code; others → internal)."""
+        if isinstance(error, ApiError):
+            return cls(code=error.code, message=str(error), request_id=request_id)
+        return cls(
+            code="internal",
+            message=f"{type(error).__name__}: {error}",
+            request_id=request_id,
+        )
+
+    def raise_(self) -> None:
+        """Raise the taxonomy exception this envelope describes."""
+        raise error_for_code(self.code, self.message)
+
+
+# ---------------------------------------------------------------------------
+# envelope parsing
+# ---------------------------------------------------------------------------
+
+_REQUEST_TYPES = {
+    cls.op: cls
+    for cls in (NormalizeRequest, SpecRequest, ExecuteSpecRequest, PingRequest, TelemetryRequest)
+}
+
+_RESPONSE_TYPES = {
+    cls.op: cls
+    for cls in (
+        NormalizeResponse,
+        SpecResponse,
+        ExecuteSpecResponse,
+        PingResponse,
+        TelemetryResponse,
+    )
+}
+
+
+def _check_version(payload: Any, where: str) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise BadSchemaError(f"{where} must be a JSON object, not {type(payload).__name__}")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"{where} carries schema_version {version!r}; this peer speaks "
+            f"version {SCHEMA_VERSION}"
+        )
+    return payload
+
+
+def parse_request(payload: Any):
+    """Decode a request envelope, raising :class:`ApiError` members on misuse."""
+    payload = _check_version(payload, "request")
+    op = _require(payload, "op", str, "request")
+    request_type = _REQUEST_TYPES.get(op)
+    if request_type is None:
+        raise BadSchemaError(
+            f"unknown op {op!r}; supported ops: {', '.join(sorted(_REQUEST_TYPES))}"
+        )
+    return request_type.from_wire(payload)
+
+
+def parse_response(payload: Any, expected_op: str):
+    """Decode a response envelope; a wire error raises its taxonomy exception."""
+    payload = _check_version(payload, "response")
+    if payload.get("ok") is False or payload.get("op") == "error":
+        ErrorResponse.from_wire(payload).raise_()
+    op = _require(payload, "op", str, "response")
+    if op != expected_op:
+        raise BadSchemaError(f"expected a {expected_op!r} response, got op {op!r}")
+    return _RESPONSE_TYPES[expected_op].from_wire(payload)

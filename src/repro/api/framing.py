@@ -1,0 +1,78 @@
+"""Length-prefixed JSON framing of the normalization wire protocol.
+
+One frame = a 4-byte big-endian unsigned payload length followed by that
+many bytes of UTF-8 JSON (one envelope dictionary).  The prefix makes the
+protocol self-delimiting over a TCP stream, and the frame-size limit bounds
+what a peer can make the other side buffer before any schema validation
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict
+
+from repro.api.envelopes import PayloadTooLargeError, TransportError
+
+#: 4-byte big-endian unsigned frame-length prefix.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Default bound on one frame's JSON payload (64 MiB).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(payload: Dict[str, Any], max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one envelope into a length-prefixed frame."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > max_frame_bytes:
+        raise PayloadTooLargeError(
+            f"frame of {len(data)} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    return FRAME_HEADER.pack(len(data)) + data
+
+
+def send_frame(
+    sock: socket.socket, payload: Dict[str, Any], max_frame_bytes: int = MAX_FRAME_BYTES
+) -> None:
+    """Encode and write one frame to a connected socket."""
+    sock.sendall(encode_frame(payload, max_frame_bytes))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes; EOF raises ``ConnectionError``."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES) -> Dict[str, Any]:
+    """Read one frame and decode its JSON payload.
+
+    Raises ``ConnectionError`` on a clean or mid-frame close (the caller
+    decides whether that means "peer finished" or "reconnect and retry"),
+    :class:`PayloadTooLargeError` on an oversized length prefix, and
+    :class:`TransportError` on bytes that are not a JSON object.
+    """
+    (length,) = FRAME_HEADER.unpack(_recv_exact(sock, FRAME_HEADER.size))
+    if length > max_frame_bytes:
+        raise PayloadTooLargeError(
+            f"incoming frame announces {length} bytes; limit is {max_frame_bytes}"
+        )
+    data = _recv_exact(sock, length)
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise TransportError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload

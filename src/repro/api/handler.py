@@ -1,0 +1,291 @@
+"""`ApiHandler`: envelope dictionaries in, envelope dictionaries out.
+
+The single place wire requests become :class:`NormalizationService` calls.
+Both transports share it -- :class:`~repro.api.transport.InProcessTransport`
+invokes it directly and :class:`~repro.api.server.NormServer` invokes it per
+received frame -- so local and remote clients run the *same* validation,
+error taxonomy and execution path, which is what makes the bit-equivalence
+guarantee between transports structural rather than tested-by-luck.
+
+Validation failures never escape as raw exceptions: every handled request
+returns exactly one response envelope, with :class:`ApiError` members
+mapped onto their wire codes and anything unexpected collapsed to
+``internal``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.api.envelopes import (
+    ApiError,
+    BadSchemaError,
+    ErrorResponse,
+    ExecuteSpecRequest,
+    ExecuteSpecResponse,
+    NormalizeRequest,
+    NormalizeResponse,
+    PayloadTooLargeError,
+    PingRequest,
+    PingResponse,
+    SpecRequest,
+    SpecResponse,
+    TelemetryRequest,
+    TelemetryResponse,
+    TensorPayload,
+    UnknownBackendError,
+    UnknownModelError,
+    parse_request,
+)
+
+
+class ApiHandler:
+    """Dispatch parsed envelopes against one :class:`NormalizationService`.
+
+    Parameters
+    ----------
+    service:
+        The serving front door every ``normalize`` / ``spec`` / ``telemetry``
+        request resolves through.  ``execute`` requests bypass it: they ship
+        their own :class:`~repro.engine.spec.EngineSpec` and run on a
+        handler-local engine cache.
+    max_payload_elements:
+        Upper bound on scalar elements per request tensor; larger payloads
+        fail with ``payload_too_large`` before any decoding work happens.
+    engine_cache_size:
+        Number of (spec, affine, backend) engines the ``execute`` op keeps
+        compiled between requests.
+    """
+
+    DEFAULT_MAX_ELEMENTS = 4_000_000
+
+    def __init__(
+        self,
+        service,
+        max_payload_elements: int = DEFAULT_MAX_ELEMENTS,
+        engine_cache_size: int = 32,
+    ):
+        if max_payload_elements < 1:
+            raise ValueError("max_payload_elements must be positive")
+        if engine_cache_size < 1:
+            raise ValueError("engine_cache_size must be positive")
+        self.service = service
+        self.max_payload_elements = max_payload_elements
+        #: key -> (engine, per-engine run lock).  The cache lock only guards
+        #: the mapping itself; each engine runs under its own lock (its
+        #: backend owns mutable scratch), so concurrent connections
+        #: executing *different* specs never serialize on each other.
+        self._engine_cache: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._engine_cache_size = engine_cache_size
+        self._cache_lock = threading.Lock()
+
+    # -- entry point --------------------------------------------------------
+
+    def handle(self, payload: Any) -> Dict[str, Any]:
+        """Handle one request envelope; always returns a response envelope."""
+        request_id = payload.get("request_id") if isinstance(payload, dict) else None
+        if isinstance(request_id, bool) or not isinstance(request_id, int):
+            request_id = None
+        try:
+            request = parse_request(payload)
+        except ApiError as error:
+            return ErrorResponse.from_exception(error, request_id).to_wire()
+        try:
+            return self._dispatch(request).to_wire()
+        except BaseException as error:  # noqa: BLE001 -- one envelope per request
+            if not isinstance(error, Exception):
+                raise  # KeyboardInterrupt / SystemExit propagate to the server
+            return ErrorResponse.from_exception(error, request.request_id).to_wire()
+
+    def _dispatch(self, request):
+        if isinstance(request, NormalizeRequest):
+            return self._normalize(request)
+        if isinstance(request, SpecRequest):
+            return self._spec(request)
+        if isinstance(request, ExecuteSpecRequest):
+            return self._execute(request)
+        if isinstance(request, PingRequest):
+            return self._ping(request)
+        if isinstance(request, TelemetryRequest):
+            return self._telemetry(request)
+        raise BadSchemaError(f"unhandled request type {type(request).__name__}")
+
+    # -- shared validation --------------------------------------------------
+
+    def _check_backend(self, name: str) -> None:
+        from repro.engine.registry import requires_connection, validate_backend_name
+
+        try:
+            validate_backend_name(name)
+        except ValueError as error:
+            raise UnknownBackendError(str(error)) from error
+        if requires_connection(name):
+            raise UnknownBackendError(
+                f"backend {name!r} needs its own connection configuration and "
+                f"cannot be served here (a server forwarding to itself would loop)"
+            )
+
+    def _check_model(self, name: str) -> None:
+        try:
+            self.service.registry.validate_model(name)
+        except ValueError as error:
+            raise UnknownModelError(str(error)) from error
+
+    def _check_size(self, tensor: TensorPayload, what: str = "tensor") -> None:
+        if tensor.num_elements > self.max_payload_elements:
+            raise PayloadTooLargeError(
+                f"{what} carries {tensor.num_elements} elements; this server "
+                f"accepts at most {self.max_payload_elements} per request"
+            )
+
+    # -- ops ----------------------------------------------------------------
+
+    def _normalize(self, request: NormalizeRequest) -> NormalizeResponse:
+        self._check_backend(request.backend)
+        self._check_model(request.model)
+        self._check_size(request.tensor)
+        array = request.tensor.to_array()
+        if array.ndim not in (1, 2):
+            raise BadSchemaError(
+                f"normalize payload must be (hidden,) or (rows, hidden); "
+                f"got shape {tuple(array.shape)}"
+            )
+        try:
+            response = self.service.normalize(
+                array,
+                request.model,
+                layer_index=request.layer_index,
+                dataset=request.dataset,
+                reference=request.reference,
+                backend=request.backend,
+                accelerator=request.accelerator,
+            )
+        except KeyError as error:
+            # Registries with custom loaders validate lazily: an unknown
+            # model surfaces as the loader's KeyError at execution time.
+            raise UnknownModelError(str(error.args[0] if error.args else error)) from error
+        except (ValueError, IndexError) as error:
+            raise BadSchemaError(str(error)) from error
+        encoding = request.tensor.encoding
+        return NormalizeResponse(
+            request_id=request.request_id,
+            tensor=TensorPayload.from_array(response.output, encoding),
+            mean=TensorPayload.from_array(response.mean, encoding),
+            isd=TensorPayload.from_array(response.isd, encoding),
+            was_predicted=response.was_predicted,
+            was_subsampled=response.was_subsampled,
+            batch_size=response.batch_size,
+            queue_wait=float(response.queue_wait),
+            batch_latency=float(response.batch_latency),
+            backend=response.key.backend,
+            accelerator=response.key.accelerator,
+        )
+
+    def _spec(self, request: SpecRequest) -> SpecResponse:
+        self._check_model(request.model)
+        try:
+            artifact = self.service.registry.get(request.model, request.dataset)
+        except KeyError as error:
+            raise UnknownModelError(str(error.args[0] if error.args else error)) from error
+        try:
+            layer = artifact.layer(request.layer_index, reference=request.reference)
+        except IndexError as error:
+            raise BadSchemaError(str(error)) from error
+        plan = layer.plan
+        return SpecResponse(
+            request_id=request.request_id,
+            spec=plan.spec.to_dict(),
+            gamma=TensorPayload.from_array(plan.gamma),
+            beta=TensorPayload.from_array(plan.beta),
+            model=request.model,
+            layer_index=request.layer_index,
+            num_layers=artifact.num_layers,
+        )
+
+    def _execute(self, request: ExecuteSpecRequest) -> ExecuteSpecResponse:
+        from repro.engine.spec import EngineSpec
+
+        self._check_backend(request.backend)
+        self._check_size(request.rows, "rows")
+        try:
+            spec = EngineSpec.from_dict(request.spec)
+        except (TypeError, ValueError) as error:
+            raise BadSchemaError(f"invalid engine spec: {error}") from error
+        gamma = None if request.gamma is None else request.gamma.to_array()
+        beta = None if request.beta is None else request.beta.to_array()
+        rows = request.rows.to_array()
+        segment_starts = (
+            None
+            if request.segment_starts is None
+            else request.segment_starts.to_array().astype(np.int64, copy=False)
+        )
+        anchor_isd = None if request.anchor_isd is None else request.anchor_isd.to_array()
+        engine, run_lock = self._engine_for(spec, request.backend, gamma, beta)
+        try:
+            with run_lock:
+                output, mean, isd = engine.run(rows, segment_starts, anchor_isd)
+        except ValueError as error:
+            raise BadSchemaError(str(error)) from error
+        return ExecuteSpecResponse(
+            request_id=request.request_id,
+            output=TensorPayload.from_array(output, request.rows.encoding),
+            mean=TensorPayload.from_array(mean, request.rows.encoding),
+            isd=TensorPayload.from_array(isd, request.rows.encoding),
+            backend=request.backend,
+        )
+
+    def _engine_for(self, spec, backend: str, gamma, beta):
+        """LRU cache of compiled engines for the ``execute`` op.
+
+        Keyed by the full spec JSON, the backend name and a digest of the
+        affine parameters, so repeated remote-backend traffic pays the
+        compile (and backend construction) once.  Returns
+        ``(engine, run_lock)``; the lock serializes runs of *this* engine
+        only (its backend owns mutable scratch).
+        """
+        digest = hashlib.sha256()
+        for arr in (gamma, beta):
+            digest.update(b"\x00" if arr is None else np.ascontiguousarray(arr).tobytes())
+        key = (json.dumps(spec.to_dict(), sort_keys=True), backend, digest.hexdigest())
+        with self._cache_lock:
+            entry = self._engine_cache.get(key)
+            if entry is not None:
+                self._engine_cache.move_to_end(key)
+                return entry
+        from repro.engine.registry import build
+
+        try:
+            engine = build(spec, backend=backend, gamma=gamma, beta=beta)
+        except ValueError as error:
+            raise BadSchemaError(str(error)) from error
+        entry = (engine, threading.Lock())
+        with self._cache_lock:
+            # A racing thread may have built the same engine; keep the
+            # first one so its lock stays authoritative.
+            entry = self._engine_cache.setdefault(key, entry)
+            self._engine_cache.move_to_end(key)
+            while len(self._engine_cache) > self._engine_cache_size:
+                self._engine_cache.popitem(last=False)
+        return entry
+
+    def _ping(self, request: PingRequest) -> PingResponse:
+        from repro.engine.registry import available_backends
+
+        return PingResponse(
+            request_id=request.request_id,
+            backends=available_backends(),
+            models=self.service.registry.known_model_names(),
+        )
+
+    def _telemetry(self, request: TelemetryRequest) -> TelemetryResponse:
+        return TelemetryResponse(
+            request_id=request.request_id,
+            telemetry=self.service.telemetry.snapshot(),
+            registry=self.service.registry.snapshot(),
+        )

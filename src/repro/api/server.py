@@ -1,0 +1,208 @@
+"""`NormServer`: the normalization service behind a TCP socket.
+
+A thin, dependency-free network front: one listener thread accepts
+connections, one daemon thread per connection reads length-prefixed JSON
+frames, hands each to the shared :class:`~repro.api.handler.ApiHandler`,
+and writes the response frame back.  All request semantics (validation,
+error taxonomy, batching through :class:`NormalizationService`) live in the
+handler -- the server only moves frames.
+
+Shutdown is cooperative and clean: :meth:`close` stops the listener,
+shuts down every live connection (unblocking their reads), joins the
+threads and leaves the wrapped service untouched (the owner closes it).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Set, Tuple
+
+from repro.api.envelopes import ApiError, ErrorResponse
+from repro.api.framing import MAX_FRAME_BYTES, recv_frame, send_frame
+from repro.api.handler import ApiHandler
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split a ``host:port`` string (host may be empty for all interfaces)."""
+    host, separator, port = address.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host or "0.0.0.0", int(port)
+
+
+class NormServer:
+    """Serve one :class:`NormalizationService` over the wire protocol.
+
+    Parameters
+    ----------
+    service:
+        The serving runtime to front (usually threaded, so concurrent
+        connections coalesce into shared micro-batches).
+    host / port:
+        Bind address; port 0 picks a free port (read :attr:`port` after
+        construction).
+    handler:
+        Override the request handler (tests inject size limits).
+    max_frame_bytes:
+        Frame-size bound applied to every connection.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        handler: Optional[ApiHandler] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.service = service
+        self.handler = handler if handler is not None else ApiHandler(service)
+        self.max_frame_bytes = max_frame_bytes
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._connections: Set[socket.socket] = set()
+        self._threads: list = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closing = False
+        self.requests_served = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """``host:port`` the server is listening on."""
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "NormServer":
+        """Start accepting connections in the background (idempotent)."""
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("server is closed and cannot be restarted")
+            if self._accept_thread is not None:
+                return self
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="haan-norm-server", daemon=True
+            )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the listener, drop every connection, join all threads."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            connections = list(self._connections)
+        # shutdown() before close(): closing the fd alone does not wake a
+        # thread blocked in accept() (the kernel socket would linger in
+        # LISTEN and block a rebind of the port); shutdown does.  Some
+        # platforms refuse to shut down a listening socket (ENOTCONN) --
+        # wake the accept loop with a throwaway connection instead.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            try:
+                with socket.create_connection((self.host, self.port), timeout=1.0):
+                    pass
+            except OSError:
+                pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "NormServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _address = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Accepted sockets hold the port after close (FIN_WAIT) while a
+            # client keeps its end open; mark them reusable so a restarted
+            # server can rebind immediately (the reconnect contract).
+            conn.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            with self._lock:
+                if self._closing:
+                    conn.close()
+                    return
+                self._connections.add(conn)
+                # Prune finished connection threads so a long-lived server
+                # handling many short-lived clients does not accumulate one
+                # dead Thread object per past connection.
+                self._threads = [t for t in self._threads if t.is_alive()]
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name="haan-norm-server-conn",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    payload = recv_frame(conn, self.max_frame_bytes)
+                except (ConnectionError, OSError):
+                    return  # client went away (or server is closing)
+                except ApiError as error:
+                    # Oversized or non-JSON frame: the stream cannot be
+                    # resynchronized, so report once and drop the link.
+                    self._try_send(conn, ErrorResponse.from_exception(error).to_wire())
+                    return
+                response = self.handler.handle(payload)
+                with self._lock:  # += is not atomic across connection threads
+                    self.requests_served += 1
+                if not self._try_send(conn, response):
+                    return
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _try_send(self, conn: socket.socket, payload: dict) -> bool:
+        try:
+            send_frame(conn, payload, self.max_frame_bytes)
+            return True
+        except ApiError as error:
+            # The *response* outgrew the frame limit (huge tensor): replace
+            # it with an error envelope so the client is never left hanging.
+            fallback = ErrorResponse.from_exception(error).to_wire()
+            try:
+                send_frame(conn, fallback, self.max_frame_bytes)
+            except (ApiError, OSError):
+                return False
+            return True
+        except OSError:
+            return False

@@ -1,0 +1,209 @@
+"""Client transports: the same envelopes, in-process or over TCP.
+
+A transport is one method -- ``request(envelope_dict) -> envelope_dict`` --
+so :class:`~repro.api.client.NormClient` code is identical whether it talks
+to a :class:`NormalizationService` in this process or to a
+:class:`~repro.api.server.NormServer` on another host:
+
+* :class:`InProcessTransport` hands the envelope straight to a shared
+  :class:`~repro.api.handler.ApiHandler` (no socket, no JSON bytes on the
+  floor, but the *same* schema validation and dispatch path).
+* :class:`SocketTransport` speaks the length-prefixed JSON frame protocol
+  of :mod:`repro.api.framing` over TCP, reconnecting transparently when a
+  server was restarted between requests -- safe because every API request
+  is a pure function of its envelope (retrying cannot double-apply).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.api.envelopes import ApiError, TransportError
+from repro.api.framing import MAX_FRAME_BYTES, recv_frame, send_frame
+
+
+class Transport:
+    """Contract every client transport implements."""
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request envelope and return the response envelope."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InProcessTransport(Transport):
+    """Client transport over a service living in this process.
+
+    Wraps an existing :class:`NormalizationService` -- or builds an inline
+    (non-threaded, deterministic) one when none is given -- behind the same
+    :class:`~repro.api.handler.ApiHandler` a network server uses.
+
+    Parameters
+    ----------
+    service:
+        An existing service to front.  When omitted a fresh inline service
+        is created (and owned: closing the transport closes it).
+    registry / loader:
+        Forwarded to the owned service's
+        :class:`~repro.serving.registry.CalibrationRegistry` when no
+        ``service`` is given.
+    max_payload_elements:
+        Handler-side tensor size bound (same default as a real server).
+    """
+
+    def __init__(
+        self,
+        service=None,
+        registry=None,
+        loader=None,
+        max_payload_elements: Optional[int] = None,
+    ):
+        from repro.api.handler import ApiHandler
+
+        self._owns_service = service is None
+        if service is None:
+            from repro.serving.registry import CalibrationRegistry
+            from repro.serving.service import NormalizationService
+
+            if registry is None:
+                registry = CalibrationRegistry(loader=loader)
+            service = NormalizationService(registry=registry, threaded=False)
+        self.service = service
+        kwargs = {} if max_payload_elements is None else {
+            "max_payload_elements": max_payload_elements
+        }
+        self.handler = ApiHandler(service, **kwargs)
+        self._closed = False
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self._closed:
+            raise TransportError("in-process transport is closed")
+        return self.handler.handle(payload)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_service:
+            self.service.close()
+
+
+class SocketTransport(Transport):
+    """Length-prefixed JSON frames over one TCP connection.
+
+    The connection is opened lazily on the first request and re-opened
+    transparently when a request hits a dead socket (server restarted,
+    idle timeout): one reconnect-and-resend attempt per request, then
+    :class:`TransportError`.
+
+    Parameters
+    ----------
+    host / port:
+        The server address.
+    timeout:
+        Per-request socket timeout in seconds (send + receive).
+    connect_timeout:
+        Bound on establishing the TCP connection.
+    max_frame_bytes:
+        Refuse to send or accept frames larger than this.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection management ----------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """``host:port`` of the server this transport targets."""
+        return f"{self.host}:{self.port}"
+
+    def connected(self) -> bool:
+        """Whether a (believed-live) connection is currently held."""
+        return self._sock is not None
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+            except OSError as error:
+                raise TransportError(
+                    f"cannot connect to {self.address}: {error}"
+                ) from error
+            sock.settimeout(self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def _drop(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- request/response ---------------------------------------------------
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        last_error: Optional[BaseException] = None
+        for attempt in (1, 2):
+            sock = self._ensure_connected()
+            try:
+                send_frame(sock, payload, self.max_frame_bytes)
+                return recv_frame(sock, self.max_frame_bytes)
+            except ApiError:
+                # Protocol-level failures (oversized frame, junk payload)
+                # are not connection staleness; surface them immediately.
+                self._drop()
+                raise
+            except OSError as error:
+                # Covers ConnectionError (EOF mid-frame / reset) and
+                # timeouts: drop the socket and retry exactly once against
+                # a fresh connection.
+                self._drop()
+                last_error = error
+                if attempt == 2:
+                    break
+        raise TransportError(
+            f"request to {self.address} failed after reconnect: {last_error}"
+        ) from last_error
+
+    def wait_until_ready(self, timeout: float = 10.0, poll_interval: float = 0.1) -> None:
+        """Block until a connection can be established (server startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self._ensure_connected()
+                return
+            except TransportError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_interval)
+
+    def close(self) -> None:
+        self._drop()

@@ -48,11 +48,15 @@ _EXPORTS = {
     "ReferenceBackend": "backends",
     "SimulatedBackend": "backends",
     "VectorizedBackend": "backends",
+    "RemoteBackend": "remote",
     "Engine": "registry",
     "available_backends": "registry",
     "build": "registry",
     "create_backend": "registry",
+    "local_backends": "registry",
     "register_backend": "registry",
+    "requires_connection": "registry",
+    "validate_backend_name": "registry",
 }
 
 __all__ = sorted(_EXPORTS)

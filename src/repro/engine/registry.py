@@ -30,17 +30,57 @@ from repro.engine.spec import EngineSpec
 #: Backend factories keyed by registry name.
 _FACTORIES: Dict[str, Callable[..., NormBackend]] = {}
 
+#: Names of backends that need connection configuration (a server address)
+#: and therefore cannot be built by zero-argument sweeps.
+_CONNECTION_BACKENDS: set = set()
 
-def register_backend(name: str, factory: Callable[..., NormBackend]) -> None:
-    """Register (or replace) a backend factory under ``name``."""
+
+def register_backend(
+    name: str, factory: Callable[..., NormBackend], requires_connection: bool = False
+) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    ``requires_connection=True`` marks backends (like ``remote``) that
+    cannot be instantiated without caller-supplied connection details;
+    they stay listed in :func:`available_backends` but are excluded from
+    :func:`local_backends`, the set sweeps and tests iterate.
+    """
     if not name:
         raise ValueError("backend name must be non-empty")
     _FACTORIES[name] = factory
+    if requires_connection:
+        _CONNECTION_BACKENDS.add(name)
+    else:
+        _CONNECTION_BACKENDS.discard(name)
 
 
 def available_backends() -> List[str]:
     """Sorted names of every registered backend."""
     return sorted(_FACTORIES)
+
+
+def local_backends() -> List[str]:
+    """Sorted backends constructible with no configuration (sweepable)."""
+    return sorted(name for name in _FACTORIES if name not in _CONNECTION_BACKENDS)
+
+
+def requires_connection(name: str) -> bool:
+    """Whether a backend needs connection configuration to be built."""
+    return name in _CONNECTION_BACKENDS
+
+
+def validate_backend_name(name: str) -> None:
+    """Raise ``ValueError`` listing the registry when ``name`` is unknown.
+
+    The cheap front-door check (no backend is instantiated): serving
+    ``submit()``, the CLIs and the wire-protocol handler all call this so
+    an unknown backend fails fast with the same actionable message.
+    """
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown normalization backend {name!r}; "
+            f"registered backends: {', '.join(available_backends())}"
+        )
 
 
 def create_backend(name: str, **kwargs) -> NormBackend:
@@ -50,18 +90,44 @@ def create_backend(name: str, **kwargs) -> NormBackend:
     so every caller (CLI flags, serving request keys) reports the same
     actionable error.
     """
-    factory = _FACTORIES.get(name)
-    if factory is None:
-        raise ValueError(
-            f"unknown normalization backend {name!r}; "
-            f"registered backends: {', '.join(available_backends())}"
-        )
-    return factory(**kwargs)
+    validate_backend_name(name)
+    return _FACTORIES[name](**kwargs)
+
+
+def _remote_factory(**kwargs) -> NormBackend:
+    """Build the ``remote`` backend (imported lazily: it pulls in repro.api)."""
+    from repro.engine.remote import RemoteBackend
+
+    return RemoteBackend(**kwargs)
+
+
+def _costed_simulated_factory(config_name: str) -> Callable[..., NormBackend]:
+    """Factory for a `simulated` variant pinned to a named accelerator.
+
+    The paper's baseline accelerators (SOLE / DFX / MHAA) register through
+    this so comparison sweeps price batches on the baseline's datapath via
+    plain ``engine.build(spec, backend="simulated-sole")`` -- no caller
+    carries accelerator-config plumbing.  An explicit ``accelerator_config``
+    (per-request selection) still overrides the pinned default.
+    """
+
+    def factory(accelerator_config=None, **kwargs) -> NormBackend:
+        if accelerator_config is None:
+            from repro.hardware.configs import resolve_accelerator_config
+
+            accelerator_config = resolve_accelerator_config(config_name)
+        return SimulatedBackend(accelerator_config=accelerator_config, **kwargs)
+
+    return factory
 
 
 register_backend(ReferenceBackend.name, ReferenceBackend)
 register_backend(VectorizedBackend.name, VectorizedBackend)
 register_backend(SimulatedBackend.name, SimulatedBackend)
+register_backend("remote", _remote_factory, requires_connection=True)
+for _baseline in ("sole", "dfx", "mhaa"):
+    register_backend(f"simulated-{_baseline}", _costed_simulated_factory(_baseline))
+del _baseline
 
 
 class Engine:

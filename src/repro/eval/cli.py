@@ -51,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         default=None,
         help="execution backend for the norm-executing experiments "
-        "(serving, engine); see repro.engine.registry (default: vectorized)",
+        "(serving, engine, api); see repro.engine.registry (default: vectorized)",
     )
     return parser
 
@@ -64,7 +64,7 @@ def _experiment_kwargs(experiment_id: str, args: argparse.Namespace) -> dict:
     if args.seq_lens is not None and experiment_id in ("fig8b", "fig9", "end_to_end"):
         kwargs["seq_lens"] = tuple(int(s) for s in args.seq_lens.split(",") if s)
     if args.backend is not None:
-        if experiment_id == "serving":
+        if experiment_id in ("serving", "api"):
             kwargs["backend"] = args.backend
         elif experiment_id == "engine":
             kwargs["backends"] = [args.backend]
@@ -77,12 +77,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.backend is not None:
-        from repro.engine.registry import create_backend
+        from repro.engine.registry import requires_connection, validate_backend_name
 
         try:
             # The registry owns the "unknown backend" message (it lists the
             # registered names); validate up front for a clean exit code.
-            create_backend(args.backend)
+            # A name check, not an instantiation: connection-requiring
+            # backends (remote) cannot be built without an address -- and
+            # the experiments have no server to dial, so reject them too.
+            validate_backend_name(args.backend)
+            if requires_connection(args.backend):
+                raise ValueError(
+                    f"backend {args.backend!r} needs its own connection "
+                    f"configuration and cannot run in the experiment sweeps"
+                )
         except ValueError as error:
             print(f"haan-experiments: {error}", file=sys.stderr)
             return 2

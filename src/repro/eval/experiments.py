@@ -527,24 +527,28 @@ def run_engine_backends(
 ) -> ExperimentResult:
     """Cross-backend sweep of the normalization execution engine.
 
-    Iterates the **registered** backends of :mod:`repro.engine.registry`
-    (never a hand-rolled if/else over known names, so a newly registered
-    backend automatically joins the sweep) over a computed and a skipped
-    HAAN configuration compiled from one :class:`~repro.engine.spec`
-    description each.  Reports per-backend wall-clock, the exact maximum
-    deviation from the ``reference`` backend (the golden contract demands
-    0), and -- for backends that emit cost records -- the modelled cycles,
-    energy and per-stage latency breakdown of the accelerator.
+    Iterates the **registered** local backends of
+    :mod:`repro.engine.registry` (never a hand-rolled if/else over known
+    names, so a newly registered backend automatically joins the sweep --
+    including the costed baseline variants ``simulated-sole`` /
+    ``simulated-dfx`` / ``simulated-mhaa``; connection-requiring backends
+    like ``remote`` are excluded because the sweep has no server to dial)
+    over a computed and a skipped HAAN configuration compiled from one
+    :class:`~repro.engine.spec` description each.  Reports per-backend
+    wall-clock, the exact maximum deviation from the ``reference`` backend
+    (the golden contract demands 0), and -- for backends that emit cost
+    records -- the modelled cycles, energy and per-stage latency breakdown
+    of the accelerator.
     """
     import time as _time
 
     from repro.core.haan_norm import HaanNormalization
     from repro.core.predictor import IsdPredictor
     from repro.core.subsampling import SubsampleSettings
-    from repro.engine.registry import available_backends
+    from repro.engine.registry import local_backends
     from repro.llm.normalization import LayerNorm
 
-    backend_names = list(backends) if backends is not None else available_backends()
+    backend_names = list(backends) if backends is not None else local_backends()
     rng = np.random.default_rng(seed)
     base = LayerNorm(hidden_size=hidden, layer_index=3, name="engine.bench")
     base.load_affine(rng.normal(1.0, 0.1, hidden), rng.normal(0.0, 0.1, hidden))
@@ -658,6 +662,115 @@ def run_serving_throughput(
     )
 
 
+def run_api_roundtrip(
+    model_name: str = "tiny",
+    layer_index: int = 0,
+    requests: int = 4,
+    rows_per_request: int = 2,
+    seed: int = 0,
+    backend: str = "vectorized",
+    dataset: str = "default",
+    loader=None,
+) -> ExperimentResult:
+    """Transport parity of the public API: in-process vs socket vs direct.
+
+    Every consumer enters the system through
+    :class:`~repro.api.client.NormClient`; this experiment proves the two
+    transports are interchangeable by running the same payloads through
+
+    * the service directly (the golden path),
+    * ``NormClient`` over :class:`InProcessTransport`, and
+    * ``NormClient`` over :class:`SocketTransport` against a live
+      :class:`~repro.api.server.NormServer`,
+
+    and reporting per-transport wall clock plus the exact maximum deviation
+    from the direct path (the contract demands 0 for both).
+    """
+    import time as _time
+
+    from repro.api.client import NormClient
+    from repro.api.server import NormServer
+    from repro.serving.registry import CalibrationRegistry
+    from repro.serving.service import NormalizationService
+
+    registry = CalibrationRegistry(loader=loader)
+    rng = np.random.default_rng(seed)
+    artifact = registry.get(model_name, dataset)
+    hidden = artifact.hidden_size
+    payloads = [
+        rng.normal(0.0, 1.0, size=(rows_per_request, hidden)) for _ in range(requests)
+    ]
+
+    def _run_direct():
+        with NormalizationService(registry=registry, threaded=False) as service:
+            return [
+                service.normalize(
+                    payload,
+                    model_name,
+                    layer_index=layer_index,
+                    dataset=dataset,
+                    backend=backend,
+                ).output
+                for payload in payloads
+            ]
+
+    def _run_client(client: NormClient):
+        return [
+            client.normalize(
+                payload,
+                model_name,
+                layer_index=layer_index,
+                dataset=dataset,
+                backend=backend,
+            ).output
+            for payload in payloads
+        ]
+
+    start = _time.perf_counter()
+    golden = _run_direct()
+    direct_seconds = _time.perf_counter() - start
+
+    start = _time.perf_counter()
+    with NormClient.in_process(registry=registry) as client:
+        in_process = _run_client(client)
+    in_process_seconds = _time.perf_counter() - start
+
+    with NormalizationService(registry=registry) as service:
+        with NormServer(service) as server:
+            start = _time.perf_counter()
+            with NormClient.connect(server.host, server.port) as client:
+                over_socket = _run_client(client)
+            socket_seconds = _time.perf_counter() - start
+
+    def _deviation(outputs) -> float:
+        return max(
+            float(np.max(np.abs(out - ref))) if out.size else 0.0
+            for out, ref in zip(outputs, golden)
+        )
+
+    deviations = {
+        "direct": 0.0,
+        "in-process": _deviation(in_process),
+        "socket": _deviation(over_socket),
+    }
+    timings = {
+        "direct": direct_seconds,
+        "in-process": in_process_seconds,
+        "socket": socket_seconds,
+    }
+    result = ExperimentResult(
+        experiment_id="api",
+        title=f"Public API transport parity ({model_name}, backend {backend})",
+        headers=["transport", "requests", "wall (ms)", "max |d| vs direct"],
+        rows=[
+            [name, requests, f"{timings[name] * 1e3:.1f}", f"{deviations[name]:.1e}"]
+            for name in ("direct", "in-process", "socket")
+        ],
+        metadata={"deviations": deviations, "timings": timings, "backend": backend},
+    )
+    return result
+
+
 #: Registry of all experiments, keyed by experiment id.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig1b": run_fig1b,
@@ -673,6 +786,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation_pipeline": run_pipeline_balance_ablation,
     "serving": run_serving_throughput,
     "engine": run_engine_backends,
+    "api": run_api_roundtrip,
 }
 
 

@@ -15,7 +15,9 @@ from repro.hardware.configs import (
     HAAN_V3,
     NAMED_CONFIGS,
     TABLE3_CONFIGS,
+    available_accelerator_configs,
     get_accelerator_config,
+    resolve_accelerator_config,
 )
 from repro.hardware.memory import MemoryLayout, MemoryTraffic
 from repro.hardware.pipeline import PipelineModel, PipelineSchedule, PipelineStage
@@ -70,7 +72,9 @@ __all__ = [
     "HAAN_V3",
     "NAMED_CONFIGS",
     "TABLE3_CONFIGS",
+    "available_accelerator_configs",
     "get_accelerator_config",
+    "resolve_accelerator_config",
     "MemoryLayout",
     "MemoryTraffic",
     "PipelineModel",

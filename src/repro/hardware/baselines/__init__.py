@@ -17,6 +17,39 @@ def all_baselines() -> dict[str, BaselineAccelerator]:
     return {baseline.name: baseline for baseline in baselines}
 
 
+#: Memoized result of :func:`baseline_accelerator_configs` -- the mapping
+#: is immutable and validation calls it on the serving submit() hot path.
+_BASELINE_CONFIG_CACHE: dict = {}
+
+
+def baseline_accelerator_configs() -> dict:
+    """The fixed-function baselines as :class:`AcceleratorConfig` instances.
+
+    Projects each lane-based baseline model (SOLE / DFX / MHAA) onto the
+    engine's accelerator-config shape -- lanes become the statistics and
+    normalization datapath widths, the clock carries over -- so the
+    ``simulated`` backend can price batches on a baseline datapath and the
+    comparison sweeps run through plain ``engine.build``.  The GPU baseline
+    has no lane/clock structure and is deliberately absent.  Structural
+    approximation only: the authoritative baseline latency model remains
+    :meth:`BaselineAccelerator.workload_latency`.
+    """
+    if not _BASELINE_CONFIG_CACHE:
+        from repro.hardware.configs import AcceleratorConfig
+        from repro.numerics.quantization import DataFormat
+
+        for baseline in (SoleBaseline(), DfxBaseline(), MhaaBaseline()):
+            name = baseline.name.lower()
+            _BASELINE_CONFIG_CACHE[name] = AcceleratorConfig(
+                name=name,
+                stats_width=baseline.lanes,
+                norm_width=baseline.lanes,
+                data_format=DataFormat.FP16,
+                clock_mhz=baseline.clock_mhz,
+            )
+    return _BASELINE_CONFIG_CACHE
+
+
 __all__ = [
     "BaselineAccelerator",
     "BaselineLatencyReport",
@@ -26,4 +59,5 @@ __all__ = [
     "MhaaBaseline",
     "SoleBaseline",
     "all_baselines",
+    "baseline_accelerator_configs",
 ]

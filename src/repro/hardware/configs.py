@@ -122,6 +122,37 @@ def get_accelerator_config(name: str, **overrides) -> AcceleratorConfig:
     return cfg.with_overrides(**overrides) if overrides else cfg
 
 
+def available_accelerator_configs() -> list[str]:
+    """Every selectable accelerator name: HAAN variants plus the baselines."""
+    from repro.hardware.baselines import baseline_accelerator_configs
+
+    return sorted(set(NAMED_CONFIGS) | set(baseline_accelerator_configs()))
+
+
+def resolve_accelerator_config(name: str) -> AcceleratorConfig:
+    """Resolve any selectable accelerator name to its configuration.
+
+    The single lookup behind per-request accelerator selection
+    (``RequestKey.accelerator``) and the costed ``simulated-*`` backend
+    variants: HAAN-v1/v2/v3 come from :data:`NAMED_CONFIGS`, and the
+    paper's baseline accelerators (SOLE / DFX / MHAA) from
+    :func:`repro.hardware.baselines.baseline_accelerator_configs`.  Unknown
+    names raise ``ValueError`` listing everything selectable.
+    """
+    key = name.strip().lower()
+    if key in NAMED_CONFIGS:
+        return NAMED_CONFIGS[key]
+    from repro.hardware.baselines import baseline_accelerator_configs
+
+    baselines = baseline_accelerator_configs()
+    if key in baselines:
+        return baselines[key]
+    raise ValueError(
+        f"unknown accelerator config {name!r}; "
+        f"available: {', '.join(available_accelerator_configs())}"
+    )
+
+
 #: Configurations of the Table III hardware-cost sweep: (format, (p_d, p_n)).
 TABLE3_CONFIGS: tuple[AcceleratorConfig, ...] = (
     AcceleratorConfig(name="fp32-128-128", stats_width=128, norm_width=128, data_format=DataFormat.FP32),

@@ -95,17 +95,39 @@ class BaseNorm:
             self._plan = plan_for_layer(self)
         return self._plan
 
-    def engine_for(self, backend: str = "vectorized"):
+    def engine_for(self, backend: str = "vectorized", accelerator: Optional[str] = None):
         """The cached :class:`~repro.engine.registry.Engine` for a backend.
 
         Unknown backend names raise ``ValueError`` listing the registry
         contents.  Engines share this layer's single compiled plan.
+
+        ``accelerator`` selects a named :class:`AcceleratorConfig`
+        (HAAN-v1/v2/v3 or a baseline: see
+        :func:`repro.hardware.configs.resolve_accelerator_config`) for
+        cost-modelling backends, so one layer can be priced on several
+        datapaths; each ``(backend, accelerator)`` pair caches its own
+        engine.  Backends without a cost model reject the selection.
         """
-        engine = self._engines.get(backend)
+        cache_key = backend if accelerator is None else (backend, accelerator)
+        engine = self._engines.get(cache_key)
         if engine is None:
             from repro.engine.registry import build
 
-            engine = self._engines[backend] = build(self.plan, backend=backend)
+            if accelerator is None:
+                engine = build(self.plan, backend=backend)
+            else:
+                from repro.hardware.configs import resolve_accelerator_config
+
+                config = resolve_accelerator_config(accelerator)
+                try:
+                    engine = build(self.plan, backend=backend, accelerator_config=config)
+                except TypeError as error:
+                    raise ValueError(
+                        f"backend {backend!r} does not accept an accelerator "
+                        f"config; pick a cost-modelling backend (simulated*) "
+                        f"or drop accelerator={accelerator!r}"
+                    ) from error
+            self._engines[cache_key] = engine
         return engine
 
     def invalidate_engines(self) -> None:

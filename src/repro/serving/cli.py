@@ -5,8 +5,9 @@ Installed as the ``haan-serve`` console script, next to
 
     haan-serve --model tiny --requests 512
     haan-serve --model tiny --rows 4 --max-batch-size 64 --max-wait-ms 1
-    haan-serve --model tiny --backend simulated
+    haan-serve --model tiny --backend simulated --accelerator haan-v2
     haan-serve --model tiny --compare-loop
+    haan-serve --model tiny --listen 127.0.0.1:8471
 
 The command calibrates the model through the
 :class:`~repro.serving.registry.CalibrationRegistry` (cache miss on first
@@ -15,18 +16,25 @@ threaded micro-batching service, cross-checks a sample of responses against
 the single-request golden path bit-for-bit, and prints the telemetry
 summary.  ``--compare-loop`` additionally measures requests/sec of the
 micro-batched path against the per-request loop.
+
+``--listen HOST:PORT`` switches to server mode: instead of synthetic
+traffic, the service is exposed over the versioned wire protocol
+(:mod:`repro.api`) until SIGINT/SIGTERM, then shuts down cleanly and prints
+the telemetry summary.  ``haan-client`` is the matching client.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from typing import List, Optional
 
 import numpy as np
 
 from repro.core.subsampling import subsample_indices
-from repro.engine.registry import create_backend
+from repro.engine.registry import requires_connection, validate_backend_name
 from repro.serving.batcher import BatcherConfig
 from repro.serving.registry import CalibrationRegistry
 from repro.serving.service import NormalizationService
@@ -53,6 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="execution backend for the served requests "
         "(see repro.engine.registry; default: vectorized)",
+    )
+    parser.add_argument(
+        "--accelerator",
+        default=None,
+        help="accelerator config for cost-modelling backends: haan-v1/v2/v3 "
+        "or a baseline (sole, dfx, mhaa)",
+    )
+    parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the wire protocol on this address instead of firing "
+        "synthetic traffic (stop with SIGINT/SIGTERM)",
     )
     parser.add_argument("--max-batch-size", type=int, default=32, help="micro-batch size trigger")
     parser.add_argument(
@@ -81,7 +102,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         # The registry owns the "unknown backend" message (it lists the
         # registered names); validate up front for a clean exit code.
-        create_backend(args.backend)
+        validate_backend_name(args.backend)
+        if requires_connection(args.backend):
+            raise ValueError(
+                f"backend {args.backend!r} needs its own connection "
+                f"configuration and cannot be served by haan-serve"
+            )
+        if args.accelerator is not None:
+            from repro.hardware.configs import resolve_accelerator_config
+
+            resolve_accelerator_config(args.accelerator)
     except ValueError as error:
         print(f"haan-serve: {error}", file=sys.stderr)
         return 2
@@ -112,6 +142,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
+    config = BatcherConfig(
+        max_batch_size=args.max_batch_size, max_wait=args.max_wait_ms / 1000.0
+    )
+    if args.listen is not None:
+        return _serve_forever(args, registry, config)
+
     rng = np.random.default_rng(args.seed)
     if args.layer is not None:
         layer_indices = np.full(args.requests, args.layer)
@@ -122,9 +158,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         for _ in range(args.requests)
     ]
 
-    config = BatcherConfig(
-        max_batch_size=args.max_batch_size, max_wait=args.max_wait_ms / 1000.0
-    )
     with NormalizationService(registry=registry, config=config) as service:
         futures = [
             service.submit(
@@ -133,6 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 layer_index=int(index),
                 dataset=args.dataset,
                 backend=args.backend,
+                accelerator=args.accelerator,
             )
             for payload, index in zip(payloads, layer_indices)
         ]
@@ -173,6 +207,59 @@ def main(argv: Optional[List[str]] = None) -> int:
             loader=lambda name, dataset: registry.get(name, dataset),
         )
         print(result.formatted())
+    return 0
+
+
+def _serve_forever(
+    args: argparse.Namespace, registry: CalibrationRegistry, config: BatcherConfig
+) -> int:
+    """Server mode: expose the service over the wire protocol until signalled.
+
+    The calibration artifact is already warm (main() resolved it), so the
+    first remote request never pays Algorithm 1.  SIGINT and SIGTERM both
+    trigger a clean shutdown -- server closed, queued requests flushed,
+    telemetry printed -- and exit code 0, which the CI smoke job asserts.
+    """
+    from repro.api.server import NormServer, parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as error:
+        print(f"haan-serve: {error}", file=sys.stderr)
+        return 2
+
+    stop = threading.Event()
+
+    def _signal_handler(_signum, _frame):
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _signal_handler)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    service = NormalizationService(registry=registry, config=config)
+    try:
+        try:
+            server = NormServer(service, host=host, port=port)
+        except OSError as error:
+            print(f"haan-serve: cannot bind {args.listen}: {error}", file=sys.stderr)
+            return 2
+        with server:
+            print(
+                f"haan-serve: listening on {server.host}:{server.port} "
+                f"(model {args.model!r}, dataset {args.dataset!r}; "
+                f"stop with SIGINT/SIGTERM)",
+                flush=True,
+            )
+            while not stop.wait(0.2):
+                pass
+            print(f"haan-serve: shutting down after {server.requests_served} request(s)")
+    finally:
+        service.close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print()
+    print(service.telemetry.format_table())
     return 0
 
 

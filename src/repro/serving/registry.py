@@ -49,8 +49,17 @@ class CalibrationArtifact:
 
     @property
     def hidden_size(self) -> int:
-        """Width of the activation vectors this artifact normalizes."""
-        return self.model.config.sim_hidden_size
+        """Width of the activation vectors this artifact normalizes.
+
+        Falls back to the layers' width for model-less artifact stubs
+        (tests and synthetic loaders build those).
+        """
+        if self.model is not None:
+            return self.model.config.sim_hidden_size
+        layers = self.haan_layers or self.reference_layers
+        if not layers:
+            raise ValueError("artifact has neither a model nor layers")
+        return layers[0].hidden_size
 
     def layer(self, layer_index: int, reference: bool = False) -> BaseNorm:
         """The HAAN (or exact reference) layer at an execution-order index."""
@@ -155,11 +164,31 @@ class CalibrationRegistry:
     capacity:
         Maximum number of cached artifacts; the least recently *used* entry
         is evicted when a miss would exceed it.
+    known_models:
+        The model names this registry can load: a list, a zero-argument
+        callable returning one, or ``None`` when the valid set is unknowable
+        (custom loaders accept arbitrary names, so validation is skipped
+        for them).  Defaults to the built-in model zoo when the default
+        loader is used, which lets :meth:`validate_model` fail a bad name
+        at ``submit()`` time instead of deep inside the batch executor.
     """
 
-    def __init__(self, loader: Optional[ArtifactLoader] = None, capacity: int = 4):
+    def __init__(
+        self,
+        loader: Optional[ArtifactLoader] = None,
+        capacity: int = 4,
+        known_models=None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
+        if known_models is None and loader is None:
+            from repro.llm.config import available_models
+
+            known_models = available_models
+        self._known_models = known_models
+        #: Cached membership set for the submit()-time hot path; refreshed
+        #: on a miss so newly registered models are picked up lazily.
+        self._known_model_set: Optional[frozenset] = None
         self._loader = loader or default_artifact_loader
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple[str, str], CalibrationArtifact]" = OrderedDict()
@@ -207,6 +236,36 @@ class CalibrationRegistry:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
         return artifact
+
+    def known_model_names(self) -> Optional[List[str]]:
+        """Sorted loadable model names, or None when unknowable."""
+        known = self._known_models
+        if known is None:
+            return None
+        return sorted(known() if callable(known) else known)
+
+    def validate_model(self, model_name: str) -> None:
+        """Fail fast on a model this registry can never load.
+
+        Raises ``ValueError`` listing the registered names; a no-op when
+        the valid set is unknowable (custom loader without
+        ``known_models``).  The membership set is cached (submit() calls
+        this per request) and refreshed once on a miss, so models
+        registered after construction are still honored.
+        """
+        if self._known_models is None:
+            return
+        key = model_name.strip().lower()
+        cached = self._known_model_set
+        if cached is not None and key in cached:
+            return
+        names = self.known_model_names()
+        self._known_model_set = frozenset(names)
+        if key not in self._known_model_set:
+            raise ValueError(
+                f"unknown model {model_name!r}; "
+                f"registered models: {', '.join(names)}"
+            )
 
     def __contains__(self, key: Tuple[str, str]) -> bool:
         with self._lock:

@@ -35,6 +35,12 @@ class RequestKey:
     model) -- *and* the same execution backend
     (:mod:`repro.engine.registry` name), so a micro-batch always runs on
     one machine and telemetry can attribute it.
+
+    ``accelerator`` selects a named :class:`AcceleratorConfig` for
+    cost-modelling backends (``simulated`` and its baseline variants), so
+    one service prices traffic on HAAN-v1 and HAAN-v2 -- or on SOLE / DFX /
+    MHAA -- side by side; requests priced on different datapaths never share
+    a batch (the cost record must attribute to exactly one config).
     """
 
     model: str
@@ -42,6 +48,7 @@ class RequestKey:
     dataset: str = "default"
     reference: bool = False
     backend: str = "vectorized"
+    accelerator: Optional[str] = None
 
 
 class NormRequest:

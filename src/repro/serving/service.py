@@ -27,6 +27,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.registry import validate_backend_name
 from repro.llm.hooks import ActivationContext, scatter_isd, stack_anchor_isds
 from repro.numerics.kernels import KernelWorkspace
 from repro.serving.batcher import (
@@ -96,13 +97,18 @@ class NormalizationService:
         dataset: str = "default",
         reference: bool = False,
         backend: str = "vectorized",
+        accelerator: Optional[str] = None,
         context: Optional[ActivationContext] = None,
     ) -> ResponseFuture:
         """Enqueue one request; returns a future of :class:`NormResponse`.
 
         ``backend`` selects the execution backend per request
         (:func:`repro.engine.registry.available_backends` lists the valid
-        names); requests only coalesce with requests of the same backend.
+        names) and ``accelerator`` optionally pins a named
+        :class:`AcceleratorConfig` for cost-modelling backends; requests
+        only coalesce with requests sharing both.  Unknown backend, model
+        or accelerator names fail *here*, synchronously, with the registry
+        contents in the message -- never deep inside the batch executor.
         """
         key = RequestKey(
             model=model,
@@ -110,7 +116,9 @@ class NormalizationService:
             dataset=dataset,
             reference=reference,
             backend=backend,
+            accelerator=accelerator,
         )
+        self._validate_key(key)
         return self.batcher.submit(NormRequest(key=key, payload=payload, context=context))
 
     def submit_many(
@@ -121,6 +129,7 @@ class NormalizationService:
         dataset: str = "default",
         reference: bool = False,
         backend: str = "vectorized",
+        accelerator: Optional[str] = None,
         context: Optional[ActivationContext] = None,
     ) -> List[ResponseFuture]:
         """Enqueue a burst of requests under one scheduler lock acquisition."""
@@ -130,10 +139,27 @@ class NormalizationService:
             dataset=dataset,
             reference=reference,
             backend=backend,
+            accelerator=accelerator,
         )
+        self._validate_key(key)
         return self.batcher.submit_many(
             [NormRequest(key=key, payload=payload, context=context) for payload in payloads]
         )
+
+    def _validate_key(self, key: RequestKey) -> None:
+        """Front-door name validation: backend, model, accelerator.
+
+        Each check raises ``ValueError`` listing the registered names.
+        Model validation is skipped when the registry's loadable set is
+        unknowable (custom loaders); backend names always validate against
+        the engine registry.
+        """
+        validate_backend_name(key.backend)
+        self.registry.validate_model(key.model)
+        if key.accelerator is not None:
+            from repro.hardware.configs import resolve_accelerator_config
+
+            resolve_accelerator_config(key.accelerator)
 
     def normalize(self, payload: np.ndarray, model: str, **kwargs) -> NormResponse:
         """Normalize one tensor synchronously."""
@@ -159,6 +185,7 @@ class NormalizationService:
         dataset: str = "default",
         reference: bool = False,
         backend: str = "vectorized",
+        accelerator: Optional[str] = None,
         context: Optional[ActivationContext] = None,
     ) -> Iterator[NormResponse]:
         """Normalize a stream of activation chunks, yielding results in order.
@@ -180,6 +207,7 @@ class NormalizationService:
                 dataset=dataset,
                 reference=reference,
                 backend=backend,
+                accelerator=accelerator,
                 context=context if context is not None else ActivationContext(),
             )
             for chunk in chunks
@@ -205,9 +233,10 @@ class NormalizationService:
             artifact = self.registry.get(key.model, key.dataset)
             layer = artifact.layer(key.layer_index, reference=key.reference)
             # The layer's compiled plan + the request's backend name resolve
-            # through the engine registry; an unknown backend fails the
-            # batch with the registry contents in the error message.
-            engine = layer.engine_for(key.backend)
+            # through the engine registry; the name itself was validated at
+            # submit() time, so failures here mean construction problems
+            # (e.g. an accelerator selection on a cost-less backend).
+            engine = layer.engine_for(key.backend, accelerator=key.accelerator)
         except Exception as error:  # noqa: BLE001 -- fail the whole batch
             self.telemetry.observe_error()
             for pending in batch:
@@ -260,6 +289,12 @@ class NormalizationService:
                 pending.set_exception(error)
             return
         batch_seconds = time.perf_counter() - start_time
+        # Cost-modelling backends (`simulated` and its accelerator-pinned
+        # variants) record one NormCostRecord per run; fold it into the
+        # telemetry snapshot so `haan-serve --backend simulated` reports
+        # modelled cycles/energy alongside wall clock.  Reading right after
+        # the run under the execute lock ties the record to this batch.
+        cost_record = getattr(engine.backend, "last_record", None)
         scatter_isd(contexts, layer.layer_index, isd, counts)
 
         # Path flags come from the compiled plan -- configuration, not
@@ -303,4 +338,5 @@ class NormalizationService:
             rows_predicted=int(stacked.shape[0]) if was_predicted else 0,
             rows_subsampled=int(stacked.shape[0]) if was_subsampled else 0,
             backend=key.backend,
+            cost=cost_record,
         )

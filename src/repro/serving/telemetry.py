@@ -212,6 +212,16 @@ class ServingTelemetry:
         #: Per-backend request / row / batch counters, keyed by the engine
         #: registry name that executed each micro-batch.
         self.backend_counts: Dict[str, Dict[str, int]] = {}
+        #: Modelled hardware cost aggregates, fed by the NormCostRecords
+        #: the simulated backends emit (zero until a costed batch runs).
+        self.cost_batches = 0
+        self.cost_rows = 0
+        self.cost_cycles = 0
+        self.cost_energy_nj = 0.0
+        #: Per accelerator-config cost breakdown, keyed by config name
+        #: (haan-v1, sole, ...), so a mixed-accelerator session stays
+        #: attributable.
+        self.cost_by_config: Dict[str, Dict[str, float]] = {}
         self.queue_wait = LatencyHistogram()
         self.batch_latency = LatencyHistogram()
         #: Bounded raw-sample windows (exact recent percentiles at fixed
@@ -233,8 +243,15 @@ class ServingTelemetry:
         rows_predicted: int,
         rows_subsampled: int,
         backend: str = "vectorized",
+        cost=None,
     ) -> None:
-        """Fold one executed micro-batch into the aggregates."""
+        """Fold one executed micro-batch into the aggregates.
+
+        ``cost`` is the batch's
+        :class:`~repro.engine.backends.NormCostRecord` when a cost-modelling
+        backend executed it (None otherwise); modelled cycles and energy
+        aggregate next to the wall-clock metrics.
+        """
         now = self._clock()
         with self._lock:
             if self._first_at is None:
@@ -249,6 +266,19 @@ class ServingTelemetry:
             per_backend["requests"] += num_requests
             per_backend["rows"] += num_rows
             per_backend["batches"] += 1
+            if cost is not None:
+                self.cost_batches += 1
+                self.cost_rows += cost.num_rows
+                self.cost_cycles += cost.total_cycles
+                self.cost_energy_nj += cost.energy_nj
+                per_config = self.cost_by_config.setdefault(
+                    cost.config_name,
+                    {"batches": 0, "rows": 0, "cycles": 0, "energy_nj": 0.0},
+                )
+                per_config["batches"] += 1
+                per_config["rows"] += cost.num_rows
+                per_config["cycles"] += cost.total_cycles
+                per_config["energy_nj"] += cost.energy_nj
             self.rows_predicted.increment(rows_predicted)
             self.rows_subsampled.increment(rows_subsampled)
             if num_requests > self.max_batch_size:
@@ -316,6 +346,16 @@ class ServingTelemetry:
                 "backends": {
                     name: dict(counts) for name, counts in self.backend_counts.items()
                 },
+                "modelled_cost": {
+                    "batches": self.cost_batches,
+                    "rows": self.cost_rows,
+                    "total_cycles": self.cost_cycles,
+                    "energy_nj": self.cost_energy_nj,
+                    "by_config": {
+                        name: dict(counts)
+                        for name, counts in self.cost_by_config.items()
+                    },
+                },
                 "requests_per_second": self.requests_per_second(),
                 "rows_per_second": self.rows_per_second(),
                 "queue_wait": self.queue_wait.snapshot(),
@@ -351,6 +391,20 @@ class ServingTelemetry:
                     f"{counts['batches']} batches",
                 ]
             )
+        cost = snap["modelled_cost"]
+        if cost["batches"]:
+            rows.append(["modelled cycles", f"{cost['total_cycles']}"])
+            rows.append(["modelled energy", f"{cost['energy_nj'] / 1e3:.2f} uJ"])
+            for name in sorted(cost["by_config"]):
+                per_config = cost["by_config"][name]
+                rows.append(
+                    [
+                        f"cost[{name}]",
+                        f"{per_config['cycles']} cycles / "
+                        f"{per_config['energy_nj']:.0f} nJ / "
+                        f"{per_config['rows']} rows",
+                    ]
+                )
         return format_table(["metric", "value"], rows, title="haan-serve telemetry")
 
 
