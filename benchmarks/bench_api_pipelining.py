@@ -1,0 +1,196 @@
+"""Wire-protocol pipelining: single-client req/s at depth N vs depth 1.
+
+Acceptance target of the pipelined protocol (ISSUE 5): **one** remote
+client over **one** pooled transport must reach at least 2x the requests/sec
+at pipeline depth >= 8 that it gets in lock-step (depth 1) against the same
+live server.  Depth 1 pays a full round trip plus the batcher's latency
+trigger per request; with depth 8 the requests overlap on the wire and
+coalesce into shared micro-batches server-side.  The bulk envelope
+(`normalize_bulk`: every payload in one frame) is measured alongside.
+
+Every measured path must stay **bit-identical** to the in-process transport
+and the `reference` engine backend -- speed never buys approximation.
+
+Results are written to a machine-readable ``BENCH_5.json``.  Runs
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_api_pipelining.py --output BENCH_5.json
+
+or under pytest (``python -m pytest bench_api_pipelining.py -q -s``); the
+environment knob ``HAAN_BENCH_API_REQS`` scales the request count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.api.client import NormClient
+from repro.api.server import NormServer
+from repro.serving.batcher import BatcherConfig
+from repro.serving.registry import CalibrationRegistry
+from repro.serving.service import NormalizationService
+
+#: Acceptance floor asserted by this benchmark (and by the CI job).
+PIPELINE_SPEEDUP_FLOOR = 2.0
+PIPELINE_DEPTH = 8
+
+
+def _requests() -> int:
+    try:
+        return max(32, int(os.environ.get("HAAN_BENCH_API_REQS", 256)))
+    except ValueError:
+        return 256
+
+
+def _measure(fn, repeats: int = 3) -> float:
+    """Fastest wall-clock of ``fn`` (one warmup absorbs cold caches)."""
+    fn()
+    times = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def bench_api_pipelining(
+    requests: Optional[int] = None,
+    model_name: str = "tiny",
+    rows_per_request: int = 1,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Measure depth-1 vs depth-N vs bulk req/s of a single remote client."""
+    requests = requests or _requests()
+    registry = CalibrationRegistry()
+    artifact = registry.get(model_name, "default")
+    hidden = artifact.hidden_size
+    rng = np.random.default_rng(seed)
+    payloads = [
+        rng.normal(0.0, 1.0, size=(rows_per_request, hidden)) for _ in range(requests)
+    ]
+
+    # Golden paths: the reference engine and the in-process transport.
+    reference = [
+        artifact.layer(0).engine_for("reference").run(payload)[0]
+        for payload in payloads
+    ]
+    with NormClient.in_process(registry=registry) as client:
+        in_process = [
+            client.normalize(payload, model_name).output for payload in payloads
+        ]
+
+    config = BatcherConfig(max_batch_size=32, max_wait=0.002)
+    timings: Dict[str, float] = {}
+    outputs: Dict[str, List[np.ndarray]] = {}
+    with NormalizationService(registry=registry, config=config) as service:
+        with NormServer(service, workers=8, max_inflight=64) as server:
+            with NormClient.connect(server.host, server.port) as client:
+
+                def lockstep():
+                    outputs["depth-1"] = [
+                        r.output
+                        for r in client.normalize_many(payloads, model_name, depth=1)
+                    ]
+
+                def pipelined():
+                    outputs[f"depth-{PIPELINE_DEPTH}"] = [
+                        r.output
+                        for r in client.normalize_many(
+                            payloads, model_name, depth=PIPELINE_DEPTH
+                        )
+                    ]
+
+                def bulk():
+                    outputs["bulk"] = [
+                        r.output
+                        for r in client.normalize_bulk(payloads, model_name)
+                    ]
+
+                timings["depth-1"] = _measure(lockstep)
+                timings[f"depth-{PIPELINE_DEPTH}"] = _measure(pipelined)
+                timings["bulk"] = _measure(bulk)
+
+    # Bit-identity: every wire path == in-process == reference, exactly.
+    mismatches = []
+    for name, outs in outputs.items():
+        for index, (out, ref, inproc) in enumerate(zip(outs, reference, in_process)):
+            if not (np.array_equal(out, ref) and np.array_equal(out, inproc)):
+                mismatches.append(f"{name}[{index}]")
+    rps = {name: requests / seconds for name, seconds in timings.items()}
+    return {
+        "requests": requests,
+        "rows_per_request": rows_per_request,
+        "pipeline_depth": PIPELINE_DEPTH,
+        "seconds": timings,
+        "requests_per_second": rps,
+        "pipeline_speedup": rps[f"depth-{PIPELINE_DEPTH}"] / rps["depth-1"],
+        "bulk_speedup": rps["bulk"] / rps["depth-1"],
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+        "floor": PIPELINE_SPEEDUP_FLOOR,
+    }
+
+
+def _report(result: Dict[str, object]) -> None:
+    print(f"requests: {result['requests']} x {result['rows_per_request']} row(s)")
+    for name, value in result["requests_per_second"].items():
+        print(f"  {name:>10}: {value:8.0f} req/s   ({1e3 * result['seconds'][name]:.1f} ms)")
+    print(
+        f"pipeline speedup (depth {result['pipeline_depth']} vs 1): "
+        f"{result['pipeline_speedup']:.2f}x  (floor {result['floor']:.1f}x)"
+    )
+    print(f"bulk speedup: {result['bulk_speedup']:.2f}x")
+    print(f"bit-identical to in-process + reference: {result['bit_identical']}")
+
+
+def test_api_pipelining_speedup():
+    """Pytest entry point asserting the acceptance floors."""
+    result = bench_api_pipelining()
+    print()
+    _report(result)
+    assert result["bit_identical"], result["mismatches"]
+    assert result["pipeline_speedup"] >= PIPELINE_SPEEDUP_FLOOR
+    # The bulk envelope must not regress below the pipelined floor either:
+    # it is the "whole batch in one frame" fast path.
+    assert result["bulk_speedup"] >= PIPELINE_SPEEDUP_FLOOR
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None, help="write BENCH_5.json here")
+    parser.add_argument("--requests", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    result = bench_api_pipelining(requests=args.requests)
+    _report(result)
+    payload = {
+        "bench": "BENCH_5",
+        "pr": 5,
+        "description": "wire-protocol pipelining: single client depth-N vs depth-1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": {"api_pipelining": result},
+    }
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    ok = (
+        result["bit_identical"]
+        and result["pipeline_speedup"] >= PIPELINE_SPEEDUP_FLOOR
+        and result["bulk_speedup"] >= PIPELINE_SPEEDUP_FLOOR
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,18 +1,22 @@
 """Versioned public client/server API of the normalization runtime.
 
-One facade, two transports, one wire protocol:
+One facade, two transports, one pipelined wire protocol:
 
 * :mod:`repro.api.envelopes` -- versioned JSON envelopes
-  (``NormalizeRequest`` / ``NormalizeResponse`` / ``ErrorResponse`` and
-  friends), tensor payload encoding and the :class:`ApiError` taxonomy.
+  (``NormalizeRequest`` / ``NormalizeBulkRequest`` / ``StreamChunkRequest``
+  / ``HelloRequest`` and friends), tensor payload encoding, schema-version
+  negotiation and the :class:`ApiError` taxonomy.
 * :mod:`repro.api.client` -- :class:`NormClient`, the typed facade every
   consumer (CLIs, eval experiments, examples, the engine's ``remote``
-  backend) goes through.
+  backend) goes through; single, pipelined, bulk and streaming calls.
 * :mod:`repro.api.transport` -- :class:`InProcessTransport` (wraps a
   :class:`NormalizationService` directly) and :class:`SocketTransport`
-  (length-prefixed JSON frames over TCP, transparent reconnect).
+  (pooled + thread-safe: length-prefixed JSON frames over N TCP
+  connections, many requests in flight demultiplexed by ``request_id``,
+  transparent reconnect).
 * :mod:`repro.api.server` -- :class:`NormServer`, the TCP front of a
-  service (``haan-serve --listen``), and the shared
+  service (``haan-serve --listen``): a worker pool handles pipelined
+  frames concurrently (responses in completion order), and the shared
   :class:`~repro.api.handler.ApiHandler` both transports dispatch through.
 
 Exports resolve lazily (PEP 562), mirroring :mod:`repro.engine`: the
@@ -28,13 +32,25 @@ from typing import List
 #: Public name -> defining submodule, resolved on first attribute access.
 _EXPORTS = {
     "SCHEMA_VERSION": "envelopes",
+    "MIN_SCHEMA_VERSION": "envelopes",
     "TensorPayload": "envelopes",
     "NormalizeRequest": "envelopes",
     "NormalizeResponse": "envelopes",
+    "NormalizeBulkRequest": "envelopes",
+    "NormalizeBulkResponse": "envelopes",
+    "NormalizeResult": "envelopes",
+    "StreamChunkRequest": "envelopes",
+    "StreamChunkResponse": "envelopes",
     "SpecRequest": "envelopes",
     "SpecResponse": "envelopes",
     "ExecuteSpecRequest": "envelopes",
     "ExecuteSpecResponse": "envelopes",
+    "ExecuteBulkRequest": "envelopes",
+    "ExecuteBulkResponse": "envelopes",
+    "ExecuteGroup": "envelopes",
+    "ExecuteResult": "envelopes",
+    "HelloRequest": "envelopes",
+    "HelloResponse": "envelopes",
     "PingRequest": "envelopes",
     "PingResponse": "envelopes",
     "TelemetryRequest": "envelopes",
@@ -47,14 +63,19 @@ _EXPORTS = {
     "UnknownModelError": "envelopes",
     "PayloadTooLargeError": "envelopes",
     "TransportError": "envelopes",
+    "negotiate_version": "envelopes",
     "parse_request": "envelopes",
     "parse_response": "envelopes",
+    "parse_hello_response": "envelopes",
+    "FrameDecoder": "framing",
     "ApiHandler": "handler",
     "Transport": "transport",
     "InProcessTransport": "transport",
     "SocketTransport": "transport",
+    "PendingReply": "transport",
     "NormClient": "client",
     "ClientNormResult": "client",
+    "PendingNormResult": "client",
     "ServedSpec": "client",
     "NormServer": "server",
     "parse_address": "server",

@@ -3,6 +3,8 @@
 The command-line counterpart of ``haan-serve --listen``::
 
     haan-client --connect 127.0.0.1:8471 --model tiny --requests 2
+    haan-client --connect 127.0.0.1:8471 --model tiny --requests 32 --depth 8
+    haan-client --connect 127.0.0.1:8471 --model tiny --requests 32 --bulk
     haan-client --connect 127.0.0.1:8471 --model tiny --backend simulated \\
         --accelerator haan-v2
     haan-client --connect 127.0.0.1:8471 --model tiny --input payload.json
@@ -62,6 +64,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--requests", type=int, default=2, help="synthetic requests to send")
     parser.add_argument("--rows", type=int, default=1, help="rows per synthetic request")
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=1,
+        help="pipelining depth: up to this many requests in flight at once "
+        "(1 = lock-step; responses are matched by request_id)",
+    )
+    parser.add_argument(
+        "--bulk",
+        action="store_true",
+        help="ship all payloads in one normalize_bulk frame (fills the "
+        "server's micro-batcher from a single client)",
+    )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=1,
+        help="TCP connections in the transport pool",
+    )
     parser.add_argument("--seed", type=int, default=0, help="synthetic payload RNG seed")
     parser.add_argument(
         "--input",
@@ -134,13 +155,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.requests < 1 or args.rows < 1:
         parser.error("--requests and --rows must be positive")
+    if args.depth < 1 or args.pool < 1:
+        parser.error("--depth and --pool must be positive")
     try:
         host, port = parse_address(args.connect)
     except ValueError as error:
         parser.error(str(error))
 
     try:
-        with NormClient.connect(host, port, timeout=args.timeout) as client:
+        with NormClient.connect(
+            host, port, pool_size=args.pool, timeout=args.timeout
+        ) as client:
             client.wait_until_ready(timeout=args.wait_seconds)
             return _run(client, args)
     except ApiError as error:
@@ -181,24 +206,30 @@ def _run(client: NormClient, args: argparse.Namespace) -> int:
             served.spec, backend="reference", gamma=served.gamma, beta=served.beta
         )
 
+    mode = "bulk frame" if args.bulk else f"pipeline depth {args.depth}"
+    negotiated = client.negotiated_version()
     print(
         f"sending {len(payloads)} request(s) to {client.transport.address} "
-        f"(model {args.model!r}, layer {args.layer}, backend {args.backend!r}"
+        f"(model {args.model!r}, layer {args.layer}, backend {args.backend!r}, "
+        f"{mode}, pool {args.pool}"
         + (f", accelerator {args.accelerator!r}" if args.accelerator else "")
+        + (f", schema v{negotiated}" if negotiated is not None else "")
         + ")"
     )
+    shared = dict(
+        layer_index=args.layer,
+        dataset=args.dataset,
+        reference=args.reference,
+        backend=args.backend,
+        accelerator=args.accelerator,
+        encoding=args.encoding,
+    )
+    if args.bulk:
+        results = client.normalize_bulk(payloads, args.model, **shared)
+    else:
+        results = client.normalize_many(payloads, args.model, depth=args.depth, **shared)
     total_rows = 0
-    for index, payload in enumerate(payloads):
-        result = client.normalize(
-            payload,
-            args.model,
-            layer_index=args.layer,
-            dataset=args.dataset,
-            reference=args.reference,
-            backend=args.backend,
-            accelerator=args.accelerator,
-            encoding=args.encoding,
-        )
+    for index, (payload, result) in enumerate(zip(payloads, results)):
         rows = payload.reshape(-1, payload.shape[-1]).shape[0] if payload.ndim > 1 else 1
         total_rows += rows
         flags = []

@@ -20,20 +20,25 @@ float64 and the handler path is shared.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.envelopes import (
+    ExecuteBulkRequest,
+    ExecuteGroup,
     ExecuteSpecRequest,
+    NormalizeBulkRequest,
     NormalizeRequest,
     PingRequest,
     SpecRequest,
+    StreamChunkRequest,
     TelemetryRequest,
     TensorPayload,
+    next_stream_id,
     parse_response,
 )
-from repro.api.transport import InProcessTransport, SocketTransport, Transport
+from repro.api.transport import InProcessTransport, PendingReply, SocketTransport, Transport
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,44 @@ class ClientNormResult:
     batch_latency: float
     backend: str
     accelerator: Optional[str] = None
+
+
+class PendingNormResult:
+    """Handle of one pipelined normalize (or stream) request.
+
+    ``result`` blocks until the response frame arrives, decodes it, and
+    raises the matching :class:`ApiError` member on a wire error.
+    """
+
+    __slots__ = ("_client", "_reply", "_op")
+
+    def __init__(self, client: "NormClient", reply: PendingReply, op: str = "normalize"):
+        self._client = client
+        self._reply = reply
+        self._op = op
+
+    def done(self) -> bool:
+        """Whether the response (or a transport failure) has arrived."""
+        return self._reply.done()
+
+    def result(self, timeout: Optional[float] = None) -> "ClientNormResult":
+        """The decoded result (blocking until the response frame lands).
+
+        ``timeout=None`` falls back to the transport's per-request deadline
+        so the pipelined path fails like the blocking path does, instead of
+        waiting forever on a wedged-but-connected server.
+        """
+        if timeout is None:
+            timeout = getattr(self._client.transport, "timeout", None)
+        response = parse_response(self._reply.result(timeout), self._op)
+        if self._op == "stream":
+            return self._client._decode_item(
+                response.request_id,
+                response.result,
+                response.backend,
+                response.accelerator,
+            )
+        return self._client._decode_normalize(response)
 
 
 @dataclass(frozen=True)
@@ -86,9 +129,14 @@ class NormClient:
         )
 
     @classmethod
-    def connect(cls, host: str, port: int, **kwargs) -> "NormClient":
-        """Client over TCP against a running :class:`NormServer`."""
-        return cls(SocketTransport(host, port, **kwargs))
+    def connect(cls, host: str, port: int, pool_size: int = 1, **kwargs) -> "NormClient":
+        """Client over TCP against a running :class:`NormServer`.
+
+        The transport is pooled and thread-safe: concurrent callers may
+        share one client, and ``pool_size`` connections carry their
+        pipelined requests (demultiplexed by ``request_id``).
+        """
+        return cls(SocketTransport(host, port, pool_size=pool_size, **kwargs))
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -116,7 +164,17 @@ class NormClient:
         encoding: str = "base64",
     ) -> ClientNormResult:
         """Normalize one ``(hidden,)`` or ``(rows, hidden)`` tensor."""
-        request = NormalizeRequest(
+        request = self._normalize_request(
+            payload, model, layer_index, dataset, reference, backend, accelerator, encoding
+        )
+        response = parse_response(self.transport.request(request.to_wire()), "normalize")
+        return self._decode_normalize(response)
+
+    @staticmethod
+    def _normalize_request(
+        payload, model, layer_index, dataset, reference, backend, accelerator, encoding
+    ) -> NormalizeRequest:
+        return NormalizeRequest(
             model=model,
             tensor=TensorPayload.from_array(np.asarray(payload, dtype=np.float64), encoding),
             layer_index=layer_index,
@@ -125,7 +183,9 @@ class NormClient:
             backend=backend,
             accelerator=accelerator,
         )
-        response = parse_response(self.transport.request(request.to_wire()), "normalize")
+
+    @staticmethod
+    def _decode_normalize(response) -> ClientNormResult:
         return ClientNormResult(
             request_id=response.request_id,
             output=response.tensor.to_array(),
@@ -140,11 +200,176 @@ class NormClient:
             accelerator=response.accelerator,
         )
 
+    @staticmethod
+    def _decode_item(request_id: int, item, backend: str, accelerator) -> ClientNormResult:
+        """Decode one :class:`NormalizeResult` (bulk / stream item)."""
+        return ClientNormResult(
+            request_id=request_id,
+            output=item.tensor.to_array(),
+            mean=item.mean.to_array(),
+            isd=item.isd.to_array(),
+            was_predicted=item.was_predicted,
+            was_subsampled=item.was_subsampled,
+            batch_size=item.batch_size,
+            queue_wait=item.queue_wait,
+            batch_latency=item.batch_latency,
+            backend=backend,
+            accelerator=accelerator,
+        )
+
+    def submit_normalize(
+        self,
+        payload: np.ndarray,
+        model: str,
+        layer_index: int = 0,
+        dataset: str = "default",
+        reference: bool = False,
+        backend: str = "vectorized",
+        accelerator: Optional[str] = None,
+        encoding: str = "base64",
+    ) -> "PendingNormResult":
+        """Pipeline one normalize request without blocking on its response.
+
+        Over a :class:`SocketTransport` the request goes on the wire
+        immediately and many may be in flight per connection; call
+        :meth:`PendingNormResult.result` to collect.  Over an in-process
+        transport the call completes synchronously.
+        """
+        request = self._normalize_request(
+            payload, model, layer_index, dataset, reference, backend, accelerator, encoding
+        )
+        return PendingNormResult(self, self.transport.submit(request.to_wire()))
+
     def normalize_many(
-        self, payloads: Sequence[np.ndarray], model: str, **kwargs
+        self,
+        payloads: Sequence[np.ndarray],
+        model: str,
+        depth: int = 1,
+        timeout: Optional[float] = None,
+        **kwargs,
     ) -> List[ClientNormResult]:
-        """Normalize a sequence of independent tensors (one request each)."""
-        return [self.normalize(payload, model, **kwargs) for payload in payloads]
+        """Normalize a sequence of independent tensors (one request each).
+
+        ``depth`` is the pipelining window: up to that many requests stay
+        in flight at once (1 reproduces the v1 lock-step behavior).  The
+        result order always matches the payload order regardless of the
+        order the server answered in.
+        """
+        if depth < 1:
+            raise ValueError("pipeline depth must be at least 1")
+        if depth == 1 and timeout is None:
+            # Lock-step through the blocking path, which keeps the
+            # transport's reconnect-and-resend-once semantics per request.
+            # An explicit timeout routes through the windowed path below so
+            # it is honored at every depth.
+            return [self.normalize(payload, model, **kwargs) for payload in payloads]
+        results: List[Optional[ClientNormResult]] = [None] * len(payloads)
+        window: List[Tuple[int, PendingNormResult]] = []
+        for index, payload in enumerate(payloads):
+            window.append((index, self.submit_normalize(payload, model, **kwargs)))
+            if len(window) >= depth:
+                slot, pending = window.pop(0)
+                results[slot] = pending.result(timeout)
+        for slot, pending in window:
+            results[slot] = pending.result(timeout)
+        return results
+
+    def normalize_bulk(
+        self,
+        payloads: Sequence[np.ndarray],
+        model: str,
+        layer_index: int = 0,
+        dataset: str = "default",
+        reference: bool = False,
+        backend: str = "vectorized",
+        accelerator: Optional[str] = None,
+        encoding: str = "base64",
+    ) -> List[ClientNormResult]:
+        """Normalize many tensors with **one** frame (the v2 bulk op).
+
+        The whole list lands in the server's micro-batcher at once, so a
+        single client fills batches by itself instead of relying on
+        cross-client coalescing.  Results come back in payload order.
+        """
+        request = NormalizeBulkRequest(
+            model=model,
+            tensors=tuple(
+                TensorPayload.from_array(np.asarray(p, dtype=np.float64), encoding)
+                for p in payloads
+            ),
+            layer_index=layer_index,
+            dataset=dataset,
+            reference=reference,
+            backend=backend,
+            accelerator=accelerator,
+        )
+        response = parse_response(self.transport.request(request.to_wire()), "normalize_bulk")
+        return [
+            self._decode_item(
+                response.request_id, item, response.backend, response.accelerator
+            )
+            for item in response.results
+        ]
+
+    def stream(
+        self,
+        chunks: Iterable[np.ndarray],
+        model: str,
+        depth: int = 8,
+        timeout: Optional[float] = None,
+        layer_index: int = 0,
+        dataset: str = "default",
+        reference: bool = False,
+        backend: str = "vectorized",
+        accelerator: Optional[str] = None,
+        encoding: str = "base64",
+    ) -> Iterator[ClientNormResult]:
+        """Normalize a stream of activation chunks, yielding in chunk order.
+
+        Up to ``depth`` chunks ride the wire concurrently as ``stream``
+        envelopes (one ``stream_id``, consecutive ``seq``); the server may
+        answer out of order and this generator reassembles by sequence
+        number.
+        """
+        if depth < 1:
+            raise ValueError("stream depth must be at least 1")
+        stream_id = next_stream_id()
+
+        def _submit(seq: int, chunk: np.ndarray, final: bool) -> PendingNormResult:
+            request = StreamChunkRequest(
+                model=model,
+                tensor=TensorPayload.from_array(
+                    np.asarray(chunk, dtype=np.float64), encoding
+                ),
+                stream_id=stream_id,
+                seq=seq,
+                final=final,
+                layer_index=layer_index,
+                dataset=dataset,
+                reference=reference,
+                backend=backend,
+                accelerator=accelerator,
+            )
+            return PendingNormResult(self, self.transport.submit(request.to_wire()), "stream")
+
+        # One-chunk lookahead so the last chunk carries final=True even
+        # over generators whose length is unknown upfront.
+        iterator = iter(chunks)
+        try:
+            held = next(iterator)
+        except StopIteration:
+            return
+        window: List[PendingNormResult] = []
+        seq = 0
+        for upcoming in iterator:
+            window.append(_submit(seq, held, final=False))
+            held = upcoming
+            seq += 1
+            if len(window) >= depth:
+                yield window.pop(0).result(timeout)
+        window.append(_submit(seq, held, final=True))
+        for pending in window:
+            yield pending.result(timeout)
 
     def fetch_spec(
         self,
@@ -212,10 +437,77 @@ class NormClient:
             response.isd.to_array(),
         )
 
+    def execute_spec_bulk(
+        self,
+        spec,
+        groups: Sequence[Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]],
+        gamma: Optional[np.ndarray] = None,
+        beta: Optional[np.ndarray] = None,
+        backend: str = "vectorized",
+        encoding: str = "base64",
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Execute one shipped spec over many row-groups with one frame.
+
+        ``groups`` is a sequence of ``(rows, segment_starts, anchor_isd)``
+        triples (the optional parts may be None).  The spec and affine
+        parameters travel once; the server compiles once and runs every
+        group under a single engine-lock acquisition.  Returns one
+        ``(output, mean, isd)`` per group, in order.
+        """
+        spec_dict = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        wire_groups = []
+        for rows, segment_starts, anchor_isd in groups:
+            wire_groups.append(
+                ExecuteGroup(
+                    rows=TensorPayload.from_array(
+                        np.asarray(rows, dtype=np.float64), encoding
+                    ),
+                    segment_starts=(
+                        None
+                        if segment_starts is None
+                        else TensorPayload.from_array(
+                            np.asarray(segment_starts, dtype=np.int64), encoding
+                        )
+                    ),
+                    anchor_isd=(
+                        None
+                        if anchor_isd is None
+                        else TensorPayload.from_array(
+                            np.asarray(anchor_isd, dtype=np.float64), encoding
+                        )
+                    ),
+                )
+            )
+        request = ExecuteBulkRequest(
+            spec=spec_dict,
+            groups=tuple(wire_groups),
+            gamma=None if gamma is None else TensorPayload.from_array(np.asarray(gamma), encoding),
+            beta=None if beta is None else TensorPayload.from_array(np.asarray(beta), encoding),
+            backend=backend,
+        )
+        response = parse_response(self.transport.request(request.to_wire()), "execute_bulk")
+        return [
+            (item.output.to_array(), item.mean.to_array(), item.isd.to_array())
+            for item in response.results
+        ]
+
     def ping(self) -> Dict[str, Any]:
         """Probe the peer; returns its registered backends (and model names)."""
         response = parse_response(self.transport.request(PingRequest().to_wire()), "ping")
-        return {"backends": response.backends, "models": response.models}
+        return {
+            "backends": response.backends,
+            "models": response.models,
+            "min_schema_version": response.min_schema_version,
+            "max_schema_version": response.max_schema_version,
+        }
+
+    def negotiated_version(self) -> Optional[int]:
+        """Schema version agreed in the transport's hello handshake.
+
+        ``None`` over transports that do not negotiate (in-process) or
+        before the first connection is established.
+        """
+        return getattr(self.transport, "negotiated_version", None)
 
     def telemetry(self) -> Dict[str, Any]:
         """Fetch the peer's serving telemetry and registry snapshots."""

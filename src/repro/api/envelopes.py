@@ -8,9 +8,15 @@ the op-specific payload.  This module owns that schema:
 * :class:`TensorPayload` -- dtype/shape/data encoding of one ndarray
   (``base64`` raw little-endian bytes, or ``list`` nested JSON numbers;
   both round-trip float64 bit-exactly),
-* the request/response envelope dataclasses (``normalize``, ``spec``,
-  ``execute``, ``ping``, ``telemetry``) with strict ``to_wire`` /
+* the request/response envelope dataclasses -- the v1 single-request ops
+  (``normalize``, ``spec``, ``execute``, ``ping``, ``telemetry``) plus the
+  v2 pipelining ops (``hello`` version negotiation, ``normalize_bulk``,
+  ``stream`` chunks, ``execute_bulk``) -- with strict ``to_wire`` /
   ``from_wire`` validation,
+* schema-version rules: each peer speaks a ``MIN_SCHEMA_VERSION ..
+  SCHEMA_VERSION`` range, :func:`negotiate_version` picks the highest
+  common version in the hello handshake, and v2-only ops are rejected on
+  v1 envelopes,
 * :class:`ErrorResponse` plus the :class:`ApiError` taxonomy (bad schema,
   schema-version mismatch, unknown backend, unknown model, payload too
   large, transport failure), so client code catches one exception family
@@ -30,9 +36,22 @@ from typing import Any, Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
-#: Version of the wire schema.  Bump on any incompatible envelope change;
-#: both ends reject mismatched versions with :class:`SchemaVersionError`.
-SCHEMA_VERSION = 1
+#: Newest wire-schema version this build speaks.  Version 2 added the
+#: pipelined multi-op framing: ``hello`` negotiation, ``normalize_bulk``
+#: and ``stream`` envelopes, and the bulk ``execute`` form.
+SCHEMA_VERSION = 2
+
+#: Oldest wire-schema version this build still accepts (version 1 is the
+#: PR-4 single-request protocol; every v1 envelope parses unchanged).
+MIN_SCHEMA_VERSION = 1
+
+#: Ops that did not exist before a given schema version; a request carrying
+#: an older ``schema_version`` may not use them.
+OP_MIN_VERSIONS: Dict[str, int] = {
+    "normalize_bulk": 2,
+    "stream": 2,
+    "execute_bulk": 2,
+}
 
 #: Dtypes a tensor payload may carry, mapped to their little-endian codes.
 TENSOR_DTYPES: Dict[str, str] = {
@@ -48,11 +67,42 @@ TENSOR_DTYPES: Dict[str, str] = {
 TENSOR_ENCODINGS = ("base64", "list")
 
 _client_request_ids = itertools.count(1)
+_client_stream_ids = itertools.count(1)
 
 
 def next_request_id() -> int:
     """Process-wide monotonically increasing client request id."""
     return next(_client_request_ids)
+
+
+def next_stream_id() -> int:
+    """Process-wide monotonically increasing client stream id."""
+    return next(_client_stream_ids)
+
+
+def negotiate_version(
+    client_min: int, client_max: int, server_min: int, server_max: int
+) -> int:
+    """Pick the highest schema version both peers speak.
+
+    The hello handshake contract: the server advertises ``[server_min,
+    server_max]``, the client downgrades within its own range, and disjoint
+    ranges fail with a :class:`SchemaVersionError` naming *both* ranges so
+    either side's operator can see which peer is behind.
+    """
+    for name, low, high in (("client", client_min, client_max),
+                            ("server", server_min, server_max)):
+        if low > high:
+            raise SchemaVersionError(
+                f"{name} schema-version range {low}..{high} is empty"
+            )
+    chosen = min(client_max, server_max)
+    if chosen < max(client_min, server_min):
+        raise SchemaVersionError(
+            f"no common schema version: client speaks {client_min}..{client_max}, "
+            f"server speaks {server_min}..{server_max}"
+        )
+    return chosen
 
 
 # ---------------------------------------------------------------------------
@@ -201,7 +251,12 @@ class TensorPayload:
         wire_dtype = np.dtype(TENSOR_DTYPES[self.dtype])
         count = int(np.prod(self.shape)) if self.shape else 1
         if self.encoding == "base64":
-            raw = base64.b64decode(self.data)
+            try:
+                raw = base64.b64decode(self.data, validate=True)
+            except (ValueError, TypeError) as error:
+                raise BadSchemaError(
+                    f"tensor payload data is not valid base64: {error}"
+                ) from error
             if len(raw) != count * wire_dtype.itemsize:
                 raise BadSchemaError(
                     f"tensor payload carries {len(raw)} bytes but shape {self.shape} "
@@ -209,7 +264,16 @@ class TensorPayload:
                 )
             arr = np.frombuffer(raw, dtype=wire_dtype).reshape(self.shape)
         else:
-            arr = np.asarray(self.data, dtype=wire_dtype)
+            try:
+                arr = np.asarray(self.data, dtype=wire_dtype)
+            except (ValueError, TypeError, OverflowError) as error:
+                raise BadSchemaError(
+                    f"tensor payload list does not decode as {self.dtype}: {error}"
+                ) from error
+            if arr.size == 0 and count == 0:
+                # Nested-list JSON cannot express trailing empty dims (e.g.
+                # shape (0, 2) lists as []); the shape field is authoritative.
+                arr = arr.reshape(self.shape)
             if arr.shape != tuple(self.shape):
                 raise BadSchemaError(
                     f"tensor payload list has shape {arr.shape}; envelope says {self.shape}"
@@ -378,6 +442,240 @@ class NormalizeResponse:
 
 
 @dataclass(frozen=True)
+class NormalizeResult:
+    """One tensor's normalization result inside a bulk (or stream) response."""
+
+    tensor: TensorPayload
+    mean: TensorPayload
+    isd: TensorPayload
+    was_predicted: bool
+    was_subsampled: bool
+    batch_size: int
+    queue_wait: float
+    batch_latency: float
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "tensor": self.tensor.to_wire(),
+            "mean": self.mean.to_wire(),
+            "isd": self.isd.to_wire(),
+            "was_predicted": self.was_predicted,
+            "was_subsampled": self.was_subsampled,
+            "batch_size": self.batch_size,
+            "queue_wait": self.queue_wait,
+            "batch_latency": self.batch_latency,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Any, where: str = "bulk item") -> "NormalizeResult":
+        if not isinstance(payload, dict):
+            raise BadSchemaError(f"{where} must be an object, not {type(payload).__name__}")
+        return cls(
+            tensor=TensorPayload.from_wire(_require(payload, "tensor", dict, where)),
+            mean=TensorPayload.from_wire(_require(payload, "mean", dict, where), "mean"),
+            isd=TensorPayload.from_wire(_require(payload, "isd", dict, where), "isd"),
+            was_predicted=bool(_require(payload, "was_predicted", bool, where)),
+            was_subsampled=bool(_require(payload, "was_subsampled", bool, where)),
+            batch_size=_require(payload, "batch_size", int, where),
+            queue_wait=float(_require(payload, "queue_wait", (int, float), where)),
+            batch_latency=float(_require(payload, "batch_latency", (int, float), where)),
+        )
+
+
+@dataclass(frozen=True)
+class NormalizeBulkRequest:
+    """Normalize many independent tensors of one layer in a single frame.
+
+    The wire-level counterpart of ``NormalizationService.submit_many``: the
+    whole list lands in the serving batcher at once, so a single remote
+    client fills micro-batches by itself instead of relying on coalescing
+    across clients (the v1 limitation the ROADMAP called out).
+    """
+
+    op = "normalize_bulk"
+
+    model: str
+    tensors: Tuple[TensorPayload, ...]
+    layer_index: int = 0
+    dataset: str = "default"
+    reference: bool = False
+    backend: str = "vectorized"
+    accelerator: Optional[str] = None
+    request_id: int = field(default_factory=next_request_id)
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id)
+        wire.update(
+            model=self.model,
+            layer_index=self.layer_index,
+            dataset=self.dataset,
+            reference=self.reference,
+            backend=self.backend,
+            accelerator=self.accelerator,
+            tensors=[tensor.to_wire() for tensor in self.tensors],
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "NormalizeBulkRequest":
+        where = "normalize_bulk request"
+        raw_tensors = _require(payload, "tensors", list, where)
+        if not raw_tensors:
+            raise BadSchemaError(f"{where} must carry at least one tensor")
+        return cls(
+            model=_require(payload, "model", str, where),
+            tensors=tuple(
+                TensorPayload.from_wire(item, where=f"{where}.tensors[{index}]")
+                for index, item in enumerate(raw_tensors)
+            ),
+            layer_index=_require(payload, "layer_index", int, where),
+            dataset=_optional(payload, "dataset", str, where, default="default"),
+            reference=bool(_optional(payload, "reference", bool, where, default=False)),
+            backend=_optional(payload, "backend", str, where, default="vectorized"),
+            accelerator=_optional(payload, "accelerator", str, where),
+            request_id=_require(payload, "request_id", int, where),
+        )
+
+
+@dataclass(frozen=True)
+class NormalizeBulkResponse:
+    """Per-tensor results of one :class:`NormalizeBulkRequest`, in order."""
+
+    op = "normalize_bulk"
+
+    request_id: int
+    results: Tuple[NormalizeResult, ...]
+    backend: str
+    accelerator: Optional[str] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=True)
+        wire.update(
+            results=[result.to_wire() for result in self.results],
+            backend=self.backend,
+            accelerator=self.accelerator,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "NormalizeBulkResponse":
+        where = "normalize_bulk response"
+        return cls(
+            request_id=_require(payload, "request_id", int, where),
+            results=tuple(
+                NormalizeResult.from_wire(item, where=f"{where}.results[{index}]")
+                for index, item in enumerate(_require(payload, "results", list, where))
+            ),
+            backend=_require(payload, "backend", str, where),
+            accelerator=_optional(payload, "accelerator", str, where),
+        )
+
+
+@dataclass(frozen=True)
+class StreamChunkRequest:
+    """One chunk of a client-side activation stream.
+
+    Chunks of one ``stream_id`` carry consecutive ``seq`` numbers and an
+    explicit ``final`` marker.  Each chunk is normalized independently (the
+    serving contract for streamed token groups: a fresh activation context
+    per chunk), so the server may execute and answer chunks out of order;
+    the client reassembles by ``seq``.
+    """
+
+    op = "stream"
+
+    model: str
+    tensor: TensorPayload
+    stream_id: int
+    seq: int
+    final: bool = False
+    layer_index: int = 0
+    dataset: str = "default"
+    reference: bool = False
+    backend: str = "vectorized"
+    accelerator: Optional[str] = None
+    request_id: int = field(default_factory=next_request_id)
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id)
+        wire.update(
+            model=self.model,
+            tensor=self.tensor.to_wire(),
+            stream_id=self.stream_id,
+            seq=self.seq,
+            final=self.final,
+            layer_index=self.layer_index,
+            dataset=self.dataset,
+            reference=self.reference,
+            backend=self.backend,
+            accelerator=self.accelerator,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "StreamChunkRequest":
+        where = "stream request"
+        seq = _require(payload, "seq", int, where)
+        if seq < 0:
+            raise BadSchemaError(f"{where} seq must be non-negative, got {seq}")
+        return cls(
+            model=_require(payload, "model", str, where),
+            tensor=TensorPayload.from_wire(_require(payload, "tensor", dict, where)),
+            stream_id=_require(payload, "stream_id", int, where),
+            seq=seq,
+            final=bool(_optional(payload, "final", bool, where, default=False)),
+            layer_index=_require(payload, "layer_index", int, where),
+            dataset=_optional(payload, "dataset", str, where, default="default"),
+            reference=bool(_optional(payload, "reference", bool, where, default=False)),
+            backend=_optional(payload, "backend", str, where, default="vectorized"),
+            accelerator=_optional(payload, "accelerator", str, where),
+            request_id=_require(payload, "request_id", int, where),
+        )
+
+
+@dataclass(frozen=True)
+class StreamChunkResponse:
+    """The normalized chunk, tagged with its stream position."""
+
+    op = "stream"
+
+    request_id: int
+    stream_id: int
+    seq: int
+    final: bool
+    result: NormalizeResult
+    backend: str
+    accelerator: Optional[str] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=True)
+        wire.update(
+            stream_id=self.stream_id,
+            seq=self.seq,
+            final=self.final,
+            result=self.result.to_wire(),
+            backend=self.backend,
+            accelerator=self.accelerator,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "StreamChunkResponse":
+        where = "stream response"
+        return cls(
+            request_id=_require(payload, "request_id", int, where),
+            stream_id=_require(payload, "stream_id", int, where),
+            seq=_require(payload, "seq", int, where),
+            final=bool(_require(payload, "final", bool, where)),
+            result=NormalizeResult.from_wire(
+                _require(payload, "result", dict, where), where=f"{where}.result"
+            ),
+            backend=_require(payload, "backend", str, where),
+            accelerator=_optional(payload, "accelerator", str, where),
+        )
+
+
+@dataclass(frozen=True)
 class SpecRequest:
     """Fetch the serialized :class:`~repro.engine.spec.EngineSpec` of a layer."""
 
@@ -537,6 +835,211 @@ class ExecuteSpecResponse:
 
 
 @dataclass(frozen=True)
+class ExecuteGroup:
+    """One row-group of a bulk spec execution (rows + per-group metadata)."""
+
+    rows: TensorPayload
+    segment_starts: Optional[TensorPayload] = None
+    anchor_isd: Optional[TensorPayload] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "rows": self.rows.to_wire(),
+            "segment_starts": (
+                None if self.segment_starts is None else self.segment_starts.to_wire()
+            ),
+            "anchor_isd": None if self.anchor_isd is None else self.anchor_isd.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Any, where: str = "execute group") -> "ExecuteGroup":
+        if not isinstance(payload, dict):
+            raise BadSchemaError(f"{where} must be an object, not {type(payload).__name__}")
+        return cls(
+            rows=TensorPayload.from_wire(_require(payload, "rows", dict, where), "rows"),
+            segment_starts=_optional_tensor(payload, "segment_starts", where),
+            anchor_isd=_optional_tensor(payload, "anchor_isd", where),
+        )
+
+
+@dataclass(frozen=True)
+class ExecuteResult:
+    """``(output, mean, isd)`` of one executed row-group."""
+
+    output: TensorPayload
+    mean: TensorPayload
+    isd: TensorPayload
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "output": self.output.to_wire(),
+            "mean": self.mean.to_wire(),
+            "isd": self.isd.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Any, where: str = "execute result") -> "ExecuteResult":
+        if not isinstance(payload, dict):
+            raise BadSchemaError(f"{where} must be an object, not {type(payload).__name__}")
+        return cls(
+            output=TensorPayload.from_wire(_require(payload, "output", dict, where), "output"),
+            mean=TensorPayload.from_wire(_require(payload, "mean", dict, where), "mean"),
+            isd=TensorPayload.from_wire(_require(payload, "isd", dict, where), "isd"),
+        )
+
+
+@dataclass(frozen=True)
+class ExecuteBulkRequest:
+    """Execute one shipped spec over many row-groups in a single frame.
+
+    The bulk form of :class:`ExecuteSpecRequest`: the spec and affine
+    parameters travel (and compile server-side) once, and every group runs
+    under a single engine-lock acquisition.  The ``remote`` engine backend's
+    ``run_many`` rides this op.
+    """
+
+    op = "execute_bulk"
+
+    spec: Dict[str, Any]
+    groups: Tuple[ExecuteGroup, ...]
+    gamma: Optional[TensorPayload] = None
+    beta: Optional[TensorPayload] = None
+    backend: str = "vectorized"
+    request_id: int = field(default_factory=next_request_id)
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id)
+        wire.update(
+            spec=dict(self.spec),
+            groups=[group.to_wire() for group in self.groups],
+            gamma=None if self.gamma is None else self.gamma.to_wire(),
+            beta=None if self.beta is None else self.beta.to_wire(),
+            backend=self.backend,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "ExecuteBulkRequest":
+        where = "execute_bulk request"
+        raw_groups = _require(payload, "groups", list, where)
+        if not raw_groups:
+            raise BadSchemaError(f"{where} must carry at least one row-group")
+        return cls(
+            spec=_require(payload, "spec", dict, where),
+            groups=tuple(
+                ExecuteGroup.from_wire(item, where=f"{where}.groups[{index}]")
+                for index, item in enumerate(raw_groups)
+            ),
+            gamma=_optional_tensor(payload, "gamma", where),
+            beta=_optional_tensor(payload, "beta", where),
+            backend=_optional(payload, "backend", str, where, default="vectorized"),
+            request_id=_require(payload, "request_id", int, where),
+        )
+
+
+@dataclass(frozen=True)
+class ExecuteBulkResponse:
+    """Per-group results of one :class:`ExecuteBulkRequest`, in order."""
+
+    op = "execute_bulk"
+
+    request_id: int
+    results: Tuple[ExecuteResult, ...]
+    backend: str
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=True)
+        wire.update(
+            results=[result.to_wire() for result in self.results],
+            backend=self.backend,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "ExecuteBulkResponse":
+        where = "execute_bulk response"
+        return cls(
+            request_id=_require(payload, "request_id", int, where),
+            results=tuple(
+                ExecuteResult.from_wire(item, where=f"{where}.results[{index}]")
+                for index, item in enumerate(_require(payload, "results", list, where))
+            ),
+            backend=_require(payload, "backend", str, where),
+        )
+
+
+@dataclass(frozen=True)
+class HelloRequest:
+    """Schema-version negotiation opener.
+
+    The one envelope parsed *leniently* on the version field: the whole
+    point is to discover a common version, so the server accepts a hello
+    whose ``schema_version`` it does not speak and answers (or rejects)
+    based on the advertised range instead.
+    """
+
+    op = "hello"
+
+    min_schema_version: int = MIN_SCHEMA_VERSION
+    max_schema_version: int = SCHEMA_VERSION
+    client: str = "repro.api"
+    request_id: int = field(default_factory=next_request_id)
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id)
+        wire.update(
+            min_schema_version=self.min_schema_version,
+            max_schema_version=self.max_schema_version,
+            client=self.client,
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "HelloRequest":
+        where = "hello request"
+        return cls(
+            min_schema_version=_require(payload, "min_schema_version", int, where),
+            max_schema_version=_require(payload, "max_schema_version", int, where),
+            client=_optional(payload, "client", str, where, default="repro.api"),
+            request_id=_require(payload, "request_id", int, where),
+        )
+
+
+@dataclass(frozen=True)
+class HelloResponse:
+    """The server's advertised range and the negotiated version."""
+
+    op = "hello"
+
+    request_id: int
+    schema_version_chosen: int
+    min_schema_version: int
+    max_schema_version: int
+    backends: List[str] = field(default_factory=list)
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _base_wire(self.op, self.request_id, ok=True)
+        wire.update(
+            schema_version_chosen=self.schema_version_chosen,
+            min_schema_version=self.min_schema_version,
+            max_schema_version=self.max_schema_version,
+            backends=list(self.backends),
+        )
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "HelloResponse":
+        where = "hello response"
+        return cls(
+            request_id=_require(payload, "request_id", int, where),
+            schema_version_chosen=_require(payload, "schema_version_chosen", int, where),
+            min_schema_version=_require(payload, "min_schema_version", int, where),
+            max_schema_version=_require(payload, "max_schema_version", int, where),
+            backends=list(_optional(payload, "backends", list, where, default=[])),
+        )
+
+
+@dataclass(frozen=True)
 class PingRequest:
     """Liveness / capability probe."""
 
@@ -554,17 +1057,24 @@ class PingRequest:
 
 @dataclass(frozen=True)
 class PingResponse:
-    """Server capabilities: schema version, registered backends and models."""
+    """Server capabilities: schema-version range, backends and models."""
 
     op = "ping"
 
     request_id: int
     backends: List[str]
     models: Optional[List[str]] = None
+    min_schema_version: int = MIN_SCHEMA_VERSION
+    max_schema_version: int = SCHEMA_VERSION
 
     def to_wire(self) -> Dict[str, Any]:
         wire = _base_wire(self.op, self.request_id, ok=True)
-        wire.update(backends=list(self.backends), models=self.models)
+        wire.update(
+            backends=list(self.backends),
+            models=self.models,
+            min_schema_version=self.min_schema_version,
+            max_schema_version=self.max_schema_version,
+        )
         return wire
 
     @classmethod
@@ -574,6 +1084,12 @@ class PingResponse:
             request_id=_require(payload, "request_id", int, where),
             backends=list(_require(payload, "backends", list, where)),
             models=_optional(payload, "models", list, where),
+            min_schema_version=_optional(
+                payload, "min_schema_version", int, where, default=MIN_SCHEMA_VERSION
+            ),
+            max_schema_version=_optional(
+                payload, "max_schema_version", int, where, default=SCHEMA_VERSION
+            ),
         )
 
 
@@ -667,15 +1183,29 @@ class ErrorResponse:
 
 _REQUEST_TYPES = {
     cls.op: cls
-    for cls in (NormalizeRequest, SpecRequest, ExecuteSpecRequest, PingRequest, TelemetryRequest)
+    for cls in (
+        NormalizeRequest,
+        NormalizeBulkRequest,
+        StreamChunkRequest,
+        SpecRequest,
+        ExecuteSpecRequest,
+        ExecuteBulkRequest,
+        HelloRequest,
+        PingRequest,
+        TelemetryRequest,
+    )
 }
 
 _RESPONSE_TYPES = {
     cls.op: cls
     for cls in (
         NormalizeResponse,
+        NormalizeBulkResponse,
+        StreamChunkResponse,
         SpecResponse,
         ExecuteSpecResponse,
+        ExecuteBulkResponse,
+        HelloResponse,
         PingResponse,
         TelemetryResponse,
     )
@@ -686,22 +1216,39 @@ def _check_version(payload: Any, where: str) -> Dict[str, Any]:
     if not isinstance(payload, dict):
         raise BadSchemaError(f"{where} must be a JSON object, not {type(payload).__name__}")
     version = payload.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if (
+        isinstance(version, bool)
+        or not isinstance(version, int)
+        or not MIN_SCHEMA_VERSION <= version <= SCHEMA_VERSION
+    ):
         raise SchemaVersionError(
             f"{where} carries schema_version {version!r}; this peer speaks "
-            f"version {SCHEMA_VERSION}"
+            f"versions {MIN_SCHEMA_VERSION}..{SCHEMA_VERSION}"
         )
     return payload
 
 
 def parse_request(payload: Any):
-    """Decode a request envelope, raising :class:`ApiError` members on misuse."""
+    """Decode a request envelope, raising :class:`ApiError` members on misuse.
+
+    ``hello`` requests skip the version-range check (the handshake must be
+    parseable from peers this build does not otherwise speak with); every
+    other op is additionally gated on the version that introduced it.
+    """
+    if isinstance(payload, dict) and payload.get("op") == "hello":
+        return HelloRequest.from_wire(payload)
     payload = _check_version(payload, "request")
     op = _require(payload, "op", str, "request")
     request_type = _REQUEST_TYPES.get(op)
     if request_type is None:
         raise BadSchemaError(
             f"unknown op {op!r}; supported ops: {', '.join(sorted(_REQUEST_TYPES))}"
+        )
+    introduced = OP_MIN_VERSIONS.get(op, MIN_SCHEMA_VERSION)
+    if payload["schema_version"] < introduced:
+        raise BadSchemaError(
+            f"op {op!r} needs schema_version >= {introduced}; the request "
+            f"carries {payload['schema_version']}"
         )
     return request_type.from_wire(payload)
 
@@ -715,3 +1262,16 @@ def parse_response(payload: Any, expected_op: str):
     if op != expected_op:
         raise BadSchemaError(f"expected a {expected_op!r} response, got op {op!r}")
     return _RESPONSE_TYPES[expected_op].from_wire(payload)
+
+
+def parse_hello_response(payload: Any) -> HelloResponse:
+    """Decode a hello response with no version-range check (see hello)."""
+    if not isinstance(payload, dict):
+        raise BadSchemaError(
+            f"hello response must be a JSON object, not {type(payload).__name__}"
+        )
+    if payload.get("ok") is False or payload.get("op") == "error":
+        ErrorResponse.from_wire(payload).raise_()
+    if payload.get("op") != "hello":
+        raise BadSchemaError(f"expected a hello response, got op {payload.get('op')!r}")
+    return HelloResponse.from_wire(payload)

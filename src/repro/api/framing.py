@@ -5,6 +5,15 @@ many bytes of UTF-8 JSON (one envelope dictionary).  The prefix makes the
 protocol self-delimiting over a TCP stream, and the frame-size limit bounds
 what a peer can make the other side buffer before any schema validation
 runs.
+
+Two read paths share the decode rules:
+
+* :func:`recv_frame` -- blocking, one frame per call (simple clients);
+* :class:`FrameDecoder` -- incremental, bytes in / envelopes out, so a
+  pipelined peer that received several frames in one ``recv`` pays one
+  syscall for all of them.  It is also the deterministic harness for the
+  truncation/corruption property tests: malformed input raises an
+  :class:`ApiError` member, never hangs, never escapes as a raw exception.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from repro.api.envelopes import PayloadTooLargeError, TransportError
 
@@ -53,6 +62,75 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
+def decode_payload(data: bytes) -> Dict[str, Any]:
+    """Decode one frame's payload bytes into an envelope dictionary."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise TransportError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an unbounded byte stream.
+
+    Feed raw received bytes in any chunking; complete envelopes come out in
+    order.  The buffered tail is bounded by ``max_frame_bytes`` + header: an
+    announced length beyond the limit fails *before* the body is buffered,
+    so a hostile peer cannot make this side hold unbounded memory.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Absorb received bytes; returns every envelope completed by them.
+
+        Raises :class:`PayloadTooLargeError` on an oversized length prefix
+        and :class:`TransportError` on a payload that is not a JSON object;
+        both poison the stream (framing cannot be resynchronized), so the
+        caller must drop the connection.
+        """
+        self._buffer.extend(data)
+        frames: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < FRAME_HEADER.size:
+                return frames
+            (length,) = FRAME_HEADER.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise PayloadTooLargeError(
+                    f"incoming frame announces {length} bytes; limit is "
+                    f"{self.max_frame_bytes}"
+                )
+            end = FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            body = bytes(self._buffer[FRAME_HEADER.size : end])
+            del self._buffer[:end]
+            frames.append(decode_payload(body))
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary.
+
+        A peer that closed mid-frame left ``pending_bytes`` behind; that is
+        a truncated stream, reported as :class:`TransportError`.
+        """
+        if self._buffer:
+            raise TransportError(
+                f"stream ended mid-frame with {len(self._buffer)} buffered byte(s)"
+            )
+
+
 def recv_frame(sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES) -> Dict[str, Any]:
     """Read one frame and decode its JSON payload.
 
@@ -66,13 +144,4 @@ def recv_frame(sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES) -> D
         raise PayloadTooLargeError(
             f"incoming frame announces {length} bytes; limit is {max_frame_bytes}"
         )
-    data = _recv_exact(sock, length)
-    try:
-        payload = json.loads(data.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise TransportError(f"frame payload is not valid JSON: {error}") from error
-    if not isinstance(payload, dict):
-        raise TransportError(
-            f"frame payload must be a JSON object, got {type(payload).__name__}"
-        )
-    return payload
+    return decode_payload(_recv_exact(sock, length))

@@ -19,28 +19,41 @@ import hashlib
 import json
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.api.envelopes import (
+    MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
     ApiError,
     BadSchemaError,
     ErrorResponse,
+    ExecuteBulkRequest,
+    ExecuteBulkResponse,
+    ExecuteResult,
     ExecuteSpecRequest,
     ExecuteSpecResponse,
+    HelloRequest,
+    HelloResponse,
+    NormalizeBulkRequest,
+    NormalizeBulkResponse,
     NormalizeRequest,
     NormalizeResponse,
+    NormalizeResult,
     PayloadTooLargeError,
     PingRequest,
     PingResponse,
     SpecRequest,
     SpecResponse,
+    StreamChunkRequest,
+    StreamChunkResponse,
     TelemetryRequest,
     TelemetryResponse,
     TensorPayload,
     UnknownBackendError,
     UnknownModelError,
+    negotiate_version,
     parse_request,
 )
 
@@ -61,6 +74,10 @@ class ApiHandler:
     engine_cache_size:
         Number of (spec, affine, backend) engines the ``execute`` op keeps
         compiled between requests.
+    schema_versions:
+        The ``(min, max)`` schema-version range this handler advertises in
+        hello/ping negotiation (defaults to the package range; tests inject
+        narrowed or shifted ranges for the negotiation matrix).
     """
 
     DEFAULT_MAX_ELEMENTS = 4_000_000
@@ -70,6 +87,7 @@ class ApiHandler:
         service,
         max_payload_elements: int = DEFAULT_MAX_ELEMENTS,
         engine_cache_size: int = 32,
+        schema_versions: Tuple[int, int] = (MIN_SCHEMA_VERSION, SCHEMA_VERSION),
     ):
         if max_payload_elements < 1:
             raise ValueError("max_payload_elements must be positive")
@@ -77,6 +95,7 @@ class ApiHandler:
             raise ValueError("engine_cache_size must be positive")
         self.service = service
         self.max_payload_elements = max_payload_elements
+        self.min_schema_version, self.max_schema_version = schema_versions
         #: key -> (engine, per-engine run lock).  The cache lock only guards
         #: the mapping itself; each engine runs under its own lock (its
         #: backend owns mutable scratch), so concurrent connections
@@ -88,28 +107,62 @@ class ApiHandler:
     # -- entry point --------------------------------------------------------
 
     def handle(self, payload: Any) -> Dict[str, Any]:
-        """Handle one request envelope; always returns a response envelope."""
-        request_id = payload.get("request_id") if isinstance(payload, dict) else None
-        if isinstance(request_id, bool) or not isinstance(request_id, int):
-            request_id = None
+        """Handle one request envelope; always returns a response envelope.
+
+        The response echoes the *request's* ``schema_version`` whenever it
+        is one this handler speaks, so a client that negotiated down keeps
+        receiving envelopes at its version.
+        """
+        request_id = None
+        echo_version = None
+        if isinstance(payload, dict):
+            request_id = payload.get("request_id")
+            if isinstance(request_id, bool) or not isinstance(request_id, int):
+                request_id = None
+            version = payload.get("schema_version")
+            if (
+                not isinstance(version, bool)
+                and isinstance(version, int)
+                and self.min_schema_version <= version <= self.max_schema_version
+            ):
+                echo_version = version
         try:
             request = parse_request(payload)
         except ApiError as error:
-            return ErrorResponse.from_exception(error, request_id).to_wire()
+            return self._stamp(
+                ErrorResponse.from_exception(error, request_id).to_wire(), echo_version
+            )
         try:
-            return self._dispatch(request).to_wire()
+            return self._stamp(self._dispatch(request).to_wire(), echo_version)
         except BaseException as error:  # noqa: BLE001 -- one envelope per request
             if not isinstance(error, Exception):
                 raise  # KeyboardInterrupt / SystemExit propagate to the server
-            return ErrorResponse.from_exception(error, request.request_id).to_wire()
+            return self._stamp(
+                ErrorResponse.from_exception(error, request.request_id).to_wire(),
+                echo_version,
+            )
+
+    @staticmethod
+    def _stamp(response: Dict[str, Any], echo_version: Optional[int]) -> Dict[str, Any]:
+        if echo_version is not None:
+            response["schema_version"] = echo_version
+        return response
 
     def _dispatch(self, request):
         if isinstance(request, NormalizeRequest):
             return self._normalize(request)
+        if isinstance(request, NormalizeBulkRequest):
+            return self._normalize_bulk(request)
+        if isinstance(request, StreamChunkRequest):
+            return self._stream(request)
         if isinstance(request, SpecRequest):
             return self._spec(request)
         if isinstance(request, ExecuteSpecRequest):
             return self._execute(request)
+        if isinstance(request, ExecuteBulkRequest):
+            return self._execute_bulk(request)
+        if isinstance(request, HelloRequest):
+            return self._hello(request)
         if isinstance(request, PingRequest):
             return self._ping(request)
         if isinstance(request, TelemetryRequest):
@@ -150,28 +203,8 @@ class ApiHandler:
         self._check_backend(request.backend)
         self._check_model(request.model)
         self._check_size(request.tensor)
-        array = request.tensor.to_array()
-        if array.ndim not in (1, 2):
-            raise BadSchemaError(
-                f"normalize payload must be (hidden,) or (rows, hidden); "
-                f"got shape {tuple(array.shape)}"
-            )
-        try:
-            response = self.service.normalize(
-                array,
-                request.model,
-                layer_index=request.layer_index,
-                dataset=request.dataset,
-                reference=request.reference,
-                backend=request.backend,
-                accelerator=request.accelerator,
-            )
-        except KeyError as error:
-            # Registries with custom loaders validate lazily: an unknown
-            # model surfaces as the loader's KeyError at execution time.
-            raise UnknownModelError(str(error.args[0] if error.args else error)) from error
-        except (ValueError, IndexError) as error:
-            raise BadSchemaError(str(error)) from error
+        array = self._decode_rows(request.tensor, "normalize")
+        response = self._service_normalize(array, request)
         encoding = request.tensor.encoding
         return NormalizeResponse(
             request_id=request.request_id,
@@ -183,6 +216,118 @@ class ApiHandler:
             batch_size=response.batch_size,
             queue_wait=float(response.queue_wait),
             batch_latency=float(response.batch_latency),
+            backend=response.key.backend,
+            accelerator=response.key.accelerator,
+        )
+
+    def _decode_rows(self, tensor: TensorPayload, where: str) -> np.ndarray:
+        array = tensor.to_array()
+        if array.ndim not in (1, 2):
+            raise BadSchemaError(
+                f"{where} payload must be (hidden,) or (rows, hidden); "
+                f"got shape {tuple(array.shape)}"
+            )
+        return array
+
+    @staticmethod
+    def _call_service(fn, *args, **kwargs):
+        """Run one service call with the shared error-taxonomy mapping.
+
+        Registries with custom loaders validate lazily: an unknown model
+        surfaces as the loader's KeyError at execution time.
+        """
+        try:
+            return fn(*args, **kwargs)
+        except KeyError as error:
+            raise UnknownModelError(str(error.args[0] if error.args else error)) from error
+        except (ValueError, IndexError) as error:
+            raise BadSchemaError(str(error)) from error
+
+    def _service_normalize(self, array: np.ndarray, request, context=None):
+        return self._call_service(
+            self.service.normalize,
+            array,
+            request.model,
+            layer_index=request.layer_index,
+            dataset=request.dataset,
+            reference=request.reference,
+            backend=request.backend,
+            accelerator=request.accelerator,
+            context=context,
+        )
+
+    def _normalize_bulk(self, request: NormalizeBulkRequest) -> NormalizeBulkResponse:
+        self._check_backend(request.backend)
+        self._check_model(request.model)
+        # Size-check the whole request (per tensor AND aggregate) before any
+        # array is materialized: an oversized bulk must not cost the decode.
+        total_elements = 0
+        for index, tensor in enumerate(request.tensors):
+            self._check_size(tensor, f"tensors[{index}]")
+            total_elements += tensor.num_elements
+        if total_elements > self.max_payload_elements:
+            raise PayloadTooLargeError(
+                f"bulk request carries {total_elements} elements across "
+                f"{len(request.tensors)} tensors; this server accepts at most "
+                f"{self.max_payload_elements} per request"
+            )
+        arrays: List[np.ndarray] = [
+            self._decode_rows(tensor, f"normalize_bulk tensors[{index}]")
+            for index, tensor in enumerate(request.tensors)
+        ]
+        # normalize_many lands the whole list in the micro-batcher under
+        # one lock acquisition -- a single remote frame fills a batch by
+        # itself instead of waiting for cross-client coalescing.
+        responses = self._call_service(
+            self.service.normalize_many,
+            arrays,
+            request.model,
+            layer_index=request.layer_index,
+            dataset=request.dataset,
+            reference=request.reference,
+            backend=request.backend,
+            accelerator=request.accelerator,
+        )
+        encoding = request.tensors[0].encoding
+        return NormalizeBulkResponse(
+            request_id=request.request_id,
+            results=tuple(
+                self._wire_result(response, encoding) for response in responses
+            ),
+            backend=request.backend,
+            accelerator=responses[0].key.accelerator if responses else request.accelerator,
+        )
+
+    @staticmethod
+    def _wire_result(response, encoding: str) -> NormalizeResult:
+        return NormalizeResult(
+            tensor=TensorPayload.from_array(response.output, encoding),
+            mean=TensorPayload.from_array(response.mean, encoding),
+            isd=TensorPayload.from_array(response.isd, encoding),
+            was_predicted=response.was_predicted,
+            was_subsampled=response.was_subsampled,
+            batch_size=response.batch_size,
+            queue_wait=float(response.queue_wait),
+            batch_latency=float(response.batch_latency),
+        )
+
+    def _stream(self, request: StreamChunkRequest) -> StreamChunkResponse:
+        from repro.llm.hooks import ActivationContext
+
+        self._check_backend(request.backend)
+        self._check_model(request.model)
+        self._check_size(request.tensor)
+        array = self._decode_rows(request.tensor, "stream")
+        # A fresh context per chunk mirrors ``NormalizationService.stream``:
+        # chunks are independent token groups, so cross-layer ISD state must
+        # not leak between them (nor between interleaved streams).
+        response = self._service_normalize(array, request, context=ActivationContext())
+        return StreamChunkResponse(
+            request_id=request.request_id,
+            stream_id=request.stream_id,
+            seq=request.seq,
+            final=request.final,
+            result=self._wire_result(response, request.tensor.encoding),
             backend=response.key.backend,
             accelerator=response.key.accelerator,
         )
@@ -240,6 +385,63 @@ class ApiHandler:
             backend=request.backend,
         )
 
+    def _execute_bulk(self, request: ExecuteBulkRequest) -> ExecuteBulkResponse:
+        from repro.engine.spec import EngineSpec
+
+        self._check_backend(request.backend)
+        total_elements = 0
+        for index, group in enumerate(request.groups):
+            self._check_size(group.rows, f"groups[{index}].rows")
+            total_elements += group.rows.num_elements
+        if total_elements > self.max_payload_elements:
+            raise PayloadTooLargeError(
+                f"bulk execute carries {total_elements} elements across "
+                f"{len(request.groups)} groups; this server accepts at most "
+                f"{self.max_payload_elements} per request"
+            )
+        try:
+            spec = EngineSpec.from_dict(request.spec)
+        except (TypeError, ValueError) as error:
+            raise BadSchemaError(f"invalid engine spec: {error}") from error
+        gamma = None if request.gamma is None else request.gamma.to_array()
+        beta = None if request.beta is None else request.beta.to_array()
+        engine, run_lock = self._engine_for(spec, request.backend, gamma, beta)
+        encoding = request.groups[0].rows.encoding
+        # Decode every group before taking the engine lock and encode the
+        # responses after releasing it: only engine.run needs the lock, so
+        # connections sharing a cached engine never serialize on codec work.
+        decoded = [
+            (
+                group.rows.to_array(),
+                None
+                if group.segment_starts is None
+                else group.segment_starts.to_array().astype(np.int64, copy=False),
+                None if group.anchor_isd is None else group.anchor_isd.to_array(),
+            )
+            for group in request.groups
+        ]
+        raw: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        try:
+            # One lock acquisition for the whole bulk: the spec compiled
+            # once, the backend's scratch stays warm across groups.
+            with run_lock:
+                for rows, segment_starts, anchor_isd in decoded:
+                    raw.append(engine.run(rows, segment_starts, anchor_isd))
+        except ValueError as error:
+            raise BadSchemaError(str(error)) from error
+        return ExecuteBulkResponse(
+            request_id=request.request_id,
+            results=tuple(
+                ExecuteResult(
+                    output=TensorPayload.from_array(output, encoding),
+                    mean=TensorPayload.from_array(mean, encoding),
+                    isd=TensorPayload.from_array(isd, encoding),
+                )
+                for output, mean, isd in raw
+            ),
+            backend=request.backend,
+        )
+
     def _engine_for(self, spec, backend: str, gamma, beta):
         """LRU cache of compiled engines for the ``execute`` op.
 
@@ -274,6 +476,23 @@ class ApiHandler:
                 self._engine_cache.popitem(last=False)
         return entry
 
+    def _hello(self, request: HelloRequest) -> HelloResponse:
+        from repro.engine.registry import available_backends
+
+        chosen = negotiate_version(
+            request.min_schema_version,
+            request.max_schema_version,
+            self.min_schema_version,
+            self.max_schema_version,
+        )
+        return HelloResponse(
+            request_id=request.request_id,
+            schema_version_chosen=chosen,
+            min_schema_version=self.min_schema_version,
+            max_schema_version=self.max_schema_version,
+            backends=available_backends(),
+        )
+
     def _ping(self, request: PingRequest) -> PingResponse:
         from repro.engine.registry import available_backends
 
@@ -281,6 +500,8 @@ class ApiHandler:
             request_id=request.request_id,
             backends=available_backends(),
             models=self.service.registry.known_model_names(),
+            min_schema_version=self.min_schema_version,
+            max_schema_version=self.max_schema_version,
         )
 
     def _telemetry(self, request: TelemetryRequest) -> TelemetryResponse:

@@ -1,25 +1,37 @@
 """`NormServer`: the normalization service behind a TCP socket.
 
-A thin, dependency-free network front: one listener thread accepts
-connections, one daemon thread per connection reads length-prefixed JSON
-frames, hands each to the shared :class:`~repro.api.handler.ApiHandler`,
-and writes the response frame back.  All request semantics (validation,
-error taxonomy, batching through :class:`NormalizationService`) live in the
-handler -- the server only moves frames.
+A thin, dependency-free network front with **pipelined** request handling:
+one listener thread accepts connections; one reader thread per connection
+decodes length-prefixed JSON frames incrementally
+(:class:`~repro.api.framing.FrameDecoder`, so a burst of pipelined frames
+costs one ``recv``) and hands each envelope to a shared worker pool.
+Workers run the :class:`~repro.api.handler.ApiHandler` and write their
+response frame back under the connection's send lock -- so a connection may
+have many requests in flight and responses go out **in completion order**,
+not arrival order (clients demultiplex by ``request_id``).  Concurrent
+in-flight ``normalize`` requests coalesce in the service's micro-batcher,
+which is where pipelining's throughput win comes from: a single connection
+can fill a whole batch by itself.
 
-Shutdown is cooperative and clean: :meth:`close` stops the listener,
-shuts down every live connection (unblocking their reads), joins the
-threads and leaves the wrapped service untouched (the owner closes it).
+Per-connection in-flight is bounded (``max_inflight``): the reader blocks
+once the bound is reached, which turns into TCP backpressure on the client
+instead of unbounded server-side buffering.
+
+Shutdown is cooperative and clean: :meth:`close` stops the listener, shuts
+down every live connection (unblocking their reads), drains the worker
+pool, joins the threads and leaves the wrapped service untouched (the
+owner closes it).
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Optional, Set, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Set, Tuple
 
 from repro.api.envelopes import ApiError, ErrorResponse
-from repro.api.framing import MAX_FRAME_BYTES, recv_frame, send_frame
+from repro.api.framing import MAX_FRAME_BYTES, FrameDecoder, send_frame
 from repro.api.handler import ApiHandler
 
 
@@ -31,6 +43,23 @@ def parse_address(address: str) -> Tuple[str, int]:
     return host or "0.0.0.0", int(port)
 
 
+class _Connection:
+    """Per-connection pipelining state: send lock + in-flight bound."""
+
+    __slots__ = ("sock", "send_lock", "inflight", "inflight_count", "closed")
+
+    def __init__(self, sock: socket.socket, max_inflight: int):
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        #: Reader blocks acquiring once ``max_inflight`` requests are being
+        #: handled -- backpressure instead of unbounded buffering.
+        self.inflight = threading.BoundedSemaphore(max_inflight)
+        self.inflight_count = 0
+        #: Set (and the fd closed) under ``send_lock``: a worker checking it
+        #: under the same lock can never write into a reused fd number.
+        self.closed = False
+
+
 class NormServer:
     """Serve one :class:`NormalizationService` over the wire protocol.
 
@@ -38,14 +67,20 @@ class NormServer:
     ----------
     service:
         The serving runtime to front (usually threaded, so concurrent
-        connections coalesce into shared micro-batches).
+        in-flight requests coalesce into shared micro-batches).
     host / port:
         Bind address; port 0 picks a free port (read :attr:`port` after
         construction).
     handler:
-        Override the request handler (tests inject size limits).
+        Override the request handler (tests inject size limits or schema
+        ranges).
     max_frame_bytes:
         Frame-size bound applied to every connection.
+    workers:
+        Size of the shared request-handling pool (the server-side
+        pipelining depth across all connections).
+    max_inflight:
+        Per-connection bound on requests being handled concurrently.
     """
 
     def __init__(
@@ -55,10 +90,18 @@ class NormServer:
         port: int = 0,
         handler: Optional[ApiHandler] = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        workers: int = 8,
+        max_inflight: int = 32,
     ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
         self.service = service
         self.handler = handler if handler is not None else ApiHandler(service)
         self.max_frame_bytes = max_frame_bytes
+        self.workers = workers
+        self.max_inflight = max_inflight
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -68,8 +111,20 @@ class NormServer:
         self._connections: Set[socket.socket] = set()
         self._threads: list = []
         self._accept_thread: Optional[threading.Thread] = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="haan-norm-worker"
+        )
         self._closing = False
         self.requests_served = 0
+        #: Wire/pipelining gauges (guarded by ``_lock``).
+        self.connections_total = 0
+        self.frames_received = 0
+        self.peak_inflight = 0
+        # Surface the wire gauges in the service's telemetry snapshot (and
+        # therefore in the `telemetry` op and the haan-serve summary).
+        attach = getattr(service.telemetry, "attach_section", None)
+        if attach is not None:
+            attach("wire", self.wire_snapshot)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -115,25 +170,51 @@ class NormServer:
             self._listener.close()
         except OSError:
             pass
+        # shutdown() only -- never close() from here: each reader thread
+        # owns its fd's close (under the connection send lock), so a pooled
+        # worker mid-send cannot race against fd reuse.  shutdown unblocks
+        # the reader's recv, which then performs the locked close.
         for conn in connections:
             try:
                 conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.close()
             except OSError:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
         for thread in self._threads:
             thread.join(timeout=5.0)
+        # After the readers exited no new work lands in the pool; drain what
+        # is still executing so worker sends never race interpreter teardown.
+        self._pool.shutdown(wait=True)
+        # Swap the live wire-gauge provider for a frozen final snapshot:
+        # the shutdown summary still reports the session's totals, but the
+        # (possibly long-lived) service no longer pins this closed server.
+        # A restarted server re-attaches its own live section.
+        attach = getattr(self.service.telemetry, "attach_section", None)
+        if attach is not None:
+            final_snapshot = self.wire_snapshot()
+            attach("wire", lambda: dict(final_snapshot))
 
     def __enter__(self) -> "NormServer":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def wire_snapshot(self) -> Dict[str, int]:
+        """Pipelining/wire gauges for the telemetry snapshot."""
+        with self._lock:
+            return {
+                "connections_total": self.connections_total,
+                "connections_active": len(self._connections),
+                "frames_received": self.frames_received,
+                "requests_served": self.requests_served,
+                "peak_inflight": self.peak_inflight,
+                "workers": self.workers,
+                "max_inflight": self.max_inflight,
+            }
 
     # -- connection handling -------------------------------------------------
 
@@ -153,6 +234,7 @@ class NormServer:
                     conn.close()
                     return
                 self._connections.add(conn)
+                self.connections_total += 1
                 # Prune finished connection threads so a long-lived server
                 # handling many short-lived clients does not accumulate one
                 # dead Thread object per past connection.
@@ -166,41 +248,86 @@ class NormServer:
                 self._threads.append(thread)
             thread.start()
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    def _serve_connection(self, sock: socket.socket) -> None:
+        connection = _Connection(sock, self.max_inflight)
+        decoder = FrameDecoder(self.max_frame_bytes)
         try:
             while True:
                 try:
-                    payload = recv_frame(conn, self.max_frame_bytes)
-                except (ConnectionError, OSError):
+                    data = sock.recv(65536)
+                except OSError:
                     return  # client went away (or server is closing)
+                if not data:
+                    return  # clean EOF
+                try:
+                    frames = decoder.feed(data)
                 except ApiError as error:
                     # Oversized or non-JSON frame: the stream cannot be
                     # resynchronized, so report once and drop the link.
-                    self._try_send(conn, ErrorResponse.from_exception(error).to_wire())
+                    self._try_send(connection, ErrorResponse.from_exception(error).to_wire())
                     return
-                response = self.handler.handle(payload)
-                with self._lock:  # += is not atomic across connection threads
-                    self.requests_served += 1
-                if not self._try_send(conn, response):
-                    return
+                for payload in frames:
+                    # Blocks at max_inflight: backpressure, not buffering.
+                    connection.inflight.acquire()
+                    with self._lock:
+                        self.frames_received += 1
+                        connection.inflight_count += 1
+                        if connection.inflight_count > self.peak_inflight:
+                            self.peak_inflight = connection.inflight_count
+                        if self._closing:
+                            connection.inflight.release()
+                            connection.inflight_count -= 1
+                            return
+                    try:
+                        self._pool.submit(self._handle_one, connection, payload)
+                    except RuntimeError:  # pool shut down under us
+                        connection.inflight.release()
+                        return
         finally:
             with self._lock:
-                self._connections.discard(conn)
-            try:
-                conn.close()
-            except OSError:
-                pass
+                self._connections.discard(sock)
+            # Close under the send lock with the flag flipped first: pooled
+            # workers still holding this connection re-check ``closed``
+            # under the same lock before writing, so a worker can never
+            # send into this fd number after the OS has reused it for a
+            # new connection (silent cross-connection corruption).
+            with connection.send_lock:
+                connection.closed = True
+                try:
+                    sock.close()
+                except OSError:
+                    pass
 
-    def _try_send(self, conn: socket.socket, payload: dict) -> bool:
+    def _handle_one(self, connection: _Connection, payload: dict) -> None:
+        """Worker body: handle one envelope, send its response frame."""
         try:
-            send_frame(conn, payload, self.max_frame_bytes)
+            response = self.handler.handle(payload)
+            sent = self._try_send(connection, response)
+            if sent:
+                with self._lock:
+                    self.requests_served += 1
+        finally:
+            with self._lock:
+                connection.inflight_count -= 1
+            connection.inflight.release()
+
+    def _try_send(self, connection: _Connection, payload: dict) -> bool:
+        try:
+            with connection.send_lock:
+                if connection.closed:
+                    return False
+                send_frame(connection.sock, payload, self.max_frame_bytes)
             return True
         except ApiError as error:
             # The *response* outgrew the frame limit (huge tensor): replace
             # it with an error envelope so the client is never left hanging.
             fallback = ErrorResponse.from_exception(error).to_wire()
+            fallback["request_id"] = payload.get("request_id")
             try:
-                send_frame(conn, fallback, self.max_frame_bytes)
+                with connection.send_lock:
+                    if connection.closed:
+                        return False
+                    send_frame(connection.sock, fallback, self.max_frame_bytes)
             except (ApiError, OSError):
                 return False
             return True

@@ -1,27 +1,96 @@
 """Client transports: the same envelopes, in-process or over TCP.
 
-A transport is one method -- ``request(envelope_dict) -> envelope_dict`` --
-so :class:`~repro.api.client.NormClient` code is identical whether it talks
-to a :class:`NormalizationService` in this process or to a
+A transport is two methods -- blocking ``request(envelope) -> envelope``
+and pipelined ``submit(envelope) -> PendingReply`` -- so
+:class:`~repro.api.client.NormClient` code is identical whether it talks to
+a :class:`NormalizationService` in this process or to a
 :class:`~repro.api.server.NormServer` on another host:
 
 * :class:`InProcessTransport` hands the envelope straight to a shared
   :class:`~repro.api.handler.ApiHandler` (no socket, no JSON bytes on the
   floor, but the *same* schema validation and dispatch path).
 * :class:`SocketTransport` speaks the length-prefixed JSON frame protocol
-  of :mod:`repro.api.framing` over TCP, reconnecting transparently when a
-  server was restarted between requests -- safe because every API request
-  is a pure function of its envelope (retrying cannot double-apply).
+  of :mod:`repro.api.framing` over a **pool** of TCP connections.  It is
+  safe for concurrent callers and for pipelining: every connection may
+  carry many requests in flight, a dedicated receiver thread demultiplexes
+  responses by ``request_id`` (the server answers in completion order, not
+  arrival order), and requests spread over the pool by load.  On connect it
+  performs the ``hello`` schema-version handshake -- the server advertises
+  its ``min..max`` range and the client downgrades within its own -- and
+  stamps every outgoing envelope with the negotiated version.
+
+Reconnect semantics: a connection that dies fails its in-flight requests
+with :class:`TransportError` (pending requests never hang), and the pool
+transparently opens a fresh connection for subsequent traffic.  The
+blocking ``request`` path additionally retries exactly once against a
+fresh connection -- safe because every API request is a pure function of
+its envelope (retrying cannot double-apply).
 """
 
 from __future__ import annotations
 
 import socket
+import struct
+import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.api.envelopes import ApiError, TransportError
-from repro.api.framing import MAX_FRAME_BYTES, recv_frame, send_frame
+from repro.api.envelopes import (
+    MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+    ApiError,
+    BadSchemaError,
+    HelloRequest,
+    SchemaVersionError,
+    TransportError,
+    negotiate_version,
+    parse_hello_response,
+)
+from repro.api.framing import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    recv_frame,
+    send_frame,
+)
+
+
+class PendingReply:
+    """Client-side future of one in-flight request envelope."""
+
+    __slots__ = ("_event", "_value", "_error", "_on_abandon")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Optional[Dict[str, Any]] = None
+        self._error: Optional[BaseException] = None
+        #: Called when a waiter times out: the owning connection withdraws
+        #: the request_id registration so abandoned requests do not pile up
+        #: in the in-flight map of a wedged-but-connected server.
+        self._on_abandon = None
+
+    def set_result(self, value: Dict[str, Any]) -> None:
+        self._value = value
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        """Whether a response (or failure) has arrived."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the response envelope arrives; failures re-raise."""
+        if not self._event.wait(timeout):
+            if self._on_abandon is not None:
+                self._on_abandon()
+            raise TransportError(
+                f"no response within {timeout}s (request still in flight)"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
 
 
 class Transport:
@@ -30,6 +99,20 @@ class Transport:
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one request envelope and return the response envelope."""
         raise NotImplementedError
+
+    def submit(self, payload: Dict[str, Any]) -> PendingReply:
+        """Send one request envelope without waiting; returns its reply.
+
+        The base implementation completes synchronously (in-process
+        transports have no wire to overlap); :class:`SocketTransport`
+        overrides it with true pipelining.
+        """
+        reply = PendingReply()
+        try:
+            reply.set_result(self.request(payload))
+        except ApiError as error:
+            reply.set_exception(error)
+        return reply
 
     def close(self) -> None:
         """Release transport resources (idempotent)."""
@@ -98,24 +181,200 @@ class InProcessTransport(Transport):
             self.service.close()
 
 
-class SocketTransport(Transport):
-    """Length-prefixed JSON frames over one TCP connection.
+class _PoolConnection:
+    """One pooled TCP connection: socket, receiver thread, in-flight map."""
 
-    The connection is opened lazily on the first request and re-opened
-    transparently when a request hits a dead socket (server restarted,
-    idle timeout): one reconnect-and-resend attempt per request, then
-    :class:`TransportError`.
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float,
+        max_frame_bytes: int,
+        send_timeout: Optional[float] = None,
+    ):
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as error:
+            raise TransportError(
+                f"cannot connect to {host}:{port}: {error}"
+            ) from error
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The receiver thread owns reads and must tolerate idle periods;
+        # per-request deadlines live on PendingReply.result, not the socket.
+        sock.settimeout(None)
+        if send_timeout is not None and send_timeout > 0:
+            # Kernel-level send deadline (SO_SNDTIMEO touches only sends,
+            # unlike settimeout): a peer that stops reading while we hold
+            # the send lock surfaces as an OSError -> connection failure
+            # instead of blocking every sender on this connection forever.
+            try:
+                seconds = int(send_timeout)
+                micros = int((send_timeout - seconds) * 1e6)
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_SNDTIMEO,
+                    struct.pack("ll", seconds, micros),
+                )
+            except (OSError, ValueError, struct.error):
+                pass  # best effort: platforms without SO_SNDTIMEO keep blocking sends
+        self.sock = sock
+        self.max_frame_bytes = max_frame_bytes
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[int, PendingReply] = {}
+        self._dead = False
+        self._receiver: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start_receiver(self) -> None:
+        """Start demultiplexing responses (after any handshake traffic)."""
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name="haan-norm-client-recv", daemon=True
+        )
+        self._receiver.start()
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    @property
+    def in_flight(self) -> int:
+        with self._pending_lock:
+            return len(self._pending)
+
+    def close(self, error: Optional[BaseException] = None) -> None:
+        """Drop the socket and fail everything still in flight."""
+        self._dead = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self._fail_pending(error or TransportError("connection closed"))
+
+    def _fail_pending(self, error: BaseException) -> None:
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for reply in pending.values():
+            reply.set_exception(error)
+
+    # -- sending -------------------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any]) -> PendingReply:
+        """Register the request and write its frame; returns the reply."""
+        request_id = payload.get("request_id")
+        if not isinstance(request_id, int) or isinstance(request_id, bool):
+            raise TransportError(
+                "pipelined requests need an integer request_id to demultiplex by"
+            )
+        reply = PendingReply()
+        reply._on_abandon = lambda: self._discard(request_id)
+        with self._pending_lock:
+            if self._dead:
+                raise TransportError("connection is closed")
+            if request_id in self._pending:
+                raise TransportError(
+                    f"request_id {request_id} is already in flight on this connection"
+                )
+            self._pending[request_id] = reply
+        try:
+            with self._send_lock:
+                send_frame(self.sock, payload, self.max_frame_bytes)
+        except ApiError:
+            # Protocol-level failure (frame too large): the connection is
+            # still healthy; withdraw the registration and surface it.
+            self._discard(request_id)
+            raise
+        except OSError as error:
+            self._discard(request_id)
+            self.close(TransportError(f"send failed: {error}"))
+            raise TransportError(f"send failed: {error}") from error
+        return reply
+
+    def _discard(self, request_id: int) -> None:
+        with self._pending_lock:
+            self._pending.pop(request_id, None)
+
+    # -- receiving -----------------------------------------------------------
+
+    def _receive_loop(self) -> None:
+        decoder = FrameDecoder(self.max_frame_bytes)
+        while True:
+            try:
+                data = self.sock.recv(65536)
+            except OSError as error:
+                self._on_disconnect(f"connection lost: {error}")
+                return
+            if not data:
+                self._on_disconnect("server closed the connection")
+                return
+            try:
+                frames = decoder.feed(data)
+            except ApiError as error:
+                # The stream is unsynchronizable; everything in flight on
+                # this connection is unanswerable.
+                self.close(error)
+                return
+            for envelope in frames:
+                self._route(envelope)
+
+    def _on_disconnect(self, message: str) -> None:
+        self._dead = True
+        in_flight = self.in_flight
+        suffix = f" with {in_flight} request(s) in flight" if in_flight else ""
+        self._fail_pending(TransportError(message + suffix))
+
+    def _route(self, envelope: Dict[str, Any]) -> None:
+        request_id = envelope.get("request_id")
+        if isinstance(request_id, bool) or not isinstance(request_id, int):
+            # A connection-fatal server error (unsynchronizable stream)
+            # carries no request_id; it poisons everything in flight.
+            from repro.api.envelopes import ErrorResponse, error_for_code
+
+            try:
+                decoded = ErrorResponse.from_wire(envelope)
+                error: BaseException = error_for_code(decoded.code, decoded.message)
+            except ApiError:
+                error = TransportError(f"unroutable response envelope: {envelope!r}")
+            self.close(error)
+            return
+        with self._pending_lock:
+            reply = self._pending.pop(request_id, None)
+        if reply is not None:
+            reply.set_result(envelope)
+        # else: a response for an abandoned (timed-out) request; drop it.
+
+
+class SocketTransport(Transport):
+    """Pooled, pipelined, thread-safe client side of the wire protocol.
 
     Parameters
     ----------
     host / port:
         The server address.
     timeout:
-        Per-request socket timeout in seconds (send + receive).
+        Per-request deadline in seconds (waiting on the demultiplexed
+        response, not holding the socket).
     connect_timeout:
-        Bound on establishing the TCP connection.
+        Bound on establishing one TCP connection.
     max_frame_bytes:
         Refuse to send or accept frames larger than this.
+    pool_size:
+        Number of TCP connections concurrent callers spread over.  Even at
+        1 the transport pipelines (many requests in flight per connection);
+        more connections mainly help once a single socket's byte stream
+        saturates.
+    schema_versions:
+        The ``(min, max)`` schema-version range this client speaks
+        (defaults to the package range; tests inject shifted ranges).
+    negotiate:
+        Perform the hello handshake on the first connection.  Disabling it
+        skips version negotiation and stamps envelopes with this build's
+        newest version (used by raw-protocol tests).
     """
 
     def __init__(
@@ -125,13 +384,33 @@ class SocketTransport(Transport):
         timeout: float = 30.0,
         connect_timeout: float = 5.0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        pool_size: int = 1,
+        schema_versions: Tuple[int, int] = (MIN_SCHEMA_VERSION, SCHEMA_VERSION),
+        negotiate: bool = True,
     ):
+        if pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
         self.host = host
         self.port = int(port)
         self.timeout = timeout
         self.connect_timeout = connect_timeout
         self.max_frame_bytes = max_frame_bytes
-        self._sock: Optional[socket.socket] = None
+        self.pool_size = pool_size
+        self.min_schema_version, self.max_schema_version = schema_versions
+        self._negotiate = negotiate
+        #: Version agreed in the hello handshake (None until connected, or
+        #: when negotiation is disabled).
+        self.negotiated_version: Optional[int] = None
+        self.server_schema_range: Optional[Tuple[int, int]] = None
+        self._pool_lock = threading.Lock()
+        self._pool_cond = threading.Condition(self._pool_lock)
+        self._connections: List[_PoolConnection] = []
+        #: Dials in progress; ``connections + dialing`` never exceeds
+        #: ``pool_size`` (concurrent first-callers reserve a slot before
+        #: releasing the lock to dial).
+        self._dialing = 0
+        self._reconnects = 0
+        self._closed = False
 
     # -- connection management ----------------------------------------------
 
@@ -141,54 +420,190 @@ class SocketTransport(Transport):
         return f"{self.host}:{self.port}"
 
     def connected(self) -> bool:
-        """Whether a (believed-live) connection is currently held."""
-        return self._sock is not None
+        """Whether at least one (believed-live) connection is held."""
+        with self._pool_lock:
+            return any(not conn.dead for conn in self._connections)
 
-    def _ensure_connected(self) -> socket.socket:
-        if self._sock is None:
-            try:
-                sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.connect_timeout
-                )
-            except OSError as error:
-                raise TransportError(
-                    f"cannot connect to {self.address}: {error}"
-                ) from error
-            sock.settimeout(self.timeout)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._sock = sock
-        return self._sock
+    def stats(self) -> Dict[str, Any]:
+        """Pool gauges: live connections, in-flight requests, reconnects."""
+        with self._pool_lock:
+            live = [conn for conn in self._connections if not conn.dead]
+            return {
+                "pool_size": self.pool_size,
+                "connections": len(live),
+                "in_flight": sum(conn.in_flight for conn in live),
+                "reconnects": self._reconnects,
+                "negotiated_version": self.negotiated_version,
+            }
 
-    def _drop(self) -> None:
-        sock, self._sock = self._sock, None
-        if sock is not None:
-            try:
-                sock.close()
-            except OSError:
-                pass
+    def _open_connection(self) -> _PoolConnection:
+        """Dial one connection; the first performs the hello handshake."""
+        conn = _PoolConnection(
+            self.host,
+            self.port,
+            self.connect_timeout,
+            self.max_frame_bytes,
+            send_timeout=self.timeout,
+        )
+        try:
+            if self._negotiate and self.negotiated_version is None:
+                self._handshake(conn)
+        except BaseException:
+            conn.close()
+            raise
+        conn.start_receiver()
+        return conn
+
+    def _handshake(self, conn: _PoolConnection) -> None:
+        """Synchronous hello exchange on a fresh socket (pre-receiver).
+
+        The hello envelope itself is stamped with the *minimum* version
+        this client speaks: a legacy strict-equality peer at that version
+        can then at least parse the envelope, and its "unknown op" rejection
+        becomes the downgrade signal (it speaks exactly that version).  A
+        ``schema_version`` rejection, by contrast, is a genuine range
+        mismatch and propagates.
+        """
+        hello = HelloRequest(
+            min_schema_version=self.min_schema_version,
+            max_schema_version=self.max_schema_version,
+        )
+        wire = hello.to_wire()
+        wire["schema_version"] = self.min_schema_version
+        conn.sock.settimeout(self.connect_timeout)
+        try:
+            send_frame(conn.sock, wire, self.max_frame_bytes)
+            response = parse_hello_response(recv_frame(conn.sock, self.max_frame_bytes))
+        except SchemaVersionError:
+            raise  # disjoint ranges: the server named both in the message
+        except BadSchemaError:
+            # Pre-hello peer: it parsed our min-version envelope but does
+            # not know the op, so it speaks exactly that version.
+            self.negotiated_version = self.min_schema_version
+            self.server_schema_range = (
+                self.min_schema_version,
+                self.min_schema_version,
+            )
+            return
+        except OSError as error:
+            raise TransportError(f"hello handshake failed: {error}") from error
+        finally:
+            conn.sock.settimeout(None)
+        self.server_schema_range = (
+            response.min_schema_version,
+            response.max_schema_version,
+        )
+        # Re-derive locally: the client downgrades within its own range and
+        # rejects a server whose advertisement does not overlap it.
+        self.negotiated_version = negotiate_version(
+            self.min_schema_version,
+            self.max_schema_version,
+            response.min_schema_version,
+            response.max_schema_version,
+        )
+
+    def _get_connection(self) -> _PoolConnection:
+        """The least-loaded live connection, dialing up to ``pool_size``.
+
+        The dial decision reserves a slot under the pool lock before the
+        (slow, unlocked) connect + handshake runs, so concurrent callers
+        can never grow the pool past ``pool_size``; callers finding every
+        slot mid-dial wait for one to land or fail instead of over-dialing.
+        """
+        with self._pool_cond:
+            while True:
+                if self._closed:
+                    raise TransportError("socket transport is closed")
+                before = len(self._connections)
+                self._connections = [c for c in self._connections if not c.dead]
+                self._reconnects += before - len(self._connections)
+                if before > 0 and not self._connections and self._dialing == 0:
+                    # The whole pool died (server restart): re-run the hello
+                    # on the next dial -- the restarted server may speak a
+                    # different version range than the one we negotiated.
+                    self.negotiated_version = None
+                    self.server_schema_range = None
+                if len(self._connections) + self._dialing < self.pool_size:
+                    self._dialing += 1
+                    break
+                if self._connections:
+                    return min(self._connections, key=lambda c: c.in_flight)
+                # every slot is mid-dial: wait for one of those dials to
+                # land (or fail) rather than exceeding the pool bound
+                self._pool_cond.wait(timeout=self.connect_timeout + 1.0)
+        try:
+            conn = self._open_connection()
+        except BaseException:
+            with self._pool_cond:
+                self._dialing -= 1
+                self._pool_cond.notify_all()
+            raise
+        with self._pool_cond:
+            self._dialing -= 1
+            if self._closed:
+                conn.close()
+                self._pool_cond.notify_all()
+                raise TransportError("socket transport is closed")
+            self._connections.append(conn)
+            self._pool_cond.notify_all()
+        return conn
 
     # -- request/response ---------------------------------------------------
 
+    def _stamp_version(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if (
+            self.negotiated_version is not None
+            and payload.get("schema_version") != self.negotiated_version
+            and payload.get("op") != "hello"
+        ):
+            payload = dict(payload)
+            payload["schema_version"] = self.negotiated_version
+        return payload
+
+    def submit(self, payload: Dict[str, Any]) -> PendingReply:
+        """Pipeline one request; the reply resolves when its frame arrives.
+
+        A dead connection discovered at send time is replaced transparently
+        (one redial attempt); a connection dying *after* the send fails the
+        reply with :class:`TransportError` -- the pipelined path never
+        resends on its own, the caller decides (the blocking ``request``
+        wrapper retries exactly once).
+        """
+        last_error: Optional[BaseException] = None
+        for _attempt in (1, 2):
+            try:
+                conn = self._get_connection()
+                # Stamp after dialing: the first dial performs the hello
+                # handshake that decides the version to stamp.
+                return conn.submit(self._stamp_version(payload))
+            except TransportError as error:
+                last_error = error
+            except ApiError:
+                raise  # protocol-level (frame too large): not retryable
+        raise TransportError(
+            f"request to {self.address} failed after reconnect: {last_error}"
+        ) from last_error
+
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         last_error: Optional[BaseException] = None
-        for attempt in (1, 2):
-            sock = self._ensure_connected()
+        for _attempt in (1, 2):
             try:
-                send_frame(sock, payload, self.max_frame_bytes)
-                return recv_frame(sock, self.max_frame_bytes)
-            except ApiError:
-                # Protocol-level failures (oversized frame, junk payload)
-                # are not connection staleness; surface them immediately.
-                self._drop()
-                raise
-            except OSError as error:
-                # Covers ConnectionError (EOF mid-frame / reset) and
-                # timeouts: drop the socket and retry exactly once against
-                # a fresh connection.
-                self._drop()
+                conn = self._get_connection()
+                reply = conn.submit(self._stamp_version(payload))
+            except TransportError as error:
+                # Dead connection at send time: redial and resend exactly
+                # once -- every request is a pure function of its envelope,
+                # so the single resend cannot double-apply.
                 last_error = error
-                if attempt == 2:
-                    break
+                continue
+            except ApiError:
+                raise  # protocol-level (frame too large): not retryable
+            try:
+                return reply.result(self.timeout)
+            except TransportError as error:
+                # A timed-out reply withdrew its own request_id (the
+                # abandon hook), so a retry can resubmit the same envelope.
+                last_error = error
         raise TransportError(
             f"request to {self.address} failed after reconnect: {last_error}"
         ) from last_error
@@ -198,7 +613,7 @@ class SocketTransport(Transport):
         deadline = time.monotonic() + timeout
         while True:
             try:
-                self._ensure_connected()
+                self._get_connection()
                 return
             except TransportError:
                 if time.monotonic() >= deadline:
@@ -206,4 +621,9 @@ class SocketTransport(Transport):
                 time.sleep(poll_interval)
 
     def close(self) -> None:
-        self._drop()
+        with self._pool_cond:
+            self._closed = True
+            connections, self._connections = self._connections, []
+            self._pool_cond.notify_all()  # wake callers waiting on a dial
+        for conn in connections:
+            conn.close()

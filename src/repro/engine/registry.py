@@ -167,6 +167,26 @@ class Engine:
             out=out,
         )
 
+    def run_many(
+        self,
+        groups,
+        workspace=None,
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Run many independent ``(rows, segment_starts, anchor_isd)`` groups.
+
+        Backends that can amortize per-call overhead across the list (the
+        ``remote`` backend ships one ``execute_bulk`` frame instead of one
+        frame per group) override ``run_many``; everything else falls back
+        to looping :meth:`run`.
+        """
+        bulk = getattr(self.backend, "run_many", None)
+        if bulk is not None:
+            return bulk(self.plan, groups)
+        return [
+            self.run(rows, segment_starts, anchor_isd, workspace=workspace)
+            for rows, segment_starts, anchor_isd in groups
+        ]
+
     def path_flags(self) -> Tuple[bool, bool]:
         """``(was_predicted, was_subsampled)`` of executions of this engine."""
         return self.plan.path_flags()

@@ -672,19 +672,22 @@ def run_api_roundtrip(
     dataset: str = "default",
     loader=None,
 ) -> ExperimentResult:
-    """Transport parity of the public API: in-process vs socket vs direct.
+    """Transport parity of the public API: every wire path vs direct.
 
     Every consumer enters the system through
-    :class:`~repro.api.client.NormClient`; this experiment proves the two
-    transports are interchangeable by running the same payloads through
+    :class:`~repro.api.client.NormClient`; this experiment proves the
+    transports and framings are interchangeable by running the same
+    payloads through
 
     * the service directly (the golden path),
-    * ``NormClient`` over :class:`InProcessTransport`, and
+    * ``NormClient`` over :class:`InProcessTransport`,
     * ``NormClient`` over :class:`SocketTransport` against a live
-      :class:`~repro.api.server.NormServer`,
+      :class:`~repro.api.server.NormServer` -- lock-step (depth 1),
+      pipelined (depth 8, many requests in flight on one connection), and
+      bulk (all payloads in one ``normalize_bulk`` frame),
 
-    and reporting per-transport wall clock plus the exact maximum deviation
-    from the direct path (the contract demands 0 for both).
+    and reporting per-path wall clock plus the exact maximum deviation
+    from the direct path (the contract demands 0 for all of them).
     """
     import time as _time
 
@@ -735,36 +738,53 @@ def run_api_roundtrip(
         in_process = _run_client(client)
     in_process_seconds = _time.perf_counter() - start
 
+    shared = dict(layer_index=layer_index, dataset=dataset, backend=backend)
+    outputs = {}
+    timings = {"direct": direct_seconds, "in-process": in_process_seconds}
     with NormalizationService(registry=registry) as service:
         with NormServer(service) as server:
-            start = _time.perf_counter()
+            # Time only the request span on every socket path (connect +
+            # hello handshake excluded), so the rows compare like for like.
             with NormClient.connect(server.host, server.port) as client:
-                over_socket = _run_client(client)
-            socket_seconds = _time.perf_counter() - start
+                client.wait_until_ready()
+                start = _time.perf_counter()
+                outputs["socket"] = _run_client(client)
+                timings["socket"] = _time.perf_counter() - start
 
-    def _deviation(outputs) -> float:
+            with NormClient.connect(server.host, server.port) as client:
+                client.wait_until_ready()
+                start = _time.perf_counter()
+                outputs["socket-pipelined"] = [
+                    result.output
+                    for result in client.normalize_many(
+                        payloads, model_name, depth=8, **shared
+                    )
+                ]
+                timings["socket-pipelined"] = _time.perf_counter() - start
+
+                start = _time.perf_counter()
+                outputs["socket-bulk"] = [
+                    result.output
+                    for result in client.normalize_bulk(payloads, model_name, **shared)
+                ]
+                timings["socket-bulk"] = _time.perf_counter() - start
+
+    def _deviation(results) -> float:
         return max(
             float(np.max(np.abs(out - ref))) if out.size else 0.0
-            for out, ref in zip(outputs, golden)
+            for out, ref in zip(results, golden)
         )
 
-    deviations = {
-        "direct": 0.0,
-        "in-process": _deviation(in_process),
-        "socket": _deviation(over_socket),
-    }
-    timings = {
-        "direct": direct_seconds,
-        "in-process": in_process_seconds,
-        "socket": socket_seconds,
-    }
+    deviations = {"direct": 0.0, "in-process": _deviation(in_process)}
+    deviations.update({name: _deviation(results) for name, results in outputs.items()})
+    order = ("direct", "in-process", "socket", "socket-pipelined", "socket-bulk")
     result = ExperimentResult(
         experiment_id="api",
         title=f"Public API transport parity ({model_name}, backend {backend})",
         headers=["transport", "requests", "wall (ms)", "max |d| vs direct"],
         rows=[
             [name, requests, f"{timings[name] * 1e3:.1f}", f"{deviations[name]:.1e}"]
-            for name in ("direct", "in-process", "socket")
+            for name in order
         ],
         metadata={"deviations": deviations, "timings": timings, "backend": backend},
     )

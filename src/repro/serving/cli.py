@@ -75,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the wire protocol on this address instead of firing "
         "synthetic traffic (stop with SIGINT/SIGTERM)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="request-handling worker threads in --listen mode (the "
+        "server-side pipelining depth across all connections)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="per-connection bound on pipelined requests being handled "
+        "concurrently in --listen mode (excess becomes TCP backpressure)",
+    )
     parser.add_argument("--max-batch-size", type=int, default=32, help="micro-batch size trigger")
     parser.add_argument(
         "--max-wait-ms", type=float, default=2.0, help="micro-batch latency trigger (ms)"
@@ -99,6 +113,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.requests < 1 or args.rows < 1:
         parser.error("--requests and --rows must be positive")
+    if args.workers < 1 or args.max_inflight < 1:
+        parser.error("--workers and --max-inflight must be positive")
     try:
         # The registry owns the "unknown backend" message (it lists the
         # registered names); validate up front for a clean exit code.
@@ -240,7 +256,13 @@ def _serve_forever(
     service = NormalizationService(registry=registry, config=config)
     try:
         try:
-            server = NormServer(service, host=host, port=port)
+            server = NormServer(
+                service,
+                host=host,
+                port=port,
+                workers=args.workers,
+                max_inflight=args.max_inflight,
+            )
         except OSError as error:
             print(f"haan-serve: cannot bind {args.listen}: {error}", file=sys.stderr)
             return 2
@@ -248,7 +270,8 @@ def _serve_forever(
             print(
                 f"haan-serve: listening on {server.host}:{server.port} "
                 f"(model {args.model!r}, dataset {args.dataset!r}; "
-                f"stop with SIGINT/SIGTERM)",
+                f"{args.workers} workers, {args.max_inflight} in-flight "
+                f"per connection; stop with SIGINT/SIGTERM)",
                 flush=True,
             )
             while not stop.wait(0.2):

@@ -231,6 +231,27 @@ class ServingTelemetry:
         self.max_batch_size = 0
         self._first_at: Optional[float] = None
         self._last_at: Optional[float] = None
+        #: External snapshot sections (name -> provider), e.g. the wire
+        #: server's pipelining gauges.  Providers run outside the lock.
+        self._sections: Dict[str, Callable[[], Dict[str, object]]] = {}
+
+    def attach_section(
+        self, name: str, provider: Callable[[], Dict[str, object]]
+    ) -> None:
+        """Merge ``provider()`` into every snapshot under key ``name``.
+
+        Lets the transport layer (e.g. :class:`~repro.api.server.NormServer`)
+        surface its pipelining/pool gauges next to the serving metrics
+        without the telemetry module knowing about sockets.  Re-attaching a
+        name replaces the provider (a restarted server re-registers).
+        """
+        if name in ("requests_total", "rows_total"):  # guard core keys
+            raise ValueError(f"section name {name!r} collides with a core metric")
+        self._sections[name] = provider
+
+    def detach_section(self, name: str) -> None:
+        """Remove an attached section (missing names are ignored)."""
+        self._sections.pop(name, None)
 
     # -- recording ---------------------------------------------------------
 
@@ -333,8 +354,11 @@ class ServingTelemetry:
 
     def snapshot(self) -> Dict[str, object]:
         """All aggregates as one plain dictionary."""
+        # Section providers run outside the lock (a provider may itself
+        # take locks, e.g. the wire server's connection registry).
+        sections = {name: provider() for name, provider in self._sections.items()}
         with self._lock:
-            return {
+            sections.update({
                 "requests_total": self.requests_total.value,
                 "rows_total": self.rows_total.value,
                 "batches_total": self.batches_total.value,
@@ -362,7 +386,8 @@ class ServingTelemetry:
                 "batch_latency": self.batch_latency.snapshot(),
                 "recent_queue_wait": self.recent_queue_wait.snapshot(),
                 "recent_batch_latency": self.recent_batch_latency.snapshot(),
-            }
+            })
+            return sections
 
     def format_table(self) -> str:
         """Aligned plain-text rendering (the ``haan-serve`` summary)."""
@@ -389,6 +414,23 @@ class ServingTelemetry:
                     f"backend[{name}]",
                     f"{counts['requests']} req / {counts['rows']} rows / "
                     f"{counts['batches']} batches",
+                ]
+            )
+        wire = snap.get("wire")
+        if isinstance(wire, dict) and wire.get("frames_received"):
+            rows.append(
+                [
+                    "wire pipelining",
+                    f"{wire['frames_received']} frames / "
+                    f"{wire['connections_total']} conns / "
+                    f"peak inflight {wire['peak_inflight']}",
+                ]
+            )
+            rows.append(
+                [
+                    "wire pool",
+                    f"{wire['workers']} workers / "
+                    f"max inflight {wire['max_inflight']} per conn",
                 ]
             )
         cost = snap["modelled_cost"]

@@ -404,10 +404,109 @@ class TestSocketTransport:
     def test_oversized_frame_rejected_client_side(self, live_server, rng):
         from repro.api.transport import SocketTransport
 
-        transport = SocketTransport(live_server.host, live_server.port, max_frame_bytes=128)
+        # negotiate=False: the hello exchange itself would trip the tiny
+        # frame limit before the request under test is ever encoded.
+        transport = SocketTransport(
+            live_server.host, live_server.port, max_frame_bytes=128, negotiate=False
+        )
         with NormClient(transport) as client:
             with pytest.raises(PayloadTooLargeError):
                 client.normalize(_rows(rng), "tiny")
+
+
+class TestBulkAndStreamOps:
+    """The v2 envelopes through the shared handler (in-process transport)."""
+
+    def test_normalize_bulk_matches_direct_service_calls(self, registry, rng):
+        payloads = [_rows(rng, n) for n in (1, 4, 2)]
+        with NormalizationService(registry=registry, threaded=False) as direct:
+            golden = [direct.normalize(p, "tiny") for p in payloads]
+        with NormClient.in_process(registry=registry) as client:
+            results = client.normalize_bulk(payloads, "tiny")
+        for result, reference in zip(results, golden):
+            assert np.array_equal(result.output, reference.output)
+            assert np.array_equal(result.isd, reference.isd)
+
+    def test_normalize_bulk_fills_one_micro_batch(self, registry, rng):
+        # equal-size payloads share a size bucket: one bulk frame becomes
+        # exactly one micro-batch (no cross-client coalescing needed)
+        payloads = [_rows(rng, 2) for _ in range(3)]
+        with NormClient.in_process(registry=registry) as client:
+            results = client.normalize_bulk(payloads, "tiny")
+        assert all(result.batch_size == len(payloads) for result in results)
+
+    def test_stream_yields_chunk_order_and_matches_direct(self, registry, rng):
+        chunks = [_rows(rng, 2) for _ in range(5)]
+        artifact = registry.get("tiny", "default")
+        golden = [artifact.layer(0).engine_for("reference").run(c)[0] for c in chunks]
+        with NormClient.in_process(registry=registry) as client:
+            results = list(client.stream(chunks, "tiny", depth=2))
+        assert len(results) == len(chunks)
+        for result, reference in zip(results, golden):
+            assert np.array_equal(result.output, reference)
+
+    def test_stream_marks_the_last_chunk_final(self, registry, rng):
+        recorded = []
+
+        class RecordingTransport(InProcessTransport):
+            def submit(self, payload):
+                recorded.append(payload)
+                return super().submit(payload)
+
+        chunks = (chunk for chunk in [_rows(rng, 1) for _ in range(4)])  # generator
+        with NormClient(RecordingTransport(registry=registry)) as client:
+            results = list(client.stream(chunks, "tiny", depth=2))
+        assert len(results) == 4
+        assert [payload["final"] for payload in recorded] == [False, False, False, True]
+        assert [payload["seq"] for payload in recorded] == [0, 1, 2, 3]
+        assert len({payload["stream_id"] for payload in recorded}) == 1
+
+    def test_submit_normalize_returns_completed_pending(self, registry, rng):
+        payload = _rows(rng)
+        with NormClient.in_process(registry=registry) as client:
+            pending = client.submit_normalize(payload, "tiny")
+            assert pending.done()  # in-process: completes synchronously
+            result = pending.result()
+        assert result.output.shape == payload.shape
+
+    def test_normalize_many_depth_over_in_process(self, registry, rng):
+        payloads = [_rows(rng, 2) for _ in range(5)]
+        with NormClient.in_process(registry=registry) as client:
+            lockstep = client.normalize_many(payloads, "tiny", depth=1)
+            pipelined = client.normalize_many(payloads, "tiny", depth=3)
+        for a, b in zip(lockstep, pipelined):
+            assert np.array_equal(a.output, b.output)
+        with pytest.raises(ValueError, match="depth"):
+            client.normalize_many(payloads, "tiny", depth=0)
+
+    def test_empty_bulk_rejected(self, registry):
+        with NormClient.in_process(registry=registry) as client:
+            with pytest.raises(BadSchemaError, match="at least one tensor"):
+                client.normalize_bulk([], "tiny")
+
+    def test_bulk_total_size_capped(self, registry, rng):
+        transport = InProcessTransport(registry=registry, max_payload_elements=300)
+        with NormClient(transport) as client:
+            # each tensor fits, the sum does not
+            with pytest.raises(PayloadTooLargeError, match="across"):
+                client.normalize_bulk([_rows(rng, 4)] * 2, "tiny")
+
+    def test_bulk_width_mismatch_is_bad_schema(self, registry, rng):
+        with NormClient.in_process(registry=registry) as client:
+            with pytest.raises(BadSchemaError, match="hidden"):
+                client.normalize_bulk([rng.normal(size=(2, HIDDEN + 3))], "tiny")
+
+
+class TestLazyPackageExports:
+    def test_public_names_resolve_and_cache(self):
+        import repro.api as api
+
+        assert api.NormClient is NormClient
+        assert api.SCHEMA_VERSION == SCHEMA_VERSION
+        assert "NormalizeBulkRequest" in dir(api)
+        assert api.FrameDecoder is not None
+        with pytest.raises(AttributeError):
+            api.NoSuchExport
 
 
 # ---------------------------------------------------------------------------
@@ -465,6 +564,35 @@ class TestRemoteBackend:
                     assert np.array_equal(remote_part, local_part)
             finally:
                 remote.backend.close()
+
+    def test_run_many_ships_one_bulk_frame(self, live_server, rng):
+        """Engine.run_many over the remote backend == looped reference runs."""
+        computed, skipped, gamma, beta = self._specs(rng)
+        groups = [
+            (rng.normal(size=(3, HIDDEN)), None, None),
+            (rng.normal(size=(6, HIDDEN)), np.array([0, 2, 5]), None),
+        ]
+        anchor = np.array([1.0, np.nan, 0.5, 2.0, 0.7, 1.1])
+        skipped_groups = [(rows, starts, anchor[: rows.shape[0]]) for rows, starts, _ in groups]
+        for spec, spec_groups in ((computed, groups), (skipped, skipped_groups)):
+            remote = build(
+                spec, backend="remote", address=live_server.address, gamma=gamma, beta=beta
+            )
+            local = build(spec, backend="reference", gamma=gamma, beta=beta)
+            # frames_received is exact here: every already-answered frame
+            # was counted before its response was sent (requests_served
+            # lags -- workers increment it after the send).
+            before = live_server.wire_snapshot()["frames_received"]
+            try:
+                got = remote.run_many(spec_groups)
+            finally:
+                remote.backend.close()
+            # one execute_bulk frame (+1 for the connect-time hello)
+            assert live_server.wire_snapshot()["frames_received"] == before + 2
+            expected = local.run_many(spec_groups)
+            for got_parts, expected_parts in zip(got, expected):
+                for got_part, expected_part in zip(got_parts, expected_parts):
+                    assert np.array_equal(got_part, expected_part)
 
     def test_out_buffer_honored(self, live_server, rng):
         computed, _, gamma, beta = self._specs(rng)
@@ -643,9 +771,59 @@ class TestApiExperiment:
         result = run_experiment(
             "api", requests=2, rows_per_request=2, loader=_instant_loader
         )
-        assert result.metadata["deviations"]["in-process"] == 0.0
-        assert result.metadata["deviations"]["socket"] == 0.0
-        assert {row[0] for row in result.rows} == {"direct", "in-process", "socket"}
+        for name in ("in-process", "socket", "socket-pipelined", "socket-bulk"):
+            assert result.metadata["deviations"][name] == 0.0
+        assert {row[0] for row in result.rows} == {
+            "direct",
+            "in-process",
+            "socket",
+            "socket-pipelined",
+            "socket-bulk",
+        }
+
+
+class TestClientCli:
+    """haan-client round trips against a live server, per traffic shape."""
+
+    def _run(self, live_server, *extra):
+        from repro.api.cli import main
+
+        return main(["--connect", live_server.address, "--model", "tiny", *extra])
+
+    def test_lockstep_pipelined_and_bulk_with_golden_check(self, live_server, capsys):
+        for shape in ([], ["--depth", "4", "--pool", "2"], ["--bulk"]):
+            code = self._run(
+                live_server, "--requests", "6", *shape, "--golden-check"
+            )
+            captured = capsys.readouterr()
+            assert code == 0, captured.err
+            assert "golden check: 6 response(s) bit-identical" in captured.out
+
+    def test_spec_and_telemetry_modes(self, live_server, capsys):
+        assert self._run(live_server, "--spec") == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["hidden_size"] == HIDDEN
+        assert self._run(live_server, "--telemetry") == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "wire" in snapshot["telemetry"]
+
+    def test_input_payload_file(self, live_server, tmp_path, capsys):
+        payload_file = tmp_path / "payload.json"
+        payload_file.write_text(json.dumps(np.ones((2, HIDDEN)).tolist()))
+        assert self._run(live_server, "--input", str(payload_file)) == 0
+        assert "2 row(s) normalized" in capsys.readouterr().out
+
+    def test_unknown_backend_exits_nonzero(self, live_server, capsys):
+        assert self._run(live_server, "--backend", "abacus") == 1
+        assert "unknown_backend" in capsys.readouterr().err
+
+    def test_bad_arguments_rejected(self, live_server):
+        from repro.api.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--connect", "no-port-here"])
+        with pytest.raises(SystemExit):
+            main(["--connect", live_server.address, "--depth", "0"])
 
 
 class TestServerLifecycle:
@@ -682,4 +860,11 @@ class TestServerLifecycle:
         with NormClient.connect(live_server.host, live_server.port) as client:
             client.ping()
             client.normalize(_rows(rng), "tiny")
-        assert live_server.requests_served == before + 2
+        # +3: the connect-time hello handshake is itself a served request.
+        # Workers increment the counter *after* sending the response, so
+        # the last bump can land marginally after the client returns.
+        deadline = time.monotonic() + 5.0
+        while live_server.requests_served < before + 3:
+            assert time.monotonic() < deadline, live_server.requests_served
+            time.sleep(0.01)
+        assert live_server.requests_served == before + 3
