@@ -63,6 +63,7 @@ _EXPORTS = {
     "UnknownModelError": "envelopes",
     "PayloadTooLargeError": "envelopes",
     "TransportError": "envelopes",
+    "NoHealthyReplicaError": "envelopes",
     "negotiate_version": "envelopes",
     "parse_request": "envelopes",
     "parse_response": "envelopes",
@@ -73,6 +74,9 @@ _EXPORTS = {
     "InProcessTransport": "transport",
     "SocketTransport": "transport",
     "PendingReply": "transport",
+    "register_transport": "transport",
+    "available_transports": "transport",
+    "create_transport": "transport",
     "NormClient": "client",
     "ClientNormResult": "client",
     "PendingNormResult": "client",

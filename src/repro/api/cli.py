@@ -5,6 +5,7 @@ The command-line counterpart of ``haan-serve --listen``::
     haan-client --connect 127.0.0.1:8471 --model tiny --requests 2
     haan-client --connect 127.0.0.1:8471 --model tiny --requests 32 --depth 8
     haan-client --connect 127.0.0.1:8471 --model tiny --requests 32 --bulk
+    haan-client --connect 127.0.0.1:8471,127.0.0.1:8472 --requests 32 --bulk
     haan-client --connect 127.0.0.1:8471 --model tiny --backend simulated \\
         --accelerator haan-v2
     haan-client --connect 127.0.0.1:8471 --model tiny --input payload.json
@@ -42,8 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--connect",
         required=True,
-        metavar="HOST:PORT",
-        help="server address (the one haan-serve --listen printed)",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="server address (the one haan-serve --listen printed); a "
+        "comma-separated list routes through the fleet transport "
+        "(consistent-hash + health-gated failover across the replicas)",
     )
     parser.add_argument("--model", default="tiny", help="model name to normalize against")
     parser.add_argument("--dataset", default="default", help="calibration dataset key")
@@ -157,15 +160,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--requests and --rows must be positive")
     if args.depth < 1 or args.pool < 1:
         parser.error("--depth and --pool must be positive")
+    addresses = [part.strip() for part in args.connect.split(",") if part.strip()]
+    if not addresses:
+        parser.error("--connect needs at least one HOST:PORT")
     try:
-        host, port = parse_address(args.connect)
+        for address in addresses:
+            parse_address(address)
     except ValueError as error:
         parser.error(str(error))
 
     try:
-        with NormClient.connect(
-            host, port, pool_size=args.pool, timeout=args.timeout
-        ) as client:
+        if len(addresses) > 1:
+            client = NormClient.connect_fleet(
+                addresses, pool_size=args.pool, timeout=args.timeout
+            )
+        else:
+            host, port = parse_address(addresses[0])
+            client = NormClient.connect(
+                host, port, pool_size=args.pool, timeout=args.timeout
+            )
+        with client:
             client.wait_until_ready(timeout=args.wait_seconds)
             return _run(client, args)
     except ApiError as error:

@@ -138,6 +138,21 @@ class NormClient:
         """
         return cls(SocketTransport(host, port, pool_size=pool_size, **kwargs))
 
+    @classmethod
+    def connect_fleet(cls, addresses, **kwargs) -> "NormClient":
+        """Client over a **fleet** of :class:`NormServer` replicas.
+
+        ``addresses`` is a sequence of ``host:port`` strings; requests
+        route by consistent hash with health-gated failover, hedged
+        retries and scatter-gather bulk dispatch
+        (:class:`~repro.fleet.transport.FleetTransport`), bit-identically
+        to a single server.  All keyword arguments forward to the fleet
+        transport.
+        """
+        from repro.fleet.transport import FleetTransport
+
+        return cls(FleetTransport(addresses, **kwargs))
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:

@@ -19,8 +19,8 @@ the op-specific payload.  This module owns that schema:
   v1 envelopes,
 * :class:`ErrorResponse` plus the :class:`ApiError` taxonomy (bad schema,
   schema-version mismatch, unknown backend, unknown model, payload too
-  large, transport failure), so client code catches one exception family
-  regardless of where a request died.
+  large, transport failure, no healthy fleet replica), so client code
+  catches one exception family regardless of where a request died.
 
 The module is a leaf on purpose: it imports only the standard library and
 numpy, so the engine's ``remote`` backend and the serving runtime can both
@@ -147,9 +147,30 @@ class PayloadTooLargeError(ApiError):
 
 
 class TransportError(ApiError):
-    """The transport failed before a response envelope arrived."""
+    """The transport failed before a response envelope arrived.
+
+    ``address`` carries the ``host:port`` of the connection that failed
+    when the raiser knows it -- fleet-level dispatch uses it to attribute
+    the failure to one replica (and debugging output names the culprit
+    instead of a faceless pool).
+    """
 
     code = "transport"
+
+    def __init__(self, message: str = "", address: Optional[str] = None):
+        super().__init__(message)
+        self.address = address
+
+
+class NoHealthyReplicaError(TransportError):
+    """Every fleet replica was ejected (or down): the request fails closed.
+
+    Raised client-side by the fleet dispatch layer, never by a server --
+    a single server that is reachable answers, and one that is not fails
+    with a plain :class:`TransportError` naming its address.
+    """
+
+    code = "no_healthy_replica"
 
 
 #: Wire error code -> exception class (for decoding error responses).
@@ -163,6 +184,7 @@ ERROR_CLASSES: Dict[str, Type[ApiError]] = {
         UnknownModelError,
         PayloadTooLargeError,
         TransportError,
+        NoHealthyReplicaError,
     )
 }
 

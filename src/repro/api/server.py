@@ -28,7 +28,7 @@ from __future__ import annotations
 import socket
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.api.envelopes import ApiError, ErrorResponse
 from repro.api.framing import MAX_FRAME_BYTES, FrameDecoder, send_frame
@@ -46,15 +46,33 @@ def parse_address(address: str) -> Tuple[str, int]:
 class _Connection:
     """Per-connection pipelining state: send lock + in-flight bound."""
 
-    __slots__ = ("sock", "send_lock", "inflight", "inflight_count", "closed")
+    __slots__ = (
+        "sock",
+        "conn_id",
+        "send_lock",
+        "inflight",
+        "inflight_count",
+        "peak_inflight",
+        "frames",
+        "backpressure_waits",
+        "closed",
+    )
 
-    def __init__(self, sock: socket.socket, max_inflight: int):
+    def __init__(self, sock: socket.socket, max_inflight: int, conn_id: int):
         self.sock = sock
+        #: Stable per-server ordinal (1-based connection counter), so the
+        #: telemetry's per-connection rows stay identifiable across snapshots.
+        self.conn_id = conn_id
         self.send_lock = threading.Lock()
         #: Reader blocks acquiring once ``max_inflight`` requests are being
         #: handled -- backpressure instead of unbounded buffering.
         self.inflight = threading.BoundedSemaphore(max_inflight)
         self.inflight_count = 0
+        self.peak_inflight = 0
+        self.frames = 0
+        #: Times the reader found the in-flight bound exhausted and had to
+        #: block -- each one is a stall that became TCP backpressure.
+        self.backpressure_waits = 0
         #: Set (and the fd closed) under ``send_lock``: a worker checking it
         #: under the same lock can never write into a reused fd number.
         self.closed = False
@@ -108,7 +126,7 @@ class NormServer:
         self._listener.listen(64)
         self.host, self.port = self._listener.getsockname()[:2]
         self._lock = threading.Lock()
-        self._connections: Set[socket.socket] = set()
+        self._connections: Dict[socket.socket, _Connection] = {}
         self._threads: list = []
         self._accept_thread: Optional[threading.Thread] = None
         self._pool = ThreadPoolExecutor(
@@ -120,6 +138,7 @@ class NormServer:
         self.connections_total = 0
         self.frames_received = 0
         self.peak_inflight = 0
+        self.backpressure_waits = 0
         # Surface the wire gauges in the service's telemetry snapshot (and
         # therefore in the `telemetry` op and the haan-serve summary).
         attach = getattr(service.telemetry, "attach_section", None)
@@ -203,17 +222,38 @@ class NormServer:
 
     # -- telemetry -----------------------------------------------------------
 
-    def wire_snapshot(self) -> Dict[str, int]:
-        """Pipelining/wire gauges for the telemetry snapshot."""
+    def wire_snapshot(self) -> Dict[str, object]:
+        """Pipelining/wire gauges for the telemetry snapshot.
+
+        A **stable** section: the scalar keys of PR 5 keep their names, and
+        the per-connection in-flight/backpressure gauges ride along under
+        ``per_connection`` (one row per live connection, in accept order)
+        plus the ``inflight_current`` / ``backpressure_waits`` aggregates --
+        consumed by the ``haan-serve`` summary and the per-replica fleet
+        table alike.
+        """
         with self._lock:
+            live = sorted(self._connections.values(), key=lambda c: c.conn_id)
             return {
                 "connections_total": self.connections_total,
-                "connections_active": len(self._connections),
+                "connections_active": len(live),
                 "frames_received": self.frames_received,
                 "requests_served": self.requests_served,
                 "peak_inflight": self.peak_inflight,
+                "inflight_current": sum(c.inflight_count for c in live),
+                "backpressure_waits": self.backpressure_waits,
                 "workers": self.workers,
                 "max_inflight": self.max_inflight,
+                "per_connection": [
+                    {
+                        "id": c.conn_id,
+                        "inflight": c.inflight_count,
+                        "peak_inflight": c.peak_inflight,
+                        "frames": c.frames,
+                        "backpressure_waits": c.backpressure_waits,
+                    }
+                    for c in live
+                ],
             }
 
     # -- connection handling -------------------------------------------------
@@ -233,23 +273,24 @@ class NormServer:
                 if self._closing:
                     conn.close()
                     return
-                self._connections.add(conn)
                 self.connections_total += 1
+                connection = _Connection(conn, self.max_inflight, self.connections_total)
+                self._connections[conn] = connection
                 # Prune finished connection threads so a long-lived server
                 # handling many short-lived clients does not accumulate one
                 # dead Thread object per past connection.
                 self._threads = [t for t in self._threads if t.is_alive()]
                 thread = threading.Thread(
                     target=self._serve_connection,
-                    args=(conn,),
+                    args=(connection,),
                     name="haan-norm-server-conn",
                     daemon=True,
                 )
                 self._threads.append(thread)
             thread.start()
 
-    def _serve_connection(self, sock: socket.socket) -> None:
-        connection = _Connection(sock, self.max_inflight)
+    def _serve_connection(self, connection: _Connection) -> None:
+        sock = connection.sock
         decoder = FrameDecoder(self.max_frame_bytes)
         try:
             while True:
@@ -268,10 +309,19 @@ class NormServer:
                     return
                 for payload in frames:
                     # Blocks at max_inflight: backpressure, not buffering.
-                    connection.inflight.acquire()
+                    # The failed fast-path acquire is counted -- each miss
+                    # is a reader stall the client felt as TCP backpressure.
+                    if not connection.inflight.acquire(blocking=False):
+                        with self._lock:
+                            connection.backpressure_waits += 1
+                            self.backpressure_waits += 1
+                        connection.inflight.acquire()
                     with self._lock:
                         self.frames_received += 1
+                        connection.frames += 1
                         connection.inflight_count += 1
+                        if connection.inflight_count > connection.peak_inflight:
+                            connection.peak_inflight = connection.inflight_count
                         if connection.inflight_count > self.peak_inflight:
                             self.peak_inflight = connection.inflight_count
                         if self._closing:
@@ -285,7 +335,7 @@ class NormServer:
                         return
         finally:
             with self._lock:
-                self._connections.discard(sock)
+                self._connections.pop(sock, None)
             # Close under the send lock with the flag flipped first: pooled
             # workers still holding this connection re-check ``closed``
             # under the same lock before writing, so a worker can never

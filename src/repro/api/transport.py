@@ -80,6 +80,25 @@ class PendingReply:
         """Whether a response (or failure) has arrived."""
         return self._event.is_set()
 
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block up to ``timeout`` for completion; returns :meth:`done`.
+
+        Unlike :meth:`result`, a timeout here has **no** side effect: the
+        request stays registered and may still complete.  Hedged dispatch
+        uses this to watch a straggler without abandoning it.
+        """
+        return self._event.wait(timeout)
+
+    def abandon(self) -> None:
+        """Withdraw the request registration (drop a hedged loser).
+
+        The server may still answer; the connection's demultiplexer drops
+        the orphaned response.  Idempotent, and a no-op for transports
+        without a registration to withdraw.
+        """
+        if self._on_abandon is not None:
+            self._on_abandon()
+
     def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Block until the response envelope arrives; failures re-raise."""
         if not self._event.wait(timeout):
@@ -192,11 +211,15 @@ class _PoolConnection:
         max_frame_bytes: int,
         send_timeout: Optional[float] = None,
     ):
+        #: ``host:port`` this connection dials; every failure this
+        #: connection raises carries it (message and structured attribute)
+        #: so fleet-level dispatch can attribute the failure to one replica.
+        self.address = f"{host}:{port}"
         try:
             sock = socket.create_connection((host, port), timeout=connect_timeout)
         except OSError as error:
             raise TransportError(
-                f"cannot connect to {host}:{port}: {error}"
+                f"cannot connect to {self.address}: {error}", address=self.address
             ) from error
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # The receiver thread owns reads and must tolerate idle periods;
@@ -254,7 +277,12 @@ class _PoolConnection:
             self.sock.close()
         except OSError:
             pass
-        self._fail_pending(error or TransportError("connection closed"))
+        self._fail_pending(
+            error
+            or TransportError(
+                f"connection to {self.address} closed", address=self.address
+            )
+        )
 
     def _fail_pending(self, error: BaseException) -> None:
         with self._pending_lock:
@@ -275,7 +303,9 @@ class _PoolConnection:
         reply._on_abandon = lambda: self._discard(request_id)
         with self._pending_lock:
             if self._dead:
-                raise TransportError("connection is closed")
+                raise TransportError(
+                    f"connection to {self.address} is closed", address=self.address
+                )
             if request_id in self._pending:
                 raise TransportError(
                     f"request_id {request_id} is already in flight on this connection"
@@ -291,8 +321,9 @@ class _PoolConnection:
             raise
         except OSError as error:
             self._discard(request_id)
-            self.close(TransportError(f"send failed: {error}"))
-            raise TransportError(f"send failed: {error}") from error
+            message = f"send to {self.address} failed: {error}"
+            self.close(TransportError(message, address=self.address))
+            raise TransportError(message, address=self.address) from error
         return reply
 
     def _discard(self, request_id: int) -> None:
@@ -307,10 +338,10 @@ class _PoolConnection:
             try:
                 data = self.sock.recv(65536)
             except OSError as error:
-                self._on_disconnect(f"connection lost: {error}")
+                self._on_disconnect(f"connection to {self.address} lost: {error}")
                 return
             if not data:
-                self._on_disconnect("server closed the connection")
+                self._on_disconnect(f"server {self.address} closed the connection")
                 return
             try:
                 frames = decoder.feed(data)
@@ -326,7 +357,7 @@ class _PoolConnection:
         self._dead = True
         in_flight = self.in_flight
         suffix = f" with {in_flight} request(s) in flight" if in_flight else ""
-        self._fail_pending(TransportError(message + suffix))
+        self._fail_pending(TransportError(message + suffix, address=self.address))
 
     def _route(self, envelope: Dict[str, Any]) -> None:
         request_id = envelope.get("request_id")
@@ -581,7 +612,8 @@ class SocketTransport(Transport):
             except ApiError:
                 raise  # protocol-level (frame too large): not retryable
         raise TransportError(
-            f"request to {self.address} failed after reconnect: {last_error}"
+            f"request to {self.address} failed after reconnect: {last_error}",
+            address=self.address,
         ) from last_error
 
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -605,7 +637,8 @@ class SocketTransport(Transport):
                 # abandon hook), so a retry can resubmit the same envelope.
                 last_error = error
         raise TransportError(
-            f"request to {self.address} failed after reconnect: {last_error}"
+            f"request to {self.address} failed after reconnect: {last_error}",
+            address=self.address,
         ) from last_error
 
     def wait_until_ready(self, timeout: float = 10.0, poll_interval: float = 0.1) -> None:
@@ -627,3 +660,52 @@ class SocketTransport(Transport):
             self._pool_cond.notify_all()  # wake callers waiting on a dial
         for conn in connections:
             conn.close()
+
+
+# ---------------------------------------------------------------------------
+# transport registry
+# ---------------------------------------------------------------------------
+
+#: Transport name -> factory.  A factory takes the keyword arguments of its
+#: transport class and returns a ready :class:`Transport`.
+_TRANSPORT_FACTORIES: Dict[str, Any] = {}
+
+
+def register_transport(name: str, factory) -> None:
+    """Register a named transport factory (idempotent re-registration).
+
+    The registry lets configuration-driven callers (CLIs, supervisors)
+    select a transport by name -- ``in-process``, ``socket``, or ``fleet``
+    (registered by :mod:`repro.fleet.transport` on import) -- without
+    hard-coding constructor imports.
+    """
+    if not name:
+        raise ValueError("transport name must be non-empty")
+    _TRANSPORT_FACTORIES[name] = factory
+
+
+def available_transports() -> Tuple[str, ...]:
+    """Registered transport names, sorted."""
+    # The fleet transport registers itself on package import; make the
+    # listing complete even when nothing imported repro.fleet yet.
+    try:
+        import repro.fleet.transport  # noqa: F401
+    except ImportError:
+        pass
+    return tuple(sorted(_TRANSPORT_FACTORIES))
+
+
+def create_transport(name: str, **kwargs) -> Transport:
+    """Instantiate a registered transport by name."""
+    if name not in _TRANSPORT_FACTORIES and name == "fleet":
+        import repro.fleet.transport  # noqa: F401  (self-registers)
+    try:
+        factory = _TRANSPORT_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_transports()) or "(none)"
+        raise ValueError(f"unknown transport {name!r}; registered: {known}") from None
+    return factory(**kwargs)
+
+
+register_transport("in-process", InProcessTransport)
+register_transport("socket", SocketTransport)

@@ -119,7 +119,15 @@ class ExecutionPlan:
 
     def check_rows(self, rows: np.ndarray) -> np.ndarray:
         """Validate and coerce a stacked-rows operand to float64."""
-        arr = np.asarray(rows, dtype=np.float64)
+        arr = np.asarray(rows)
+        if arr.dtype.kind not in "fiub":
+            # float64 coercion of complex rows only *warns* while discarding
+            # the imaginary parts; refuse instead of corrupting silently.
+            raise ValueError(
+                f"rows dtype {arr.dtype} is not real-numeric "
+                "(float/int/bool); refusing lossy float64 coercion"
+            )
+        arr = np.asarray(arr, dtype=np.float64)
         if arr.ndim != 2 or arr.shape[1] != self.spec.hidden_size:
             raise ValueError(
                 f"forward_batched expects (rows, {self.spec.hidden_size}); got {arr.shape}"

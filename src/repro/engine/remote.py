@@ -110,6 +110,10 @@ class RemoteBackend(NormBackend):
         counterpart of :meth:`run` that amortizes the wire and compile cost
         over the whole list while staying bit-identical to local execution.
         """
+        if not groups:
+            # Match the local loop-over-run fallback: an empty batch is a
+            # no-op, not a zero-group wire frame for the server to reject.
+            return []
         checked = [
             (plan.check_rows(rows), segment_starts, anchor_isd)
             for rows, segment_starts, anchor_isd in groups

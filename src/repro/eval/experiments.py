@@ -791,6 +791,133 @@ def run_api_roundtrip(
     return result
 
 
+def run_fleet_parity(
+    model_name: str = "tiny",
+    layer_index: int = 0,
+    requests: int = 8,
+    rows_per_request: int = 2,
+    replicas: int = 2,
+    seed: int = 0,
+    backend: str = "vectorized",
+    dataset: str = "default",
+    loader=None,
+) -> ExperimentResult:
+    """Replica-fleet parity: every fleet dispatch path vs the direct service.
+
+    The fleet tier's contract is that N replicas behind
+    :class:`~repro.fleet.transport.FleetTransport` are indistinguishable --
+    bit-for-bit -- from one server.  This experiment runs the same payloads
+    through
+
+    * the service directly (the golden path),
+    * the fleet, pipelined (consistent-hash routing + hedged requests),
+    * the fleet, bulk (scatter-gather across the healthy shards),
+    * the fleet **degraded**: one replica closed mid-experiment, the same
+      traffic again (failover + breaker ejection),
+
+    and reports per-path wall clock plus the exact maximum deviation from
+    the direct path (the contract demands 0 everywhere, replica loss
+    included).
+    """
+    import time as _time
+
+    from repro.api.client import NormClient
+    from repro.api.server import NormServer
+    from repro.fleet.transport import FleetTransport
+    from repro.serving.registry import CalibrationRegistry
+    from repro.serving.service import NormalizationService
+
+    registry = CalibrationRegistry(loader=loader)
+    rng = np.random.default_rng(seed)
+    artifact = registry.get(model_name, dataset)
+    hidden = artifact.hidden_size
+    payloads = [
+        rng.normal(0.0, 1.0, size=(rows_per_request, hidden)) for _ in range(requests)
+    ]
+    shared = dict(layer_index=layer_index, dataset=dataset, backend=backend)
+
+    start = _time.perf_counter()
+    with NormalizationService(registry=registry, threaded=False) as service:
+        golden = [
+            service.normalize(payload, model_name, **shared).output
+            for payload in payloads
+        ]
+    timings = {"direct": _time.perf_counter() - start}
+    outputs = {}
+
+    services = [NormalizationService(registry=registry) for _ in range(replicas)]
+    servers = [NormServer(service) for service in services]
+    try:
+        for server in servers:
+            server.start()
+        addresses = [f"{server.host}:{server.port}" for server in servers]
+        with NormClient(FleetTransport(addresses)) as client:
+            client.wait_until_ready()
+            start = _time.perf_counter()
+            outputs["fleet-pipelined"] = [
+                result.output
+                for result in client.normalize_many(
+                    payloads, model_name, depth=8, **shared
+                )
+            ]
+            timings["fleet-pipelined"] = _time.perf_counter() - start
+
+            start = _time.perf_counter()
+            outputs["fleet-bulk"] = [
+                result.output
+                for result in client.normalize_bulk(payloads, model_name, **shared)
+            ]
+            timings["fleet-bulk"] = _time.perf_counter() - start
+
+            # Kill a replica (ungracefully, mid-session) and repeat: the
+            # surviving shards must absorb the traffic bit-identically.
+            if replicas > 1:
+                servers[0].close()
+                start = _time.perf_counter()
+                outputs["fleet-degraded"] = [
+                    result.output
+                    for result in client.normalize_many(
+                        payloads, model_name, depth=4, **shared
+                    )
+                ]
+                timings["fleet-degraded"] = _time.perf_counter() - start
+            fleet_stats = client.transport.stats()
+    finally:
+        for server in servers:
+            server.close()
+        for service in services:
+            service.close()
+
+    def _deviation(results) -> float:
+        return max(
+            float(np.max(np.abs(out - ref))) if out.size else 0.0
+            for out, ref in zip(results, golden)
+        )
+
+    deviations = {"direct": 0.0}
+    deviations.update({name: _deviation(results) for name, results in outputs.items()})
+    order = ["direct", "fleet-pipelined", "fleet-bulk"]
+    if "fleet-degraded" in outputs:
+        order.append("fleet-degraded")
+    return ExperimentResult(
+        experiment_id="fleet",
+        title=f"Replica-fleet parity ({model_name}, {replicas} replicas)",
+        headers=["path", "requests", "wall (ms)", "max |d| vs direct"],
+        rows=[
+            [name, requests, f"{timings[name] * 1e3:.1f}", f"{deviations[name]:.1e}"]
+            for name in order
+        ],
+        metadata={
+            "deviations": deviations,
+            "timings": timings,
+            "replicas": replicas,
+            "dispatch": {
+                key: value for key, value in fleet_stats.items() if key != "replicas"
+            },
+        },
+    )
+
+
 #: Registry of all experiments, keyed by experiment id.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig1b": run_fig1b,
@@ -807,6 +934,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "serving": run_serving_throughput,
     "engine": run_engine_backends,
     "api": run_api_roundtrip,
+    "fleet": run_fleet_parity,
 }
 
 

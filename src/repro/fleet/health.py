@@ -1,0 +1,204 @@
+"""Per-replica health: rolling outcome/latency windows + circuit breaker.
+
+Every replica gets one :class:`ReplicaHealth`.  The fleet transport records
+an outcome for each dispatch -- success with its latency, or a transport
+failure -- and the tracker runs a three-state circuit breaker over them:
+
+* **closed** -- healthy; the replica takes traffic.
+* **open** -- ejected after ``failure_threshold`` *consecutive* transport
+  failures; no traffic until ``cooldown`` seconds pass.
+* **half-open** -- cooldown elapsed: exactly **one** probe request is
+  admitted.  Success readmits (back to closed, streak reset); failure
+  re-opens with a fresh cooldown.
+
+Only transport-level failures count against a replica: an *error envelope*
+(unknown model, bad schema, ...) is a healthy server answering a bad
+request, and must not eject it.
+
+The latency window feeds the hedging policy: the router derives the hedge
+delay from a replica's rolling p99, so hedges fire only for genuine
+stragglers instead of doubling all traffic.
+
+The clock is injectable (``clock=time.monotonic`` by default) so breaker
+tests step time deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+import numpy as np
+
+#: Breaker states (plain strings: they travel in telemetry snapshots).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tunables of one replica's health tracking."""
+
+    #: Rolling outcome/latency window length (requests).
+    window: int = 128
+    #: Consecutive transport failures that open the breaker.
+    failure_threshold: int = 3
+    #: Seconds the breaker stays open before admitting a half-open probe.
+    cooldown: float = 2.0
+    #: Latency samples required before percentiles are considered known.
+    min_latency_samples: int = 8
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.min_latency_samples < 1:
+            raise ValueError("min_latency_samples must be at least 1")
+
+
+class ReplicaHealth:
+    """Health state of one replica (thread-safe)."""
+
+    def __init__(
+        self,
+        address: str,
+        config: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.address = address
+        self.config = config if config is not None else BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
+        self._latencies: Deque[float] = deque(maxlen=self.config.window)
+        self.successes = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    # -- state ---------------------------------------------------------------
+
+    def _refresh_locked(self) -> None:
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.config.cooldown
+        ):
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        """Current breaker state (cooldown expiry applied lazily)."""
+        with self._lock:
+            self._refresh_locked()
+            return self._state
+
+    def admit(self) -> bool:
+        """Whether a request may be dispatched **now** (stateful).
+
+        Closed admits freely.  Half-open admits exactly one caller -- the
+        probe slot is consumed here, so concurrent callers cannot stampede
+        a barely-recovered replica; the slot frees when the probe's outcome
+        is recorded (or another path records for this replica).
+        """
+        with self._lock:
+            self._refresh_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def peek(self) -> bool:
+        """Whether a request *could* be admitted now (no side effects).
+
+        The scatter planner uses this to choose shards without consuming
+        half-open probe slots for shards it may not pick.
+        """
+        with self._lock:
+            self._refresh_locked()
+            if self._state == CLOSED:
+                return True
+            return self._state == HALF_OPEN and not self._probe_inflight
+
+    # -- outcomes ------------------------------------------------------------
+
+    def record_success(self, latency: Optional[float] = None) -> None:
+        """A dispatch to this replica got a response envelope back."""
+        with self._lock:
+            self._outcomes.append(True)
+            self.successes += 1
+            self.consecutive_failures = 0
+            if latency is not None and latency >= 0:
+                self._latencies.append(latency)
+            # Readmission: a half-open probe succeeding (or any success
+            # racing the breaker) closes it and clears the probe slot.
+            self._state = CLOSED
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """A dispatch to this replica failed at the transport level."""
+        with self._lock:
+            self._refresh_locked()
+            self._outcomes.append(False)
+            self.failures += 1
+            self.consecutive_failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self.consecutive_failures >= self.config.failure_threshold
+            ):
+                # A failed probe re-opens immediately; a closed replica
+                # opens once the consecutive-failure threshold is crossed.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+
+    # -- derived -------------------------------------------------------------
+
+    def latency_percentile(self, percentile: float) -> Optional[float]:
+        """Rolling latency percentile, or None below ``min_latency_samples``."""
+        with self._lock:
+            if len(self._latencies) < self.config.min_latency_samples:
+                return None
+            return float(np.percentile(np.asarray(self._latencies), percentile))
+
+    def failure_rate(self) -> float:
+        """Failure fraction over the rolling outcome window (0 when empty)."""
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return 1.0 - (sum(self._outcomes) / len(self._outcomes))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Telemetry row of this replica."""
+        p50 = self.latency_percentile(50)
+        p99 = self.latency_percentile(99)
+        with self._lock:
+            self._refresh_locked()
+            return {
+                "address": self.address,
+                "state": self._state,
+                "successes": self.successes,
+                "failures": self.failures,
+                "consecutive_failures": self.consecutive_failures,
+                "window": len(self._outcomes),
+                "failure_rate": (
+                    1.0 - (sum(self._outcomes) / len(self._outcomes))
+                    if self._outcomes
+                    else 0.0
+                ),
+                "latency_p50": p50,
+                "latency_p99": p99,
+            }
+
+    def __repr__(self) -> str:
+        return f"ReplicaHealth({self.address!r}, state={self.state!r})"

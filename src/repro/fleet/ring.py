@@ -1,0 +1,137 @@
+"""Consistent-hash ring with virtual nodes.
+
+The fleet routes every request key -- ``(model, dataset, accelerator)``
+for serving ops, a spec digest for ``execute`` ops -- to a replica via a
+classic consistent-hash ring: each replica owns ``vnodes`` points on a
+64-bit circle, a key hashes to one point, and its owner is the first
+replica point clockwise from there.  Two properties matter operationally:
+
+* **Stickiness** -- the same key always lands on the same replica (while
+  membership is stable), so each replica's ``CalibrationRegistry`` stays
+  hot for the models it owns instead of every replica calibrating
+  everything.
+* **Minimal rebalancing** -- when a replica joins, only the keys whose
+  clockwise-first point becomes one of the newcomer's points move (an
+  expected ``1/(N+1)`` fraction), and they all move *to* the newcomer;
+  when a replica leaves, only its own keys move, scattering over the
+  survivors.  Everyone else's cache stays warm.
+
+Hashing is :mod:`hashlib`-based (SHA-1, first 8 bytes): stable across
+processes and runs, unlike the builtin ``hash()`` which is randomized per
+process by ``PYTHONHASHSEED`` -- a fleet whose client and supervisor
+disagree on key placement would calibrate every model everywhere.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Sequence, Tuple, Union
+
+#: A routing key: any string, or a tuple of (possibly None) parts.
+RingKey = Union[str, Sequence[object]]
+
+#: Unit separator: joins key parts unambiguously ("a", "bc") != ("ab", "c").
+_SEPARATOR = "\x1f"
+
+
+def stable_hash(text: str) -> int:
+    """Process-stable 64-bit hash of a string (first 8 SHA-1 bytes)."""
+    return int.from_bytes(hashlib.sha1(text.encode("utf-8")).digest()[:8], "big")
+
+
+def canonical_key(key: RingKey) -> str:
+    """Flatten a routing key into the string that gets hashed."""
+    if isinstance(key, str):
+        return key
+    return _SEPARATOR.join("\x00" if part is None else str(part) for part in key)
+
+
+class HashRing:
+    """Consistent-hash ring over replica addresses.
+
+    Not thread-safe on its own: the :class:`~repro.fleet.router.FleetRouter`
+    guards membership changes with its lock; lookups on a stable ring are
+    reads of immutable lists.
+    """
+
+    def __init__(self, replicas: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self._replicas: List[str] = []
+        self._hashes: List[int] = []
+        self._owners: List[str] = []
+        for replica in replicas:
+            self.add(replica)
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def replicas(self) -> Tuple[str, ...]:
+        """Member replicas in join order."""
+        return tuple(self._replicas)
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __contains__(self, replica: object) -> bool:
+        return replica in self._replicas
+
+    def add(self, replica: str) -> None:
+        """Join a replica (its ``vnodes`` points enter the ring)."""
+        if not replica:
+            raise ValueError("replica address must be non-empty")
+        if replica in self._replicas:
+            raise ValueError(f"replica {replica!r} is already on the ring")
+        self._replicas.append(replica)
+        self._rebuild()
+
+    def remove(self, replica: str) -> None:
+        """Leave a replica (its keys scatter over the survivors)."""
+        try:
+            self._replicas.remove(replica)
+        except ValueError:
+            raise ValueError(f"replica {replica!r} is not on the ring") from None
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        points = sorted(
+            (stable_hash(f"{replica}{_SEPARATOR}{index}"), replica)
+            for replica in self._replicas
+            for index in range(self.vnodes)
+        )
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    # -- lookup --------------------------------------------------------------
+
+    def primary(self, key: RingKey) -> str:
+        """The replica owning ``key`` (first point clockwise of its hash)."""
+        candidates = self.candidates(key)
+        if not candidates:
+            raise ValueError("ring has no replicas")
+        return candidates[0]
+
+    def candidates(self, key: RingKey) -> List[str]:
+        """Every replica, ordered by ring distance from ``key``.
+
+        The first entry is the primary; each subsequent entry is the next
+        *distinct* replica clockwise -- the natural failover/hedging order,
+        and the order keys rebalance in when replicas leave.
+        """
+        if not self._replicas:
+            return []
+        point = stable_hash(canonical_key(key))
+        start = bisect.bisect_left(self._hashes, point)
+        total = len(self._hashes)
+        ordered: List[str] = []
+        seen = set()
+        for step in range(total):
+            owner = self._owners[(start + step) % total]
+            if owner not in seen:
+                seen.add(owner)
+                ordered.append(owner)
+                if len(ordered) == len(self._replicas):
+                    break
+        return ordered

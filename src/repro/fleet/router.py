@@ -1,0 +1,140 @@
+"""`FleetRouter`: consistent-hash candidate selection gated by health.
+
+The router owns the two membership-wide structures -- the
+:class:`~repro.fleet.ring.HashRing` and one
+:class:`~repro.fleet.health.ReplicaHealth` per replica -- and answers the
+dispatch-time questions of the fleet transport:
+
+* :meth:`candidates` -- every replica ordered by ring distance from a key
+  (primary first, then the hedging/failover order),
+* :meth:`admit` / :meth:`peek` -- the breaker gate for one replica,
+* :meth:`hedge_delay` -- the p99-derived delay before re-issuing a
+  straggling request to the next candidate,
+* :meth:`record_success` / :meth:`record_failure` -- outcome feedback.
+
+Membership is dynamic: :meth:`add_replica` / :meth:`remove_replica` keep
+ring and health map in lockstep (the supervisor calls them when a replica
+restarts on a fresh port).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.fleet.health import BreakerConfig, ReplicaHealth
+from repro.fleet.ring import HashRing, RingKey
+
+
+class FleetRouter:
+    """Health-gated consistent-hash routing over a replica set."""
+
+    def __init__(
+        self,
+        addresses,
+        vnodes: int = 64,
+        breaker: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        addresses = list(addresses)
+        if not addresses:
+            raise ValueError("a fleet needs at least one replica address")
+        if len(set(addresses)) != len(addresses):
+            raise ValueError(f"duplicate replica addresses: {addresses!r}")
+        self._breaker = breaker if breaker is not None else BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring = HashRing(addresses, vnodes=vnodes)
+        self._health: Dict[str, ReplicaHealth] = {
+            address: ReplicaHealth(address, self._breaker, clock)
+            for address in addresses
+        }
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def addresses(self):
+        """Member addresses in join order."""
+        with self._lock:
+            return self._ring.replicas
+
+    def add_replica(self, address: str) -> None:
+        """Join a replica: ring points added, fresh (closed) health."""
+        with self._lock:
+            self._ring.add(address)
+            self._health[address] = ReplicaHealth(address, self._breaker, self._clock)
+
+    def remove_replica(self, address: str) -> None:
+        """Leave a replica: its keys scatter over the survivors."""
+        with self._lock:
+            self._ring.remove(address)
+            del self._health[address]
+
+    def health(self, address: str) -> ReplicaHealth:
+        """The health tracker of one member replica."""
+        with self._lock:
+            return self._health[address]
+
+    # -- dispatch questions --------------------------------------------------
+
+    def candidates(self, key: Optional[RingKey]) -> List[str]:
+        """Replicas in dispatch-preference order for ``key``.
+
+        ``None`` (un-keyed ops: ping, telemetry, hello) preserves join
+        order -- deterministic, and the health gate still applies at
+        :meth:`admit` time.
+        """
+        with self._lock:
+            if key is None:
+                return list(self._ring.replicas)
+            return self._ring.candidates(key)
+
+    def admit(self, address: str) -> bool:
+        """Breaker gate (stateful: may consume the half-open probe slot)."""
+        health = self._health.get(address)
+        return health is not None and health.admit()
+
+    def peek(self, address: str) -> bool:
+        """Breaker gate without side effects (scatter-shard planning)."""
+        health = self._health.get(address)
+        return health is not None and health.peek()
+
+    def healthy_shards(self, key: Optional[RingKey]) -> List[str]:
+        """Candidates that would currently be admitted (no side effects)."""
+        return [address for address in self.candidates(key) if self.peek(address)]
+
+    def record_success(self, address: str, latency: Optional[float] = None) -> None:
+        health = self._health.get(address)
+        if health is not None:
+            health.record_success(latency)
+
+    def record_failure(self, address: str) -> None:
+        health = self._health.get(address)
+        if health is not None:
+            health.record_failure()
+
+    def hedge_delay(
+        self,
+        address: str,
+        default: float,
+        floor: float,
+        ceiling: float,
+    ) -> float:
+        """Seconds to wait on ``address`` before hedging to the next replica.
+
+        The replica's rolling p99 latency, clamped to ``[floor, ceiling]``;
+        ``default`` (also clamped) applies while the latency window is too
+        small to trust.  Deriving from p99 means a hedge fires only for
+        requests already slower than ~99% of this replica's recent traffic.
+        """
+        health = self._health.get(address)
+        p99 = health.latency_percentile(99) if health is not None else None
+        delay = default if p99 is None else p99
+        return min(max(delay, floor), ceiling)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-replica health rows keyed by address (telemetry)."""
+        with self._lock:
+            trackers = list(self._health.values())
+        return {tracker.address: tracker.snapshot() for tracker in trackers}

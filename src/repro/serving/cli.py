@@ -93,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-wait-ms", type=float, default=2.0, help="micro-batch latency trigger (ms)"
     )
+    parser.add_argument(
+        "--registry-capacity",
+        type=int,
+        default=4,
+        help="LRU capacity of the calibration-artifact cache; size it to the "
+        "number of live (model, dataset) pairs or cold recalibration will "
+        "dominate the serving path",
+    )
     parser.add_argument("--seed", type=int, default=0, help="payload RNG seed")
     parser.add_argument(
         "--no-golden-check",
@@ -115,6 +123,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--requests and --rows must be positive")
     if args.workers < 1 or args.max_inflight < 1:
         parser.error("--workers and --max-inflight must be positive")
+    if args.registry_capacity < 1:
+        parser.error("--registry-capacity must be positive")
     try:
         # The registry owns the "unknown backend" message (it lists the
         # registered names); validate up front for a clean exit code.
@@ -132,7 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"haan-serve: {error}", file=sys.stderr)
         return 2
 
-    registry = CalibrationRegistry()
+    registry = CalibrationRegistry(capacity=args.registry_capacity)
     print(f"calibrating {args.model!r} (dataset {args.dataset!r})...")
     try:
         artifact = registry.get(args.model, args.dataset)

@@ -68,7 +68,16 @@ class NormRequest:
         payload: np.ndarray,
         context: Optional[ActivationContext] = None,
     ):
-        arr = np.asarray(payload, dtype=np.float64)
+        arr = np.asarray(payload)
+        if arr.dtype.kind not in "fiub":
+            # np.asarray(..., float64) would *silently truncate* complex
+            # payloads (ComplexWarning, not an exception) and mis-parse
+            # mixed/object rows; a serving system must reject them loudly.
+            raise ValueError(
+                f"payload dtype {arr.dtype} is not real-numeric "
+                "(float/int/bool); refusing lossy float64 coercion"
+            )
+        arr = np.asarray(arr, dtype=np.float64)
         ndim = arr.ndim
         if ndim == 2:
             rows, num_rows = arr, arr.shape[0]

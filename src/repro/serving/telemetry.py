@@ -433,6 +433,25 @@ class ServingTelemetry:
                     f"max inflight {wire['max_inflight']} per conn",
                 ]
             )
+            # Per-connection gauges arrived with the fleet tier; older
+            # frozen snapshots may lack them, so render only when present.
+            if "backpressure_waits" in wire:
+                rows.append(
+                    [
+                        "wire backpressure",
+                        f"{wire['backpressure_waits']} reader stalls / "
+                        f"inflight now {wire.get('inflight_current', 0)}",
+                    ]
+                )
+            for conn in wire.get("per_connection", []):
+                rows.append(
+                    [
+                        f"wire conn[{conn['id']}]",
+                        f"{conn['frames']} frames / inflight {conn['inflight']} "
+                        f"(peak {conn['peak_inflight']}) / "
+                        f"{conn['backpressure_waits']} stalls",
+                    ]
+                )
         cost = snap["modelled_cost"]
         if cost["batches"]:
             rows.append(["modelled cycles", f"{cost['total_cycles']}"])

@@ -562,3 +562,51 @@ class TestEngineExperiment:
         simulated = result.metadata["details"]["simulated:computed"]
         assert simulated["cost_record"] is not None
         assert simulated["stage_shares"]["stats"] > 0
+
+
+# ---------------------------------------------------------------------------
+# run_many edge cases (PR 6): empty batches, single-row groups, bad dtypes
+# ---------------------------------------------------------------------------
+
+
+class TestRunManyEdgeCases:
+    def _engine(self, backend="vectorized"):
+        return build(EngineSpec(kind="layernorm", hidden_size=8), backend=backend)
+
+    def test_empty_batch_list_is_a_noop(self):
+        for name in local_backends():
+            assert self._engine(name).run_many([]) == []
+
+    def test_single_row_groups_match_per_group_run(self):
+        rng = np.random.default_rng(23)
+        engine = self._engine()
+        groups = [(rng.normal(size=(1, 8)), None, None) for _ in range(5)]
+        bulk = engine.run_many(groups)
+        assert len(bulk) == 5
+        for (rows, _, _), triple in zip(groups, bulk):
+            assert_results_equal(triple, engine.run(rows))
+
+    @pytest.mark.parametrize(
+        "bad_rows",
+        [
+            np.ones((2, 8), dtype=np.complex128),
+            np.array([[1 + 2j] * 8, [3.0] * 8]),  # mixed real/complex upcasts
+            np.array([[object()] * 8], dtype=object),
+            np.array([["a"] * 8]),
+        ],
+        ids=["complex", "mixed-complex", "object", "string"],
+    )
+    def test_non_real_dtypes_rejected_with_typed_error(self, bad_rows):
+        engine = self._engine()
+        with pytest.raises(ValueError, match="real-numeric"):
+            engine.run(bad_rows)
+        with pytest.raises(ValueError, match="real-numeric"):
+            engine.run_many([(bad_rows, None, None)])
+
+    def test_integer_and_bool_rows_still_coerce(self):
+        engine = self._engine()
+        ints = np.arange(16, dtype=np.int32).reshape(2, 8)
+        golden = engine.run(np.asarray(ints, dtype=np.float64))
+        assert_results_equal(engine.run(ints), golden)
+        bools = np.ones((1, 8), dtype=bool)
+        assert engine.run(bools)[0].shape == (1, 8)

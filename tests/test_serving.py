@@ -249,6 +249,35 @@ class TestServiceGolden:
             futures[1].result()
 
 
+class TestSubmitManyEdgeCases:
+    """PR-6 hardening: empty bursts, single-row batches, bad dtypes."""
+
+    def test_empty_burst_returns_no_futures(self, inline_service):
+        assert inline_service.submit_many([], "tiny") == []
+        assert inline_service.telemetry.snapshot()["requests_total"] == 0
+
+    def test_single_row_batches_keep_vector_shape(self, inline_service, rng):
+        payloads = [rng.normal(size=(HIDDEN,)) for _ in range(4)]
+        responses = inline_service.normalize_many(payloads, "tiny")
+        assert [r.output.shape for r in responses] == [(HIDDEN,)] * 4
+        one_row = inline_service.normalize(rng.normal(size=(1, HIDDEN)), "tiny")
+        assert one_row.output.shape == (1, HIDDEN)
+
+    def test_mixed_dtype_payloads_rejected_before_enqueue(self, inline_service, rng):
+        complex_payload = rng.normal(size=(2, HIDDEN)) + 1j
+        with pytest.raises(ValueError, match="real-numeric"):
+            inline_service.submit(complex_payload, "tiny")
+        with pytest.raises(ValueError, match="real-numeric"):
+            inline_service.submit_many(
+                [rng.normal(size=(HIDDEN,)), complex_payload], "tiny"
+            )
+        with pytest.raises(ValueError, match="real-numeric"):
+            inline_service.submit(np.array([["norm"] * HIDDEN]), "tiny")
+        # The rejection happens at the front door: nothing was enqueued.
+        assert inline_service.telemetry.snapshot()["requests_total"] == 0
+        assert inline_service.telemetry.snapshot()["errors_total"] == 0
+
+
 # ---------------------------------------------------------------------------
 # Scheduler: ordering, coalescing and the latency trigger
 # ---------------------------------------------------------------------------
