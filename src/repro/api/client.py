@@ -37,6 +37,7 @@ from repro.api.envelopes import (
     TensorPayload,
     next_stream_id,
     parse_response,
+    validate_deadline_ms,
 )
 from repro.api.transport import InProcessTransport, PendingReply, SocketTransport, Transport
 
@@ -56,6 +57,10 @@ class ClientNormResult:
     batch_latency: float
     backend: str
     accelerator: Optional[str] = None
+    #: Degradation-ladder level the server applied (0 = full fidelity).
+    #: A degraded result always advertises itself here -- it is never
+    #: silently substituted for a full-fidelity one.
+    degradation: int = 0
 
 
 class PendingNormResult:
@@ -177,17 +182,26 @@ class NormClient:
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
         encoding: str = "base64",
+        deadline_ms: Optional[float] = None,
     ) -> ClientNormResult:
-        """Normalize one ``(hidden,)`` or ``(rows, hidden)`` tensor."""
+        """Normalize one ``(hidden,)`` or ``(rows, hidden)`` tensor.
+
+        ``deadline_ms`` rides the envelope to the server's admission
+        controller: a request that cannot plausibly complete in time is
+        shed *before* decode with a typed ``OverloadedError``.  Zero or
+        negative deadlines are rejected here, synchronously.
+        """
         request = self._normalize_request(
-            payload, model, layer_index, dataset, reference, backend, accelerator, encoding
+            payload, model, layer_index, dataset, reference, backend, accelerator,
+            encoding, deadline_ms,
         )
         response = parse_response(self.transport.request(request.to_wire()), "normalize")
         return self._decode_normalize(response)
 
     @staticmethod
     def _normalize_request(
-        payload, model, layer_index, dataset, reference, backend, accelerator, encoding
+        payload, model, layer_index, dataset, reference, backend, accelerator,
+        encoding, deadline_ms=None,
     ) -> NormalizeRequest:
         return NormalizeRequest(
             model=model,
@@ -197,6 +211,7 @@ class NormClient:
             reference=reference,
             backend=backend,
             accelerator=accelerator,
+            deadline_ms=validate_deadline_ms(deadline_ms, "submit"),
         )
 
     @staticmethod
@@ -213,6 +228,7 @@ class NormClient:
             batch_latency=response.batch_latency,
             backend=response.backend,
             accelerator=response.accelerator,
+            degradation=response.degradation,
         )
 
     @staticmethod
@@ -230,6 +246,7 @@ class NormClient:
             batch_latency=item.batch_latency,
             backend=backend,
             accelerator=accelerator,
+            degradation=item.degradation,
         )
 
     def submit_normalize(
@@ -242,6 +259,7 @@ class NormClient:
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
         encoding: str = "base64",
+        deadline_ms: Optional[float] = None,
     ) -> "PendingNormResult":
         """Pipeline one normalize request without blocking on its response.
 
@@ -251,7 +269,8 @@ class NormClient:
         transport the call completes synchronously.
         """
         request = self._normalize_request(
-            payload, model, layer_index, dataset, reference, backend, accelerator, encoding
+            payload, model, layer_index, dataset, reference, backend, accelerator,
+            encoding, deadline_ms,
         )
         return PendingNormResult(self, self.transport.submit(request.to_wire()))
 
@@ -299,6 +318,7 @@ class NormClient:
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
         encoding: str = "base64",
+        deadline_ms: Optional[float] = None,
     ) -> List[ClientNormResult]:
         """Normalize many tensors with **one** frame (the v2 bulk op).
 
@@ -317,6 +337,7 @@ class NormClient:
             reference=reference,
             backend=backend,
             accelerator=accelerator,
+            deadline_ms=validate_deadline_ms(deadline_ms, "submit"),
         )
         response = parse_response(self.transport.request(request.to_wire()), "normalize_bulk")
         return [
@@ -338,6 +359,7 @@ class NormClient:
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
         encoding: str = "base64",
+        deadline_ms: Optional[float] = None,
     ) -> Iterator[ClientNormResult]:
         """Normalize a stream of activation chunks, yielding in chunk order.
 
@@ -348,6 +370,7 @@ class NormClient:
         """
         if depth < 1:
             raise ValueError("stream depth must be at least 1")
+        deadline_ms = validate_deadline_ms(deadline_ms, "submit")
         stream_id = next_stream_id()
 
         def _submit(seq: int, chunk: np.ndarray, final: bool) -> PendingNormResult:
@@ -364,6 +387,7 @@ class NormClient:
                 reference=reference,
                 backend=backend,
                 accelerator=accelerator,
+                deadline_ms=deadline_ms,
             )
             return PendingNormResult(self, self.transport.submit(request.to_wire()), "stream")
 

@@ -146,6 +146,24 @@ class PayloadTooLargeError(ApiError):
     code = "payload_too_large"
 
 
+class OverloadedError(ApiError):
+    """The server shed this request before doing any work on it.
+
+    Raised by the admission controller when the queue is too deep or the
+    request's ``deadline_ms`` cannot be met by the estimated wait.  The
+    request was **never executed** (rejection happens before tensor
+    decode), so retrying is always safe; ``retry_after_ms`` is the
+    server's estimate of when capacity frees up, which a
+    :class:`~repro.api.retry.RetryPolicy` honors as its backoff floor.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str = "", retry_after_ms: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class TransportError(ApiError):
     """The transport failed before a response envelope arrived.
 
@@ -183,15 +201,21 @@ ERROR_CLASSES: Dict[str, Type[ApiError]] = {
         UnknownBackendError,
         UnknownModelError,
         PayloadTooLargeError,
+        OverloadedError,
         TransportError,
         NoHealthyReplicaError,
     )
 }
 
 
-def error_for_code(code: str, message: str) -> ApiError:
+def error_for_code(
+    code: str, message: str, retry_after_ms: Optional[float] = None
+) -> ApiError:
     """Instantiate the taxonomy member for a wire error code."""
-    return ERROR_CLASSES.get(code, ApiError)(message)
+    cls = ERROR_CLASSES.get(code, ApiError)
+    if cls is OverloadedError:
+        return cls(message, retry_after_ms=retry_after_ms)
+    return cls(message)
 
 
 # ---------------------------------------------------------------------------
@@ -226,6 +250,35 @@ def _optional(payload: Dict[str, Any], key: str, types, where: str, default=None
             f"expected {getattr(types, '__name__', types)} or null"
         )
     return value
+
+
+def validate_deadline_ms(value: Any, where: str = "request") -> Optional[float]:
+    """Validate a ``deadline_ms`` value (None, or a positive finite number).
+
+    Shared by ``NormClient`` submit-time validation, envelope decoding and
+    the server's admission controller, so a zero/negative deadline is
+    rejected with the same typed :class:`BadSchemaError` everywhere --
+    never silently entering the batcher to time out deep in a worker.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadSchemaError(
+            f"{where} deadline_ms has type {type(value).__name__}; "
+            f"expected a positive number of milliseconds or null"
+        )
+    deadline = float(value)
+    if not deadline > 0 or deadline != deadline or deadline == float("inf"):
+        raise BadSchemaError(
+            f"{where} deadline_ms must be a positive finite number of "
+            f"milliseconds, got {value!r}"
+        )
+    return deadline
+
+
+def _optional_deadline(payload: Dict[str, Any], where: str) -> Optional[float]:
+    """Decode-time ``deadline_ms`` validation for request envelopes."""
+    return validate_deadline_ms(payload.get("deadline_ms"), where)
 
 
 # ---------------------------------------------------------------------------
@@ -370,7 +423,13 @@ def _base_wire(op: str, request_id: Optional[int], ok: Optional[bool] = None) ->
 
 @dataclass(frozen=True)
 class NormalizeRequest:
-    """Normalize one tensor with one layer of a calibrated model."""
+    """Normalize one tensor with one layer of a calibrated model.
+
+    ``deadline_ms`` is the caller's completion budget (milliseconds from
+    server receipt); the admission controller sheds the request with
+    :class:`OverloadedError` when the estimated queue wait already exceeds
+    it.  ``None`` means no deadline.
+    """
 
     op = "normalize"
 
@@ -381,6 +440,7 @@ class NormalizeRequest:
     reference: bool = False
     backend: str = "vectorized"
     accelerator: Optional[str] = None
+    deadline_ms: Optional[float] = None
     request_id: int = field(default_factory=next_request_id)
 
     def to_wire(self) -> Dict[str, Any]:
@@ -394,6 +454,8 @@ class NormalizeRequest:
             accelerator=self.accelerator,
             tensor=self.tensor.to_wire(),
         )
+        if self.deadline_ms is not None:
+            wire["deadline_ms"] = self.deadline_ms
         return wire
 
     @classmethod
@@ -407,13 +469,31 @@ class NormalizeRequest:
             reference=bool(_optional(payload, "reference", bool, where, default=False)),
             backend=_optional(payload, "backend", str, where, default="vectorized"),
             accelerator=_optional(payload, "accelerator", str, where),
+            deadline_ms=_optional_deadline(payload, where),
             request_id=_require(payload, "request_id", int, where),
         )
 
 
+def _optional_degradation(payload: Dict[str, Any], where: str) -> int:
+    """Decode the degradation stamp (absent on pre-chaos peers -> 0)."""
+    level = _optional(payload, "degradation", int, where, default=0)
+    if isinstance(level, bool) or level < 0:
+        raise BadSchemaError(
+            f"{where} degradation must be a non-negative integer, got {level!r}"
+        )
+    return int(level)
+
+
 @dataclass(frozen=True)
 class NormalizeResponse:
-    """Result of one :class:`NormalizeRequest`."""
+    """Result of one :class:`NormalizeRequest`.
+
+    ``degradation`` stamps the fidelity level the server actually applied
+    (0 = full fidelity as requested; see
+    :mod:`repro.serving.degrade`).  Degraded responses are **always**
+    stamped -- a degraded result is never silently substituted for a
+    full-fidelity one.
+    """
 
     op = "normalize"
 
@@ -428,6 +508,7 @@ class NormalizeResponse:
     batch_latency: float
     backend: str
     accelerator: Optional[str] = None
+    degradation: int = 0
 
     def to_wire(self) -> Dict[str, Any]:
         wire = _base_wire(self.op, self.request_id, ok=True)
@@ -442,6 +523,7 @@ class NormalizeResponse:
             batch_latency=self.batch_latency,
             backend=self.backend,
             accelerator=self.accelerator,
+            degradation=self.degradation,
         )
         return wire
 
@@ -460,6 +542,7 @@ class NormalizeResponse:
             batch_latency=float(_require(payload, "batch_latency", (int, float), where)),
             backend=_require(payload, "backend", str, where),
             accelerator=_optional(payload, "accelerator", str, where),
+            degradation=_optional_degradation(payload, where),
         )
 
 
@@ -475,6 +558,7 @@ class NormalizeResult:
     batch_size: int
     queue_wait: float
     batch_latency: float
+    degradation: int = 0
 
     def to_wire(self) -> Dict[str, Any]:
         return {
@@ -486,6 +570,7 @@ class NormalizeResult:
             "batch_size": self.batch_size,
             "queue_wait": self.queue_wait,
             "batch_latency": self.batch_latency,
+            "degradation": self.degradation,
         }
 
     @classmethod
@@ -501,6 +586,7 @@ class NormalizeResult:
             batch_size=_require(payload, "batch_size", int, where),
             queue_wait=float(_require(payload, "queue_wait", (int, float), where)),
             batch_latency=float(_require(payload, "batch_latency", (int, float), where)),
+            degradation=_optional_degradation(payload, where),
         )
 
 
@@ -523,6 +609,7 @@ class NormalizeBulkRequest:
     reference: bool = False
     backend: str = "vectorized"
     accelerator: Optional[str] = None
+    deadline_ms: Optional[float] = None
     request_id: int = field(default_factory=next_request_id)
 
     def to_wire(self) -> Dict[str, Any]:
@@ -536,6 +623,8 @@ class NormalizeBulkRequest:
             accelerator=self.accelerator,
             tensors=[tensor.to_wire() for tensor in self.tensors],
         )
+        if self.deadline_ms is not None:
+            wire["deadline_ms"] = self.deadline_ms
         return wire
 
     @classmethod
@@ -555,6 +644,7 @@ class NormalizeBulkRequest:
             reference=bool(_optional(payload, "reference", bool, where, default=False)),
             backend=_optional(payload, "backend", str, where, default="vectorized"),
             accelerator=_optional(payload, "accelerator", str, where),
+            deadline_ms=_optional_deadline(payload, where),
             request_id=_require(payload, "request_id", int, where),
         )
 
@@ -616,6 +706,7 @@ class StreamChunkRequest:
     reference: bool = False
     backend: str = "vectorized"
     accelerator: Optional[str] = None
+    deadline_ms: Optional[float] = None
     request_id: int = field(default_factory=next_request_id)
 
     def to_wire(self) -> Dict[str, Any]:
@@ -632,6 +723,8 @@ class StreamChunkRequest:
             backend=self.backend,
             accelerator=self.accelerator,
         )
+        if self.deadline_ms is not None:
+            wire["deadline_ms"] = self.deadline_ms
         return wire
 
     @classmethod
@@ -651,6 +744,7 @@ class StreamChunkRequest:
             reference=bool(_optional(payload, "reference", bool, where, default=False)),
             backend=_optional(payload, "backend", str, where, default="vectorized"),
             accelerator=_optional(payload, "accelerator", str, where),
+            deadline_ms=_optional_deadline(payload, where),
             request_id=_require(payload, "request_id", int, where),
         )
 
@@ -790,6 +884,7 @@ class ExecuteSpecRequest:
     segment_starts: Optional[TensorPayload] = None
     anchor_isd: Optional[TensorPayload] = None
     backend: str = "vectorized"
+    deadline_ms: Optional[float] = None
     request_id: int = field(default_factory=next_request_id)
 
     def to_wire(self) -> Dict[str, Any]:
@@ -805,6 +900,8 @@ class ExecuteSpecRequest:
             anchor_isd=None if self.anchor_isd is None else self.anchor_isd.to_wire(),
             backend=self.backend,
         )
+        if self.deadline_ms is not None:
+            wire["deadline_ms"] = self.deadline_ms
         return wire
 
     @classmethod
@@ -818,6 +915,7 @@ class ExecuteSpecRequest:
             segment_starts=_optional_tensor(payload, "segment_starts", where),
             anchor_isd=_optional_tensor(payload, "anchor_isd", where),
             backend=_optional(payload, "backend", str, where, default="vectorized"),
+            deadline_ms=_optional_deadline(payload, where),
             request_id=_require(payload, "request_id", int, where),
         )
 
@@ -927,6 +1025,7 @@ class ExecuteBulkRequest:
     gamma: Optional[TensorPayload] = None
     beta: Optional[TensorPayload] = None
     backend: str = "vectorized"
+    deadline_ms: Optional[float] = None
     request_id: int = field(default_factory=next_request_id)
 
     def to_wire(self) -> Dict[str, Any]:
@@ -938,6 +1037,8 @@ class ExecuteBulkRequest:
             beta=None if self.beta is None else self.beta.to_wire(),
             backend=self.backend,
         )
+        if self.deadline_ms is not None:
+            wire["deadline_ms"] = self.deadline_ms
         return wire
 
     @classmethod
@@ -955,6 +1056,7 @@ class ExecuteBulkRequest:
             gamma=_optional_tensor(payload, "gamma", where),
             beta=_optional_tensor(payload, "beta", where),
             backend=_optional(payload, "backend", str, where, default="vectorized"),
+            deadline_ms=_optional_deadline(payload, where),
             request_id=_require(payload, "request_id", int, where),
         )
 
@@ -1158,27 +1260,37 @@ class TelemetryResponse:
 
 @dataclass(frozen=True)
 class ErrorResponse:
-    """A failed request: taxonomy code plus a human-readable message."""
+    """A failed request: taxonomy code plus a human-readable message.
+
+    ``retry_after_ms`` rides along for ``overloaded`` rejections: the
+    server's estimate of when capacity frees up, which retrying clients
+    honor as their backoff floor.
+    """
 
     op = "error"
 
     code: str
     message: str
     request_id: Optional[int] = None
+    retry_after_ms: Optional[float] = None
 
     def to_wire(self) -> Dict[str, Any]:
         wire = _base_wire(self.op, self.request_id, ok=False)
         wire["error"] = {"code": self.code, "message": self.message}
+        if self.retry_after_ms is not None:
+            wire["error"]["retry_after_ms"] = self.retry_after_ms
         return wire
 
     @classmethod
     def from_wire(cls, payload: Dict[str, Any]) -> "ErrorResponse":
         where = "error response"
         error = _require(payload, "error", dict, where)
+        retry_after = _optional(error, "retry_after_ms", (int, float), where)
         return cls(
             code=_require(error, "code", str, where),
             message=_require(error, "message", str, where),
             request_id=_optional(payload, "request_id", int, where),
+            retry_after_ms=None if retry_after is None else float(retry_after),
         )
 
     @classmethod
@@ -1187,7 +1299,13 @@ class ErrorResponse:
     ) -> "ErrorResponse":
         """Wrap an exception (``ApiError`` keeps its code; others → internal)."""
         if isinstance(error, ApiError):
-            return cls(code=error.code, message=str(error), request_id=request_id)
+            retry_after = getattr(error, "retry_after_ms", None)
+            return cls(
+                code=error.code,
+                message=str(error),
+                request_id=request_id,
+                retry_after_ms=None if retry_after is None else float(retry_after),
+            )
         return cls(
             code="internal",
             message=f"{type(error).__name__}: {error}",
@@ -1196,7 +1314,7 @@ class ErrorResponse:
 
     def raise_(self) -> None:
         """Raise the taxonomy exception this envelope describes."""
-        raise error_for_code(self.code, self.message)
+        raise error_for_code(self.code, self.message, self.retry_after_ms)
 
 
 # ---------------------------------------------------------------------------

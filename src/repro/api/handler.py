@@ -106,12 +106,19 @@ class ApiHandler:
 
     # -- entry point --------------------------------------------------------
 
-    def handle(self, payload: Any) -> Dict[str, Any]:
+    def handle(self, payload: Any, degrade_level: int = 0) -> Dict[str, Any]:
         """Handle one request envelope; always returns a response envelope.
 
         The response echoes the *request's* ``schema_version`` whenever it
         is one this handler speaks, so a client that negotiated down keeps
         receiving envelopes at its version.
+
+        ``degrade_level`` is the server's current
+        :class:`~repro.serving.degrade.DegradationLadder` level; serving
+        ops run at that fidelity and the response's ``degradation`` field
+        reports the level actually applied (execute ops ship their own
+        spec and are never degraded -- the caller asked for exactly that
+        computation).
         """
         request_id = None
         echo_version = None
@@ -133,7 +140,7 @@ class ApiHandler:
                 ErrorResponse.from_exception(error, request_id).to_wire(), echo_version
             )
         try:
-            return self._stamp(self._dispatch(request).to_wire(), echo_version)
+            return self._stamp(self._dispatch(request, degrade_level).to_wire(), echo_version)
         except BaseException as error:  # noqa: BLE001 -- one envelope per request
             if not isinstance(error, Exception):
                 raise  # KeyboardInterrupt / SystemExit propagate to the server
@@ -148,13 +155,13 @@ class ApiHandler:
             response["schema_version"] = echo_version
         return response
 
-    def _dispatch(self, request):
+    def _dispatch(self, request, degrade_level: int = 0):
         if isinstance(request, NormalizeRequest):
-            return self._normalize(request)
+            return self._normalize(request, degrade_level)
         if isinstance(request, NormalizeBulkRequest):
-            return self._normalize_bulk(request)
+            return self._normalize_bulk(request, degrade_level)
         if isinstance(request, StreamChunkRequest):
-            return self._stream(request)
+            return self._stream(request, degrade_level)
         if isinstance(request, SpecRequest):
             return self._spec(request)
         if isinstance(request, ExecuteSpecRequest):
@@ -199,12 +206,14 @@ class ApiHandler:
 
     # -- ops ----------------------------------------------------------------
 
-    def _normalize(self, request: NormalizeRequest) -> NormalizeResponse:
+    def _normalize(
+        self, request: NormalizeRequest, degrade_level: int = 0
+    ) -> NormalizeResponse:
         self._check_backend(request.backend)
         self._check_model(request.model)
         self._check_size(request.tensor)
         array = self._decode_rows(request.tensor, "normalize")
-        response = self._service_normalize(array, request)
+        response = self._service_normalize(array, request, degrade=degrade_level)
         encoding = request.tensor.encoding
         return NormalizeResponse(
             request_id=request.request_id,
@@ -218,6 +227,7 @@ class ApiHandler:
             batch_latency=float(response.batch_latency),
             backend=response.key.backend,
             accelerator=response.key.accelerator,
+            degradation=response.degradation,
         )
 
     def _decode_rows(self, tensor: TensorPayload, where: str) -> np.ndarray:
@@ -243,7 +253,7 @@ class ApiHandler:
         except (ValueError, IndexError) as error:
             raise BadSchemaError(str(error)) from error
 
-    def _service_normalize(self, array: np.ndarray, request, context=None):
+    def _service_normalize(self, array: np.ndarray, request, context=None, degrade: int = 0):
         return self._call_service(
             self.service.normalize,
             array,
@@ -254,9 +264,12 @@ class ApiHandler:
             backend=request.backend,
             accelerator=request.accelerator,
             context=context,
+            degrade=degrade,
         )
 
-    def _normalize_bulk(self, request: NormalizeBulkRequest) -> NormalizeBulkResponse:
+    def _normalize_bulk(
+        self, request: NormalizeBulkRequest, degrade_level: int = 0
+    ) -> NormalizeBulkResponse:
         self._check_backend(request.backend)
         self._check_model(request.model)
         # Size-check the whole request (per tensor AND aggregate) before any
@@ -287,6 +300,7 @@ class ApiHandler:
             reference=request.reference,
             backend=request.backend,
             accelerator=request.accelerator,
+            degrade=degrade_level,
         )
         encoding = request.tensors[0].encoding
         return NormalizeBulkResponse(
@@ -309,9 +323,12 @@ class ApiHandler:
             batch_size=response.batch_size,
             queue_wait=float(response.queue_wait),
             batch_latency=float(response.batch_latency),
+            degradation=response.degradation,
         )
 
-    def _stream(self, request: StreamChunkRequest) -> StreamChunkResponse:
+    def _stream(
+        self, request: StreamChunkRequest, degrade_level: int = 0
+    ) -> StreamChunkResponse:
         from repro.llm.hooks import ActivationContext
 
         self._check_backend(request.backend)
@@ -321,7 +338,9 @@ class ApiHandler:
         # A fresh context per chunk mirrors ``NormalizationService.stream``:
         # chunks are independent token groups, so cross-layer ISD state must
         # not leak between them (nor between interleaved streams).
-        response = self._service_normalize(array, request, context=ActivationContext())
+        response = self._service_normalize(
+            array, request, context=ActivationContext(), degrade=degrade_level
+        )
         return StreamChunkResponse(
             request_id=request.request_id,
             stream_id=request.stream_id,

@@ -1,0 +1,178 @@
+"""Client retry discipline: backoff, jitter, budget, idempotency.
+
+Retries are the classic overload amplifier: a fleet that retries every
+failure immediately turns a brown-out into an outage.  :class:`RetryPolicy`
+centralises the rules both :class:`~repro.api.transport.SocketTransport`
+and :class:`~repro.fleet.transport.FleetTransport` follow:
+
+* **Exponential backoff with full jitter** -- attempt ``n`` sleeps a
+  uniform random amount in ``[0, min(base * 2**n, max_backoff)]``, so a
+  thundering herd decorrelates instead of synchronising on the retry
+  clock.
+* **Retry budget** -- a token bucket refilled as a *fraction of
+  first-attempt traffic* (plus a small constant allowance so a quiet
+  client can still retry at all).  When the budget is exhausted, failures
+  surface immediately rather than adding retry load to an already
+  overloaded server.
+* **``retry_after_ms``** -- an :class:`~repro.api.envelopes.OverloadedError`
+  carries the server's own estimate of when capacity frees up; the policy
+  uses it as the backoff floor for that attempt.
+* **Idempotency** -- ``execute`` / ``execute_bulk`` run caller-supplied
+  specs and are treated as non-idempotent: after an *ambiguous* failure
+  (the request may have been sent and executed -- e.g. the connection died
+  while awaiting the reply) they are never retried.  Failures that happen
+  strictly before the frame hit the wire are *clean* and retryable for
+  every op.
+
+The policy is deliberately transport-agnostic: callers classify each
+failure (:data:`CLEAN` / :data:`AMBIGUOUS` / :data:`OVERLOADED`) and ask
+:meth:`RetryPolicy.next_delay`; the policy answers ``None`` (give up) or a
+sleep duration.  Both the RNG and the clock are injectable so tests and
+:mod:`repro.chaos` replay deterministic schedules.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Optional
+
+__all__ = [
+    "AMBIGUOUS",
+    "CLEAN",
+    "NON_IDEMPOTENT_OPS",
+    "OVERLOADED",
+    "RetryPolicy",
+]
+
+#: The request provably never reached the server (dial refused, send
+#: failed before the frame was written).  Safe to retry any op.
+CLEAN = "clean"
+
+#: The request may have been sent and executed (connection died while the
+#: reply was pending).  Non-idempotent ops must not be retried.
+AMBIGUOUS = "ambiguous"
+
+#: The server explicitly shed the request before doing any work
+#: (``OverloadedError``).  Nothing executed, so retrying is safe for every
+#: op -- after honoring ``retry_after_ms``.
+OVERLOADED = "overloaded"
+
+#: Ops that execute caller-supplied specs; re-running one after an
+#: ambiguous failure could execute it twice.
+NON_IDEMPOTENT_OPS = frozenset({"execute", "execute_bulk"})
+
+
+class RetryPolicy:
+    """Shared retry discipline for socket and fleet transports.
+
+    Thread-safe: one policy instance is typically shared by every
+    connection of a pooled transport (the budget is a *per-client*
+    property, not per-connection).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 2,
+        base_backoff: float = 0.025,
+        max_backoff: float = 2.0,
+        retry_budget: float = 0.2,
+        min_budget_tokens: float = 4.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_backoff < 0 or max_backoff < base_backoff:
+            raise ValueError(
+                f"need 0 <= base_backoff <= max_backoff, got "
+                f"{base_backoff!r} / {max_backoff!r}"
+            )
+        if not 0.0 <= retry_budget <= 1.0:
+            raise ValueError(f"retry_budget must be in [0, 1], got {retry_budget!r}")
+        if min_budget_tokens < 0:
+            raise ValueError(f"min_budget_tokens must be >= 0, got {min_budget_tokens!r}")
+        self.max_attempts = max_attempts
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self.retry_budget = retry_budget
+        self.min_budget_tokens = min_budget_tokens
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        # Token bucket: first attempts deposit ``retry_budget`` tokens,
+        # retries withdraw 1.  Capacity bounds burst retries.
+        self._tokens = float(min_budget_tokens)
+        self._capacity = max(float(min_budget_tokens), 32.0)
+        # Telemetry counters.
+        self._first_attempts = 0
+        self._retries = 0
+        self._budget_exhausted = 0
+        self._ambiguous_refused = 0
+
+    # -- accounting ----------------------------------------------------
+
+    def record_attempt(self) -> None:
+        """Note a first attempt: refills the retry budget fractionally."""
+        with self._lock:
+            self._first_attempts += 1
+            self._tokens = min(self._capacity, self._tokens + self.retry_budget)
+
+    def _try_spend_token(self) -> bool:
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self._retries += 1
+                return True
+            self._budget_exhausted += 1
+            return False
+
+    # -- the decision --------------------------------------------------
+
+    def next_delay(
+        self,
+        attempt: int,
+        op: str,
+        failure: str = CLEAN,
+        retry_after_ms: Optional[float] = None,
+    ) -> Optional[float]:
+        """Decide whether attempt ``attempt`` (0-based) may be retried.
+
+        Returns the backoff to sleep before the next attempt, or ``None``
+        when the failure must surface to the caller.  ``failure`` is one
+        of :data:`CLEAN` / :data:`AMBIGUOUS` / :data:`OVERLOADED`.
+        """
+        if attempt + 1 >= self.max_attempts:
+            return None
+        if failure == AMBIGUOUS and op in NON_IDEMPOTENT_OPS:
+            # The spec may already have executed; running it again is the
+            # one thing a retry layer must never do.
+            with self._lock:
+                self._ambiguous_refused += 1
+            return None
+        if not self._try_spend_token():
+            return None
+        ceiling = min(self.base_backoff * (2.0**attempt), self.max_backoff)
+        delay = self._rng.uniform(0.0, ceiling)
+        if failure == OVERLOADED and retry_after_ms is not None:
+            # The server told us when capacity frees up; never come back
+            # earlier than that (jitter only ever pushes later).
+            delay = max(delay, min(retry_after_ms / 1000.0, self.max_backoff))
+        return delay
+
+    # -- introspection -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Counters for telemetry (``retried`` sections, CLI tables)."""
+        with self._lock:
+            return {
+                "first_attempts": self._first_attempts,
+                "retries": self._retries,
+                "budget_exhausted": self._budget_exhausted,
+                "ambiguous_refused": self._ambiguous_refused,
+                "budget_tokens": round(self._tokens, 3),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_backoff={self.base_backoff}, budget={self.retry_budget})"
+        )

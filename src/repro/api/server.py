@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
-from repro.api.envelopes import ApiError, ErrorResponse
+from repro.api.admission import WORK_OPS, AdmissionController
+from repro.api.envelopes import ApiError, ErrorResponse, OverloadedError
 from repro.api.framing import MAX_FRAME_BYTES, FrameDecoder, send_frame
 from repro.api.handler import ApiHandler
 
@@ -41,6 +43,27 @@ def parse_address(address: str) -> Tuple[str, int]:
     if not separator or not port.isdigit():
         raise ValueError(f"expected HOST:PORT, got {address!r}")
     return host or "0.0.0.0", int(port)
+
+
+def _applied_degradation(response: dict) -> Optional[int]:
+    """The ``degradation`` stamp of a response envelope, wherever it lives.
+
+    Single responses carry it at the top level, stream responses inside
+    ``result``, bulk responses per item in ``results`` (all items of one
+    bulk ran at one level -- the first is representative).
+    """
+    candidates = [response]
+    result = response.get("result")
+    if isinstance(result, dict):
+        candidates.append(result)
+    results = response.get("results")
+    if isinstance(results, (list, tuple)) and results and isinstance(results[0], dict):
+        candidates.append(results[0])
+    for candidate in candidates:
+        value = candidate.get("degradation")
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+    return None
 
 
 class _Connection:
@@ -99,6 +122,25 @@ class NormServer:
         pipelining depth across all connections).
     max_inflight:
         Per-connection bound on requests being handled concurrently.
+    admission:
+        The :class:`~repro.api.admission.AdmissionController` shedding
+        work *before* decode when the queue is full or a request's
+        ``deadline_ms`` cannot plausibly be met.  Defaults to a
+        controller with ``max_queue_depth``; pass an instance to tune it.
+    max_queue_depth:
+        Queue bound of the default admission controller (ignored when
+        ``admission`` is passed).
+    ladder:
+        Opt-in :class:`~repro.serving.degrade.DegradationLadder`: under
+        sustained queue pressure, serving ops step down the paper's
+        fidelity knobs instead of shedding, and every response is stamped
+        with the level applied.  ``None`` (the default) disables
+        degradation entirely.
+    fault_gate:
+        Opt-in server-side chaos hook (:class:`~repro.chaos.gate.FaultGate`):
+        consulted once per received frame, it may delay, drop, corrupt or
+        kill deterministically from a seeded
+        :class:`~repro.chaos.plan.FaultPlan`.  ``None`` in production.
     """
 
     def __init__(
@@ -110,6 +152,10 @@ class NormServer:
         max_frame_bytes: int = MAX_FRAME_BYTES,
         workers: int = 8,
         max_inflight: int = 32,
+        admission: Optional[AdmissionController] = None,
+        max_queue_depth: int = 256,
+        ladder=None,
+        fault_gate=None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -120,6 +166,13 @@ class NormServer:
         self.max_frame_bytes = max_frame_bytes
         self.workers = workers
         self.max_inflight = max_inflight
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(max_queue_depth=max_queue_depth)
+        )
+        self.ladder = ladder
+        self.fault_gate = fault_gate
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -133,6 +186,7 @@ class NormServer:
             max_workers=workers, thread_name_prefix="haan-norm-worker"
         )
         self._closing = False
+        self._draining = False
         self.requests_served = 0
         #: Wire/pipelining gauges (guarded by ``_lock``).
         self.connections_total = 0
@@ -144,6 +198,9 @@ class NormServer:
         attach = getattr(service.telemetry, "attach_section", None)
         if attach is not None:
             attach("wire", self.wire_snapshot)
+            attach("admission", self.admission.snapshot)
+            if self.ladder is not None:
+                attach("degradation", self.ladder.snapshot)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -165,13 +222,22 @@ class NormServer:
         self._accept_thread.start()
         return self
 
-    def close(self) -> None:
-        """Stop the listener, drop every connection, join all threads."""
+    def close(self, drain_timeout: float = 0.0) -> None:
+        """Stop the listener, drop every connection, join all threads.
+
+        ``drain_timeout`` > 0 performs a graceful drain first: the
+        listener stops and new frames are refused, but frames already
+        admitted keep executing and their response frames are flushed --
+        for up to ``drain_timeout`` seconds, after which the shutdown
+        proceeds unconditionally (the hard timeout).  The default (0)
+        preserves the historical immediate shutdown; the ``haan-serve``
+        SIGTERM path passes its ``--drain-timeout``.
+        """
         with self._lock:
             if self._closing:
                 return
             self._closing = True
-            connections = list(self._connections)
+            self._draining = drain_timeout > 0
         # shutdown() before close(): closing the fd alone does not wake a
         # thread blocked in accept() (the kernel socket would linger in
         # LISTEN and block a rebind of the port); shutdown does.  Some
@@ -189,6 +255,22 @@ class NormServer:
             self._listener.close()
         except OSError:
             pass
+        if drain_timeout > 0:
+            # Graceful drain: wait for admitted in-flight frames to finish
+            # (their responses flush through _try_send) before cutting the
+            # sockets.  Readers refuse *new* frames once _closing is set,
+            # so the in-flight count can only fall.
+            deadline = time.monotonic() + drain_timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    inflight = sum(
+                        c.inflight_count for c in self._connections.values()
+                    )
+                if inflight == 0:
+                    break
+                time.sleep(0.01)
+        with self._lock:
+            connections = list(self._connections)
         # shutdown() only -- never close() from here: each reader thread
         # owns its fd's close (under the connection send lock), so a pooled
         # worker mid-send cannot race against fd reuse.  shutdown unblocks
@@ -308,6 +390,33 @@ class NormServer:
                     self._try_send(connection, ErrorResponse.from_exception(error).to_wire())
                     return
                 for payload in frames:
+                    if self.fault_gate is not None:
+                        # Server-side chaos: the gate decides per frame
+                        # from its seeded plan.  Delay falls through to
+                        # normal handling; drop/corrupt/kill short-circuit.
+                        action = self.fault_gate.on_server_frame(payload)
+                        if action is not None:
+                            if action.delay_s > 0:
+                                time.sleep(action.delay_s)
+                            if action.kind == "drop":
+                                continue
+                            if action.kind == "corrupt":
+                                self._send_raw(connection, action.data)
+                                continue
+                            if action.kind == "kill":
+                                return
+                    # Admission control *before* any tensor decode: the
+                    # envelope is a parsed dict, so peeking op/deadline_ms
+                    # is O(1).  Shed requests answer in microseconds with
+                    # a typed overloaded envelope.
+                    try:
+                        self.admission.check(payload)
+                    except (OverloadedError, ApiError) as error:
+                        self._try_send(
+                            connection, self._error_envelope(payload, error)
+                        )
+                        continue
+                    is_work = payload.get("op") in WORK_OPS
                     # Blocks at max_inflight: backpressure, not buffering.
                     # The failed fast-path acquire is counted -- each miss
                     # is a reader stall the client felt as TCP backpressure.
@@ -324,14 +433,40 @@ class NormServer:
                             connection.peak_inflight = connection.inflight_count
                         if connection.inflight_count > self.peak_inflight:
                             self.peak_inflight = connection.inflight_count
-                        if self._closing:
-                            connection.inflight.release()
+                        closing = self._closing
+                        draining = self._draining
+                    if closing:
+                        connection.inflight.release()
+                        with self._lock:
                             connection.inflight_count -= 1
+                        if is_work:
+                            self.admission.complete()
+                        if not draining:
+                            # Immediate shutdown: stop reading; the dropped
+                            # connection surfaces client-side as a
+                            # TransportError, never a typed response racing
+                            # the teardown.
                             return
+                        # Draining: finish admitted frames, refuse new ones
+                        # with a typed error instead of silently closing.
+                        self._try_send(
+                            connection,
+                            self._error_envelope(
+                                payload,
+                                OverloadedError(
+                                    "server is draining and accepts no new work"
+                                ),
+                            ),
+                        )
+                        continue
                     try:
-                        self._pool.submit(self._handle_one, connection, payload)
+                        self._pool.submit(self._handle_one, connection, payload, is_work)
                     except RuntimeError:  # pool shut down under us
                         connection.inflight.release()
+                        with self._lock:
+                            connection.inflight_count -= 1
+                        if is_work:
+                            self.admission.complete()
                         return
         finally:
             with self._lock:
@@ -348,18 +483,64 @@ class NormServer:
                 except OSError:
                     pass
 
-    def _handle_one(self, connection: _Connection, payload: dict) -> None:
+    def _handle_one(
+        self, connection: _Connection, payload: dict, is_work: bool = False
+    ) -> None:
         """Worker body: handle one envelope, send its response frame."""
+        started = time.perf_counter()
         try:
-            response = self.handler.handle(payload)
+            degrade_level = 0
+            if self.ladder is not None and is_work:
+                # Feed the ladder the queue pressure at execution time; it
+                # answers the fidelity level this request runs at.
+                degrade_level = self.ladder.observe(self.admission.pressure())
+            response = self.handler.handle(payload, degrade_level)
+            if self.ladder is not None and is_work:
+                applied = _applied_degradation(response)
+                if applied is not None:
+                    self.ladder.record_applied(applied)
             sent = self._try_send(connection, response)
             if sent:
                 with self._lock:
                     self.requests_served += 1
         finally:
+            if is_work:
+                self.admission.complete(time.perf_counter() - started)
             with self._lock:
                 connection.inflight_count -= 1
             connection.inflight.release()
+
+    def _error_envelope(self, payload: dict, error: BaseException) -> dict:
+        """An error envelope for a frame rejected before reaching the handler.
+
+        Mirrors the handler's request_id / schema_version echo so shed
+        responses demultiplex and parse exactly like handled ones.
+        """
+        request_id = payload.get("request_id") if isinstance(payload, dict) else None
+        if isinstance(request_id, bool) or not isinstance(request_id, int):
+            request_id = None
+        envelope = ErrorResponse.from_exception(error, request_id).to_wire()
+        if isinstance(payload, dict):
+            version = payload.get("schema_version")
+            if (
+                not isinstance(version, bool)
+                and isinstance(version, int)
+                and self.handler.min_schema_version
+                <= version
+                <= self.handler.max_schema_version
+            ):
+                envelope["schema_version"] = version
+        return envelope
+
+    def _send_raw(self, connection: _Connection, data: bytes) -> None:
+        """Write raw bytes (a chaos-corrupted frame) under the send lock."""
+        try:
+            with connection.send_lock:
+                if connection.closed:
+                    return
+                connection.sock.sendall(data)
+        except OSError:
+            pass
 
     def _try_send(self, connection: _Connection, payload: dict) -> bool:
         try:

@@ -52,6 +52,7 @@ from repro.api.framing import (
     recv_frame,
     send_frame,
 )
+from repro.api.retry import AMBIGUOUS, CLEAN, OVERLOADED, RetryPolicy
 
 
 class PendingReply:
@@ -110,6 +111,24 @@ class PendingReply:
         if self._error is not None:
             raise self._error
         return self._value
+
+
+def _overload_error(response: Dict[str, Any]) -> Optional[float]:
+    """``retry_after_ms`` of an ``overloaded`` error envelope, else ``None``.
+
+    Cheap structural peek (no full decode): retry loops use it to decide
+    whether a response envelope is really the server shedding load.
+    Returns 0.0 when the envelope carries no usable ``retry_after_ms``.
+    """
+    if not isinstance(response, dict):
+        return None
+    error = response.get("error")
+    if not isinstance(error, dict) or error.get("code") != "overloaded":
+        return None
+    retry_after = error.get("retry_after_ms")
+    if isinstance(retry_after, bool) or not isinstance(retry_after, (int, float)):
+        return 0.0
+    return float(retry_after)
 
 
 class Transport:
@@ -406,6 +425,12 @@ class SocketTransport(Transport):
         Perform the hello handshake on the first connection.  Disabling it
         skips version negotiation and stamps envelopes with this build's
         newest version (used by raw-protocol tests).
+    retry_policy:
+        The :class:`~repro.api.retry.RetryPolicy` governing the blocking
+        ``request`` path: backoff with full jitter, a retry budget, honor
+        ``retry_after_ms`` on overload, and never resend a non-idempotent
+        execute op after an ambiguous (post-send) failure.  Defaults to a
+        two-attempt policy matching the transport's historical behaviour.
     """
 
     def __init__(
@@ -418,9 +443,11 @@ class SocketTransport(Transport):
         pool_size: int = 1,
         schema_versions: Tuple[int, int] = (MIN_SCHEMA_VERSION, SCHEMA_VERSION),
         negotiate: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if pool_size < 1:
             raise ValueError("pool_size must be at least 1")
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.host = host
         self.port = int(port)
         self.timeout = timeout
@@ -465,7 +492,28 @@ class SocketTransport(Transport):
                 "in_flight": sum(conn.in_flight for conn in live),
                 "reconnects": self._reconnects,
                 "negotiated_version": self.negotiated_version,
+                "retry": self.retry_policy.snapshot(),
             }
+
+    def kill_connections(self) -> int:
+        """Force-close every pooled connection without closing the transport.
+
+        A chaos hook (:class:`repro.chaos.transport.ChaosTransport`'s
+        ``kill_after`` fault): in-flight requests fail with a
+        ``TransportError`` and the next request redials transparently --
+        exactly what a mid-flight server death looks like from here.
+        Returns the number of connections killed.
+        """
+        with self._pool_lock:
+            victims = [conn for conn in self._connections if not conn.dead]
+        for conn in victims:
+            conn.close(
+                TransportError(
+                    f"connection to {self.address} killed by chaos plan",
+                    address=self.address,
+                )
+            )
+        return len(victims)
 
     def _open_connection(self) -> _PoolConnection:
         """Dial one connection; the first performs the hello handshake."""
@@ -564,10 +612,19 @@ class SocketTransport(Transport):
                 self._pool_cond.wait(timeout=self.connect_timeout + 1.0)
         try:
             conn = self._open_connection()
-        except BaseException:
+        except BaseException as dial_error:
             with self._pool_cond:
                 self._dialing -= 1
                 self._pool_cond.notify_all()
+                if isinstance(dial_error, TransportError) and not self._closed:
+                    # A refused dial while *topping up* the pool must not
+                    # fail the request: the pool may still hold live
+                    # connections that can carry it (the dial was an
+                    # optimization, not a requirement).  Only a request
+                    # with nowhere else to go surfaces the dial failure.
+                    live = [c for c in self._connections if not c.dead]
+                    if live:
+                        return min(live, key=lambda c: c.in_flight)
             raise
         with self._pool_cond:
             self._dialing -= 1
@@ -617,29 +674,66 @@ class SocketTransport(Transport):
         ) from last_error
 
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one envelope, retrying under the transport's retry policy.
+
+        Failure classification drives the policy: a send-time failure is
+        *clean* (the frame never hit the wire -- any op may resend), a
+        post-send failure is *ambiguous* (the server may have executed the
+        request -- non-idempotent execute ops surface it instead of
+        resending), and an ``overloaded`` error envelope is clean with the
+        server-supplied ``retry_after_ms`` as the backoff floor.
+        """
+        policy = self.retry_policy
+        policy.record_attempt()
+        op = payload.get("op") if isinstance(payload, dict) else None
+        op = op if isinstance(op, str) else ""
+        attempt = 0
         last_error: Optional[BaseException] = None
-        for _attempt in (1, 2):
+        while True:
+            failure = CLEAN
+            retry_after_ms: Optional[float] = None
+            response: Optional[Dict[str, Any]] = None
             try:
                 conn = self._get_connection()
                 reply = conn.submit(self._stamp_version(payload))
             except TransportError as error:
-                # Dead connection at send time: redial and resend exactly
-                # once -- every request is a pure function of its envelope,
-                # so the single resend cannot double-apply.
+                # Dead connection at send time: the frame never left this
+                # process, so resending cannot double-apply for any op.
                 last_error = error
-                continue
             except ApiError:
                 raise  # protocol-level (frame too large): not retryable
-            try:
-                return reply.result(self.timeout)
-            except TransportError as error:
-                # A timed-out reply withdrew its own request_id (the
-                # abandon hook), so a retry can resubmit the same envelope.
-                last_error = error
-        raise TransportError(
-            f"request to {self.address} failed after reconnect: {last_error}",
-            address=self.address,
-        ) from last_error
+            else:
+                try:
+                    response = reply.result(self.timeout)
+                except TransportError as error:
+                    # The frame was sent; the server may have executed it.
+                    # A timed-out reply withdrew its own request_id (the
+                    # abandon hook), so a resend can reuse the envelope.
+                    last_error = error
+                    failure = AMBIGUOUS
+            if response is not None:
+                shed = _overload_error(response)
+                if shed is None:
+                    return response
+                # The server shed the request before doing any work:
+                # retryable for every op, honoring its retry_after_ms.
+                failure = OVERLOADED
+                retry_after_ms = shed
+                last_error = None
+            delay = policy.next_delay(attempt, op, failure, retry_after_ms)
+            if delay is None:
+                if response is not None:
+                    # Out of retries for an overloaded response: surface
+                    # the typed error envelope to the caller as-is.
+                    return response
+                raise TransportError(
+                    f"request to {self.address} failed after reconnect "
+                    f"({attempt + 1} attempt(s)): {last_error}",
+                    address=self.address,
+                ) from last_error
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
 
     def wait_until_ready(self, timeout: float = 10.0, poll_interval: float = 0.1) -> None:
         """Block until a connection can be established (server startup races)."""

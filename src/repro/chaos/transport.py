@@ -1,0 +1,184 @@
+"""Client-side fault injection behind the pooled-transport contract.
+
+:class:`ChaosTransport` wraps any :class:`~repro.api.transport.Transport`
+(socket, fleet, in-process) and applies a seeded
+:class:`~repro.chaos.plan.FaultPlan` on the way through, so the code under
+test -- client, retry policy, fleet failover -- is the *production* code,
+bit for bit; only the failures are synthetic:
+
+* ``refuse_connect`` / ``drop`` fail the request with a typed
+  ``TransportError`` before / at the wire (clean vs. lost-frame).
+* ``delay`` / ``slow_drain`` stall before / after delegating.
+* ``corrupt`` mangles the envelope's ``op`` (request id preserved, so
+  pipelining demultiplexes) -- the server answers a *typed* schema error,
+  the taxonomy the chaos property test pins down.
+* ``kill_after`` force-closes the wrapped transport's pooled connections
+  (:meth:`SocketTransport.kill_connections`): in-flight requests fail like
+  a mid-flight server death and the next request redials.
+
+Registered as transport ``"chaos"``; the factory wraps a
+:class:`~repro.api.transport.SocketTransport` built from the same
+keyword arguments.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.api.envelopes import TransportError
+from repro.api.transport import (
+    PendingReply,
+    SocketTransport,
+    Transport,
+    register_transport,
+)
+from repro.chaos.plan import FaultAction, FaultPlan, canned_plan
+
+__all__ = ["ChaosTransport"]
+
+
+class ChaosTransport(Transport):
+    """A fault-injecting decorator over any client transport."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        plan: FaultPlan,
+        scope: str = "wire",
+        replica: Optional[str] = None,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self._injector = plan.injector(scope=scope, replica=replica)
+        self._lock = threading.Lock()
+        self._by_kind: Dict[str, int] = {}
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return f"chaos({getattr(self.inner, 'address', '?')})"
+
+    @property
+    def negotiated_version(self) -> Optional[int]:
+        return getattr(self.inner, "negotiated_version", None)
+
+    def wait_until_ready(self, timeout: float = 10.0, poll_interval: float = 0.1) -> None:
+        waiter = getattr(self.inner, "wait_until_ready", None)
+        if waiter is not None:
+            waiter(timeout=timeout, poll_interval=poll_interval)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def stats(self) -> Dict[str, Any]:
+        inner_stats = getattr(self.inner, "stats", None)
+        out = inner_stats() if callable(inner_stats) else {}
+        out = dict(out)
+        out["chaos"] = self.snapshot()
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            by_kind = dict(self._by_kind)
+        out = self._injector.snapshot()
+        out["by_kind"] = by_kind
+        out["plan"] = self.plan.name or None
+        return out
+
+    # -- fault application ---------------------------------------------------
+
+    def _count(self, action: FaultAction) -> None:
+        with self._lock:
+            self._by_kind[action.kind] = self._by_kind.get(action.kind, 0) + 1
+
+    def _fail(self, action: FaultAction, message: str) -> TransportError:
+        return TransportError(
+            f"chaos: {message} (plan {self.plan.name or '?'!s}, "
+            f"rule {action.rule_index})",
+            address=getattr(self.inner, "address", None),
+        )
+
+    @staticmethod
+    def _mangle(payload: Dict[str, Any], action: FaultAction) -> Dict[str, Any]:
+        # Keep request_id so the response demultiplexes; garble the op so
+        # the server answers a typed schema error instead of doing work.
+        mangled = dict(payload)
+        mangled["op"] = f"corrupted[{action.data[:4].hex()}]"
+        return mangled
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        action = self._injector.decide(payload.get("op"))
+        if action is None:
+            return self.inner.request(payload)
+        self._count(action)
+        kind = action.kind
+        if kind == "delay":
+            time.sleep(action.delay_s)
+            return self.inner.request(payload)
+        if kind == "slow_drain":
+            response = self.inner.request(payload)
+            time.sleep(action.delay_s)
+            return response
+        if kind == "corrupt":
+            return self.inner.request(self._mangle(payload, action))
+        if kind == "refuse_connect":
+            raise self._fail(action, "connection refused before dial")
+        if kind == "drop":
+            raise self._fail(action, "request frame dropped on the wire")
+        # kill_after: sever the live connections, fail this request the
+        # way a dying server would; the pool redials on the next one.
+        killer = getattr(self.inner, "kill_connections", None)
+        if callable(killer):
+            killer()
+        raise self._fail(action, "connection killed mid-flight")
+
+    def submit(self, payload: Dict[str, Any]) -> PendingReply:
+        action = self._injector.decide(payload.get("op"))
+        if action is None:
+            return self.inner.submit(payload)
+        self._count(action)
+        kind = action.kind
+        if kind in ("delay", "slow_drain"):
+            # From the pipelined path both stalls surface as a delayed
+            # send; there is no waiter to stall afterwards.
+            time.sleep(action.delay_s)
+            return self.inner.submit(payload)
+        if kind == "corrupt":
+            return self.inner.submit(self._mangle(payload, action))
+        reply = PendingReply()
+        if kind == "refuse_connect":
+            reply.set_exception(self._fail(action, "connection refused before dial"))
+        elif kind == "drop":
+            reply.set_exception(self._fail(action, "request frame dropped on the wire"))
+        else:  # kill_after
+            killer = getattr(self.inner, "kill_connections", None)
+            if callable(killer):
+                killer()
+            reply.set_exception(self._fail(action, "connection killed mid-flight"))
+        return reply
+
+
+def _chaos_factory(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    plan: Optional[FaultPlan] = None,
+    scope: str = "wire",
+    replica: Optional[str] = None,
+    **kwargs: Any,
+) -> ChaosTransport:
+    """Registry factory: a chaos-wrapped socket transport from kwargs."""
+    if plan is None:
+        plan = canned_plan()
+    elif isinstance(plan, str):
+        plan = FaultPlan.from_json(plan)
+    elif isinstance(plan, dict):
+        plan = FaultPlan.from_dict(plan)
+    return ChaosTransport(
+        SocketTransport(host, port, **kwargs), plan, scope=scope, replica=replica
+    )
+
+
+register_transport("chaos", _chaos_factory)

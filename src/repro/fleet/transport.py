@@ -49,10 +49,12 @@ from repro.api.envelopes import (
     next_request_id,
 )
 from repro.api.framing import MAX_FRAME_BYTES
+from repro.api.retry import AMBIGUOUS, NON_IDEMPOTENT_OPS, OVERLOADED, RetryPolicy
 from repro.api.transport import (
     PendingReply,
     SocketTransport,
     Transport,
+    _overload_error,
     register_transport,
 )
 from repro.fleet.health import BreakerConfig
@@ -74,6 +76,7 @@ def _default_factory(
     connect_timeout: float,
     pool_size: int,
     max_frame_bytes: int,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> SocketTransport:
     from repro.api.server import parse_address
 
@@ -85,6 +88,7 @@ def _default_factory(
         connect_timeout=connect_timeout,
         pool_size=pool_size,
         max_frame_bytes=max_frame_bytes,
+        retry_policy=retry_policy,
     )
 
 
@@ -177,6 +181,7 @@ class FleetTransport(Transport):
         scatter: bool = True,
         transport_factory: Optional[Callable[[str], Transport]] = None,
         clock: Callable[[], float] = time.monotonic,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.timeout = timeout
         self.connect_timeout = connect_timeout
@@ -188,6 +193,11 @@ class FleetTransport(Transport):
         self.hedge_floor = hedge_floor
         self.hedge_ceiling = hedge_ceiling
         self.scatter = scatter
+        # One policy instance spans the whole fleet: every replica's
+        # SocketTransport shares this token bucket, so failovers and
+        # per-replica retries draw from a single budget instead of each
+        # replica amplifying overload independently.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._clock = clock
         self._router = FleetRouter(
             addresses, vnodes=vnodes, breaker=breaker, clock=clock
@@ -252,6 +262,7 @@ class FleetTransport(Transport):
                 "failovers": self.failovers,
                 "scatter_requests": self.scatter_requests,
                 "scatter_retries": self.scatter_retries,
+                "retry": self.retry_policy.snapshot(),
             }
         health = self._router.snapshot()
         replicas = {}
@@ -282,6 +293,7 @@ class FleetTransport(Transport):
                         self.connect_timeout,
                         self.pool_size,
                         self.max_frame_bytes,
+                        retry_policy=self.retry_policy,
                     )
                 self._transports[address] = transport
         return transport
@@ -363,6 +375,26 @@ class FleetTransport(Transport):
 
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         op = payload.get("op")
+        self.retry_policy.record_attempt()
+        attempt = 0
+        while True:
+            envelope = self._dispatch(payload, op)
+            retry_after_ms = _overload_error(envelope)
+            if retry_after_ms is None:
+                return envelope
+            # The winning replica shed this request before doing any work.
+            # Re-dispatching is safe for every op, but only as the shared
+            # budget allows and never before the server's own estimate of
+            # when capacity frees up.
+            delay = self.retry_policy.next_delay(
+                attempt, op, OVERLOADED, retry_after_ms=retry_after_ms
+            )
+            if delay is None:
+                return envelope
+            time.sleep(delay)
+            attempt += 1
+
+    def _dispatch(self, payload: Dict[str, Any], op: Optional[str]) -> Dict[str, Any]:
         field = _BULK_FIELDS.get(op)
         if field is not None and self.scatter:
             items = payload.get(field)
@@ -436,7 +468,18 @@ class FleetTransport(Transport):
                     f"(tried {tried})"
                 )
             if not inflight:
-                # Everything in flight failed: move to the next candidate.
+                # Everything in flight failed *after* its frame was sent --
+                # an ambiguous failure: the op may already have run on the
+                # dead replica.  Failing over re-sends, which the retry
+                # discipline forbids for non-idempotent execute ops.
+                op = payload.get("op")
+                if op in NON_IDEMPOTENT_OPS:
+                    self.retry_policy.next_delay(0, op, AMBIGUOUS)  # counted
+                    raise TransportError(
+                        f"ambiguous failure for non-idempotent op {op!r} "
+                        f"(tried {tried}); not re-sent: {last_error}"
+                    ) from last_error
+                # Idempotent ops move to the next candidate.
                 if not _launch():
                     raise NoHealthyReplicaError(
                         f"no healthy replica left for key {key!r} "
@@ -499,15 +542,26 @@ class FleetTransport(Transport):
                 reply = None  # collected below via the retry path
             pending.append(reply)
 
+        op = payload.get("op")
         responses: List[Optional[Dict[str, Any]]] = [None] * len(bounds)
         for index, reply in enumerate(pending):
             lo, hi = bounds[index]
             envelope: Optional[Dict[str, Any]] = None
+            slice_error: Optional[TransportError] = None
             if reply is not None:
                 try:
                     envelope = reply.result(max(0.0, deadline - self._clock()))
-                except TransportError:
+                except TransportError as error:
                     envelope = None
+                    slice_error = error
+            if envelope is None and slice_error is not None and op in NON_IDEMPOTENT_OPS:
+                # The slice was sent and its shard died before replying --
+                # ambiguous: the groups may already have executed there.
+                self.retry_policy.next_delay(0, op, AMBIGUOUS)  # counted
+                raise TransportError(
+                    f"ambiguous failure for non-idempotent op {op!r} on "
+                    f"scatter slice [{lo}:{hi}]; not re-sent: {slice_error}"
+                ) from slice_error
             if envelope is None:
                 # The shard died under this slice (or never took it):
                 # re-dispatch on the survivors, hedged, same deadline.

@@ -89,6 +89,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-connection bound on pipelined requests being handled "
         "concurrently in --listen mode (excess becomes TCP backpressure)",
     )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=256,
+        help="admission-control queue bound in --listen mode: work beyond "
+        "it (or that cannot meet its deadline_ms) is shed before decode "
+        "with a typed overloaded error",
+    )
+    parser.add_argument(
+        "--degrade",
+        action="store_true",
+        help="enable the adaptive degradation ladder in --listen mode: "
+        "under sustained queue pressure, serving ops step down the "
+        "paper's fidelity knobs (subsampled stats, then the skip-eligible "
+        "fast path) instead of shedding; responses are stamped with the "
+        "level applied",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to drain in-flight frames on SIGINT/SIGTERM before "
+        "connections are closed (0: immediate close)",
+    )
     parser.add_argument("--max-batch-size", type=int, default=32, help="micro-batch size trigger")
     parser.add_argument(
         "--max-wait-ms", type=float, default=2.0, help="micro-batch latency trigger (ms)"
@@ -123,6 +147,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--requests and --rows must be positive")
     if args.workers < 1 or args.max_inflight < 1:
         parser.error("--workers and --max-inflight must be positive")
+    if args.max_queue_depth < 1:
+        parser.error("--max-queue-depth must be positive")
+    if args.drain_timeout < 0:
+        parser.error("--drain-timeout must be >= 0")
     if args.registry_capacity < 1:
         parser.error("--registry-capacity must be positive")
     try:
@@ -243,8 +271,11 @@ def _serve_forever(
 
     The calibration artifact is already warm (main() resolved it), so the
     first remote request never pays Algorithm 1.  SIGINT and SIGTERM both
-    trigger a clean shutdown -- server closed, queued requests flushed,
-    telemetry printed -- and exit code 0, which the CI smoke job asserts.
+    trigger a *graceful* shutdown: the listener stops, in-flight frames
+    drain for up to ``--drain-timeout`` seconds (new work is answered
+    with a typed overloaded error while draining), then connections are
+    closed, queued requests flushed, telemetry printed -- and exit code 0,
+    which the CI smoke job asserts.
     """
     from repro.api.server import NormServer, parse_address
 
@@ -264,6 +295,11 @@ def _serve_forever(
         for signum in (signal.SIGINT, signal.SIGTERM)
     }
     service = NormalizationService(registry=registry, config=config)
+    ladder = None
+    if args.degrade:
+        from repro.serving.degrade import DegradationLadder
+
+        ladder = DegradationLadder()
     try:
         try:
             server = NormServer(
@@ -272,6 +308,8 @@ def _serve_forever(
                 port=port,
                 workers=args.workers,
                 max_inflight=args.max_inflight,
+                max_queue_depth=args.max_queue_depth,
+                ladder=ladder,
             )
         except OSError as error:
             print(f"haan-serve: cannot bind {args.listen}: {error}", file=sys.stderr)
@@ -281,11 +319,16 @@ def _serve_forever(
                 f"haan-serve: listening on {server.host}:{server.port} "
                 f"(model {args.model!r}, dataset {args.dataset!r}; "
                 f"{args.workers} workers, {args.max_inflight} in-flight "
-                f"per connection; stop with SIGINT/SIGTERM)",
+                f"per connection, queue bound {args.max_queue_depth}"
+                f"{', degradation ladder on' if ladder is not None else ''}; "
+                f"stop with SIGINT/SIGTERM)",
                 flush=True,
             )
             while not stop.wait(0.2):
                 pass
+            # Graceful drain: stop accepting, let in-flight frames finish
+            # (bounded), then the context manager's close() is a no-op.
+            server.close(drain_timeout=args.drain_timeout)
             print(f"haan-serve: shutting down after {server.requests_served} request(s)")
     finally:
         service.close()

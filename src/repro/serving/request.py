@@ -49,6 +49,11 @@ class RequestKey:
     reference: bool = False
     backend: str = "vectorized"
     accelerator: Optional[str] = None
+    #: Degradation-ladder level this request executes at (0 = full
+    #: fidelity).  Degraded requests compile to a *different* engine
+    #: (forced subsampling / skip fast path), so they must never share a
+    #: micro-batch with full-fidelity traffic.
+    degrade: int = 0
 
 
 class NormRequest:
@@ -121,3 +126,7 @@ class NormResponse:
     batch_size: int
     queue_wait: float
     batch_latency: float
+    #: Degradation-ladder level actually applied (0 = full fidelity).
+    #: Responses are stamped so a degraded result is never silently
+    #: substituted for a full-fidelity one.
+    degradation: int = 0

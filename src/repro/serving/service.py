@@ -28,8 +28,10 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.engine.registry import validate_backend_name
+from repro.engine.spec import spec_for_layer
 from repro.llm.hooks import ActivationContext, scatter_isd, stack_anchor_isds
 from repro.numerics.kernels import KernelWorkspace
+from repro.serving.degrade import MAX_LEVEL, degraded_spec
 from repro.serving.batcher import (
     BatcherConfig,
     MicroBatcher,
@@ -64,6 +66,12 @@ class NormalizationService:
         # worker mid-kernel and corrupt both batches.
         self._workspace = KernelWorkspace()
         self._execute_lock = threading.Lock()
+        # Engines compiled for degraded requests (forced subsampling /
+        # forced skip fast path): the layer's own engine cache only knows
+        # its calibrated spec, so degraded variants live here, keyed by
+        # the full request key.  Guarded by the execute lock (the only
+        # place the cache is read or written).
+        self._degraded_engines = {}
         self._queue_clock = time.monotonic
         self.batcher = MicroBatcher(self._execute_batch, config, clock=self._queue_clock)
         self._threaded = threaded
@@ -99,6 +107,7 @@ class NormalizationService:
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
         context: Optional[ActivationContext] = None,
+        degrade: int = 0,
     ) -> ResponseFuture:
         """Enqueue one request; returns a future of :class:`NormResponse`.
 
@@ -106,9 +115,12 @@ class NormalizationService:
         (:func:`repro.engine.registry.available_backends` lists the valid
         names) and ``accelerator`` optionally pins a named
         :class:`AcceleratorConfig` for cost-modelling backends; requests
-        only coalesce with requests sharing both.  Unknown backend, model
-        or accelerator names fail *here*, synchronously, with the registry
-        contents in the message -- never deep inside the batch executor.
+        only coalesce with requests sharing both.  ``degrade`` runs the
+        request at a :mod:`~repro.serving.degrade` ladder level (the
+        response is stamped with the level actually applied).  Unknown
+        backend, model or accelerator names fail *here*, synchronously,
+        with the registry contents in the message -- never deep inside
+        the batch executor.
         """
         key = RequestKey(
             model=model,
@@ -117,6 +129,7 @@ class NormalizationService:
             reference=reference,
             backend=backend,
             accelerator=accelerator,
+            degrade=degrade,
         )
         self._validate_key(key)
         return self.batcher.submit(NormRequest(key=key, payload=payload, context=context))
@@ -131,6 +144,7 @@ class NormalizationService:
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
         context: Optional[ActivationContext] = None,
+        degrade: int = 0,
     ) -> List[ResponseFuture]:
         """Enqueue a burst of requests under one scheduler lock acquisition."""
         key = RequestKey(
@@ -140,6 +154,7 @@ class NormalizationService:
             reference=reference,
             backend=backend,
             accelerator=accelerator,
+            degrade=degrade,
         )
         self._validate_key(key)
         return self.batcher.submit_many(
@@ -156,6 +171,11 @@ class NormalizationService:
         """
         validate_backend_name(key.backend)
         self.registry.validate_model(key.model)
+        if not 0 <= key.degrade <= MAX_LEVEL:
+            raise ValueError(
+                f"degrade level {key.degrade} out of range; the ladder has "
+                f"levels 0..{MAX_LEVEL}"
+            )
         if key.accelerator is not None:
             from repro.hardware.configs import resolve_accelerator_config
 
@@ -187,6 +207,7 @@ class NormalizationService:
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
         context: Optional[ActivationContext] = None,
+        degrade: int = 0,
     ) -> Iterator[NormResponse]:
         """Normalize a stream of activation chunks, yielding results in order.
 
@@ -209,6 +230,7 @@ class NormalizationService:
                 backend=backend,
                 accelerator=accelerator,
                 context=context if context is not None else ActivationContext(),
+                degrade=degrade,
             )
             for chunk in chunks
         ]
@@ -226,6 +248,57 @@ class NormalizationService:
         with self._execute_lock:
             self._execute_batch_locked(key, batch, total_rows)
 
+    def _degraded_engine(self, artifact, layer, key: RequestKey):
+        """``(engine, applied_level)`` for a degraded request key.
+
+        Degraded engines are compiled from the layer's calibrated spec with
+        the ladder level's knobs forced (:func:`degraded_spec`) and cached
+        per full key -- the layer's own engine cache only ever holds the
+        calibrated spec.  Called under the execute lock.
+        """
+        cache_key = key
+        cached = self._degraded_engines.get(cache_key)
+        if cached is not None:
+            return cached
+        spec = spec_for_layer(layer)
+        source = None
+        if key.degrade >= 2 and spec.predictor_anchor_log_isd is None:
+            # Borrow equation (3) coefficients from one of the artifact's
+            # calibrated skip-range layers (any will do: the window is
+            # re-anchored onto this layer by degraded_spec).
+            for other in artifact.haan_layers:
+                predictor = getattr(other, "predictor", None)
+                if predictor is not None and predictor.covers(other.layer_index):
+                    source = spec_for_layer(other)
+                    break
+        dspec, applied_level = degraded_spec(spec, key.degrade, predictor_source=source)
+        if applied_level == 0:
+            engine = layer.engine_for(key.backend, accelerator=key.accelerator)
+        else:
+            from repro.engine.registry import build
+
+            kwargs = {}
+            if key.accelerator is not None:
+                from repro.hardware.configs import resolve_accelerator_config
+
+                kwargs["accelerator_config"] = resolve_accelerator_config(key.accelerator)
+            try:
+                engine = build(
+                    dspec,
+                    backend=key.backend,
+                    gamma=layer.gamma,
+                    beta=layer.beta,
+                    **kwargs,
+                )
+            except TypeError as error:
+                raise ValueError(
+                    f"backend {key.backend!r} does not accept an accelerator "
+                    f"config; pick a cost-modelling backend (simulated*) "
+                    f"or drop accelerator={key.accelerator!r}"
+                ) from error
+        self._degraded_engines[cache_key] = (engine, applied_level)
+        return engine, applied_level
+
     def _execute_batch_locked(
         self, key: RequestKey, batch: List[PendingRequest], total_rows: int
     ) -> None:
@@ -236,7 +309,11 @@ class NormalizationService:
             # through the engine registry; the name itself was validated at
             # submit() time, so failures here mean construction problems
             # (e.g. an accelerator selection on a cost-less backend).
-            engine = layer.engine_for(key.backend, accelerator=key.accelerator)
+            if key.degrade == 0:
+                engine = layer.engine_for(key.backend, accelerator=key.accelerator)
+                applied_level = 0
+            else:
+                engine, applied_level = self._degraded_engine(artifact, layer, key)
         except Exception as error:  # noqa: BLE001 -- fail the whole batch
             self.telemetry.observe_error()
             for pending in batch:
@@ -328,6 +405,7 @@ class NormalizationService:
                     batch_size,
                     wait,
                     batch_seconds,
+                    applied_level,
                 )
             )
         self.telemetry.observe_batch(
