@@ -95,9 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--encoding",
-        choices=("base64", "list"),
-        default="base64",
-        help="tensor wire encoding (both are exact for float64)",
+        choices=("binary", "base64", "list"),
+        default="binary",
+        help="tensor wire encoding (all are exact for float64; 'binary' "
+        "rides zero-copy v3 frames and auto-downgrades to base64 "
+        "against pre-v3 servers)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("socket", "shm"),
+        default="socket",
+        help="client transport: plain TCP, or same-host shared-memory "
+        "slabs for tensor payloads ('shm' falls back to TCP when the "
+        "server refuses the attach; single-address connects only)",
     )
     parser.add_argument(
         "--wait-seconds",
@@ -169,6 +179,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as error:
         parser.error(str(error))
 
+    if args.transport == "shm" and len(addresses) > 1:
+        parser.error("--transport shm connects to a single server, not a fleet")
     try:
         if len(addresses) > 1:
             client = NormClient.connect_fleet(
@@ -177,7 +189,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             host, port = parse_address(addresses[0])
             client = NormClient.connect(
-                host, port, pool_size=args.pool, timeout=args.timeout
+                host,
+                port,
+                pool_size=args.pool,
+                timeout=args.timeout,
+                transport=args.transport,
             )
         with client:
             client.wait_until_ready(timeout=args.wait_seconds)
@@ -222,12 +238,21 @@ def _run(client: NormClient, args: argparse.Namespace) -> int:
 
     mode = "bulk frame" if args.bulk else f"pipeline depth {args.depth}"
     negotiated = client.negotiated_version()
+    shm_note = ""
+    stats = getattr(client.transport, "stats", None)
+    if callable(stats):
+        shm = stats().get("shm")
+        if shm is not None:
+            shm_note = (
+                ", shm attached" if shm["sessions"] else ", shm refused (TCP fallback)"
+            )
     print(
         f"sending {len(payloads)} request(s) to {client.transport.address} "
         f"(model {args.model!r}, layer {args.layer}, backend {args.backend!r}, "
         f"{mode}, pool {args.pool}"
         + (f", accelerator {args.accelerator!r}" if args.accelerator else "")
         + (f", schema v{negotiated}" if negotiated is not None else "")
+        + shm_note
         + ")"
     )
     shared = dict(

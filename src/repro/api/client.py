@@ -42,6 +42,18 @@ from repro.api.envelopes import (
 from repro.api.transport import InProcessTransport, PendingReply, SocketTransport, Transport
 
 
+def _resolve_encoding(encoding: Optional[str]) -> str:
+    """Default tensor encoding: zero-copy ``binary`` unless the caller pins one.
+
+    ``None`` (the default everywhere) means "the fastest exact encoding":
+    v3 binary frames.  Transports negotiate this down automatically -- a
+    v2-only peer receives base64 via the copy-on-write downgrade in
+    :meth:`SocketTransport._stamp_version` -- so callers never need to
+    know the peer's version to pick an encoding.
+    """
+    return "binary" if encoding is None else encoding
+
+
 @dataclass(frozen=True)
 class ClientNormResult:
     """Decoded result of one normalize call."""
@@ -134,13 +146,27 @@ class NormClient:
         )
 
     @classmethod
-    def connect(cls, host: str, port: int, pool_size: int = 1, **kwargs) -> "NormClient":
+    def connect(
+        cls, host: str, port: int, pool_size: int = 1, transport: str = "socket", **kwargs
+    ) -> "NormClient":
         """Client over TCP against a running :class:`NormServer`.
 
         The transport is pooled and thread-safe: concurrent callers may
         share one client, and ``pool_size`` connections carry their
         pipelined requests (demultiplexed by ``request_id``).
+
+        ``transport="shm"`` selects the same-host shared-memory transport
+        (:class:`~repro.api.shm.SharedMemoryTransport`): tensor buffers
+        travel through shared-memory slabs while control frames keep the
+        socket.  It degrades to plain TCP automatically when the server
+        refuses the attach (flag off, cross-host peer).
         """
+        if transport == "shm":
+            from repro.api.shm import SharedMemoryTransport
+
+            return cls(SharedMemoryTransport(host, port, pool_size=pool_size, **kwargs))
+        if transport != "socket":
+            raise ValueError(f"unknown connect transport {transport!r} (socket or shm)")
         return cls(SocketTransport(host, port, pool_size=pool_size, **kwargs))
 
     @classmethod
@@ -181,7 +207,7 @@ class NormClient:
         reference: bool = False,
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
-        encoding: str = "base64",
+        encoding: Optional[str] = None,
         deadline_ms: Optional[float] = None,
     ) -> ClientNormResult:
         """Normalize one ``(hidden,)`` or ``(rows, hidden)`` tensor.
@@ -203,6 +229,7 @@ class NormClient:
         payload, model, layer_index, dataset, reference, backend, accelerator,
         encoding, deadline_ms=None,
     ) -> NormalizeRequest:
+        encoding = _resolve_encoding(encoding)
         return NormalizeRequest(
             model=model,
             tensor=TensorPayload.from_array(np.asarray(payload, dtype=np.float64), encoding),
@@ -258,7 +285,7 @@ class NormClient:
         reference: bool = False,
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
-        encoding: str = "base64",
+        encoding: Optional[str] = None,
         deadline_ms: Optional[float] = None,
     ) -> "PendingNormResult":
         """Pipeline one normalize request without blocking on its response.
@@ -317,7 +344,7 @@ class NormClient:
         reference: bool = False,
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
-        encoding: str = "base64",
+        encoding: Optional[str] = None,
         deadline_ms: Optional[float] = None,
     ) -> List[ClientNormResult]:
         """Normalize many tensors with **one** frame (the v2 bulk op).
@@ -326,6 +353,7 @@ class NormClient:
         single client fills batches by itself instead of relying on
         cross-client coalescing.  Results come back in payload order.
         """
+        encoding = _resolve_encoding(encoding)
         request = NormalizeBulkRequest(
             model=model,
             tensors=tuple(
@@ -358,7 +386,7 @@ class NormClient:
         reference: bool = False,
         backend: str = "vectorized",
         accelerator: Optional[str] = None,
-        encoding: str = "base64",
+        encoding: Optional[str] = None,
         deadline_ms: Optional[float] = None,
     ) -> Iterator[ClientNormResult]:
         """Normalize a stream of activation chunks, yielding in chunk order.
@@ -370,6 +398,7 @@ class NormClient:
         """
         if depth < 1:
             raise ValueError("stream depth must be at least 1")
+        encoding = _resolve_encoding(encoding)
         deadline_ms = validate_deadline_ms(deadline_ms, "submit")
         stream_id = next_stream_id()
 
@@ -442,13 +471,14 @@ class NormClient:
         segment_starts: Optional[np.ndarray] = None,
         anchor_isd: Optional[np.ndarray] = None,
         backend: str = "vectorized",
-        encoding: str = "base64",
+        encoding: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Execute a shipped :class:`EngineSpec` server-side over stacked rows.
 
         The transport-level counterpart of ``engine.run``: returns
         ``(output, mean, isd)``.  Used by the engine's ``remote`` backend.
         """
+        encoding = _resolve_encoding(encoding)
         spec_dict = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
 
         def _tensor(arr) -> Optional[TensorPayload]:
@@ -483,7 +513,7 @@ class NormClient:
         gamma: Optional[np.ndarray] = None,
         beta: Optional[np.ndarray] = None,
         backend: str = "vectorized",
-        encoding: str = "base64",
+        encoding: Optional[str] = None,
     ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
         """Execute one shipped spec over many row-groups with one frame.
 
@@ -493,6 +523,7 @@ class NormClient:
         group under a single engine-lock acquisition.  Returns one
         ``(output, mean, isd)`` per group, in order.
         """
+        encoding = _resolve_encoding(encoding)
         spec_dict = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
         wire_groups = []
         for rows, segment_starts, anchor_isd in groups:

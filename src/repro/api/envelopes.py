@@ -6,8 +6,10 @@ three fixed keys -- ``schema_version``, ``op`` and ``request_id`` -- plus
 the op-specific payload.  This module owns that schema:
 
 * :class:`TensorPayload` -- dtype/shape/data encoding of one ndarray
-  (``base64`` raw little-endian bytes, or ``list`` nested JSON numbers;
-  both round-trip float64 bit-exactly),
+  (``base64`` raw little-endian bytes, ``list`` nested JSON numbers, or
+  the v3 ``binary`` encoding whose data is the raw little-endian buffer
+  itself -- zero copy on encode and decode; all three round-trip float64
+  bit-exactly),
 * the request/response envelope dataclasses -- the v1 single-request ops
   (``normalize``, ``spec``, ``execute``, ``ping``, ``telemetry``) plus the
   v2 pipelining ops (``hello`` version negotiation, ``normalize_bulk``,
@@ -38,8 +40,16 @@ import numpy as np
 
 #: Newest wire-schema version this build speaks.  Version 2 added the
 #: pipelined multi-op framing: ``hello`` negotiation, ``normalize_bulk``
-#: and ``stream`` envelopes, and the bulk ``execute`` form.
-SCHEMA_VERSION = 2
+#: and ``stream`` envelopes, and the bulk ``execute`` form.  Version 3
+#: added the ``binary`` tensor encoding (raw little-endian buffers carried
+#: out-of-band in binary frames, no base64 round trip) and the same-host
+#: shared-memory transport's control ops.
+SCHEMA_VERSION = 3
+
+#: First schema version whose frames may carry ``binary`` tensors.  Peers
+#: that negotiate below this keep talking base64 over JSON frames; the
+#: transports downgrade outgoing envelopes transparently.
+BINARY_WIRE_VERSION = 3
 
 #: Oldest wire-schema version this build still accepts (version 1 is the
 #: PR-4 single-request protocol; every v1 envelope parses unchanged).
@@ -63,8 +73,16 @@ TENSOR_DTYPES: Dict[str, str] = {
     "int8": "|i1",
 }
 
-#: Supported tensor data encodings.
-TENSOR_ENCODINGS = ("base64", "list")
+#: Supported tensor data encodings.  ``binary`` (schema v3) keeps the raw
+#: little-endian buffer attached to the payload instead of inflating it to
+#: text; only binary frames and in-process transports can carry it.
+TENSOR_ENCODINGS = ("base64", "list", "binary")
+
+#: Python-level types a ``binary`` tensor's data may be (anything exposing
+#: a contiguous buffer).  JSON-origin envelopes can only produce str/list
+#: data, so a forged ``encoding: "binary"`` inside a JSON frame fails
+#: closed in :meth:`TensorPayload.from_wire`.
+_BINARY_DATA_TYPES = (bytes, bytearray, memoryview, np.ndarray)
 
 _client_request_ids = itertools.count(1)
 _client_stream_ids = itertools.count(1)
@@ -286,13 +304,49 @@ def _optional_deadline(payload: Dict[str, Any], where: str) -> Optional[float]:
 # ---------------------------------------------------------------------------
 
 
+def _binary_data_view(data: Any, where: str = "tensor") -> memoryview:
+    """A flat byte view over a ``binary`` tensor's data, validated.
+
+    Accepts anything in ``_BINARY_DATA_TYPES`` (the decoder hands out
+    memoryviews over the frame body or a shared-memory slab; in-process
+    callers keep the ndarray itself).  Non-contiguous buffers fail closed
+    with :class:`BadSchemaError` -- the wire form is always contiguous
+    little-endian, so anything else is a malformed envelope.
+    """
+    if isinstance(data, np.ndarray):
+        if not data.flags.c_contiguous:
+            raise BadSchemaError(f"{where} binary data must be C-contiguous")
+        if data.nbytes == 0:
+            return memoryview(b"")
+        return memoryview(data).cast("B")
+    if not isinstance(data, _BINARY_DATA_TYPES):
+        raise BadSchemaError(
+            f"{where} binary data has type {type(data).__name__}; expected a "
+            f"raw buffer (bytes, bytearray, memoryview or ndarray)"
+        )
+    try:
+        view = memoryview(data)
+        if view.nbytes == 0:
+            return memoryview(b"")
+        return view.cast("B")
+    except TypeError as error:
+        raise BadSchemaError(
+            f"{where} binary data is not a contiguous buffer: {error}"
+        ) from error
+
+
 @dataclass(frozen=True)
 class TensorPayload:
     """One ndarray encoded for the wire.
 
     ``base64`` carries the raw little-endian bytes (compact, exact);
     ``list`` carries nested JSON numbers (human-readable, and still exact
-    for float64 because JSON round-trips Python floats via shortest-repr).
+    for float64 because JSON round-trips Python floats via shortest-repr);
+    ``binary`` (schema v3) carries the raw little-endian buffer itself --
+    no text round trip, and :meth:`to_array` decodes it with
+    ``np.frombuffer`` over a memoryview, i.e. zero copy.  Binary payloads
+    only travel inside binary frames (:mod:`repro.api.framing`), over
+    shared memory, or in-process.
     """
 
     dtype: str
@@ -314,17 +368,43 @@ class TensorPayload:
             )
         wire_dtype = np.dtype(TENSOR_DTYPES[name])
         if encoding == "base64":
-            data: Any = base64.b64encode(
-                np.ascontiguousarray(arr, dtype=wire_dtype).tobytes()
-            ).decode("ascii")
+            # ascontiguousarray is a no-op view when the array is already
+            # contiguous little-endian, and .data exposes its buffer
+            # without the tobytes() materialization -- one copy at most.
+            contig = np.ascontiguousarray(arr, dtype=wire_dtype)
+            data: Any = base64.b64encode(contig.data).decode("ascii")
+        elif encoding == "binary":
+            # Zero copy when the array is already contiguous little-endian;
+            # the buffer travels out-of-band in the binary frame.
+            data = np.ascontiguousarray(arr, dtype=wire_dtype)
         else:
             data = arr.tolist()
         return cls(dtype=name, shape=tuple(int(s) for s in arr.shape), encoding=encoding, data=data)
 
     def to_array(self) -> np.ndarray:
-        """Decode back into a fresh, writable ndarray."""
+        """Decode back into an ndarray.
+
+        ``base64`` and ``list`` payloads return a fresh writable array.
+        ``binary`` payloads return a **zero-copy view** over the received
+        buffer (read-only when the buffer is, e.g. a frame body); callers
+        that need to mutate the result must copy.
+        """
         wire_dtype = np.dtype(TENSOR_DTYPES[self.dtype])
         count = int(np.prod(self.shape)) if self.shape else 1
+        if self.encoding == "binary":
+            view = _binary_data_view(self.data)
+            needed = count * wire_dtype.itemsize
+            if view.nbytes != needed:
+                raise BadSchemaError(
+                    f"binary tensor payload carries {view.nbytes} bytes but shape "
+                    f"{self.shape} with dtype {self.dtype} needs {needed}"
+                )
+            arr = np.frombuffer(view, dtype=wire_dtype).reshape(self.shape)
+            native = np.dtype(self.dtype)
+            if arr.dtype != native:
+                # Big-endian host: one unavoidable byteswap copy.
+                arr = arr.astype(native, copy=True)
+            return arr
         if self.encoding == "base64":
             try:
                 raw = base64.b64decode(self.data, validate=True)
@@ -390,6 +470,13 @@ class TensorPayload:
                 f"{where} encoding {encoding!r} is not supported; expected one of "
                 f"{TENSOR_ENCODINGS}"
             )
+        if encoding == "binary":
+            # JSON parsing can only yield str/list/int/... here; a real
+            # binary frame's decoder resolves the buffer reference into a
+            # memoryview before this runs.  Anything else fails closed.
+            data = _require(payload, "data", _BINARY_DATA_TYPES, where)
+            _binary_data_view(data, where)
+            return cls(dtype=dtype, shape=tuple(shape), encoding=encoding, data=data)
         data = _require(payload, "data", (str, list), where)
         if encoding == "base64" and not isinstance(data, str):
             raise BadSchemaError(f"{where} base64 data must be a string")
@@ -405,6 +492,88 @@ def _optional_tensor(
     if value is None:
         return None
     return TensorPayload.from_wire(value, where=f"{where}.{key}")
+
+
+# ---------------------------------------------------------------------------
+# binary-tensor envelope walks
+# ---------------------------------------------------------------------------
+#
+# An envelope dictionary may carry binary tensors at any nesting depth
+# (request tensors, bulk lists, response mean/isd triples, execute groups).
+# The framing and transport layers locate and rewrite them with these
+# generic copy-on-write walks, so new envelope shapes need no codec changes.
+
+
+def is_binary_tensor_dict(obj: Any) -> bool:
+    """Whether ``obj`` is the wire form of a ``binary``-encoded tensor."""
+    return (
+        isinstance(obj, dict)
+        and obj.get("encoding") == "binary"
+        and "dtype" in obj
+        and "shape" in obj
+        and "data" in obj
+    )
+
+
+def has_binary_tensors(payload: Any) -> bool:
+    """Fast detection: does the envelope carry any binary tensor?"""
+    if isinstance(payload, dict):
+        if is_binary_tensor_dict(payload):
+            return True
+        return any(has_binary_tensors(value) for value in payload.values())
+    if isinstance(payload, list):
+        return any(has_binary_tensors(item) for item in payload)
+    return False
+
+
+def rewrite_binary_tensors(payload: Any, rewrite) -> Any:
+    """Copy-on-write deep rewrite of every binary tensor dict.
+
+    ``rewrite(tensor_dict) -> tensor_dict`` is applied to each binary
+    tensor; untouched subtrees are shared with the input, so envelopes
+    without binary tensors come back identical (``is``) and a fleet
+    transport can safely send one payload to several replicas that each
+    rewrite it differently.
+    """
+    if isinstance(payload, dict):
+        if is_binary_tensor_dict(payload):
+            return rewrite(payload)
+        out = None
+        for key, value in payload.items():
+            new_value = rewrite_binary_tensors(value, rewrite)
+            if new_value is not value:
+                if out is None:
+                    out = dict(payload)
+                out[key] = new_value
+        return payload if out is None else out
+    if isinstance(payload, list):
+        out = None
+        for index, item in enumerate(payload):
+            new_item = rewrite_binary_tensors(item, rewrite)
+            if new_item is not item:
+                if out is None:
+                    out = list(payload)
+                out[index] = new_item
+        return payload if out is None else out
+    return payload
+
+
+def downgrade_binary_tensors(payload: Any) -> Any:
+    """Rewrite every binary tensor into base64 (the v2-peer fallback).
+
+    Copy-on-write: the input envelope is never mutated, and payloads with
+    no binary tensors are returned as-is.  Transports call this when the
+    negotiated schema version predates ``BINARY_WIRE_VERSION``.
+    """
+
+    def _to_base64(tensor: Dict[str, Any]) -> Dict[str, Any]:
+        view = _binary_data_view(tensor["data"])
+        downgraded = dict(tensor)
+        downgraded["encoding"] = "base64"
+        downgraded["data"] = base64.b64encode(view).decode("ascii")
+        return downgraded
+
+    return rewrite_binary_tensors(payload, _to_base64)
 
 
 # ---------------------------------------------------------------------------

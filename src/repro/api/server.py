@@ -32,9 +32,19 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
 from repro.api.admission import WORK_OPS, AdmissionController
-from repro.api.envelopes import ApiError, ErrorResponse, OverloadedError
-from repro.api.framing import MAX_FRAME_BYTES, FrameDecoder, send_frame
+from repro.api.envelopes import (
+    SCHEMA_VERSION,
+    ApiError,
+    ErrorResponse,
+    OverloadedError,
+    TransportError,
+)
+from repro.api.framing import MAX_FRAME_BYTES, FrameDecoder, encode_frame
 from repro.api.handler import ApiHandler
+
+#: Transport-level control ops of the shared-memory tier: handled inline by
+#: the reader thread, never parsed as API requests, never admitted as work.
+SHM_CONTROL_OPS = ("shm_attach", "shm_release")
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -79,6 +89,10 @@ class _Connection:
         "frames",
         "backpressure_waits",
         "closed",
+        "bytes_in",
+        "bytes_out",
+        "encoding",
+        "shm",
     )
 
     def __init__(self, sock: socket.socket, max_inflight: int, conn_id: int):
@@ -99,6 +113,16 @@ class _Connection:
         #: Set (and the fd closed) under ``send_lock``: a worker checking it
         #: under the same lock can never write into a reused fd number.
         self.closed = False
+        #: Codec gauges: raw bytes read off / written to this socket (the
+        #: reader owns ``bytes_in``; ``bytes_out`` mutates under the send
+        #: lock), and the encoding tag of the traffic this connection
+        #: carries ("json" until a binary frame or shm attach is seen).
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.encoding = "json"
+        #: Per-connection shared-memory session (None until the client
+        #: sends ``shm_attach``); owned by the reader thread's lifecycle.
+        self.shm = None
 
 
 class NormServer:
@@ -156,6 +180,7 @@ class NormServer:
         max_queue_depth: int = 256,
         ladder=None,
         fault_gate=None,
+        enable_shm: bool = True,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -173,6 +198,10 @@ class NormServer:
         )
         self.ladder = ladder
         self.fault_gate = fault_gate
+        #: Accept ``shm_attach`` requests (the same-host shared-memory
+        #: transport).  When off, attach attempts are answered with a typed
+        #: transport error and the client falls back to binary TCP.
+        self.enable_shm = enable_shm
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -193,6 +222,15 @@ class NormServer:
         self.frames_received = 0
         self.peak_inflight = 0
         self.backpressure_waits = 0
+        #: Codec totals folded in from connections that already closed;
+        #: live connections contribute their own gauges at snapshot time.
+        self._retired_bytes_in = 0
+        self._retired_bytes_out = 0
+        self._retired_frames_json = 0
+        self._retired_frames_binary = 0
+        #: Per-kind frame counters of live connections are read from their
+        #: decoders at snapshot time via this registry (conn -> decoder).
+        self._decoders: Dict[_Connection, FrameDecoder] = {}
         # Surface the wire gauges in the service's telemetry snapshot (and
         # therefore in the `telemetry` op and the haan-serve summary).
         attach = getattr(service.telemetry, "attach_section", None)
@@ -316,6 +354,13 @@ class NormServer:
         """
         with self._lock:
             live = sorted(self._connections.values(), key=lambda c: c.conn_id)
+            frames_json = self._retired_frames_json
+            frames_binary = self._retired_frames_binary
+            for c in live:
+                decoder = self._decoders.get(c)
+                if decoder is not None:
+                    frames_json += decoder.frames_json
+                    frames_binary += decoder.frames_binary
             return {
                 "connections_total": self.connections_total,
                 "connections_active": len(live),
@@ -326,6 +371,10 @@ class NormServer:
                 "backpressure_waits": self.backpressure_waits,
                 "workers": self.workers,
                 "max_inflight": self.max_inflight,
+                "bytes_received": self._retired_bytes_in + sum(c.bytes_in for c in live),
+                "bytes_sent": self._retired_bytes_out + sum(c.bytes_out for c in live),
+                "frames_json": frames_json,
+                "frames_binary": frames_binary,
                 "per_connection": [
                     {
                         "id": c.conn_id,
@@ -333,6 +382,9 @@ class NormServer:
                         "peak_inflight": c.peak_inflight,
                         "frames": c.frames,
                         "backpressure_waits": c.backpressure_waits,
+                        "bytes_in": c.bytes_in,
+                        "bytes_out": c.bytes_out,
+                        "encoding": c.encoding,
                     }
                     for c in live
                 ],
@@ -374,6 +426,8 @@ class NormServer:
     def _serve_connection(self, connection: _Connection) -> None:
         sock = connection.sock
         decoder = FrameDecoder(self.max_frame_bytes)
+        with self._lock:
+            self._decoders[connection] = decoder
         try:
             while True:
                 try:
@@ -382,14 +436,26 @@ class NormServer:
                     return  # client went away (or server is closing)
                 if not data:
                     return  # clean EOF
+                connection.bytes_in += len(data)
                 try:
                     frames = decoder.feed(data)
                 except ApiError as error:
-                    # Oversized or non-JSON frame: the stream cannot be
+                    # Oversized or malformed frame: the stream cannot be
                     # resynchronized, so report once and drop the link.
                     self._try_send(connection, ErrorResponse.from_exception(error).to_wire())
                     return
+                if frames and connection.shm is None and decoder.last_kind is not None:
+                    # Tag the connection with the traffic it carries; an
+                    # shm attach overrides this for good ("shm" sockets
+                    # still exchange JSON control frames).
+                    connection.encoding = decoder.last_kind
                 for payload in frames:
+                    if payload.get("op") in SHM_CONTROL_OPS:
+                        # Transport-tier control: handled by the reader
+                        # inline (attach/release touch only per-connection
+                        # shm state), never admitted, never dispatched.
+                        self._handle_shm_control(connection, payload)
+                        continue
                     if self.fault_gate is not None:
                         # Server-side chaos: the gate decides per frame
                         # from its seeded plan.  Delay falls through to
@@ -471,6 +537,13 @@ class NormServer:
         finally:
             with self._lock:
                 self._connections.pop(sock, None)
+                self._decoders.pop(connection, None)
+                # Fold the codec gauges into the retired totals so the
+                # session-wide counters survive the connection.
+                self._retired_bytes_in += connection.bytes_in
+                self._retired_bytes_out += connection.bytes_out
+                self._retired_frames_json += decoder.frames_json
+                self._retired_frames_binary += decoder.frames_binary
             # Close under the send lock with the flag flipped first: pooled
             # workers still holding this connection re-check ``closed``
             # under the same lock before writing, so a worker can never
@@ -482,6 +555,9 @@ class NormServer:
                     sock.close()
                 except OSError:
                     pass
+            if connection.shm is not None:
+                connection.shm.close()
+                connection.shm = None
 
     def _handle_one(
         self, connection: _Connection, payload: dict, is_work: bool = False
@@ -489,6 +565,14 @@ class NormServer:
         """Worker body: handle one envelope, send its response frame."""
         started = time.perf_counter()
         try:
+            if connection.shm is not None:
+                try:
+                    # Swap shm slab descriptors for zero-copy views over the
+                    # shared segment before the handler sees the envelope.
+                    payload = connection.shm.resolve_inbound(payload)
+                except ApiError as error:
+                    self._try_send(connection, self._error_envelope(payload, error))
+                    return
             degrade_level = 0
             if self.ladder is not None and is_work:
                 # Feed the ladder the queue pressure at execution time; it
@@ -539,15 +623,22 @@ class NormServer:
                 if connection.closed:
                     return
                 connection.sock.sendall(data)
+                connection.bytes_out += len(data)
         except OSError:
             pass
 
     def _try_send(self, connection: _Connection, payload: dict) -> bool:
         try:
+            if connection.shm is not None:
+                # Move response tensors into the shared ring; on a full
+                # ring this degrades to inline binary in the frame itself.
+                payload = connection.shm.stage_outbound(payload)
+            data = encode_frame(payload, self.max_frame_bytes)
             with connection.send_lock:
                 if connection.closed:
                     return False
-                send_frame(connection.sock, payload, self.max_frame_bytes)
+                connection.sock.sendall(data)
+                connection.bytes_out += len(data)
             return True
         except ApiError as error:
             # The *response* outgrew the frame limit (huge tensor): replace
@@ -555,12 +646,51 @@ class NormServer:
             fallback = ErrorResponse.from_exception(error).to_wire()
             fallback["request_id"] = payload.get("request_id")
             try:
+                data = encode_frame(fallback, self.max_frame_bytes)
                 with connection.send_lock:
                     if connection.closed:
                         return False
-                    send_frame(connection.sock, fallback, self.max_frame_bytes)
+                    connection.sock.sendall(data)
+                    connection.bytes_out += len(data)
             except (ApiError, OSError):
                 return False
             return True
         except OSError:
             return False
+
+    def _handle_shm_control(self, connection: _Connection, payload: dict) -> None:
+        """Handle an shm_attach / shm_release control frame inline.
+
+        These never enter admission control: they are transport plumbing,
+        not work, and a release must succeed even when the server sheds.
+        """
+        op = payload.get("op")
+        if op == "shm_attach":
+            request_id = payload.get("request_id")
+            version = payload.get("schema_version")
+            if isinstance(version, bool) or not isinstance(version, int):
+                version = SCHEMA_VERSION
+            ack = {
+                "schema_version": version,
+                "op": "shm_attach",
+                "request_id": request_id,
+                "ok": True,
+                "accepted": False,
+            }
+            if self.enable_shm and connection.shm is None:
+                try:
+                    from repro.api.shm import ServerShmSession
+
+                    connection.shm = ServerShmSession.attach(payload)
+                    connection.encoding = "shm"
+                    ack["accepted"] = True
+                except (ApiError, OSError, ValueError) as error:
+                    # Refuse but keep the socket: the client falls back to
+                    # inline binary frames over TCP.
+                    ack["accepted"] = False
+                    ack["reason"] = str(error)
+            self._try_send(connection, ack)
+        elif op == "shm_release":
+            if connection.shm is not None:
+                connection.shm.release(payload.get("slabs"))
+            # One-way: no response, releases are fire-and-forget.

@@ -36,6 +36,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.envelopes import (
+    BINARY_WIRE_VERSION,
     MIN_SCHEMA_VERSION,
     SCHEMA_VERSION,
     ApiError,
@@ -43,6 +44,7 @@ from repro.api.envelopes import (
     HelloRequest,
     SchemaVersionError,
     TransportError,
+    downgrade_binary_tensors,
     negotiate_version,
     parse_hello_response,
 )
@@ -266,6 +268,14 @@ class _PoolConnection:
         self._pending: Dict[int, PendingReply] = {}
         self._dead = False
         self._receiver: Optional[threading.Thread] = None
+        #: Optional response hook (``envelope -> envelope``) run in the
+        #: receiver thread before a reply resolves -- and also for orphaned
+        #: responses, so a translating transport (shared memory) can
+        #: reclaim per-request resources even when the waiter abandoned.
+        #: An :class:`ApiError` it raises fails the reply.
+        self.translate = None
+        #: Called once when the connection dies, for owner-side cleanup.
+        self.on_close = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -302,6 +312,12 @@ class _PoolConnection:
                 f"connection to {self.address} closed", address=self.address
             )
         )
+        on_close, self.on_close = self.on_close, None
+        if on_close is not None:
+            try:
+                on_close()
+            except Exception:  # noqa: BLE001 -- cleanup must not mask the close
+                pass
 
     def _fail_pending(self, error: BaseException) -> None:
         with self._pending_lock:
@@ -394,6 +410,15 @@ class _PoolConnection:
             return
         with self._pending_lock:
             reply = self._pending.pop(request_id, None)
+        if self.translate is not None:
+            # Run the hook even for orphaned responses: it reclaims
+            # per-request transport resources (shared-memory slabs).
+            try:
+                envelope = self.translate(envelope)
+            except ApiError as error:
+                if reply is not None:
+                    reply.set_exception(error)
+                return
         if reply is not None:
             reply.set_result(envelope)
         # else: a response for an abandoned (timed-out) request; drop it.
@@ -527,11 +552,19 @@ class SocketTransport(Transport):
         try:
             if self._negotiate and self.negotiated_version is None:
                 self._handshake(conn)
+            # Subclass hook (e.g. the shared-memory transport's segment
+            # attach): runs after version negotiation, before the receiver
+            # thread takes over reads, so it may exchange frames
+            # synchronously on the bare socket.
+            self._after_handshake(conn)
         except BaseException:
             conn.close()
             raise
         conn.start_receiver()
         return conn
+
+    def _after_handshake(self, conn: _PoolConnection) -> None:
+        """Post-handshake hook on each fresh connection (default: no-op)."""
 
     def _handshake(self, conn: _PoolConnection) -> None:
         """Synchronous hello exchange on a fresh socket (pre-receiver).
@@ -646,7 +679,23 @@ class SocketTransport(Transport):
         ):
             payload = dict(payload)
             payload["schema_version"] = self.negotiated_version
+        if (
+            self.negotiated_version is not None
+            and self.negotiated_version < BINARY_WIRE_VERSION
+        ):
+            # v2-or-older peer: silently fall back to base64 JSON frames.
+            # Copy-on-write, so a fleet sending the same envelope to
+            # replicas at different versions never cross-contaminates.
+            payload = downgrade_binary_tensors(payload)
         return payload
+
+    def _prepare(self, payload: Dict[str, Any], conn: _PoolConnection) -> Dict[str, Any]:
+        """Per-send envelope rewrite: version stamp + binary downgrade.
+
+        Subclasses may rewrite further against the target connection (the
+        shared-memory transport stages tensor buffers into its slabs here).
+        """
+        return self._stamp_version(payload)
 
     def submit(self, payload: Dict[str, Any]) -> PendingReply:
         """Pipeline one request; the reply resolves when its frame arrives.
@@ -663,7 +712,7 @@ class SocketTransport(Transport):
                 conn = self._get_connection()
                 # Stamp after dialing: the first dial performs the hello
                 # handshake that decides the version to stamp.
-                return conn.submit(self._stamp_version(payload))
+                return conn.submit(self._prepare(payload, conn))
             except TransportError as error:
                 last_error = error
             except ApiError:
@@ -695,7 +744,7 @@ class SocketTransport(Transport):
             response: Optional[Dict[str, Any]] = None
             try:
                 conn = self._get_connection()
-                reply = conn.submit(self._stamp_version(payload))
+                reply = conn.submit(self._prepare(payload, conn))
             except TransportError as error:
                 # Dead connection at send time: the frame never left this
                 # process, so resending cannot double-apply for any op.
@@ -780,10 +829,14 @@ def register_transport(name: str, factory) -> None:
 
 def available_transports() -> Tuple[str, ...]:
     """Registered transport names, sorted."""
-    # The fleet transport registers itself on package import; make the
-    # listing complete even when nothing imported repro.fleet yet.
+    # The fleet and shared-memory transports register themselves on import;
+    # make the listing complete even when nothing imported them yet.
     try:
         import repro.fleet.transport  # noqa: F401
+    except ImportError:
+        pass
+    try:
+        import repro.api.shm  # noqa: F401
     except ImportError:
         pass
     return tuple(sorted(_TRANSPORT_FACTORIES))
@@ -793,6 +846,8 @@ def create_transport(name: str, **kwargs) -> Transport:
     """Instantiate a registered transport by name."""
     if name not in _TRANSPORT_FACTORIES and name == "fleet":
         import repro.fleet.transport  # noqa: F401  (self-registers)
+    if name not in _TRANSPORT_FACTORIES and name == "shm":
+        import repro.api.shm  # noqa: F401  (self-registers)
     try:
         factory = _TRANSPORT_FACTORIES[name]
     except KeyError:

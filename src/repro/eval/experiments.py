@@ -682,9 +682,13 @@ def run_api_roundtrip(
     * the service directly (the golden path),
     * ``NormClient`` over :class:`InProcessTransport`,
     * ``NormClient`` over :class:`SocketTransport` against a live
-      :class:`~repro.api.server.NormServer` -- lock-step (depth 1),
-      pipelined (depth 8, many requests in flight on one connection), and
-      bulk (all payloads in one ``normalize_bulk`` frame),
+      :class:`~repro.api.server.NormServer` -- lock-step with v3 binary
+      frames (the default) and with legacy base64 JSON frames, pipelined
+      (depth 8, many requests in flight on one connection), and bulk (all
+      payloads in one ``normalize_bulk`` frame),
+    * ``NormClient`` over the same-host
+      :class:`~repro.api.shm.SharedMemoryTransport` (tensor buffers in
+      shared-memory slabs, control frames on the socket),
 
     and reporting per-path wall clock plus the exact maximum deviation
     from the direct path (the contract demands 0 for all of them).
@@ -717,7 +721,7 @@ def run_api_roundtrip(
                 for payload in payloads
             ]
 
-    def _run_client(client: NormClient):
+    def _run_client(client: NormClient, encoding=None):
         return [
             client.normalize(
                 payload,
@@ -725,6 +729,7 @@ def run_api_roundtrip(
                 layer_index=layer_index,
                 dataset=dataset,
                 backend=backend,
+                encoding=encoding,
             ).output
             for payload in payloads
         ]
@@ -747,9 +752,22 @@ def run_api_roundtrip(
             # hello handshake excluded), so the rows compare like for like.
             with NormClient.connect(server.host, server.port) as client:
                 client.wait_until_ready()
+                # Default encoding: zero-copy v3 binary frames.
                 start = _time.perf_counter()
-                outputs["socket"] = _run_client(client)
-                timings["socket"] = _time.perf_counter() - start
+                outputs["socket-binary"] = _run_client(client)
+                timings["socket-binary"] = _time.perf_counter() - start
+
+                # Legacy framing, same connection: base64 JSON frames.
+                start = _time.perf_counter()
+                outputs["socket-base64"] = _run_client(client, encoding="base64")
+                timings["socket-base64"] = _time.perf_counter() - start
+
+            # Same-host shared memory: tensors through slabs, frames on TCP.
+            with NormClient.connect(server.host, server.port, transport="shm") as client:
+                client.wait_until_ready()
+                start = _time.perf_counter()
+                outputs["shm"] = _run_client(client)
+                timings["shm"] = _time.perf_counter() - start
 
             with NormClient.connect(server.host, server.port) as client:
                 client.wait_until_ready()
@@ -777,7 +795,15 @@ def run_api_roundtrip(
 
     deviations = {"direct": 0.0, "in-process": _deviation(in_process)}
     deviations.update({name: _deviation(results) for name, results in outputs.items()})
-    order = ("direct", "in-process", "socket", "socket-pipelined", "socket-bulk")
+    order = (
+        "direct",
+        "in-process",
+        "socket-binary",
+        "socket-base64",
+        "shm",
+        "socket-pipelined",
+        "socket-bulk",
+    )
     result = ExperimentResult(
         experiment_id="api",
         title=f"Public API transport parity ({model_name}, backend {backend})",

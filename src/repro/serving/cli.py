@@ -107,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         "level applied",
     )
     parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="refuse shared-memory attach requests in --listen mode: shm "
+        "clients fall back to binary frames over TCP (use when the "
+        "server must not map client-created segments)",
+    )
+    parser.add_argument(
         "--drain-timeout",
         type=float,
         default=5.0,
@@ -310,6 +317,7 @@ def _serve_forever(
                 max_inflight=args.max_inflight,
                 max_queue_depth=args.max_queue_depth,
                 ladder=ladder,
+                enable_shm=not args.no_shm,
             )
         except OSError as error:
             print(f"haan-serve: cannot bind {args.listen}: {error}", file=sys.stderr)
@@ -320,7 +328,8 @@ def _serve_forever(
                 f"(model {args.model!r}, dataset {args.dataset!r}; "
                 f"{args.workers} workers, {args.max_inflight} in-flight "
                 f"per connection, queue bound {args.max_queue_depth}"
-                f"{', degradation ladder on' if ladder is not None else ''}; "
+                f"{', degradation ladder on' if ladder is not None else ''}"
+                f"{', shm attach refused' if args.no_shm else ''}; "
                 f"stop with SIGINT/SIGTERM)",
                 flush=True,
             )

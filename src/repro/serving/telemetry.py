@@ -443,13 +443,32 @@ class ServingTelemetry:
                         f"inflight now {wire.get('inflight_current', 0)}",
                     ]
                 )
+            # Codec gauges arrived with the binary wire format; older
+            # frozen snapshots may predate them.
+            if "bytes_received" in wire:
+                rows.append(
+                    [
+                        "wire codec",
+                        f"{wire['bytes_received']} B in / "
+                        f"{wire['bytes_sent']} B out / "
+                        f"{wire.get('frames_binary', 0)} binary + "
+                        f"{wire.get('frames_json', 0)} json frames",
+                    ]
+                )
             for conn in wire.get("per_connection", []):
+                codec_suffix = ""
+                if "encoding" in conn:
+                    codec_suffix = (
+                        f" / {conn['encoding']} "
+                        f"{conn.get('bytes_in', 0)}B>{conn.get('bytes_out', 0)}B"
+                    )
                 rows.append(
                     [
                         f"wire conn[{conn['id']}]",
                         f"{conn['frames']} frames / inflight {conn['inflight']} "
                         f"(peak {conn['peak_inflight']}) / "
-                        f"{conn['backpressure_waits']} stalls",
+                        f"{conn['backpressure_waits']} stalls"
+                        f"{codec_suffix}",
                     ]
                 )
         cost = snap["modelled_cost"]

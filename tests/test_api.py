@@ -771,12 +771,21 @@ class TestApiExperiment:
         result = run_experiment(
             "api", requests=2, rows_per_request=2, loader=_instant_loader
         )
-        for name in ("in-process", "socket", "socket-pipelined", "socket-bulk"):
+        for name in (
+            "in-process",
+            "socket-binary",
+            "socket-base64",
+            "shm",
+            "socket-pipelined",
+            "socket-bulk",
+        ):
             assert result.metadata["deviations"][name] == 0.0
         assert {row[0] for row in result.rows} == {
             "direct",
             "in-process",
-            "socket",
+            "socket-binary",
+            "socket-base64",
+            "shm",
             "socket-pipelined",
             "socket-bulk",
         }

@@ -804,7 +804,9 @@ class TestWireGauges:
         with NormClient.connect(server.host, server.port) as client:
             client.wait_until_ready()
             client.normalize(rng.normal(size=(HIDDEN,)), "tiny")
-        table = server.service.telemetry.format_table()
+            # Per-connection rows exist for *live* connections: render the
+            # table before close or the reader thread may retire the row.
+            table = server.service.telemetry.format_table()
         assert "wire conn[" in table
         assert "wire backpressure" in table
 

@@ -43,11 +43,19 @@ from repro.api.envelopes import (
     StreamChunkRequest,
     TensorPayload,
     TransportError,
+    downgrade_binary_tensors,
+    has_binary_tensors,
     negotiate_version,
     parse_hello_response,
     parse_request,
 )
-from repro.api.framing import FRAME_HEADER, FrameDecoder, encode_frame
+from repro.api.framing import (
+    BINARY_MAGIC,
+    FRAME_HEADER,
+    FrameDecoder,
+    encode_frame,
+    frame_kind,
+)
 from repro.api.handler import ApiHandler
 from repro.serving.registry import CalibrationRegistry
 from repro.serving.service import NormalizationService
@@ -316,8 +324,13 @@ class TestFramingProperties:
     def test_oversized_announced_length_rejected_before_buffering(self):
         decoder = FrameDecoder(max_frame_bytes=64)
         header = FRAME_HEADER.pack(1 << 30)
-        with pytest.raises(PayloadTooLargeError, match="announces"):
+        with pytest.raises(PayloadTooLargeError) as excinfo:
             decoder.feed(header)
+        # The rejection names both the offending length and the configured
+        # cap, so operators can size max_frame_bytes from the message alone.
+        message = str(excinfo.value)
+        assert str(1 << 30) in message
+        assert "max_frame_bytes cap of 64 bytes" in message
 
     def test_non_object_json_frame_rejected(self):
         body = json.dumps([1, 2, 3]).encode()
@@ -352,6 +365,173 @@ class TestFramingProperties:
                 "schema_version",
                 "internal",
             )
+
+
+# ---------------------------------------------------------------------------
+# binary (v3) frames: round trips, downgrade, corruption, truncation
+# ---------------------------------------------------------------------------
+
+
+class TestBinaryFrameProperties:
+    """The v3 zero-copy frame shares the JSON frame's fail-closed contract."""
+
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(array=tensor_arrays(), seed=st.integers(0, 2**16))
+    def test_binary_round_trip_through_chunked_frames_is_bit_exact(self, array, seed):
+        # NaN/inf/empty/odd shapes all come from the shared strategy; the
+        # frame is delivered in random chunks like a real TCP stream.
+        rng = np.random.default_rng(seed)
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "op": "normalize",
+            "request_id": 7,
+            "tensor": TensorPayload.from_array(array, "binary").to_wire(),
+        }
+        frame = encode_frame(envelope)
+        assert frame[4:8] == BINARY_MAGIC
+        decoder = FrameDecoder()
+        decoded = []
+        for chunk in _random_chunks(frame, rng):
+            decoded.extend(decoder.feed(chunk))
+        decoder.finish()
+        assert len(decoded) == 1
+        assert decoder.frames_binary == 1
+        assert decoder.last_kind == "binary"
+        out = TensorPayload.from_wire(decoded[0]["tensor"]).to_array()
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        assert out.tobytes() == array.tobytes()
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(arrays=st.lists(tensor_arrays(), min_size=2, max_size=4))
+    def test_many_tensors_share_one_frame(self, arrays):
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "op": "normalize_bulk",
+            "request_id": 1,
+            "tensors": [TensorPayload.from_array(a, "binary").to_wire() for a in arrays],
+        }
+        (decoded,) = FrameDecoder().feed(encode_frame(envelope))
+        for wire, original in zip(decoded["tensors"], arrays):
+            assert TensorPayload.from_wire(wire).to_array().tobytes() == original.tobytes()
+
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    @given(array=tensor_arrays())
+    def test_downgrade_to_base64_decodes_identically(self, array):
+        # The negotiated-fallback path: a v3 envelope rewritten for a v2
+        # peer must decode to the very same bytes, and the rewrite must be
+        # copy-on-write (the original envelope still holds binary tensors).
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "op": "normalize",
+            "request_id": 1,
+            "tensor": TensorPayload.from_array(array, "binary").to_wire(),
+        }
+        assert has_binary_tensors(envelope)
+        downgraded = downgrade_binary_tensors(envelope)
+        assert not has_binary_tensors(downgraded)
+        assert has_binary_tensors(envelope)  # untouched original
+        assert frame_kind(encode_frame(downgraded)[4:]) == "json"
+        via_json = TensorPayload.from_wire(_json_loop(downgraded["tensor"])).to_array()
+        assert via_json.tobytes() == array.tobytes()
+
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(seed=st.integers(0, 2**16), flips=st.integers(1, 8))
+    def test_corrupted_binary_frames_fail_into_the_taxonomy(self, seed, flips):
+        # Any byte-flip storm over a binary frame either still decodes (the
+        # flip landed in tensor data) or raises an ApiError member -- never
+        # a struct.error, UnicodeDecodeError, or numpy exception.
+        rng = np.random.default_rng(seed)
+        request = NormalizeRequest(
+            model="m",
+            tensor=TensorPayload.from_array(rng.normal(size=(3, 5)), "binary"),
+        )
+        frame = bytearray(encode_frame(request.to_wire()))
+        for position in rng.integers(0, len(frame), size=flips):
+            frame[int(position)] ^= int(rng.integers(1, 256))
+        decoder = FrameDecoder(max_frame_bytes=1 << 20)
+        try:
+            envelopes = decoder.feed(bytes(frame))
+            decoder.finish()
+            for envelope in envelopes:
+                parsed = parse_request(envelope)
+                if hasattr(parsed, "tensor"):
+                    parsed.tensor.to_array()
+        except ApiError:
+            pass  # the only acceptable failure surface
+
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(seed=st.integers(0, 2**16))
+    def test_truncated_binary_frames_fail_closed(self, seed):
+        rng = np.random.default_rng(seed)
+        frame = encode_frame(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "op": "normalize",
+                "request_id": 1,
+                "tensor": TensorPayload.from_array(
+                    rng.normal(size=(2, 4)), "binary"
+                ).to_wire(),
+            }
+        )
+        cut = int(rng.integers(1, len(frame)))  # strict prefix
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:cut]) == []
+        with pytest.raises(TransportError, match="mid-frame"):
+            decoder.finish()
+
+    def test_forged_buffer_indices_are_rejected(self):
+        # A JSON frame smuggling a binary descriptor (no buffer table to
+        # index into) must fail closed at from_wire, not at np.frombuffer.
+        wire = TensorPayload.from_array(np.arange(4.0), "binary").to_wire()
+        wire["data"] = 0  # what a binary preamble uses internally
+        with pytest.raises(BadSchemaError):
+            TensorPayload.from_wire(_json_loop(wire))
+
+    def test_binary_decode_is_zero_copy_and_read_only(self):
+        array = np.arange(12.0).reshape(3, 4)
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "op": "normalize",
+            "request_id": 1,
+            "tensor": TensorPayload.from_array(array, "binary").to_wire(),
+        }
+        (decoded,) = FrameDecoder().feed(encode_frame(envelope))
+        out = TensorPayload.from_wire(decoded["tensor"]).to_array()
+        assert out.base is not None  # a view over the frame, not a copy
+        assert not out.flags.writeable
+        assert np.array_equal(out, array)
+
+    def test_chaos_corrupt_rule_applies_to_binary_envelopes(self):
+        # The client-side corrupt rule mangles envelopes *before* encoding,
+        # so a binary-tensor request is corrupted exactly like a JSON one
+        # and the server answers with a typed schema error.
+        from repro.chaos.plan import FaultPlan, FaultRule
+        from repro.chaos.transport import ChaosTransport
+
+        class _Capture:
+            def __init__(self):
+                self.sent = None
+
+            def request(self, payload):
+                self.sent = payload
+                return {"ok": False, "error": {"code": "bad_schema", "message": "x"}}
+
+            def close(self):
+                pass
+
+        inner = _Capture()
+        plan = FaultPlan(
+            name="t", seed=7, rules=(FaultRule(kind="corrupt", probability=1.0),)
+        )
+        chaos = ChaosTransport(inner, plan)
+        request = NormalizeRequest(
+            model="m", tensor=TensorPayload.from_array(np.arange(4.0), "binary")
+        ).to_wire()
+        chaos.request(request)
+        assert inner.sent["op"].startswith("corrupted[")
+        assert has_binary_tensors(inner.sent)  # still a binary frame on the wire
+        assert frame_kind(encode_frame(inner.sent)[4:]) == "binary"
 
 
 # ---------------------------------------------------------------------------
