@@ -62,8 +62,13 @@ _EXPORTS = {
     "UnknownBackendError": "envelopes",
     "UnknownModelError": "envelopes",
     "PayloadTooLargeError": "envelopes",
+    "OverloadedError": "envelopes",
+    "QuotaExceededError": "envelopes",
+    "AuthenticationError": "envelopes",
     "TransportError": "envelopes",
     "NoHealthyReplicaError": "envelopes",
+    "ERROR_CLASSES": "envelopes",
+    "error_for_code": "envelopes",
     "negotiate_version": "envelopes",
     "parse_request": "envelopes",
     "parse_response": "envelopes",

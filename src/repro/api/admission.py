@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.api.envelopes import OverloadedError, validate_deadline_ms
 
-__all__ = ["WORK_OPS", "AdmissionController"]
+__all__ = ["WORK_OPS", "AdmissionController", "PreDecodeGate"]
 
 #: Ops that represent real work and are subject to shedding.  Control ops
 #: (ping, hello, telemetry, spec) stay admissible even under overload --
@@ -160,3 +160,37 @@ class AdmissionController:
             f"AdmissionController(max_queue_depth={self.max_queue_depth}, "
             f"inflight={self.inflight})"
         )
+
+
+class PreDecodeGate:
+    """The server's single pre-decode shedding gate: quota, then overload.
+
+    Composes per-tenant quota shedding (:mod:`repro.tenancy`) with the
+    overload :class:`AdmissionController` behind one ``check`` call in the
+    reader thread, so both policies see the same peeked envelope (binary
+    frames: JSON preamble only) and both reject before any tensor buffer
+    is materialized.
+
+    Order matters: the quota check runs first so a flooding tenant is
+    charged against *its own* bucket and never consumes an admission slot
+    or skews the service-time EMA; only quota-admitted work reaches the
+    overload controller (whose successful ``check`` must still be paired
+    with ``complete``).  ``quota`` is a callable
+    ``(tenant, payload, nbytes) -> None`` raising
+    :class:`~repro.api.envelopes.QuotaExceededError` to shed; ``None``
+    disables tenancy (the gate degrades to plain admission control).
+    """
+
+    def __init__(
+        self,
+        admission: AdmissionController,
+        quota: Optional[Callable[[Any, Dict[str, Any], int], None]] = None,
+    ):
+        self.admission = admission
+        self.quota = quota
+
+    def check(self, payload: Dict[str, Any], tenant: Any = None, nbytes: int = 0) -> None:
+        """Admit or shed one peeked envelope (raises a typed ApiError to shed)."""
+        if self.quota is not None and payload.get("op") in WORK_OPS:
+            self.quota(tenant, payload, nbytes)
+        self.admission.check(payload)

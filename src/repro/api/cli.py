@@ -110,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
         "server refuses the attach; single-address connects only)",
     )
     parser.add_argument(
+        "--token",
+        default=None,
+        help="tenant bearer token presented in the hello handshake "
+        "(required by servers running --require-auth)",
+    )
+    parser.add_argument(
         "--wait-seconds",
         type=float,
         default=10.0,
@@ -184,7 +190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if len(addresses) > 1:
             client = NormClient.connect_fleet(
-                addresses, pool_size=args.pool, timeout=args.timeout
+                addresses, pool_size=args.pool, timeout=args.timeout, token=args.token
             )
         else:
             host, port = parse_address(addresses[0])
@@ -194,6 +200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 pool_size=args.pool,
                 timeout=args.timeout,
                 transport=args.transport,
+                token=args.token,
             )
         with client:
             client.wait_until_ready(timeout=args.wait_seconds)

@@ -160,6 +160,10 @@ class NormClient:
         travel through shared-memory slabs while control frames keep the
         socket.  It degrades to plain TCP automatically when the server
         refuses the attach (flag off, cross-host peer).
+
+        ``token="..."`` presents a tenant bearer token in every
+        connection's hello handshake (servers running ``--require-auth``
+        reject tokenless work with a typed ``unauthenticated`` error).
         """
         if transport == "shm":
             from repro.api.shm import SharedMemoryTransport

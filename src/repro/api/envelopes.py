@@ -21,8 +21,9 @@ the op-specific payload.  This module owns that schema:
   v1 envelopes,
 * :class:`ErrorResponse` plus the :class:`ApiError` taxonomy (bad schema,
   schema-version mismatch, unknown backend, unknown model, payload too
-  large, transport failure, no healthy fleet replica), so client code
-  catches one exception family regardless of where a request died.
+  large, overloaded, quota exceeded, unauthenticated, transport failure,
+  no healthy fleet replica), so client code catches one exception family
+  regardless of where a request died.
 
 The module is a leaf on purpose: it imports only the standard library and
 numpy, so the engine's ``remote`` backend and the serving runtime can both
@@ -182,6 +183,37 @@ class OverloadedError(ApiError):
         self.retry_after_ms = retry_after_ms
 
 
+class QuotaExceededError(ApiError):
+    """A tenant's rate quota rejected this request before any work ran.
+
+    Raised by the tenancy gate when the tenant's request/row/byte token
+    bucket cannot cover the request.  Like :class:`OverloadedError` the
+    rejection happens **before tensor decode** (binary frames are only
+    peeked at their JSON preamble), so retrying is always safe;
+    ``retry_after_ms`` is the bucket's estimate of when enough tokens
+    refill, which a :class:`~repro.api.retry.RetryPolicy` honors as its
+    backoff floor.
+    """
+
+    code = "quota_exceeded"
+
+    def __init__(self, message: str = "", retry_after_ms: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class AuthenticationError(ApiError):
+    """The connection presented no valid bearer token where one is required.
+
+    Raised server-side on the ``hello`` handshake (bad or unknown token,
+    or no token against ``--require-auth``) and on work ops arriving over
+    a connection that never authenticated.  Never retryable: the caller
+    must supply credentials, not wait.
+    """
+
+    code = "unauthenticated"
+
+
 class TransportError(ApiError):
     """The transport failed before a response envelope arrived.
 
@@ -220,10 +252,16 @@ ERROR_CLASSES: Dict[str, Type[ApiError]] = {
         UnknownModelError,
         PayloadTooLargeError,
         OverloadedError,
+        QuotaExceededError,
+        AuthenticationError,
         TransportError,
         NoHealthyReplicaError,
     )
 }
+
+#: Taxonomy members whose constructor takes a ``retry_after_ms`` hint
+#: (server-side shedding: overload and per-tenant quota rejections).
+_RETRY_AFTER_CLASSES = (OverloadedError, QuotaExceededError)
 
 
 def error_for_code(
@@ -231,7 +269,7 @@ def error_for_code(
 ) -> ApiError:
     """Instantiate the taxonomy member for a wire error code."""
     cls = ERROR_CLASSES.get(code, ApiError)
-    if cls is OverloadedError:
+    if cls in _RETRY_AFTER_CLASSES:
         return cls(message, retry_after_ms=retry_after_ms)
     return cls(message)
 
@@ -1269,6 +1307,11 @@ class HelloRequest:
     point is to discover a common version, so the server accepts a hello
     whose ``schema_version`` it does not speak and answers (or rejects)
     based on the advertised range instead.
+
+    ``token`` optionally carries a tenant bearer token (:mod:`repro.tenancy`):
+    the server resolves it with a constant-time compare and stamps the
+    connection with the tenant's context.  Absent on anonymous connections
+    and ignored by pre-tenancy servers, so the field is version-compatible.
     """
 
     op = "hello"
@@ -1276,6 +1319,7 @@ class HelloRequest:
     min_schema_version: int = MIN_SCHEMA_VERSION
     max_schema_version: int = SCHEMA_VERSION
     client: str = "repro.api"
+    token: Optional[str] = None
     request_id: int = field(default_factory=next_request_id)
 
     def to_wire(self) -> Dict[str, Any]:
@@ -1285,6 +1329,8 @@ class HelloRequest:
             max_schema_version=self.max_schema_version,
             client=self.client,
         )
+        if self.token is not None:
+            wire["token"] = self.token
         return wire
 
     @classmethod
@@ -1294,6 +1340,7 @@ class HelloRequest:
             min_schema_version=_require(payload, "min_schema_version", int, where),
             max_schema_version=_require(payload, "max_schema_version", int, where),
             client=_optional(payload, "client", str, where, default="repro.api"),
+            token=_optional(payload, "token", str, where),
             request_id=_require(payload, "request_id", int, where),
         )
 

@@ -236,6 +236,53 @@ def frame_kind(body: bytes) -> str:
     return "binary" if body[:1] == BINARY_MAGIC[:1] else "json"
 
 
+def peek_payload(data: bytes) -> tuple:
+    """``(envelope, is_binary)`` without materializing any tensor buffer.
+
+    The pre-decode gate (tenant quota + overload admission) runs on this:
+    for a **binary** frame only the magic, the u32 preamble length and the
+    JSON preamble itself are parsed -- the buffer table is never walked
+    and no buffer memoryview is created, so a rejected request's tensor
+    bytes are never touched (let alone ``np.frombuffer``-wrapped).  The
+    returned envelope's binary tensors keep their integer buffer indices
+    in ``data``; sizing/classification fields (op, request_id, shapes,
+    deadline_ms) are all present.  For a **JSON** frame the peek *is* the
+    full decode, so the caller can reuse the envelope as the final payload.
+
+    Malformed input raises the same :class:`ApiError` members as
+    :func:`decode_payload` -- peeking never widens what a hostile frame
+    can do.
+    """
+    if frame_kind(data) != "binary":
+        return decode_payload(data), False
+    total = len(data)
+    if total < _PREAMBLE_AT + _U32.size or data[: len(BINARY_MAGIC)] != BINARY_MAGIC:
+        raise TransportError(
+            f"binary frame header is malformed or truncated "
+            f"({total}-byte payload, expected magic {BINARY_MAGIC!r})"
+        )
+    (preamble_len,) = _U32.unpack_from(data, len(BINARY_MAGIC))
+    if preamble_len > total - _PREAMBLE_AT - _U32.size:
+        raise TransportError(
+            f"binary frame preamble announces {preamble_len} bytes but only "
+            f"{max(total - _PREAMBLE_AT - _U32.size, 0)} remain in the "
+            f"{total}-byte payload"
+        )
+    preamble_bytes = bytes(data[_PREAMBLE_AT : _PREAMBLE_AT + preamble_len])
+    try:
+        preamble = json.loads(preamble_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(
+            f"binary frame preamble is not valid JSON: {error}"
+        ) from error
+    if not isinstance(preamble, dict):
+        raise TransportError(
+            f"binary frame preamble must be a JSON object, got "
+            f"{type(preamble).__name__}"
+        )
+    return preamble, True
+
+
 def decode_payload(data: bytes) -> Dict[str, Any]:
     """Decode one frame's payload bytes into an envelope dictionary."""
     if frame_kind(data) == "binary":
@@ -263,10 +310,18 @@ class FrameDecoder:
     ``frames_json`` / ``frames_binary`` (decoded envelopes per payload
     kind), ``bytes_decoded`` (payload bytes of completed frames) and
     ``last_kind`` (the most recent frame's kind, or ``None``).
+
+    ``raw=True`` defers payload decoding: :meth:`feed` returns the frame
+    *bodies* (``bytes``) instead of envelopes, counters still tick per
+    kind.  The server reader uses this so its pre-decode gate can
+    :func:`peek_payload` a frame and shed it (quota, overload) before any
+    tensor buffer is materialized; admitted bodies then go through
+    :func:`decode_payload`.
     """
 
-    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES, raw: bool = False):
         self.max_frame_bytes = max_frame_bytes
+        self.raw = raw
         self._buffer = bytearray()
         self.frames_json = 0
         self.frames_binary = 0
@@ -278,8 +333,9 @@ class FrameDecoder:
         """Bytes buffered towards the next (incomplete) frame."""
         return len(self._buffer)
 
-    def feed(self, data: bytes) -> List[Dict[str, Any]]:
-        """Absorb received bytes; returns every envelope completed by them.
+    def feed(self, data: bytes) -> List[Any]:
+        """Absorb received bytes; returns every frame completed by them
+        (envelope dicts, or raw bodies in ``raw`` mode).
 
         Raises :class:`PayloadTooLargeError` on an oversized length prefix
         (the message names both the configured cap and the offending
@@ -302,14 +358,14 @@ class FrameDecoder:
             body = bytes(self._buffer[FRAME_HEADER.size : end])
             del self._buffer[:end]
             kind = frame_kind(body)
-            envelope = decode_payload(body)
+            frame: Any = body if self.raw else decode_payload(body)
             self.last_kind = kind
             self.bytes_decoded += len(body)
             if kind == "binary":
                 self.frames_binary += 1
             else:
                 self.frames_json += 1
-            frames.append(envelope)
+            frames.append(frame)
 
     def finish(self) -> None:
         """Assert the stream ended on a frame boundary.

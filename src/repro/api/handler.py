@@ -106,7 +106,9 @@ class ApiHandler:
 
     # -- entry point --------------------------------------------------------
 
-    def handle(self, payload: Any, degrade_level: int = 0) -> Dict[str, Any]:
+    def handle(
+        self, payload: Any, degrade_level: int = 0, tenant: Optional[str] = None
+    ) -> Dict[str, Any]:
         """Handle one request envelope; always returns a response envelope.
 
         The response echoes the *request's* ``schema_version`` whenever it
@@ -119,6 +121,11 @@ class ApiHandler:
         reports the level actually applied (execute ops ship their own
         spec and are never degraded -- the caller asked for exactly that
         computation).
+
+        ``tenant`` is the authenticated tenant name of the connection this
+        envelope arrived on (None = anonymous); serving ops carry it into
+        the service so the cost ledger can attribute the batch's modelled
+        cycles/energy per tenant.  It never affects the computation.
         """
         request_id = None
         echo_version = None
@@ -140,7 +147,9 @@ class ApiHandler:
                 ErrorResponse.from_exception(error, request_id).to_wire(), echo_version
             )
         try:
-            return self._stamp(self._dispatch(request, degrade_level).to_wire(), echo_version)
+            return self._stamp(
+                self._dispatch(request, degrade_level, tenant).to_wire(), echo_version
+            )
         except BaseException as error:  # noqa: BLE001 -- one envelope per request
             if not isinstance(error, Exception):
                 raise  # KeyboardInterrupt / SystemExit propagate to the server
@@ -155,13 +164,13 @@ class ApiHandler:
             response["schema_version"] = echo_version
         return response
 
-    def _dispatch(self, request, degrade_level: int = 0):
+    def _dispatch(self, request, degrade_level: int = 0, tenant: Optional[str] = None):
         if isinstance(request, NormalizeRequest):
-            return self._normalize(request, degrade_level)
+            return self._normalize(request, degrade_level, tenant)
         if isinstance(request, NormalizeBulkRequest):
-            return self._normalize_bulk(request, degrade_level)
+            return self._normalize_bulk(request, degrade_level, tenant)
         if isinstance(request, StreamChunkRequest):
-            return self._stream(request, degrade_level)
+            return self._stream(request, degrade_level, tenant)
         if isinstance(request, SpecRequest):
             return self._spec(request)
         if isinstance(request, ExecuteSpecRequest):
@@ -207,13 +216,18 @@ class ApiHandler:
     # -- ops ----------------------------------------------------------------
 
     def _normalize(
-        self, request: NormalizeRequest, degrade_level: int = 0
+        self,
+        request: NormalizeRequest,
+        degrade_level: int = 0,
+        tenant: Optional[str] = None,
     ) -> NormalizeResponse:
         self._check_backend(request.backend)
         self._check_model(request.model)
         self._check_size(request.tensor)
         array = self._decode_rows(request.tensor, "normalize")
-        response = self._service_normalize(array, request, degrade=degrade_level)
+        response = self._service_normalize(
+            array, request, degrade=degrade_level, tenant=tenant
+        )
         encoding = request.tensor.encoding
         return NormalizeResponse(
             request_id=request.request_id,
@@ -253,7 +267,9 @@ class ApiHandler:
         except (ValueError, IndexError) as error:
             raise BadSchemaError(str(error)) from error
 
-    def _service_normalize(self, array: np.ndarray, request, context=None, degrade: int = 0):
+    def _service_normalize(
+        self, array: np.ndarray, request, context=None, degrade: int = 0, tenant=None
+    ):
         return self._call_service(
             self.service.normalize,
             array,
@@ -265,10 +281,14 @@ class ApiHandler:
             accelerator=request.accelerator,
             context=context,
             degrade=degrade,
+            tenant=tenant,
         )
 
     def _normalize_bulk(
-        self, request: NormalizeBulkRequest, degrade_level: int = 0
+        self,
+        request: NormalizeBulkRequest,
+        degrade_level: int = 0,
+        tenant: Optional[str] = None,
     ) -> NormalizeBulkResponse:
         self._check_backend(request.backend)
         self._check_model(request.model)
@@ -301,6 +321,7 @@ class ApiHandler:
             backend=request.backend,
             accelerator=request.accelerator,
             degrade=degrade_level,
+            tenant=tenant,
         )
         encoding = request.tensors[0].encoding
         return NormalizeBulkResponse(
@@ -327,7 +348,10 @@ class ApiHandler:
         )
 
     def _stream(
-        self, request: StreamChunkRequest, degrade_level: int = 0
+        self,
+        request: StreamChunkRequest,
+        degrade_level: int = 0,
+        tenant: Optional[str] = None,
     ) -> StreamChunkResponse:
         from repro.llm.hooks import ActivationContext
 
@@ -339,7 +363,8 @@ class ApiHandler:
         # chunks are independent token groups, so cross-layer ISD state must
         # not leak between them (nor between interleaved streams).
         response = self._service_normalize(
-            array, request, context=ActivationContext(), degrade=degrade_level
+            array, request, context=ActivationContext(), degrade=degrade_level,
+            tenant=tenant,
         )
         return StreamChunkResponse(
             request_id=request.request_id,

@@ -16,7 +16,12 @@ and :class:`~repro.fleet.transport.FleetTransport` follow:
   overloaded server.
 * **``retry_after_ms``** -- an :class:`~repro.api.envelopes.OverloadedError`
   carries the server's own estimate of when capacity frees up; the policy
-  uses it as the backoff floor for that attempt.
+  uses it as the backoff floor for that attempt.  A per-tenant
+  :class:`~repro.api.envelopes.QuotaExceededError` is classified the same
+  way by the transports (:data:`OVERLOADED`): nothing executed, so the
+  request is retryable for every op, its ``retry_after_ms`` (the quota
+  bucket's refill estimate) floors the backoff, and each resend still
+  spends a retry-budget token.
 * **Idempotency** -- ``execute`` / ``execute_bulk`` run caller-supplied
   specs and are treated as non-idempotent: after an *ambiguous* failure
   (the request may have been sent and executed -- e.g. the connection died
@@ -54,8 +59,9 @@ CLEAN = "clean"
 AMBIGUOUS = "ambiguous"
 
 #: The server explicitly shed the request before doing any work
-#: (``OverloadedError``).  Nothing executed, so retrying is safe for every
-#: op -- after honoring ``retry_after_ms``.
+#: (``OverloadedError`` or a per-tenant ``QuotaExceededError``).  Nothing
+#: executed, so retrying is safe for every op -- after honoring
+#: ``retry_after_ms``.
 OVERLOADED = "overloaded"
 
 #: Ops that execute caller-supplied specs; re-running one after an

@@ -31,16 +31,24 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
-from repro.api.admission import WORK_OPS, AdmissionController
+from repro.api.admission import WORK_OPS, AdmissionController, PreDecodeGate
 from repro.api.envelopes import (
     SCHEMA_VERSION,
     ApiError,
+    AuthenticationError,
     ErrorResponse,
     OverloadedError,
     TransportError,
 )
-from repro.api.framing import MAX_FRAME_BYTES, FrameDecoder, encode_frame
+from repro.api.framing import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    decode_payload,
+    encode_frame,
+    peek_payload,
+)
 from repro.api.handler import ApiHandler
+from repro.tenancy.quota import estimate_rows
 
 #: Transport-level control ops of the shared-memory tier: handled inline by
 #: the reader thread, never parsed as API requests, never admitted as work.
@@ -93,6 +101,7 @@ class _Connection:
         "bytes_out",
         "encoding",
         "shm",
+        "tenant",
     )
 
     def __init__(self, sock: socket.socket, max_inflight: int, conn_id: int):
@@ -123,6 +132,11 @@ class _Connection:
         #: Per-connection shared-memory session (None until the client
         #: sends ``shm_attach``); owned by the reader thread's lifecycle.
         self.shm = None
+        #: :class:`~repro.tenancy.TenantContext` stamped by the hello
+        #: handshake's bearer token (None until a hello arrives; anonymous
+        #: connections stay None and are metered as "anonymous").  Written
+        #: only by the reader thread, read by pooled workers.
+        self.tenant = None
 
 
 class NormServer:
@@ -165,6 +179,15 @@ class NormServer:
         consulted once per received frame, it may delay, drop, corrupt or
         kill deterministically from a seeded
         :class:`~repro.chaos.plan.FaultPlan`.  ``None`` in production.
+    tenancy:
+        Opt-in :class:`~repro.tenancy.TenancyController`
+        (``haan-serve --tenants``): hello tokens authenticate connections,
+        per-tenant token buckets shed over-quota work in the reader thread
+        *before* frame decode (sharing one
+        :class:`~repro.api.admission.PreDecodeGate` with overload
+        shedding), and every served request is metered into the tenant's
+        cost ledger.  ``None`` (the default) serves anonymously and
+        unmetered, exactly as before.
     """
 
     def __init__(
@@ -181,6 +204,7 @@ class NormServer:
         ladder=None,
         fault_gate=None,
         enable_shm: bool = True,
+        tenancy=None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -198,6 +222,16 @@ class NormServer:
         )
         self.ladder = ladder
         self.fault_gate = fault_gate
+        self.tenancy = tenancy
+        #: The single pre-decode shedding gate every reader thread runs
+        #: each peeked envelope through: tenant quota first, then overload.
+        self.gate = PreDecodeGate(
+            self.admission, None if tenancy is None else tenancy.quota_check
+        )
+        if tenancy is not None and getattr(service, "cost_observer", False) is None:
+            # Wire the exact per-tenant cost split into the service's
+            # batch executor (only when nothing else claimed the hook).
+            service.cost_observer = tenancy.cost_observer
         #: Accept ``shm_attach`` requests (the same-host shared-memory
         #: transport).  When off, attach attempts are answered with a typed
         #: transport error and the client falls back to binary TCP.
@@ -239,6 +273,8 @@ class NormServer:
             attach("admission", self.admission.snapshot)
             if self.ladder is not None:
                 attach("degradation", self.ladder.snapshot)
+            if self.tenancy is not None:
+                attach("tenancy", self.tenancy.snapshot)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -425,7 +461,12 @@ class NormServer:
 
     def _serve_connection(self, connection: _Connection) -> None:
         sock = connection.sock
-        decoder = FrameDecoder(self.max_frame_bytes)
+        # Raw framing: the decoder splits the byte stream into frame bodies
+        # but defers payload decoding, so the shedding gate below can peek
+        # a binary frame's JSON preamble without ever materializing its
+        # tensor buffers -- a rejected request costs O(preamble), not
+        # O(tensor bytes).
+        decoder = FrameDecoder(self.max_frame_bytes, raw=True)
         with self._lock:
             self._decoders[connection] = decoder
         try:
@@ -449,7 +490,18 @@ class NormServer:
                     # shm attach overrides this for good ("shm" sockets
                     # still exchange JSON control frames).
                     connection.encoding = decoder.last_kind
-                for payload in frames:
+                for body in frames:
+                    try:
+                        # JSON frames decode fully here (the peek *is* the
+                        # payload); binary frames yield only their preamble
+                        # -- op, request_id, tensor shapes -- which is all
+                        # the control plane below needs.
+                        payload, is_binary = peek_payload(body)
+                    except ApiError as error:
+                        self._try_send(
+                            connection, ErrorResponse.from_exception(error).to_wire()
+                        )
+                        return
                     if payload.get("op") in SHM_CONTROL_OPS:
                         # Transport-tier control: handled by the reader
                         # inline (attach/release touch only per-connection
@@ -471,18 +523,59 @@ class NormServer:
                                 continue
                             if action.kind == "kill":
                                 return
-                    # Admission control *before* any tensor decode: the
-                    # envelope is a parsed dict, so peeking op/deadline_ms
-                    # is O(1).  Shed requests answer in microseconds with
-                    # a typed overloaded envelope.
+                    if self.tenancy is not None and payload.get("op") == "hello":
+                        # Authenticate the connection from the hello's
+                        # bearer token (reader-side: the handler never sees
+                        # the connection).  An invalid token -- or a
+                        # missing one under --require-auth -- answers the
+                        # hello itself with a typed error, which fails the
+                        # client's handshake.
+                        token = payload.get("token")
+                        try:
+                            connection.tenant = self.tenancy.authenticate(
+                                token if isinstance(token, str) else None
+                            )
+                        except ApiError as error:
+                            self._try_send(
+                                connection, self._error_envelope(payload, error)
+                            )
+                            continue
+                    is_work = payload.get("op") in WORK_OPS
+                    if (
+                        is_work
+                        and self.tenancy is not None
+                        and self.tenancy.require_auth
+                        and (connection.tenant is None or not connection.tenant.authenticated)
+                    ):
+                        # --require-auth: work never runs on a connection
+                        # that has not presented a valid token (whether it
+                        # skipped the hello or its hello was rejected).
+                        self._try_send(
+                            connection,
+                            self._error_envelope(
+                                payload,
+                                AuthenticationError(
+                                    "this server requires a tenant bearer token; "
+                                    "reconnect with token=... / --token"
+                                ),
+                            ),
+                        )
+                        continue
+                    # The shedding gate *before* any tensor decode: tenant
+                    # quota first (rows classified from the peeked tensor
+                    # shapes, bytes from the frame length), then overload
+                    # admission -- both O(1) on the already-parsed peek.
+                    # Shed requests answer in microseconds with a typed
+                    # quota_exceeded / overloaded envelope.
                     try:
-                        self.admission.check(payload)
+                        self.gate.check(
+                            payload, tenant=connection.tenant, nbytes=len(body)
+                        )
                     except (OverloadedError, ApiError) as error:
                         self._try_send(
                             connection, self._error_envelope(payload, error)
                         )
                         continue
-                    is_work = payload.get("op") in WORK_OPS
                     # Blocks at max_inflight: backpressure, not buffering.
                     # The failed fast-path acquire is counted -- each miss
                     # is a reader stall the client felt as TCP backpressure.
@@ -525,8 +618,24 @@ class NormServer:
                             ),
                         )
                         continue
+                    if is_binary:
+                        # Admitted: only now pay for the tensor buffers.
+                        try:
+                            payload = decode_payload(body)
+                        except ApiError as error:
+                            connection.inflight.release()
+                            with self._lock:
+                                connection.inflight_count -= 1
+                            if is_work:
+                                self.admission.complete()
+                            self._try_send(
+                                connection, ErrorResponse.from_exception(error).to_wire()
+                            )
+                            return
                     try:
-                        self._pool.submit(self._handle_one, connection, payload, is_work)
+                        self._pool.submit(
+                            self._handle_one, connection, payload, is_work, len(body)
+                        )
                     except RuntimeError:  # pool shut down under us
                         connection.inflight.release()
                         with self._lock:
@@ -560,7 +669,11 @@ class NormServer:
                 connection.shm = None
 
     def _handle_one(
-        self, connection: _Connection, payload: dict, is_work: bool = False
+        self,
+        connection: _Connection,
+        payload: dict,
+        is_work: bool = False,
+        nbytes: int = 0,
     ) -> None:
         """Worker body: handle one envelope, send its response frame."""
         started = time.perf_counter()
@@ -578,7 +691,10 @@ class NormServer:
                 # Feed the ladder the queue pressure at execution time; it
                 # answers the fidelity level this request runs at.
                 degrade_level = self.ladder.observe(self.admission.pressure())
-            response = self.handler.handle(payload, degrade_level)
+            tenant_name = (
+                connection.tenant.name if connection.tenant is not None else None
+            )
+            response = self.handler.handle(payload, degrade_level, tenant_name)
             if self.ladder is not None and is_work:
                 applied = _applied_degradation(response)
                 if applied is not None:
@@ -588,8 +704,19 @@ class NormServer:
                 with self._lock:
                     self.requests_served += 1
         finally:
+            elapsed = time.perf_counter() - started
             if is_work:
-                self.admission.complete(time.perf_counter() - started)
+                self.admission.complete(elapsed)
+                if self.tenancy is not None:
+                    # Meter the served request against the connection's
+                    # tenant (modelled cycles/energy arrive separately via
+                    # the service's cost observer, split exactly per batch).
+                    self.tenancy.charge_request(
+                        connection.tenant,
+                        rows=estimate_rows(payload),
+                        nbytes=nbytes,
+                        wall_seconds=elapsed,
+                    )
             with self._lock:
                 connection.inflight_count -= 1
             connection.inflight.release()

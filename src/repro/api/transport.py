@@ -115,17 +115,25 @@ class PendingReply:
         return self._value
 
 
+#: Error codes meaning "the server shed this request before any work ran".
+#: Overload shedding and per-tenant quota shedding share the same retry
+#: semantics: nothing executed, so resending is safe for every op once the
+#: server-supplied ``retry_after_ms`` has elapsed.
+_SHED_ERROR_CODES = frozenset({"overloaded", "quota_exceeded"})
+
+
 def _overload_error(response: Dict[str, Any]) -> Optional[float]:
-    """``retry_after_ms`` of an ``overloaded`` error envelope, else ``None``.
+    """``retry_after_ms`` of a shed-before-work error envelope, else ``None``.
 
     Cheap structural peek (no full decode): retry loops use it to decide
-    whether a response envelope is really the server shedding load.
+    whether a response envelope is really the server shedding load --
+    either overload (``overloaded``) or a tenant quota (``quota_exceeded``).
     Returns 0.0 when the envelope carries no usable ``retry_after_ms``.
     """
     if not isinstance(response, dict):
         return None
     error = response.get("error")
-    if not isinstance(error, dict) or error.get("code") != "overloaded":
+    if not isinstance(error, dict) or error.get("code") not in _SHED_ERROR_CODES:
         return None
     retry_after = error.get("retry_after_ms")
     if isinstance(retry_after, bool) or not isinstance(retry_after, (int, float)):
@@ -456,6 +464,13 @@ class SocketTransport(Transport):
         ``retry_after_ms`` on overload, and never resend a non-idempotent
         execute op after an ambiguous (post-send) failure.  Defaults to a
         two-attempt policy matching the transport's historical behaviour.
+    token:
+        Tenant bearer token presented in the hello handshake of every
+        fresh connection.  The server stamps the connection with the
+        matching :class:`~repro.tenancy.TenantContext`; an invalid token
+        fails the handshake with a typed
+        :class:`~repro.api.envelopes.AuthenticationError`.  ``None``
+        (the default) connects anonymously.
     """
 
     def __init__(
@@ -469,10 +484,12 @@ class SocketTransport(Transport):
         schema_versions: Tuple[int, int] = (MIN_SCHEMA_VERSION, SCHEMA_VERSION),
         negotiate: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
+        token: Optional[str] = None,
     ):
         if pool_size < 1:
             raise ValueError("pool_size must be at least 1")
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.token = token
         self.host = host
         self.port = int(port)
         self.timeout = timeout
@@ -550,7 +567,11 @@ class SocketTransport(Transport):
             send_timeout=self.timeout,
         )
         try:
-            if self._negotiate and self.negotiated_version is None:
+            # With a tenant token, *every* fresh connection performs the
+            # hello: the server stamps its TenantContext per connection, so
+            # pool growth and reconnects must re-present the credential
+            # (re-deriving the already-negotiated version is harmless).
+            if self._negotiate and (self.negotiated_version is None or self.token is not None):
                 self._handshake(conn)
             # Subclass hook (e.g. the shared-memory transport's segment
             # attach): runs after version negotiation, before the receiver
@@ -579,6 +600,7 @@ class SocketTransport(Transport):
         hello = HelloRequest(
             min_schema_version=self.min_schema_version,
             max_schema_version=self.max_schema_version,
+            token=self.token,
         )
         wire = hello.to_wire()
         wire["schema_version"] = self.min_schema_version

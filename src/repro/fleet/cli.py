@@ -95,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="supervise the replicas until interrupted instead of driving traffic",
     )
     parser.add_argument(
+        "--token",
+        default=None,
+        help="tenant bearer token presented to every replica's handshake",
+    )
+    parser.add_argument(
         "--no-golden-check",
         action="store_true",
         help="skip the bit-identity check against the locally rebuilt spec",
@@ -209,7 +214,9 @@ def _traffic(args: argparse.Namespace, attach: Optional[List[str]]) -> int:
         else:
             addresses = list(attach or [])
             print(f"haan-fleet: attached to {','.join(addresses)}", flush=True)
-        client = NormClient(FleetTransport(addresses, timeout=args.timeout))
+        client = NormClient(
+            FleetTransport(addresses, timeout=args.timeout, token=args.token)
+        )
         with client:
             client.wait_until_ready(timeout=30.0)
             try:
@@ -319,7 +326,7 @@ def _drive(
             f"(+{dispatch.get('scatter_retries', 0)} retried slice(s))",
             flush=True,
         )
-        _print_replica_table(addresses, stats=stats)
+        _print_replica_table(addresses, stats=stats, token=args.token)
     if mismatches:
         print(
             f"haan-fleet: GOLDEN CHECK FAILED: {mismatches}/{checked} response(s) "
@@ -339,9 +346,11 @@ def _drive(
 
 
 def _print_replica_table(
-    addresses: Sequence[str], stats: Optional[Dict[str, object]]
+    addresses: Sequence[str],
+    stats: Optional[Dict[str, object]],
+    token: Optional[str] = None,
 ) -> None:
-    """Per-replica table: breaker state + served-side wire telemetry."""
+    """Per-replica table: breaker state + served-side wire/tenancy telemetry."""
     health: Dict[str, Dict[str, object]] = {}
     if stats:
         replicas = stats.get("replicas")
@@ -350,7 +359,21 @@ def _print_replica_table(
                 if isinstance(entry, dict) and isinstance(entry.get("health"), dict):
                     health[address] = entry["health"]  # type: ignore[assignment]
 
-    rows = [["replica", "state", "ok", "fail", "p99(ms)", "requests", "frames", "peak"]]
+    rows = [
+        [
+            "replica",
+            "state",
+            "ok",
+            "fail",
+            "p99(ms)",
+            "requests",
+            "frames",
+            "peak",
+            "tenants",
+            "q-shed",
+        ]
+    ]
+    tenant_rows: Dict[str, Dict[str, float]] = {}
     for address in addresses:
         info = health.get(address, {})
         state = str(info.get("state", "-"))
@@ -359,20 +382,66 @@ def _print_replica_table(
         p99 = info.get("latency_p99")
         p99_text = f"{1e3 * p99:.1f}" if isinstance(p99, float) else "-"
         served = frames = peak = "-"
+        tenants = shed = "-"
         try:
             host, port = parse_address(address)
-            with NormClient.connect(host, port, timeout=5.0) as probe:
+            with NormClient.connect(host, port, timeout=5.0, token=token) as probe:
                 telemetry = probe.telemetry()["telemetry"]
             served = str(telemetry.get("requests_total", "-"))
             wire = telemetry.get("wire")
             if isinstance(wire, dict):
                 frames = str(wire.get("frames_received", "-"))
                 peak = str(wire.get("peak_inflight", "-"))
+            tenancy = telemetry.get("tenancy")
+            if isinstance(tenancy, dict):
+                quotas = tenancy.get("quotas")
+                quotas = quotas if isinstance(quotas, dict) else {}
+                tenants = str(tenancy.get("tenants_declared", "-"))
+                shed = str(
+                    sum(
+                        sum(quota.get("shed", {}).values())
+                        for quota in quotas.values()
+                        if isinstance(quota, dict)
+                    )
+                )
+                ledger = tenancy.get("ledger")
+                if isinstance(ledger, dict):
+                    for tenant, account in ledger.items():
+                        if not isinstance(account, dict):
+                            continue
+                        sums = tenant_rows.setdefault(
+                            tenant, {"requests": 0, "rows": 0, "cycles": 0}
+                        )
+                        for key in sums:
+                            value = account.get(key)
+                            if isinstance(value, (int, float)):
+                                sums[key] += value
         except (ApiError, OSError, ValueError, KeyError):
             state = state if state != "-" else "down"
             served = "down"
-        rows.append([address, state, ok, fail, p99_text, served, frames, peak])
+        rows.append(
+            [address, state, ok, fail, p99_text, served, frames, peak, tenants, shed]
+        )
 
+    _print_table(rows)
+    if tenant_rows:
+        # Per-tenant rollup across the fleet, from each replica's ledger.
+        print("per-tenant (fleet-wide):", flush=True)
+        table = [["tenant", "requests", "rows", "cycles"]]
+        for tenant in sorted(tenant_rows):
+            sums = tenant_rows[tenant]
+            table.append(
+                [
+                    tenant,
+                    str(int(sums["requests"])),
+                    str(int(sums["rows"])),
+                    str(int(sums["cycles"])),
+                ]
+            )
+        _print_table(table)
+
+
+def _print_table(rows: List[List[str]]) -> None:
     widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
     for row in rows:
         print(

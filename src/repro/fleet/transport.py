@@ -77,6 +77,7 @@ def _default_factory(
     pool_size: int,
     max_frame_bytes: int,
     retry_policy: Optional[RetryPolicy] = None,
+    token: Optional[str] = None,
 ) -> SocketTransport:
     from repro.api.server import parse_address
 
@@ -89,6 +90,7 @@ def _default_factory(
         pool_size=pool_size,
         max_frame_bytes=max_frame_bytes,
         retry_policy=retry_policy,
+        token=token,
     )
 
 
@@ -162,6 +164,9 @@ class FleetTransport(Transport):
         ``address -> Transport`` override (tests inject scripted fakes).
     clock:
         Injectable monotonic clock shared with the health trackers.
+    token:
+        Tenant bearer token presented in every replica's hello handshake
+        (the fleet acts as one tenant across all replicas).
     """
 
     def __init__(
@@ -182,8 +187,12 @@ class FleetTransport(Transport):
         transport_factory: Optional[Callable[[str], Transport]] = None,
         clock: Callable[[], float] = time.monotonic,
         retry_policy: Optional[RetryPolicy] = None,
+        token: Optional[str] = None,
     ):
         self.timeout = timeout
+        # One bearer token spans the fleet: every replica authenticates the
+        # same tenant, so hedges and failovers keep a single identity.
+        self.token = token
         self.connect_timeout = connect_timeout
         self.pool_size = pool_size
         self.max_frame_bytes = max_frame_bytes
@@ -294,6 +303,7 @@ class FleetTransport(Transport):
                         self.pool_size,
                         self.max_frame_bytes,
                         retry_policy=self.retry_policy,
+                        token=self.token,
                     )
                 self._transports[address] = transport
         return transport

@@ -120,6 +120,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to drain in-flight frames on SIGINT/SIGTERM before "
         "connections are closed (0: immediate close)",
     )
+    parser.add_argument(
+        "--tenants",
+        default=None,
+        metavar="PATH",
+        help="tenant file (JSON: tiers + tenants with bearer tokens) "
+        "enabling auth, per-tenant quotas and metered cost accounting "
+        "in --listen mode",
+    )
+    parser.add_argument(
+        "--require-auth",
+        action="store_true",
+        help="reject work from connections that did not present a valid "
+        "tenant bearer token in the hello handshake (needs --tenants)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus-style text endpoint on "
+        "http://127.0.0.1:PORT/metrics in --listen mode (0: ephemeral "
+        "port, printed at startup)",
+    )
     parser.add_argument("--max-batch-size", type=int, default=32, help="micro-batch size trigger")
     parser.add_argument(
         "--max-wait-ms", type=float, default=2.0, help="micro-batch latency trigger (ms)"
@@ -158,6 +181,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--max-queue-depth must be positive")
     if args.drain_timeout < 0:
         parser.error("--drain-timeout must be >= 0")
+    if args.require_auth and args.tenants is None:
+        parser.error("--require-auth needs a tenant file (--tenants PATH)")
+    if args.tenants is not None and args.listen is None:
+        parser.error("--tenants applies to --listen mode")
+    if args.metrics_port is not None and (
+        args.listen is None or args.metrics_port < 0
+    ):
+        parser.error("--metrics-port needs --listen mode and a port >= 0")
     if args.registry_capacity < 1:
         parser.error("--registry-capacity must be positive")
     try:
@@ -307,6 +338,18 @@ def _serve_forever(
         from repro.serving.degrade import DegradationLadder
 
         ladder = DegradationLadder()
+    tenancy = None
+    if args.tenants is not None:
+        from repro.tenancy import TenancyController
+
+        try:
+            tenancy = TenancyController.from_file(
+                args.tenants, require_auth=args.require_auth
+            )
+        except (OSError, ValueError) as error:
+            print(f"haan-serve: bad tenant file {args.tenants}: {error}", file=sys.stderr)
+            return 2
+    metrics = None
     try:
         try:
             server = NormServer(
@@ -318,10 +361,30 @@ def _serve_forever(
                 max_queue_depth=args.max_queue_depth,
                 ladder=ladder,
                 enable_shm=not args.no_shm,
+                tenancy=tenancy,
             )
         except OSError as error:
             print(f"haan-serve: cannot bind {args.listen}: {error}", file=sys.stderr)
             return 2
+        if args.metrics_port is not None:
+            from repro.tenancy import MetricsServer, render_prometheus
+
+            telemetry = service.telemetry
+
+            def _exposition() -> str:
+                return render_prometheus(
+                    telemetry.snapshot(), telemetry.histogram_export()
+                )
+
+            try:
+                metrics = MetricsServer(_exposition, port=args.metrics_port).start()
+            except OSError as error:
+                print(
+                    f"haan-serve: cannot bind metrics port {args.metrics_port}: {error}",
+                    file=sys.stderr,
+                )
+                server.close()
+                return 2
         with server:
             print(
                 f"haan-serve: listening on {server.host}:{server.port} "
@@ -329,10 +392,21 @@ def _serve_forever(
                 f"{args.workers} workers, {args.max_inflight} in-flight "
                 f"per connection, queue bound {args.max_queue_depth}"
                 f"{', degradation ladder on' if ladder is not None else ''}"
-                f"{', shm attach refused' if args.no_shm else ''}; "
-                f"stop with SIGINT/SIGTERM)",
+                f"{', shm attach refused' if args.no_shm else ''}"
+                + (
+                    f", {len(tenancy.directory)} tenant(s)"
+                    f"{', auth required' if tenancy.require_auth else ''}"
+                    if tenancy is not None
+                    else ""
+                )
+                + "; stop with SIGINT/SIGTERM)",
                 flush=True,
             )
+            if metrics is not None:
+                print(
+                    f"haan-serve: metrics on http://{metrics.host}:{metrics.port}/metrics",
+                    flush=True,
+                )
             while not stop.wait(0.2):
                 pass
             # Graceful drain: stop accepting, let in-flight frames finish
@@ -340,6 +414,8 @@ def _serve_forever(
             server.close(drain_timeout=args.drain_timeout)
             print(f"haan-serve: shutting down after {server.requests_served} request(s)")
     finally:
+        if metrics is not None:
+            metrics.close()
         service.close()
         for signum, handler in previous.items():
             signal.signal(signum, handler)

@@ -65,13 +65,14 @@ class NormRequest:
     measurably matters.
     """
 
-    __slots__ = ("key", "payload", "context", "request_id", "rows", "num_rows")
+    __slots__ = ("key", "payload", "context", "request_id", "rows", "num_rows", "tenant")
 
     def __init__(
         self,
         key: RequestKey,
         payload: np.ndarray,
         context: Optional[ActivationContext] = None,
+        tenant: Optional[str] = None,
     ):
         arr = np.asarray(payload)
         if arr.dtype.kind not in "fiub":
@@ -99,6 +100,10 @@ class NormRequest:
         self.key = key
         self.payload = arr
         self.context = context
+        #: Tenant name this request is metered against (None = anonymous).
+        #: Attribution only -- tenancy never affects the computation, so
+        #: requests of different tenants still share micro-batches.
+        self.tenant = tenant
         self.request_id = next(_request_ids)
         #: The payload viewed as a 2-D ``(rows, hidden)`` matrix.
         self.rows = rows

@@ -73,6 +73,15 @@ class NormalizationService:
         # place the cache is read or written).
         self._degraded_engines = {}
         self._queue_clock = time.monotonic
+        #: Optional per-batch cost-attribution hook
+        #: ``(tenants, counts, cost_record) -> None`` called after a
+        #: cost-modelling backend executed a micro-batch: ``tenants`` and
+        #: ``counts`` are the per-request tenant names (None = anonymous)
+        #: and row counts, in batch order, and ``cost_record`` is the
+        #: batch's :class:`~repro.engine.backends.NormCostRecord`.  The
+        #: tenancy ledger wires itself here (``haan-serve --tenants``) to
+        #: split modelled cycles/energy across tenants exactly.
+        self.cost_observer = None
         self.batcher = MicroBatcher(self._execute_batch, config, clock=self._queue_clock)
         self._threaded = threaded
         if threaded:
@@ -108,6 +117,7 @@ class NormalizationService:
         accelerator: Optional[str] = None,
         context: Optional[ActivationContext] = None,
         degrade: int = 0,
+        tenant: Optional[str] = None,
     ) -> ResponseFuture:
         """Enqueue one request; returns a future of :class:`NormResponse`.
 
@@ -120,7 +130,9 @@ class NormalizationService:
         response is stamped with the level actually applied).  Unknown
         backend, model or accelerator names fail *here*, synchronously,
         with the registry contents in the message -- never deep inside
-        the batch executor.
+        the batch executor.  ``tenant`` names the account this request is
+        metered against (attribution only; it never affects execution or
+        batching).
         """
         key = RequestKey(
             model=model,
@@ -132,7 +144,9 @@ class NormalizationService:
             degrade=degrade,
         )
         self._validate_key(key)
-        return self.batcher.submit(NormRequest(key=key, payload=payload, context=context))
+        return self.batcher.submit(
+            NormRequest(key=key, payload=payload, context=context, tenant=tenant)
+        )
 
     def submit_many(
         self,
@@ -145,6 +159,7 @@ class NormalizationService:
         accelerator: Optional[str] = None,
         context: Optional[ActivationContext] = None,
         degrade: int = 0,
+        tenant: Optional[str] = None,
     ) -> List[ResponseFuture]:
         """Enqueue a burst of requests under one scheduler lock acquisition."""
         key = RequestKey(
@@ -158,7 +173,10 @@ class NormalizationService:
         )
         self._validate_key(key)
         return self.batcher.submit_many(
-            [NormRequest(key=key, payload=payload, context=context) for payload in payloads]
+            [
+                NormRequest(key=key, payload=payload, context=context, tenant=tenant)
+                for payload in payloads
+            ]
         )
 
     def _validate_key(self, key: RequestKey) -> None:
@@ -208,6 +226,7 @@ class NormalizationService:
         accelerator: Optional[str] = None,
         context: Optional[ActivationContext] = None,
         degrade: int = 0,
+        tenant: Optional[str] = None,
     ) -> Iterator[NormResponse]:
         """Normalize a stream of activation chunks, yielding results in order.
 
@@ -231,6 +250,7 @@ class NormalizationService:
                 accelerator=accelerator,
                 context=context if context is not None else ActivationContext(),
                 degrade=degrade,
+                tenant=tenant,
             )
             for chunk in chunks
         ]
@@ -418,3 +438,14 @@ class NormalizationService:
             backend=key.backend,
             cost=cost_record,
         )
+        observer = self.cost_observer
+        if observer is not None and cost_record is not None:
+            # Per-tenant attribution of the batch's modelled cost.  The
+            # observer receives the whole batch (tenant names and row
+            # counts in batch order) so the split can be made *exact*:
+            # summed per-tenant cycles/energy reproduce the record's
+            # totals bit-for-bit, regardless of how requests shared the
+            # batch.
+            observer(
+                [pending.request.tenant for pending in good], counts, cost_record
+            )

@@ -94,6 +94,23 @@ class LatencyHistogram:
             "max": self.max_value,
         }
 
+    def prometheus_export(self) -> Dict[str, object]:
+        """Cumulative buckets in Prometheus histogram shape.
+
+        ``buckets`` is a list of ``(le, cumulative_count)`` pairs whose
+        ``le`` values are the finite upper bounds (rendered as strings)
+        plus the terminal ``"+Inf"`` overflow bucket -- exactly what a
+        ``_bucket{le="..."}`` family needs, straight from the log-spaced
+        counts this histogram already keeps.
+        """
+        cumulative = np.cumsum(self.counts)
+        buckets: list = [
+            (f"{float(edge):.9g}", int(total))
+            for edge, total in zip(self.edges, cumulative[:-1])
+        ]
+        buckets.append(("+Inf", int(cumulative[-1])))
+        return {"buckets": buckets, "sum": self.total, "count": self.count}
+
 
 class LatencyReservoir:
     """Bounded ring buffer of the most recent raw latency samples.
@@ -313,6 +330,14 @@ class ServingTelemetry:
         """Record one failed batch."""
         with self._lock:
             self.errors_total.increment()
+
+    def histogram_export(self) -> Dict[str, Dict[str, object]]:
+        """Bucketed latency families for the Prometheus ``/metrics`` endpoint."""
+        with self._lock:
+            return {
+                "queue_wait": self.queue_wait.prometheus_export(),
+                "batch_latency": self.batch_latency.prometheus_export(),
+            }
 
     # -- derived gauges ----------------------------------------------------
 

@@ -1,0 +1,279 @@
+"""`CostLedger`: per-tenant metering with exact cost attribution.
+
+The simulated backends price every micro-batch in modelled hardware cost
+(:class:`~repro.engine.backends.NormCostRecord`: cycles and nanojoules).
+A micro-batch may mix requests of several tenants, so attribution needs a
+*split*, and the ledger's contract is that the split is **exact**: summed
+per-tenant cycles and energy reproduce the engine's aggregate totals
+bit-for-bit, no matter how requests shared batches.
+
+Two mechanisms make that possible:
+
+* **Cycles** (integers) split by the cumulative-prefix scheme: request
+  ``i`` of a batch gets ``total * cum_rows_i // rows - total *
+  cum_rows_{i-1} // rows``.  Each share is a fair (row-proportional,
+  error < 1 cycle) integer and the shares telescope to ``total`` exactly.
+* **Energy** (a float) splits in :class:`fractions.Fraction` arithmetic.
+  Every float is a dyadic rational, so ``Fraction(energy_nj)`` is exact,
+  the row-proportional shares ``E * rows_i / rows`` are exact rationals,
+  and their sum is *exactly* ``E`` under any grouping or order.  The
+  ledger keeps energy as a ``Fraction`` internally, serializes it as a
+  ``[numerator, denominator]`` pair (lossless snapshot/restore round
+  trips) and exposes a float only in display snapshots.
+
+Balances are prepaid credit in modelled cycles: ``deduct`` happens
+automatically as costs are charged, ``remaining`` may go negative (the
+server keeps serving; billing is an accounting concern, enforcement is
+the quota layer's), and the exhausted state is visible in snapshots and
+the metrics endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["CostLedger", "split_cost"]
+
+
+def split_cost(
+    total_cycles: int, energy_nj: float, counts: Sequence[int]
+) -> List[Tuple[int, Fraction]]:
+    """Row-proportional ``(cycles, energy)`` shares summing *exactly*.
+
+    ``counts`` are the per-request row counts of one batch.  Returns one
+    ``(int cycles, Fraction energy_nj)`` pair per request; the cycle
+    shares sum to ``total_cycles`` and the energy shares sum to
+    ``Fraction(energy_nj)``, both exactly.
+    """
+    total_rows = sum(counts)
+    if total_rows <= 0:
+        raise ValueError(f"counts must sum to > 0, got {list(counts)}")
+    energy = Fraction(energy_nj)
+    shares: List[Tuple[int, Fraction]] = []
+    cumulative = 0
+    previous = 0
+    for count in counts:
+        if count < 0:
+            raise ValueError(f"counts must be >= 0, got {list(counts)}")
+        cumulative += count
+        prefix = total_cycles * cumulative // total_rows
+        shares.append((prefix - previous, energy * count / total_rows))
+        previous = prefix
+    return shares
+
+
+class _Account:
+    """One tenant's mutable tallies (guarded by the ledger lock)."""
+
+    __slots__ = (
+        "requests",
+        "rows",
+        "bytes",
+        "wall_seconds",
+        "cycles",
+        "energy_nj",
+        "balance",
+        "deducted",
+    )
+
+    def __init__(self, balance: Optional[Fraction] = None):
+        self.requests = 0
+        self.rows = 0
+        self.bytes = 0
+        self.wall_seconds = 0.0
+        self.cycles = 0
+        self.energy_nj = Fraction(0)
+        #: Prepaid credit in modelled cycles (None = post-paid).
+        self.balance = balance
+        self.deducted = Fraction(0)
+
+
+def _fraction_to_json(value: Fraction) -> List[int]:
+    return [value.numerator, value.denominator]
+
+
+def _fraction_from_json(value: Any, where: str) -> Fraction:
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or not all(isinstance(part, int) and not isinstance(part, bool) for part in value)
+    ):
+        raise ValueError(f"{where} must be a [numerator, denominator] pair, got {value!r}")
+    return Fraction(value[0], value[1])
+
+
+class CostLedger:
+    """Thread-safe per-tenant cost accounting with balance semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._accounts: Dict[str, _Account] = {}
+
+    # -- accounts ------------------------------------------------------
+
+    def open_account(self, tenant: str, balance: Optional[float] = None) -> None:
+        """Ensure an account exists; sets the prepaid balance on creation.
+
+        Re-opening an existing account never resets its tallies or
+        balance (reconnects must not refill a drained prepaid tenant).
+        """
+        with self._lock:
+            if tenant not in self._accounts:
+                self._accounts[tenant] = _Account(
+                    None if balance is None else Fraction(balance)
+                )
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return sorted(self._accounts)
+
+    # -- charging ------------------------------------------------------
+
+    def charge_request(
+        self, tenant: str, rows: int = 0, nbytes: int = 0, wall_seconds: float = 0.0
+    ) -> None:
+        """Attribute one served request's rows, bytes and wall latency."""
+        with self._lock:
+            account = self._accounts.setdefault(tenant, _Account())
+            account.requests += 1
+            account.rows += int(rows)
+            account.bytes += int(nbytes)
+            account.wall_seconds += float(wall_seconds)
+
+    def charge_cost(self, tenant: str, cycles: int, energy_nj) -> None:
+        """Attribute modelled cost; deducts from a prepaid balance.
+
+        ``energy_nj`` may be a float or (exact path) a
+        :class:`~fractions.Fraction` share from :func:`split_cost`.
+        """
+        with self._lock:
+            account = self._accounts.setdefault(tenant, _Account())
+            account.cycles += int(cycles)
+            account.energy_nj += Fraction(energy_nj)
+            if account.balance is not None:
+                account.balance -= cycles
+                account.deducted += cycles
+
+    def charge_batch(
+        self,
+        tenants: Sequence[Optional[str]],
+        counts: Sequence[int],
+        cost_record,
+    ) -> None:
+        """Split one batch's :class:`NormCostRecord` across its tenants.
+
+        This is the :attr:`NormalizationService.cost_observer` hook: called
+        once per costed micro-batch with the per-request tenant names
+        (None = anonymous) and row counts, in batch order.
+        """
+        shares = split_cost(cost_record.total_cycles, cost_record.energy_nj, counts)
+        for tenant, (cycles, energy) in zip(tenants, shares):
+            self.charge_cost(tenant or "anonymous", cycles, energy)
+
+    # -- balances ------------------------------------------------------
+
+    def remaining(self, tenant: str) -> Optional[float]:
+        """Remaining prepaid cycles (None: unknown tenant or post-paid)."""
+        with self._lock:
+            account = self._accounts.get(tenant)
+            if account is None or account.balance is None:
+                return None
+            return float(account.balance)
+
+    def exhausted(self, tenant: str) -> bool:
+        """Whether a prepaid tenant has spent its balance."""
+        remaining = self.remaining(tenant)
+        return remaining is not None and remaining <= 0
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Display snapshot: floats for energy/balance (telemetry, tables)."""
+        with self._lock:
+            return {
+                tenant: {
+                    "requests": account.requests,
+                    "rows": account.rows,
+                    "bytes": account.bytes,
+                    "wall_seconds": account.wall_seconds,
+                    "cycles": account.cycles,
+                    "energy_nj": float(account.energy_nj),
+                    "balance": None if account.balance is None else float(account.balance),
+                    "deducted_cycles": float(account.deducted),
+                    "exhausted": account.balance is not None and account.balance <= 0,
+                }
+                for tenant, account in sorted(self._accounts.items())
+            }
+
+    def to_json(self) -> Dict[str, Any]:
+        """Lossless serialization (energy/balance as exact rationals)."""
+        with self._lock:
+            return {
+                "version": 1,
+                "tenants": {
+                    tenant: {
+                        "requests": account.requests,
+                        "rows": account.rows,
+                        "bytes": account.bytes,
+                        "wall_seconds": account.wall_seconds,
+                        "cycles": account.cycles,
+                        "energy_nj": _fraction_to_json(account.energy_nj),
+                        "balance": (
+                            None
+                            if account.balance is None
+                            else _fraction_to_json(account.balance)
+                        ),
+                        "deducted": _fraction_to_json(account.deducted),
+                    }
+                    for tenant, account in self._accounts.items()
+                },
+            }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "CostLedger":
+        """Restore a ledger serialized by :meth:`to_json`, losslessly."""
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise ValueError(
+                f"not a CostLedger snapshot (expected version 1): {payload!r:.120}"
+            )
+        tenants = payload.get("tenants", {})
+        if not isinstance(tenants, dict):
+            raise ValueError("CostLedger snapshot 'tenants' must be an object")
+        ledger = cls()
+        for tenant, entry in tenants.items():
+            account = _Account()
+            account.requests = int(entry["requests"])
+            account.rows = int(entry["rows"])
+            account.bytes = int(entry["bytes"])
+            account.wall_seconds = float(entry["wall_seconds"])
+            account.cycles = int(entry["cycles"])
+            account.energy_nj = _fraction_from_json(
+                entry["energy_nj"], f"tenants[{tenant!r}].energy_nj"
+            )
+            balance = entry.get("balance")
+            account.balance = (
+                None
+                if balance is None
+                else _fraction_from_json(balance, f"tenants[{tenant!r}].balance")
+            )
+            account.deducted = _fraction_from_json(
+                entry["deducted"], f"tenants[{tenant!r}].deducted"
+            )
+            ledger._accounts[tenant] = account
+        return ledger
+
+    # -- exact accessors (tests / benchmarks) --------------------------
+
+    def exact_totals(self, tenant: str) -> Tuple[int, Fraction]:
+        """``(cycles, energy_nj)`` with energy as the exact Fraction."""
+        with self._lock:
+            account = self._accounts.get(tenant)
+            if account is None:
+                return 0, Fraction(0)
+            return account.cycles, account.energy_nj
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"CostLedger(tenants={sorted(self._accounts)})"

@@ -1,0 +1,308 @@
+"""Prometheus-style ``/metrics``: text exposition over stdlib ``http.server``.
+
+`haan-serve --metrics-port N` starts a :class:`MetricsServer` -- a
+daemon-threaded ``ThreadingHTTPServer`` whose only route, ``GET
+/metrics``, renders the serving telemetry snapshot in the Prometheus text
+exposition format (version 0.0.4): every sample line is ``name value`` or
+``name{label="v",...} value``, with ``# HELP`` / ``# TYPE`` comment lines
+preceding each family.
+
+What is exported:
+
+* the core serving counters/gauges (``haan_requests_total`` ...);
+* the latency histograms as native Prometheus histograms
+  (``haan_queue_wait_seconds_bucket{le="..."}``, ``_sum``, ``_count``),
+  straight from the log-spaced buckets
+  :class:`~repro.serving.telemetry.LatencyHistogram` already keeps;
+* every *attached* telemetry section (admission, degradation, wire,
+  tenancy, ...) flattened generically -- scalar numeric leaves become
+  ``haan_<section>_<key>`` gauges, so future sections export themselves;
+* per-tenant quota and ledger state with a ``tenant`` label (and
+  ``resource`` for the bucket gauges), from the ``tenancy`` section.
+
+No third-party client library: the format is five string rules, and the
+CI smoke job validates every emitted line against them.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["MetricsServer", "render_prometheus"]
+
+_PREFIX = "haan"
+
+
+def _sanitize_name(name: str) -> str:
+    """Coerce a snapshot key into a legal Prometheus metric-name fragment."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: Any) -> Optional[str]:
+    """Render a scalar sample value, or None when it is not numeric."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return None
+
+
+class _Writer:
+    """Accumulates exposition lines, emitting HELP/TYPE once per family."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._seen: set = set()
+
+    def sample(
+        self,
+        name: str,
+        value: Any,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        kind: str = "gauge",
+        help_text: str = "",
+    ) -> None:
+        rendered = _format_value(value)
+        if rendered is None:
+            return
+        if name not in self._seen:
+            self._seen.add(name)
+            self.lines.append(f"# HELP {name} {help_text or name}")
+            self.lines.append(f"# TYPE {name} {kind}")
+        if labels:
+            body = ",".join(f'{key}="{_escape_label(value)}"' for key, value in labels)
+            self.lines.append(f"{name}{{{body}}} {rendered}")
+        else:
+            self.lines.append(f"{name} {rendered}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _emit_histogram(writer: _Writer, name: str, export: Dict[str, Any]) -> None:
+    """One native histogram family from a LatencyHistogram export."""
+    for upper, cumulative in export["buckets"]:
+        writer.sample(
+            f"{name}_bucket",
+            cumulative,
+            labels=(("le", upper),),
+            kind="histogram",
+            help_text=f"{name} latency distribution (seconds)",
+        )
+    # _sum / _count ride the same family: no separate HELP/TYPE lines.
+    writer.lines.append(f"{name}_sum {_format_value(float(export['sum']))}")
+    writer.lines.append(f"{name}_count {int(export['count'])}")
+
+
+def _emit_tenancy(writer: _Writer, tenancy: Dict[str, Any]) -> None:
+    """Per-tenant quota/ledger families with a ``tenant`` label."""
+    writer.sample(
+        f"{_PREFIX}_tenancy_require_auth",
+        tenancy.get("require_auth", False),
+        help_text="1 when the server rejects unauthenticated connections",
+    )
+    for key in ("tenants_declared", "authenticated_total", "rejected_tokens"):
+        kind = "counter" if key.endswith(("_total", "_tokens")) else "gauge"
+        writer.sample(f"{_PREFIX}_tenancy_{key}", tenancy.get(key, 0), kind=kind)
+    for tenant, quota in sorted(tenancy.get("quotas", {}).items()):
+        label = (("tenant", tenant),)
+        writer.sample(
+            f"{_PREFIX}_tenant_quota_admitted_total",
+            quota.get("admitted", 0),
+            labels=label,
+            kind="counter",
+            help_text="work requests admitted through the tenant's quota",
+        )
+        for resource, count in sorted(quota.get("shed", {}).items()):
+            writer.sample(
+                f"{_PREFIX}_tenant_quota_shed_total",
+                count,
+                labels=(("tenant", tenant), ("resource", resource)),
+                kind="counter",
+                help_text="requests shed by the tenant's quota, per resource",
+            )
+        for resource, bucket in sorted((quota.get("buckets") or {}).items()):
+            if bucket is None:
+                continue
+            writer.sample(
+                f"{_PREFIX}_tenant_quota_tokens",
+                bucket.get("tokens", 0.0),
+                labels=(("tenant", tenant), ("resource", resource)),
+                help_text="token-bucket balance, per resource",
+            )
+    for tenant, account in sorted(tenancy.get("ledger", {}).items()):
+        label = (("tenant", tenant),)
+        for key, kind in (
+            ("requests", "counter"),
+            ("rows", "counter"),
+            ("bytes", "counter"),
+            ("wall_seconds", "counter"),
+            ("cycles", "counter"),
+            ("energy_nj", "counter"),
+        ):
+            writer.sample(
+                f"{_PREFIX}_tenant_{key}_total",
+                account.get(key, 0),
+                labels=label,
+                kind=kind,
+                help_text=f"metered {key} per tenant",
+            )
+        balance = account.get("balance")
+        if balance is not None:
+            writer.sample(
+                f"{_PREFIX}_tenant_balance_cycles",
+                balance,
+                labels=label,
+                help_text="remaining prepaid balance in modelled cycles",
+            )
+            writer.sample(
+                f"{_PREFIX}_tenant_balance_exhausted",
+                account.get("exhausted", False),
+                labels=label,
+                help_text="1 when the prepaid balance is spent",
+            )
+
+
+#: Core snapshot keys exported as counters (the rest become gauges).
+_CORE_COUNTERS = frozenset(
+    {"requests_total", "rows_total", "batches_total", "errors_total"}
+)
+
+#: Snapshot keys that are attached sections (dicts) with special handling.
+_SKIPPED_SECTION_KEYS = frozenset(
+    {"per_connection", "by_config", "quotas", "ledger"}
+)
+
+
+def _emit_section(writer: _Writer, section_name: str, section: Dict[str, Any]) -> None:
+    """Flatten one attached section's scalar numeric leaves into gauges."""
+    base = f"{_PREFIX}_{_sanitize_name(section_name)}"
+    for key, value in section.items():
+        if key in _SKIPPED_SECTION_KEYS:
+            continue
+        if isinstance(value, dict):
+            # One level of nesting (e.g. admission sub-groups) flattens
+            # with an underscore; deeper structures stay CLI-only.
+            for sub_key, sub_value in value.items():
+                kind = "counter" if str(sub_key).endswith("_total") else "gauge"
+                writer.sample(
+                    f"{base}_{_sanitize_name(key)}_{_sanitize_name(sub_key)}",
+                    sub_value,
+                    kind=kind,
+                )
+            continue
+        kind = "counter" if key.endswith("_total") else "gauge"
+        writer.sample(f"{base}_{_sanitize_name(key)}", value, kind=kind)
+
+
+def render_prometheus(
+    snapshot: Dict[str, Any],
+    histograms: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> str:
+    """Render one telemetry snapshot as Prometheus text exposition 0.0.4.
+
+    ``snapshot`` is :meth:`ServingTelemetry.snapshot` output;
+    ``histograms`` is :meth:`ServingTelemetry.histogram_export` output
+    (bucketed latency families), when available.
+    """
+    writer = _Writer()
+    for key, value in snapshot.items():
+        if isinstance(value, dict):
+            continue  # sections and histogram summaries handled below
+        kind = "counter" if key in _CORE_COUNTERS else "gauge"
+        writer.sample(f"{_PREFIX}_{_sanitize_name(key)}", value, kind=kind)
+    cost = snapshot.get("modelled_cost")
+    if isinstance(cost, dict):
+        _emit_section(writer, "modelled_cost", cost)
+    for section_name in ("wire", "admission", "degradation", "retry", "chaos"):
+        section = snapshot.get(section_name)
+        if isinstance(section, dict):
+            _emit_section(writer, section_name, section)
+    tenancy = snapshot.get("tenancy")
+    if isinstance(tenancy, dict):
+        _emit_tenancy(writer, tenancy)
+    for name, export in (histograms or {}).items():
+        _emit_histogram(writer, f"{_PREFIX}_{_sanitize_name(name)}_seconds", export)
+    return writer.text()
+
+
+class MetricsServer:
+    """Serve ``GET /metrics`` for one telemetry source, in a daemon thread.
+
+    ``source`` is a zero-argument callable returning the exposition text
+    (typically a closure over the service's telemetry).  Rendering runs in
+    the HTTP thread per scrape -- the serving path never blocks on it.
+    """
+
+    def __init__(self, source: Callable[[], str], host: str = "127.0.0.1", port: int = 0):
+        self._source = source
+
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 -- http.server API
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                try:
+                    body = outer._source().encode("utf-8")
+                except Exception as error:  # noqa: BLE001 -- scrape must answer
+                    self.send_error(500, f"snapshot failed: {error}")
+                    return
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-scrape stderr
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="haan-metrics",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
