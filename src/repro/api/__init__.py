@@ -64,6 +64,7 @@ _EXPORTS = {
     "PayloadTooLargeError": "envelopes",
     "OverloadedError": "envelopes",
     "QuotaExceededError": "envelopes",
+    "DeadlineExceededError": "envelopes",
     "AuthenticationError": "envelopes",
     "TransportError": "envelopes",
     "NoHealthyReplicaError": "envelopes",
@@ -87,6 +88,7 @@ _EXPORTS = {
     "PendingNormResult": "client",
     "ServedSpec": "client",
     "NormServer": "server",
+    "AsyncNormServer": "aserver",
     "parse_address": "server",
 }
 

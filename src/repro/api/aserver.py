@@ -1,0 +1,745 @@
+"""`AsyncNormServer`: the asyncio server core.
+
+Functionally identical to the threaded :class:`~repro.api.server.NormServer`
+-- same wire protocol, same pre-decode shedding gate, same error taxonomy,
+same telemetry section keys, bit-identical responses -- but connections are
+coroutines on one event loop instead of a reader thread each, so holding
+10k mostly-idle connections costs kilobytes apiece rather than a thread
+stack.
+
+Division of labor per frame:
+
+* **event loop** -- incremental framing (:class:`FrameDecoder`), the
+  pre-decode gate (tenant quota + overload admission on the peeked JSON
+  preamble, before any tensor bytes are touched), shm control ops, chaos
+  gate, hello authentication, per-connection in-flight accounting.
+* **bounded executor** -- everything that touches tensors: payload decode,
+  request validation, ``execute`` engine runs, response encoding.  The
+  loop never blocks on kernels.
+* **the service's scheduler thread** -- actual normalization work.
+  Serving ops are *submitted* (:meth:`ApiHandler.begin`), their
+  :class:`~repro.serving.batcher.ResponseFuture` done-callbacks bridged
+  onto the loop via ``call_soon_threadsafe`` -- which is what lets pending
+  requests from **all connections** pool in the continuous batching
+  scheduler and drain together each engine tick.
+
+Shutdown mirrors the threaded core: :meth:`close` (callable from any
+thread, e.g. a SIGTERM handler) optionally drains admitted work for
+``drain_timeout`` seconds -- new frames are answered with a typed
+``overloaded`` "draining" error -- then tears the loop down and joins every
+thread it started.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Dict, Optional, Set
+
+from repro.api.admission import WORK_OPS, AdmissionController, PreDecodeGate
+from repro.api.envelopes import (
+    ApiError,
+    AuthenticationError,
+    ErrorResponse,
+    OverloadedError,
+)
+from repro.api.framing import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    decode_payload,
+    encode_frame,
+    peek_payload,
+)
+from repro.api.handler import SERVING_OPS, ApiHandler
+from repro.api.server import (
+    SHM_CONTROL_OPS,
+    _applied_degradation,
+    shed_error_envelope,
+)
+from repro.tenancy.quota import estimate_rows
+
+
+class _AsyncConnection:
+    """Per-connection pipelining state (the coroutine twin of _Connection)."""
+
+    __slots__ = (
+        "writer",
+        "conn_id",
+        "send_lock",
+        "inflight",
+        "inflight_count",
+        "peak_inflight",
+        "frames",
+        "backpressure_waits",
+        "closed",
+        "bytes_in",
+        "bytes_out",
+        "encoding",
+        "shm",
+        "tenant",
+        "decoder",
+    )
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        max_inflight: int,
+        conn_id: int,
+        decoder: FrameDecoder,
+    ):
+        self.writer = writer
+        self.conn_id = conn_id
+        self.send_lock = asyncio.Lock()
+        #: The reader coroutine awaits this once ``max_inflight`` requests
+        #: are being handled: reading pauses, the kernel buffer fills and
+        #: the client feels TCP backpressure -- exactly the threaded
+        #: server's contract, minus the blocked thread.
+        self.inflight = asyncio.Semaphore(max_inflight)
+        self.inflight_count = 0
+        self.peak_inflight = 0
+        self.frames = 0
+        self.backpressure_waits = 0
+        self.closed = False
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.encoding = "json"
+        self.shm = None
+        self.tenant = None
+        self.decoder = decoder
+
+
+class AsyncNormServer:
+    """Serve one :class:`NormalizationService` on an asyncio event loop.
+
+    Drop-in for :class:`~repro.api.server.NormServer`: same constructor
+    surface (``workers`` sizes the executor that replaces the thread
+    pool), same ``start`` / ``close(drain_timeout=...)`` lifecycle, same
+    ``wire_snapshot`` keys.  Requires a *threaded* service (its scheduler
+    must drain itself; nothing pumps queues between submit and resolve).
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        handler: Optional[ApiHandler] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        workers: int = 8,
+        max_inflight: int = 32,
+        admission: Optional[AdmissionController] = None,
+        max_queue_depth: int = 256,
+        ladder=None,
+        fault_gate=None,
+        enable_shm: bool = True,
+        tenancy=None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        self.service = service
+        self.handler = handler if handler is not None else ApiHandler(service)
+        self.max_frame_bytes = max_frame_bytes
+        self.workers = workers
+        self.max_inflight = max_inflight
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(max_queue_depth=max_queue_depth)
+        )
+        self.ladder = ladder
+        self.fault_gate = fault_gate
+        self.tenancy = tenancy
+        self.gate = PreDecodeGate(
+            self.admission, None if tenancy is None else tenancy.quota_check
+        )
+        if tenancy is not None and getattr(service, "cost_observer", False) is None:
+            service.cost_observer = tenancy.cost_observer
+        self.enable_shm = enable_shm
+        # Bind synchronously so the port is known at construction (the
+        # fleet supervisor and tests read .port before start()).
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(256)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._connections: Dict[int, _AsyncConnection] = {}
+        #: Strong refs to in-flight dispatch tasks (the loop only keeps
+        #: weak ones; an untracked task can be garbage-collected mid-run).
+        self._tasks: Set["asyncio.Task"] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._aserver: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="haan-async-worker"
+        )
+        self._closing = False
+        self._draining = False
+        self.requests_served = 0
+        self.connections_total = 0
+        self.frames_received = 0
+        self.peak_inflight = 0
+        self.backpressure_waits = 0
+        self._retired_bytes_in = 0
+        self._retired_bytes_out = 0
+        self._retired_frames_json = 0
+        self._retired_frames_binary = 0
+        attach = getattr(service.telemetry, "attach_section", None)
+        if attach is not None:
+            attach("wire", self.wire_snapshot)
+            attach("admission", self.admission.snapshot)
+            if self.ladder is not None:
+                attach("degradation", self.ladder.snapshot)
+            if self.tenancy is not None:
+                attach("tenancy", self.tenancy.snapshot)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """``host:port`` the server is listening on."""
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "AsyncNormServer":
+        """Start the event-loop thread and begin accepting (idempotent)."""
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("server is closed and cannot be restarted")
+            if self._thread is not None:
+                return self
+            started = threading.Event()
+            self._thread = threading.Thread(
+                target=self._run_loop,
+                args=(started,),
+                name="haan-async-server",
+                daemon=True,
+            )
+        self._thread.start()
+        started.wait()
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join(timeout=5.0)
+            raise RuntimeError(f"async server failed to start: {error}") from error
+        return self
+
+    def _run_loop(self, started: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._aserver = loop.run_until_complete(
+                asyncio.start_server(self._serve_connection, sock=self._sock)
+            )
+        except BaseException as error:  # noqa: BLE001 -- surface via start()
+            self._startup_error = error
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            # close() stopped the loop; finish cancelling whatever remains
+            # *on this thread* (the loop's owner), then free it.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def close(self, drain_timeout: float = 0.0) -> None:
+        """Stop accepting, optionally drain, tear the loop down, join threads.
+
+        Callable from any thread (the ``haan-serve`` SIGTERM handler calls
+        it from the main thread).  Semantics match the threaded core:
+        ``drain_timeout`` > 0 lets admitted frames finish (new work is
+        answered with a typed ``overloaded`` "draining" error) before the
+        connections are cut.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            self._draining = drain_timeout > 0
+            thread = self._thread
+        if thread is None or self._loop is None:
+            # Never started: only the listening socket exists.
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._pool.shutdown(wait=True)
+            return
+        loop = self._loop
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self._shutdown(drain_timeout), loop
+            )
+            future.result(timeout=drain_timeout + 10.0)
+        except (RuntimeError, TimeoutError, FuturesTimeoutError):
+            pass  # loop already gone (or drain overran): proceed to stop
+        try:
+            loop.call_soon_threadsafe(loop.stop)
+        except RuntimeError:
+            pass
+        thread.join(timeout=10.0)
+        self._pool.shutdown(wait=True)
+        # Freeze the final wire gauges so the shutdown summary still reports
+        # session totals without pinning this closed server (mirror of the
+        # threaded core).
+        attach = getattr(self.service.telemetry, "attach_section", None)
+        if attach is not None:
+            final_snapshot = self.wire_snapshot()
+            attach("wire", lambda: dict(final_snapshot))
+
+    async def _shutdown(self, drain_timeout: float) -> None:
+        if self._aserver is not None:
+            self._aserver.close()
+            await self._aserver.wait_closed()
+        if drain_timeout > 0:
+            deadline = time.monotonic() + drain_timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    inflight = sum(
+                        c.inflight_count for c in self._connections.values()
+                    )
+                if inflight == 0:
+                    break
+                await asyncio.sleep(0.01)
+        with self._lock:
+            connections = list(self._connections.values())
+        for connection in connections:
+            # Closing the transport EOFs the reader coroutine, whose finally
+            # block retires the connection's gauges.
+            try:
+                connection.writer.close()
+            except Exception:  # noqa: BLE001 -- transport may be half-dead
+                pass
+
+    def __enter__(self) -> "AsyncNormServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def wire_snapshot(self) -> Dict[str, object]:
+        """Pipelining/wire gauges; keys identical to the threaded core's."""
+        with self._lock:
+            live = sorted(self._connections.values(), key=lambda c: c.conn_id)
+            frames_json = self._retired_frames_json
+            frames_binary = self._retired_frames_binary
+            for c in live:
+                frames_json += c.decoder.frames_json
+                frames_binary += c.decoder.frames_binary
+            return {
+                "connections_total": self.connections_total,
+                "connections_active": len(live),
+                "frames_received": self.frames_received,
+                "requests_served": self.requests_served,
+                "peak_inflight": self.peak_inflight,
+                "inflight_current": sum(c.inflight_count for c in live),
+                "backpressure_waits": self.backpressure_waits,
+                "workers": self.workers,
+                "max_inflight": self.max_inflight,
+                "bytes_received": self._retired_bytes_in + sum(c.bytes_in for c in live),
+                "bytes_sent": self._retired_bytes_out + sum(c.bytes_out for c in live),
+                "frames_json": frames_json,
+                "frames_binary": frames_binary,
+                "per_connection": [
+                    {
+                        "id": c.conn_id,
+                        "inflight": c.inflight_count,
+                        "peak_inflight": c.peak_inflight,
+                        "frames": c.frames,
+                        "backpressure_waits": c.backpressure_waits,
+                        "bytes_in": c.bytes_in,
+                        "bytes_out": c.bytes_out,
+                        "encoding": c.encoding,
+                    }
+                    for c in live
+                ],
+            }
+
+    # -- connection handling -------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            except OSError:
+                pass
+        decoder = FrameDecoder(self.max_frame_bytes, raw=True)
+        with self._lock:
+            if self._closing and not self._draining:
+                writer.close()
+                return
+            self.connections_total += 1
+            connection = _AsyncConnection(
+                writer, self.max_inflight, self.connections_total, decoder
+            )
+            self._connections[connection.conn_id] = connection
+        try:
+            await self._read_loop(reader, connection, decoder)
+        finally:
+            with self._lock:
+                self._connections.pop(connection.conn_id, None)
+                self._retired_bytes_in += connection.bytes_in
+                self._retired_bytes_out += connection.bytes_out
+                self._retired_frames_json += decoder.frames_json
+                self._retired_frames_binary += decoder.frames_binary
+            # Mark closed under the send lock first: a dispatch task
+            # holding this connection re-checks ``closed`` under the same
+            # lock before writing (the threaded core's fd-reuse guard,
+            # translated to transports).
+            async with connection.send_lock:
+                connection.closed = True
+                try:
+                    writer.close()
+                except Exception:  # noqa: BLE001
+                    pass
+            if connection.shm is not None:
+                connection.shm.close()
+                connection.shm = None
+
+    async def _read_loop(
+        self,
+        reader: asyncio.StreamReader,
+        connection: _AsyncConnection,
+        decoder: FrameDecoder,
+    ) -> None:
+        """The reader state machine -- step-for-step the threaded server's."""
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                data = await reader.read(65536)
+            except (OSError, asyncio.IncompleteReadError):
+                return  # client went away (or server is closing)
+            if not data:
+                return  # clean EOF
+            connection.bytes_in += len(data)
+            try:
+                frames = decoder.feed(data)
+            except ApiError as error:
+                await self._try_send(
+                    connection, ErrorResponse.from_exception(error).to_wire()
+                )
+                return
+            if frames and connection.shm is None and decoder.last_kind is not None:
+                connection.encoding = decoder.last_kind
+            for body in frames:
+                try:
+                    # JSON frames decode fully here; binary frames yield
+                    # only their preamble -- all the control plane needs.
+                    payload, is_binary = peek_payload(body)
+                except ApiError as error:
+                    await self._try_send(
+                        connection, ErrorResponse.from_exception(error).to_wire()
+                    )
+                    return
+                if payload.get("op") in SHM_CONTROL_OPS:
+                    await self._handle_shm_control(connection, payload)
+                    continue
+                if self.fault_gate is not None:
+                    action = self.fault_gate.on_server_frame(payload)
+                    if action is not None:
+                        if action.delay_s > 0:
+                            await asyncio.sleep(action.delay_s)
+                        if action.kind == "drop":
+                            continue
+                        if action.kind == "corrupt":
+                            await self._send_raw(connection, action.data)
+                            continue
+                        if action.kind == "kill":
+                            return
+                if self.tenancy is not None and payload.get("op") == "hello":
+                    token = payload.get("token")
+                    try:
+                        connection.tenant = self.tenancy.authenticate(
+                            token if isinstance(token, str) else None
+                        )
+                    except ApiError as error:
+                        await self._try_send(
+                            connection, self._error_envelope(payload, error)
+                        )
+                        continue
+                is_work = payload.get("op") in WORK_OPS
+                if (
+                    is_work
+                    and self.tenancy is not None
+                    and self.tenancy.require_auth
+                    and (connection.tenant is None or not connection.tenant.authenticated)
+                ):
+                    await self._try_send(
+                        connection,
+                        self._error_envelope(
+                            payload,
+                            AuthenticationError(
+                                "this server requires a tenant bearer token; "
+                                "reconnect with token=... / --token"
+                            ),
+                        ),
+                    )
+                    continue
+                # The shedding gate *before* any tensor decode, evaluated
+                # right here on the event loop -- O(1) on the peeked
+                # preamble, so a shed request never touches the executor.
+                try:
+                    self.gate.check(
+                        payload, tenant=connection.tenant, nbytes=len(body)
+                    )
+                except (OverloadedError, ApiError) as error:
+                    await self._try_send(
+                        connection, self._error_envelope(payload, error)
+                    )
+                    continue
+                # Awaiting at max_inflight pauses this coroutine's reads:
+                # backpressure, not buffering.
+                if connection.inflight.locked():
+                    with self._lock:
+                        connection.backpressure_waits += 1
+                        self.backpressure_waits += 1
+                await connection.inflight.acquire()
+                with self._lock:
+                    self.frames_received += 1
+                    connection.frames += 1
+                    connection.inflight_count += 1
+                    if connection.inflight_count > connection.peak_inflight:
+                        connection.peak_inflight = connection.inflight_count
+                    if connection.inflight_count > self.peak_inflight:
+                        self.peak_inflight = connection.inflight_count
+                    closing = self._closing
+                    draining = self._draining
+                if closing:
+                    connection.inflight.release()
+                    with self._lock:
+                        connection.inflight_count -= 1
+                    if is_work:
+                        self.admission.complete()
+                    if not draining:
+                        return
+                    await self._try_send(
+                        connection,
+                        self._error_envelope(
+                            payload,
+                            OverloadedError(
+                                "server is draining and accepts no new work"
+                            ),
+                        ),
+                    )
+                    continue
+                if is_binary:
+                    # Admitted: only now pay for the tensor buffers -- and
+                    # in the executor, never on the loop.
+                    try:
+                        payload = await loop.run_in_executor(
+                            self._pool, decode_payload, body
+                        )
+                    except ApiError as error:
+                        connection.inflight.release()
+                        with self._lock:
+                            connection.inflight_count -= 1
+                        if is_work:
+                            self.admission.complete()
+                        await self._try_send(
+                            connection, ErrorResponse.from_exception(error).to_wire()
+                        )
+                        return
+                task = loop.create_task(
+                    self._handle_one(connection, payload, is_work, len(body))
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+
+    async def _handle_one(
+        self,
+        connection: _AsyncConnection,
+        payload: dict,
+        is_work: bool = False,
+        nbytes: int = 0,
+    ) -> None:
+        """Dispatch-task body: handle one envelope, send its response frame."""
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        try:
+            if connection.shm is not None:
+                try:
+                    payload = connection.shm.resolve_inbound(payload)
+                except ApiError as error:
+                    await self._try_send(
+                        connection, self._error_envelope(payload, error)
+                    )
+                    return
+            degrade_level = 0
+            if self.ladder is not None and is_work:
+                degrade_level = self.ladder.observe(self.admission.pressure())
+            tenant_name = (
+                connection.tenant.name if connection.tenant is not None else None
+            )
+            if payload.get("op") in SERVING_OPS:
+                # Submit into the batching scheduler and yield the loop
+                # while the engine works; handler.begin/finish run in the
+                # executor (they decode/encode tensors).
+                pendings, finish = await loop.run_in_executor(
+                    self._pool, self.handler.begin, payload, degrade_level, tenant_name
+                )
+                if pendings:
+                    await self._await_pendings(loop, pendings)
+                response = await loop.run_in_executor(self._pool, finish)
+            else:
+                # execute/spec/hello/ping/telemetry: one blocking handler
+                # call in the executor (execute runs kernels; telemetry
+                # snapshots can be large).
+                response = await loop.run_in_executor(
+                    self._pool, self.handler.handle, payload, degrade_level, tenant_name
+                )
+            if self.ladder is not None and is_work:
+                applied = _applied_degradation(response)
+                if applied is not None:
+                    self.ladder.record_applied(applied)
+            sent = await self._try_send(connection, response)
+            if sent:
+                with self._lock:
+                    self.requests_served += 1
+        finally:
+            elapsed = time.perf_counter() - started
+            if is_work:
+                self.admission.complete(elapsed)
+                if self.tenancy is not None:
+                    self.tenancy.charge_request(
+                        connection.tenant,
+                        rows=estimate_rows(payload),
+                        nbytes=nbytes,
+                        wall_seconds=elapsed,
+                    )
+            with self._lock:
+                connection.inflight_count -= 1
+            connection.inflight.release()
+
+    @staticmethod
+    async def _await_pendings(loop: asyncio.AbstractEventLoop, pendings) -> None:
+        """Await scheduler futures without blocking any thread.
+
+        Each :class:`ResponseFuture` done-callback fires on the scheduler's
+        executor thread; ``call_soon_threadsafe`` hops it onto the loop,
+        where the last one resolves a loop future this coroutine awaits.
+        Results/errors are *not* extracted here -- ``finish()`` does that
+        through the shared taxonomy mapping.
+        """
+        waiter = loop.create_future()
+        remaining = len(pendings)
+
+        def on_loop_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and not waiter.done():
+                waiter.set_result(None)
+
+        def on_future_done(_future) -> None:
+            try:
+                loop.call_soon_threadsafe(on_loop_done)
+            except RuntimeError:
+                pass  # loop already closed mid-shutdown; nothing to wake
+
+        for pending in pendings:
+            pending.add_done_callback(on_future_done)
+        await waiter
+
+    def _error_envelope(self, payload: dict, error: BaseException) -> dict:
+        return shed_error_envelope(
+            payload,
+            error,
+            self.handler.min_schema_version,
+            self.handler.max_schema_version,
+        )
+
+    # -- sending -------------------------------------------------------------
+
+    async def _send_raw(self, connection: _AsyncConnection, data: bytes) -> None:
+        """Write raw bytes (a chaos-corrupted frame) under the send lock."""
+        try:
+            async with connection.send_lock:
+                if connection.closed:
+                    return
+                connection.writer.write(data)
+                connection.bytes_out += len(data)
+                await connection.writer.drain()
+        except (OSError, ConnectionError):
+            pass
+
+    async def _try_send(self, connection: _AsyncConnection, payload: dict) -> bool:
+        try:
+            if connection.shm is not None:
+                payload = connection.shm.stage_outbound(payload)
+            data = encode_frame(payload, self.max_frame_bytes)
+        except ApiError as error:
+            # The *response* outgrew the frame limit: replace it with an
+            # error envelope so the client is never left hanging.
+            fallback = ErrorResponse.from_exception(error).to_wire()
+            fallback["request_id"] = payload.get("request_id")
+            try:
+                data = encode_frame(fallback, self.max_frame_bytes)
+            except ApiError:
+                return False
+        try:
+            async with connection.send_lock:
+                if connection.closed:
+                    return False
+                connection.writer.write(data)
+                connection.bytes_out += len(data)
+                await connection.writer.drain()
+            return True
+        except (OSError, ConnectionError):
+            return False
+
+    # -- shm control ---------------------------------------------------------
+
+    async def _handle_shm_control(
+        self, connection: _AsyncConnection, payload: dict
+    ) -> None:
+        """shm_attach / shm_release, handled inline (never admitted as work)."""
+        from repro.api.envelopes import SCHEMA_VERSION
+
+        op = payload.get("op")
+        if op == "shm_attach":
+            request_id = payload.get("request_id")
+            version = payload.get("schema_version")
+            if isinstance(version, bool) or not isinstance(version, int):
+                version = SCHEMA_VERSION
+            ack = {
+                "schema_version": version,
+                "op": "shm_attach",
+                "request_id": request_id,
+                "ok": True,
+                "accepted": False,
+            }
+            if self.enable_shm and connection.shm is None:
+                try:
+                    from repro.api.shm import ServerShmSession
+
+                    connection.shm = ServerShmSession.attach(payload)
+                    connection.encoding = "shm"
+                    ack["accepted"] = True
+                except (ApiError, OSError, ValueError) as error:
+                    ack["accepted"] = False
+                    ack["reason"] = str(error)
+            await self._try_send(connection, ack)
+        elif op == "shm_release":
+            if connection.shm is not None:
+                connection.shm.release(payload.get("slabs"))

@@ -202,6 +202,19 @@ class QuotaExceededError(ApiError):
         self.retry_after_ms = retry_after_ms
 
 
+class DeadlineExceededError(ApiError):
+    """The request's ``deadline_ms`` budget expired before execution began.
+
+    Raised by a deadline-aware scheduler that sheds the request from its
+    queue once the budget is exhausted -- the work **never executed**, but
+    unlike :class:`OverloadedError` there is no ``retry_after_ms`` hint:
+    the deadline was the *caller's* budget, so only the caller can decide
+    whether a retry (with a fresh budget) still makes sense.
+    """
+
+    code = "deadline_exceeded"
+
+
 class AuthenticationError(ApiError):
     """The connection presented no valid bearer token where one is required.
 
@@ -253,6 +266,7 @@ ERROR_CLASSES: Dict[str, Type[ApiError]] = {
         PayloadTooLargeError,
         OverloadedError,
         QuotaExceededError,
+        DeadlineExceededError,
         AuthenticationError,
         TransportError,
         NoHealthyReplicaError,

@@ -58,6 +58,12 @@ from repro.api.envelopes import (
 )
 
 
+#: Ops that flow through the service's batching scheduler.  The async
+#: server submits these via :meth:`ApiHandler.begin` (futures bridged onto
+#: the event loop) instead of blocking an executor thread in ``handle``.
+SERVING_OPS = frozenset({"normalize", "normalize_bulk", "stream"})
+
+
 class ApiHandler:
     """Dispatch parsed envelopes against one :class:`NormalizationService`.
 
@@ -127,19 +133,7 @@ class ApiHandler:
         the service so the cost ledger can attribute the batch's modelled
         cycles/energy per tenant.  It never affects the computation.
         """
-        request_id = None
-        echo_version = None
-        if isinstance(payload, dict):
-            request_id = payload.get("request_id")
-            if isinstance(request_id, bool) or not isinstance(request_id, int):
-                request_id = None
-            version = payload.get("schema_version")
-            if (
-                not isinstance(version, bool)
-                and isinstance(version, int)
-                and self.min_schema_version <= version <= self.max_schema_version
-            ):
-                echo_version = version
+        request_id, echo_version = self._preamble(payload)
         try:
             request = parse_request(payload)
         except ApiError as error:
@@ -158,11 +152,95 @@ class ApiHandler:
                 echo_version,
             )
 
+    def _preamble(self, payload: Any) -> Tuple[Optional[int], Optional[int]]:
+        """``(request_id, echo_version)`` salvaged from a raw envelope."""
+        request_id = None
+        echo_version = None
+        if isinstance(payload, dict):
+            request_id = payload.get("request_id")
+            if isinstance(request_id, bool) or not isinstance(request_id, int):
+                request_id = None
+            version = payload.get("schema_version")
+            if (
+                not isinstance(version, bool)
+                and isinstance(version, int)
+                and self.min_schema_version <= version <= self.max_schema_version
+            ):
+                echo_version = version
+        return request_id, echo_version
+
     @staticmethod
     def _stamp(response: Dict[str, Any], echo_version: Optional[int]) -> Dict[str, Any]:
         if echo_version is not None:
             response["schema_version"] = echo_version
         return response
+
+    # -- async entry point ---------------------------------------------------
+
+    def begin(
+        self, payload: Any, degrade_level: int = 0, tenant: Optional[str] = None
+    ):
+        """Submit a serving op without blocking on its result.
+
+        The non-blocking counterpart of :meth:`handle` for the ops in
+        :data:`SERVING_OPS` (the ones that flow through the batching
+        scheduler).  Validates and decodes the envelope, submits into the
+        service, and returns ``(pendings, finish)``:
+
+        * ``pendings`` -- the :class:`ResponseFuture` objects the request
+          enqueued (empty when validation already failed);
+        * ``finish()`` -- builds the response envelope; the caller must
+          invoke it only once every pending future is done (the async
+          server awaits their done-callbacks), after which it never
+          blocks.
+
+        Never raises: failures become error envelopes exactly as in
+        :meth:`handle`, with the same taxonomy mapping -- both entry points
+        produce bit-identical envelopes for the same request.  Requires a
+        service whose scheduler drains itself (threaded mode): nothing
+        pumps the queues between ``begin`` and ``finish``.
+        """
+        request_id, echo_version = self._preamble(payload)
+        try:
+            request = parse_request(payload)
+        except ApiError as error:
+            envelope = self._stamp(
+                ErrorResponse.from_exception(error, request_id).to_wire(), echo_version
+            )
+            return [], lambda: envelope
+        try:
+            if isinstance(request, NormalizeRequest):
+                pendings, build = self._begin_normalize(request, degrade_level, tenant)
+            elif isinstance(request, NormalizeBulkRequest):
+                pendings, build = self._begin_bulk(request, degrade_level, tenant)
+            elif isinstance(request, StreamChunkRequest):
+                pendings, build = self._begin_stream(request, degrade_level, tenant)
+            else:
+                raise BadSchemaError(
+                    f"op {getattr(request, 'op', '?')!r} is not a serving op; "
+                    f"dispatch it through handle()"
+                )
+        except BaseException as error:  # noqa: BLE001 -- one envelope per request
+            if not isinstance(error, Exception):
+                raise
+            envelope = self._stamp(
+                ErrorResponse.from_exception(error, request.request_id).to_wire(),
+                echo_version,
+            )
+            return [], lambda: envelope
+
+        def finish() -> Dict[str, Any]:
+            try:
+                return self._stamp(build().to_wire(), echo_version)
+            except BaseException as error:  # noqa: BLE001
+                if not isinstance(error, Exception):
+                    raise
+                return self._stamp(
+                    ErrorResponse.from_exception(error, request.request_id).to_wire(),
+                    echo_version,
+                )
+
+        return pendings, finish
 
     def _dispatch(self, request, degrade_level: int = 0, tenant: Optional[str] = None):
         if isinstance(request, NormalizeRequest):
@@ -228,6 +306,12 @@ class ApiHandler:
         response = self._service_normalize(
             array, request, degrade=degrade_level, tenant=tenant
         )
+        return self._build_normalize(request, response)
+
+    @staticmethod
+    def _build_normalize(
+        request: NormalizeRequest, response
+    ) -> NormalizeResponse:
         encoding = request.tensor.encoding
         return NormalizeResponse(
             request_id=request.request_id,
@@ -282,6 +366,54 @@ class ApiHandler:
             context=context,
             degrade=degrade,
             tenant=tenant,
+            deadline_ms=request.deadline_ms,
+        )
+
+    def _service_submit(
+        self, array: np.ndarray, request, context=None, degrade: int = 0, tenant=None
+    ):
+        """Non-blocking twin of :meth:`_service_normalize` (async path)."""
+        return self._call_service(
+            self.service.submit,
+            array,
+            request.model,
+            layer_index=request.layer_index,
+            dataset=request.dataset,
+            reference=request.reference,
+            backend=request.backend,
+            accelerator=request.accelerator,
+            context=context,
+            degrade=degrade,
+            tenant=tenant,
+            deadline_ms=request.deadline_ms,
+        )
+
+    def _resolve(self, future):
+        """A completed future's response, with the shared taxonomy mapping.
+
+        ``result(0)`` never blocks (callers only invoke this after the
+        done-callback fired); execution failures surface here and map onto
+        the same :class:`ApiError` members as the synchronous path, so the
+        async server's error envelopes are bit-identical to the threaded
+        server's.
+        """
+        return self._call_service(future.result, 0)
+
+    def _begin_normalize(
+        self,
+        request: NormalizeRequest,
+        degrade_level: int,
+        tenant: Optional[str],
+    ):
+        self._check_backend(request.backend)
+        self._check_model(request.model)
+        self._check_size(request.tensor)
+        array = self._decode_rows(request.tensor, "normalize")
+        future = self._service_submit(
+            array, request, degrade=degrade_level, tenant=tenant
+        )
+        return [future], lambda: self._build_normalize(
+            request, self._resolve(future)
         )
 
     def _normalize_bulk(
@@ -292,22 +424,8 @@ class ApiHandler:
     ) -> NormalizeBulkResponse:
         self._check_backend(request.backend)
         self._check_model(request.model)
-        # Size-check the whole request (per tensor AND aggregate) before any
-        # array is materialized: an oversized bulk must not cost the decode.
-        total_elements = 0
-        for index, tensor in enumerate(request.tensors):
-            self._check_size(tensor, f"tensors[{index}]")
-            total_elements += tensor.num_elements
-        if total_elements > self.max_payload_elements:
-            raise PayloadTooLargeError(
-                f"bulk request carries {total_elements} elements across "
-                f"{len(request.tensors)} tensors; this server accepts at most "
-                f"{self.max_payload_elements} per request"
-            )
-        arrays: List[np.ndarray] = [
-            self._decode_rows(tensor, f"normalize_bulk tensors[{index}]")
-            for index, tensor in enumerate(request.tensors)
-        ]
+        self._check_bulk_size(request)
+        arrays = self._decode_bulk(request)
         # normalize_many lands the whole list in the micro-batcher under
         # one lock acquisition -- a single remote frame fills a batch by
         # itself instead of waiting for cross-client coalescing.
@@ -322,7 +440,33 @@ class ApiHandler:
             accelerator=request.accelerator,
             degrade=degrade_level,
             tenant=tenant,
+            deadline_ms=request.deadline_ms,
         )
+        return self._build_bulk(request, responses)
+
+    def _check_bulk_size(self, request: NormalizeBulkRequest) -> None:
+        # Size-check the whole request (per tensor AND aggregate) before any
+        # array is materialized: an oversized bulk must not cost the decode.
+        total_elements = 0
+        for index, tensor in enumerate(request.tensors):
+            self._check_size(tensor, f"tensors[{index}]")
+            total_elements += tensor.num_elements
+        if total_elements > self.max_payload_elements:
+            raise PayloadTooLargeError(
+                f"bulk request carries {total_elements} elements across "
+                f"{len(request.tensors)} tensors; this server accepts at most "
+                f"{self.max_payload_elements} per request"
+            )
+
+    def _decode_bulk(self, request: NormalizeBulkRequest) -> List[np.ndarray]:
+        return [
+            self._decode_rows(tensor, f"normalize_bulk tensors[{index}]")
+            for index, tensor in enumerate(request.tensors)
+        ]
+
+    def _build_bulk(
+        self, request: NormalizeBulkRequest, responses
+    ) -> NormalizeBulkResponse:
         encoding = request.tensors[0].encoding
         return NormalizeBulkResponse(
             request_id=request.request_id,
@@ -331,6 +475,33 @@ class ApiHandler:
             ),
             backend=request.backend,
             accelerator=responses[0].key.accelerator if responses else request.accelerator,
+        )
+
+    def _begin_bulk(
+        self,
+        request: NormalizeBulkRequest,
+        degrade_level: int,
+        tenant: Optional[str],
+    ):
+        self._check_backend(request.backend)
+        self._check_model(request.model)
+        self._check_bulk_size(request)
+        arrays = self._decode_bulk(request)
+        futures = self._call_service(
+            self.service.submit_many,
+            arrays,
+            request.model,
+            layer_index=request.layer_index,
+            dataset=request.dataset,
+            reference=request.reference,
+            backend=request.backend,
+            accelerator=request.accelerator,
+            degrade=degrade_level,
+            tenant=tenant,
+            deadline_ms=request.deadline_ms,
+        )
+        return list(futures), lambda: self._build_bulk(
+            request, [self._resolve(future) for future in futures]
         )
 
     @staticmethod
@@ -366,6 +537,11 @@ class ApiHandler:
             array, request, context=ActivationContext(), degrade=degrade_level,
             tenant=tenant,
         )
+        return self._build_stream(request, response)
+
+    def _build_stream(
+        self, request: StreamChunkRequest, response
+    ) -> StreamChunkResponse:
         return StreamChunkResponse(
             request_id=request.request_id,
             stream_id=request.stream_id,
@@ -375,6 +551,24 @@ class ApiHandler:
             backend=response.key.backend,
             accelerator=response.key.accelerator,
         )
+
+    def _begin_stream(
+        self,
+        request: StreamChunkRequest,
+        degrade_level: int,
+        tenant: Optional[str],
+    ):
+        from repro.llm.hooks import ActivationContext
+
+        self._check_backend(request.backend)
+        self._check_model(request.model)
+        self._check_size(request.tensor)
+        array = self._decode_rows(request.tensor, "stream")
+        future = self._service_submit(
+            array, request, context=ActivationContext(), degrade=degrade_level,
+            tenant=tenant,
+        )
+        return [future], lambda: self._build_stream(request, self._resolve(future))
 
     def _spec(self, request: SpecRequest) -> SpecResponse:
         self._check_model(request.model)

@@ -63,6 +63,30 @@ def parse_address(address: str) -> Tuple[str, int]:
     return host or "0.0.0.0", int(port)
 
 
+def shed_error_envelope(
+    payload: dict, error: BaseException, min_version: int, max_version: int
+) -> dict:
+    """An error envelope for a frame rejected before reaching the handler.
+
+    Mirrors the handler's request_id / schema_version echo so shed
+    responses demultiplex and parse exactly like handled ones.  Shared by
+    both server cores so their rejection envelopes are bit-identical.
+    """
+    request_id = payload.get("request_id") if isinstance(payload, dict) else None
+    if isinstance(request_id, bool) or not isinstance(request_id, int):
+        request_id = None
+    envelope = ErrorResponse.from_exception(error, request_id).to_wire()
+    if isinstance(payload, dict):
+        version = payload.get("schema_version")
+        if (
+            not isinstance(version, bool)
+            and isinstance(version, int)
+            and min_version <= version <= max_version
+        ):
+            envelope["schema_version"] = version
+    return envelope
+
+
 def _applied_degradation(response: dict) -> Optional[int]:
     """The ``degradation`` stamp of a response envelope, wherever it lives.
 
@@ -722,26 +746,13 @@ class NormServer:
             connection.inflight.release()
 
     def _error_envelope(self, payload: dict, error: BaseException) -> dict:
-        """An error envelope for a frame rejected before reaching the handler.
-
-        Mirrors the handler's request_id / schema_version echo so shed
-        responses demultiplex and parse exactly like handled ones.
-        """
-        request_id = payload.get("request_id") if isinstance(payload, dict) else None
-        if isinstance(request_id, bool) or not isinstance(request_id, int):
-            request_id = None
-        envelope = ErrorResponse.from_exception(error, request_id).to_wire()
-        if isinstance(payload, dict):
-            version = payload.get("schema_version")
-            if (
-                not isinstance(version, bool)
-                and isinstance(version, int)
-                and self.handler.min_schema_version
-                <= version
-                <= self.handler.max_schema_version
-            ):
-                envelope["schema_version"] = version
-        return envelope
+        """An error envelope for a frame rejected before reaching the handler."""
+        return shed_error_envelope(
+            payload,
+            error,
+            self.handler.min_schema_version,
+            self.handler.max_schema_version,
+        )
 
     def _send_raw(self, connection: _Connection, data: bytes) -> None:
         """Write raw bytes (a chaos-corrupted frame) under the send lock."""

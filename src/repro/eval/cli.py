@@ -107,13 +107,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         experiment_ids = [args.experiment]
 
     for experiment_id in experiment_ids:
-        start = time.time()
+        # perf_counter, not time.time(): durations measured on the wall
+        # clock jump with NTP steps and DST shifts; the monotonic counter
+        # cannot go backwards.
+        start = time.perf_counter()
         try:
             result = run_experiment(experiment_id, **_experiment_kwargs(experiment_id, args))
         except KeyError as error:
             print(str(error), file=sys.stderr)
             return 2
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         print(result.formatted())
         print(f"(completed in {elapsed:.1f}s)")
         print()

@@ -31,6 +31,11 @@ from typing import Callable, Deque, List, Optional, Sequence, Tuple
 from repro.serving.request import NormRequest, RequestKey
 
 
+#: Sentinel marking a future whose done-callbacks already fired; callbacks
+#: registered afterwards run immediately on the registering thread.
+_CALLBACKS_FIRED = object()
+
+
 class ResponseFuture:
     """Minimal future resolved exactly once by the batch executor.
 
@@ -42,10 +47,11 @@ class ResponseFuture:
     path pays two attribute writes per request.
     """
 
-    __slots__ = ("_value", "_error", "_done", "_event")
+    __slots__ = ("_value", "_error", "_done", "_event", "_callbacks")
 
-    #: Guards lazy event creation when several threads wait on one future;
-    #: class-level so the per-request fast path allocates nothing.
+    #: Guards lazy event creation when several threads wait on one future
+    #: (and the callback handoff); class-level so the per-request fast path
+    #: allocates nothing.
     _EVENT_LOCK = threading.Lock()
 
     def __init__(self) -> None:
@@ -53,22 +59,33 @@ class ResponseFuture:
         self._error: Optional[BaseException] = None
         self._done = False
         self._event: Optional[threading.Event] = None
+        self._callbacks = None
+
+    def _finish(self) -> None:
+        """Wake waiters and fire callbacks after the result landed."""
+        event = self._event
+        if event is not None:
+            event.set()
+        callbacks = None
+        if self._callbacks is not None:
+            with ResponseFuture._EVENT_LOCK:
+                callbacks = self._callbacks
+                self._callbacks = _CALLBACKS_FIRED
+        if callbacks is not None and callbacks is not _CALLBACKS_FIRED:
+            for callback in callbacks:
+                callback(self)
 
     def set_result(self, value) -> None:
         """Resolve the future (executor side)."""
         self._value = value
         self._done = True
-        event = self._event
-        if event is not None:
-            event.set()
+        self._finish()
 
     def set_exception(self, error: BaseException) -> None:
         """Fail the future (executor side)."""
         self._error = error
         self._done = True
-        event = self._event
-        if event is not None:
-            event.set()
+        self._finish()
 
     def done(self) -> bool:
         """Whether a result or exception has been set."""
@@ -77,6 +94,29 @@ class ResponseFuture:
     def exception(self) -> Optional[BaseException]:
         """The stored exception, if the future failed (non-blocking)."""
         return self._error
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(self)`` once resolved (immediately if already done).
+
+        Callbacks registered before resolution run on the resolving thread
+        (the batch executor); ones registered after run on the registering
+        thread.  The asyncio server core bridges these futures onto its
+        event loop through this hook (``loop.call_soon_threadsafe`` inside
+        the callback), so callbacks must never block.
+        """
+        with ResponseFuture._EVENT_LOCK:
+            if self._callbacks is not _CALLBACKS_FIRED:
+                if self._done:
+                    # Resolved before any callback list existed: the setter
+                    # saw _callbacks None and skipped the handoff.  Mark
+                    # fired so later registrations take the fast path too.
+                    self._callbacks = _CALLBACKS_FIRED
+                else:
+                    if self._callbacks is None:
+                        self._callbacks = []
+                    self._callbacks.append(callback)
+                    return
+        callback(self)
 
     def result(self, timeout: Optional[float] = None):
         """Block until resolved; raises the stored exception if any."""
@@ -88,7 +128,13 @@ class ResponseFuture:
             # Re-check after publishing the event: a setter that missed the
             # event has already flipped _done by now (GIL ordering).
             if not self._done and not self._event.wait(timeout):
-                raise TimeoutError("normalization request timed out")
+                # A timed-out wait is not proof of an unresolved future:
+                # the setter may have flipped _done between wait() giving
+                # up and this raise (it sets _done before set()), so
+                # re-check once more -- raising here would be a *spurious*
+                # timeout on a request that actually completed in time.
+                if not self._done:
+                    raise TimeoutError("normalization request timed out")
         if self._error is not None:
             raise self._error
         return self._value
@@ -130,7 +176,7 @@ class PendingRequest(ResponseFuture):
     purely as a future (``result()`` / ``done()``).
     """
 
-    __slots__ = ("request", "enqueued_at")
+    __slots__ = ("request", "enqueued_at", "deadline_at")
 
     def __init__(self, request: NormRequest, enqueued_at: float):
         # Future state inlined (instead of super().__init__()): one function
@@ -139,8 +185,15 @@ class PendingRequest(ResponseFuture):
         self._error = None
         self._done = False
         self._event = None
+        self._callbacks = None
         self.request = request
         self.enqueued_at = enqueued_at
+        deadline_ms = request.deadline_ms
+        # Deadlines are wall-budget offsets on the wire; anchor them to the
+        # batcher clock at enqueue so the scheduler compares like with like.
+        self.deadline_at = (
+            None if deadline_ms is None else enqueued_at + deadline_ms / 1000.0
+        )
 
     @property
     def future(self) -> "PendingRequest":
@@ -169,6 +222,10 @@ class MicroBatcher:
     clock:
         Monotonic time source (injectable for deterministic timeout tests).
     """
+
+    #: Worker thread name; subclasses override so operators can tell the
+    #: schedulers apart in thread dumps.
+    _THREAD_NAME = "haan-micro-batcher"
 
     def __init__(
         self,
@@ -320,7 +377,7 @@ class MicroBatcher:
                 return
             self._running = True
         self._thread = threading.Thread(
-            target=self._worker, name="haan-micro-batcher", daemon=True
+            target=self._worker, name=self._THREAD_NAME, daemon=True
         )
         self._thread.start()
 

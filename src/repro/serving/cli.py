@@ -76,6 +76,23 @@ def build_parser() -> argparse.ArgumentParser:
         "synthetic traffic (stop with SIGINT/SIGTERM)",
     )
     parser.add_argument(
+        "--core",
+        choices=("async", "threads"),
+        default="async",
+        help="server core in --listen mode: 'async' (default; asyncio event "
+        "loop, continuous cross-connection batching, cheap idle "
+        "connections) or 'threads' (the previous thread-per-connection "
+        "core with the fixed-trigger micro-batcher, kept for one release)",
+    )
+    parser.add_argument(
+        "--aging-window-ms",
+        type=float,
+        default=20.0,
+        help="continuous scheduler's starvation bound (ms): a queued "
+        "request is released at most this long after older traffic, "
+        "however hot the competing buckets (async core only)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=8,
@@ -191,6 +208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--metrics-port needs --listen mode and a port >= 0")
     if args.registry_capacity < 1:
         parser.error("--registry-capacity must be positive")
+    if args.aging_window_ms <= 0:
+        parser.error("--aging-window-ms must be positive")
     try:
         # The registry owns the "unknown backend" message (it lists the
         # registered names); validate up front for a clean exit code.
@@ -332,7 +351,15 @@ def _serve_forever(
         signum: signal.signal(signum, _signal_handler)
         for signum in (signal.SIGINT, signal.SIGTERM)
     }
-    service = NormalizationService(registry=registry, config=config)
+    # The async core pairs with the continuous scheduler (engine-tick
+    # draining across all connections); the threaded core keeps the PR-1
+    # fixed-trigger micro-batcher, preserving last release's behavior.
+    service = NormalizationService(
+        registry=registry,
+        config=config,
+        scheduler="continuous" if args.core == "async" else "micro",
+        aging_window=args.aging_window_ms / 1000.0,
+    )
     ladder = None
     if args.degrade:
         from repro.serving.degrade import DegradationLadder
@@ -350,9 +377,13 @@ def _serve_forever(
             print(f"haan-serve: bad tenant file {args.tenants}: {error}", file=sys.stderr)
             return 2
     metrics = None
+    if args.core == "async":
+        from repro.api.aserver import AsyncNormServer as server_cls
+    else:
+        server_cls = NormServer
     try:
         try:
-            server = NormServer(
+            server = server_cls(
                 service,
                 host=host,
                 port=port,
@@ -389,6 +420,7 @@ def _serve_forever(
             print(
                 f"haan-serve: listening on {server.host}:{server.port} "
                 f"(model {args.model!r}, dataset {args.dataset!r}; "
+                f"{args.core} core, "
                 f"{args.workers} workers, {args.max_inflight} in-flight "
                 f"per connection, queue bound {args.max_queue_depth}"
                 f"{', degradation ladder on' if ladder is not None else ''}"

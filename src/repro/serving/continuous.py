@@ -1,0 +1,184 @@
+"""Continuous cross-connection batching scheduler.
+
+The PR-1 :class:`~repro.serving.batcher.MicroBatcher` releases a batch on
+fixed triggers: a bucket filling to ``max_batch_size`` or the oldest head
+aging past ``max_wait``.  Below saturation that *adds* latency -- a lone
+request always waits out ``max_wait`` hoping for company that never comes.
+
+:class:`ContinuousBatcher` replaces the triggers with an engine-tick
+discipline: whenever the engine is free, drain the best releasable batch
+immediately.  Requests only queue while a batch is executing, which is
+exactly the window in which coalescing is free -- continuous batching
+never trades latency for batch size, it only harvests batching that
+concurrency already paid for.  Because every server connection submits
+into one scheduler, batches form *across* connections each tick.
+
+Bucket selection is earliest-deadline-first with an aging bound:
+
+``urgency(head) = min(deadline_at, enqueued_at + aging_window)``
+
+and the bucket whose head has the smallest urgency wins the tick.  The
+``enqueued_at + aging_window`` term is the starvation-freedom guarantee:
+a request with no (or a distant) deadline acquires an urgency bound that
+is *fixed* at enqueue time, while every later arrival's bound is strictly
+larger -- so under a sustained flood of hot-bucket traffic the oldest
+bucket still wins every tick after ``aging_window`` seconds of waiting.
+
+Deadline expiry is enforced at release time: a head whose ``deadline_at``
+has passed is shed with a typed
+:class:`~repro.api.envelopes.DeadlineExceededError` *before* execution --
+the engine never burns a tick on work nobody is waiting for.
+
+Batch *composition* is inherited unchanged from the base class (same
+bucket, ``max_batch_size`` / ``max_batch_rows`` caps), and batch
+composition never affects outputs (row-independent kernels, the PR-1
+golden contract) -- so the continuous scheduler is bit-identical to the
+micro-batcher on every successfully served request.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.api.envelopes import DeadlineExceededError
+from repro.serving.batcher import (
+    BatcherConfig,
+    BucketKey,
+    ExecuteFn,
+    MicroBatcher,
+    PendingRequest,
+)
+from repro.serving.request import RequestKey
+
+
+class ContinuousBatcher(MicroBatcher):
+    """Deadline-aware, starvation-free continuous batching scheduler.
+
+    Drop-in replacement for :class:`MicroBatcher` (same submit / drain /
+    start / stop surface); only batch *release* policy differs.
+
+    Parameters
+    ----------
+    execute, config, clock:
+        As for :class:`MicroBatcher`.
+    aging_window:
+        Seconds after which a deadline-less (or distant-deadline) request
+        becomes at least as urgent as any deadline could make it.  Bounds
+        worst-case queueing delay under adversarial hot-bucket floods.
+    """
+
+    _THREAD_NAME = "haan-continuous-batcher"
+
+    def __init__(
+        self,
+        execute: ExecuteFn,
+        config: Optional[BatcherConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        aging_window: float = 0.020,
+    ):
+        if aging_window <= 0:
+            raise ValueError("aging_window must be positive")
+        super().__init__(execute, config, clock)
+        self.aging_window = aging_window
+        #: Requests shed at release time because their deadline expired.
+        self.requests_shed = 0
+
+    # -- batch formation ---------------------------------------------------
+
+    def _urgency(self, head: PendingRequest) -> float:
+        """Scheduling priority of a bucket head (smaller = sooner)."""
+        aged = head.enqueued_at + self.aging_window
+        deadline = head.deadline_at
+        return aged if deadline is None else min(deadline, aged)
+
+    def _shed_expired_locked(self, queue, now: float) -> List[PendingRequest]:
+        """Pop expired requests off a queue head; caller resolves them."""
+        expired: List[PendingRequest] = []
+        while queue and (
+            queue[0].deadline_at is not None and queue[0].deadline_at <= now
+        ):
+            expired.append(queue.popleft())
+        return expired
+
+    @staticmethod
+    def _fail_expired(expired: List[PendingRequest]) -> None:
+        for pending in expired:
+            budget_ms = pending.request.deadline_ms
+            pending.set_exception(
+                DeadlineExceededError(
+                    f"deadline_ms={budget_ms:g} expired before request "
+                    f"{pending.request.request_id} reached the engine"
+                )
+            )
+
+    def _pop_batch_locked(
+        self, now: float, force: bool
+    ) -> Tuple[Optional[Tuple[RequestKey, List[PendingRequest], int]], Optional[float]]:
+        """Pop the most urgent releasable batch, shedding expired heads.
+
+        Unlike the base class this never returns a wait hint: the engine
+        tick *is* the trigger, so whenever anything is queued a batch is
+        released immediately (``force`` is irrelevant).  An empty return
+        means the queues are truly empty and the worker should block until
+        the next submit.
+
+        Expired requests are failed inside the scheduling pass (their
+        ``set_exception`` fires done-callbacks, which must not block -- the
+        :class:`~repro.serving.batcher.ResponseFuture` contract) so a
+        deadline-blown head can never delay, nor ride along with, live
+        work.
+        """
+        shed: List[PendingRequest] = []
+        try:
+            while True:
+                best_bucket: Optional[BucketKey] = None
+                best_urgency = float("inf")
+                for bucket, queue in self._queues.items():
+                    if not queue:
+                        continue
+                    urgency = self._urgency(queue[0])
+                    if urgency < best_urgency:
+                        best_bucket, best_urgency = bucket, urgency
+                if best_bucket is None:
+                    return None, None
+                queue = self._queues[best_bucket]
+                shed.extend(self._shed_expired_locked(queue, now))
+                if not queue:
+                    del self._queues[best_bucket]
+                    continue  # whole bucket expired; rescore the rest
+                batch: List[PendingRequest] = [queue.popleft()]
+                rows = batch[0].request.num_rows
+                while queue and len(batch) < self.config.max_batch_size:
+                    head = queue[0]
+                    if head.deadline_at is not None and head.deadline_at <= now:
+                        shed.append(queue.popleft())
+                        continue
+                    if rows + head.request.num_rows > self.config.max_batch_rows:
+                        break
+                    batch.append(queue.popleft())
+                    rows += head.request.num_rows
+                if not queue:
+                    del self._queues[best_bucket]
+                return (best_bucket[0], batch, rows), None
+        finally:
+            if shed:
+                self.requests_shed += len(shed)
+                self._fail_expired(shed)
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Scheduler counters for the telemetry ``scheduler`` section."""
+        with self._cond:
+            pending = sum(len(q) for q in self._queues.values())
+            buckets = len(self._queues)
+        return {
+            "policy": "continuous",
+            "aging_window_ms": self.aging_window * 1000.0,
+            "pending": pending,
+            "buckets": buckets,
+            "batches_executed": self.batches_executed,
+            "requests_executed": self.requests_executed,
+            "requests_shed": self.requests_shed,
+        }

@@ -65,7 +65,16 @@ class NormRequest:
     measurably matters.
     """
 
-    __slots__ = ("key", "payload", "context", "request_id", "rows", "num_rows", "tenant")
+    __slots__ = (
+        "key",
+        "payload",
+        "context",
+        "request_id",
+        "rows",
+        "num_rows",
+        "tenant",
+        "deadline_ms",
+    )
 
     def __init__(
         self,
@@ -73,6 +82,7 @@ class NormRequest:
         payload: np.ndarray,
         context: Optional[ActivationContext] = None,
         tenant: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ):
         arr = np.asarray(payload)
         if arr.dtype.kind not in "fiub":
@@ -104,6 +114,10 @@ class NormRequest:
         #: Attribution only -- tenancy never affects the computation, so
         #: requests of different tenants still share micro-batches.
         self.tenant = tenant
+        #: Client latency budget in milliseconds (None = no deadline).  A
+        #: deadline-aware scheduler sheds the request once the budget is
+        #: exhausted instead of executing work nobody will wait for.
+        self.deadline_ms = deadline_ms
         self.request_id = next(_request_ids)
         #: The payload viewed as a 2-D ``(rows, hidden)`` matrix.
         self.rows = rows

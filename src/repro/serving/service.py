@@ -52,6 +52,8 @@ class NormalizationService:
         config: Optional[BatcherConfig] = None,
         telemetry: Optional[ServingTelemetry] = None,
         threaded: bool = True,
+        scheduler: str = "micro",
+        aging_window: float = 0.020,
     ):
         # `is not None`, not truthiness: an empty registry has len() == 0.
         self.registry = registry if registry is not None else CalibrationRegistry()
@@ -82,7 +84,29 @@ class NormalizationService:
         #: tenancy ledger wires itself here (``haan-serve --tenants``) to
         #: split modelled cycles/energy across tenants exactly.
         self.cost_observer = None
-        self.batcher = MicroBatcher(self._execute_batch, config, clock=self._queue_clock)
+        if scheduler == "micro":
+            self.batcher = MicroBatcher(
+                self._execute_batch, config, clock=self._queue_clock
+            )
+        elif scheduler == "continuous":
+            from repro.serving.continuous import ContinuousBatcher
+
+            self.batcher = ContinuousBatcher(
+                self._execute_batch,
+                config,
+                clock=self._queue_clock,
+                aging_window=aging_window,
+            )
+        else:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; pick 'micro' (fixed "
+                f"size+wait triggers) or 'continuous' (engine-tick draining, "
+                f"deadline-aware)"
+            )
+        self.scheduler = scheduler
+        snapshot = getattr(self.batcher, "snapshot", None)
+        if snapshot is not None:
+            self.telemetry.attach_section("scheduler", snapshot)
         self._threaded = threaded
         if threaded:
             self.batcher.start()
@@ -118,6 +142,7 @@ class NormalizationService:
         context: Optional[ActivationContext] = None,
         degrade: int = 0,
         tenant: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> ResponseFuture:
         """Enqueue one request; returns a future of :class:`NormResponse`.
 
@@ -145,7 +170,13 @@ class NormalizationService:
         )
         self._validate_key(key)
         return self.batcher.submit(
-            NormRequest(key=key, payload=payload, context=context, tenant=tenant)
+            NormRequest(
+                key=key,
+                payload=payload,
+                context=context,
+                tenant=tenant,
+                deadline_ms=deadline_ms,
+            )
         )
 
     def submit_many(
@@ -160,6 +191,7 @@ class NormalizationService:
         context: Optional[ActivationContext] = None,
         degrade: int = 0,
         tenant: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> List[ResponseFuture]:
         """Enqueue a burst of requests under one scheduler lock acquisition."""
         key = RequestKey(
@@ -174,7 +206,13 @@ class NormalizationService:
         self._validate_key(key)
         return self.batcher.submit_many(
             [
-                NormRequest(key=key, payload=payload, context=context, tenant=tenant)
+                NormRequest(
+                    key=key,
+                    payload=payload,
+                    context=context,
+                    tenant=tenant,
+                    deadline_ms=deadline_ms,
+                )
                 for payload in payloads
             ]
         )
@@ -227,6 +265,7 @@ class NormalizationService:
         context: Optional[ActivationContext] = None,
         degrade: int = 0,
         tenant: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Iterator[NormResponse]:
         """Normalize a stream of activation chunks, yielding results in order.
 
@@ -251,6 +290,7 @@ class NormalizationService:
                 context=context if context is not None else ActivationContext(),
                 degrade=degrade,
                 tenant=tenant,
+                deadline_ms=deadline_ms,
             )
             for chunk in chunks
         ]

@@ -1,0 +1,379 @@
+"""Tests of the asyncio server core (``AsyncNormServer``).
+
+The core contract: the async core is a *drop-in* for the threaded
+``NormServer`` -- every response bit-identical, every error the same
+typed member of the taxonomy, the same wire-snapshot keys -- while the
+event loop holds hundreds of idle connections without a thread each.
+
+Covered here:
+
+* bit-parity of single / bulk / stream / pipelined traffic across the
+  async core, the threaded core, and the service called directly;
+* error-taxonomy parity (unknown model, payload-shape rejection) and
+  typed ``DeadlineExceededError`` for budget-expired requests;
+* hundreds of idle connections held open while golden-checked traffic
+  flows on another connection;
+* graceful drain: in-flight work answered, post-drain work refused;
+* the tenancy handshake (token auth, typed rejection) and the chaos
+  ``FaultGate`` contract, both unchanged on the async core.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.aserver import AsyncNormServer
+from repro.api.client import NormClient
+from repro.api.envelopes import (
+    ApiError,
+    AuthenticationError,
+    BadSchemaError,
+    DeadlineExceededError,
+    UnknownModelError,
+)
+from repro.api.server import NormServer
+from repro.chaos.gate import FaultGate
+from repro.chaos.plan import FaultPlan, FaultRule
+from repro.serving.registry import CalibrationRegistry
+from repro.serving.service import NormalizationService
+from repro.tenancy import QuotaPolicy, TenancyController, TenantDirectory, TenantSpec
+
+from test_api import _instant_loader
+
+HIDDEN = 48
+
+
+@pytest.fixture()
+def registry():
+    return CalibrationRegistry(loader=_instant_loader)
+
+
+def _service(registry, scheduler="continuous"):
+    return NormalizationService(registry=registry, scheduler=scheduler)
+
+
+def _rows(rng, count=5):
+    return rng.normal(0.0, 1.5, size=(count, HIDDEN))
+
+
+def _golden(registry, payload):
+    layer = registry.get("tiny", "default").layer(0)
+    return layer.engine_for("reference").run(np.asarray(payload, dtype=np.float64))[0]
+
+
+def _controller(require_auth=False):
+    directory = TenantDirectory(
+        tenants=[TenantSpec(name="acme", token="tok-acme", tier="metered")],
+        tiers={"metered": QuotaPolicy(requests_per_s=1000.0, burst_seconds=1.0)},
+        require_auth=require_auth,
+    )
+    return TenancyController(directory=directory)
+
+
+# ---------------------------------------------------------------------------
+# bit parity with the threaded core
+# ---------------------------------------------------------------------------
+
+
+class TestBitParity:
+    def test_single_bulk_and_stream_bit_identical_across_cores(self, registry, rng):
+        payload = _rows(rng)
+        bulk = [_rows(rng, 3), _rows(rng, 2)]
+        chunks = [_rows(rng, 2), _rows(rng, 4)]
+
+        outputs = {}
+        for label, server_cls, scheduler in (
+            ("async", AsyncNormServer, "continuous"),
+            ("threads", NormServer, "micro"),
+        ):
+            service = _service(registry, scheduler=scheduler)
+            with server_cls(service) as server:
+                with NormClient.connect(server.host, server.port) as client:
+                    outputs[label] = {
+                        "single": client.normalize(payload, "tiny").output,
+                        "bulk": [
+                            r.output for r in client.normalize_bulk(bulk, "tiny")
+                        ],
+                        "stream": [
+                            r.output for r in client.stream(iter(chunks), "tiny")
+                        ],
+                    }
+            service.close()
+
+        np.testing.assert_array_equal(
+            outputs["async"]["single"], outputs["threads"]["single"]
+        )
+        np.testing.assert_array_equal(outputs["async"]["single"], _golden(registry, payload))
+        for got_async, got_threads, sent in zip(
+            outputs["async"]["bulk"], outputs["threads"]["bulk"], bulk
+        ):
+            np.testing.assert_array_equal(got_async, got_threads)
+            np.testing.assert_array_equal(got_async, _golden(registry, sent))
+        for got_async, got_threads, sent in zip(
+            outputs["async"]["stream"], outputs["threads"]["stream"], chunks
+        ):
+            np.testing.assert_array_equal(got_async, got_threads)
+            np.testing.assert_array_equal(got_async, _golden(registry, sent))
+
+    def test_pipelined_submissions_bit_identical(self, registry, rng):
+        payloads = [_rows(rng, i + 1) for i in range(8)]
+        service = _service(registry)
+        with AsyncNormServer(service) as server:
+            with NormClient.connect(server.host, server.port) as client:
+                handles = [
+                    client.submit_normalize(payload, "tiny") for payload in payloads
+                ]
+                for handle, payload in zip(handles, payloads):
+                    result = handle.result(timeout=10.0)
+                    np.testing.assert_array_equal(
+                        result.output, _golden(registry, payload)
+                    )
+        service.close()
+
+    def test_wire_snapshot_keys_match_threaded_core(self, registry, rng):
+        snapshots = {}
+        for label, server_cls in (("async", AsyncNormServer), ("threads", NormServer)):
+            service = _service(registry, scheduler="micro")
+            with server_cls(service) as server:
+                with NormClient.connect(server.host, server.port) as client:
+                    client.normalize(_rows(rng), "tiny")
+                    # Snapshot while the connection is live so the
+                    # per-connection gauge rows exist on both cores.
+                    snapshots[label] = server.wire_snapshot()
+            service.close()
+        assert set(snapshots["async"]) == set(snapshots["threads"])
+        row_async = snapshots["async"]["per_connection"][0]
+        row_threads = snapshots["threads"]["per_connection"][0]
+        assert set(row_async) == set(row_threads)
+
+
+class TestErrorParity:
+    def test_unknown_model_typed_on_both_cores(self, rng):
+        def _refusing_loader(model_name, dataset):
+            raise KeyError(f"unknown model {model_name!r}")
+
+        payload = _rows(rng)
+        for server_cls in (AsyncNormServer, NormServer):
+            service = NormalizationService(
+                registry=CalibrationRegistry(loader=_refusing_loader)
+            )
+            with server_cls(service) as server:
+                with NormClient.connect(server.host, server.port) as client:
+                    with pytest.raises(UnknownModelError):
+                        client.normalize(payload, "nope")
+            service.close()
+
+    def test_bad_width_typed_on_both_cores(self, registry):
+        for server_cls in (AsyncNormServer, NormServer):
+            service = _service(registry, scheduler="micro")
+            with server_cls(service) as server:
+                with NormClient.connect(server.host, server.port) as client:
+                    with pytest.raises(BadSchemaError, match="width"):
+                        client.normalize(np.ones((2, 8)), "tiny")
+            service.close()
+
+    def test_infeasible_deadline_shed_typed_at_the_gate(self, registry, rng):
+        """The pre-decode admission gate sheds a deadline below its
+        service-time estimate before any tensor decode, with retry_after."""
+        service = _service(registry, scheduler="continuous")
+        with AsyncNormServer(service) as server:
+            from repro.api.envelopes import OverloadedError
+            from repro.api.retry import RetryPolicy
+
+            with NormClient.connect(
+                server.host, server.port, retry_policy=RetryPolicy(max_attempts=1)
+            ) as client:
+                with pytest.raises(OverloadedError, match="cannot be met"):
+                    client.normalize(_rows(rng), "tiny", deadline_ms=0.0005)
+        service.close()
+
+    def test_expired_deadline_sheds_typed_over_the_wire(self, registry, rng):
+        """A microsecond budget admitted by the gate (its service-time
+        estimate forced to ~0) is always gone by the first engine tick:
+        the continuous scheduler sheds it and the client sees the typed
+        DeadlineExceededError, never a silent late result."""
+        from repro.api.admission import AdmissionController
+
+        service = _service(registry, scheduler="continuous")
+        admission = AdmissionController(initial_service_time=1e-9, ema_alpha=1e-6)
+        with AsyncNormServer(service, admission=admission) as server:
+            with NormClient.connect(server.host, server.port) as client:
+                with pytest.raises(DeadlineExceededError):
+                    client.normalize(_rows(rng), "tiny", deadline_ms=0.0005)
+                # The connection survives the shed: later work still serves.
+                payload = _rows(rng)
+                result = client.normalize(payload, "tiny")
+                np.testing.assert_array_equal(result.output, _golden(registry, payload))
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# idle-connection scale + drain
+# ---------------------------------------------------------------------------
+
+
+class TestConnectionScale:
+    def test_hundreds_of_idle_connections_while_traffic_flows(self, registry, rng):
+        idle_target = 200
+        service = _service(registry)
+        server = AsyncNormServer(service).start()
+        idle = []
+        try:
+            for _ in range(idle_target):
+                sock = socket.create_connection((server.host, server.port), timeout=5.0)
+                idle.append(sock)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if server.wire_snapshot()["connections_active"] >= idle_target:
+                    break
+                time.sleep(0.02)
+            snapshot = server.wire_snapshot()
+            assert snapshot["connections_active"] >= idle_target
+            with NormClient.connect(server.host, server.port) as client:
+                for _ in range(5):
+                    payload = _rows(rng)
+                    result = client.normalize(payload, "tiny")
+                    np.testing.assert_array_equal(
+                        result.output, _golden(registry, payload)
+                    )
+        finally:
+            for sock in idle:
+                sock.close()
+            server.close()
+            service.close()
+
+    def test_drain_answers_inflight_then_refuses_new_connections(self, registry, rng):
+        service = _service(registry)
+        server = AsyncNormServer(service).start()
+        payload = _rows(rng)
+        try:
+            with NormClient.connect(server.host, server.port) as client:
+                result = client.normalize(payload, "tiny")
+                np.testing.assert_array_equal(result.output, _golden(registry, payload))
+            server.close(drain_timeout=2.0)
+            with pytest.raises(OSError):
+                socket.create_connection((server.host, server.port), timeout=0.5).close()
+        finally:
+            server.close()
+            service.close()
+
+    def test_drain_flushes_concurrent_traffic(self, registry, rng):
+        """Requests racing close(drain) either complete bit-identically or
+        fail typed/with a transport error -- never hang, never corrupt."""
+        service = _service(registry)
+        server = AsyncNormServer(service).start()
+        payloads = [_rows(rng) for _ in range(16)]
+        outcomes = []
+
+        def pump():
+            try:
+                with NormClient.connect(server.host, server.port) as client:
+                    for payload in payloads:
+                        got = client.normalize(payload, "tiny")
+                        np.testing.assert_array_equal(
+                            got.output, _golden(registry, payload)
+                        )
+                        outcomes.append("ok")
+            except Exception as error:  # noqa: BLE001 -- recorded for assert
+                outcomes.append(type(error).__name__)
+
+        thread = threading.Thread(target=pump)
+        try:
+            thread.start()
+            time.sleep(0.05)
+            server.close(drain_timeout=5.0)
+            thread.join(timeout=15.0)
+            assert not thread.is_alive(), "client hung across a drained close"
+            assert outcomes, "pump thread recorded nothing"
+            assert outcomes.count("ok") >= 1
+        finally:
+            server.close()
+            service.close()
+
+    def test_close_is_idempotent_and_snapshot_survives(self, registry, rng):
+        service = _service(registry)
+        server = AsyncNormServer(service).start()
+        with NormClient.connect(server.host, server.port) as client:
+            client.normalize(_rows(rng), "tiny")
+        server.close(drain_timeout=1.0)
+        server.close()
+        snapshot = server.wire_snapshot()
+        assert snapshot["requests_served"] >= 1
+        assert snapshot["connections_active"] == 0
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# tenancy + chaos ride unchanged on the async core
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncTenancy:
+    def test_require_auth_rejects_tokenless_work_typed(self, registry, rng):
+        service = _service(registry)
+        with AsyncNormServer(service, tenancy=_controller(require_auth=True)) as server:
+            with NormClient.connect(server.host, server.port) as client:
+                with pytest.raises(AuthenticationError):
+                    client.normalize(_rows(rng), "tiny")
+        service.close()
+
+    def test_bad_token_fails_the_handshake_typed(self, registry, rng):
+        service = _service(registry)
+        with AsyncNormServer(service, tenancy=_controller()) as server:
+            with pytest.raises(AuthenticationError):
+                with NormClient.connect(
+                    server.host, server.port, token="tok-wrong"
+                ) as client:
+                    client.normalize(_rows(rng), "tiny")
+        service.close()
+
+    def test_authenticated_traffic_bit_identical_and_metered(self, registry, rng):
+        controller = _controller(require_auth=True)
+        service = _service(registry)
+        with AsyncNormServer(service, tenancy=controller) as server:
+            with NormClient.connect(
+                server.host, server.port, token="tok-acme"
+            ) as client:
+                payload = _rows(rng)
+                result = client.normalize(payload, "tiny")
+                np.testing.assert_array_equal(result.output, _golden(registry, payload))
+        ledger = controller.snapshot()["ledger"]
+        assert ledger["acme"]["requests"] >= 1
+        service.close()
+
+
+class TestAsyncChaos:
+    def test_server_side_gate_same_contract(self, registry, rng):
+        plan = FaultPlan(
+            seed=9,
+            rules=(
+                FaultRule(kind="corrupt", probability=0.3),
+                FaultRule(kind="drop", probability=0.2),
+            ),
+        )
+        gate = FaultGate(plan)
+        service = _service(registry)
+        server = AsyncNormServer(service, fault_gate=gate).start()
+        try:
+            with NormClient.connect(server.host, server.port, timeout=1.0) as client:
+                typed = 0
+                for _ in range(12):
+                    payload = _rows(rng)
+                    try:
+                        result = client.normalize(payload, "tiny")
+                    except ApiError:
+                        typed += 1
+                        continue
+                    np.testing.assert_array_equal(
+                        result.output, _golden(registry, payload)
+                    )
+                assert gate.snapshot()["injected"] > 0
+                assert typed > 0
+        finally:
+            server.close()
+            service.close()

@@ -908,9 +908,9 @@ class TestFleetSupervisor:
             assert replica.alive
             old_address = replica.address
             replica.kill()
-            deadline = time.time() + 60.0
+            deadline = time.monotonic() + 60.0
             churn = []
-            while time.time() < deadline and not churn:
+            while time.monotonic() < deadline and not churn:
                 churn = supervisor.poll()
                 time.sleep(0.05)
             assert churn, "supervisor never noticed the killed replica"
